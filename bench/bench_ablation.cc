@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Ablation studies for CapMaestro's design choices (DESIGN.md):
+ *
+ *   A1 — stranded-power optimization vs. intrinsic supply-split
+ *        mismatch (typical-case Table 4 center, dense deployment):
+ *        how much budget SPO reclaims and what it buys in cap ratio.
+ *   A2 — PI loop gain: settle time of the Figure 5 budget step.
+ *   A3 — control period vs. the UL 489 30 s @ 160 % breaker window:
+ *        after a feed failure that overloads a surviving breaker, how
+ *        long until the load is back within its limit.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "sim/capacity.hh"
+#include "sim/scenario.hh"
+#include "util/table.hh"
+
+using namespace capmaestro;
+using sim::ClosedLoopSim;
+
+namespace {
+
+void
+ablationSpoMismatch(int trials)
+{
+    util::TextTable t("A1 -- SPO vs. supply-split mismatch "
+                      "(typical case, 15 servers/rack/phase)");
+    t.setHeader({"mismatch", "cap ratio w/o SPO", "cap ratio w/ SPO",
+                 "reclaimed, 2 passes (W)", "reclaimed, fixpoint (W)"});
+    for (double mismatch : {0.0, 0.05, 0.10, 0.15}) {
+        sim::CapacityConfig cfg;
+        cfg.policy = policy::PolicyKind::GlobalPriority;
+        cfg.worstCase = false;
+        cfg.trials = trials;
+        cfg.seed = 11;
+        cfg.dc.supplyMismatch = mismatch;
+        cfg.enableSpo = false;
+        const auto without = sim::evaluateCapacity(cfg, 15);
+        cfg.enableSpo = true;
+        const auto with = sim::evaluateCapacity(cfg, 15);
+        cfg.spoPasses = 8;
+        const auto fixpoint = sim::evaluateCapacity(cfg, 15);
+        t.addRow({util::formatFixed(mismatch, 2),
+                  util::formatFixed(without.avgCapRatioAll, 6),
+                  util::formatFixed(with.avgCapRatioAll, 6),
+                  util::formatFixed(with.meanStrandedReclaimed, 0),
+                  util::formatFixed(fixpoint.meanStrandedReclaimed, 0)});
+    }
+    t.print(std::cout);
+    std::printf("Expected shape: zero mismatch strands nothing; larger "
+                "mismatch strands more budget for\nSPO to reclaim, "
+                "keeping the cap ratio lower than without SPO.\n\n");
+}
+
+void
+ablationPiGain()
+{
+    util::TextTable t("A2 -- PI gain vs. settle time (Fig. 5 step, "
+                      "PS2 -> 200 W at t=30)");
+    t.setHeader({"gain", "settle time (s)", "undershoot (W)"});
+    for (double gain : {0.25, 0.5, 1.0, 1.5}) {
+        core::ServiceConfig cfg;
+        cfg.capping.gain = gain;
+
+        std::vector<sim::ServerSetup> servers;
+        sim::ServerSetup s;
+        s.spec = sim::testbedServerSpec("S0");
+        s.workload = std::make_unique<dev::ConstantWorkload>(1.0);
+        servers.push_back(std::move(s));
+        auto sys = std::make_unique<topo::PowerSystem>(2);
+        for (int feed = 0; feed < 2; ++feed) {
+            auto tree = std::make_unique<topo::PowerTree>(
+                feed, 0, feed == 0 ? "X" : "Y");
+            const auto root =
+                tree->makeRoot(topo::NodeKind::Breaker, "cb", 1000.0);
+            tree->addSupplyPort(root, "S0", {0, feed});
+            sys->addTree(std::move(tree));
+        }
+        ClosedLoopSim rig(std::move(sys), std::move(servers), cfg);
+        rig.setManualMode(true);
+        rig.setManualBudgets(0, {450.0, 450.0});
+        rig.at(30, [&rig] { rig.setManualBudgets(0, {450.0, 200.0}); });
+        rig.run(160);
+        const auto ps2 = ClosedLoopSim::supplySeries(0, 1, "power");
+        const Seconds settle =
+            rig.recorder().settleTime(ps2, 32, 200.0, 0.05 * 200.0);
+        double min_power = 1e9;
+        for (const auto &p : rig.recorder().series(ps2)) {
+            if (p.time >= 32)
+                min_power = std::min(min_power, p.value);
+        }
+        t.addRow({util::formatFixed(gain, 2), std::to_string(settle),
+                  util::formatFixed(std::max(0.0, 200.0 - min_power),
+                                    1)});
+    }
+    t.print(std::cout);
+    std::printf("Expected shape: low gain settles slowly; gain ~1 "
+                "(paper) settles within two periods;\nhigher gain "
+                "settles fast but undershoots more.\n\n");
+}
+
+void
+ablationControlPeriod()
+{
+    util::TextTable t("A3 -- control period vs. breaker-overload "
+                      "recovery (feed X fails at t=60)");
+    t.setHeader({"period (s)", "overload cleared in (s)",
+                 "UL489 window", "breaker tripped"});
+    for (int variant = 0; variant < 5; ++variant) {
+        // Variants: periods 4/8/16/24 s, plus 16 s with the emergency
+        // fast path (out-of-cycle period on observed overload).
+        const Seconds periods[5] = {4, 8, 16, 24, 16};
+        const bool fast_path = variant == 4;
+        const Seconds period = periods[variant];
+        core::ServiceConfig cfg;
+        cfg.controlPeriod = period;
+        cfg.emergencyFastPath = fast_path;
+        cfg.enableSpo = false;
+
+        std::vector<sim::ServerSetup> servers;
+        const Watts demands[4] = {414.0, 415.0, 433.0, 439.0};
+        const Fraction share_x[4] = {0.5, 0.5, 0.53, 0.46};
+        for (int i = 0; i < 4; ++i) {
+            sim::ServerSetup s;
+            s.spec = sim::testbedServerSpec("S" + std::to_string(i),
+                                            i == 0 ? 1 : 0, share_x[i]);
+            s.workload = std::make_unique<dev::ConstantWorkload>(
+                sim::utilizationForDemand(160.0, 490.0, demands[i]));
+            servers.push_back(std::move(s));
+        }
+        // Both feeds serve all four servers; left CBs carry servers 0-1.
+        auto sys = std::make_unique<topo::PowerSystem>(2);
+        for (int feed = 0; feed < 2; ++feed) {
+            auto tree = std::make_unique<topo::PowerTree>(
+                feed, 0, feed == 0 ? "X" : "Y");
+            const auto top = tree->makeRoot(topo::NodeKind::Breaker,
+                                            "topCB", 1400.0);
+            const auto left = tree->addChild(
+                top, topo::NodeKind::Breaker, "leftCB", 750.0);
+            const auto right = tree->addChild(
+                top, topo::NodeKind::Breaker, "rightCB", 750.0);
+            tree->addSupplyPort(left, "s0", {0, feed});
+            tree->addSupplyPort(left, "s1", {1, feed});
+            tree->addSupplyPort(right, "s2", {2, feed});
+            tree->addSupplyPort(right, "s3", {3, feed});
+            sys->addTree(std::move(tree));
+        }
+
+        ClosedLoopSim rig(std::move(sys), std::move(servers), cfg);
+        rig.service().refreshRootBudgets(1400.0);
+        rig.failFeedAt(60, 0, 1400.0);
+        rig.run(200);
+
+        // After the failure the Y left CB carries s0+s1 (~830 W > 750):
+        // find when the load is back inside the regulated band for good.
+        Seconds cleared = -1;
+        for (const auto &p : rig.recorder().series("Y.leftCB.power")) {
+            if (p.time < 60)
+                continue;
+            if (p.value > 750.0 * 1.01) {
+                cleared = -1;
+            } else if (cleared < 0) {
+                cleared = p.time;
+            }
+        }
+        t.addRow({std::to_string(period)
+                      + (fast_path ? " + fast path" : ""),
+                  cleared >= 0 ? std::to_string(cleared - 60) : "never",
+                  "30 s @ 160%",
+                  rig.anyBreakerTripped() ? "YES" : "no"});
+    }
+    t.print(std::cout);
+    std::printf("Expected shape: the paper's 8 s period clears the "
+                "overload in ~2 periods, well inside\nthe 30 s UL 489 "
+                "window; very long periods erode the margin.\n");
+}
+
+void
+ablationPriorityLevels(int trials)
+{
+    util::TextTable t("A4 -- priority granularity (worst case, 13 "
+                      "servers/rack/phase, Global Priority)");
+    t.setHeader({"levels", "ratio: lowest", "ratio: median level",
+                 "ratio: highest", "all servers"});
+    for (int levels : {2, 4, 8}) {
+        sim::CapacityConfig cfg;
+        cfg.policy = policy::PolicyKind::GlobalPriority;
+        cfg.worstCase = true;
+        cfg.trials = trials;
+        cfg.seed = 21;
+        cfg.priorityFractions.assign(
+            static_cast<std::size_t>(levels), 1.0 / levels);
+        const auto p = sim::evaluateCapacity(cfg, 13);
+        const auto &by = p.avgCapRatioByPriority;
+        t.addRow({std::to_string(levels),
+                  util::formatFixed(by.front(), 3),
+                  util::formatFixed(by[by.size() / 2], 3),
+                  util::formatFixed(by.back(), 3),
+                  util::formatFixed(p.avgCapRatioAll, 3)});
+    }
+    t.print(std::cout);
+    std::printf("Expected shape: the all-servers ratio is granularity-"
+                "independent; finer levels shield a\nlarger top tier "
+                "while concentrating throttling on the bottom tier.\n");
+}
+
+void
+ablationAdaptiveFeedBalance()
+{
+    util::TextTable t("A5 -- static vs. adaptive per-feed budget split "
+                      "(PSU failure on the high-priority server)");
+    t.setHeader({"root-budget policy", "S0 throughput after failure",
+                 "Y-feed budget (W)"});
+    for (const bool adaptive : {false, true}) {
+        core::ServiceConfig cfg;
+        cfg.adaptiveFeedBalance = adaptive;
+        cfg.totalPerPhaseBudget = 1400.0;
+
+        std::vector<sim::ServerSetup> servers;
+        for (int i = 0; i < 4; ++i) {
+            sim::ServerSetup s;
+            s.spec = sim::testbedServerSpec("S" + std::to_string(i),
+                                            i == 0 ? 1 : 0);
+            s.workload = std::make_unique<dev::ConstantWorkload>(
+                sim::utilizationForDemand(160.0, 490.0, 430.0));
+            servers.push_back(std::move(s));
+        }
+        auto sys = std::make_unique<topo::PowerSystem>(2);
+        for (int feed = 0; feed < 2; ++feed) {
+            auto tree = std::make_unique<topo::PowerTree>(
+                feed, 0, feed == 0 ? "X" : "Y");
+            const auto top = tree->makeRoot(topo::NodeKind::Breaker,
+                                            "topCB", 1400.0);
+            for (int i = 0; i < 4; ++i) {
+                tree->addSupplyPort(top, "s" + std::to_string(i),
+                                    {i, feed});
+            }
+            sys->addTree(std::move(tree));
+        }
+        ClosedLoopSim rig(std::move(sys), std::move(servers), cfg);
+        rig.service().refreshRootBudgets(1400.0);
+        rig.failSupplyAt(60, 0, 0);
+        rig.run(240);
+        t.addRow({adaptive ? "adaptive (extension)" : "even split "
+                                                      "(paper)",
+                  util::formatFixed(
+                      rig.recorder().mean(
+                          ClosedLoopSim::serverSeries(0, "throughput"),
+                          180, 239),
+                      2),
+                  util::formatFixed(rig.service().rootBudgets()[1], 0)});
+    }
+    t.print(std::cout);
+    std::printf("Expected shape: the even split strands headroom on the "
+                "lightly-loaded feed after the\nfailure; adaptive "
+                "balancing moves it to where the high-priority load "
+                "went.\n");
+}
+
+void
+ablationSensorBias()
+{
+    util::TextTable t("A6 -- sensor bias vs. breaker-limit margin "
+                      "(Fig. 2 rig, left CB 750 W)");
+    t.setHeader({"power-sensor bias", "left CB max load (W)",
+                 "margin vs. rating"});
+    for (double bias_w : {-10.0, -5.0, 0.0, 5.0, 10.0}) {
+        // Bias is injected as a constant sensor offset: the controller
+        // believes servers draw (true + bias), so negative bias (under-
+        // reading meters) erodes the physical margin.
+        std::vector<sim::ServerSetup> servers;
+        for (int i = 0; i < 4; ++i) {
+            sim::ServerSetup s;
+            s.spec = sim::testbedServerSpec("S" + std::to_string(i),
+                                            i == 0 ? 1 : 0, 1.0, 1);
+            s.workload = std::make_unique<dev::ConstantWorkload>(
+                sim::utilizationForDemand(160.0, 490.0, 420.0));
+            servers.push_back(std::move(s));
+        }
+        core::ServiceConfig cfg;
+        cfg.enableSpo = false;
+        dev::SensorConfig sensors;
+        sensors.powerNoiseStddev = 0.0;
+        // Emulate bias via quantization-free constant offset: reuse the
+        // noise hook by shifting the budget instead (equivalent loop
+        // effect): give the controller budgets shifted by -bias.
+        sim::ClosedLoopSim rig(sim::fig2System(), std::move(servers),
+                               cfg, 1, sensors);
+        rig.setRootBudgets({1240.0 - 4.0 * bias_w});
+        rig.run(160);
+        const double max_left =
+            rig.recorder().max("feed.leftCB.power", 24, 159);
+        t.addRow({util::formatFixed(bias_w, 0) + " W",
+                  util::formatFixed(max_left, 0),
+                  util::formatFixed(100.0 * (1.0 - max_left / 750.0), 1)
+                      + " %"});
+    }
+    t.print(std::cout);
+    std::printf("Expected shape: under-reading sensors push real loads "
+                "toward the rating; the paper\nreserves a 5%% "
+                "contractual margin to absorb exactly this class of "
+                "error.\n");
+}
+
+void
+ablationEstimatorMode()
+{
+    util::TextTable t("A7 -- demand estimator: regression (paper) vs. "
+                      "last-measured baseline");
+    t.setHeader({"estimator", "SA throughput after emergency",
+                 "SA budget (W)"});
+    for (const bool naive : {false, true}) {
+        core::ServiceConfig cfg;
+        cfg.enableSpo = false;
+        cfg.capping.estimator.mode =
+            naive ? ctrl::DemandEstimatorMode::LastMeasured
+                  : ctrl::DemandEstimatorMode::Regression;
+
+        std::vector<sim::ServerSetup> servers;
+        for (int i = 0; i < 4; ++i) {
+            sim::ServerSetup s;
+            s.spec = sim::testbedServerSpec("S" + std::to_string(i),
+                                            i == 0 ? 1 : 0, 1.0, 1);
+            s.workload = std::make_unique<dev::ConstantWorkload>(
+                sim::utilizationForDemand(160.0, 490.0, 420.0));
+            servers.push_back(std::move(s));
+        }
+        sim::ClosedLoopSim rig(sim::fig2System(), std::move(servers),
+                               cfg);
+        // Deep emergency (floors only), then partial relief.
+        rig.setRootBudgets({1080.0});
+        rig.at(96, [&rig] { rig.setRootBudgets({1240.0}); });
+        rig.run(320);
+
+        t.addRow({naive ? "last-measured" : "regression (paper)",
+                  util::formatFixed(
+                      rig.recorder().mean(
+                          sim::ClosedLoopSim::serverSeries(
+                              0, "throughput"),
+                          240, 319),
+                      2),
+                  util::formatFixed(
+                      rig.recorder().mean(
+                          sim::ClosedLoopSim::supplySeries(0, 0,
+                                                           "budget"),
+                          240, 319),
+                      0)});
+    }
+    t.print(std::cout);
+    std::printf("Expected shape: the naive estimator collapses to the "
+                "capped power during the\nemergency, so the high-"
+                "priority server never re-requests its true demand -- a "
+                "lasting\npriority inversion the paper's regression "
+                "method avoids.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Ablations",
+                  "Design-choice studies: SPO, PI gain, control period, "
+                  "priority granularity, feed balancing");
+    const int trials = bench::intFlag(argc, argv, "trials", 8);
+    ablationSpoMismatch(trials);
+    ablationPiGain();
+    ablationControlPeriod();
+    std::printf("\n");
+    ablationPriorityLevels(trials);
+    std::printf("\n");
+    ablationAdaptiveFeedBalance();
+    std::printf("\n");
+    ablationSensorBias();
+    std::printf("\n");
+    ablationEstimatorMode();
+    return 0;
+}

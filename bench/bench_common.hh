@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: tiny CLI flag
+ * parsing and uniform headers, so every bench prints the paper rows the
+ * same way and supports --trials / --full / --csv overrides.
+ */
+
+#ifndef CAPMAESTRO_BENCH_COMMON_HH
+#define CAPMAESTRO_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace capmaestro::bench {
+
+/** Parse "--name=value" integer flag; returns fallback when absent. */
+inline int
+intFlag(int argc, char **argv, const char *name, int fallback)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return std::atoi(argv[i] + prefix.size());
+    }
+    return fallback;
+}
+
+/** True when "--name" appears. */
+inline bool
+boolFlag(int argc, char **argv, const char *name)
+{
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
+/** Print the uniform experiment banner. */
+inline void
+banner(const char *experiment_id, const char *description)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("CapMaestro reproduction -- %s\n", experiment_id);
+    std::printf("%s\n", description);
+    std::printf("================================================="
+                "=============================\n");
+}
+
+} // namespace capmaestro::bench
+
+#endif // CAPMAESTRO_BENCH_COMMON_HH

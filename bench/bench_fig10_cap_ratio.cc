@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: average cap ratio vs. number of deployed
+ * servers during a worst-case power emergency, for (a) all servers and
+ * (b) high-priority servers, under the three policies.
+ *
+ * Expected shape: ratios grow with density; the all-servers curves are
+ * nearly policy-independent; the high-priority curves stay near zero
+ * under Global Priority far beyond the point where Local Priority (and
+ * then No Priority) start throttling high-priority work.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "sim/capacity.hh"
+#include "util/table.hh"
+
+using namespace capmaestro;
+using namespace capmaestro::sim;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Figure 10",
+                  "Average cap ratio vs. server count (worst-case "
+                  "power emergency)");
+    const int trials = bench::intFlag(argc, argv, "trials", 20);
+
+    std::vector<std::vector<CapacityPoint>> sweeps;
+    for (const auto kind : policy::kAllPolicies) {
+        CapacityConfig cfg;
+        cfg.policy = kind;
+        cfg.worstCase = true;
+        cfg.trials = trials;
+        sweeps.push_back(sweepCapacity(cfg, 6, 15));
+    }
+
+    util::TextTable all("Figure 10a -- cap ratio, all servers");
+    all.setHeader({"servers", "No Priority", "Local Priority",
+                   "Global Priority"});
+    util::TextTable high("Figure 10b -- cap ratio, high-priority "
+                         "servers");
+    high.setHeader({"servers", "No Priority", "Local Priority",
+                    "Global Priority"});
+
+    for (std::size_t i = 0; i < sweeps[0].size(); ++i) {
+        const auto servers = std::to_string(sweeps[0][i].totalServers);
+        all.addNumericRow(servers,
+                          {sweeps[0][i].avgCapRatioAll,
+                           sweeps[1][i].avgCapRatioAll,
+                           sweeps[2][i].avgCapRatioAll},
+                          3);
+        high.addNumericRow(servers,
+                           {sweeps[0][i].avgCapRatioHigh,
+                            sweeps[1][i].avgCapRatioHigh,
+                            sweeps[2][i].avgCapRatioHigh},
+                           3);
+    }
+    all.print(std::cout);
+    std::printf("\n");
+    high.print(std::cout);
+    std::printf("\nExpected shape: (a) nearly identical growth across "
+                "policies; (b) Global holds ~0 up to 5832\nservers, "
+                "Local departs around 4860, No Priority tracks (a).\n");
+    (void)argc;
+    (void)argv;
+    return 0;
+}

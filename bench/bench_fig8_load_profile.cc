@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: the distribution of average CPU utilization
+ * used as typical-case load (digitized from the Google profile of
+ * Barroso et al. [27]; see the substitution note in DESIGN.md).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "device/server.hh"
+#include "sim/utilization.hh"
+#include "util/table.hh"
+
+using namespace capmaestro;
+using sim::GoogleUtilizationProfile;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Figure 8",
+                  "Distribution of average CPU utilization (typical-case "
+                  "load profile)");
+    const int samples = bench::intFlag(argc, argv, "samples", 100000);
+
+    util::Rng rng(2026);
+    const auto hist = GoogleUtilizationProfile::histogram(
+        rng, static_cast<std::size_t>(samples));
+
+    std::printf("%d samples; distribution (bin center, frequency):\n\n",
+                samples);
+    std::printf("%s\n", hist.render(48).c_str());
+
+    util::TextTable table("Figure 8 -- bin weights");
+    table.setHeader({"utilization bin", "target weight",
+                     "sampled frequency", "server demand (W)"});
+    const auto &weights = GoogleUtilizationProfile::binWeights();
+    for (std::size_t i = 0; i < GoogleUtilizationProfile::kBins; ++i) {
+        const double center = hist.binCenter(i);
+        table.addRow({util::formatFixed(hist.binLow(i), 1) + "-"
+                          + util::formatFixed(hist.binLow(i) + 0.1, 1),
+                      util::formatFixed(weights[i], 4),
+                      util::formatFixed(hist.binFraction(i), 4),
+                      util::formatFixed(
+                          dev::fanPower(160.0, 490.0, center), 0)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nmean utilization = %.3f -> mean server demand "
+                "~%.0f W (Fan et al. curve, Table 4 server)\n",
+                GoogleUtilizationProfile::mean(),
+                dev::fanPower(160.0, 490.0,
+                              GoogleUtilizationProfile::mean()));
+    return 0;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Reproduces the paper's §5 overhead & scalability analysis with
+ * google-benchmark microbenchmarks plus the worker-layout model:
+ *
+ *   - metrics gathering / budgeting cost per controller, vs. fan-out
+ *   - full-tree allocation cost for rack- and room-scale trees
+ *   - closed-loop control-period cost per server
+ *
+ * After the microbenchmarks run, main() feeds the measured per-child
+ * costs into the worker model and prints the §5 claims (rack budgeting
+ * ~10 ms; 500-rack room worker < 300 ms; < 0.1 % core overhead).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "control/allocator.hh"
+#include "core/distributed.hh"
+#include "core/worker.hh"
+#include "sim/capacity.hh"
+#include "sim/datacenter.hh"
+#include "sim/scenario.hh"
+#include "util/random.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+std::vector<ctrl::NodeMetrics>
+makeChildren(std::size_t n)
+{
+    util::Rng rng(7);
+    std::vector<ctrl::NodeMetrics> children;
+    children.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ctrl::NodeMetrics m;
+        const Priority p = static_cast<Priority>(rng.uniformInt(0, 3));
+        const Watts lo = rng.uniform(100.0, 300.0);
+        const Watts d = lo + rng.uniform(0.0, 200.0);
+        m.accumulate(p, lo, d, d);
+        m.setConstraint(d + 50.0);
+        children.push_back(std::move(m));
+    }
+    return children;
+}
+
+void
+BM_GatherMetrics(benchmark::State &state)
+{
+    const auto children =
+        makeChildren(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ctrl::gatherMetrics(children, 50000.0, true));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GatherMetrics)->Arg(9)->Arg(45)->Arg(162)->Arg(500);
+
+void
+BM_BudgetChildren(benchmark::State &state)
+{
+    const auto children =
+        makeChildren(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ctrl::budgetChildren(30000.0, children, true));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BudgetChildren)->Arg(9)->Arg(45)->Arg(162)->Arg(500);
+
+/** Full allocation over the Table 4 data center, one phase. */
+void
+BM_FleetAllocation(benchmark::State &state)
+{
+    sim::DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = static_cast<int>(state.range(0));
+    auto dc = sim::buildDataCenter(params);
+    ctrl::FleetAllocator alloc(*dc.system,
+                               ctrl::TreePolicy::globalPriority());
+    util::Rng rng(3);
+    std::vector<ctrl::ServerAllocInput> fleet(dc.servers.size());
+    for (auto &s : fleet) {
+        s.priority = rng.chance(0.3) ? 1 : 0;
+        s.capMin = 270.0;
+        s.capMax = 490.0;
+        s.demand = rng.uniform(270.0, 490.0);
+        s.supplies = {{0.5, true}, {0.5, true}};
+    }
+    const std::vector<Watts> budgets(dc.system->trees().size(),
+                                     332500.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(alloc.allocate(fleet, budgets, false));
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(fleet.size()));
+}
+BENCHMARK(BM_FleetAllocation)->Arg(5)->Arg(13)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+/** Distributed (rack/room worker) iteration over the Table 4 center. */
+void
+BM_DistributedIteration(benchmark::State &state)
+{
+    sim::DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = static_cast<int>(state.range(0));
+    auto dc = sim::buildDataCenter(params);
+    core::DistributedControlPlane plane(
+        *dc.system, ctrl::TreePolicy::globalPriority());
+
+    util::Rng rng(5);
+    for (const auto &tree : dc.system->trees()) {
+        for (const auto &ref : tree->suppliesUnder(tree->root())) {
+            ctrl::LeafInput in;
+            in.live = true;
+            in.priority = rng.chance(0.3) ? 1 : 0;
+            in.capMin = 135.0;
+            in.demand = rng.uniform(135.0, 245.0);
+            in.constraint = 245.0;
+            plane.setLeafInput(ref, in);
+        }
+    }
+    const std::vector<Watts> budgets(dc.system->trees().size(),
+                                     332500.0);
+    std::size_t messages = 0;
+    for (auto _ : state) {
+        const auto stats = plane.iterate(budgets);
+        messages = stats.metricsMessages + stats.budgetMessages;
+    }
+    state.counters["messages"] = static_cast<double>(messages);
+}
+BENCHMARK(BM_DistributedIteration)->Arg(5)->Arg(13)
+    ->Unit(benchmark::kMillisecond);
+
+/** One closed-loop control period on the Fig. 6 testbed, per server. */
+void
+BM_ControlPeriod(benchmark::State &state)
+{
+    auto rig = sim::makeFig6Rig(policy::PolicyKind::GlobalPriority);
+    rig.run(16); // prime
+    for (auto _ : state)
+        rig.run(8);
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ControlPeriod)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // §5 worker-model summary using conservative measured-scale costs.
+    core::WorkerCosts costs;
+    costs.gatherPerChildUs = 2.0;
+    costs.budgetPerChildUs = 2.0;
+
+    std::printf("\n== §5 worker deployment model ==\n");
+    for (std::size_t racks : {162u, 500u, 1000u}) {
+        core::DeploymentShape shape;
+        shape.racks = racks;
+        const auto layout = core::planWorkers(shape, costs);
+        std::printf("racks=%4zu rack-workers=%zu room compute=%.1f ms "
+                    "rack compute=%.2f ms messages/period=%zu core "
+                    "overhead=%.4f%%\n",
+                    racks, layout.rackWorkers, layout.roomComputeMs,
+                    layout.rackComputeMs, layout.messagesPerPeriod,
+                    100.0 * layout.coreOverheadFraction);
+    }
+    std::printf("Paper claims: room-level worker < 300 ms at 500 racks; "
+                "< 0.1%% of cores reserved.\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Reproduces the sensitivity studies the paper defers to its technical
+ * report (§6.4 "Sensitivity Studies"): worst-case deployable capacity as
+ * a function of (1) the fraction of high-priority servers, (2) Pcap_min,
+ * and (3) the contractual budget, for all three policies.
+ *
+ * Expected shape: Global Priority dominates the other policies across
+ * the sweeps; its advantage shrinks as the high-priority fraction grows
+ * (less low-priority power to borrow) and as Pcap_min rises (less
+ * throttling range).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "sim/capacity.hh"
+#include "util/table.hh"
+
+using namespace capmaestro;
+using namespace capmaestro::sim;
+
+namespace {
+
+std::size_t
+maxServers(policy::PolicyKind kind, int trials,
+           const std::function<void(CapacityConfig &)> &tweak)
+{
+    CapacityConfig cfg;
+    cfg.policy = kind;
+    cfg.worstCase = true;
+    cfg.trials = trials;
+    tweak(cfg);
+    return findMaxDeployable(cfg, 2, 15).totalServers;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Sensitivity (tech report)",
+                  "Worst-case deployable servers vs. key parameters");
+    const int trials = bench::intFlag(argc, argv, "trials", 10);
+
+    {
+        util::TextTable t("Sweep 1 -- fraction of high-priority servers");
+        t.setHeader({"high-priority %", "No Priority", "Local Priority",
+                     "Global Priority"});
+        for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+            auto tweak = [frac](CapacityConfig &cfg) {
+                cfg.dc.highPriorityFraction = frac;
+            };
+            t.addRow({util::formatFixed(100.0 * frac, 0),
+                      std::to_string(maxServers(
+                          policy::PolicyKind::NoPriority, trials, tweak)),
+                      std::to_string(maxServers(
+                          policy::PolicyKind::LocalPriority, 3 * trials,
+                          tweak)),
+                      std::to_string(maxServers(
+                          policy::PolicyKind::GlobalPriority, trials,
+                          tweak))});
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    {
+        util::TextTable t("Sweep 2 -- Pcap_min (W)");
+        t.setHeader({"Pcap_min", "No Priority", "Local Priority",
+                     "Global Priority"});
+        for (double cap_min : {200.0, 240.0, 270.0, 310.0, 350.0}) {
+            auto tweak = [cap_min](CapacityConfig &cfg) {
+                cfg.dc.serverCapMin = cap_min;
+            };
+            t.addRow({util::formatFixed(cap_min, 0),
+                      std::to_string(maxServers(
+                          policy::PolicyKind::NoPriority, trials, tweak)),
+                      std::to_string(maxServers(
+                          policy::PolicyKind::LocalPriority, 3 * trials,
+                          tweak)),
+                      std::to_string(maxServers(
+                          policy::PolicyKind::GlobalPriority, trials,
+                          tweak))});
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    {
+        util::TextTable t("Sweep 3 -- contractual budget (kW per phase)");
+        t.setHeader({"budget", "No Priority", "Local Priority",
+                     "Global Priority"});
+        for (double kw : {500.0, 600.0, 700.0, 800.0, 900.0}) {
+            auto tweak = [kw](CapacityConfig &cfg) {
+                cfg.dc.contractualPerPhase = kw * 1000.0;
+            };
+            t.addRow({util::formatFixed(kw, 0),
+                      std::to_string(maxServers(
+                          policy::PolicyKind::NoPriority, trials, tweak)),
+                      std::to_string(maxServers(
+                          policy::PolicyKind::LocalPriority, 3 * trials,
+                          tweak)),
+                      std::to_string(maxServers(
+                          policy::PolicyKind::GlobalPriority, trials,
+                          tweak))});
+        }
+        t.print(std::cout);
+    }
+
+    std::printf("\nExpected shape: Global >= Local >= No Priority "
+                "everywhere; the Global advantage shrinks\nas the "
+                "high-priority fraction approaches 100%% and as "
+                "Pcap_min approaches Pcap_max.\n");
+    return 0;
+}

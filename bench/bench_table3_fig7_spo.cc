@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces paper Table 3 and Figure 7: the stranded-power optimization
+ * on the dual-feed testbed of Figure 7a (SA X-only high priority, SB
+ * Y-only, SC/SD dual-corded with intrinsic split mismatch; 700 W per
+ * feed).
+ *
+ *   Table 3   — per-supply budgets and consumption (X/Y), with stranded
+ *               power highlighted, without and with SPO.
+ *   Figure 7b — normalized throughput per server, without/with SPO.
+ *   Figure 7c — Y-side feed power over time, without/with SPO.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "sim/scenario.hh"
+#include "util/table.hh"
+
+using namespace capmaestro;
+using sim::ClosedLoopSim;
+
+namespace {
+
+constexpr Seconds kHorizon = 200;
+constexpr Seconds kTail = 120;
+const char *kNames[] = {"SA(H)", "SB", "SC", "SD"};
+
+void
+printTable3Block(const char *label, sim::ClosedLoopSim &rig)
+{
+    const auto &rec = rig.recorder();
+    util::TextTable t(std::string("Table 3 -- ") + label
+                      + " (X-side/Y-side, W)");
+    t.setHeader({"server", "budget X/Y", "consumption X/Y",
+                 "stranded Y"});
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double bx = rec.mean(
+            ClosedLoopSim::supplySeries(i, 0, "budget"), kTail, kHorizon);
+        const double by = rec.mean(
+            ClosedLoopSim::supplySeries(i, 1, "budget"), kTail, kHorizon);
+        const double cx = rec.mean(
+            ClosedLoopSim::supplySeries(i, 0, "power"), kTail, kHorizon);
+        const double cy = rec.mean(
+            ClosedLoopSim::supplySeries(i, 1, "power"), kTail, kHorizon);
+        t.addRow({kNames[i],
+                  util::formatFixed(bx, 0) + "/" + util::formatFixed(by, 0),
+                  util::formatFixed(cx, 0) + "/" + util::formatFixed(cy, 0),
+                  util::formatFixed(std::max(0.0, by - cy), 0)});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Table 3 / Figure 7",
+                  "Stranded power optimization on redundant feeds "
+                  "(700 W budget per feed)");
+    const bool csv = bench::boolFlag(argc, argv, "csv");
+
+    auto without = sim::makeFig7Rig(/*enable_spo=*/false);
+    without.run(kHorizon);
+    auto with = sim::makeFig7Rig(/*enable_spo=*/true);
+    with.run(kHorizon);
+
+    if (csv) {
+        with.recorder().printCsv(std::cout);
+        return 0;
+    }
+
+    printTable3Block("Global Priority w/o SPO", without);
+    printTable3Block("Global Priority w/ SPO", with);
+
+    util::TextTable tp("Figure 7b -- normalized throughput");
+    tp.setHeader({"server", "w/o SPO", "w/ SPO", "paper"});
+    const char *paper_tp[] = {">0.99 / >0.99", "0.88 / >0.99",
+                              "equal / equal", "equal / equal"};
+    for (std::size_t i = 0; i < 4; ++i) {
+        tp.addRow({kNames[i],
+                   util::formatFixed(
+                       without.recorder().mean(
+                           ClosedLoopSim::serverSeries(i, "throughput"),
+                           kTail, kHorizon),
+                       3),
+                   util::formatFixed(
+                       with.recorder().mean(
+                           ClosedLoopSim::serverSeries(i, "throughput"),
+                           kTail, kHorizon),
+                       3),
+                   paper_tp[i]});
+    }
+    tp.print(std::cout);
+
+    util::TextTable feed("Figure 7c -- Y-side feed power (W)");
+    feed.setHeader({"t(s)", "w/o SPO", "w/ SPO (budget 700)"});
+    for (Seconds t = 0; t < kHorizon; t += 16) {
+        feed.addNumericRow(
+            std::to_string(t),
+            {without.recorder().mean("Y.topCB.power", t, t + 15),
+             with.recorder().mean("Y.topCB.power", t, t + 15)},
+            0);
+    }
+    std::printf("\n");
+    feed.print(std::cout);
+
+    std::printf("\nSPO reclaimed %.0f W of stranded Y-side budget "
+                "(paper: ~67 W to SB).\n",
+                with.service().lastStats().allocation.strandedReclaimed);
+    std::printf("Expected shape: SB's throughput rises from ~0.88 to "
+                "~1.0; SC/SD unchanged; Y feed\nruns at its full budget "
+                "with SPO.\n");
+    (void)argc;
+    (void)argv;
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Capacity planning: how many servers can a given power infrastructure
+ * host safely? Uses the paper's Table 4 production data center and the
+ * Monte-Carlo capacity study to answer it for each policy, then shows a
+ * what-if (raising the high-priority fraction).
+ */
+
+#include <cstdio>
+
+#include "sim/capacity.hh"
+
+using namespace capmaestro;
+using namespace capmaestro::sim;
+
+namespace {
+
+void
+plan(const char *label, double hp_fraction)
+{
+    std::printf("%s (%.0f%% high priority)\n", label,
+                100.0 * hp_fraction);
+    std::printf("  %-16s %14s %14s\n", "policy", "typical", "worst case");
+    for (const auto kind : policy::kAllPolicies) {
+        CapacityConfig typical;
+        typical.policy = kind;
+        typical.worstCase = false;
+        typical.trials = 60;
+        typical.dc.highPriorityFraction = hp_fraction;
+        const auto t = findMaxDeployable(typical, 6, 15);
+
+        CapacityConfig worst = typical;
+        worst.worstCase = true;
+        worst.trials = 20;
+        const auto w = findMaxDeployable(worst, 6, 15);
+
+        std::printf("  %-16s %14zu %14zu\n", policy::policyName(kind),
+                    t.totalServers, w.totalServers);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("CapMaestro capacity planning\n");
+    std::printf("============================\n\n");
+    std::printf("Infrastructure: Table 4 -- 2 feeds x 3 phases, "
+                "700 kW/phase contractual budget,\n162 racks; servers "
+                "idle 160 W, cap range 270-490 W. Criterion: <= 1%% "
+                "average cap\nratio (all servers in typical operation; "
+                "high-priority servers during a worst-case\nfeed "
+                "failure).\n\n");
+
+    plan("Baseline (the paper's configuration)", 0.30);
+    plan("What-if: more premium tenants", 0.50);
+
+    std::printf("Reading: without power capping this infrastructure "
+                "hosts 3888 servers. Global\npriority-aware capping "
+                "lifts the worst-case-safe count by ~50%%, and the gap "
+                "to the\nfailure-free ceiling is the price of N+N "
+                "availability.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multi-tenant walkthrough: trace-driven load on a shared server whose
+ * tenants (VMs) have different priorities. Shows two §7 extensions
+ * working together:
+ *
+ *   - the server's CapMaestro priority is derived from its VM mix, and
+ *   - when the server is capped, the VM partitioner sheds low-priority
+ *     tenant throughput first, keeping the premium tenant whole.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "device/vm.hh"
+#include "sim/closed_loop.hh"
+#include "sim/scenario.hh"
+
+using namespace capmaestro;
+
+int
+main()
+{
+    std::printf("CapMaestro multi-tenant partitions\n");
+    std::printf("==================================\n\n");
+
+    // The shared host runs a premium web tenant (40 %), an internal
+    // analytics tenant (25 %), and two batch tenants.
+    dev::VmPartitioner tenants({
+        {"web-prod", 2, 0.40},
+        {"analytics", 1, 0.25},
+        {"batch-a", 0, 0.20},
+        {"batch-b", 0, 0.15},
+    });
+    const Priority host_priority = tenants.derivedServerPriority(0.4);
+    std::printf("derived host priority from the VM mix: %d "
+                "(premium tenant covers 40%% of capacity)\n\n",
+                host_priority);
+
+    // The host and three neighbors share an 1100 W breaker; the host
+    // replays a bursty utilization trace (e.g., captured telemetry).
+    std::vector<sim::ServerSetup> servers;
+    {
+        sim::ServerSetup host;
+        host.spec = sim::testbedServerSpec("host", host_priority, 1.0, 1);
+        host.workload = std::make_unique<dev::TraceWorkload>(
+            std::vector<Fraction>{0.5, 0.9, 1.0, 0.95, 0.6, 0.4},
+            /*sample_period=*/40);
+        servers.push_back(std::move(host));
+    }
+    for (int i = 1; i < 4; ++i) {
+        sim::ServerSetup s;
+        s.spec = sim::testbedServerSpec("n" + std::to_string(i), 0, 1.0,
+                                        1);
+        s.workload = std::make_unique<dev::ConstantWorkload>(0.8);
+        servers.push_back(std::move(s));
+    }
+
+    auto sys = std::make_unique<topo::PowerSystem>(1);
+    auto tree = std::make_unique<topo::PowerTree>(0, 0, "feed");
+    const auto root =
+        tree->makeRoot(topo::NodeKind::Breaker, "cb", 1600.0);
+    for (int i = 0; i < 4; ++i)
+        tree->addSupplyPort(root, "s" + std::to_string(i), {i, 0});
+    sys->addTree(std::move(tree));
+
+    sim::ClosedLoopSim rig(std::move(sys), std::move(servers), {});
+    rig.setRootBudgets({1100.0});
+    rig.run(240);
+
+    std::printf("%6s %12s %12s | per-tenant normalized throughput\n",
+                "t(s)", "host power", "host perf");
+    std::printf("%33s", "");
+    for (const auto &vm : tenants.vms())
+        std::printf("  %-10s", vm.name.c_str());
+    std::printf("\n");
+    for (Seconds t = 40; t < 240; t += 40) {
+        const double perf = rig.recorder().mean(
+            sim::ClosedLoopSim::serverSeries(0, "throughput"), t,
+            t + 39);
+        std::printf("%6lld %12.0f %12.2f |",
+                    static_cast<long long>(t),
+                    rig.recorder().mean(
+                        sim::ClosedLoopSim::serverSeries(0, "power"), t,
+                        t + 39),
+                    perf);
+        for (const auto &alloc : tenants.allocate(perf))
+            std::printf("  %-10.2f", alloc.normalizedThroughput);
+        std::printf("\n");
+    }
+
+    std::printf("\nReading: when the shared breaker forces the host "
+                "below full performance, the batch\ntenants absorb the "
+                "entire cut; web-prod (and analytics, next in line) "
+                "stay at 1.00\nuntil the throttle digs deeper than "
+                "their combined share.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Stranded-power walkthrough: why per-supply budgets strand power on
+ * redundant feeds, and how CapMaestro's stranded-power optimization
+ * (SPO) reclaims it for capped servers.
+ *
+ * Uses the paper's Figure 7a testbed: SA draws only from the X feed, SB
+ * only from the Y feed, SC/SD from both with intrinsic split mismatches.
+ */
+
+#include <cstdio>
+
+#include "sim/scenario.hh"
+
+using namespace capmaestro;
+using sim::ClosedLoopSim;
+
+namespace {
+
+void
+report(const char *label, ClosedLoopSim &rig)
+{
+    const auto &rec = rig.recorder();
+    std::printf("%s\n", label);
+    std::printf("  %-6s %14s %14s %12s\n", "server", "Y budget (W)",
+                "Y power (W)", "throughput");
+    const char *names[] = {"SA(H)", "SB", "SC", "SD"};
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double by = rec.mean(
+            ClosedLoopSim::supplySeries(i, 1, "budget"), 120, 199);
+        const double cy = rec.mean(
+            ClosedLoopSim::supplySeries(i, 1, "power"), 120, 199);
+        const double tp = rec.mean(
+            ClosedLoopSim::serverSeries(i, "throughput"), 120, 199);
+        std::printf("  %-6s %14.0f %14.0f %12.2f", names[i], by, cy, tp);
+        if (by - cy > 10.0)
+            std::printf("   <- %.0f W stranded", by - cy);
+        std::printf("\n");
+    }
+    std::printf("  Y-feed draw: %.0f W of the 700 W budget\n\n",
+                rec.mean("Y.topCB.power", 120, 199));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("CapMaestro stranded power optimization\n");
+    std::printf("======================================\n\n");
+    std::printf("Setup: 700 W per feed; SA is X-only (high priority), "
+                "SB is Y-only, SC/SD are\ndual-corded with ~53/47 and "
+                "~46/54 intrinsic splits.\n\n");
+
+    auto without = sim::makeFig7Rig(/*enable_spo=*/false);
+    without.run(200);
+    report("Without SPO -- SC/SD cannot consume their Y-side budgets "
+           "(their X-side binds):",
+           without);
+
+    auto with = sim::makeFig7Rig(/*enable_spo=*/true);
+    with.run(200);
+    report("With SPO -- the stranded Y-side watts move to SB:", with);
+
+    std::printf("SPO reclaimed %.0f W; SB rose from %.2f to %.2f "
+                "normalized throughput while SC/SD\nwere untouched -- "
+                "the reclaimed power was truly unusable where it was.\n",
+                with.service().lastStats().allocation.strandedReclaimed,
+                without.recorder().mean(
+                    ClosedLoopSim::serverSeries(1, "throughput"), 120,
+                    199),
+                with.recorder().mean(
+                    ClosedLoopSim::serverSeries(1, "throughput"), 120,
+                    199));
+    return 0;
+}

@@ -1,0 +1,373 @@
+#include "config/loader.hh"
+
+#include <map>
+
+#include "device/workload.hh"
+#include "topology/analysis.hh"
+#include "util/logging.hh"
+
+namespace capmaestro::config {
+
+namespace {
+
+topo::NodeKind
+nodeKindFromString(const std::string &kind)
+{
+    static const std::map<std::string, topo::NodeKind> kKinds{
+        {"contractual", topo::NodeKind::Contractual},
+        {"ats", topo::NodeKind::Ats},
+        {"transformer", topo::NodeKind::Transformer},
+        {"ups", topo::NodeKind::Ups},
+        {"rpp", topo::NodeKind::Rpp},
+        {"cdu", topo::NodeKind::Cdu},
+        {"breaker", topo::NodeKind::Breaker},
+    };
+    const auto it = kKinds.find(kind);
+    if (it == kKinds.end())
+        util::fatal("config: unknown node kind \"%s\"", kind.c_str());
+    return it->second;
+}
+
+Watts
+ratingOf(const util::Json &node)
+{
+    const util::Json *rating = node.find("rating");
+    if (!rating || (rating->isString()
+                    && rating->asString() == "unlimited")) {
+        return topo::kUnlimited;
+    }
+    return rating->asNumber();
+}
+
+/** Recursively add @p node (and children) under @p parent. */
+void
+addNode(topo::PowerTree &tree, topo::NodeId parent,
+        const util::Json &node)
+{
+    const std::string kind = node.at("kind").asString();
+    if (kind == "supply") {
+        const auto server =
+            static_cast<std::int32_t>(node.at("server").asNumber());
+        const auto supply = static_cast<std::int32_t>(
+            node.numberOr("supply", 0.0));
+        const std::string name = node.stringOr(
+            "name",
+            "s" + std::to_string(server) + "." + std::to_string(supply));
+        tree.addSupplyPort(parent, name, {server, supply}, ratingOf(node),
+                           node.numberOr("derate", 1.0));
+        return;
+    }
+
+    const topo::NodeId id = tree.addChild(
+        parent, nodeKindFromString(kind),
+        node.stringOr("name", kind), ratingOf(node),
+        node.numberOr("derate", 1.0));
+    if (const util::Json *children = node.find("children")) {
+        for (const auto &child : children->asArray())
+            addNode(tree, id, child);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<topo::PowerTree>
+loadPowerTree(const util::Json &spec)
+{
+    const int feed = static_cast<int>(spec.at("feed").asNumber());
+    const int phase = static_cast<int>(spec.numberOr("phase", 0.0));
+    const std::string name = spec.stringOr(
+        "name", "feed" + std::to_string(feed) + ".phase"
+                    + std::to_string(phase));
+    auto tree = std::make_unique<topo::PowerTree>(feed, phase, name);
+
+    const util::Json &root = spec.at("root");
+    const std::string kind = root.at("kind").asString();
+    if (kind == "supply")
+        util::fatal("config: tree root cannot be a supply port");
+    tree->makeRoot(nodeKindFromString(kind),
+                   root.stringOr("name", name + ".root"), ratingOf(root),
+                   root.numberOr("derate", 1.0));
+    if (const util::Json *children = root.find("children")) {
+        for (const auto &child : children->asArray())
+            addNode(*tree, tree->root(), child);
+    }
+    return tree;
+}
+
+namespace {
+
+util::Json
+nodeToJson(const topo::PowerTree &tree, topo::NodeId id)
+{
+    const auto &n = tree.node(id);
+    util::Json::Object obj;
+    if (n.kind == topo::NodeKind::SupplyPort) {
+        obj.emplace("kind", util::Json(std::string("supply")));
+        obj.emplace("name", util::Json(n.name));
+        obj.emplace("server",
+                    util::Json(static_cast<double>(n.supplyRef->server)));
+        obj.emplace("supply",
+                    util::Json(static_cast<double>(n.supplyRef->supply)));
+    } else {
+        obj.emplace("kind",
+                    util::Json(std::string(topo::nodeKindName(n.kind))));
+        obj.emplace("name", util::Json(n.name));
+    }
+    if (n.rating == topo::kUnlimited)
+        obj.emplace("rating", util::Json(std::string("unlimited")));
+    else
+        obj.emplace("rating", util::Json(n.rating));
+    if (n.derate != 1.0)
+        obj.emplace("derate", util::Json(n.derate));
+    if (!n.children.empty()) {
+        util::Json::Array children;
+        children.reserve(n.children.size());
+        for (const auto c : n.children)
+            children.push_back(nodeToJson(tree, c));
+        obj.emplace("children", util::Json(std::move(children)));
+    }
+    return util::Json(std::move(obj));
+}
+
+} // namespace
+
+util::Json
+powerTreeToJson(const topo::PowerTree &tree)
+{
+    util::Json::Object obj;
+    obj.emplace("feed", util::Json(static_cast<double>(tree.feed())));
+    obj.emplace("phase", util::Json(static_cast<double>(tree.phase())));
+    obj.emplace("name", util::Json(tree.name()));
+    obj.emplace("root", nodeToJson(tree, tree.root()));
+    return util::Json(std::move(obj));
+}
+
+namespace {
+
+std::unique_ptr<dev::Workload>
+loadWorkload(const util::Json &spec)
+{
+    const std::string type = spec.stringOr("type", "constant");
+    if (type == "constant") {
+        return std::make_unique<dev::ConstantWorkload>(
+            spec.numberOr("utilization", 0.5));
+    }
+    if (type == "steps") {
+        std::vector<std::pair<Seconds, Fraction>> steps;
+        for (const auto &step : spec.at("steps").asArray()) {
+            const auto &pair = step.asArray();
+            if (pair.size() != 2)
+                util::fatal("config: workload step must be [time, u]");
+            steps.emplace_back(
+                static_cast<Seconds>(pair[0].asNumber()),
+                pair[1].asNumber());
+        }
+        return std::make_unique<dev::StepWorkload>(std::move(steps));
+    }
+    if (type == "sine") {
+        return std::make_unique<dev::SineWorkload>(
+            spec.numberOr("mean", 0.5), spec.numberOr("amplitude", 0.2),
+            static_cast<Seconds>(spec.numberOr("period", 3600.0)));
+    }
+    if (type == "trace") {
+        const auto period = static_cast<Seconds>(
+            spec.numberOr("samplePeriod", 60.0));
+        if (const util::Json *file = spec.find("file")) {
+            return std::make_unique<dev::TraceWorkload>(
+                dev::TraceWorkload::loadTraceFile(file->asString()),
+                period);
+        }
+        std::vector<Fraction> samples;
+        for (const auto &v : spec.at("samples").asArray())
+            samples.push_back(v.asNumber());
+        return std::make_unique<dev::TraceWorkload>(std::move(samples),
+                                                    period);
+    }
+    if (type == "randomwalk") {
+        return std::make_unique<dev::RandomWalkWorkload>(
+            spec.numberOr("start", 0.5), spec.numberOr("step", 0.02),
+            util::Rng(static_cast<std::uint64_t>(
+                spec.numberOr("seed", 1.0))));
+    }
+    util::fatal("config: unknown workload type \"%s\"", type.c_str());
+}
+
+sim::ServerSetup
+loadServer(const util::Json &spec, std::size_t index)
+{
+    sim::ServerSetup setup;
+    dev::ServerSpec &s = setup.spec;
+    s.name = spec.stringOr("name", "server" + std::to_string(index));
+    s.idle = spec.numberOr("idle", 160.0);
+    s.capMin = spec.numberOr("capMin", 270.0);
+    s.capMax = spec.numberOr("capMax", 490.0);
+    s.priority = static_cast<Priority>(spec.numberOr("priority", 0.0));
+    s.gamma = spec.numberOr("gamma", 2.7);
+    s.hotSpareEnabled = spec.boolOr("hotSpare", false);
+    s.standbyThreshold = spec.numberOr("standbyThreshold", 0.0);
+
+    if (const util::Json *supplies = spec.find("supplies")) {
+        s.supplies.clear();
+        for (const auto &sup : supplies->asArray()) {
+            dev::SupplySpec ss;
+            ss.loadShare = sup.numberOr("share", 0.5);
+            ss.efficiency = sup.numberOr("efficiency", 0.94);
+            // Optional 80 Plus-style curve (see SupplySpec).
+            ss.ratedPower = sup.numberOr("ratedPower", 0.0);
+            ss.efficiencyAt20 = sup.numberOr("efficiencyAt20", 0.90);
+            ss.efficiencyAt50 = sup.numberOr("efficiencyAt50", 0.94);
+            ss.efficiencyAt100 = sup.numberOr("efficiencyAt100", 0.91);
+            s.supplies.push_back(ss);
+        }
+    }
+
+    if (const util::Json *workload = spec.find("workload"))
+        setup.workload = loadWorkload(*workload);
+    else
+        setup.workload = std::make_unique<dev::ConstantWorkload>(0.5);
+    return setup;
+}
+
+policy::PolicyKind
+policyFromString(const std::string &name)
+{
+    if (name == "global")
+        return policy::PolicyKind::GlobalPriority;
+    if (name == "local")
+        return policy::PolicyKind::LocalPriority;
+    if (name == "none" || name == "noPriority")
+        return policy::PolicyKind::NoPriority;
+    util::fatal("config: unknown policy \"%s\" (use global/local/none)",
+                name.c_str());
+}
+
+} // namespace
+
+LoadedScenario
+loadScenario(const util::Json &doc)
+{
+    LoadedScenario scenario;
+
+    const int feeds = static_cast<int>(doc.numberOr("feeds", 1.0));
+    scenario.system = std::make_unique<topo::PowerSystem>(feeds);
+    for (const auto &tree_spec : doc.at("trees").asArray())
+        scenario.system->addTree(loadPowerTree(tree_spec));
+    scenario.system->validate();
+
+    // Advisory: flag breaker-coordination problems in the declared
+    // topology (a downstream breaker rated at or above its parent
+    // cannot be guaranteed to trip first).
+    for (const auto &tree : scenario.system->trees()) {
+        for (const auto &v : topo::checkSelectivity(*tree)) {
+            util::warn("config: %s: child breaker %s is rated at %.0f%% "
+                       "of its parent %s (selectivity violation)",
+                       tree->name().c_str(),
+                       tree->node(v.child).name.c_str(), 100.0 * v.ratio,
+                       tree->node(v.parent).name.c_str());
+        }
+    }
+
+    const auto &servers = doc.at("servers").asArray();
+    scenario.servers.reserve(servers.size());
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        scenario.servers.push_back(loadServer(servers[i], i));
+
+    if (const util::Json *service = doc.find("service")) {
+        scenario.service.policy =
+            policyFromString(service->stringOr("policy", "global"));
+        scenario.service.controlPeriod = static_cast<Seconds>(
+            service->numberOr("controlPeriodSeconds", 8.0));
+        scenario.service.enableSpo = service->boolOr("spo", true);
+        scenario.service.adaptiveFeedBalance =
+            service->boolOr("adaptiveFeedBalance", false);
+        scenario.service.totalPerPhaseBudget =
+            service->numberOr("totalPerPhaseBudget", 0.0);
+        scenario.service.capping.gain =
+            service->numberOr("gain", 1.0);
+        scenario.service.emergencyFastPath =
+            service->boolOr("emergencyFastPath", false);
+    }
+
+    scenario.rootBudgets.assign(scenario.system->trees().size(), 0.0);
+    if (const util::Json *budgets = doc.find("budgets")) {
+        if (const util::Json *per_tree = budgets->find("perTree")) {
+            const auto &values = per_tree->asArray();
+            if (values.size() != scenario.rootBudgets.size()) {
+                util::fatal("config: budgets.perTree has %zu entries for "
+                            "%zu trees", values.size(),
+                            scenario.rootBudgets.size());
+            }
+            for (std::size_t t = 0; t < values.size(); ++t)
+                scenario.rootBudgets[t] = values[t].asNumber();
+        } else if (const util::Json *total =
+                       budgets->find("totalPerPhase")) {
+            scenario.totalPerPhase = total->asNumber();
+            const int live = scenario.system->liveFeeds();
+            for (std::size_t t = 0;
+                 t < scenario.system->trees().size(); ++t) {
+                scenario.rootBudgets[t] =
+                    *scenario.totalPerPhase / live;
+            }
+            if (scenario.service.adaptiveFeedBalance
+                && scenario.service.totalPerPhaseBudget == 0.0) {
+                scenario.service.totalPerPhaseBudget =
+                    *scenario.totalPerPhase;
+            }
+        } else {
+            util::fatal("config: budgets needs perTree or totalPerPhase");
+        }
+    }
+
+    // Cross-check: every supply referenced by the topology must belong
+    // to a declared server/supply.
+    for (const auto &tree : scenario.system->trees()) {
+        for (const auto &ref : tree->suppliesUnder(tree->root())) {
+            const auto sid = static_cast<std::size_t>(ref.server);
+            if (sid >= scenario.servers.size()) {
+                util::fatal("config: topology references server %d but "
+                            "only %zu servers are declared", ref.server,
+                            scenario.servers.size());
+            }
+            const auto sup = static_cast<std::size_t>(ref.supply);
+            if (sup >= scenario.servers[sid].spec.supplies.size()) {
+                util::fatal("config: topology references supply %d.%d "
+                            "but server %d has %zu supplies", ref.server,
+                            ref.supply, ref.server,
+                            scenario.servers[sid].spec.supplies.size());
+            }
+        }
+    }
+    return scenario;
+}
+
+LoadedScenario
+loadScenarioFile(const std::string &path)
+{
+    return loadScenario(util::parseJsonFile(path));
+}
+
+sim::ClosedLoopSim
+makeSimulation(LoadedScenario scenario, std::uint64_t seed)
+{
+    const std::size_t server_count = scenario.servers.size();
+    sim::ClosedLoopSim simulation(std::move(scenario.system),
+                                  std::move(scenario.servers),
+                                  scenario.service, seed);
+    simulation.setRootBudgets(scenario.rootBudgets);
+
+    // A declared supply with no outlet in the topology is physically
+    // unconnected: mark it failed so the model never draws through it
+    // (e.g., the single-corded servers of the Figure 7a testbed).
+    for (std::size_t i = 0; i < server_count; ++i) {
+        auto &server = simulation.server(i);
+        const auto ports = simulation.system().livePortsOf(
+            static_cast<std::int32_t>(i));
+        for (std::size_t s = 0; s < server.supplyCount(); ++s) {
+            if (!ports.count(static_cast<std::int32_t>(s)))
+                server.setSupplyState(s, dev::SupplyState::Failed);
+        }
+    }
+    return simulation;
+}
+
+} // namespace capmaestro::config

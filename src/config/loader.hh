@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Declarative scenario configuration: JSON in, a runnable CapMaestro
+ * deployment out. This is the adoption surface for operators: describe
+ * the power topology, the server fleet and its workloads, and the
+ * control-plane settings in one file, then run it with the bundled
+ * `capmaestro_run` tool or embed the loader in your own harness.
+ *
+ * Schema (see configs/ for complete examples):
+ *
+ * {
+ *   "feeds": 2,
+ *   "trees": [
+ *     { "feed": 0, "phase": 0, "name": "X",
+ *       "root": { "kind": "breaker", "name": "top", "rating": 1400,
+ *                 "children": [
+ *                   { "kind": "supply", "server": 0, "supply": 0 } ] } }
+ *   ],
+ *   "servers": [
+ *     { "name": "S0", "idle": 160, "capMin": 270, "capMax": 490,
+ *       "priority": 1,
+ *       "supplies": [ { "share": 0.5 }, { "share": 0.5 } ],
+ *       "workload": { "type": "constant", "utilization": 0.9 } }
+ *   ],
+ *   "service": { "policy": "global", "controlPeriodSeconds": 8,
+ *                "spo": true },
+ *   "budgets": { "totalPerPhase": 1400 }   // or "perTree": [700, 700]
+ * }
+ *
+ * Node kinds: contractual, ats, transformer, ups, rpp, cdu, breaker,
+ * supply. A rating of "unlimited" (or an omitted rating) means the node
+ * imposes no limit. Workload types: constant, steps, sine, randomwalk.
+ */
+
+#ifndef CAPMAESTRO_CONFIG_LOADER_HH
+#define CAPMAESTRO_CONFIG_LOADER_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/service.hh"
+#include "sim/closed_loop.hh"
+#include "topology/power_system.hh"
+#include "util/json.hh"
+
+namespace capmaestro::config {
+
+/** Everything needed to instantiate a deployment or simulation. */
+struct LoadedScenario
+{
+    std::unique_ptr<topo::PowerSystem> system;
+    std::vector<sim::ServerSetup> servers;
+    core::ServiceConfig service;
+    /** Root budget per tree (resolved from either budgets form). */
+    std::vector<Watts> rootBudgets;
+    /** Present when the config used the totalPerPhase form. */
+    std::optional<Watts> totalPerPhase;
+};
+
+/** Build a scenario from a parsed JSON document. */
+LoadedScenario loadScenario(const util::Json &doc);
+
+/**
+ * Parse a single power tree from its JSON spec (the element format of
+ * the top-level "trees" array). Used by tools that work on topologies
+ * without a full scenario (e.g., capmaestro_audit).
+ */
+std::unique_ptr<topo::PowerTree> loadPowerTree(const util::Json &spec);
+
+/**
+ * Serialize a power tree back to the config schema (the inverse of
+ * loadPowerTree). Round-trips structure, names, ratings, derates, and
+ * supply references.
+ */
+util::Json powerTreeToJson(const topo::PowerTree &tree);
+
+/** Convenience: parse @p path and build the scenario. */
+LoadedScenario loadScenarioFile(const std::string &path);
+
+/** Instantiate a ClosedLoopSim from a loaded scenario. */
+sim::ClosedLoopSim makeSimulation(LoadedScenario scenario,
+                                  std::uint64_t seed = 1);
+
+} // namespace capmaestro::config
+
+#endif // CAPMAESTRO_CONFIG_LOADER_HH

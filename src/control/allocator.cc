@@ -1,0 +1,237 @@
+#include "control/allocator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+
+namespace capmaestro::ctrl {
+
+FleetAllocator::FleetAllocator(const topo::PowerSystem &system,
+                               TreePolicy policy)
+    : system_(system)
+{
+    trees_.reserve(system_.trees().size());
+    for (const auto &t : system_.trees())
+        trees_.push_back(std::make_unique<ControlTree>(*t, policy));
+}
+
+const ControlTree &
+FleetAllocator::tree(std::size_t index) const
+{
+    if (index >= trees_.size())
+        util::panic("FleetAllocator: bad tree index %zu", index);
+    return *trees_[index];
+}
+
+std::vector<Fraction>
+FleetAllocator::effectiveShares(const ServerAllocInput &server,
+                                std::int32_t server_id) const
+{
+    std::vector<Fraction> shares(server.supplies.size(), 0.0);
+    const auto live_ports = system_.livePortsOf(server_id);
+
+    double live_sum = 0.0;
+    for (std::size_t s = 0; s < server.supplies.size(); ++s) {
+        const auto port =
+            live_ports.find(static_cast<std::int32_t>(s));
+        const bool feed_live = port != live_ports.end();
+        if (feed_live && server.supplies[s].live)
+            live_sum += server.supplies[s].share;
+    }
+    if (live_sum <= 0.0)
+        return shares; // server is dark
+
+    for (std::size_t s = 0; s < server.supplies.size(); ++s) {
+        const auto port =
+            live_ports.find(static_cast<std::int32_t>(s));
+        const bool feed_live = port != live_ports.end();
+        if (feed_live && server.supplies[s].live)
+            shares[s] = server.supplies[s].share / live_sum;
+    }
+    return shares;
+}
+
+void
+FleetAllocator::pushLeafInputs(
+    const std::vector<ServerAllocInput> &servers,
+    const std::vector<std::vector<Fraction>> &shares)
+{
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+        ControlTree &tree = *trees_[t];
+        for (const auto &ref : tree.leafRefs()) {
+            const auto sid = static_cast<std::size_t>(ref.server);
+            if (sid >= servers.size()) {
+                util::fatal("FleetAllocator: topology references server %d "
+                            "but only %zu inputs given", ref.server,
+                            servers.size());
+            }
+            const ServerAllocInput &in = servers[sid];
+            const auto sup = static_cast<std::size_t>(ref.supply);
+            const Fraction r =
+                sup < shares[sid].size() ? shares[sid][sup] : 0.0;
+
+            LeafInput leaf;
+            if (r <= 0.0) {
+                leaf.live = false;
+            } else {
+                const Watts demand_eff = std::max(in.demand, in.capMin);
+                leaf.live = true;
+                leaf.priority = in.priority;
+                leaf.capMin = r * in.capMin;
+                leaf.demand = r * std::min(demand_eff, in.capMax);
+                leaf.constraint = r * in.capMax;
+            }
+            tree.setLeafInput(ref, leaf);
+        }
+    }
+}
+
+void
+FleetAllocator::runPass(const std::vector<Watts> &root_budgets,
+                        FleetAllocation &out)
+{
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+        if (system_.feedFailed(system_.tree(t).feed()))
+            continue;
+        trees_[t]->gather();
+        const auto outcome = trees_[t]->allocate(root_budgets[t]);
+        if (!outcome.feasible)
+            out.feasible = false;
+    }
+}
+
+void
+FleetAllocator::deriveServerCaps(
+    const std::vector<ServerAllocInput> &servers,
+    const std::vector<std::vector<Fraction>> &shares,
+    FleetAllocation &out) const
+{
+    out.servers.assign(servers.size(), ServerAllocation{});
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        const ServerAllocInput &in = servers[i];
+        ServerAllocation &alloc = out.servers[i];
+        alloc.supplyBudget.assign(in.supplies.size(), 0.0);
+        alloc.effectiveDemand =
+            util::clamp(std::max(in.demand, in.capMin), in.capMin,
+                        in.capMax);
+
+        const auto live_ports =
+            system_.livePortsOf(static_cast<std::int32_t>(i));
+        Watts binding = topo::kUnlimited;
+        bool any_live = false;
+        for (const auto &[sup, loc] : live_ports) {
+            const auto s = static_cast<std::size_t>(sup);
+            const Fraction r = s < shares[i].size() ? shares[i][s] : 0.0;
+            if (r <= 0.0)
+                continue;
+            const Watts budget = trees_[loc.tree]->leafBudget(
+                {static_cast<std::int32_t>(i), sup});
+            alloc.supplyBudget[s] = budget;
+            binding = std::min(binding, budget / r);
+            any_live = true;
+        }
+
+        if (!any_live) {
+            alloc.enforceableCapAc = 0.0;
+            alloc.capped = true;
+            continue;
+        }
+
+        alloc.enforceableCapAc =
+            util::clamp(binding, in.capMin, in.capMax);
+        alloc.capped =
+            alloc.enforceableCapAc < alloc.effectiveDemand - 1e-6;
+    }
+}
+
+FleetAllocation
+FleetAllocator::allocate(const std::vector<ServerAllocInput> &servers,
+                         const std::vector<Watts> &root_budgets,
+                         bool enable_spo, Watts spo_threshold,
+                         int max_passes)
+{
+    if (root_budgets.size() != trees_.size())
+        util::fatal("FleetAllocator: %zu root budgets for %zu trees",
+                    root_budgets.size(), trees_.size());
+    if (max_passes < 1)
+        util::fatal("FleetAllocator: max_passes must be >= 1");
+
+    FleetAllocation out;
+
+    std::vector<std::vector<Fraction>> shares(servers.size());
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        shares[i] = effectiveShares(servers[i],
+                                    static_cast<std::int32_t>(i));
+
+    pushLeafInputs(servers, shares);
+    runPass(root_budgets, out);
+    deriveServerCaps(servers, shares, out);
+
+    if (!enable_spo)
+        return out;
+
+    // Stranded-power optimization: on capped servers, any live supply
+    // whose budget exceeds what the binding supply lets the server draw
+    // holds stranded power. Pin those supplies to their usable
+    // consumption and re-run the allocation so the freed power reaches
+    // capped servers. Reclaiming on one feed can shift another server's
+    // binding supply and strand budget elsewhere, so iterate (up to
+    // max_passes total) until no new stranded power appears; the paper's
+    // configuration is exactly one re-run (max_passes = 2).
+    std::vector<Watts> stranded_first_pass(servers.size(), 0.0);
+    while (out.passes < max_passes) {
+        bool any_stranded = false;
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+            ServerAllocation &alloc = out.servers[i];
+            if (!alloc.capped)
+                continue;
+            const Watts usable_total =
+                std::min(alloc.enforceableCapAc, alloc.effectiveDemand);
+            for (std::size_t s = 0; s < alloc.supplyBudget.size(); ++s) {
+                const Fraction r = shares[i][s];
+                if (r <= 0.0)
+                    continue;
+                const Watts consumption = r * usable_total;
+                const Watts stranded =
+                    alloc.supplyBudget[s] - consumption;
+                if (stranded <= spo_threshold)
+                    continue;
+                any_stranded = true;
+                if (out.passes == 1)
+                    stranded_first_pass[i] += stranded;
+                out.strandedReclaimed += stranded;
+                // Pin this supply's next-pass metrics to consumption.
+                const auto ports =
+                    system_.livePortsOf(static_cast<std::int32_t>(i));
+                const auto it =
+                    ports.find(static_cast<std::int32_t>(s));
+                if (it == ports.end())
+                    continue;
+                LeafInput pinned;
+                pinned.live = true;
+                pinned.priority = servers[i].priority;
+                pinned.capMin = consumption;
+                pinned.demand = consumption;
+                pinned.constraint = consumption;
+                trees_[it->second.tree]->setLeafInput(
+                    {static_cast<std::int32_t>(i),
+                     static_cast<std::int32_t>(s)},
+                    pinned);
+            }
+        }
+        if (!any_stranded)
+            break;
+
+        runPass(root_budgets, out);
+        deriveServerCaps(servers, shares, out);
+        ++out.passes;
+    }
+
+    for (std::size_t i = 0; i < servers.size(); ++i)
+        out.servers[i].strandedBeforeSpo = stranded_first_pass[i];
+    return out;
+}
+
+} // namespace capmaestro::ctrl

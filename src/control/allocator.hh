@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fleet-level budget allocation across all control trees, including the
+ * stranded-power optimization (paper §4.4).
+ *
+ * The FleetAllocator runs the global priority-aware capping algorithm on
+ * every live (feed, phase) control tree, derives each server's enforceable
+ * total cap from its per-supply budgets (the most-constrained supply
+ * binds), detects stranded power, and optionally re-runs the allocation
+ * with stranded budgets released.
+ *
+ * It is used both by the large-scale capacity simulations (§6.4), which
+ * feed it analytic demands, and by the closed-loop control plane, which
+ * feeds it sensor-estimated demands.
+ */
+
+#ifndef CAPMAESTRO_CONTROL_ALLOCATOR_HH
+#define CAPMAESTRO_CONTROL_ALLOCATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "control/control_tree.hh"
+#include "topology/power_system.hh"
+#include "util/units.hh"
+
+namespace capmaestro::ctrl {
+
+/** Per-supply allocation input. */
+struct SupplyAllocInput
+{
+    /** Share of total server AC load on this supply (sums to 1 if live). */
+    Fraction share = 0.5;
+    /** False when the supply itself has failed. */
+    bool live = true;
+};
+
+/** Per-server allocation input (AC totals). */
+struct ServerAllocInput
+{
+    Priority priority = 0;
+    Watts capMin = 0.0;
+    Watts capMax = 0.0;
+    /** Uncapped demand at the current workload. */
+    Watts demand = 0.0;
+    std::vector<SupplyAllocInput> supplies;
+};
+
+/** Per-server allocation result. */
+struct ServerAllocation
+{
+    /** Budget per supply (0 for dead supplies / dead feeds). */
+    std::vector<Watts> supplyBudget;
+    /**
+     * Total AC cap the server can actually enforce: the most-constrained
+     * supply binds, i.e. min over live supplies of budget / share,
+     * clamped to [capMin, capMax].
+     */
+    Watts enforceableCapAc = 0.0;
+    /** Effective demand (demand raised to at least capMin). */
+    Watts effectiveDemand = 0.0;
+    /** True when the cap bites (enforceableCapAc < effectiveDemand). */
+    bool capped = false;
+    /** Stranded power detected before SPO (sum over supplies). */
+    Watts strandedBeforeSpo = 0.0;
+};
+
+/** Result of a full fleet allocation. */
+struct FleetAllocation
+{
+    std::vector<ServerAllocation> servers;
+    /** False when any tree could not cover its Pcap_min floors. */
+    bool feasible = true;
+    /** Number of allocation passes run (2 when SPO triggered). */
+    int passes = 1;
+    /** Total stranded power reclaimed by SPO across the fleet. */
+    Watts strandedReclaimed = 0.0;
+};
+
+/** Fleet-level allocator over a PowerSystem. */
+class FleetAllocator
+{
+  public:
+    /**
+     * @param system  power system whose trees to control (not owned)
+     * @param policy  priority-awareness flags for every tree
+     */
+    FleetAllocator(const topo::PowerSystem &system, TreePolicy policy);
+
+    /**
+     * Run the capping algorithm.
+     *
+     * @param servers       per-server inputs, indexed by server id matching
+     *                      the ServerSupplyRefs in the power system
+     * @param root_budgets  root budget per tree (indexed like
+     *                      system.trees()); trees on failed feeds are
+     *                      skipped regardless
+     * @param enable_spo    run the stranded-power optimization second pass
+     * @param spo_threshold minimum per-supply stranded watts to act on
+     * @param max_passes    total allocation passes allowed: 2 is the
+     *                      paper's design (one SPO re-run); higher values
+     *                      iterate until no new stranded power appears,
+     *                      catching cross-feed chains where reclaiming on
+     *                      one feed shifts a server's binding supply and
+     *                      strands budget elsewhere
+     */
+    FleetAllocation allocate(const std::vector<ServerAllocInput> &servers,
+                             const std::vector<Watts> &root_budgets,
+                             bool enable_spo = true,
+                             Watts spo_threshold = 1.0,
+                             int max_passes = 2);
+
+    /** Access a control tree (e.g., to read interior node budgets). */
+    const ControlTree &tree(std::size_t index) const;
+
+    /** Number of trees. */
+    std::size_t treeCount() const { return trees_.size(); }
+
+  private:
+    const topo::PowerSystem &system_;
+    std::vector<std::unique_ptr<ControlTree>> trees_;
+
+    /** Effective per-supply shares for a server given live feeds. */
+    std::vector<Fraction>
+    effectiveShares(const ServerAllocInput &server,
+                    std::int32_t server_id) const;
+
+    void pushLeafInputs(const std::vector<ServerAllocInput> &servers,
+                        const std::vector<std::vector<Fraction>> &shares);
+
+    void runPass(const std::vector<Watts> &root_budgets,
+                 FleetAllocation &out);
+
+    void deriveServerCaps(const std::vector<ServerAllocInput> &servers,
+                          const std::vector<std::vector<Fraction>> &shares,
+                          FleetAllocation &out) const;
+};
+
+} // namespace capmaestro::ctrl
+
+#endif // CAPMAESTRO_CONTROL_ALLOCATOR_HH

@@ -1,0 +1,74 @@
+#include "control/demand_estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/numeric.hh"
+
+namespace capmaestro::ctrl {
+
+DemandEstimator::DemandEstimator(DemandEstimatorConfig config)
+    : config_(config), window_(config.windowLength)
+{
+}
+
+void
+DemandEstimator::addSample(double throttle_level, Watts total_ac_power)
+{
+    window_.add(throttle_level, total_ac_power);
+    maxObserved_ = primed_ ? std::max(maxObserved_, total_ac_power)
+                           : total_ac_power;
+    primed_ = true;
+    refresh();
+}
+
+void
+DemandEstimator::refresh()
+{
+    if (config_.mode == DemandEstimatorMode::LastMeasured) {
+        sticky_ = util::clamp(window_.meanY(), config_.minEstimate,
+                              config_.maxEstimate);
+        return;
+    }
+
+    const double mean_throttle = window_.meanX();
+    const double spread = window_.stddevX();
+
+    if (mean_throttle < config_.unthrottledLevel) {
+        // Unthrottled: measured power *is* the demand. This regime tracks
+        // decreases, so light workloads release their budgets.
+        sticky_ = window_.meanY();
+    } else if (spread >= config_.minThrottleSpread) {
+        // Throttled with enough excitation for a fit: extrapolate to 0 %
+        // throttle. Never estimate below power the window actually saw.
+        const auto fit = window_.fit();
+        if (fit)
+            sticky_ = std::max(fit->intercept, window_.maxY());
+    } else {
+        // Steady capped state: the window carries no information about the
+        // uncapped demand, so hold the last good estimate. Raise it if the
+        // capped draw itself exceeds it (estimate was stale-low).
+        sticky_ = std::max(sticky_, window_.maxY());
+    }
+    sticky_ = util::clamp(sticky_, config_.minEstimate,
+                          config_.maxEstimate);
+}
+
+Watts
+DemandEstimator::estimate() const
+{
+    if (!primed_)
+        return config_.minEstimate;
+    return sticky_;
+}
+
+void
+DemandEstimator::reset()
+{
+    window_.clear();
+    sticky_ = 0.0;
+    maxObserved_ = 0.0;
+    primed_ = false;
+}
+
+} // namespace capmaestro::ctrl

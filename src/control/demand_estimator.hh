@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Server power-demand estimation from throttle/power telemetry (paper §5).
+ *
+ * The capping controller regresses per-second observations of total server
+ * AC power against the node-manager throttle level over a 16-sample window
+ * and extrapolates to 0 % throttle to estimate the uncapped demand. When
+ * the server is observed unthrottled the measured power is used directly.
+ * When the window is degenerate (steady capped state, no throttle spread)
+ * the estimator holds its last good estimate rather than collapsing to the
+ * capped power.
+ */
+
+#ifndef CAPMAESTRO_CONTROL_DEMAND_ESTIMATOR_HH
+#define CAPMAESTRO_CONTROL_DEMAND_ESTIMATOR_HH
+
+#include "util/regression.hh"
+#include "util/units.hh"
+
+namespace capmaestro::ctrl {
+
+/** Estimation strategies (the paper's method plus ablation baselines). */
+enum class DemandEstimatorMode {
+    /** §5: regression vs. throttle, extrapolated to 0 % (default). */
+    Regression,
+    /**
+     * Naive baseline: the demand estimate is simply the latest windowed
+     * power measurement. Under a cap this ratchets the estimate down to
+     * the capped power, so released budget is never re-requested — the
+     * failure mode that motivates the paper's estimator (ablation A7).
+     */
+    LastMeasured,
+};
+
+/** Tunables for DemandEstimator. */
+struct DemandEstimatorConfig
+{
+    DemandEstimatorMode mode = DemandEstimatorMode::Regression;
+    /** Regression window length in samples (paper: 16 s at 1 Hz). */
+    std::size_t windowLength = 16;
+    /** Throttle below which the server counts as unthrottled. */
+    double unthrottledLevel = 0.005;
+    /** Minimum x-spread (throttle stddev proxy) for a usable fit. */
+    double minThrottleSpread = 0.01;
+    /** Hard bounds applied to every estimate (server capabilities). */
+    Watts minEstimate = 0.0;
+    Watts maxEstimate = 1e9;
+};
+
+/** Online demand estimator for one server. */
+class DemandEstimator
+{
+  public:
+    explicit DemandEstimator(DemandEstimatorConfig config = {});
+
+    /** Feed one telemetry sample (typically once per second). */
+    void addSample(double throttle_level, Watts total_ac_power);
+
+    /**
+     * Current demand estimate. Falls back to the last good estimate, and
+     * before any good estimate exists, to the largest observed power.
+     */
+    Watts estimate() const;
+
+    /** Drop all history (e.g., after a workload migration). */
+    void reset();
+
+    /** True once at least one sample has been observed. */
+    bool primed() const { return primed_; }
+
+  private:
+    DemandEstimatorConfig config_;
+    util::SlidingRegression window_;
+    Watts sticky_ = 0.0;
+    Watts maxObserved_ = 0.0;
+    bool primed_ = false;
+
+    /** Recompute sticky_ from the current window. */
+    void refresh();
+};
+
+} // namespace capmaestro::ctrl
+
+#endif // CAPMAESTRO_CONTROL_DEMAND_ESTIMATOR_HH

@@ -1,0 +1,326 @@
+#include "core/distributed.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace capmaestro::core {
+
+// ---------------------------------------------------------------- RackWorker
+
+RackWorker::RackWorker(const topo::PowerSystem &system,
+                       std::vector<topo::NodeId> edge_nodes,
+                       ctrl::TreePolicy policy)
+    : system_(system), policy_(policy)
+{
+    edges_.resize(edge_nodes.size());
+    for (std::size_t t = 0; t < edge_nodes.size(); ++t) {
+        Edge &edge = edges_[t];
+        edge.node = edge_nodes[t];
+        if (edge.node == topo::kNoNode)
+            continue;
+        const auto &tree = system_.tree(t);
+        for (const topo::NodeId c : tree.node(edge.node).children) {
+            const auto &child = tree.node(c);
+            if (child.kind != topo::NodeKind::SupplyPort) {
+                util::fatal("RackWorker: edge node %s has a non-leaf "
+                            "child; mixed fan-out is not partitionable",
+                            tree.node(edge.node).name.c_str());
+            }
+            edge.leaves.push_back(*child.supplyRef);
+            ctrl::LeafInput dead;
+            dead.live = false;
+            edge.inputs.push_back(dead);
+        }
+        edge.leafMetrics.resize(edge.leaves.size());
+        edge.leafBudgets.assign(edge.leaves.size(), 0.0);
+    }
+}
+
+void
+RackWorker::setLeafInput(std::size_t tree,
+                         const topo::ServerSupplyRef &ref,
+                         const ctrl::LeafInput &input)
+{
+    Edge &edge = edges_.at(tree);
+    for (std::size_t i = 0; i < edge.leaves.size(); ++i) {
+        if (edge.leaves[i] == ref) {
+            edge.inputs[i] = input;
+            return;
+        }
+    }
+    util::panic("RackWorker: supply %d.%d not under this worker",
+                ref.server, ref.supply);
+}
+
+void
+RackWorker::refreshLeafMetrics(Edge &edge, std::size_t tree)
+{
+    const auto &topo_tree = system_.tree(tree);
+    for (std::size_t i = 0; i < edge.leaves.size(); ++i) {
+        ctrl::NodeMetrics m;
+        const ctrl::LeafInput &in = edge.inputs[i];
+        if (in.live) {
+            // Identical to ControlTree's leaf handling.
+            const topo::NodeId leaf_node =
+                topo_tree.node(edge.node).children[i];
+            const Watts demand = std::max(in.demand, in.capMin);
+            const Watts constraint = std::min(
+                in.constraint, topo_tree.node(leaf_node).limit());
+            m.accumulate(in.priority, in.capMin, demand, demand);
+            m.setConstraint(constraint);
+        }
+        edge.leafMetrics[i] = std::move(m);
+    }
+}
+
+ctrl::NodeMetrics
+RackWorker::computeMetrics(std::size_t tree)
+{
+    Edge &edge = edges_.at(tree);
+    if (edge.node == topo::kNoNode)
+        return {};
+    refreshLeafMetrics(edge, tree);
+    const Watts limit = system_.tree(tree).node(edge.node).limit();
+    return ctrl::gatherMetrics(edge.leafMetrics, limit,
+                               policy_.upperPriorityAware);
+}
+
+void
+RackWorker::applyBudget(std::size_t tree, Watts budget)
+{
+    Edge &edge = edges_.at(tree);
+    if (edge.node == topo::kNoNode)
+        return;
+    // Mirror ControlTree: never distribute beyond the device limit.
+    const Watts usable = std::min(
+        budget, system_.tree(tree).node(edge.node).limit());
+    const auto split = ctrl::budgetChildren(usable, edge.leafMetrics,
+                                            policy_.leafPriorityAware);
+    edge.leafBudgets = split.childBudgets;
+}
+
+Watts
+RackWorker::leafBudget(std::size_t tree,
+                       const topo::ServerSupplyRef &ref) const
+{
+    const Edge &edge = edges_.at(tree);
+    for (std::size_t i = 0; i < edge.leaves.size(); ++i) {
+        if (edge.leaves[i] == ref)
+            return edge.leafBudgets[i];
+    }
+    util::panic("RackWorker: supply %d.%d not under this worker",
+                ref.server, ref.supply);
+}
+
+topo::NodeId
+RackWorker::edgeNode(std::size_t tree) const
+{
+    return edges_.at(tree).node;
+}
+
+// ---------------------------------------------------------------- RoomWorker
+
+RoomWorker::RoomWorker(
+    const topo::PowerSystem &system,
+    std::vector<std::map<topo::NodeId, std::size_t>> edge_owner,
+    ctrl::TreePolicy policy)
+    : system_(system), edgeOwner_(std::move(edge_owner)), policy_(policy)
+{
+}
+
+ctrl::NodeMetrics
+RoomWorker::gatherAbove(std::size_t tree, topo::NodeId node,
+                        const std::map<std::size_t, ctrl::NodeMetrics>
+                            &racks,
+                        std::map<topo::NodeId, ctrl::NodeMetrics> &cache)
+{
+    const auto &owners = edgeOwner_.at(tree);
+    const auto owner = owners.find(node);
+    if (owner != owners.end()) {
+        // Edge node: the rack worker's message is this node's metrics.
+        const auto it = racks.find(owner->second);
+        const ctrl::NodeMetrics m =
+            it != racks.end() ? it->second : ctrl::NodeMetrics{};
+        cache[node] = m;
+        return m;
+    }
+
+    const auto &topo_tree = system_.tree(tree);
+    const auto &tn = topo_tree.node(node);
+    std::vector<ctrl::NodeMetrics> children;
+    children.reserve(tn.children.size());
+    for (const topo::NodeId c : tn.children)
+        children.push_back(gatherAbove(tree, c, racks, cache));
+    ctrl::NodeMetrics m = ctrl::gatherMetrics(
+        children, tn.limit(), policy_.upperPriorityAware);
+    cache[node] = m;
+    return m;
+}
+
+void
+RoomWorker::budgetAbove(std::size_t tree, topo::NodeId node, Watts budget,
+                        const std::map<topo::NodeId, ctrl::NodeMetrics>
+                            &cache,
+                        std::map<std::size_t, Watts> &rack_budgets)
+{
+    const auto &owners = edgeOwner_.at(tree);
+    const auto owner = owners.find(node);
+    if (owner != owners.end()) {
+        rack_budgets[owner->second] = budget;
+        return;
+    }
+
+    const auto &topo_tree = system_.tree(tree);
+    const auto &tn = topo_tree.node(node);
+    std::vector<ctrl::NodeMetrics> children;
+    children.reserve(tn.children.size());
+    for (const topo::NodeId c : tn.children)
+        children.push_back(cache.at(c));
+    const Watts usable = std::min(budget, tn.limit());
+    const auto split = ctrl::budgetChildren(usable, children,
+                                            policy_.upperPriorityAware);
+    for (std::size_t i = 0; i < tn.children.size(); ++i) {
+        budgetAbove(tree, tn.children[i], split.childBudgets[i], cache,
+                    rack_budgets);
+    }
+}
+
+std::map<std::size_t, Watts>
+RoomWorker::iterate(std::size_t tree,
+                    const std::map<std::size_t, ctrl::NodeMetrics>
+                        &rack_metrics,
+                    Watts root_budget)
+{
+    const auto &topo_tree = system_.tree(tree);
+    const topo::NodeId root = topo_tree.root();
+
+    std::map<topo::NodeId, ctrl::NodeMetrics> cache;
+    gatherAbove(tree, root, rack_metrics, cache);
+
+    std::map<std::size_t, Watts> rack_budgets;
+    const Watts budget =
+        std::min(root_budget, topo_tree.node(root).limit());
+    budgetAbove(tree, root, budget, cache, rack_budgets);
+    return rack_budgets;
+}
+
+// --------------------------------------------------- DistributedControlPlane
+
+std::vector<std::map<topo::NodeId, std::size_t>>
+DistributedControlPlane::partition(const topo::PowerSystem &system)
+{
+    std::vector<std::map<topo::NodeId, std::size_t>> owners(
+        system.trees().size());
+    for (std::size_t t = 0; t < system.trees().size(); ++t) {
+        std::size_t next = 0;
+        system.tree(t).forEach([&](const topo::TopoNode &n) {
+            bool leaf_parent = false;
+            for (const topo::NodeId c : n.children) {
+                if (system.tree(t).node(c).kind
+                    == topo::NodeKind::SupplyPort) {
+                    leaf_parent = true;
+                }
+            }
+            if (leaf_parent)
+                owners[t][n.id] = next++;
+        });
+    }
+    return owners;
+}
+
+DistributedControlPlane::DistributedControlPlane(
+    const topo::PowerSystem &system, ctrl::TreePolicy policy)
+    : system_(system), policy_(policy),
+      room_(system, partition(system), policy)
+{
+    const auto owners = partition(system);
+    std::size_t rack_count = 0;
+    for (const auto &per_tree : owners) {
+        for (const auto &[node, rack] : per_tree)
+            rack_count = std::max(rack_count, rack + 1);
+    }
+
+    std::vector<std::vector<topo::NodeId>> edges(
+        rack_count,
+        std::vector<topo::NodeId>(system.trees().size(), topo::kNoNode));
+    for (std::size_t t = 0; t < owners.size(); ++t) {
+        for (const auto &[node, rack] : owners[t])
+            edges[rack][t] = node;
+    }
+
+    racks_.reserve(rack_count);
+    for (std::size_t r = 0; r < rack_count; ++r)
+        racks_.emplace_back(system_, edges[r], policy_);
+
+    // Build leaf routing.
+    for (std::size_t t = 0; t < owners.size(); ++t) {
+        for (const auto &[node, rack] : owners[t]) {
+            for (const topo::NodeId c :
+                 system_.tree(t).node(node).children) {
+                const auto &ref = *system_.tree(t).node(c).supplyRef;
+                leafRouting_[{ref.server, ref.supply}] = {t, rack};
+            }
+        }
+    }
+}
+
+void
+DistributedControlPlane::setLeafInput(const topo::ServerSupplyRef &ref,
+                                      const ctrl::LeafInput &input)
+{
+    const auto it = leafRouting_.find({ref.server, ref.supply});
+    if (it == leafRouting_.end())
+        util::panic("DistributedControlPlane: unknown supply %d.%d",
+                    ref.server, ref.supply);
+    racks_[it->second.second].setLeafInput(it->second.first, ref, input);
+}
+
+MessageStats
+DistributedControlPlane::iterate(const std::vector<Watts> &root_budgets)
+{
+    if (root_budgets.size() != system_.trees().size()) {
+        util::fatal("DistributedControlPlane: %zu budgets for %zu trees",
+                    root_budgets.size(), system_.trees().size());
+    }
+
+    MessageStats stats;
+    for (std::size_t t = 0; t < system_.trees().size(); ++t) {
+        if (system_.feedFailed(system_.tree(t).feed()))
+            continue;
+
+        // Upstream: every rack with an edge in this tree sends metrics.
+        std::map<std::size_t, ctrl::NodeMetrics> rack_metrics;
+        for (std::size_t r = 0; r < racks_.size(); ++r) {
+            if (racks_[r].edgeNode(t) == topo::kNoNode)
+                continue;
+            ctrl::NodeMetrics m = racks_[r].computeMetrics(t);
+            ++stats.metricsMessages;
+            stats.metricClassesSent += m.classes().size();
+            rack_metrics.emplace(r, std::move(m));
+        }
+
+        // Room worker computes the upper tree and returns rack budgets.
+        const auto rack_budgets =
+            room_.iterate(t, rack_metrics, root_budgets[t]);
+
+        // Downstream: budgets back to the rack workers.
+        for (const auto &[rack, budget] : rack_budgets) {
+            ++stats.budgetMessages;
+            racks_[rack].applyBudget(t, budget);
+        }
+    }
+    return stats;
+}
+
+Watts
+DistributedControlPlane::leafBudget(const topo::ServerSupplyRef &ref) const
+{
+    const auto it = leafRouting_.find({ref.server, ref.supply});
+    if (it == leafRouting_.end())
+        util::panic("DistributedControlPlane: unknown supply %d.%d",
+                    ref.server, ref.supply);
+    return racks_[it->second.second].leafBudget(it->second.first, ref);
+}
+
+} // namespace capmaestro::core

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Distributed execution of the capping algorithm across worker VMs
+ * (paper §5): rack-level workers own the edge (CDU-level) shifting
+ * controllers and the capping controllers beneath them; a room-level
+ * worker owns everything above (RPPs, transformers, contractual roots).
+ * The two tiers exchange explicit metric/budget messages.
+ *
+ * The distributed plane computes budgets bit-identical to the monolithic
+ * ControlTree (proven by test), while exposing the message counts and
+ * per-worker compute shares that the paper's scalability argument rests
+ * on: each rack worker's work is constant as the center grows, and the
+ * room worker's grows linearly in the number of racks.
+ *
+ * Partitioning rule: within each (feed, phase) tree, the i-th leaf-parent
+ * node (in pre-order) belongs to rack worker i. Structurally parallel
+ * trees — like the Table 4 center, where rack i's CDU is the i-th CDU of
+ * every tree — therefore map each rack's controllers to one worker.
+ */
+
+#ifndef CAPMAESTRO_CORE_DISTRIBUTED_HH
+#define CAPMAESTRO_CORE_DISTRIBUTED_HH
+
+#include <map>
+#include <vector>
+
+#include "control/control_tree.hh"
+#include "control/metrics.hh"
+#include "topology/power_system.hh"
+
+namespace capmaestro::core {
+
+/** Message-exchange accounting for one distributed iteration. */
+struct MessageStats
+{
+    /** Rack -> room metric messages. */
+    std::size_t metricsMessages = 0;
+    /** Room -> rack budget messages. */
+    std::size_t budgetMessages = 0;
+    /** Total priority classes serialized upstream (payload proxy). */
+    std::size_t metricClassesSent = 0;
+};
+
+/**
+ * A rack-level worker: owns, for each tree, one edge shifting controller
+ * (the leaf-parent node) and the supply leaves beneath it.
+ */
+class RackWorker
+{
+  public:
+    /**
+     * @param system      power system (not owned)
+     * @param edge_nodes  for each tree index, the leaf-parent node this
+     *                    worker owns in that tree (kNoNode if none)
+     * @param policy      priority flags (same semantics as ControlTree)
+     */
+    RackWorker(const topo::PowerSystem &system,
+               std::vector<topo::NodeId> edge_nodes,
+               ctrl::TreePolicy policy);
+
+    /** Set a supply leaf's metrics (must live under this worker). */
+    void setLeafInput(std::size_t tree, const topo::ServerSupplyRef &ref,
+                      const ctrl::LeafInput &input);
+
+    /**
+     * Compute the edge controller's upstream metrics for @p tree
+     * (the rack's half of the metrics-gathering phase).
+     */
+    ctrl::NodeMetrics computeMetrics(std::size_t tree);
+
+    /**
+     * Accept the edge controller's budget for @p tree and split it over
+     * the rack's supply leaves (the rack's half of the budgeting phase).
+     */
+    void applyBudget(std::size_t tree, Watts budget);
+
+    /** Budget of one supply leaf after applyBudget(). */
+    Watts leafBudget(std::size_t tree,
+                     const topo::ServerSupplyRef &ref) const;
+
+    /** The edge node this worker owns in @p tree. */
+    topo::NodeId edgeNode(std::size_t tree) const;
+
+  private:
+    struct Edge
+    {
+        topo::NodeId node = topo::kNoNode;
+        /** Leaf refs in child order. */
+        std::vector<topo::ServerSupplyRef> leaves;
+        std::vector<ctrl::LeafInput> inputs;
+        std::vector<ctrl::NodeMetrics> leafMetrics;
+        std::vector<Watts> leafBudgets;
+    };
+
+    const topo::PowerSystem &system_;
+    ctrl::TreePolicy policy_;
+    /** Indexed by tree. */
+    std::vector<Edge> edges_;
+
+    void refreshLeafMetrics(Edge &edge, std::size_t tree);
+};
+
+/**
+ * The room-level worker: runs the shifting controllers above the edge
+ * (rack) level for every tree, consuming rack metric messages and
+ * producing rack budget messages.
+ */
+class RoomWorker
+{
+  public:
+    /**
+     * @param system      power system (not owned)
+     * @param edge_owner  per tree, per edge node: owning rack index
+     * @param policy      priority flags
+     */
+    RoomWorker(const topo::PowerSystem &system,
+               std::vector<std::map<topo::NodeId, std::size_t>> edge_owner,
+               ctrl::TreePolicy policy);
+
+    /**
+     * Run the upper half of one iteration for @p tree: aggregate the
+     * rack metrics upward, then split @p root_budget back down to the
+     * edge nodes. Returns the budget per rack (indexed by rack).
+     */
+    std::map<std::size_t, Watts>
+    iterate(std::size_t tree, const std::map<std::size_t,
+            ctrl::NodeMetrics> &rack_metrics, Watts root_budget);
+
+  private:
+    const topo::PowerSystem &system_;
+    std::vector<std::map<topo::NodeId, std::size_t>> edgeOwner_;
+    ctrl::TreePolicy policy_;
+
+    ctrl::NodeMetrics
+    gatherAbove(std::size_t tree, topo::NodeId node,
+                const std::map<std::size_t, ctrl::NodeMetrics> &racks,
+                std::map<topo::NodeId, ctrl::NodeMetrics> &cache);
+
+    void budgetAbove(std::size_t tree, topo::NodeId node, Watts budget,
+                     const std::map<topo::NodeId, ctrl::NodeMetrics> &cache,
+                     std::map<std::size_t, Watts> &rack_budgets);
+};
+
+/**
+ * The full two-tier control plane: builds the partition, routes
+ * messages, and runs complete iterations. Budgets are bit-identical to
+ * a monolithic ControlTree with the same policy.
+ */
+class DistributedControlPlane
+{
+  public:
+    DistributedControlPlane(const topo::PowerSystem &system,
+                            ctrl::TreePolicy policy);
+
+    /** Number of rack workers discovered by the partitioning rule. */
+    std::size_t rackWorkerCount() const { return racks_.size(); }
+
+    /** Set a supply leaf's metrics (routed to its rack worker). */
+    void setLeafInput(const topo::ServerSupplyRef &ref,
+                      const ctrl::LeafInput &input);
+
+    /**
+     * Run one full distributed iteration (gather + budget on every live
+     * tree) and return the message statistics.
+     */
+    MessageStats iterate(const std::vector<Watts> &root_budgets);
+
+    /** Supply-leaf budget after iterate(). */
+    Watts leafBudget(const topo::ServerSupplyRef &ref) const;
+
+  private:
+    const topo::PowerSystem &system_;
+    ctrl::TreePolicy policy_;
+    std::vector<RackWorker> racks_;
+    RoomWorker room_;
+    /** (server, supply) -> (tree, rack worker). */
+    std::map<std::pair<std::int32_t, std::int32_t>,
+             std::pair<std::size_t, std::size_t>>
+        leafRouting_;
+
+    static std::vector<std::map<topo::NodeId, std::size_t>>
+    partition(const topo::PowerSystem &system);
+};
+
+} // namespace capmaestro::core
+
+#endif // CAPMAESTRO_CORE_DISTRIBUTED_HH

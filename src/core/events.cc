@@ -1,0 +1,67 @@
+#include "core/events.hh"
+
+#include <cstdio>
+
+namespace capmaestro::core {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::FeedFailed:            return "feed-failed";
+      case EventKind::FeedRestored:          return "feed-restored";
+      case EventKind::SupplyFailed:          return "supply-failed";
+      case EventKind::SupplyRestored:        return "supply-restored";
+      case EventKind::BreakerOverloadBegan:  return "overload-began";
+      case EventKind::BreakerOverloadCleared: return "overload-cleared";
+      case EventKind::BreakerTripped:        return "breaker-tripped";
+      case EventKind::BudgetInfeasible:      return "budget-infeasible";
+      case EventKind::SpoReclaimed:          return "spo-reclaimed";
+      case EventKind::UtilityDisturbance:    return "utility-disturbance";
+      case EventKind::UpsBridged:            return "ups-bridged";
+      case EventKind::EmergencyPeriod:       return "emergency-period";
+    }
+    return "unknown";
+}
+
+void
+EventLog::record(Seconds time, EventKind kind, std::string subject,
+                 double value)
+{
+    events_.push_back({time, kind, std::move(subject), value});
+}
+
+std::vector<Event>
+EventLog::ofKind(EventKind kind) const
+{
+    std::vector<Event> out;
+    for (const auto &e : events_) {
+        if (e.kind == kind)
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::size_t
+EventLog::count(EventKind kind) const
+{
+    std::size_t n = 0;
+    for (const auto &e : events_)
+        n += e.kind == kind ? 1 : 0;
+    return n;
+}
+
+void
+EventLog::print(std::ostream &os) const
+{
+    char buf[160];
+    for (const auto &e : events_) {
+        std::snprintf(buf, sizeof(buf), "t=%-6lld %-18s %-24s %.1f\n",
+                      static_cast<long long>(e.time),
+                      eventKindName(e.kind), e.subject.c_str(), e.value);
+        os << buf;
+    }
+    os.flush();
+}
+
+} // namespace capmaestro::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Structured event log for control-plane observability.
+ *
+ * A production power manager must be auditable: when a breaker was
+ * overloaded, when budgets became infeasible, what the stranded-power
+ * optimizer reclaimed, and when failures struck. The simulator and the
+ * service both append typed events here; tools print or filter them.
+ */
+
+#ifndef CAPMAESTRO_CORE_EVENTS_HH
+#define CAPMAESTRO_CORE_EVENTS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace capmaestro::core {
+
+/** Event categories. */
+enum class EventKind {
+    FeedFailed,
+    FeedRestored,
+    SupplyFailed,
+    SupplyRestored,
+    BreakerOverloadBegan,
+    BreakerOverloadCleared,
+    BreakerTripped,
+    BudgetInfeasible,
+    SpoReclaimed,
+    UtilityDisturbance,
+    UpsBridged,
+    EmergencyPeriod,
+};
+
+/** Name of an EventKind. */
+const char *eventKindName(EventKind kind);
+
+/** One logged event. */
+struct Event
+{
+    Seconds time = 0;
+    EventKind kind = EventKind::FeedFailed;
+    /** What the event concerns (feed, breaker, server name). */
+    std::string subject;
+    /** Kind-specific magnitude (watts for overloads/SPO, index, ...). */
+    double value = 0.0;
+};
+
+/** Append-only event log. */
+class EventLog
+{
+  public:
+    /** Append an event. */
+    void record(Seconds time, EventKind kind, std::string subject,
+                double value = 0.0);
+
+    /** All events in record order. */
+    const std::vector<Event> &events() const { return events_; }
+
+    /** Events of one kind. */
+    std::vector<Event> ofKind(EventKind kind) const;
+
+    /** Number of events of one kind. */
+    std::size_t count(EventKind kind) const;
+
+    /** Render one line per event. */
+    void print(std::ostream &os) const;
+
+    /** Drop everything. */
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<Event> events_;
+};
+
+} // namespace capmaestro::core
+
+#endif // CAPMAESTRO_CORE_EVENTS_HH

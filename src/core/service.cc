@@ -1,0 +1,172 @@
+#include "core/service.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace capmaestro::core {
+
+CapMaestroService::CapMaestroService(topo::PowerSystem &system,
+                                     ServiceConfig config)
+    : system_(system), config_(config)
+{
+    allocator_ = std::make_unique<ctrl::FleetAllocator>(
+        system_, policy::treePolicy(config_.policy));
+    rootBudgets_.assign(system_.trees().size(), 0.0);
+}
+
+void
+CapMaestroService::attachServer(dev::ServerModel &server,
+                                dev::NodeManager &nm,
+                                dev::SensorEmulator &sensors)
+{
+    AttachedServer entry;
+    entry.server = &server;
+    entry.nm = &nm;
+    entry.controller = std::make_unique<ctrl::CappingController>(
+        server, nm, sensors, config_.capping);
+    servers_.push_back(std::move(entry));
+}
+
+void
+CapMaestroService::setRootBudgets(std::vector<Watts> budgets)
+{
+    if (budgets.size() != system_.trees().size()) {
+        util::fatal("CapMaestroService: %zu budgets for %zu trees",
+                    budgets.size(), system_.trees().size());
+    }
+    rootBudgets_ = std::move(budgets);
+}
+
+void
+CapMaestroService::refreshRootBudgets(Watts total_per_phase)
+{
+    const int live = system_.liveFeeds();
+    if (live == 0) {
+        std::fill(rootBudgets_.begin(), rootBudgets_.end(), 0.0);
+        util::warn("CapMaestroService: no live feeds");
+        return;
+    }
+    for (std::size_t t = 0; t < system_.trees().size(); ++t) {
+        const auto &tree = system_.tree(t);
+        rootBudgets_[t] = system_.feedFailed(tree.feed())
+                              ? 0.0
+                              : total_per_phase / live;
+    }
+}
+
+void
+CapMaestroService::senseTick()
+{
+    for (auto &s : servers_)
+        s.controller->senseTick();
+}
+
+const PeriodStats &
+CapMaestroService::runControlPeriod()
+{
+    // Phase 1: close controller periods and build the fleet inputs.
+    std::vector<ctrl::ServerAllocInput> inputs;
+    inputs.reserve(servers_.size());
+    stats_.totalDemandEstimate = 0.0;
+    for (auto &s : servers_) {
+        const auto report = s.controller->closePeriod();
+        ctrl::ServerAllocInput in;
+        const auto &spec = s.server->spec();
+        in.priority = spec.priority;
+        in.capMin = spec.capMin;
+        in.capMax = spec.capMax;
+        in.demand = report.demandEstimate;
+        in.supplies.resize(report.shares.size());
+        for (std::size_t i = 0; i < report.shares.size(); ++i) {
+            in.supplies[i].share =
+                std::max(report.shares[i], 1e-9);
+            in.supplies[i].live = report.shares[i] > 0.0;
+        }
+        stats_.totalDemandEstimate += report.demandEstimate;
+        inputs.push_back(std::move(in));
+    }
+
+    // Optional adaptive feed balancing: re-split each phase's
+    // contractual budget across its live feeds in proportion to the
+    // demand each feed carries this period.
+    if (config_.adaptiveFeedBalance && config_.totalPerPhaseBudget > 0.0)
+        rebalanceRootBudgets(inputs);
+
+    // Phase 2: global priority-aware allocation (+ SPO).
+    stats_.allocation = allocator_->allocate(
+        inputs, rootBudgets_, config_.enableSpo, config_.spoThreshold,
+        config_.spoPasses);
+
+    // Phase 3: hand each server its per-supply budgets; the PI loop turns
+    // them into a DC cap for the node manager.
+    stats_.budgetByTree.assign(system_.trees().size(), 0.0);
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        const auto &alloc = stats_.allocation.servers[i];
+        servers_[i].controller->applyBudgets(alloc.supplyBudget);
+        const auto ports =
+            system_.livePortsOf(static_cast<std::int32_t>(i));
+        for (const auto &[sup, loc] : ports) {
+            stats_.budgetByTree[loc.tree] +=
+                alloc.supplyBudget[static_cast<std::size_t>(sup)];
+        }
+    }
+    ++stats_.periodsRun;
+    return stats_;
+}
+
+void
+CapMaestroService::rebalanceRootBudgets(
+    const std::vector<ctrl::ServerAllocInput> &inputs)
+{
+    // Per-tree demand proxy: each live supply requests its share of the
+    // server's effective demand (never below the Pcap_min floor, which
+    // every feed must be able to honor).
+    std::vector<Watts> tree_demand(system_.trees().size(), 0.0);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const auto ports =
+            system_.livePortsOf(static_cast<std::int32_t>(i));
+        const auto &in = inputs[i];
+        for (const auto &[sup, loc] : ports) {
+            const auto s = static_cast<std::size_t>(sup);
+            if (s >= in.supplies.size() || !in.supplies[s].live)
+                continue;
+            tree_demand[loc.tree] +=
+                in.supplies[s].share * std::max(in.demand, in.capMin);
+        }
+    }
+
+    // Group trees by phase; live trees share the phase budget in
+    // proportion to demand (even split when nothing is drawn yet).
+    std::map<int, std::vector<std::size_t>> by_phase;
+    for (std::size_t t = 0; t < system_.trees().size(); ++t) {
+        if (!system_.feedFailed(system_.tree(t).feed()))
+            by_phase[system_.tree(t).phase()].push_back(t);
+        else
+            rootBudgets_[t] = 0.0;
+    }
+    for (const auto &[phase, trees] : by_phase) {
+        Watts demand_sum = 0.0;
+        for (const auto t : trees)
+            demand_sum += tree_demand[t];
+        for (const auto t : trees) {
+            rootBudgets_[t] =
+                demand_sum > 1e-6
+                    ? config_.totalPerPhaseBudget * tree_demand[t]
+                          / demand_sum
+                    : config_.totalPerPhaseBudget
+                          / static_cast<double>(trees.size());
+        }
+    }
+}
+
+ctrl::CappingController &
+CapMaestroService::controller(std::size_t server_id)
+{
+    if (server_id >= servers_.size())
+        util::panic("CapMaestroService: bad server id %zu", server_id);
+    return *servers_[server_id].controller;
+}
+
+} // namespace capmaestro::core

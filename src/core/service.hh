@@ -1,0 +1,169 @@
+/**
+ * @file
+ * CapMaestroService: the control-plane facade (paper §5).
+ *
+ * The service owns the distributed controller state for one data center:
+ * one capping controller per attached server and one FleetAllocator over
+ * the power system's control trees. A deployment drives it on two cadences:
+ *
+ *   - senseTick()        every second: capping controllers read sensors
+ *   - runControlPeriod() every control period (default 8 s): controllers
+ *     close their periods, leaf metrics flow into the trees, the global
+ *     priority-aware algorithm (plus optional SPO) computes budgets, and
+ *     the PI loops push new DC caps to the node managers
+ *
+ * Root budgets per tree are owned by the caller (they encode contractual
+ * terms and failover policy); refreshRootBudgets() recomputes the default
+ * split, which doubles a surviving feed's share when the other fails.
+ */
+
+#ifndef CAPMAESTRO_CORE_SERVICE_HH
+#define CAPMAESTRO_CORE_SERVICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "control/allocator.hh"
+#include "control/capping_controller.hh"
+#include "policy/policy.hh"
+#include "topology/power_system.hh"
+
+namespace capmaestro::core {
+
+/** Service configuration. */
+struct ServiceConfig
+{
+    /** Control period in seconds (paper: 8 s). */
+    Seconds controlPeriod = 8;
+    /** Power-capping policy. */
+    policy::PolicyKind policy = policy::PolicyKind::GlobalPriority;
+    /** Run the stranded-power optimization after each allocation. */
+    bool enableSpo = true;
+    /** Minimum per-supply stranded watts for SPO to act. */
+    Watts spoThreshold = 1.0;
+    /** Total allocation passes for SPO (2 = the paper's one re-run). */
+    int spoPasses = 2;
+    /** Per-server controller tunables. */
+    ctrl::CappingControllerConfig capping;
+    /**
+     * Adaptive feed balancing: instead of splitting each phase's
+     * contractual budget evenly across live feeds, re-split it every
+     * control period proportionally to the demand reported on each
+     * feed. This reclaims contractual headroom that a static split
+     * strands when supply failures skew load toward one feed (the
+     * even split is the paper's configuration; balancing is an
+     * extension enabled here).
+     * Requires totalPerPhaseBudget > 0.
+     */
+    bool adaptiveFeedBalance = false;
+    /** Contractual budget per phase used by adaptive balancing. */
+    Watts totalPerPhaseBudget = 0.0;
+    /**
+     * Emergency fast path: when a breaker is observed above its
+     * continuous limit, run an immediate out-of-cycle control period
+     * instead of waiting for the next scheduled one. Shortens the
+     * worst-case reaction from (period + actuation) to roughly
+     * (sensing + actuation); ablated in bench_ablation A3.
+     */
+    bool emergencyFastPath = false;
+    /** Minimum spacing between emergency periods (sensor warm-up). */
+    Seconds emergencyMinSpacing = 2;
+};
+
+/** Aggregate per-period statistics for observability. */
+struct PeriodStats
+{
+    /** Allocation outcome of the last control period. */
+    ctrl::FleetAllocation allocation;
+    /** Sum of per-supply budgets applied, by tree. */
+    std::vector<Watts> budgetByTree;
+    /** Total estimated demand across the fleet (AC). */
+    Watts totalDemandEstimate = 0.0;
+    /** Number of control periods run so far. */
+    std::size_t periodsRun = 0;
+};
+
+/** The CapMaestro control-plane service. */
+class CapMaestroService
+{
+  public:
+    /**
+     * @param system  power system (not owned; must outlive the service)
+     * @param config  service tunables
+     */
+    CapMaestroService(topo::PowerSystem &system, ServiceConfig config = {});
+
+    /**
+     * Attach a server's devices. Servers must be attached in id order
+     * (the first call attaches server 0, the next server 1, ...), matching
+     * the ServerSupplyRef ids used when building the topology.
+     * All references must outlive the service.
+     */
+    void attachServer(dev::ServerModel &server, dev::NodeManager &nm,
+                      dev::SensorEmulator &sensors);
+
+    /** Number of attached servers. */
+    std::size_t serverCount() const { return servers_.size(); }
+
+    /**
+     * Set the root budget for every tree explicitly (indexed like
+     * system.trees()).
+     */
+    void setRootBudgets(std::vector<Watts> budgets);
+
+    /**
+     * Recompute the default root-budget split from @p total_per_phase:
+     * each phase's budget is divided evenly among the *live* feeds, so a
+     * feed failure automatically routes the full phase budget to the
+     * survivor (the N+N sizing rule of §2.1).
+     */
+    void refreshRootBudgets(Watts total_per_phase);
+
+    /** Current root budgets. */
+    const std::vector<Watts> &rootBudgets() const { return rootBudgets_; }
+
+    /** 1 Hz sensing: every capping controller samples its sensors. */
+    void senseTick();
+
+    /**
+     * Run one full control period: close controller periods, gather and
+     * budget across every live tree, run SPO, apply per-supply budgets
+     * through the PI loops. Returns the period's stats.
+     */
+    const PeriodStats &runControlPeriod();
+
+    /** Stats from the most recent control period. */
+    const PeriodStats &lastStats() const { return stats_; }
+
+    /** Access a capping controller by server id. */
+    ctrl::CappingController &controller(std::size_t server_id);
+
+    /** The allocator (e.g., for reading interior node budgets). */
+    const ctrl::FleetAllocator &allocator() const { return *allocator_; }
+
+    /** Service configuration. */
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    struct AttachedServer
+    {
+        dev::ServerModel *server;
+        dev::NodeManager *nm;
+        std::unique_ptr<ctrl::CappingController> controller;
+    };
+
+    /** Demand-proportional per-phase budget re-split (extension). */
+    void rebalanceRootBudgets(
+        const std::vector<ctrl::ServerAllocInput> &inputs);
+
+    topo::PowerSystem &system_;
+    ServiceConfig config_;
+    std::unique_ptr<ctrl::FleetAllocator> allocator_;
+    std::vector<AttachedServer> servers_;
+    std::vector<Watts> rootBudgets_;
+    PeriodStats stats_;
+};
+
+} // namespace capmaestro::core
+
+#endif // CAPMAESTRO_CORE_SERVICE_HH

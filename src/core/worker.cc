@@ -1,0 +1,57 @@
+#include "core/worker.hh"
+
+namespace capmaestro::core {
+
+WorkerLayout
+planWorkers(const DeploymentShape &shape, const WorkerCosts &costs)
+{
+    WorkerLayout layout;
+    layout.rackWorkers = shape.racks;
+    layout.roomWorkers = 1;
+
+    const std::size_t trees = shape.feeds * shape.phases;
+
+    // One CDU-level shifting controller per (feed, phase) in each rack
+    // (paper: 6 per rack worker), plus a capping controller per server.
+    layout.cduControllersPerRack = trees;
+    layout.cappingControllersPerRack = shape.serversPerRack;
+
+    // The room worker budgets, per tree: root -> transformers -> RPPs ->
+    // CDUs. Its per-period work is linear in its total child links; the
+    // dominant term is the RPP -> CDU fan-out (one link per rack per tree).
+    layout.roomChildLinks =
+        trees * (shape.upperControllersPerTree + shape.racks);
+
+    // Each rack worker exchanges one metrics and one budget message per
+    // tree with the room worker per period.
+    layout.messagesPerPeriod = 2 * trees * shape.racks;
+
+    // Rack timing: sensing is parallel across servers (paper: 1 s wall
+    // clock; we report the amortized controller-side cost), followed by
+    // gathering + budgeting over its own controllers.
+    layout.rackSenseMs = costs.senseUs / 1000.0;
+    const double per_server =
+        costs.gatherPerChildUs + costs.budgetPerChildUs;
+    // Per tree, the CDU controller handles every server with a supply on
+    // that (feed, phase); across all trees each server is visited once
+    // per feed.
+    const double rack_children =
+        static_cast<double>(shape.serversPerRack * shape.feeds);
+    layout.rackComputeMs = rack_children * per_server / 1000.0;
+
+    layout.roomComputeMs =
+        static_cast<double>(layout.roomChildLinks)
+        * (costs.gatherPerChildUs + costs.budgetPerChildUs) / 1000.0
+        + static_cast<double>(layout.messagesPerPeriod) * costs.messageUs
+              / 1000.0 / 8.0; // messages overlap budgeting; amortized
+
+    const double total_cores =
+        static_cast<double>(shape.racks * shape.coresPerRack);
+    const double reserved =
+        static_cast<double>(layout.rackWorkers + layout.roomWorkers);
+    layout.coreOverheadFraction =
+        total_cores > 0.0 ? reserved / total_cores : 0.0;
+    return layout;
+}
+
+} // namespace capmaestro::core

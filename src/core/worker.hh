@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Worker-VM layout and scalability model (paper §5).
+ *
+ * A deployment groups controllers into worker VMs: one rack-level worker
+ * per rack (6 CDU-level shifting controllers — 2 feeds x 3 phases — plus
+ * one capping controller per server) and one room-level worker for RPPs,
+ * transformers, and the contractual point. This module computes the
+ * layout's controller/message counts and, given measured per-operation
+ * costs, the per-control-period timing estimates the paper reports
+ * (rack budgeting ~10 ms; room-level worker < 300 ms at 500 racks;
+ * < 0.1 % of data center cores used).
+ */
+
+#ifndef CAPMAESTRO_CORE_WORKER_HH
+#define CAPMAESTRO_CORE_WORKER_HH
+
+#include <cstddef>
+
+namespace capmaestro::core {
+
+/** Shape parameters of a worker deployment. */
+struct DeploymentShape
+{
+    std::size_t racks = 162;
+    std::size_t serversPerRack = 45;
+    std::size_t feeds = 2;
+    std::size_t phases = 3;
+    /** Interior (non-CDU) shifting controllers per (feed, phase) tree. */
+    std::size_t upperControllersPerTree = 12; // 9 RPP + 2 xfmr + 1 root
+    std::size_t coresPerRack = 1260;          // paper: 28-core x 45
+};
+
+/** Measured per-operation costs (from microbenchmarks), in microseconds. */
+struct WorkerCosts
+{
+    /** Cost to aggregate one child's metrics during gathering. */
+    double gatherPerChildUs = 1.0;
+    /** Cost to budget one child during the budgeting phase. */
+    double budgetPerChildUs = 1.0;
+    /** One worker-to-worker message (metrics or budgets). */
+    double messageUs = 200.0;
+    /** One sensor read (IPMI round trip), amortized; done in parallel. */
+    double senseUs = 20000.0;
+};
+
+/** Derived layout counts and timing estimates. */
+struct WorkerLayout
+{
+    std::size_t rackWorkers = 0;
+    std::size_t roomWorkers = 1;
+    /** Controllers hosted per rack worker. */
+    std::size_t cduControllersPerRack = 0;
+    std::size_t cappingControllersPerRack = 0;
+    /** Child links the room worker budgets across all trees. */
+    std::size_t roomChildLinks = 0;
+    /** Upstream messages per control period (rack -> room and back). */
+    std::size_t messagesPerPeriod = 0;
+
+    /** Estimated per-period timings (milliseconds). */
+    double rackSenseMs = 0.0;
+    double rackComputeMs = 0.0;
+    double roomComputeMs = 0.0;
+    /** Fraction of all data center cores reserved for power management. */
+    double coreOverheadFraction = 0.0;
+};
+
+/** Compute the worker layout and timing estimates for a deployment. */
+WorkerLayout planWorkers(const DeploymentShape &shape,
+                         const WorkerCosts &costs);
+
+} // namespace capmaestro::core
+
+#endif // CAPMAESTRO_CORE_WORKER_HH

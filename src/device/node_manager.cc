@@ -1,0 +1,58 @@
+#include "device/node_manager.hh"
+
+#include <cmath>
+
+namespace capmaestro::dev {
+
+NodeManager::NodeManager(ServerModel &server, NodeManagerConfig config)
+    : server_(server), config_(config)
+{
+}
+
+void
+NodeManager::setDcCap(Watts cap_dc)
+{
+    targetDc_ = cap_dc;
+    if (appliedDc_ == kNoCap) {
+        // First cap after running uncapped: start from current draw so the
+        // approach is continuous rather than jumping from "infinity".
+        appliedDc_ = server_.actualDc();
+    }
+}
+
+void
+NodeManager::clearCap()
+{
+    targetDc_ = kNoCap;
+}
+
+void
+NodeManager::step(double dt)
+{
+    if (targetDc_ == kNoCap) {
+        appliedDc_ = kNoCap;
+        pushToServer();
+        return;
+    }
+    if (appliedDc_ == kNoCap)
+        appliedDc_ = server_.actualDc();
+
+    const double alpha = 1.0 - std::exp(-config_.approachRate * dt);
+    appliedDc_ += (targetDc_ - appliedDc_) * alpha;
+    if (std::fabs(targetDc_ - appliedDc_) <= config_.deadband)
+        appliedDc_ = targetDc_;
+    pushToServer();
+}
+
+void
+NodeManager::pushToServer()
+{
+    if (appliedDc_ == kNoCap) {
+        server_.setEnforcedCapAc(ServerModel::kNoCap);
+        return;
+    }
+    const double k = server_.blendedEfficiency();
+    server_.setEnforcedCapAc(appliedDc_ / k);
+}
+
+} // namespace capmaestro::dev

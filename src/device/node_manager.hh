@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Emulation of a server's built-in power controller (Intel Node Manager
+ * style): accepts a DC power cap and drives the server's throttle so the
+ * DC draw settles under the cap within a few seconds (paper §5: within 6 s).
+ *
+ * The node manager is the *actuator* between CapMaestro's capping
+ * controller (which computes a DC cap from per-supply AC budgets) and the
+ * physical ServerModel.
+ */
+
+#ifndef CAPMAESTRO_DEVICE_NODE_MANAGER_HH
+#define CAPMAESTRO_DEVICE_NODE_MANAGER_HH
+
+#include "device/server.hh"
+#include "util/units.hh"
+
+namespace capmaestro::dev {
+
+/** Tunable actuation dynamics for the node-manager emulation. */
+struct NodeManagerConfig
+{
+    /**
+     * First-order approach rate per second toward the target cap.
+     * 0.55/s settles a step to <1 % residual within ~6 s.
+     */
+    double approachRate = 0.55;
+    /** Deadband (W, DC): applied cap snaps when this close to target. */
+    Watts deadband = 1.0;
+};
+
+/** DC power-cap actuator with first-order settling dynamics. */
+class NodeManager
+{
+  public:
+    /**
+     * @param server the server this node manager controls (not owned;
+     *               must outlive the node manager)
+     */
+    NodeManager(ServerModel &server, NodeManagerConfig config = {});
+
+    /** Request a new DC cap; takes effect gradually via step(). */
+    void setDcCap(Watts cap_dc);
+
+    /** Remove the cap (server runs uncapped after settling). */
+    void clearCap();
+
+    /** Currently requested (target) DC cap; kNoCap when uncapped. */
+    Watts targetDcCap() const { return targetDc_; }
+
+    /** Currently applied (settled-so-far) DC cap; kNoCap when uncapped. */
+    Watts appliedDcCap() const { return appliedDc_; }
+
+    /** Sentinel for "no cap". */
+    static constexpr Watts kNoCap = ServerModel::kNoCap;
+
+    /**
+     * Advance actuation by @p dt seconds: move the applied cap toward the
+     * target and push the corresponding AC cap into the server model.
+     */
+    void step(double dt);
+
+    /** Measured DC power (what the node manager itself reports). */
+    Watts measuredDc() const { return server_.actualDc(); }
+
+    /** Reported throttle level in [0, 1). */
+    Fraction throttleLevel() const { return server_.throttleLevel(); }
+
+  private:
+    ServerModel &server_;
+    NodeManagerConfig config_;
+    Watts targetDc_ = kNoCap;
+    Watts appliedDc_ = kNoCap;
+
+    void pushToServer();
+};
+
+} // namespace capmaestro::dev
+
+#endif // CAPMAESTRO_DEVICE_NODE_MANAGER_HH

@@ -1,0 +1,91 @@
+#include "device/vm.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+
+namespace capmaestro::dev {
+
+VmPartitioner::VmPartitioner(std::vector<VmSpec> vms)
+    : vms_(std::move(vms))
+{
+    double total = 0.0;
+    for (const auto &vm : vms_) {
+        if (vm.cpuShare < 0.0 || vm.cpuShare > 1.0)
+            util::fatal("vm %s: cpuShare outside [0,1]",
+                        vm.name.c_str());
+        total += vm.cpuShare;
+    }
+    if (total > 1.0 + 1e-9)
+        util::fatal("VmPartitioner: shares sum to %.3f > 1", total);
+}
+
+Fraction
+VmPartitioner::totalShare() const
+{
+    double total = 0.0;
+    for (const auto &vm : vms_)
+        total += vm.cpuShare;
+    return total;
+}
+
+std::vector<VmAllocation>
+VmPartitioner::allocate(Fraction server_performance) const
+{
+    std::vector<VmAllocation> out(vms_.size());
+    double remaining = util::clamp(server_performance, 0.0, 1.0);
+
+    // Group VM indices by priority, descending.
+    std::map<Priority, std::vector<std::size_t>, std::greater<>> levels;
+    for (std::size_t i = 0; i < vms_.size(); ++i)
+        levels[vms_[i].priority].push_back(i);
+
+    for (const auto &[priority, members] : levels) {
+        double level_demand = 0.0;
+        for (const auto i : members)
+            level_demand += vms_[i].cpuShare;
+        if (level_demand <= 0.0) {
+            // Zero demand is trivially satisfied.
+            for (const auto i : members)
+                out[i].normalizedThroughput = 1.0;
+            continue;
+        }
+        // Pro-rata within the level when the remainder is short.
+        const double scale =
+            std::min(1.0, remaining / level_demand);
+        for (const auto i : members) {
+            out[i].granted = vms_[i].cpuShare * scale;
+            out[i].normalizedThroughput =
+                vms_[i].cpuShare > 0.0 ? scale : 1.0;
+        }
+        remaining = std::max(0.0, remaining - level_demand * scale);
+    }
+    return out;
+}
+
+Priority
+VmPartitioner::derivedServerPriority(Fraction protect_share) const
+{
+    if (vms_.empty())
+        return 0;
+
+    std::map<Priority, double, std::greater<>> share_by_priority;
+    for (const auto &vm : vms_)
+        share_by_priority[vm.priority] += vm.cpuShare;
+
+    const double total = totalShare();
+    if (total <= 0.0)
+        return 0;
+
+    double cumulative = 0.0;
+    for (const auto &[priority, share] : share_by_priority) {
+        cumulative += share;
+        if (cumulative >= protect_share * total)
+            return priority;
+    }
+    return share_by_priority.rbegin()->first; // lowest present level
+}
+
+} // namespace capmaestro::dev

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Virtual power partitions (paper §7, "Coordination of Job Scheduling
+ * with Power Management").
+ *
+ * Server-level capping throttles every tenant of a shared server
+ * equally. The paper's discussion calls for either (1) schedulers that
+ * co-locate jobs of equal priority, or (2) per-"virtual partition" caps
+ * so each VM can be budgeted individually. This module implements the
+ * second idea on top of the ServerModel: the server's enforced
+ * performance fraction is treated as a compute capacity and divided
+ * among its VMs priority-first, so a capped server sheds low-priority
+ * VM throughput before touching high-priority VMs.
+ *
+ * It also provides the priority-derivation helper the paper sketches
+ * for mixed-tenancy servers ("set server priority based on the
+ * priorities of the set of VMs assigned to it").
+ */
+
+#ifndef CAPMAESTRO_DEVICE_VM_HH
+#define CAPMAESTRO_DEVICE_VM_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace capmaestro::dev {
+
+/** One virtual machine (or container) hosted on a server. */
+struct VmSpec
+{
+    std::string name;
+    Priority priority = 0;
+    /**
+     * Fraction of the server's compute capacity this VM subscribes to
+     * (e.g., vCPUs / total cores). Shares across a server's VMs must
+     * sum to at most 1.
+     */
+    Fraction cpuShare = 0.0;
+};
+
+/** Throughput granted to one VM under a partitioned cap. */
+struct VmAllocation
+{
+    /** Compute capacity granted (same units as cpuShare). */
+    Fraction granted = 0.0;
+    /** granted / cpuShare in [0, 1]; 1 when unthrottled. */
+    Fraction normalizedThroughput = 0.0;
+};
+
+/** Priority-first division of a server's capacity among its VMs. */
+class VmPartitioner
+{
+  public:
+    /**
+     * @param vms the hosted VMs; shares must sum to <= 1 (+epsilon)
+     */
+    explicit VmPartitioner(std::vector<VmSpec> vms);
+
+    /** The hosted VMs. */
+    const std::vector<VmSpec> &vms() const { return vms_; }
+
+    /**
+     * Divide @p server_performance (the ServerModel's performance
+     * fraction, i.e., available compute capacity in [0, 1]) among the
+     * VMs: strictly priority-ordered, pro-rata within a priority level.
+     */
+    std::vector<VmAllocation>
+    allocate(Fraction server_performance) const;
+
+    /**
+     * The server priority this VM mix implies for CapMaestro: the
+     * highest priority whose VMs (and all higher) subscribe to at least
+     * @p protect_share of the server. Rationale: budgeting the whole
+     * server at its top tenant's priority is safe only if capping the
+     * remainder still leaves that tenant whole; the threshold bounds
+     * how much low-priority share may hide under a high-priority badge.
+     */
+    Priority derivedServerPriority(Fraction protect_share = 0.5) const;
+
+    /** Total subscribed share. */
+    Fraction totalShare() const;
+
+  private:
+    std::vector<VmSpec> vms_;
+};
+
+} // namespace capmaestro::dev
+
+#endif // CAPMAESTRO_DEVICE_VM_HH

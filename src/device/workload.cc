@@ -1,0 +1,131 @@
+#include "device/workload.hh"
+
+#include <cmath>
+#include <fstream>
+#include <numbers>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+
+namespace capmaestro::dev {
+
+StepWorkload::StepWorkload(std::vector<std::pair<Seconds, Fraction>> steps)
+    : steps_(std::move(steps))
+{
+    if (steps_.empty())
+        util::fatal("StepWorkload needs at least one step");
+    for (std::size_t i = 1; i < steps_.size(); ++i) {
+        if (steps_[i].first < steps_[i - 1].first)
+            util::fatal("StepWorkload steps must be time-ordered");
+    }
+}
+
+Fraction
+StepWorkload::utilizationAt(Seconds t)
+{
+    Fraction u = steps_.front().second;
+    for (const auto &[start, value] : steps_) {
+        if (t >= start)
+            u = value;
+        else
+            break;
+    }
+    return u;
+}
+
+SineWorkload::SineWorkload(Fraction mean, Fraction amplitude, Seconds period)
+    : mean_(mean), amplitude_(amplitude), period_(period)
+{
+    if (period_ <= 0)
+        util::fatal("SineWorkload period must be positive");
+}
+
+Fraction
+SineWorkload::utilizationAt(Seconds t)
+{
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(t)
+                         / static_cast<double>(period_);
+    return util::clamp(mean_ + amplitude_ * std::sin(phase), 0.0, 1.0);
+}
+
+RandomWalkWorkload::RandomWalkWorkload(Fraction start, Fraction step,
+                                       util::Rng rng)
+    : u_(util::clamp(start, 0.0, 1.0)), step_(step), rng_(rng)
+{
+}
+
+Fraction
+RandomWalkWorkload::utilizationAt(Seconds t)
+{
+    // Advance once per new second; repeated queries at the same time are
+    // stable so multiple observers see a consistent workload.
+    while (lastT_ < t) {
+        u_ = util::clamp(u_ + rng_.uniform(-step_, step_), 0.0, 1.0);
+        ++lastT_;
+    }
+    return u_;
+}
+
+TraceWorkload::TraceWorkload(std::vector<Fraction> samples,
+                             Seconds sample_period)
+    : samples_(std::move(samples)), samplePeriod_(sample_period)
+{
+    if (samples_.empty())
+        util::fatal("TraceWorkload needs at least one sample");
+    if (samplePeriod_ < 1)
+        util::fatal("TraceWorkload sample period must be >= 1 s");
+    for (auto &s : samples_)
+        s = util::clamp(s, 0.0, 1.0);
+}
+
+Fraction
+TraceWorkload::utilizationAt(Seconds t)
+{
+    const auto n = static_cast<Seconds>(samples_.size());
+    const Seconds span = n * samplePeriod_;
+    const Seconds wrapped = ((t % span) + span) % span;
+    const Seconds index = wrapped / samplePeriod_;
+    const double frac =
+        static_cast<double>(wrapped % samplePeriod_) / samplePeriod_;
+    const Fraction a = samples_[static_cast<std::size_t>(index)];
+    const Fraction b =
+        samples_[static_cast<std::size_t>((index + 1) % n)];
+    return a + (b - a) * frac;
+}
+
+std::vector<Fraction>
+TraceWorkload::loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("TraceWorkload: cannot open trace %s", path.c_str());
+    std::vector<Fraction> samples;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        samples.push_back(std::stod(line.substr(start)));
+    }
+    if (samples.empty())
+        util::fatal("TraceWorkload: trace %s has no samples",
+                    path.c_str());
+    return samples;
+}
+
+NoisyWorkload::NoisyWorkload(std::unique_ptr<Workload> inner, double stddev,
+                             util::Rng rng)
+    : inner_(std::move(inner)), stddev_(stddev), rng_(rng)
+{
+    if (!inner_)
+        util::fatal("NoisyWorkload needs an inner workload");
+}
+
+Fraction
+NoisyWorkload::utilizationAt(Seconds t)
+{
+    const double u = inner_->utilizationAt(t) + rng_.normal(0.0, stddev_);
+    return util::clamp(u, 0.0, 1.0);
+}
+
+} // namespace capmaestro::dev

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Workload utilization profiles driving server power demand over time.
+ *
+ * The testbed experiments (paper §6.1-6.3) run an Apache-like steady load;
+ * the capacity studies (§6.4) sample utilization from a distribution. This
+ * header provides composable u(t) profiles for both, plus noise.
+ */
+
+#ifndef CAPMAESTRO_DEVICE_WORKLOAD_HH
+#define CAPMAESTRO_DEVICE_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace capmaestro::dev {
+
+/** A utilization profile: maps simulated time to CPU utilization [0,1]. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Utilization at simulated second @p t. */
+    virtual Fraction utilizationAt(Seconds t) = 0;
+};
+
+/** Constant utilization. */
+class ConstantWorkload : public Workload
+{
+  public:
+    explicit ConstantWorkload(Fraction u) : u_(u) {}
+
+    Fraction utilizationAt(Seconds) override { return u_; }
+
+  private:
+    Fraction u_;
+};
+
+/** Piecewise-constant utilization: (start_time, u) steps in time order. */
+class StepWorkload : public Workload
+{
+  public:
+    /** @param steps list of (time, utilization) pairs, ascending time */
+    explicit StepWorkload(std::vector<std::pair<Seconds, Fraction>> steps);
+
+    Fraction utilizationAt(Seconds t) override;
+
+  private:
+    std::vector<std::pair<Seconds, Fraction>> steps_;
+};
+
+/** Sinusoidal utilization around a mean (diurnal-style variation). */
+class SineWorkload : public Workload
+{
+  public:
+    /**
+     * @param mean       average utilization
+     * @param amplitude  peak deviation from the mean
+     * @param period     seconds per full cycle
+     */
+    SineWorkload(Fraction mean, Fraction amplitude, Seconds period);
+
+    Fraction utilizationAt(Seconds t) override;
+
+  private:
+    Fraction mean_;
+    Fraction amplitude_;
+    Seconds period_;
+};
+
+/** Bounded random-walk utilization (bursty cloud tenant). */
+class RandomWalkWorkload : public Workload
+{
+  public:
+    /**
+     * @param start  initial utilization
+     * @param step   per-second maximum walk increment
+     * @param rng    deterministic stream
+     */
+    RandomWalkWorkload(Fraction start, Fraction step, util::Rng rng);
+
+    Fraction utilizationAt(Seconds t) override;
+
+  private:
+    Fraction u_;
+    Fraction step_;
+    util::Rng rng_;
+    Seconds lastT_ = -1;
+};
+
+/**
+ * Trace-driven utilization: replays a sampled utilization series.
+ * Samples are spaced @p sample_period seconds apart, linearly
+ * interpolated between points, and the trace loops when exhausted —
+ * letting operators replay telemetry from their own fleets.
+ */
+class TraceWorkload : public Workload
+{
+  public:
+    /**
+     * @param samples        utilization samples in [0, 1]
+     * @param sample_period  seconds between consecutive samples (>= 1)
+     */
+    TraceWorkload(std::vector<Fraction> samples, Seconds sample_period);
+
+    Fraction utilizationAt(Seconds t) override;
+
+    /** Parse a one-value-per-line trace file (# comments allowed). */
+    static std::vector<Fraction> loadTraceFile(const std::string &path);
+
+  private:
+    std::vector<Fraction> samples_;
+    Seconds samplePeriod_;
+};
+
+/** Wrap another workload with additive Gaussian noise. */
+class NoisyWorkload : public Workload
+{
+  public:
+    NoisyWorkload(std::unique_ptr<Workload> inner, double stddev,
+                  util::Rng rng);
+
+    Fraction utilizationAt(Seconds t) override;
+
+  private:
+    std::unique_ptr<Workload> inner_;
+    double stddev_;
+    util::Rng rng_;
+};
+
+} // namespace capmaestro::dev
+
+#endif // CAPMAESTRO_DEVICE_WORKLOAD_HH

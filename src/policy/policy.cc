@@ -1,0 +1,41 @@
+#include "policy/policy.hh"
+
+#include "util/numeric.hh"
+
+namespace capmaestro::policy {
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::NoPriority:     return "No Priority";
+      case PolicyKind::LocalPriority:  return "Local Priority";
+      case PolicyKind::GlobalPriority: return "Global Priority";
+    }
+    return "unknown";
+}
+
+ctrl::TreePolicy
+treePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::NoPriority:
+        return ctrl::TreePolicy::noPriority();
+      case PolicyKind::LocalPriority:
+        return ctrl::TreePolicy::localPriority();
+      case PolicyKind::GlobalPriority:
+        return ctrl::TreePolicy::globalPriority();
+    }
+    return ctrl::TreePolicy::globalPriority();
+}
+
+double
+capRatio(Watts demand, Watts budgeted, Watts idle)
+{
+    const double dynamic = demand - idle;
+    if (dynamic <= 1e-9)
+        return 0.0;
+    return util::clamp((demand - budgeted) / dynamic, 0.0, 1.0);
+}
+
+} // namespace capmaestro::policy

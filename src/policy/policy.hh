@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The three power-capping policies evaluated in the paper (§6.2, §6.4).
+ *
+ *   No Priority     — after guaranteeing every server Pcap_min, remaining
+ *                     power is split proportionally to (Pdemand - Pcap_min)
+ *                     at every level; priorities are ignored.
+ *   Local Priority  — Facebook Dynamo [5] extended to redundant feeds:
+ *                     priorities are honored only at leaf controllers
+ *                     (single breaker groups); upper levels are
+ *                     priority-oblivious.
+ *   Global Priority — CapMaestro: per-priority metrics flow to every level
+ *                     of the control hierarchy, so high-priority servers
+ *                     can borrow power from low-priority servers anywhere
+ *                     in the data center.
+ */
+
+#ifndef CAPMAESTRO_POLICY_POLICY_HH
+#define CAPMAESTRO_POLICY_POLICY_HH
+
+#include <array>
+#include <string>
+
+#include "control/control_tree.hh"
+#include "util/units.hh"
+
+namespace capmaestro::policy {
+
+/** The evaluated power-capping policies. */
+enum class PolicyKind {
+    NoPriority,
+    LocalPriority,
+    GlobalPriority,
+};
+
+/** All policies, in the paper's presentation order. */
+constexpr std::array<PolicyKind, 3> kAllPolicies{
+    PolicyKind::NoPriority,
+    PolicyKind::LocalPriority,
+    PolicyKind::GlobalPriority,
+};
+
+/** Human-readable policy name as used in the paper's tables. */
+const char *policyName(PolicyKind kind);
+
+/** Control-tree priority flags implementing @p kind. */
+ctrl::TreePolicy treePolicy(PolicyKind kind);
+
+/**
+ * The paper's application-neutral performance metric (§6.4):
+ *
+ *   cap ratio = (demand - budgeted) / (demand - idle)
+ *
+ * clamped to [0, 1]; 0 when the budget covers the demand. Lower is better.
+ */
+double capRatio(Watts demand, Watts budgeted, Watts idle);
+
+} // namespace capmaestro::policy
+
+#endif // CAPMAESTRO_POLICY_POLICY_HH

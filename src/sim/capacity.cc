@@ -1,0 +1,164 @@
+#include "sim/capacity.hh"
+
+#include <algorithm>
+
+#include "control/allocator.hh"
+#include "device/server.hh"
+#include "sim/utilization.hh"
+#include "stats/accumulator.hh"
+#include "stats/quantile.hh"
+#include "util/logging.hh"
+
+namespace capmaestro::sim {
+
+CapacityPoint
+evaluateCapacity(const CapacityConfig &config,
+                 int servers_per_rack_per_phase)
+{
+    DataCenterParams params = config.dc;
+    params.serversPerRackPerPhase = servers_per_rack_per_phase;
+
+    DataCenter dc = buildDataCenter(params);
+    if (config.worstCase)
+        dc.system->failFeed(1);
+
+    ctrl::FleetAllocator allocator(*dc.system,
+                                   policy::treePolicy(config.policy));
+
+    // Root budgets: the per-phase contractual budget splits over live
+    // feeds; a failed feed's share moves to the survivor (§2.1).
+    const int live_feeds = dc.system->liveFeeds();
+    std::vector<Watts> root_budgets(dc.system->trees().size(), 0.0);
+    for (std::size_t t = 0; t < dc.system->trees().size(); ++t) {
+        const auto &tree = dc.system->tree(t);
+        root_budgets[t] = dc.system->feedFailed(tree.feed())
+                              ? 0.0
+                              : params.usableBudgetPerPhase() / live_feeds;
+    }
+
+    util::Rng rng(config.seed
+                  + static_cast<std::uint64_t>(
+                      servers_per_rack_per_phase) * 7919);
+
+    CapacityPoint point;
+    point.serversPerRackPerPhase = servers_per_rack_per_phase;
+    point.totalServers = params.totalServersFullCenter();
+
+    // Priority mix: explicit multi-level fractions, or the two-level
+    // default derived from the data-center parameters.
+    std::vector<double> fractions = config.priorityFractions;
+    if (fractions.empty()) {
+        fractions = {1.0 - params.highPriorityFraction,
+                     params.highPriorityFraction};
+    }
+    auto sample_priority = [&fractions](util::Rng &r) -> Priority {
+        double roll = r.uniform();
+        for (std::size_t level = 0; level < fractions.size(); ++level) {
+            if (roll < fractions[level])
+                return static_cast<Priority>(level);
+            roll -= fractions[level];
+        }
+        return static_cast<Priority>(fractions.size() - 1);
+    };
+
+    stats::Accumulator ratio_all, stranded;
+    stats::P2Quantile ratio_p99(0.99);
+    std::vector<stats::Accumulator> ratio_by_priority(fractions.size());
+    std::size_t feasible_trials = 0;
+
+    std::vector<ctrl::ServerAllocInput> fleet(dc.servers.size());
+    for (int trial = 0; trial < config.trials; ++trial) {
+        const Fraction fleet_avg =
+            config.worstCase ? 1.0 : GoogleUtilizationProfile::sample(rng);
+
+        for (std::size_t i = 0; i < fleet.size(); ++i) {
+            auto &in = fleet[i];
+            in.priority = sample_priority(rng);
+            in.capMin = params.serverCapMin;
+            in.capMax = params.serverCapMax;
+            if (config.worstCase) {
+                in.demand = params.serverCapMax;
+            } else {
+                const Fraction u = GoogleUtilizationProfile::perServer(
+                    rng, fleet_avg, config.perServerUtilStddev);
+                in.demand = dev::fanPower(params.serverIdle,
+                                          params.serverCapMax, u);
+            }
+            const double mismatch =
+                params.supplyMismatch > 0.0
+                    ? rng.uniform(-params.supplyMismatch,
+                                  params.supplyMismatch)
+                    : 0.0;
+            in.supplies = {{0.5 + mismatch, true},
+                           {0.5 - mismatch, true}};
+        }
+
+        const auto result = allocator.allocate(
+            fleet, root_budgets, config.enableSpo, 1.0,
+            config.spoPasses);
+        if (result.feasible)
+            ++feasible_trials;
+        stranded.add(result.strandedReclaimed);
+
+        for (std::size_t i = 0; i < fleet.size(); ++i) {
+            const double ratio = policy::capRatio(
+                fleet[i].demand, result.servers[i].enforceableCapAc,
+                params.serverIdle);
+            ratio_all.add(ratio);
+            ratio_p99.add(ratio);
+            ratio_by_priority[static_cast<std::size_t>(
+                                  fleet[i].priority)]
+                .add(ratio);
+        }
+    }
+
+    point.avgCapRatioAll = ratio_all.mean();
+    point.p99CapRatioAll = ratio_p99.value();
+    point.avgCapRatioByPriority.resize(ratio_by_priority.size());
+    for (std::size_t level = 0; level < ratio_by_priority.size(); ++level)
+        point.avgCapRatioByPriority[level] =
+            ratio_by_priority[level].mean();
+    // "High" is the topmost priority level with any samples.
+    for (std::size_t level = ratio_by_priority.size(); level-- > 0;) {
+        if (ratio_by_priority[level].count() > 0) {
+            point.avgCapRatioHigh = ratio_by_priority[level].mean();
+            break;
+        }
+    }
+    point.feasibleFraction =
+        config.trials > 0
+            ? static_cast<double>(feasible_trials) / config.trials
+            : 1.0;
+    point.meanStrandedReclaimed = stranded.mean();
+    return point;
+}
+
+std::vector<CapacityPoint>
+sweepCapacity(const CapacityConfig &config, int lo, int hi)
+{
+    std::vector<CapacityPoint> points;
+    for (int n = lo; n <= hi; ++n)
+        points.push_back(evaluateCapacity(config, n));
+    return points;
+}
+
+CapacityPoint
+findMaxDeployable(const CapacityConfig &config, int lo, int hi)
+{
+    CapacityPoint best;
+    for (int n = lo; n <= hi; ++n) {
+        const CapacityPoint point = evaluateCapacity(config, n);
+        const double criterion = config.worstCase ? point.avgCapRatioHigh
+                                                  : point.avgCapRatioAll;
+        const bool ok = criterion <= config.capRatioThreshold
+                        && point.feasibleFraction >= 1.0;
+        if (ok) {
+            best = point;
+        } else {
+            break; // cap ratio grows monotonically with density
+        }
+    }
+    return best;
+}
+
+} // namespace capmaestro::sim

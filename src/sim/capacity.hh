@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Large-scale Monte-Carlo capacity study (paper §6.4, Figures 9 and 10).
+ *
+ * For a given server density the study runs repeated trials: each trial
+ * draws per-server priorities (30 % high by default), supply splits, and
+ * — in the typical case — a fleet-wide average utilization from the
+ * Figure 8 profile with per-server jitter; in the worst case every server
+ * demands Pcap_max and one entire feed is failed. The fleet allocator
+ * assigns budgets under the chosen policy, and the study reports the
+ * average cap ratio over all servers and over high-priority servers.
+ *
+ * The deployable-capacity question (Figure 9) is answered by sweeping the
+ * density and finding the largest one whose average cap ratio stays under
+ * 1 % (all servers in the typical case; high-priority servers in the
+ * worst case).
+ */
+
+#ifndef CAPMAESTRO_SIM_CAPACITY_HH
+#define CAPMAESTRO_SIM_CAPACITY_HH
+
+#include <vector>
+
+#include "policy/policy.hh"
+#include "sim/datacenter.hh"
+#include "util/random.hh"
+
+namespace capmaestro::sim {
+
+/** Configuration of a capacity study. */
+struct CapacityConfig
+{
+    DataCenterParams dc;
+    policy::PolicyKind policy = policy::PolicyKind::GlobalPriority;
+    /**
+     * Worst case: every server at 100 % utilization and feed B failed
+     * (the surviving feed receives the full per-phase budget).
+     */
+    bool worstCase = false;
+    /** Monte-Carlo trials per density point. */
+    int trials = 100;
+    std::uint64_t seed = 1;
+    /** Per-server utilization jitter around the fleet average. */
+    double perServerUtilStddev = 0.05;
+    /** Run the stranded-power optimization inside each allocation. */
+    bool enableSpo = false;
+    /** Total allocation passes for SPO (2 = paper; more = fixpoint). */
+    int spoPasses = 2;
+    /** The "negligible impact" criterion (paper: 1 %). */
+    double capRatioThreshold = 0.01;
+    /**
+     * Optional multi-level priority mix: entry i is the fraction of
+     * servers at priority level i (must sum to ~1). When empty, the
+     * two-level mix {1 - highPriorityFraction, highPriorityFraction}
+     * from the data-center parameters is used. The paper's algorithm
+     * supports on the order of 10 levels (§4.1).
+     */
+    std::vector<double> priorityFractions;
+};
+
+/** Result for one density point. */
+struct CapacityPoint
+{
+    int serversPerRackPerPhase = 0;
+    /** Whole-center server count (all physical phases). */
+    std::size_t totalServers = 0;
+    double avgCapRatioAll = 0.0;
+    /** Tail of the per-server cap-ratio distribution (P-squared). */
+    double p99CapRatioAll = 0.0;
+    /** Cap ratio of the highest priority level present. */
+    double avgCapRatioHigh = 0.0;
+    /** Cap ratio per priority level (index = level). */
+    std::vector<double> avgCapRatioByPriority;
+    /** Fraction of trials whose floors were coverable. */
+    double feasibleFraction = 1.0;
+    /** Mean stranded power reclaimed per trial (W). */
+    double meanStrandedReclaimed = 0.0;
+};
+
+/** Evaluate one density point. */
+CapacityPoint evaluateCapacity(const CapacityConfig &config,
+                               int servers_per_rack_per_phase);
+
+/** Sweep densities [lo, hi] (servers per rack per phase). */
+std::vector<CapacityPoint> sweepCapacity(const CapacityConfig &config,
+                                         int lo, int hi);
+
+/**
+ * Largest whole-center server count whose criterion cap ratio (all
+ * servers in the typical case, high-priority servers in the worst case)
+ * stays at or below the threshold. Returns the matching point; density 0
+ * when even the smallest density fails.
+ */
+CapacityPoint findMaxDeployable(const CapacityConfig &config, int lo,
+                                int hi);
+
+} // namespace capmaestro::sim
+
+#endif // CAPMAESTRO_SIM_CAPACITY_HH

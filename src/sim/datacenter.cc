@@ -1,0 +1,90 @@
+#include "sim/datacenter.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace capmaestro::sim {
+
+DataCenter
+buildDataCenter(const DataCenterParams &params)
+{
+    if (params.feeds < 1 || params.phases < 1
+        || params.serversPerRackPerPhase < 1) {
+        util::fatal("buildDataCenter: bad shape (%d feeds, %d phases, "
+                    "%d servers/rack/phase)", params.feeds, params.phases,
+                    params.serversPerRackPerPhase);
+    }
+
+    DataCenter dc;
+    dc.params = params;
+    dc.system = std::make_unique<topo::PowerSystem>(params.feeds);
+
+    const int racks = params.racks();
+    const int per_phase = params.serversPerRackPerPhase;
+
+    // Server ids must be identical across feeds, so precompute placement.
+    dc.servers.resize(static_cast<std::size_t>(racks)
+                      * static_cast<std::size_t>(params.phases)
+                      * static_cast<std::size_t>(per_phase));
+    for (int rack = 0; rack < racks; ++rack) {
+        for (int phase = 0; phase < params.phases; ++phase) {
+            for (int slot = 0; slot < per_phase; ++slot) {
+                const auto id = static_cast<std::size_t>(
+                    (rack * params.phases + phase) * per_phase + slot);
+                dc.servers[id] = {rack, phase, slot};
+            }
+        }
+    }
+
+    for (int feed = 0; feed < params.feeds; ++feed) {
+        for (int phase = 0; phase < params.phases; ++phase) {
+            const std::string feed_tag =
+                std::string("feed") + static_cast<char>('A' + feed);
+            const std::string tree_name =
+                feed_tag + ".phase" + std::to_string(phase);
+            auto tree = std::make_unique<topo::PowerTree>(feed, phase,
+                                                          tree_name);
+            const auto root = tree->makeRoot(
+                topo::NodeKind::Contractual, tree_name + ".contract",
+                topo::kUnlimited);
+
+            int rack = 0;
+            for (int x = 0; x < params.transformersPerFeed; ++x) {
+                const auto xfmr = tree->addChild(
+                    root, topo::NodeKind::Transformer,
+                    tree_name + ".xfmr" + std::to_string(x),
+                    params.transformerRating, params.derate);
+                for (int r = 0; r < params.rppsPerTransformer; ++r) {
+                    const auto rpp = tree->addChild(
+                        xfmr, topo::NodeKind::Rpp,
+                        tree_name + ".rpp" + std::to_string(x) + "."
+                            + std::to_string(r),
+                        params.rppRating, params.derate);
+                    for (int c = 0; c < params.cdusPerRpp; ++c, ++rack) {
+                        const auto cdu = tree->addChild(
+                            rpp, topo::NodeKind::Cdu,
+                            tree_name + ".cdu" + std::to_string(rack),
+                            params.cduRating, params.derate);
+                        for (int slot = 0; slot < per_phase; ++slot) {
+                            const auto id = static_cast<std::int32_t>(
+                                (rack * params.phases + phase) * per_phase
+                                + slot);
+                            tree->addSupplyPort(
+                                cdu,
+                                "s" + std::to_string(id) + "."
+                                    + std::to_string(feed),
+                                {id, static_cast<std::int32_t>(feed)});
+                        }
+                    }
+                }
+            }
+            dc.system->addTree(std::move(tree));
+        }
+    }
+
+    dc.system->validate();
+    return dc;
+}
+
+} // namespace capmaestro::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Builder for the paper's simulated production data center (Table 4):
+ * two three-phase feeds, 2 transformers per feed, 9 RPPs per transformer,
+ * 9 CDUs per RPP (162 racks; one CDU per feed per rack), and a
+ * configurable number of servers per rack spread across the phases.
+ *
+ * All Table 4 ratings are per-phase values; breakers and transformers are
+ * loaded to 80 % (NEC derating) and the contractual budget to 95 %
+ * (§6.4's error margin).
+ *
+ * Phases are electrically independent and statistically identical, so
+ * capacity studies may simulate a single phase (params.phases = 1) and
+ * scale counts by 3; set phases = 3 for the full center.
+ */
+
+#ifndef CAPMAESTRO_SIM_DATACENTER_HH
+#define CAPMAESTRO_SIM_DATACENTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "topology/power_system.hh"
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace capmaestro::sim {
+
+/** Table 4 parameters (per-phase ratings). */
+struct DataCenterParams
+{
+    int feeds = 2;
+    /** Phases to instantiate (3 physical; 1 suffices by symmetry). */
+    int phases = 1;
+    /** Physical phases (for whole-center server counts). */
+    int physicalPhases = 3;
+    int transformersPerFeed = 2;
+    int rppsPerTransformer = 9;
+    int cdusPerRpp = 9;
+    /** Servers per rack on each phase (paper: rack totals 6..45). */
+    int serversPerRackPerPhase = 13;
+
+    Watts contractualPerPhase = 700e3;
+    /** Fraction of the contractual budget used (5 % error margin). */
+    double contractualMargin = 0.95;
+    Watts transformerRating = 420e3;
+    Watts rppRating = 52e3;
+    Watts cduRating = 6.9e3;
+    /** NEC continuous-load derating for breakers and transformers. */
+    double derate = 0.8;
+
+    /** Server population (paper Table 4). */
+    Watts serverIdle = 160.0;
+    Watts serverCapMin = 270.0;
+    Watts serverCapMax = 490.0;
+    /** Fraction of servers designated high priority (§6.4: 30 %). */
+    double highPriorityFraction = 0.3;
+    /**
+     * Intrinsic supply load-split mismatch: each server's feed-0 share is
+     * drawn from 0.5 +/- mismatch (§3.1 reports up to 15 %).
+     */
+    double supplyMismatch = 0.0;
+
+    /** Racks per feed (= CDUs per feed). */
+    int racks() const
+    {
+        return transformersPerFeed * rppsPerTransformer * cdusPerRpp;
+    }
+
+    /** Usable per-phase budget after the margin. */
+    Watts usableBudgetPerPhase() const
+    {
+        return contractualPerPhase * contractualMargin;
+    }
+
+    /** Whole-center server count this configuration represents. */
+    std::size_t totalServersFullCenter() const
+    {
+        return static_cast<std::size_t>(racks())
+               * static_cast<std::size_t>(physicalPhases)
+               * static_cast<std::size_t>(serversPerRackPerPhase);
+    }
+};
+
+/** Static placement of one simulated server. */
+struct ServerPlacement
+{
+    int rack = 0;
+    int phase = 0;
+    int slot = 0;
+};
+
+/** A built data center: topology plus server placement. */
+struct DataCenter
+{
+    DataCenterParams params;
+    std::unique_ptr<topo::PowerSystem> system;
+    std::vector<ServerPlacement> servers;
+
+    /** Tree index for (feed, phase). */
+    std::size_t
+    treeIndex(int feed, int phase) const
+    {
+        return static_cast<std::size_t>(feed)
+               * static_cast<std::size_t>(params.phases)
+               + static_cast<std::size_t>(phase);
+    }
+};
+
+/**
+ * Build the Table 4 power system. Server ids are assigned densely:
+ * id = (rack * phases + phase) * serversPerRackPerPhase + slot, and each
+ * server has supply 0 on feed 0 and supply 1 on feed 1 (same phase).
+ */
+DataCenter buildDataCenter(const DataCenterParams &params);
+
+} // namespace capmaestro::sim
+
+#endif // CAPMAESTRO_SIM_DATACENTER_HH

@@ -1,0 +1,80 @@
+#include "sim/placement.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace capmaestro::sim {
+
+std::vector<int>
+balancePhases(const std::vector<Watts> &demands, int phases)
+{
+    if (phases < 1)
+        util::fatal("balancePhases: need at least one phase");
+
+    // LPT: place servers in descending demand order onto the currently
+    // lightest phase.
+    std::vector<std::size_t> order(demands.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&demands](std::size_t a, std::size_t b) {
+                  if (demands[a] != demands[b])
+                      return demands[a] > demands[b];
+                  return a < b; // deterministic tie-break
+              });
+
+    std::vector<Watts> load(static_cast<std::size_t>(phases), 0.0);
+    std::vector<int> assignment(demands.size(), 0);
+    for (const std::size_t i : order) {
+        const auto lightest =
+            std::min_element(load.begin(), load.end()) - load.begin();
+        assignment[i] = static_cast<int>(lightest);
+        load[static_cast<std::size_t>(lightest)] += demands[i];
+    }
+    return assignment;
+}
+
+std::vector<int>
+roundRobinPhases(std::size_t servers, int phases)
+{
+    if (phases < 1)
+        util::fatal("roundRobinPhases: need at least one phase");
+    std::vector<int> assignment(servers);
+    for (std::size_t i = 0; i < servers; ++i)
+        assignment[i] = static_cast<int>(i % phases);
+    return assignment;
+}
+
+std::vector<Watts>
+phaseLoads(const std::vector<Watts> &demands,
+           const std::vector<int> &assignment, int phases)
+{
+    if (assignment.size() != demands.size())
+        util::panic("phaseLoads: assignment/demand size mismatch");
+    std::vector<Watts> load(static_cast<std::size_t>(phases), 0.0);
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        const auto p = static_cast<std::size_t>(assignment[i]);
+        if (p >= load.size())
+            util::panic("phaseLoads: phase %d out of range",
+                        assignment[i]);
+        load[p] += demands[i];
+    }
+    return load;
+}
+
+double
+phaseImbalance(const std::vector<Watts> &demands,
+               const std::vector<int> &assignment, int phases)
+{
+    const auto load = phaseLoads(demands, assignment, phases);
+    const double total =
+        std::accumulate(load.begin(), load.end(), 0.0);
+    if (total <= 0.0)
+        return 0.0;
+    const double mean = total / static_cast<double>(phases);
+    const double peak = *std::max_element(load.begin(), load.end());
+    return peak / mean - 1.0;
+}
+
+} // namespace capmaestro::sim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Phase-balancing placement advisor.
+ *
+ * Paper §4.1 replicates the control tree per phase "since loading on
+ * each phase is not always uniform" — but operators still choose which
+ * phase each server plugs into. A skewed assignment wastes capacity:
+ * the heaviest phase caps first while the others idle. This advisor
+ * computes balanced phase assignments (longest-processing-time
+ * greedy, a classic 4/3-approximation for makespan) and quantifies the
+ * imbalance of any assignment, so capacity planners can see how much
+ * headroom a re-plug would recover.
+ */
+
+#ifndef CAPMAESTRO_SIM_PLACEMENT_HH
+#define CAPMAESTRO_SIM_PLACEMENT_HH
+
+#include <vector>
+
+#include "util/units.hh"
+
+namespace capmaestro::sim {
+
+/**
+ * Assign each server (with expected demand) to one of @p phases,
+ * balancing per-phase total demand with the LPT greedy rule.
+ *
+ * @return assignment[i] = phase of server i.
+ */
+std::vector<int> balancePhases(const std::vector<Watts> &demands,
+                               int phases);
+
+/** Round-robin assignment (the naive baseline). */
+std::vector<int> roundRobinPhases(std::size_t servers, int phases);
+
+/** Per-phase total demand for an assignment. */
+std::vector<Watts> phaseLoads(const std::vector<Watts> &demands,
+                              const std::vector<int> &assignment,
+                              int phases);
+
+/**
+ * Imbalance metric: max phase load / mean phase load - 1.
+ * 0 means perfectly balanced.
+ */
+double phaseImbalance(const std::vector<Watts> &demands,
+                      const std::vector<int> &assignment, int phases);
+
+} // namespace capmaestro::sim
+
+#endif // CAPMAESTRO_SIM_PLACEMENT_HH

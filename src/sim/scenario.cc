@@ -1,0 +1,172 @@
+#include "sim/scenario.hh"
+
+#include <utility>
+#include <vector>
+
+#include "device/workload.hh"
+
+namespace capmaestro::sim {
+
+dev::ServerSpec
+testbedServerSpec(const std::string &name, Priority priority,
+                  Fraction share0, std::size_t supplies)
+{
+    dev::ServerSpec spec;
+    spec.name = name;
+    spec.idle = 160.0;
+    spec.capMin = 270.0;
+    spec.capMax = 490.0;
+    spec.priority = priority;
+    spec.gamma = 2.7;
+    if (supplies == 1) {
+        spec.supplies = {{1.0, 0.94}};
+    } else {
+        spec.supplies = {{share0, 0.94}, {1.0 - share0, 0.94}};
+    }
+    return spec;
+}
+
+Fraction
+utilizationForDemand(Watts idle, Watts cap_max, Watts target)
+{
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (dev::fanPower(idle, cap_max, mid) < target ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+std::unique_ptr<topo::PowerSystem>
+fig2System()
+{
+    auto sys = std::make_unique<topo::PowerSystem>(1);
+    auto tree = std::make_unique<topo::PowerTree>(0, 0, "feed");
+    const auto top =
+        tree->makeRoot(topo::NodeKind::Breaker, "topCB", 1400.0);
+    const auto left =
+        tree->addChild(top, topo::NodeKind::Breaker, "leftCB", 750.0);
+    const auto right =
+        tree->addChild(top, topo::NodeKind::Breaker, "rightCB", 750.0);
+    tree->addSupplyPort(left, "SA.0", {0, 0});
+    tree->addSupplyPort(left, "SB.0", {1, 0});
+    tree->addSupplyPort(right, "SC.0", {2, 0});
+    tree->addSupplyPort(right, "SD.0", {3, 0});
+    sys->addTree(std::move(tree));
+    return sys;
+}
+
+std::unique_ptr<topo::PowerSystem>
+fig7aSystem()
+{
+    auto sys = std::make_unique<topo::PowerSystem>(2);
+    for (int feed = 0; feed < 2; ++feed) {
+        auto tree = std::make_unique<topo::PowerTree>(
+            feed, 0, feed == 0 ? "X" : "Y");
+        const auto top =
+            tree->makeRoot(topo::NodeKind::Breaker, "topCB", 1400.0);
+        const auto left =
+            tree->addChild(top, topo::NodeKind::Breaker, "leftCB", 750.0);
+        const auto right =
+            tree->addChild(top, topo::NodeKind::Breaker, "rightCB",
+                           750.0);
+        if (feed == 0) {
+            tree->addSupplyPort(left, "SA.X", {0, 0});
+            tree->addSupplyPort(left, "SC.X", {2, 0});
+            tree->addSupplyPort(right, "SD.X", {3, 0});
+        } else {
+            tree->addSupplyPort(left, "SB.Y", {1, 1});
+            tree->addSupplyPort(left, "SC.Y", {2, 1});
+            tree->addSupplyPort(right, "SD.Y", {3, 1});
+        }
+        sys->addTree(std::move(tree));
+    }
+    return sys;
+}
+
+ClosedLoopSim
+makeFig5Rig(std::uint64_t seed)
+{
+    // Two feeds, one generous breaker each, one dual-supply server.
+    auto sys = std::make_unique<topo::PowerSystem>(2);
+    for (int feed = 0; feed < 2; ++feed) {
+        auto tree = std::make_unique<topo::PowerTree>(
+            feed, 0, feed == 0 ? "X" : "Y");
+        const auto root =
+            tree->makeRoot(topo::NodeKind::Breaker, "cb", 1000.0);
+        tree->addSupplyPort(root, "S0." + std::to_string(feed),
+                            {0, feed});
+        sys->addTree(std::move(tree));
+    }
+
+    std::vector<ServerSetup> servers;
+    ServerSetup s;
+    s.spec = testbedServerSpec("S0");
+    s.workload = std::make_unique<dev::ConstantWorkload>(1.0);
+    servers.push_back(std::move(s));
+
+    ClosedLoopSim rig(std::move(sys), std::move(servers), {}, seed);
+    rig.setManualMode(true);
+    return rig;
+}
+
+ClosedLoopSim
+makeFig6Rig(policy::PolicyKind policy, std::uint64_t seed)
+{
+    // Table 2 demands: 420/413/417/423 W; SA high priority.
+    const Watts demands[4] = {420.0, 413.0, 417.0, 423.0};
+    std::vector<ServerSetup> servers;
+    for (int i = 0; i < 4; ++i) {
+        ServerSetup s;
+        s.spec = testbedServerSpec("S" + std::to_string(i),
+                                   i == 0 ? 1 : 0, 1.0, 1);
+        s.workload = std::make_unique<dev::ConstantWorkload>(
+            utilizationForDemand(160.0, 490.0, demands[i]));
+        servers.push_back(std::move(s));
+    }
+
+    core::ServiceConfig config;
+    config.policy = policy;
+    config.enableSpo = false; // single-corded servers: nothing to strand
+
+    ClosedLoopSim rig(fig2System(), std::move(servers), config, seed);
+    rig.setRootBudgets({1240.0});
+    return rig;
+}
+
+ClosedLoopSim
+makeFig7Rig(bool enable_spo, std::uint64_t seed,
+            policy::PolicyKind policy)
+{
+    // Table 3 demands: SA 414, SB 415, SC 433, SD 439 W; SA high
+    // priority; SC/SD with intrinsic split mismatch.
+    std::vector<ServerSetup> servers;
+    const Watts demands[4] = {414.0, 415.0, 433.0, 439.0};
+    const Fraction share_x[4] = {1.0, 0.0, 0.53, 0.46};
+    for (int i = 0; i < 4; ++i) {
+        ServerSetup s;
+        if (i == 0) {
+            s.spec = testbedServerSpec("SA", 1);
+        } else {
+            s.spec = testbedServerSpec(
+                i == 1 ? "SB" : (i == 2 ? "SC" : "SD"), 0,
+                i == 1 ? 0.5 : share_x[i]);
+        }
+        s.workload = std::make_unique<dev::ConstantWorkload>(
+            utilizationForDemand(160.0, 490.0, demands[i]));
+        servers.push_back(std::move(s));
+    }
+
+    core::ServiceConfig config;
+    config.enableSpo = enable_spo;
+    config.policy = policy;
+
+    ClosedLoopSim rig(fig7aSystem(), std::move(servers), config, seed);
+    // SA's Y supply and SB's X supply are disconnected (paper setup).
+    rig.server(0).setSupplyState(1, dev::SupplyState::Failed);
+    rig.server(1).setSupplyState(0, dev::SupplyState::Failed);
+    rig.setRootBudgets({700.0, 700.0});
+    return rig;
+}
+
+} // namespace capmaestro::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Canonical experiment scenarios shared by tests, benches, and examples:
+ * the Figure 2 four-server single-feed tree, the Figure 5 single-server
+ * dual-supply rig, and the Figure 7a dual-feed stranded-power testbed.
+ */
+
+#ifndef CAPMAESTRO_SIM_SCENARIO_HH
+#define CAPMAESTRO_SIM_SCENARIO_HH
+
+#include <memory>
+
+#include "device/server.hh"
+#include "sim/closed_loop.hh"
+#include "topology/power_system.hh"
+
+namespace capmaestro::sim {
+
+/** The paper's testbed server spec (idle 160 W, 270-490 W cap range). */
+dev::ServerSpec testbedServerSpec(const std::string &name,
+                                  Priority priority = 0,
+                                  Fraction share0 = 0.5,
+                                  std::size_t supplies = 2);
+
+/** Utilization at which the testbed server demands @p target watts. */
+Fraction utilizationForDemand(Watts idle, Watts cap_max, Watts target);
+
+/**
+ * Figure 2 power system: one feed, top CB 1400 W over left/right CBs
+ * 750 W; servers 0,1 under left and 2,3 under right (single supply 0).
+ */
+std::unique_ptr<topo::PowerSystem> fig2System();
+
+/**
+ * Figure 7a power system: feeds X=0 and Y=1, each 1400 W top CB over two
+ * 750 W CBs. Server 0 (SA) is X-only, server 1 (SB) Y-only, servers 2,3
+ * (SC, SD) dual-corded. Supply index == feed index.
+ */
+std::unique_ptr<topo::PowerSystem> fig7aSystem();
+
+/**
+ * Closed-loop rig for Figure 5: one dual-supply server under generous
+ * per-feed breakers, in manual-budget mode, running at full load.
+ */
+ClosedLoopSim makeFig5Rig(std::uint64_t seed = 1);
+
+/**
+ * Closed-loop rig for the Figure 2 / Table 2 policy experiments: four
+ * servers on the Figure 2 tree, server 0 high priority, all running
+ * near-420 W steady Apache-like demands; root budget 1240 W.
+ */
+ClosedLoopSim makeFig6Rig(policy::PolicyKind policy,
+                          std::uint64_t seed = 1);
+
+/**
+ * Closed-loop rig for the Figure 7 stranded-power experiments: the
+ * Figure 7a system with Table 3 demands and split mismatches; 700 W
+ * budget per feed.
+ */
+ClosedLoopSim makeFig7Rig(bool enable_spo, std::uint64_t seed = 1,
+                          policy::PolicyKind policy =
+                              policy::PolicyKind::GlobalPriority);
+
+} // namespace capmaestro::sim
+
+#endif // CAPMAESTRO_SIM_SCENARIO_HH

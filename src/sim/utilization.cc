@@ -1,0 +1,67 @@
+#include "sim/utilization.hh"
+
+namespace capmaestro::sim {
+
+const std::array<double, GoogleUtilizationProfile::kBins> &
+GoogleUtilizationProfile::binWeights()
+{
+    // Digitized Figure 8: mode in the 20-30 % bin, ~96 % of mass below
+    // 40 %, thin tail above 50 %. See the substitution note in the header.
+    static const std::array<double, kBins> weights{
+        0.1050, // [0.0, 0.1)
+        0.3400, // [0.1, 0.2)
+        0.4120, // [0.2, 0.3)
+        0.1200, // [0.3, 0.4)
+        0.0160, // [0.4, 0.5)
+        0.0050, // [0.5, 0.6)
+        0.0015, // [0.6, 0.7)
+        0.0005, // [0.7, 0.8)
+        0.0000, // [0.8, 0.9)
+        0.0000, // [0.9, 1.0)
+    };
+    return weights;
+}
+
+Fraction
+GoogleUtilizationProfile::sample(util::Rng &rng)
+{
+    const auto &weights = binWeights();
+    double r = rng.uniform();
+    for (std::size_t i = 0; i < kBins; ++i) {
+        if (r < weights[i]) {
+            // Uniform within the bin.
+            const double lo = static_cast<double>(i) / kBins;
+            return lo + rng.uniform(0.0, 1.0 / kBins);
+        }
+        r -= weights[i];
+    }
+    return 0.95; // numeric tail (weights sum to 1)
+}
+
+double
+GoogleUtilizationProfile::mean()
+{
+    const auto &weights = binWeights();
+    double m = 0.0;
+    for (std::size_t i = 0; i < kBins; ++i)
+        m += weights[i] * (static_cast<double>(i) + 0.5) / kBins;
+    return m;
+}
+
+stats::Histogram
+GoogleUtilizationProfile::histogram(util::Rng &rng, std::size_t samples)
+{
+    stats::Histogram h(0.0, 1.0, kBins);
+    for (std::size_t i = 0; i < samples; ++i)
+        h.add(sample(rng));
+    return h;
+}
+
+Fraction
+GoogleUtilizationProfile::perServer(util::Rng &rng, Fraction fleet_average,
+                                    double stddev)
+{
+    return rng.normalClamped(fleet_average, stddev, 0.0, 1.0);
+}
+
+} // namespace capmaestro::sim

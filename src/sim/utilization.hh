@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The shared-data-center CPU utilization profile used for typical-case
+ * load (paper Figure 8, after Barroso et al. [27]).
+ *
+ * SUBSTITUTION NOTE (see DESIGN.md): the paper samples a load profile
+ * released by Google; we digitize its published shape — average
+ * utilization concentrated in the 10-35 % band with a thin high tail —
+ * into ten 10 %-wide bins. Each Monte-Carlo trial draws a fleet-wide
+ * average utilization from this distribution (bin frequency, uniform
+ * within the bin), then jitters individual servers around it, exactly as
+ * §6.4 describes.
+ */
+
+#ifndef CAPMAESTRO_SIM_UTILIZATION_HH
+#define CAPMAESTRO_SIM_UTILIZATION_HH
+
+#include <array>
+
+#include "stats/histogram.hh"
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace capmaestro::sim {
+
+/** Digitized Figure 8 distribution of average CPU utilization. */
+class GoogleUtilizationProfile
+{
+  public:
+    /** Number of 10 %-wide bins. */
+    static constexpr std::size_t kBins = 10;
+
+    /** Bin probabilities (index i covers [i/10, (i+1)/10)). */
+    static const std::array<double, kBins> &binWeights();
+
+    /** Draw one fleet-wide average utilization. */
+    static Fraction sample(util::Rng &rng);
+
+    /** Mean of the distribution. */
+    static double mean();
+
+    /** Build a histogram of @p samples draws (for the Fig. 8 bench). */
+    static stats::Histogram histogram(util::Rng &rng, std::size_t samples);
+
+    /**
+     * Per-server utilization around the fleet average (normal jitter,
+     * clamped to [0, 1]) — §6.4's "vary the CPU utilization of each
+     * server randomly around the average value".
+     */
+    static Fraction perServer(util::Rng &rng, Fraction fleet_average,
+                              double stddev = 0.05);
+};
+
+} // namespace capmaestro::sim
+
+#endif // CAPMAESTRO_SIM_UTILIZATION_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Streaming statistics accumulator (count/mean/variance/min/max).
+ *
+ * Uses Welford's online algorithm so Monte-Carlo sweeps can aggregate
+ * millions of samples without storing them.
+ */
+
+#ifndef CAPMAESTRO_STATS_ACCUMULATOR_HH
+#define CAPMAESTRO_STATS_ACCUMULATOR_HH
+
+#include <cstddef>
+
+namespace capmaestro::stats {
+
+/** Online mean/variance/extrema accumulator. */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const Accumulator &other);
+
+    /** Reset to the empty state. */
+    void clear();
+
+    /** Number of samples. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace capmaestro::stats
+
+#endif // CAPMAESTRO_STATS_ACCUMULATOR_HH

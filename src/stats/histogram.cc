@@ -1,0 +1,77 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace capmaestro::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        util::fatal("Histogram needs at least one bin");
+    if (!(hi > lo))
+        util::fatal("Histogram range must satisfy hi > lo");
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + static_cast<double>(i) * width;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    double max_frac = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        max_frac = std::max(max_frac, binFraction(i));
+
+    std::string out;
+    char buf[96];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double frac = binFraction(i);
+        const auto bar_len = static_cast<std::size_t>(
+            max_frac > 0 ? std::lround(frac / max_frac
+                                       * static_cast<double>(width))
+                         : 0);
+        std::snprintf(buf, sizeof(buf), "%6.2f  %5.1f%%  ", binCenter(i),
+                      100.0 * frac);
+        out += buf;
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace capmaestro::stats

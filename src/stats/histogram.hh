@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-bin histogram for distribution reporting (e.g., paper Figure 8).
+ */
+
+#ifndef CAPMAESTRO_STATS_HISTOGRAM_HH
+#define CAPMAESTRO_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace capmaestro::stats {
+
+/** Equal-width histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    inclusive lower bound of the histogram range
+     * @param hi    exclusive upper bound
+     * @param bins  number of equal-width bins (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample (clamped into range). */
+    void add(double x);
+
+    /** Total number of samples. */
+    std::size_t count() const { return total_; }
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Raw count in bin @p i. */
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Fraction of samples in bin @p i (0 when empty). */
+    double binFraction(std::size_t i) const;
+
+    /** Center x-value of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Render an ASCII bar chart (one line per bin). */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace capmaestro::stats
+
+#endif // CAPMAESTRO_STATS_HISTOGRAM_HH

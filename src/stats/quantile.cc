@@ -1,0 +1,116 @@
+#include "stats/quantile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace capmaestro::stats {
+
+P2Quantile::P2Quantile(double quantile) : quantile_(quantile)
+{
+    if (quantile_ <= 0.0 || quantile_ >= 1.0)
+        util::fatal("P2Quantile: quantile must be in (0,1)");
+    desired_ = {1.0, 1.0 + 2.0 * quantile_, 1.0 + 4.0 * quantile_,
+                3.0 + 2.0 * quantile_, 5.0};
+    increments_ = {0.0, quantile_ / 2.0, quantile_,
+                   (1.0 + quantile_) / 2.0, 1.0};
+    positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+double
+P2Quantile::parabolic(int i, double d) const
+{
+    const double qi = heights_[static_cast<std::size_t>(i)];
+    const double qm = heights_[static_cast<std::size_t>(i - 1)];
+    const double qp = heights_[static_cast<std::size_t>(i + 1)];
+    const double ni = positions_[static_cast<std::size_t>(i)];
+    const double nm = positions_[static_cast<std::size_t>(i - 1)];
+    const double np = positions_[static_cast<std::size_t>(i + 1)];
+    return qi
+           + d / (np - nm)
+                 * ((ni - nm + d) * (qp - qi) / (np - ni)
+                    + (np - ni - d) * (qi - qm) / (ni - nm));
+}
+
+double
+P2Quantile::linear(int i, double d) const
+{
+    const auto j = static_cast<std::size_t>(i + static_cast<int>(d));
+    const auto k = static_cast<std::size_t>(i);
+    return heights_[k]
+           + d * (heights_[j] - heights_[k])
+                 / (positions_[j] - positions_[k]);
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (count_ < 5) {
+        heights_[count_] = x;
+        ++count_;
+        if (count_ == 5)
+            std::sort(heights_.begin(), heights_.end());
+        return;
+    }
+
+    // Locate the cell containing x and update extreme heights.
+    std::size_t k;
+    if (x < heights_[0]) {
+        heights_[0] = x;
+        k = 0;
+    } else if (x >= heights_[4]) {
+        heights_[4] = std::max(heights_[4], x);
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= heights_[k + 1])
+            ++k;
+    }
+
+    for (std::size_t i = k + 1; i < 5; ++i)
+        positions_[i] += 1.0;
+    for (std::size_t i = 0; i < 5; ++i)
+        desired_[i] += increments_[i];
+    ++count_;
+
+    // Adjust interior markers toward their desired positions.
+    for (int i = 1; i <= 3; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const double diff = desired_[idx] - positions_[idx];
+        const bool can_up =
+            positions_[idx + 1] - positions_[idx] > 1.0;
+        const bool can_down =
+            positions_[idx - 1] - positions_[idx] < -1.0;
+        if ((diff >= 1.0 && can_up) || (diff <= -1.0 && can_down)) {
+            const double d = diff >= 1.0 ? 1.0 : -1.0;
+            double candidate = parabolic(i, d);
+            if (candidate <= heights_[idx - 1]
+                || candidate >= heights_[idx + 1]) {
+                candidate = linear(i, d);
+            }
+            heights_[idx] = candidate;
+            positions_[idx] += d;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (count_ < 5) {
+        // Exact on the few samples seen so far.
+        std::array<double, 5> sorted = heights_;
+        std::sort(sorted.begin(), sorted.begin()
+                                      + static_cast<long>(count_));
+        const auto rank = static_cast<std::size_t>(std::ceil(
+                              quantile_ * static_cast<double>(count_)))
+                          - 1;
+        return sorted[std::min(rank, count_ - 1)];
+    }
+    return heights_[2];
+}
+
+} // namespace capmaestro::stats

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Streaming quantile estimation with the P-squared algorithm (Jain &
+ * Chlamtac, 1985): tracks a single quantile in O(1) memory without
+ * storing samples. Used to report tail cap ratios (p95/p99) in the
+ * Monte-Carlo capacity studies, where the mean criterion of §6.4 can
+ * hide a badly-throttled minority.
+ */
+
+#ifndef CAPMAESTRO_STATS_QUANTILE_HH
+#define CAPMAESTRO_STATS_QUANTILE_HH
+
+#include <array>
+#include <cstddef>
+
+namespace capmaestro::stats {
+
+/** O(1)-memory estimator of one quantile of a stream. */
+class P2Quantile
+{
+  public:
+    /** @param quantile target quantile in (0, 1), e.g. 0.99 */
+    explicit P2Quantile(double quantile);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /**
+     * Current estimate. Exact while fewer than 5 samples have been
+     * seen; P-squared approximation afterwards.
+     */
+    double value() const;
+
+    /** Number of samples observed. */
+    std::size_t count() const { return count_; }
+
+    /** Target quantile. */
+    double quantile() const { return quantile_; }
+
+  private:
+    double quantile_;
+    std::size_t count_ = 0;
+    /** Marker heights (the 5 running order statistics). */
+    std::array<double, 5> heights_{};
+    /** Actual marker positions (1-based sample ranks). */
+    std::array<double, 5> positions_{};
+    /** Desired marker positions. */
+    std::array<double, 5> desired_{};
+    /** Desired position increments per sample. */
+    std::array<double, 5> increments_{};
+
+    double parabolic(int i, double d) const;
+    double linear(int i, double d) const;
+};
+
+} // namespace capmaestro::stats
+
+#endif // CAPMAESTRO_STATS_QUANTILE_HH

@@ -1,0 +1,79 @@
+#include "topology/analysis.hh"
+
+namespace capmaestro::topo {
+
+std::vector<SelectivityViolation>
+checkSelectivity(const PowerTree &tree)
+{
+    std::vector<SelectivityViolation> out;
+    tree.forEach([&](const TopoNode &parent) {
+        if (parent.limit() == kUnlimited)
+            return;
+        for (const NodeId c : parent.children) {
+            const TopoNode &child = tree.node(c);
+            if (child.kind == NodeKind::SupplyPort
+                || child.limit() == kUnlimited) {
+                continue;
+            }
+            if (child.limit() >= parent.limit()) {
+                out.push_back({parent.id, c,
+                               child.limit() / parent.limit()});
+            }
+        }
+    });
+    return out;
+}
+
+std::vector<Oversubscription>
+oversubscriptionReport(const PowerTree &tree)
+{
+    std::vector<Oversubscription> out;
+    tree.forEach([&](const TopoNode &n) {
+        if (n.kind == NodeKind::SupplyPort || n.children.empty()
+            || n.limit() == kUnlimited) {
+            return;
+        }
+        Oversubscription o;
+        o.node = n.id;
+        o.ownLimit = n.limit();
+        bool any_finite = false;
+        for (const NodeId c : n.children) {
+            const Watts child_limit = tree.node(c).limit();
+            if (child_limit != kUnlimited) {
+                o.childLimitSum += child_limit;
+                any_finite = true;
+            }
+        }
+        if (!any_finite)
+            return;
+        o.ratio = o.childLimitSum / o.ownLimit;
+        out.push_back(o);
+    });
+    return out;
+}
+
+double
+provisioningRatio(const PowerTree &tree)
+{
+    if (tree.root() == kNoNode)
+        return 0.0;
+    const Watts root_limit = tree.node(tree.root()).limit();
+    if (root_limit == kUnlimited || root_limit <= 0.0)
+        return 0.0;
+
+    // Leaf-level capacity: for each leaf-parent, its own limit bounds
+    // what its leaves can draw; sum those bounds.
+    Watts edge_capacity = 0.0;
+    tree.forEach([&](const TopoNode &n) {
+        bool leaf_parent = false;
+        for (const NodeId c : n.children) {
+            if (tree.node(c).kind == NodeKind::SupplyPort)
+                leaf_parent = true;
+        }
+        if (leaf_parent && n.limit() != kUnlimited)
+            edge_capacity += n.limit();
+    });
+    return edge_capacity / root_limit;
+}
+
+} // namespace capmaestro::topo

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Static topology analysis: breaker-coordination (selectivity) checks
+ * and oversubscription reporting.
+ *
+ * Protection coordination requires every downstream breaker to be rated
+ * below its upstream device, so faults trip the nearest breaker instead
+ * of cascading (paper §2.1 motivates breakers precisely as cascade
+ * guards). Oversubscription — the ratio of the children's combined
+ * limits to a node's own limit — quantifies how much a level relies on
+ * power capping: a ratio of 1 means no oversubscription; the Table 4
+ * center runs CDU-level ratios well above 1 by design.
+ */
+
+#ifndef CAPMAESTRO_TOPOLOGY_ANALYSIS_HH
+#define CAPMAESTRO_TOPOLOGY_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "topology/power_tree.hh"
+
+namespace capmaestro::topo {
+
+/** A selectivity (coordination) violation. */
+struct SelectivityViolation
+{
+    NodeId parent = kNoNode;
+    NodeId child = kNoNode;
+    /** child limit / parent limit (>= 1 means miscoordinated). */
+    double ratio = 0.0;
+};
+
+/**
+ * Find parent/child pairs where the child's continuous limit is not
+ * strictly below the parent's (both finite): such a child cannot be
+ * guaranteed to trip before its parent. Pass-through (unlimited) nodes
+ * are skipped.
+ */
+std::vector<SelectivityViolation>
+checkSelectivity(const PowerTree &tree);
+
+/** Oversubscription at one interior node. */
+struct Oversubscription
+{
+    NodeId node = kNoNode;
+    Watts ownLimit = 0.0;
+    /** Sum of the children's limits (kUnlimited children excluded). */
+    Watts childLimitSum = 0.0;
+    /** childLimitSum / ownLimit; 0 when the node itself is unlimited. */
+    double ratio = 0.0;
+};
+
+/**
+ * Oversubscription report for every interior node with a finite limit
+ * and at least one finite-limit child, in pre-order.
+ */
+std::vector<Oversubscription>
+oversubscriptionReport(const PowerTree &tree);
+
+/**
+ * The tree's provisioned-to-deliverable ratio: the sum of leaf-level
+ * limits over the root's effective limit. This is the "how many more
+ * servers did capping let us connect" number at topology level.
+ */
+double provisioningRatio(const PowerTree &tree);
+
+} // namespace capmaestro::topo
+
+#endif // CAPMAESTRO_TOPOLOGY_ANALYSIS_HH

@@ -1,0 +1,131 @@
+#include "topology/audit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace capmaestro::topo {
+
+TopologyAuditor::TopologyAuditor(const PowerTree &tree, Watts tolerance)
+    : tree_(tree), tolerance_(tolerance)
+{
+    if (tolerance_ < 0.0)
+        util::fatal("TopologyAuditor: negative tolerance");
+}
+
+NodeLoadMap
+TopologyAuditor::predictLoads(const SupplyLoadMap &loads) const
+{
+    NodeLoadMap predicted;
+    // Post-order accumulation: child loads sum into parents. Walk nodes
+    // in reverse id order; ids are assigned parent-before-child, so a
+    // reverse sweep sees every child before its parent.
+    const auto size = static_cast<NodeId>(tree_.size());
+    for (NodeId id = size - 1; id >= 0; --id) {
+        const TopoNode &n = tree_.node(id);
+        Watts load = 0.0;
+        if (n.supplyRef) {
+            const auto it = loads.find(
+                {n.supplyRef->server, n.supplyRef->supply});
+            load = it != loads.end() ? it->second : 0.0;
+        }
+        for (const NodeId c : n.children)
+            load += predicted[c];
+        predicted[id] = load;
+    }
+    return predicted;
+}
+
+Watts
+TopologyAuditor::totalResidual(const NodeLoadMap &predicted,
+                               const NodeLoadMap &measured) const
+{
+    Watts residual = 0.0;
+    for (const auto &[node, value] : measured) {
+        const auto it = predicted.find(node);
+        const Watts p = it != predicted.end() ? it->second : 0.0;
+        const Watts err = std::fabs(value - p);
+        if (err > tolerance_)
+            residual += err;
+    }
+    return residual;
+}
+
+AuditReport
+TopologyAuditor::audit(const SupplyLoadMap &loads,
+                       const NodeLoadMap &measured) const
+{
+    AuditReport report;
+    const NodeLoadMap predicted = predictLoads(loads);
+
+    for (const auto &[node, value] : measured) {
+        const auto it = predicted.find(node);
+        const Watts p = it != predicted.end() ? it->second : 0.0;
+        if (std::fabs(value - p) > tolerance_)
+            report.discrepancies.push_back({node, p, value});
+    }
+    if (report.discrepancies.empty())
+        return report;
+
+    // Single-move hypothesis search: try re-homing each supply to each
+    // other leaf-parent and keep the move with the lowest residual.
+    // Complexity O(ports x parents x metered); fine at audit cadence.
+    std::vector<NodeId> leaf_parents;
+    tree_.forEach([&](const TopoNode &n) {
+        for (const NodeId c : n.children) {
+            if (tree_.node(c).kind == NodeKind::SupplyPort) {
+                leaf_parents.push_back(n.id);
+                break;
+            }
+        }
+    });
+
+    const Watts base_residual = totalResidual(predicted, measured);
+    Watts best_residual = base_residual;
+    MiswiringHypothesis best;
+
+    for (const NodeId port : tree_.supplyPorts()) {
+        const TopoNode &leaf = tree_.node(port);
+        const NodeId claimed = leaf.parent;
+        const auto load_it = loads.find(
+            {leaf.supplyRef->server, leaf.supplyRef->supply});
+        const Watts load =
+            load_it != loads.end() ? load_it->second : 0.0;
+        if (load <= tolerance_)
+            continue; // an unloaded supply cannot be located electrically
+
+        for (const NodeId candidate : leaf_parents) {
+            if (candidate == claimed)
+                continue;
+            // Moving the supply shifts its load off every ancestor of
+            // the claimed parent and onto every ancestor of the
+            // candidate. Apply the delta to a copy of the prediction.
+            NodeLoadMap adjusted = predicted;
+            for (NodeId a = claimed; a != kNoNode;
+                 a = tree_.node(a).parent) {
+                adjusted[a] -= load;
+            }
+            for (NodeId a = candidate; a != kNoNode;
+                 a = tree_.node(a).parent) {
+                adjusted[a] += load;
+            }
+            const Watts residual = totalResidual(adjusted, measured);
+            if (residual < best_residual - 1e-9) {
+                best_residual = residual;
+                best.supply = *leaf.supplyRef;
+                best.claimedParent = claimed;
+                best.actualParent = candidate;
+                best.residual = residual;
+            }
+        }
+    }
+
+    if (best.actualParent != kNoNode
+        && best_residual < 0.5 * base_residual) {
+        report.hypothesis = best;
+    }
+    return report;
+}
+
+} // namespace capmaestro::topo

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Runtime power-topology validation (paper §7, "Limited Emphasis on
+ * Power Infrastructure Topology").
+ *
+ * Wiring mistakes — a server plugged into the wrong outlet — make the
+ * control tree diverge from electrical reality: budgets get enforced
+ * against the wrong breakers. The paper calls out the absence of
+ * cost-effective tooling for finding such errors without manual cable
+ * tracing. This auditor addresses that: given per-supply power readings
+ * (which CapMaestro already collects at 1 Hz) and branch-circuit meter
+ * readings at interior nodes (RPP/CDU meters are common), it
+ *
+ *   1. predicts every interior node's load from the claimed topology,
+ *   2. flags nodes whose measured load disagrees beyond a tolerance, and
+ *   3. searches single-move hypotheses ("supply X is actually on branch
+ *      B, not A") that explain the discrepancies, pinpointing the
+ *      mis-wired outlet.
+ */
+
+#ifndef CAPMAESTRO_TOPOLOGY_AUDIT_HH
+#define CAPMAESTRO_TOPOLOGY_AUDIT_HH
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "topology/power_tree.hh"
+
+namespace capmaestro::topo {
+
+/** Measured AC power per supply, keyed by (server, supply). */
+using SupplyLoadMap =
+    std::map<std::pair<std::int32_t, std::int32_t>, Watts>;
+
+/** Measured AC power at metered interior nodes. */
+using NodeLoadMap = std::map<NodeId, Watts>;
+
+/** One disagreement between prediction and measurement. */
+struct NodeDiscrepancy
+{
+    NodeId node = kNoNode;
+    Watts predicted = 0.0;
+    Watts measured = 0.0;
+
+    Watts error() const { return measured - predicted; }
+};
+
+/** A hypothesized wiring fix: move one supply to another parent. */
+struct MiswiringHypothesis
+{
+    /** The supply believed to be mis-wired. */
+    ServerSupplyRef supply;
+    /** The leaf-parent the topology claims it is under. */
+    NodeId claimedParent = kNoNode;
+    /** The leaf-parent the measurements indicate it is under. */
+    NodeId actualParent = kNoNode;
+    /** Residual discrepancy (W, summed) after applying the move. */
+    Watts residual = 0.0;
+};
+
+/** Result of one audit pass. */
+struct AuditReport
+{
+    /** Nodes whose measured load disagrees with the prediction. */
+    std::vector<NodeDiscrepancy> discrepancies;
+    /** Best single-move explanation, when one exists. */
+    std::optional<MiswiringHypothesis> hypothesis;
+
+    bool clean() const { return discrepancies.empty(); }
+};
+
+/** Validates a claimed power topology against live measurements. */
+class TopologyAuditor
+{
+  public:
+    /**
+     * @param tree       the claimed topology (not owned)
+     * @param tolerance  per-node absolute disagreement allowed (W),
+     *                   covering meter noise
+     */
+    explicit TopologyAuditor(const PowerTree &tree, Watts tolerance = 5.0);
+
+    /**
+     * Predict every node's load by summing the supply readings over the
+     * claimed subtrees. Supplies missing from @p loads count as 0 W.
+     */
+    NodeLoadMap predictLoads(const SupplyLoadMap &loads) const;
+
+    /**
+     * Compare predictions with @p measured (only metered nodes are
+     * checked) and, when discrepancies exist, search single-move
+     * hypotheses over the supplies that explain them.
+     */
+    AuditReport audit(const SupplyLoadMap &loads,
+                      const NodeLoadMap &measured) const;
+
+  private:
+    const PowerTree &tree_;
+    Watts tolerance_;
+
+    /** Sum of |measured - predicted| over metered nodes, given a
+     *  prediction map. */
+    Watts totalResidual(const NodeLoadMap &predicted,
+                        const NodeLoadMap &measured) const;
+};
+
+} // namespace capmaestro::topo
+
+#endif // CAPMAESTRO_TOPOLOGY_AUDIT_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Circuit-breaker trip-time modeling (UL 489-style inverse-time envelope).
+ *
+ * Paper §2.1: breakers covered by UL 489 operate for a minimum of 30 s at
+ * 160 % load before tripping; conventional practice limits sustained load to
+ * 80 % of the rating (NEC). CapMaestro relies on the capping loop settling
+ * well inside that 30 s window. This model provides:
+ *
+ *  - a minimum trip-time envelope as a function of overload fraction, and
+ *  - a thermal-style trip integrator for time-varying load, which
+ *    accumulates "trip progress" at rate 1/tripTime(load) per second.
+ */
+
+#ifndef CAPMAESTRO_TOPOLOGY_BREAKER_HH
+#define CAPMAESTRO_TOPOLOGY_BREAKER_HH
+
+#include <limits>
+
+#include "util/units.hh"
+
+namespace capmaestro::topo {
+
+/** Value used for "never trips". */
+constexpr double kNeverTrips = std::numeric_limits<double>::infinity();
+
+/**
+ * Minimum time (seconds) a UL 489-style breaker carries @p load_fraction of
+ * its rated current before it may trip. Loads at or below 100 % of rating
+ * never trip. The envelope is log-log interpolated between anchor points;
+ * the 160 % -> 30 s anchor matches the paper and UL 489.
+ */
+double minTripTimeSeconds(double load_fraction);
+
+/**
+ * Thermal trip accumulator for a single breaker under time-varying load.
+ *
+ * Each advance() adds dt / minTripTimeSeconds(load) of progress; the
+ * breaker trips when progress reaches 1. Progress decays toward zero when
+ * the load drops back within rating (the element cools).
+ */
+class TripIntegrator
+{
+  public:
+    /**
+     * @param rating      breaker rated power (per phase), > 0
+     * @param cool_rate   progress decay per second while within rating
+     */
+    explicit TripIntegrator(Watts rating, double cool_rate = 1.0 / 120.0);
+
+    /** Advance by @p dt seconds at the given load; returns tripped(). */
+    bool advance(Watts load, double dt);
+
+    /** True once the breaker has tripped; latches until reset(). */
+    bool tripped() const { return tripped_; }
+
+    /** Accumulated trip progress in [0, 1]. */
+    double progress() const { return progress_; }
+
+    /** Reset progress and the tripped latch (breaker re-closed). */
+    void reset();
+
+    /** Rated power. */
+    Watts rating() const { return rating_; }
+
+  private:
+    Watts rating_;
+    double coolRate_;
+    double progress_ = 0.0;
+    bool tripped_ = false;
+};
+
+} // namespace capmaestro::topo
+
+#endif // CAPMAESTRO_TOPOLOGY_BREAKER_HH

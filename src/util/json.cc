@@ -1,0 +1,466 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace capmaestro::util {
+
+// ------------------------------------------------------------ Json accessors
+
+const char *
+Json::typeName() const
+{
+    switch (value_.index()) {
+      case 0: return "null";
+      case 1: return "bool";
+      case 2: return "number";
+      case 3: return "string";
+      case 4: return "array";
+      case 5: return "object";
+    }
+    return "unknown";
+}
+
+bool
+Json::asBool() const
+{
+    if (!isBool())
+        fatal("json: expected bool, got %s", typeName());
+    return std::get<bool>(value_);
+}
+
+double
+Json::asNumber() const
+{
+    if (!isNumber())
+        fatal("json: expected number, got %s", typeName());
+    return std::get<double>(value_);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (!isString())
+        fatal("json: expected string, got %s", typeName());
+    return std::get<std::string>(value_);
+}
+
+const Json::Array &
+Json::asArray() const
+{
+    if (!isArray())
+        fatal("json: expected array, got %s", typeName());
+    return std::get<Array>(value_);
+}
+
+const Json::Object &
+Json::asObject() const
+{
+    if (!isObject())
+        fatal("json: expected object, got %s", typeName());
+    return std::get<Object>(value_);
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *found = find(key);
+    if (!found)
+        fatal("json: missing required key \"%s\"", key.c_str());
+    return *found;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (!isObject())
+        fatal("json: expected object while looking up \"%s\", got %s",
+              key.c_str(), typeName());
+    const auto &obj = std::get<Object>(value_);
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+double
+Json::numberOr(const std::string &key, double fallback) const
+{
+    const Json *v = find(key);
+    return v ? v->asNumber() : fallback;
+}
+
+bool
+Json::boolOr(const std::string &key, bool fallback) const
+{
+    const Json *v = find(key);
+    return v ? v->asBool() : fallback;
+}
+
+std::string
+Json::stringOr(const std::string &key, const std::string &fallback) const
+{
+    const Json *v = find(key);
+    return v ? v->asString() : fallback;
+}
+
+// ----------------------------------------------------------------- parser
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, const std::string &context)
+        : text_(text), context_(context)
+    {
+    }
+
+    Json
+    parseDocument()
+    {
+        skipWhitespace();
+        Json value = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing content after document");
+        return value;
+    }
+
+  private:
+    const std::string &text_;
+    const std::string &context_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        fatal("%s:%d:%d: %s", context_.c_str(), line_, column_,
+              message.c_str());
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char peek() const { return atEnd() ? '\0' : text_[pos_]; }
+
+    char
+    advance()
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        const char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek()
+                 + "'");
+        advance();
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                advance();
+            } else if (c == '/' && pos_ + 1 < text_.size()
+                       && text_[pos_ + 1] == '/') {
+                while (!atEnd() && peek() != '\n')
+                    advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    Json
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't':
+          case 'f': return parseBool();
+          case 'n': parseLiteral("null"); return Json();
+          default:  return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const std::string &word)
+    {
+        for (const char c : word) {
+            if (peek() != c)
+                fail("malformed literal (expected \"" + word + "\")");
+            advance();
+        }
+    }
+
+    Json
+    parseBool()
+    {
+        if (peek() == 't') {
+            parseLiteral("true");
+            return Json(true);
+        }
+        parseLiteral("false");
+        return Json(false);
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            advance();
+        while (!atEnd()
+               && (std::isdigit(static_cast<unsigned char>(peek()))
+                   || peek() == '.' || peek() == 'e' || peek() == 'E'
+                   || peek() == '+' || peek() == '-')) {
+            advance();
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("malformed number \"" + token + "\"");
+        return Json(v);
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (atEnd())
+                fail("unterminated string");
+            const char c = advance();
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                const char esc = advance();
+                switch (esc) {
+                  case '"':  out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/':  out += '/'; break;
+                  case 'b':  out += '\b'; break;
+                  case 'f':  out += '\f'; break;
+                  case 'n':  out += '\n'; break;
+                  case 'r':  out += '\r'; break;
+                  case 't':  out += '\t'; break;
+                  case 'u': {
+                      // Basic-multilingual-plane escapes only; encode
+                      // the code point as UTF-8.
+                      unsigned code = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          const char h = advance();
+                          code <<= 4;
+                          if (h >= '0' && h <= '9')
+                              code += static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              code += static_cast<unsigned>(h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              code += static_cast<unsigned>(h - 'A' + 10);
+                          else
+                              fail("malformed \\u escape");
+                      }
+                      if (code < 0x80) {
+                          out += static_cast<char>(code);
+                      } else if (code < 0x800) {
+                          out += static_cast<char>(0xC0 | (code >> 6));
+                          out += static_cast<char>(0x80 | (code & 0x3F));
+                      } else {
+                          out += static_cast<char>(0xE0 | (code >> 12));
+                          out += static_cast<char>(
+                              0x80 | ((code >> 6) & 0x3F));
+                          out += static_cast<char>(0x80 | (code & 0x3F));
+                      }
+                      break;
+                  }
+                  default: fail("unknown escape sequence");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json::Array items;
+        skipWhitespace();
+        while (peek() != ']') {
+            items.push_back(parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                advance();
+                skipWhitespace();
+            } else if (peek() != ']') {
+                fail("expected ',' or ']' in array");
+            }
+        }
+        advance(); // ']'
+        return Json(std::move(items));
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json::Object members;
+        skipWhitespace();
+        while (peek() != '}') {
+            if (peek() != '"')
+                fail("expected a quoted key");
+            const std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            skipWhitespace();
+            if (!members.emplace(key, parseValue()).second)
+                fail("duplicate key \"" + key + "\"");
+            skipWhitespace();
+            if (peek() == ',') {
+                advance();
+                skipWhitespace();
+            } else if (peek() != '}') {
+                fail("expected ',' or '}' in object");
+            }
+        }
+        advance(); // '}'
+        return Json(std::move(members));
+    }
+};
+
+} // namespace
+
+Json
+parseJson(const std::string &text, const std::string &context)
+{
+    Parser parser(text, context);
+    return parser.parseDocument();
+}
+
+namespace {
+
+void
+serializeInto(const Json &value, int indent, int depth, std::string &out)
+{
+    const std::string pad(static_cast<std::size_t>(indent * depth), ' ');
+    const std::string pad_in(
+        static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+
+    if (value.isNull()) {
+        out += "null";
+    } else if (value.isBool()) {
+        out += value.asBool() ? "true" : "false";
+    } else if (value.isNumber()) {
+        const double v = value.asNumber();
+        char buf[48];
+        if (v == static_cast<double>(static_cast<long long>(v))
+            && std::abs(v) < 1e15) {
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(v));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.10g", v);
+        }
+        out += buf;
+    } else if (value.isString()) {
+        out += '"';
+        for (const char c : value.asString()) {
+            switch (c) {
+              case '"':  out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\t': out += "\\t"; break;
+              case '\r': out += "\\r"; break;
+              default:   out += c;
+            }
+        }
+        out += '"';
+    } else if (value.isArray()) {
+        const auto &items = value.asArray();
+        if (items.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            out += pad_in;
+            serializeInto(items[i], indent, depth + 1, out);
+            if (i + 1 < items.size())
+                out += ',';
+            out += nl;
+        }
+        out += pad;
+        out += ']';
+    } else {
+        const auto &members = value.asObject();
+        if (members.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        out += nl;
+        std::size_t i = 0;
+        for (const auto &[key, member] : members) {
+            out += pad_in;
+            out += '"';
+            out += key;
+            out += "\": ";
+            serializeInto(member, indent, depth + 1, out);
+            if (++i < members.size())
+                out += ',';
+            out += nl;
+        }
+        out += pad;
+        out += '}';
+    }
+}
+
+} // namespace
+
+std::string
+serializeJson(const Json &value, int indent)
+{
+    std::string out;
+    serializeInto(value, indent, 0, out);
+    return out;
+}
+
+Json
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file %s", path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseJson(buffer.str(), path);
+}
+
+} // namespace capmaestro::util

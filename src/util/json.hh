@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A minimal, dependency-free JSON reader used by the configuration
+ * loader. Supports the full JSON value grammar (objects, arrays,
+ * strings with escapes, numbers, booleans, null) plus two conveniences
+ * for hand-written configs: // line comments and trailing commas.
+ *
+ * The parser is strict about everything else and reports 1-based
+ * line/column positions in error messages.
+ */
+
+#ifndef CAPMAESTRO_UTIL_JSON_HH
+#define CAPMAESTRO_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace capmaestro::util {
+
+/** A parsed JSON value. */
+class Json
+{
+  public:
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    /** Construct null. */
+    Json() = default;
+    /** Construct from primitives / containers. */
+    explicit Json(bool b) : value_(b) {}
+    explicit Json(double d) : value_(d) {}
+    explicit Json(std::string s) : value_(std::move(s)) {}
+    explicit Json(Array a) : value_(std::move(a)) {}
+    explicit Json(Object o) : value_(std::move(o)) {}
+
+    bool isNull() const
+    {
+        return std::holds_alternative<std::monostate>(value_);
+    }
+    bool isBool() const { return std::holds_alternative<bool>(value_); }
+    bool isNumber() const
+    {
+        return std::holds_alternative<double>(value_);
+    }
+    bool isString() const
+    {
+        return std::holds_alternative<std::string>(value_);
+    }
+    bool isArray() const { return std::holds_alternative<Array>(value_); }
+    bool isObject() const
+    {
+        return std::holds_alternative<Object>(value_);
+    }
+
+    /** Checked accessors; fatal() on type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Object member; fatal() when absent or not an object. */
+    const Json &at(const std::string &key) const;
+
+    /** Object member or nullptr when absent. */
+    const Json *find(const std::string &key) const;
+
+    /** Object member with a default when absent. */
+    double numberOr(const std::string &key, double fallback) const;
+    bool boolOr(const std::string &key, bool fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    /** Human-readable type name (diagnostics). */
+    const char *typeName() const;
+
+  private:
+    std::variant<std::monostate, bool, double, std::string, Array,
+                 Object>
+        value_;
+};
+
+/**
+ * Parse a JSON document.
+ * @param text      the document
+ * @param context   label used in error messages (e.g., the file name)
+ * @returns the root value; calls fatal() on malformed input
+ */
+Json parseJson(const std::string &text,
+               const std::string &context = "<json>");
+
+/** Parse the JSON file at @p path; fatal() if unreadable or malformed. */
+Json parseJsonFile(const std::string &path);
+
+/**
+ * Serialize a value back to JSON text. @p indent spaces per level;
+ * pass 0 for compact single-line output. Numbers that hold integral
+ * values print without a decimal point.
+ */
+std::string serializeJson(const Json &value, int indent = 2);
+
+} // namespace capmaestro::util
+
+#endif // CAPMAESTRO_UTIL_JSON_HH

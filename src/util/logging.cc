@@ -1,0 +1,87 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace capmaestro::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+void
+vprint(const char *tag, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Info)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("debug", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vprint("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace capmaestro::util

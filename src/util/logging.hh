@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 tradition.
+ *
+ * fatal()  — the run cannot continue due to a user/configuration error;
+ *            exits with status 1.
+ * panic()  — an internal invariant was violated (a library bug); aborts.
+ * warn()   — something is suspicious but the run continues.
+ * inform() — normal operational status.
+ */
+
+#ifndef CAPMAESTRO_UTIL_LOGGING_HH
+#define CAPMAESTRO_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace capmaestro::util {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global log verbosity. Default is Warn (quiet benches/tests). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/** Print an informational message (shown at Info verbosity and above). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message (shown at Debug verbosity only). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning (shown at Warn verbosity and above). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace capmaestro::util
+
+#endif // CAPMAESTRO_UTIL_LOGGING_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small numeric helpers shared by control and simulation code.
+ */
+
+#ifndef CAPMAESTRO_UTIL_NUMERIC_HH
+#define CAPMAESTRO_UTIL_NUMERIC_HH
+
+#include <algorithm>
+#include <cmath>
+
+namespace capmaestro::util {
+
+/** Absolute-difference approximate equality. */
+inline bool
+approxEqual(double a, double b, double tol = 1e-6)
+{
+    return std::fabs(a - b) <= tol;
+}
+
+/** Relative approximate equality against the larger magnitude. */
+inline bool
+approxEqualRel(double a, double b, double rel_tol = 1e-6)
+{
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= rel_tol * std::max(scale, 1e-12);
+}
+
+/** Clamp @p v into [lo, hi]; tolerates lo > hi by returning lo. */
+inline double
+clamp(double v, double lo, double hi)
+{
+    if (hi < lo)
+        return lo;
+    return std::min(std::max(v, lo), hi);
+}
+
+/** True when @p v is within [lo - tol, hi + tol]. */
+inline bool
+within(double v, double lo, double hi, double tol = 1e-9)
+{
+    return v >= lo - tol && v <= hi + tol;
+}
+
+/** Snap tiny negative round-off to exactly zero. */
+inline double
+snapNonNegative(double v, double tol = 1e-9)
+{
+    return (v < 0.0 && v > -tol) ? 0.0 : v;
+}
+
+} // namespace capmaestro::util
+
+#endif // CAPMAESTRO_UTIL_NUMERIC_HH

@@ -1,0 +1,63 @@
+#include "util/random.hh"
+
+#include <algorithm>
+
+namespace capmaestro::util {
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double
+Rng::normalClamped(double mean, double stddev, double lo, double hi)
+{
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        const double v = normal(mean, stddev);
+        if (v >= lo && v <= hi)
+            return v;
+    }
+    return std::clamp(mean, lo, hi);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a fork seed by mixing two raw draws; splitmix-style avalanche
+    // keeps forks decorrelated even for adjacent parent states.
+    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= engine_();
+    return Rng(z ^ (z >> 31));
+}
+
+} // namespace capmaestro::util

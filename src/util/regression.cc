@@ -1,0 +1,116 @@
+#include "util/regression.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace capmaestro::util {
+
+SlidingRegression::SlidingRegression(std::size_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ < 2)
+        fatal("SlidingRegression window must hold at least 2 samples");
+}
+
+void
+SlidingRegression::add(double x, double y)
+{
+    if (samples_.size() == capacity_)
+        samples_.pop_front();
+    samples_.emplace_back(x, y);
+}
+
+void
+SlidingRegression::clear()
+{
+    samples_.clear();
+}
+
+std::optional<LinearFit>
+SlidingRegression::fit() const
+{
+    const std::size_t n = samples_.size();
+    if (n < 2)
+        return std::nullopt;
+
+    double sx = 0.0, sy = 0.0;
+    for (const auto &[x, y] : samples_) {
+        sx += x;
+        sy += y;
+    }
+    const double mx = sx / static_cast<double>(n);
+    const double my = sy / static_cast<double>(n);
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (const auto &[x, y] : samples_) {
+        const double dx = x - mx;
+        const double dy = y - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+
+    LinearFit result;
+    result.n = n;
+    if (sxx < 1e-12) {
+        // Degenerate: no spread in x. Return the mean as a constant fit.
+        result.slope = 0.0;
+        result.intercept = my;
+        result.r2 = 0.0;
+        return result;
+    }
+
+    result.slope = sxy / sxx;
+    result.intercept = my - result.slope * mx;
+    result.r2 = (syy < 1e-12) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return result;
+}
+
+double
+SlidingRegression::meanX() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[x, y] : samples_)
+        sum += x;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SlidingRegression::meanY() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[x, y] : samples_)
+        sum += y;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SlidingRegression::stddevX() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double mx = meanX();
+    double sxx = 0.0;
+    for (const auto &[x, y] : samples_)
+        sxx += (x - mx) * (x - mx);
+    return std::sqrt(sxx / static_cast<double>(samples_.size()));
+}
+
+double
+SlidingRegression::maxY() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double best = samples_.front().second;
+    for (const auto &[x, y] : samples_)
+        best = std::max(best, y);
+    return best;
+}
+
+} // namespace capmaestro::util

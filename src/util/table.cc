@@ -1,0 +1,98 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace capmaestro::util {
+
+std::string
+formatFixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addNumericRow(const std::string &label,
+                         const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatFixed(v, precision));
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute per-column widths across header and all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cells[i];
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ',';
+            os << cells[i];
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+} // namespace capmaestro::util

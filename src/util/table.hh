@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table and CSV emission for bench/experiment output.
+ *
+ * Every experiment binary prints the rows/series the paper reports; this
+ * helper keeps their formatting uniform and makes CSV capture trivial.
+ */
+
+#ifndef CAPMAESTRO_UTIL_TABLE_HH
+#define CAPMAESTRO_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace capmaestro::util {
+
+/** A column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    /** @param title heading printed above the table (may be empty) */
+    explicit TextTable(std::string title = "");
+
+    /** Set the column headers; resets column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row of pre-formatted cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a row where numeric cells are formatted to @p precision. */
+    void addNumericRow(const std::string &label,
+                       const std::vector<double> &values, int precision = 1);
+
+    /** Render the table, column-aligned, to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header then rows) to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string formatFixed(double v, int precision = 1);
+
+} // namespace capmaestro::util
+
+#endif // CAPMAESTRO_UTIL_TABLE_HH

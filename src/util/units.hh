@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit aliases and conversion helpers used throughout CapMaestro.
+ *
+ * Power values are carried as plain doubles in watts (AC or DC domain is
+ * documented at each interface). The aliases exist to make signatures
+ * self-describing without imposing arithmetic friction on control-law code.
+ */
+
+#ifndef CAPMAESTRO_UTIL_UNITS_HH
+#define CAPMAESTRO_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace capmaestro {
+
+/** Power in watts. */
+using Watts = double;
+
+/** Energy in joules (watt-seconds). */
+using Joules = double;
+
+/** Simulation time in whole seconds. */
+using Seconds = std::int64_t;
+
+/** A dimensionless fraction, nominally in [0, 1]. */
+using Fraction = double;
+
+/**
+ * Workload priority level. Higher values are more important and are
+ * throttled later. The paper expects on the order of 10 levels per center.
+ */
+using Priority = int;
+
+/** Convert kilowatts to watts. */
+constexpr Watts
+kw(double kilowatts)
+{
+    return kilowatts * 1000.0;
+}
+
+/** Convert amperes at a line voltage to watts (single phase). */
+constexpr Watts
+ampsToWatts(double amps, double volts)
+{
+    return amps * volts;
+}
+
+/** Nominal line (phase-to-neutral) voltage used by the modeled centers. */
+constexpr double kLineVoltage = 230.0;
+
+} // namespace capmaestro
+
+#endif // CAPMAESTRO_UTIL_UNITS_HH

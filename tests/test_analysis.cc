@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Topology-analysis and placement-advisor tests: breaker selectivity,
+ * oversubscription ratios on the Table 4 center, and phase balancing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/datacenter.hh"
+#include "sim/placement.hh"
+#include "topology/analysis.hh"
+#include "util/random.hh"
+
+using namespace capmaestro;
+
+TEST(Selectivity, WellCoordinatedTreeIsClean)
+{
+    topo::PowerTree tree(0, 0, "ok");
+    const auto root = tree.makeRoot(topo::NodeKind::Breaker, "r", 1400.0);
+    const auto mid = tree.addChild(root, topo::NodeKind::Breaker, "m",
+                                   750.0);
+    tree.addSupplyPort(mid, "s", {0, 0});
+    EXPECT_TRUE(topo::checkSelectivity(tree).empty());
+}
+
+TEST(Selectivity, FlagsChildAtOrAboveParent)
+{
+    topo::PowerTree tree(0, 0, "bad");
+    const auto root = tree.makeRoot(topo::NodeKind::Breaker, "r", 750.0);
+    const auto mid = tree.addChild(root, topo::NodeKind::Breaker, "m",
+                                   750.0); // equal: miscoordinated
+    tree.addSupplyPort(mid, "s", {0, 0});
+    const auto violations = topo::checkSelectivity(tree);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].parent, root);
+    EXPECT_EQ(violations[0].child, mid);
+    EXPECT_DOUBLE_EQ(violations[0].ratio, 1.0);
+}
+
+TEST(Selectivity, UnlimitedNodesSkipped)
+{
+    topo::PowerTree tree(0, 0, "mixed");
+    const auto root = tree.makeRoot(topo::NodeKind::Contractual, "c",
+                                    topo::kUnlimited);
+    const auto mid = tree.addChild(root, topo::NodeKind::Breaker, "m",
+                                   5000.0);
+    tree.addSupplyPort(mid, "s", {0, 0});
+    EXPECT_TRUE(topo::checkSelectivity(tree).empty());
+}
+
+TEST(Selectivity, Table4CenterIsCoordinated)
+{
+    sim::DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = 2;
+    const auto dc = sim::buildDataCenter(params);
+    for (const auto &tree : dc.system->trees())
+        EXPECT_TRUE(topo::checkSelectivity(*tree).empty());
+}
+
+TEST(Oversubscription, Table4Ratios)
+{
+    sim::DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = 2;
+    const auto dc = sim::buildDataCenter(params);
+    const auto report =
+        topo::oversubscriptionReport(dc.system->tree(0));
+
+    // Transformers: 9 RPPs x 41.6 kW vs. 336 kW -> ratio ~1.114.
+    // RPPs: 9 CDUs x 5.52 kW vs. 41.6 kW -> ratio ~1.194.
+    bool saw_xfmr = false, saw_rpp = false;
+    const auto &tree = dc.system->tree(0);
+    for (const auto &o : report) {
+        switch (tree.node(o.node).kind) {
+          case topo::NodeKind::Transformer:
+            EXPECT_NEAR(o.ratio, 9.0 * 41600.0 / 336000.0, 1e-9);
+            saw_xfmr = true;
+            break;
+          case topo::NodeKind::Rpp:
+            EXPECT_NEAR(o.ratio, 9.0 * 5520.0 / 41600.0, 1e-9);
+            saw_rpp = true;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_xfmr);
+    EXPECT_TRUE(saw_rpp);
+}
+
+TEST(Oversubscription, ProvisioningRatio)
+{
+    topo::PowerTree tree(0, 0, "p");
+    const auto root = tree.makeRoot(topo::NodeKind::Breaker, "r", 1000.0);
+    for (int i = 0; i < 3; ++i) {
+        const auto cdu = tree.addChild(root, topo::NodeKind::Cdu,
+                                       "c" + std::to_string(i), 600.0);
+        tree.addSupplyPort(cdu, "s" + std::to_string(i), {i, 0});
+    }
+    // 3 x 600 of edge capacity over a 1000 W root.
+    EXPECT_NEAR(topo::provisioningRatio(tree), 1.8, 1e-12);
+}
+
+// -------------------------------------------------------------- placement
+
+TEST(Placement, RoundRobinShape)
+{
+    const auto rr = sim::roundRobinPhases(7, 3);
+    ASSERT_EQ(rr.size(), 7u);
+    EXPECT_EQ(rr[0], 0);
+    EXPECT_EQ(rr[1], 1);
+    EXPECT_EQ(rr[2], 2);
+    EXPECT_EQ(rr[3], 0);
+}
+
+TEST(Placement, BalancedBeatsRoundRobinOnSkewedFleet)
+{
+    // Heavy servers first: round-robin piles them onto phase 0.
+    std::vector<Watts> demands;
+    for (int i = 0; i < 30; ++i)
+        demands.push_back(i % 3 == 0 ? 490.0 : 200.0);
+    const auto rr = sim::roundRobinPhases(demands.size(), 3);
+    const auto lpt = sim::balancePhases(demands, 3);
+    EXPECT_LT(sim::phaseImbalance(demands, lpt, 3),
+              sim::phaseImbalance(demands, rr, 3));
+    EXPECT_LT(sim::phaseImbalance(demands, lpt, 3), 0.05);
+}
+
+TEST(Placement, PhaseLoadsConserveDemand)
+{
+    util::Rng rng(12);
+    std::vector<Watts> demands;
+    double total = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        demands.push_back(rng.uniform(160.0, 490.0));
+        total += demands.back();
+    }
+    const auto assignment = sim::balancePhases(demands, 3);
+    const auto loads = sim::phaseLoads(demands, assignment, 3);
+    EXPECT_NEAR(loads[0] + loads[1] + loads[2], total, 1e-6);
+}
+
+TEST(Placement, GreedyListSchedulingBound)
+{
+    // Any greedy list schedule satisfies
+    //   peak <= mean + (1 - 1/m) * max_demand
+    // (Graham); LPT is a refinement of greedy, so the bound must hold.
+    util::Rng rng(13);
+    for (int trial = 0; trial < 100; ++trial) {
+        const int phases = 2 + static_cast<int>(rng.uniformInt(0, 2));
+        std::vector<Watts> demands;
+        double total = 0.0, biggest = 0.0;
+        const int n = 1 + static_cast<int>(rng.uniformInt(0, 40));
+        for (int i = 0; i < n; ++i) {
+            demands.push_back(rng.uniform(100.0, 500.0));
+            total += demands.back();
+            biggest = std::max(biggest, demands.back());
+        }
+        const auto assignment = sim::balancePhases(demands, phases);
+        const auto loads = sim::phaseLoads(demands, assignment, phases);
+        const double peak =
+            *std::max_element(loads.begin(), loads.end());
+        const double bound =
+            total / phases + (1.0 - 1.0 / phases) * biggest;
+        EXPECT_LE(peak, bound + 1e-6) << "trial " << trial;
+    }
+}
+
+TEST(Placement, SinglePhaseTrivial)
+{
+    const std::vector<Watts> demands{100.0, 200.0};
+    const auto assignment = sim::balancePhases(demands, 1);
+    EXPECT_EQ(assignment[0], 0);
+    EXPECT_EQ(assignment[1], 0);
+    EXPECT_DOUBLE_EQ(sim::phaseImbalance(demands, assignment, 1), 0.0);
+}
+
+TEST(Placement, Deterministic)
+{
+    const std::vector<Watts> demands{300.0, 300.0, 300.0, 300.0};
+    EXPECT_EQ(sim::balancePhases(demands, 2),
+              sim::balancePhases(demands, 2));
+}

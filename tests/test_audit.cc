@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Topology-auditor tests (§7 open challenge): consistent topologies pass,
+ * load mismatches are flagged at the right nodes, and a single mis-wired
+ * supply is located by the hypothesis search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "topology/audit.hh"
+#include "topology/power_tree.hh"
+#include "util/random.hh"
+
+using namespace capmaestro;
+using topo::TopologyAuditor;
+
+namespace {
+
+/** Two-branch tree: top over left/right CDUs with two ports each. */
+struct Rig
+{
+    topo::PowerTree tree{0, 0, "audit"};
+    topo::NodeId top, left, right;
+    topo::NodeId ports[4];
+
+    Rig()
+    {
+        top = tree.makeRoot(topo::NodeKind::Breaker, "top", 4000.0);
+        left = tree.addChild(top, topo::NodeKind::Cdu, "left", 2000.0);
+        right = tree.addChild(top, topo::NodeKind::Cdu, "right", 2000.0);
+        ports[0] = tree.addSupplyPort(left, "s0", {0, 0});
+        ports[1] = tree.addSupplyPort(left, "s1", {1, 0});
+        ports[2] = tree.addSupplyPort(right, "s2", {2, 0});
+        ports[3] = tree.addSupplyPort(right, "s3", {3, 0});
+    }
+};
+
+/** Supply loads: s0..s3 draw the given powers. */
+topo::SupplyLoadMap
+loadsOf(double s0, double s1, double s2, double s3)
+{
+    return {{{0, 0}, s0}, {{1, 0}, s1}, {{2, 0}, s2}, {{3, 0}, s3}};
+}
+
+} // namespace
+
+TEST(TopologyAudit, PredictsSubtreeSums)
+{
+    Rig rig;
+    TopologyAuditor auditor(rig.tree);
+    const auto predicted =
+        auditor.predictLoads(loadsOf(100, 200, 300, 400));
+    EXPECT_DOUBLE_EQ(predicted.at(rig.left), 300.0);
+    EXPECT_DOUBLE_EQ(predicted.at(rig.right), 700.0);
+    EXPECT_DOUBLE_EQ(predicted.at(rig.top), 1000.0);
+    EXPECT_DOUBLE_EQ(predicted.at(rig.ports[2]), 300.0);
+}
+
+TEST(TopologyAudit, ConsistentTopologyIsClean)
+{
+    Rig rig;
+    TopologyAuditor auditor(rig.tree, 5.0);
+    const auto loads = loadsOf(100, 200, 300, 400);
+    // Meters agree with the wiring (within noise).
+    topo::NodeLoadMap measured{{rig.left, 301.0},
+                               {rig.right, 699.0},
+                               {rig.top, 1002.0}};
+    const auto report = auditor.audit(loads, measured);
+    EXPECT_TRUE(report.clean());
+    EXPECT_FALSE(report.hypothesis.has_value());
+}
+
+TEST(TopologyAudit, FlagsDisagreeingNodes)
+{
+    Rig rig;
+    TopologyAuditor auditor(rig.tree, 5.0);
+    const auto loads = loadsOf(100, 200, 300, 400);
+    // Meters say the left branch carries 100 W more than claimed.
+    topo::NodeLoadMap measured{{rig.left, 400.0}, {rig.right, 600.0}};
+    const auto report = auditor.audit(loads, measured);
+    ASSERT_EQ(report.discrepancies.size(), 2u);
+    EXPECT_EQ(report.discrepancies[0].node, rig.left);
+    EXPECT_NEAR(report.discrepancies[0].error(), 100.0, 1e-9);
+}
+
+TEST(TopologyAudit, LocatesSingleMiswiredSupply)
+{
+    Rig rig;
+    TopologyAuditor auditor(rig.tree, 5.0);
+    // Topology claims s2 (300 W) is on the right branch, but the meters
+    // show it actually feeds from the left branch.
+    const auto loads = loadsOf(100, 200, 300, 400);
+    topo::NodeLoadMap measured{{rig.left, 600.0},
+                               {rig.right, 400.0},
+                               {rig.top, 1000.0}};
+    const auto report = auditor.audit(loads, measured);
+    ASSERT_FALSE(report.clean());
+    ASSERT_TRUE(report.hypothesis.has_value());
+    EXPECT_EQ(report.hypothesis->supply.server, 2);
+    EXPECT_EQ(report.hypothesis->claimedParent, rig.right);
+    EXPECT_EQ(report.hypothesis->actualParent, rig.left);
+    EXPECT_NEAR(report.hypothesis->residual, 0.0, 1e-9);
+}
+
+TEST(TopologyAudit, AmbiguousWhenSupplyUnloaded)
+{
+    Rig rig;
+    TopologyAuditor auditor(rig.tree, 5.0);
+    // s2 is mis-wired but drawing ~nothing: electrically undetectable,
+    // so no node disagrees and the report is clean.
+    const auto loads = loadsOf(100, 200, 0, 400);
+    topo::NodeLoadMap measured{{rig.left, 300.0}, {rig.right, 400.0}};
+    const auto report = auditor.audit(loads, measured);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(TopologyAudit, NoHypothesisWhenNothingExplains)
+{
+    Rig rig;
+    TopologyAuditor auditor(rig.tree, 5.0);
+    const auto loads = loadsOf(100, 200, 300, 400);
+    // Meters report an extra 500 W on the top breaker only — no single
+    // supply move between branches can explain a top-level excess.
+    topo::NodeLoadMap measured{{rig.left, 300.0},
+                               {rig.right, 700.0},
+                               {rig.top, 1500.0}};
+    const auto report = auditor.audit(loads, measured);
+    ASSERT_FALSE(report.clean());
+    EXPECT_FALSE(report.hypothesis.has_value());
+}
+
+TEST(TopologyAudit, DeepTreeLocatesAcrossRpps)
+{
+    // 2 RPPs x 2 CDUs x 3 ports; mis-wire one port across RPPs.
+    topo::PowerTree tree(0, 0, "deep");
+    const auto root =
+        tree.makeRoot(topo::NodeKind::Transformer, "xfmr", 50000.0);
+    std::vector<topo::NodeId> cdus;
+    std::int32_t server = 0;
+    topo::SupplyLoadMap loads;
+    util::Rng rng(5);
+    for (int r = 0; r < 2; ++r) {
+        const auto rpp = tree.addChild(root, topo::NodeKind::Rpp,
+                                       "rpp" + std::to_string(r),
+                                       20000.0);
+        for (int c = 0; c < 2; ++c) {
+            const auto cdu = tree.addChild(
+                rpp, topo::NodeKind::Cdu,
+                "cdu" + std::to_string(r) + std::to_string(c), 7000.0);
+            cdus.push_back(cdu);
+            for (int s = 0; s < 3; ++s, ++server) {
+                tree.addSupplyPort(cdu, "p" + std::to_string(server),
+                                   {server, 0});
+                loads[{server, 0}] = rng.uniform(150.0, 450.0);
+            }
+        }
+    }
+
+    TopologyAuditor auditor(tree, 5.0);
+    // Ground truth: server 7 (claimed cdus[2]) actually sits on cdus[0].
+    auto truth = auditor.predictLoads(loads);
+    const double moved = loads.at({7, 0});
+    topo::NodeLoadMap measured;
+    for (const auto cdu : cdus)
+        measured[cdu] = truth.at(cdu);
+    measured[cdus[2]] -= moved;
+    measured[cdus[0]] += moved;
+    // RPP meters too.
+    const auto rpp0 = tree.node(cdus[0]).parent;
+    const auto rpp1 = tree.node(cdus[2]).parent;
+    measured[rpp0] = truth.at(rpp0) + moved;
+    measured[rpp1] = truth.at(rpp1) - moved;
+
+    const auto report = auditor.audit(loads, measured);
+    ASSERT_TRUE(report.hypothesis.has_value());
+    EXPECT_EQ(report.hypothesis->supply.server, 7);
+    EXPECT_EQ(report.hypothesis->actualParent, cdus[0]);
+}

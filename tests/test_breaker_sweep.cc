@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Parameterized sweeps (TEST_P) of the UL 489 breaker model: envelope
+ * consistency at many overload levels, integrator agreement with the
+ * envelope under constant load, and capping-window safety margins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "topology/breaker.hh"
+
+using namespace capmaestro;
+using topo::minTripTimeSeconds;
+using topo::TripIntegrator;
+
+namespace {
+
+class OverloadSweep : public testing::TestWithParam<double>
+{
+};
+
+std::string
+overloadName(const testing::TestParamInfo<double> &info)
+{
+    return "pct" + std::to_string(static_cast<int>(info.param * 100));
+}
+
+} // namespace
+
+TEST_P(OverloadSweep, IntegratorMatchesEnvelopeUnderConstantLoad)
+{
+    // Under a constant overload the integrator must trip at (not
+    // before) the envelope time, within one 1 s step.
+    const double fraction = GetParam();
+    const double envelope = minTripTimeSeconds(fraction);
+    ASSERT_NE(envelope, topo::kNeverTrips);
+
+    TripIntegrator ti(1000.0);
+    double elapsed = 0.0;
+    while (!ti.advance(1000.0 * fraction, 1.0)) {
+        elapsed += 1.0;
+        ASSERT_LT(elapsed, envelope + 2.0) << "never tripped";
+    }
+    elapsed += 1.0;
+    EXPECT_GE(elapsed, envelope - 1e-9);
+    EXPECT_LE(elapsed, envelope + 1.5);
+}
+
+TEST_P(OverloadSweep, CappingInsideEnvelopeIsSafe)
+{
+    // The CapMaestro contract: overload for min(14 s, half the envelope)
+    // then fall back within rating — no trip, ever, and substantial
+    // margin remains.
+    const double fraction = GetParam();
+    const double envelope = minTripTimeSeconds(fraction);
+    const double overload_window = std::min(14.0, envelope / 2.0);
+
+    TripIntegrator ti(1000.0);
+    for (double remaining = overload_window; remaining > 0.0;) {
+        const double dt = std::min(0.25, remaining);
+        ti.advance(1000.0 * fraction, dt);
+        remaining -= dt;
+    }
+    EXPECT_FALSE(ti.tripped()) << "fraction " << fraction;
+    EXPECT_LE(ti.progress(), 0.75);
+    for (int s = 0; s < 900; ++s)
+        ti.advance(790.0, 1.0);
+    EXPECT_FALSE(ti.tripped());
+}
+
+INSTANTIATE_TEST_SUITE_P(Envelope, OverloadSweep,
+                         testing::Values(1.1, 1.2, 1.35, 1.5, 1.6, 1.8,
+                                         2.0, 3.0, 5.0),
+                         overloadName);
+
+TEST(BreakerEnvelope, ContinuousAcrossAnchors)
+{
+    // The log-log interpolation must be continuous (no jumps at the
+    // anchor points that could flip safety decisions).
+    for (double f = 1.06; f < 11.9; f += 0.01) {
+        const double here = minTripTimeSeconds(f);
+        const double next = minTripTimeSeconds(f + 0.01);
+        EXPECT_LT(std::fabs(std::log(next) - std::log(here)), 0.35)
+            << "discontinuity near " << f;
+    }
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Capacity-study tests reproducing the paper's §6.4 results (Figures 9
+ * and 10) at reduced trial counts:
+ *
+ *   worst case:  No Priority 3888, Local Priority 4860, Global 5832
+ *   typical:     all policies 6318
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/capacity.hh"
+
+using namespace capmaestro;
+using namespace capmaestro::sim;
+
+namespace {
+
+CapacityConfig
+worstCaseConfig(policy::PolicyKind kind, int trials = 12)
+{
+    CapacityConfig cfg;
+    cfg.policy = kind;
+    cfg.worstCase = true;
+    cfg.trials = trials;
+    cfg.seed = 99;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Capacity, WorstCaseNoPriority3888)
+{
+    const auto best = findMaxDeployable(
+        worstCaseConfig(policy::PolicyKind::NoPriority), 6, 15);
+    EXPECT_EQ(best.totalServers, 3888u); // paper Figure 9
+}
+
+TEST(Capacity, WorstCaseLocalPriority4860)
+{
+    const auto best = findMaxDeployable(
+        worstCaseConfig(policy::PolicyKind::LocalPriority, 30), 6, 15);
+    EXPECT_EQ(best.totalServers, 4860u); // paper Figure 9
+}
+
+TEST(Capacity, WorstCaseGlobalPriority5832)
+{
+    const auto best = findMaxDeployable(
+        worstCaseConfig(policy::PolicyKind::GlobalPriority), 6, 15);
+    EXPECT_EQ(best.totalServers, 5832u); // paper Figure 9
+}
+
+TEST(Capacity, PaperHeadlineRatios)
+{
+    // Global supports 50 % more than No Priority and 20 % more than
+    // Local Priority (paper abstract).
+    const auto np = findMaxDeployable(
+        worstCaseConfig(policy::PolicyKind::NoPriority), 6, 15);
+    const auto lp = findMaxDeployable(
+        worstCaseConfig(policy::PolicyKind::LocalPriority, 30), 6, 15);
+    const auto gp = findMaxDeployable(
+        worstCaseConfig(policy::PolicyKind::GlobalPriority), 6, 15);
+    EXPECT_NEAR(static_cast<double>(gp.totalServers) / np.totalServers,
+                1.5, 0.05);
+    EXPECT_NEAR(static_cast<double>(gp.totalServers) / lp.totalServers,
+                1.2, 0.05);
+}
+
+TEST(Capacity, TypicalCaseSupports6318)
+{
+    // All three policies support 13 servers/rack/phase (6318 total) in
+    // the typical case; 14 violates the 1 % criterion.
+    for (const auto kind : policy::kAllPolicies) {
+        CapacityConfig cfg;
+        cfg.policy = kind;
+        cfg.worstCase = false;
+        cfg.trials = 120;
+        cfg.seed = 7;
+        const auto at13 = evaluateCapacity(cfg, 13);
+        EXPECT_LE(at13.avgCapRatioAll, 0.011)
+            << policy::policyName(kind);
+        const auto at14 = evaluateCapacity(cfg, 14);
+        EXPECT_GT(at14.avgCapRatioAll, 0.011)
+            << policy::policyName(kind);
+    }
+}
+
+TEST(Capacity, CapRatioGrowsWithDensity)
+{
+    // Figure 10: cap ratios grow with the number of servers.
+    const auto points = sweepCapacity(
+        worstCaseConfig(policy::PolicyKind::GlobalPriority, 6), 8, 14);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GE(points[i].avgCapRatioAll,
+                  points[i - 1].avgCapRatioAll - 1e-9);
+        EXPECT_GE(points[i].avgCapRatioHigh,
+                  points[i - 1].avgCapRatioHigh - 1e-9);
+    }
+}
+
+TEST(Capacity, HighPriorityProtectedUnderPriorityPolicies)
+{
+    // Figure 10b: at every density, high-priority servers fare at least
+    // as well under Global as under Local, and both beat No Priority.
+    for (int n : {10, 12, 13}) {
+        const auto np = evaluateCapacity(
+            worstCaseConfig(policy::PolicyKind::NoPriority, 8), n);
+        const auto lp = evaluateCapacity(
+            worstCaseConfig(policy::PolicyKind::LocalPriority, 8), n);
+        const auto gp = evaluateCapacity(
+            worstCaseConfig(policy::PolicyKind::GlobalPriority, 8), n);
+        EXPECT_LE(gp.avgCapRatioHigh, lp.avgCapRatioHigh + 1e-9)
+            << "n=" << n;
+        EXPECT_LE(lp.avgCapRatioHigh, np.avgCapRatioHigh + 1e-9)
+            << "n=" << n;
+    }
+}
+
+TEST(Capacity, PriorityObliviousToAllServersRatio)
+{
+    // The all-servers cap ratio is policy-independent in the worst case
+    // (the same total power is shed either way).
+    const auto np = evaluateCapacity(
+        worstCaseConfig(policy::PolicyKind::NoPriority, 6), 12);
+    const auto gp = evaluateCapacity(
+        worstCaseConfig(policy::PolicyKind::GlobalPriority, 6), 12);
+    EXPECT_NEAR(np.avgCapRatioAll, gp.avgCapRatioAll, 0.02);
+}
+
+TEST(Capacity, WorstCaseIsDeterministicAcrossSeeds)
+{
+    // With all servers at Pcap_max the only randomness is priority
+    // placement; the all-servers ratio must be essentially seed-free.
+    auto cfg_a = worstCaseConfig(policy::PolicyKind::GlobalPriority, 6);
+    auto cfg_b = cfg_a;
+    cfg_b.seed = 12345;
+    const auto a = evaluateCapacity(cfg_a, 12);
+    const auto b = evaluateCapacity(cfg_b, 12);
+    EXPECT_NEAR(a.avgCapRatioAll, b.avgCapRatioAll, 0.005);
+}
+
+TEST(Capacity, InfeasibleDensityReported)
+{
+    // At 45 servers/rack (15/phase) with one feed down, floors alone are
+    // 15 x 270 = 4050 W per CDU-phase < 5520 W, so CDUs hold; but the
+    // contractual budget 665 kW < 162 x 4050 = 656 kW holds too -- so
+    // push to a density where floors overflow the contractual budget.
+    auto cfg = worstCaseConfig(policy::PolicyKind::GlobalPriority, 2);
+    cfg.dc.contractualPerPhase = 500e3; // shrink budget to force overflow
+    const auto point = evaluateCapacity(cfg, 12);
+    // floors = 162 x 12 x 270 = 525 kW > 500 x 0.95 = 475 kW
+    EXPECT_LT(point.feasibleFraction, 1.0);
+}
+
+TEST(Capacity, MultiLevelPrioritiesStrictlyOrdered)
+{
+    // Four priority levels: under Global Priority, higher levels must be
+    // capped no harder than lower ones, with a strict separation at a
+    // density where capping is substantial.
+    CapacityConfig cfg = worstCaseConfig(
+        policy::PolicyKind::GlobalPriority, 8);
+    cfg.priorityFractions = {0.4, 0.3, 0.2, 0.1};
+    const auto point = evaluateCapacity(cfg, 13);
+    ASSERT_EQ(point.avgCapRatioByPriority.size(), 4u);
+    for (std::size_t level = 1; level < 4; ++level) {
+        EXPECT_LE(point.avgCapRatioByPriority[level],
+                  point.avgCapRatioByPriority[level - 1] + 1e-9)
+            << "level " << level;
+    }
+    // The bottom class absorbs the shortfall; the top class is spared.
+    EXPECT_GT(point.avgCapRatioByPriority[0], 0.3);
+    EXPECT_LT(point.avgCapRatioByPriority[3], 0.05);
+    EXPECT_DOUBLE_EQ(point.avgCapRatioHigh,
+                     point.avgCapRatioByPriority[3]);
+}
+
+TEST(Capacity, MultiLevelUnderNoPriorityIsUniform)
+{
+    CapacityConfig cfg = worstCaseConfig(
+        policy::PolicyKind::NoPriority, 6);
+    cfg.priorityFractions = {0.4, 0.3, 0.2, 0.1};
+    const auto point = evaluateCapacity(cfg, 12);
+    ASSERT_EQ(point.avgCapRatioByPriority.size(), 4u);
+    for (std::size_t level = 1; level < 4; ++level) {
+        EXPECT_NEAR(point.avgCapRatioByPriority[level],
+                    point.avgCapRatioByPriority[0], 0.01);
+    }
+}
+
+TEST(Capacity, TwoLevelDefaultMatchesExplicitFractions)
+{
+    auto implicit = worstCaseConfig(
+        policy::PolicyKind::GlobalPriority, 6);
+    auto explicit_cfg = implicit;
+    explicit_cfg.priorityFractions = {0.7, 0.3};
+    const auto a = evaluateCapacity(implicit, 12);
+    const auto b = evaluateCapacity(explicit_cfg, 12);
+    EXPECT_NEAR(a.avgCapRatioHigh, b.avgCapRatioHigh, 0.01);
+    EXPECT_NEAR(a.avgCapRatioAll, b.avgCapRatioAll, 0.01);
+}
+
+TEST(Capacity, SupplyMismatchCreatesStrandedPowerForSpo)
+{
+    // Typical case, dual feed, 15 % split mismatch: without SPO some
+    // budget is stranded; SPO reclaims a positive amount.
+    CapacityConfig cfg;
+    cfg.policy = policy::PolicyKind::GlobalPriority;
+    cfg.worstCase = false;
+    cfg.trials = 10;
+    cfg.seed = 31;
+    cfg.enableSpo = true;
+    cfg.dc.supplyMismatch = 0.15;
+    // Densify so the typical case actually caps (SPO needs capped peers).
+    const auto point = evaluateCapacity(cfg, 15);
+    EXPECT_GT(point.meanStrandedReclaimed, 0.0);
+}

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Closed-loop capping-controller tests (paper §4.2 / Figure 4): the PI
+ * loop must drive each supply's AC power to within 5 % of its budget in
+ * two control periods, track the most-constrained supply, and respect the
+ * controllable DC range.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "control/capping_controller.hh"
+#include "device/node_manager.hh"
+#include "device/workload.hh"
+#include "device/sensor.hh"
+#include "device/server.hh"
+#include "util/random.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+constexpr int kControlPeriod = 8;
+
+/** A closed-loop rig: server + node manager + sensors + controller. */
+struct Rig
+{
+    dev::ServerModel server;
+    dev::NodeManager nm;
+    dev::SensorEmulator sensors;
+    ctrl::CappingController controller;
+
+    explicit Rig(dev::ServerSpec spec, std::uint64_t seed = 1,
+                 dev::SensorConfig sensor_cfg = {})
+        : server(std::move(spec)), nm(server),
+          sensors(server, nm, util::Rng(seed), sensor_cfg),
+          controller(server, nm, sensors)
+    {
+    }
+
+    /** Run @p periods control periods with fixed per-supply budgets. */
+    void
+    run(const std::vector<Watts> &budgets, int periods)
+    {
+        for (int p = 0; p < periods; ++p) {
+            for (int s = 0; s < kControlPeriod; ++s) {
+                controller.senseTick();
+                nm.step(1.0);
+            }
+            controller.closePeriod();
+            controller.applyBudgets(budgets);
+        }
+    }
+};
+
+dev::ServerSpec
+dualSupplySpec(double share0 = 0.5)
+{
+    dev::ServerSpec spec;
+    spec.name = "rig";
+    spec.idle = 160.0;
+    spec.capMin = 270.0;
+    spec.capMax = 490.0;
+    spec.supplies = {{share0, 0.94}, {1.0 - share0, 0.94}};
+    return spec;
+}
+
+} // namespace
+
+TEST(CappingController, EnforcesSingleConstrainedSupply)
+{
+    // Figure 5 at t=30 s: PS2 budget drops to 200 W; both supplies carry
+    // 50 % of the load, so total settles near 400 W.
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(1.0); // demand 490 W
+    rig.run({400.0, 200.0}, 4);
+
+    EXPECT_LE(rig.server.supplyAc(1), 200.0 * 1.05);
+    EXPECT_GT(rig.server.supplyAc(1), 200.0 * 0.90);
+    EXPECT_LE(rig.server.supplyAc(0), 400.0);
+}
+
+TEST(CappingController, SettlesWithinTwoControlPeriods)
+{
+    // Paper §6.1: power settles within 5 % of budget within 16 s.
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(1.0);
+    // Period 1 runs uncapped (budgets above demand split), then the
+    // constrained budget arrives.
+    rig.run({300.0, 300.0}, 1);
+    rig.run({300.0, 200.0}, 2); // two control periods at the new budget
+    EXPECT_NEAR(rig.server.supplyAc(1), 200.0, 0.05 * 200.0);
+}
+
+TEST(CappingController, MostConstrainedSupplyWins)
+{
+    // Figure 5 at t=110 s: PS1 gets the smaller budget (150 W); the DC cap
+    // must now track PS1 even though PS2 has headroom.
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(1.0);
+    rig.run({400.0, 200.0}, 3);
+    rig.run({150.0, 200.0}, 3);
+    EXPECT_LE(rig.server.supplyAc(0), 150.0 * 1.05);
+    // PS2 drops well below its own budget as a side effect.
+    EXPECT_LT(rig.server.supplyAc(1), 180.0);
+}
+
+TEST(CappingController, NoThrottleWhenBudgetsAmple)
+{
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(1.0);
+    rig.run({300.0, 300.0}, 3); // 600 total > 490 demand
+    EXPECT_NEAR(rig.server.actualAc(), 490.0, 5.0);
+    EXPECT_LT(rig.server.throttleLevel(), 0.05);
+}
+
+TEST(CappingController, DcCapStaysInControllableRange)
+{
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(1.0);
+    // Budgets far below Pcap_min: the integrator must clip at the DC
+    // equivalent of Pcap_min rather than winding down forever.
+    rig.run({50.0, 50.0}, 6);
+    const double k = rig.server.blendedEfficiency();
+    EXPECT_GE(rig.controller.desiredDcCap(), 270.0 * k - 1e-6);
+    // And the server floor holds.
+    EXPECT_NEAR(rig.server.actualAc(), 270.0, 3.0);
+}
+
+TEST(CappingController, RecoversWhenBudgetRestored)
+{
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(1.0);
+    rig.run({150.0, 150.0}, 4);
+    EXPECT_LT(rig.server.actualAc(), 320.0);
+    rig.run({300.0, 300.0}, 4);
+    EXPECT_GT(rig.server.actualAc(), 480.0);
+}
+
+TEST(CappingController, UnevenSplitBudgets)
+{
+    // 65/35 intrinsic split (§3.1): a budget matched to the split lets the
+    // server draw its full demand; the controller must not over-throttle.
+    Rig rig(dualSupplySpec(0.65));
+    rig.server.setUtilization(1.0);
+    rig.run({0.65 * 460.0, 0.35 * 460.0}, 4);
+    EXPECT_NEAR(rig.server.actualAc(), 460.0, 10.0);
+    EXPECT_LE(rig.server.supplyAc(0), 0.65 * 460.0 * 1.05);
+}
+
+TEST(CappingController, ReportsMeasuredShares)
+{
+    Rig rig(dualSupplySpec(0.65));
+    rig.server.setUtilization(0.8);
+    rig.run({400.0, 400.0}, 3);
+    const auto &rep = rig.controller.lastReport();
+    ASSERT_EQ(rep.shares.size(), 2u);
+    EXPECT_NEAR(rep.shares[0], 0.65, 0.03);
+    EXPECT_NEAR(rep.shares[1], 0.35, 0.03);
+    EXPECT_EQ(rep.workingSupplies, 2u);
+}
+
+TEST(CappingController, DemandEstimateTracksWorkload)
+{
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(1.0);
+    rig.run({300.0, 300.0}, 3); // uncapped: estimate = measurement
+    EXPECT_NEAR(rig.controller.lastReport().demandEstimate, 490.0, 8.0);
+}
+
+TEST(CappingController, DemandEstimateSurvivesCapping)
+{
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(1.0);
+    rig.run({300.0, 300.0}, 2);
+    rig.run({175.0, 175.0}, 6); // long capped phase
+    // The estimate must not collapse to the capped 350 W.
+    EXPECT_GT(rig.controller.lastReport().demandEstimate, 380.0);
+}
+
+TEST(CappingController, LeafInputScaling)
+{
+    Rig rig(dualSupplySpec(0.6));
+    rig.server.setUtilization(1.0);
+    rig.run({500.0, 500.0}, 3);
+    const auto leaf0 = rig.controller.leafInputFor(0);
+    const auto leaf1 = rig.controller.leafInputFor(1);
+    ASSERT_TRUE(leaf0.live);
+    ASSERT_TRUE(leaf1.live);
+    // capMin scales by r-hat; the two leaves partition the server totals.
+    EXPECT_NEAR(leaf0.capMin + leaf1.capMin, 270.0, 1.0);
+    EXPECT_NEAR(leaf0.constraint + leaf1.constraint, 490.0, 1.0);
+    EXPECT_NEAR(leaf0.capMin / (leaf0.capMin + leaf1.capMin), 0.6, 0.03);
+}
+
+TEST(CappingController, SupplyFailureReflectsInReport)
+{
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(0.9);
+    rig.run({400.0, 400.0}, 2);
+    rig.server.setSupplyState(0, dev::SupplyState::Failed);
+    rig.run({400.0, 400.0}, 2);
+    const auto &rep = rig.controller.lastReport();
+    EXPECT_EQ(rep.workingSupplies, 1u);
+    EXPECT_DOUBLE_EQ(rep.shares[0], 0.0);
+    EXPECT_NEAR(rep.shares[1], 1.0, 1e-9);
+    EXPECT_FALSE(rig.controller.leafInputFor(0).live);
+}
+
+TEST(CappingController, DemandEstimateTracksSlowLoadSwings)
+{
+    // A slow sinusoidal workload under ample budgets: the estimator
+    // must follow the true demand both up and down (each control period
+    // it re-measures the unthrottled draw).
+    Rig rig(dualSupplySpec());
+    dev::SineWorkload workload(0.55, 0.3, 240);
+    double worst_error = 0.0;
+    for (int period = 0; period < 40; ++period) {
+        for (int s = 0; s < kControlPeriod; ++s) {
+            rig.server.setUtilization(workload.utilizationAt(
+                period * kControlPeriod + s));
+            rig.controller.senseTick();
+            rig.nm.step(1.0);
+        }
+        rig.controller.closePeriod();
+        rig.controller.applyBudgets({400.0, 400.0}); // never binding
+        if (period >= 3) {
+            const double error =
+                std::fabs(rig.controller.lastReport().demandEstimate
+                          - rig.server.demandAc());
+            worst_error = std::max(worst_error, error);
+        }
+    }
+    // The estimate may lag by up to one period of the sine's slope
+    // (~15 W) plus sensor noise.
+    EXPECT_LT(worst_error, 25.0);
+}
+
+TEST(CappingController, SensorDropoutHoldsLastState)
+{
+    // Establish a steady capped state, then close a period with NO
+    // sensor ticks (telemetry outage): the controller must hold its
+    // previous report and keep the cap where it was, not release it.
+    Rig rig(dualSupplySpec());
+    rig.server.setUtilization(1.0);
+    rig.run({220.0, 220.0}, 4);
+    const auto held = rig.controller.lastReport();
+    const double cap_before = rig.controller.desiredDcCap();
+
+    const auto report = rig.controller.closePeriod(); // zero samples
+    EXPECT_NEAR(report.demandEstimate, held.demandEstimate, 1e-9);
+    ASSERT_EQ(report.supplyAvgAc.size(), held.supplyAvgAc.size());
+    EXPECT_NEAR(report.supplyAvgAc[0], held.supplyAvgAc[0], 1e-9);
+
+    rig.controller.applyBudgets({220.0, 220.0});
+    // The held measurements equal the budgets, so the cap stays put.
+    EXPECT_NEAR(rig.controller.desiredDcCap(), cap_before, 10.0);
+}
+
+TEST(CappingController, ConvergesWithCurvedPsuEfficiency)
+{
+    // Load-dependent AC/DC conversion injects model error into the
+    // cap translation; the PI loop must still regulate the AC budgets.
+    dev::ServerSpec spec = dualSupplySpec();
+    for (auto &s : spec.supplies) {
+        s.ratedPower = 400.0;
+        s.efficiencyAt20 = 0.87;
+        s.efficiencyAt50 = 0.945;
+        s.efficiencyAt100 = 0.90;
+    }
+    Rig rig(spec);
+    rig.server.setUtilization(1.0);
+    rig.run({220.0, 220.0}, 5);
+    EXPECT_NEAR(rig.server.supplyAc(0), 220.0, 0.05 * 220.0);
+    EXPECT_NEAR(rig.server.supplyAc(1), 220.0, 0.05 * 220.0);
+}
+
+TEST(CappingController, NoisySensorsStillConverge)
+{
+    dev::SensorConfig noisy;
+    noisy.powerNoiseStddev = 4.0;
+    Rig rig(dualSupplySpec(), 99, noisy);
+    rig.server.setUtilization(1.0);
+    rig.run({220.0, 220.0}, 5);
+    EXPECT_NEAR(rig.server.supplyAc(0), 220.0, 0.07 * 220.0);
+}

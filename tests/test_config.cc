@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Configuration-loader tests: topology/server/service mapping, budget
+ * resolution, validation errors, and end-to-end simulation from the
+ * bundled sample configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/loader.hh"
+#include "sim/closed_loop.hh"
+
+using namespace capmaestro;
+using config::loadScenario;
+using capmaestro::util::parseJson;
+
+namespace {
+
+const char *kMinimalConfig = R"({
+    "feeds": 1,
+    "trees": [
+        { "feed": 0,
+          "root": { "kind": "breaker", "name": "cb", "rating": 1000,
+                    "children": [
+                        { "kind": "supply", "server": 0 } ] } }
+    ],
+    "servers": [
+        { "name": "S0", "priority": 1,
+          "supplies": [ { "share": 1.0 } ],
+          "workload": { "type": "constant", "utilization": 1.0 } }
+    ],
+    "budgets": { "perTree": [ 800 ] }
+})";
+
+} // namespace
+
+TEST(ConfigLoader, MinimalScenario)
+{
+    auto scenario = loadScenario(parseJson(kMinimalConfig));
+    ASSERT_EQ(scenario.system->trees().size(), 1u);
+    EXPECT_EQ(scenario.system->tree(0).validate(), 1u);
+    ASSERT_EQ(scenario.servers.size(), 1u);
+    EXPECT_EQ(scenario.servers[0].spec.name, "S0");
+    EXPECT_EQ(scenario.servers[0].spec.priority, 1);
+    ASSERT_EQ(scenario.rootBudgets.size(), 1u);
+    EXPECT_DOUBLE_EQ(scenario.rootBudgets[0], 800.0);
+}
+
+TEST(ConfigLoader, DefaultsApplied)
+{
+    auto scenario = loadScenario(parseJson(kMinimalConfig));
+    const auto &spec = scenario.servers[0].spec;
+    EXPECT_DOUBLE_EQ(spec.idle, 160.0);
+    EXPECT_DOUBLE_EQ(spec.capMin, 270.0);
+    EXPECT_DOUBLE_EQ(spec.capMax, 490.0);
+    EXPECT_DOUBLE_EQ(spec.gamma, 2.7);
+    EXPECT_EQ(scenario.service.policy,
+              policy::PolicyKind::GlobalPriority);
+    EXPECT_EQ(scenario.service.controlPeriod, 8);
+}
+
+TEST(ConfigLoader, UnlimitedAndDeratedRatings)
+{
+    auto scenario = loadScenario(parseJson(R"({
+        "feeds": 1,
+        "trees": [
+            { "feed": 0,
+              "root": { "kind": "contractual", "rating": "unlimited",
+                        "children": [
+                            { "kind": "cdu", "rating": 6900,
+                              "derate": 0.8,
+                              "children": [
+                                { "kind": "supply", "server": 0 } ] }
+                        ] } }
+        ],
+        "servers": [ { "supplies": [ { "share": 1.0 } ] } ]
+    })"));
+    const auto &tree = scenario.system->tree(0);
+    EXPECT_EQ(tree.node(tree.root()).limit(), topo::kUnlimited);
+    const auto cdu = tree.node(tree.root()).children[0];
+    EXPECT_DOUBLE_EQ(tree.node(cdu).limit(), 6900.0 * 0.8);
+}
+
+TEST(ConfigLoader, TotalPerPhaseBudgetSplit)
+{
+    auto scenario = loadScenario(parseJson(R"({
+        "feeds": 2,
+        "trees": [
+            { "feed": 0,
+              "root": { "kind": "breaker", "rating": 1000, "children": [
+                  { "kind": "supply", "server": 0, "supply": 0 } ] } },
+            { "feed": 1,
+              "root": { "kind": "breaker", "rating": 1000, "children": [
+                  { "kind": "supply", "server": 0, "supply": 1 } ] } }
+        ],
+        "servers": [ { "supplies": [ {}, {} ] } ],
+        "budgets": { "totalPerPhase": 1400 }
+    })"));
+    ASSERT_EQ(scenario.rootBudgets.size(), 2u);
+    EXPECT_DOUBLE_EQ(scenario.rootBudgets[0], 700.0);
+    EXPECT_DOUBLE_EQ(scenario.rootBudgets[1], 700.0);
+    ASSERT_TRUE(scenario.totalPerPhase.has_value());
+    EXPECT_DOUBLE_EQ(*scenario.totalPerPhase, 1400.0);
+}
+
+TEST(ConfigLoader, WorkloadTypes)
+{
+    auto scenario = loadScenario(parseJson(R"({
+        "feeds": 1,
+        "trees": [
+            { "feed": 0,
+              "root": { "kind": "breaker", "rating": 5000, "children": [
+                  { "kind": "supply", "server": 0 },
+                  { "kind": "supply", "server": 1 },
+                  { "kind": "supply", "server": 2 },
+                  { "kind": "supply", "server": 3 } ] } }
+        ],
+        "servers": [
+            { "supplies": [ { "share": 1.0 } ],
+              "workload": { "type": "constant", "utilization": 0.25 } },
+            { "supplies": [ { "share": 1.0 } ],
+              "workload": { "type": "steps",
+                            "steps": [[0, 0.1], [50, 0.9]] } },
+            { "supplies": [ { "share": 1.0 } ],
+              "workload": { "type": "sine", "mean": 0.5,
+                            "amplitude": 0.3, "period": 100 } },
+            { "supplies": [ { "share": 1.0 } ],
+              "workload": { "type": "randomwalk", "start": 0.4,
+                            "step": 0.02, "seed": 9 } }
+        ]
+    })"));
+    EXPECT_DOUBLE_EQ(scenario.servers[0].workload->utilizationAt(10),
+                     0.25);
+    EXPECT_DOUBLE_EQ(scenario.servers[1].workload->utilizationAt(10),
+                     0.1);
+    EXPECT_DOUBLE_EQ(scenario.servers[1].workload->utilizationAt(60),
+                     0.9);
+    const double sine = scenario.servers[2].workload->utilizationAt(25);
+    EXPECT_NEAR(sine, 0.8, 1e-9); // peak of the sine at period/4
+    const double walk = scenario.servers[3].workload->utilizationAt(5);
+    EXPECT_GE(walk, 0.0);
+    EXPECT_LE(walk, 1.0);
+}
+
+TEST(ConfigLoaderDeath, ValidationErrors)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Topology references an undeclared server.
+    EXPECT_EXIT(loadScenario(parseJson(R"({
+        "feeds": 1,
+        "trees": [ { "feed": 0,
+            "root": { "kind": "breaker", "rating": 100, "children": [
+                { "kind": "supply", "server": 5 } ] } } ],
+        "servers": [ {} ]
+    })")),
+                testing::ExitedWithCode(1), "references server 5");
+
+    // Unknown node kind.
+    EXPECT_EXIT(loadScenario(parseJson(R"({
+        "feeds": 1,
+        "trees": [ { "feed": 0,
+            "root": { "kind": "flux-capacitor", "rating": 100 } } ],
+        "servers": []
+    })")),
+                testing::ExitedWithCode(1), "unknown node kind");
+
+    // Unknown policy.
+    EXPECT_EXIT(loadScenario(parseJson(R"({
+        "feeds": 1,
+        "trees": [ { "feed": 0,
+            "root": { "kind": "breaker", "rating": 100, "children": [] } } ],
+        "servers": [],
+        "service": { "policy": "psychic" }
+    })")),
+                testing::ExitedWithCode(1), "unknown policy");
+
+    // Budget count mismatch.
+    EXPECT_EXIT(loadScenario(parseJson(R"({
+        "feeds": 1,
+        "trees": [ { "feed": 0,
+            "root": { "kind": "breaker", "rating": 100, "children": [] } } ],
+        "servers": [],
+        "budgets": { "perTree": [1, 2] }
+    })")),
+                testing::ExitedWithCode(1), "entries for 1 trees");
+}
+
+TEST(ConfigLoader, EndToEndSimulationFromConfig)
+{
+    auto scenario = loadScenario(parseJson(kMinimalConfig));
+    auto simulation = config::makeSimulation(std::move(scenario));
+    simulation.run(80);
+    // Demand 490 W, budget 800 W: uncapped, full throughput.
+    EXPECT_GT(simulation.recorder().mean(
+                  sim::ClosedLoopSim::serverSeries(0, "throughput"), 40,
+                  79),
+              0.99);
+    EXPECT_FALSE(simulation.anyBreakerTripped());
+}
+
+TEST(ConfigLoader, PowerTreeRoundTrip)
+{
+    // Build a tree, serialize to the config schema, reload, and compare
+    // structure, names, ratings, derates, and supply refs node by node.
+    topo::PowerTree original(0, 2, "rt");
+    const auto root = original.makeRoot(topo::NodeKind::Contractual,
+                                        "contract", topo::kUnlimited);
+    const auto cdu = original.addChild(root, topo::NodeKind::Cdu, "cdu0",
+                                       6900.0, 0.8);
+    original.addSupplyPort(cdu, "outlet3", {3, 1});
+    original.addSupplyPort(cdu, "outlet4", {4, 0});
+
+    const auto json = config::powerTreeToJson(original);
+    const auto reloaded = config::loadPowerTree(json);
+
+    ASSERT_EQ(reloaded->size(), original.size());
+    EXPECT_EQ(reloaded->feed(), 0);
+    EXPECT_EQ(reloaded->phase(), 2);
+    EXPECT_EQ(reloaded->name(), "rt");
+    for (topo::NodeId id = 0;
+         id < static_cast<topo::NodeId>(original.size()); ++id) {
+        const auto &a = original.node(id);
+        const auto &b = reloaded->node(id);
+        EXPECT_EQ(a.kind, b.kind) << "node " << id;
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.rating, b.rating);
+        EXPECT_DOUBLE_EQ(a.derate, b.derate);
+        EXPECT_EQ(a.children, b.children);
+        EXPECT_EQ(a.supplyRef.has_value(), b.supplyRef.has_value());
+        if (a.supplyRef) {
+            EXPECT_EQ(*a.supplyRef, *b.supplyRef);
+        }
+    }
+}
+
+TEST(ConfigLoader, SerializeParseRoundTripJson)
+{
+    const auto doc = parseJson(
+        R"({"a": [1, 2.5, true, null], "b": {"c": "x\ny"}})");
+    const auto text = util::serializeJson(doc, 2);
+    const auto again = parseJson(text);
+    EXPECT_DOUBLE_EQ(again.at("a").asArray()[1].asNumber(), 2.5);
+    EXPECT_TRUE(again.at("a").asArray()[2].asBool());
+    EXPECT_TRUE(again.at("a").asArray()[3].isNull());
+    EXPECT_EQ(again.at("b").at("c").asString(), "x\ny");
+    // Compact form parses too.
+    EXPECT_DOUBLE_EQ(parseJson(util::serializeJson(doc, 0))
+                         .at("a")
+                         .asArray()[0]
+                         .asNumber(),
+                     1.0);
+}
+
+TEST(ConfigLoader, BundledSampleConfigsLoadAndRun)
+{
+    for (const char *path : {"configs/fig2_testbed.json",
+                             "configs/dual_feed_spo.json",
+                             "configs/three_phase.json"}) {
+        auto scenario = config::loadScenarioFile(
+            std::string(CAPMAESTRO_SOURCE_DIR) + "/" + path);
+        const auto servers = scenario.servers.size();
+        auto simulation = config::makeSimulation(std::move(scenario));
+        simulation.run(60);
+        EXPECT_GE(servers, 4u) << path;
+        EXPECT_FALSE(simulation.anyBreakerTripped()) << path;
+    }
+}

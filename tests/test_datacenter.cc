@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the Table 4 data-center builder: tree shape, ratings,
+ * derating, server placement, and cross-feed port consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/datacenter.hh"
+
+using namespace capmaestro;
+using sim::buildDataCenter;
+using sim::DataCenterParams;
+
+TEST(DataCenterBuilder, Table4Shape)
+{
+    DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = 12;
+    const auto dc = buildDataCenter(params);
+
+    EXPECT_EQ(params.racks(), 162);
+    EXPECT_EQ(dc.system->trees().size(), 2u); // 2 feeds x 1 phase
+    EXPECT_EQ(dc.servers.size(), 162u * 12u);
+    // Whole-center count scales by the 3 physical phases.
+    EXPECT_EQ(params.totalServersFullCenter(), 162u * 3u * 12u);
+
+    // Per tree: 1 root + 2 transformers + 18 RPPs + 162 CDUs + leaves.
+    const auto &tree = dc.system->tree(0);
+    EXPECT_EQ(tree.size(), 1u + 2u + 18u + 162u + 162u * 12u);
+}
+
+TEST(DataCenterBuilder, ThreePhaseShape)
+{
+    DataCenterParams params;
+    params.phases = 3;
+    params.serversPerRackPerPhase = 2;
+    const auto dc = buildDataCenter(params);
+    EXPECT_EQ(dc.system->trees().size(), 6u);
+    EXPECT_EQ(dc.servers.size(), 162u * 3u * 2u);
+}
+
+TEST(DataCenterBuilder, RatingsAndDerates)
+{
+    DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = 2;
+    const auto dc = buildDataCenter(params);
+    int cdus = 0, rpps = 0, xfmrs = 0;
+    dc.system->tree(0).forEach([&](const topo::TopoNode &n) {
+        switch (n.kind) {
+          case topo::NodeKind::Cdu:
+            ++cdus;
+            EXPECT_DOUBLE_EQ(n.limit(), 6900.0 * 0.8);
+            break;
+          case topo::NodeKind::Rpp:
+            ++rpps;
+            EXPECT_DOUBLE_EQ(n.limit(), 52000.0 * 0.8);
+            break;
+          case topo::NodeKind::Transformer:
+            ++xfmrs;
+            EXPECT_DOUBLE_EQ(n.limit(), 420000.0 * 0.8);
+            break;
+          case topo::NodeKind::Contractual:
+            EXPECT_EQ(n.limit(), topo::kUnlimited);
+            break;
+          default:
+            break;
+        }
+    });
+    EXPECT_EQ(cdus, 162);
+    EXPECT_EQ(rpps, 18);
+    EXPECT_EQ(xfmrs, 2);
+}
+
+TEST(DataCenterBuilder, DualFeedPortsForEveryServer)
+{
+    DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = 3;
+    const auto dc = buildDataCenter(params);
+    for (std::size_t id = 0; id < dc.servers.size(); ++id) {
+        const auto ports =
+            dc.system->livePortsOf(static_cast<std::int32_t>(id));
+        ASSERT_EQ(ports.size(), 2u) << "server " << id;
+        EXPECT_EQ(dc.system->tree(ports.at(0).tree).feed(), 0);
+        EXPECT_EQ(dc.system->tree(ports.at(1).tree).feed(), 1);
+    }
+}
+
+TEST(DataCenterBuilder, PlacementConsistency)
+{
+    DataCenterParams params;
+    params.phases = 3;
+    params.serversPerRackPerPhase = 4;
+    const auto dc = buildDataCenter(params);
+    for (std::size_t id = 0; id < dc.servers.size(); ++id) {
+        const auto &p = dc.servers[id];
+        const auto expect_id = static_cast<std::size_t>(
+            (p.rack * params.phases + p.phase)
+                * params.serversPerRackPerPhase
+            + p.slot);
+        EXPECT_EQ(expect_id, id);
+        EXPECT_LT(p.rack, params.racks());
+        EXPECT_LT(p.phase, params.phases);
+    }
+}
+
+TEST(DataCenterBuilder, UsableBudget)
+{
+    DataCenterParams params;
+    EXPECT_DOUBLE_EQ(params.usableBudgetPerPhase(), 700e3 * 0.95);
+}
+
+TEST(DataCenterBuilder, TreeIndexMapping)
+{
+    DataCenterParams params;
+    params.phases = 3;
+    params.serversPerRackPerPhase = 1;
+    const auto dc = buildDataCenter(params);
+    for (int feed = 0; feed < 2; ++feed) {
+        for (int phase = 0; phase < 3; ++phase) {
+            const auto &tree =
+                dc.system->tree(dc.treeIndex(feed, phase));
+            EXPECT_EQ(tree.feed(), feed);
+            EXPECT_EQ(tree.phase(), phase);
+        }
+    }
+}
+
+TEST(DataCenterBuilderDeath, RejectsBadShape)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    DataCenterParams params;
+    params.serversPerRackPerPhase = 0;
+    EXPECT_EXIT(buildDataCenter(params), testing::ExitedWithCode(1),
+                "bad shape");
+}

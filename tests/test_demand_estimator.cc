@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Demand-estimator tests (§5's regression method): direct measurement when
+ * unthrottled, extrapolation to 0 % throttle when excited, and sticky
+ * behavior in steady capped states.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/demand_estimator.hh"
+
+using namespace capmaestro;
+using ctrl::DemandEstimator;
+using ctrl::DemandEstimatorConfig;
+
+namespace {
+
+/** Server power at throttle t for a gamma curve (idle 160, demand d). */
+double
+powerAt(double demand, double t, double gamma = 2.7)
+{
+    return 160.0 + (demand - 160.0) * std::pow(1.0 - t, gamma);
+}
+
+DemandEstimatorConfig
+testConfig()
+{
+    DemandEstimatorConfig c;
+    c.minEstimate = 160.0;
+    c.maxEstimate = 490.0;
+    return c;
+}
+
+} // namespace
+
+TEST(DemandEstimator, UnprimedReturnsMinimum)
+{
+    DemandEstimator est(testConfig());
+    EXPECT_FALSE(est.primed());
+    EXPECT_DOUBLE_EQ(est.estimate(), 160.0);
+}
+
+TEST(DemandEstimator, UnthrottledUsesMeasurement)
+{
+    DemandEstimator est(testConfig());
+    for (int i = 0; i < 16; ++i)
+        est.addSample(0.0, 420.0);
+    EXPECT_NEAR(est.estimate(), 420.0, 1e-9);
+}
+
+TEST(DemandEstimator, UnthrottledTracksDecreases)
+{
+    DemandEstimator est(testConfig());
+    for (int i = 0; i < 16; ++i)
+        est.addSample(0.0, 420.0);
+    for (int i = 0; i < 16; ++i)
+        est.addSample(0.0, 300.0); // workload got lighter
+    EXPECT_NEAR(est.estimate(), 300.0, 1e-9);
+}
+
+TEST(DemandEstimator, ExtrapolatesThroughThrottleTransient)
+{
+    // A cap engages: throttle ramps 0 -> 25 % while power drops along the
+    // gamma curve. The regression should recover roughly the original
+    // demand from the transient.
+    DemandEstimator est(testConfig());
+    const double demand = 420.0;
+    for (int i = 0; i < 8; ++i)
+        est.addSample(0.0, demand);
+    for (int i = 1; i <= 8; ++i) {
+        const double t = 0.25 * i / 8.0;
+        est.addSample(t, powerAt(demand, t));
+    }
+    // Linear extrapolation of a gamma curve slightly underestimates; the
+    // paper tolerates this via the 5 % contractual margin.
+    EXPECT_NEAR(est.estimate(), demand, 0.06 * demand);
+}
+
+TEST(DemandEstimator, SteadyCappedHoldsEstimate)
+{
+    DemandEstimator est(testConfig());
+    const double demand = 420.0;
+    for (int i = 0; i < 8; ++i)
+        est.addSample(0.0, demand);
+    // Long steady capped phase at 20 % throttle: no new information, so
+    // the estimate must not collapse toward the capped power.
+    const double capped_power = powerAt(demand, 0.2);
+    for (int i = 0; i < 100; ++i)
+        est.addSample(0.2, capped_power);
+    EXPECT_GT(est.estimate(), capped_power + 20.0);
+}
+
+TEST(DemandEstimator, CappedDrawAboveEstimateRaisesIt)
+{
+    DemandEstimator est(testConfig());
+    // Prime low, then observe higher power while throttled steadily.
+    for (int i = 0; i < 16; ++i)
+        est.addSample(0.0, 250.0);
+    for (int i = 0; i < 20; ++i)
+        est.addSample(0.2, 320.0);
+    EXPECT_GE(est.estimate(), 320.0);
+}
+
+TEST(DemandEstimator, ClampsToConfiguredBounds)
+{
+    DemandEstimatorConfig cfg = testConfig();
+    DemandEstimator est(cfg);
+    // Wild regression (noise) cannot push the estimate past capMax.
+    for (int i = 0; i < 8; ++i)
+        est.addSample(0.01 * i, 480.0 - 40.0 * i);
+    EXPECT_LE(est.estimate(), cfg.maxEstimate);
+    EXPECT_GE(est.estimate(), cfg.minEstimate);
+}
+
+TEST(DemandEstimator, ResetClearsState)
+{
+    DemandEstimator est(testConfig());
+    est.addSample(0.0, 400.0);
+    est.reset();
+    EXPECT_FALSE(est.primed());
+    EXPECT_DOUBLE_EQ(est.estimate(), 160.0);
+}
+
+TEST(DemandEstimator, LastMeasuredModeCollapsesUnderCap)
+{
+    // The ablation baseline: under a steady cap the naive estimator
+    // tracks the capped power instead of the demand — the failure mode
+    // the paper's regression method exists to avoid.
+    DemandEstimatorConfig cfg = testConfig();
+    cfg.mode = ctrl::DemandEstimatorMode::LastMeasured;
+    DemandEstimator est(cfg);
+    for (int i = 0; i < 16; ++i)
+        est.addSample(0.0, 420.0);
+    EXPECT_NEAR(est.estimate(), 420.0, 1e-9);
+    const double capped = powerAt(420.0, 0.2);
+    for (int i = 0; i < 32; ++i)
+        est.addSample(0.2, capped);
+    EXPECT_NEAR(est.estimate(), capped, 1.0); // collapsed
+}
+
+TEST(DemandEstimator, RecoversAfterCapRelease)
+{
+    DemandEstimator est(testConfig());
+    const double demand = 420.0;
+    for (int i = 0; i < 8; ++i)
+        est.addSample(0.0, demand);
+    for (int i = 0; i < 30; ++i)
+        est.addSample(0.2, powerAt(demand, 0.2));
+    // Cap released; once the window is full of unthrottled samples the
+    // estimate returns to direct measurement.
+    for (int i = 0; i < 16; ++i)
+        est.addSample(0.0, demand);
+    EXPECT_NEAR(est.estimate(), demand, 1.0);
+}

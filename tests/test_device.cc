@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Unit tests for the device module: the Fan et al. power curve, the
+ * gamma throughput model (calibrated against the paper's measurements),
+ * supply load splitting and failure, node-manager actuation dynamics,
+ * sensors, and workload profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+
+#include "device/node_manager.hh"
+#include "device/sensor.hh"
+#include "device/server.hh"
+#include "device/workload.hh"
+#include "util/random.hh"
+
+namespace cd = capmaestro::dev;
+
+namespace {
+
+/** The paper's testbed server: idle 160 W, Pcap_min 270 W, Pcap_max 490 W. */
+cd::ServerSpec
+testbedSpec()
+{
+    cd::ServerSpec spec;
+    spec.name = "testbed";
+    spec.idle = 160.0;
+    spec.capMin = 270.0;
+    spec.capMax = 490.0;
+    spec.gamma = 2.7;
+    spec.supplies = {{0.5, 0.94}, {0.5, 0.94}};
+    return spec;
+}
+
+/** Find the utilization whose demand equals @p target (bisection). */
+double
+utilizationForDemand(const cd::ServerModel &server, double target)
+{
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (server.demandAcAt(mid) < target ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+TEST(ServerModel, PowerCurveEndpoints)
+{
+    cd::ServerModel server(testbedSpec());
+    EXPECT_DOUBLE_EQ(server.demandAcAt(0.0), 160.0);
+    EXPECT_DOUBLE_EQ(server.demandAcAt(1.0), 490.0);
+}
+
+TEST(ServerModel, PowerCurveMonotone)
+{
+    cd::ServerModel server(testbedSpec());
+    double prev = server.demandAcAt(0.0);
+    for (double u = 0.01; u <= 1.0; u += 0.01) {
+        const double p = server.demandAcAt(u);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(ServerModel, UncappedRunsAtDemand)
+{
+    cd::ServerModel server(testbedSpec());
+    server.setUtilization(0.7);
+    EXPECT_DOUBLE_EQ(server.actualAc(), server.demandAc());
+    EXPECT_DOUBLE_EQ(server.performance(), 1.0);
+    EXPECT_DOUBLE_EQ(server.throttleLevel(), 0.0);
+}
+
+TEST(ServerModel, PaperThroughputCalibration)
+{
+    // Paper §6.2: a 420 W-demand server capped at 314 W (No Priority)
+    // measured 18 % lower throughput; capped at 344 W (Local Priority),
+    // 13 % lower. Our gamma = 2.7 model must reproduce both.
+    cd::ServerModel server(testbedSpec());
+    server.setUtilization(utilizationForDemand(server, 420.0));
+    ASSERT_NEAR(server.demandAc(), 420.0, 0.01);
+
+    server.setEnforcedCapAc(314.0);
+    EXPECT_NEAR(server.normalizedThroughput(), 0.82, 0.01);
+
+    server.setEnforcedCapAc(344.0);
+    EXPECT_NEAR(server.normalizedThroughput(), 0.88, 0.015);
+
+    server.setEnforcedCapAc(419.0);
+    EXPECT_NEAR(server.normalizedThroughput(), 1.0, 0.005);
+}
+
+TEST(ServerModel, CapAboveDemandDoesNothing)
+{
+    cd::ServerModel server(testbedSpec());
+    server.setUtilization(0.5);
+    const double demand = server.demandAc();
+    server.setEnforcedCapAc(demand + 100.0);
+    EXPECT_DOUBLE_EQ(server.actualAc(), demand);
+    EXPECT_DOUBLE_EQ(server.performance(), 1.0);
+}
+
+TEST(ServerModel, CapBelowFloorClampsToFloor)
+{
+    cd::ServerModel server(testbedSpec());
+    server.setUtilization(1.0);
+    server.setEnforcedCapAc(100.0); // below Pcap_min = 270
+    EXPECT_NEAR(server.actualAc(), 270.0, 1e-9);
+}
+
+TEST(ServerModel, FloorScalesWithUtilization)
+{
+    cd::ServerModel server(testbedSpec());
+    server.setUtilization(1.0);
+    EXPECT_NEAR(server.floorAc(), 270.0, 1e-9);
+    server.setUtilization(0.3);
+    EXPECT_LT(server.floorAc(), 270.0);
+    EXPECT_GT(server.floorAc(), 160.0);
+}
+
+TEST(ServerModel, IdleWorkloadCappingIsFree)
+{
+    cd::ServerModel server(testbedSpec());
+    server.setUtilization(0.0);
+    server.setEnforcedCapAc(200.0);
+    EXPECT_DOUBLE_EQ(server.performance(), 1.0);
+}
+
+TEST(ServerModel, SupplySplitEven)
+{
+    cd::ServerModel server(testbedSpec());
+    server.setUtilization(1.0);
+    EXPECT_DOUBLE_EQ(server.supplyAc(0), 245.0);
+    EXPECT_DOUBLE_EQ(server.supplyAc(1), 245.0);
+}
+
+TEST(ServerModel, SupplySplitMismatch)
+{
+    // §3.1: up to 65/35 split observed in practice.
+    cd::ServerSpec spec = testbedSpec();
+    spec.supplies = {{0.35, 0.94}, {0.65, 0.94}};
+    cd::ServerModel server(spec);
+    server.setUtilization(1.0);
+    EXPECT_NEAR(server.supplyAc(0), 0.35 * 490.0, 1e-9);
+    EXPECT_NEAR(server.supplyAc(1), 0.65 * 490.0, 1e-9);
+}
+
+TEST(ServerModel, SupplyFailureShiftsLoad)
+{
+    cd::ServerModel server(testbedSpec());
+    server.setUtilization(1.0);
+    server.setSupplyState(0, cd::SupplyState::Failed);
+    EXPECT_EQ(server.workingSupplies(), 1u);
+    EXPECT_DOUBLE_EQ(server.supplyAc(0), 0.0);
+    EXPECT_DOUBLE_EQ(server.supplyAc(1), 490.0);
+    EXPECT_DOUBLE_EQ(server.effectiveShare(1), 1.0);
+}
+
+TEST(ServerModel, DarkWhenAllSuppliesFail)
+{
+    cd::ServerModel server(testbedSpec());
+    server.setUtilization(1.0);
+    server.setSupplyState(0, cd::SupplyState::Failed);
+    server.setSupplyState(1, cd::SupplyState::Failed);
+    EXPECT_DOUBLE_EQ(server.actualAc(), 0.0);
+    EXPECT_DOUBLE_EQ(server.performance(), 0.0);
+    EXPECT_DOUBLE_EQ(server.supplyAc(0) + server.supplyAc(1), 0.0);
+    // Power restored: back to normal.
+    server.setSupplyState(0, cd::SupplyState::Ok);
+    EXPECT_DOUBLE_EQ(server.actualAc(), 490.0);
+}
+
+TEST(ServerModel, HotSpareStandby)
+{
+    cd::ServerSpec spec = testbedSpec();
+    spec.hotSpareEnabled = true;
+    spec.standbyThreshold = 250.0;
+    cd::ServerModel server(spec);
+
+    server.setUtilization(0.05); // light load, below threshold
+    EXPECT_EQ(server.workingSupplies(), 1u);
+    const double total =
+        server.supplyAc(0) + server.supplyAc(1);
+    EXPECT_NEAR(total, server.actualAc(), 1e-9);
+
+    server.setUtilization(1.0); // heavy load wakes the spare
+    EXPECT_EQ(server.workingSupplies(), 2u);
+}
+
+TEST(ServerModel, BlendedEfficiency)
+{
+    cd::ServerSpec spec = testbedSpec();
+    spec.supplies = {{0.5, 0.90}, {0.5, 0.98}};
+    cd::ServerModel server(spec);
+    EXPECT_NEAR(server.blendedEfficiency(), 0.94, 1e-9);
+    server.setSupplyState(0, cd::SupplyState::Failed);
+    EXPECT_NEAR(server.blendedEfficiency(), 0.98, 1e-9);
+}
+
+TEST(SupplySpec, EfficiencyCurveInterpolation)
+{
+    cd::SupplySpec s;
+    s.ratedPower = 800.0;
+    s.efficiencyAt20 = 0.88;
+    s.efficiencyAt50 = 0.94;
+    s.efficiencyAt100 = 0.90;
+    // Below/at 20 % of rating: the 20 % point.
+    EXPECT_DOUBLE_EQ(s.efficiencyAtLoad(0.0), 0.88);
+    EXPECT_DOUBLE_EQ(s.efficiencyAtLoad(160.0), 0.88);
+    // Midpoints interpolate linearly.
+    EXPECT_NEAR(s.efficiencyAtLoad(280.0), 0.91, 1e-12);  // 35 % load
+    EXPECT_DOUBLE_EQ(s.efficiencyAtLoad(400.0), 0.94);    // 50 %
+    EXPECT_NEAR(s.efficiencyAtLoad(600.0), 0.92, 1e-12);  // 75 %
+    EXPECT_DOUBLE_EQ(s.efficiencyAtLoad(800.0), 0.90);    // 100 %
+    EXPECT_DOUBLE_EQ(s.efficiencyAtLoad(1000.0), 0.90);   // overload
+}
+
+TEST(SupplySpec, FlatWhenNoRating)
+{
+    cd::SupplySpec s;
+    s.efficiency = 0.93;
+    EXPECT_DOUBLE_EQ(s.efficiencyAtLoad(100.0), 0.93);
+    EXPECT_DOUBLE_EQ(s.efficiencyAtLoad(700.0), 0.93);
+}
+
+TEST(ServerModel, CurvedEfficiencyVariesWithLoad)
+{
+    cd::ServerSpec spec = testbedSpec();
+    for (auto &s : spec.supplies) {
+        s.ratedPower = 400.0;
+        s.efficiencyAt20 = 0.88;
+        s.efficiencyAt50 = 0.94;
+        s.efficiencyAt100 = 0.91;
+    }
+    cd::ServerModel server(spec);
+    server.setUtilization(0.1); // light: supplies near 20 % of rating
+    const double light = server.blendedEfficiency();
+    server.setUtilization(0.5); // mid-load: near the 0.94 peak
+    const double mid = server.blendedEfficiency();
+    EXPECT_GT(mid, light);
+}
+
+TEST(ServerModelDeath, BadSpecRejected)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    cd::ServerSpec spec = testbedSpec();
+    spec.capMin = 500.0; // above capMax
+    EXPECT_EXIT(cd::ServerModel{spec}, testing::ExitedWithCode(1),
+                "idle < capMin < capMax");
+
+    spec = testbedSpec();
+    spec.supplies = {{0.5, 0.94}, {0.3, 0.94}}; // shares sum to 0.8
+    EXPECT_EXIT(cd::ServerModel{spec}, testing::ExitedWithCode(1),
+                "shares sum");
+}
+
+TEST(NodeManager, SettlesWithinSixSeconds)
+{
+    cd::ServerModel server(testbedSpec());
+    cd::NodeManager nm(server);
+    server.setUtilization(1.0); // demand 490, DC = 460.6
+
+    // Cap to 300 W DC; after 6 one-second steps the applied cap must be
+    // within 5 % of the target (paper: cap enforced within 6 s).
+    nm.setDcCap(300.0);
+    for (int s = 0; s < 6; ++s)
+        nm.step(1.0);
+    EXPECT_NEAR(nm.appliedDcCap(), 300.0, 15.0);
+    EXPECT_NEAR(server.actualDc(), 300.0, 15.0);
+}
+
+TEST(NodeManager, ExactAfterDeadband)
+{
+    cd::ServerModel server(testbedSpec());
+    cd::NodeManager nm(server);
+    server.setUtilization(1.0);
+    nm.setDcCap(300.0);
+    for (int s = 0; s < 20; ++s)
+        nm.step(1.0);
+    EXPECT_DOUBLE_EQ(nm.appliedDcCap(), 300.0);
+}
+
+TEST(NodeManager, ClearCapRestoresFullPower)
+{
+    cd::ServerModel server(testbedSpec());
+    cd::NodeManager nm(server);
+    server.setUtilization(1.0);
+    nm.setDcCap(300.0);
+    for (int s = 0; s < 20; ++s)
+        nm.step(1.0);
+    EXPECT_LT(server.actualAc(), 489.0);
+    nm.clearCap();
+    nm.step(1.0);
+    EXPECT_DOUBLE_EQ(server.actualAc(), 490.0);
+}
+
+TEST(NodeManager, RaisingCapRestoresPerformance)
+{
+    cd::ServerModel server(testbedSpec());
+    cd::NodeManager nm(server);
+    server.setUtilization(1.0);
+    nm.setDcCap(280.0);
+    for (int s = 0; s < 20; ++s)
+        nm.step(1.0);
+    const double throttled = server.performance();
+    nm.setDcCap(450.0);
+    for (int s = 0; s < 20; ++s)
+        nm.step(1.0);
+    EXPECT_GT(server.performance(), throttled);
+}
+
+TEST(Sensor, TrueReadingMatchesModel)
+{
+    cd::ServerModel server(testbedSpec());
+    cd::NodeManager nm(server);
+    cd::SensorEmulator sensors(server, nm, capmaestro::util::Rng(1));
+    server.setUtilization(1.0);
+    const auto r = sensors.readTrue();
+    EXPECT_DOUBLE_EQ(r.totalAc, 490.0);
+    EXPECT_DOUBLE_EQ(r.supplyAc[0], 245.0);
+    EXPECT_DOUBLE_EQ(r.throttleLevel, 0.0);
+}
+
+TEST(Sensor, NoisyReadingNearTruth)
+{
+    cd::ServerModel server(testbedSpec());
+    cd::NodeManager nm(server);
+    cd::SensorConfig cfg;
+    cfg.powerNoiseStddev = 2.0;
+    cd::SensorEmulator sensors(server, nm, capmaestro::util::Rng(1), cfg);
+    server.setUtilization(1.0);
+    double sum = 0.0;
+    for (int i = 0; i < 200; ++i)
+        sum += sensors.read().totalAc;
+    EXPECT_NEAR(sum / 200.0, 490.0, 2.0);
+}
+
+TEST(Sensor, DeterministicForSeed)
+{
+    cd::ServerModel server(testbedSpec());
+    cd::NodeManager nm(server);
+    server.setUtilization(0.6);
+    cd::SensorEmulator a(server, nm, capmaestro::util::Rng(9));
+    cd::SensorEmulator b(server, nm, capmaestro::util::Rng(9));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(a.read().totalAc, b.read().totalAc);
+}
+
+TEST(Workload, Constant)
+{
+    cd::ConstantWorkload w(0.4);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(0), 0.4);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(1000), 0.4);
+}
+
+TEST(Workload, Steps)
+{
+    cd::StepWorkload w({{0, 0.2}, {30, 0.8}, {110, 0.5}});
+    EXPECT_DOUBLE_EQ(w.utilizationAt(0), 0.2);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(29), 0.2);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(30), 0.8);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(109), 0.8);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(500), 0.5);
+}
+
+TEST(Workload, SineBounded)
+{
+    cd::SineWorkload w(0.5, 0.9, 100); // amplitude overshoots: must clamp
+    for (capmaestro::Seconds t = 0; t < 200; ++t) {
+        const double u = w.utilizationAt(t);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(Workload, RandomWalkStableWithinSecond)
+{
+    cd::RandomWalkWorkload w(0.5, 0.05, capmaestro::util::Rng(4));
+    const double u10a = w.utilizationAt(10);
+    const double u10b = w.utilizationAt(10);
+    EXPECT_DOUBLE_EQ(u10a, u10b);
+    for (capmaestro::Seconds t = 0; t < 500; t += 7) {
+        const double u = w.utilizationAt(t);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(Workload, TraceInterpolatesAndLoops)
+{
+    cd::TraceWorkload w({0.2, 0.8, 0.4}, /*sample_period=*/10);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(0), 0.2);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(10), 0.8);
+    EXPECT_NEAR(w.utilizationAt(5), 0.5, 1e-12);  // midway 0.2 -> 0.8
+    EXPECT_NEAR(w.utilizationAt(15), 0.6, 1e-12); // midway 0.8 -> 0.4
+    // Wraps back toward the first sample, then repeats.
+    EXPECT_NEAR(w.utilizationAt(25), 0.3, 1e-12); // midway 0.4 -> 0.2
+    EXPECT_DOUBLE_EQ(w.utilizationAt(30), 0.2);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(40), 0.8);
+}
+
+TEST(Workload, TraceClampsSamples)
+{
+    cd::TraceWorkload w({-0.5, 1.5}, 10);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(w.utilizationAt(10), 1.0);
+}
+
+TEST(Workload, TraceFileParsing)
+{
+    const std::string path = testing::TempDir() + "/trace_test.txt";
+    {
+        std::ofstream out(path);
+        out << "# a comment\n0.25\n  0.75\n\n0.5\n";
+    }
+    const auto samples = cd::TraceWorkload::loadTraceFile(path);
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_DOUBLE_EQ(samples[0], 0.25);
+    EXPECT_DOUBLE_EQ(samples[1], 0.75);
+    EXPECT_DOUBLE_EQ(samples[2], 0.5);
+}
+
+TEST(Workload, NoisyWrapsInner)
+{
+    auto inner = std::make_unique<cd::ConstantWorkload>(0.5);
+    cd::NoisyWorkload w(std::move(inner), 0.05,
+                        capmaestro::util::Rng(5));
+    double sum = 0.0;
+    for (capmaestro::Seconds t = 0; t < 400; ++t)
+        sum += w.utilizationAt(t);
+    EXPECT_NEAR(sum / 400.0, 0.5, 0.02);
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the distributed (rack-worker / room-worker) execution of the
+ * capping algorithm (§5): equivalence with the monolithic ControlTree
+ * under every policy, message accounting, and partition behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "control/control_tree.hh"
+#include "core/distributed.hh"
+#include "sim/datacenter.hh"
+#include "sim/scenario.hh"
+#include "util/random.hh"
+
+using namespace capmaestro;
+using core::DistributedControlPlane;
+
+namespace {
+
+/** Random leaf inputs for every supply of @p system. */
+std::vector<std::pair<topo::ServerSupplyRef, ctrl::LeafInput>>
+randomInputs(const topo::PowerSystem &system, util::Rng &rng)
+{
+    std::vector<std::pair<topo::ServerSupplyRef, ctrl::LeafInput>> out;
+    for (const auto &tree : system.trees()) {
+        for (const auto &ref : tree->suppliesUnder(tree->root())) {
+            ctrl::LeafInput in;
+            in.live = rng.chance(0.9);
+            in.priority = static_cast<Priority>(rng.uniformInt(0, 3));
+            in.capMin = rng.uniform(100.0, 150.0);
+            in.demand = in.capMin + rng.uniform(0.0, 120.0);
+            in.constraint = in.demand + rng.uniform(0.0, 60.0);
+            out.emplace_back(ref, in);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Distributed, EquivalentToMonolithicOnFig2)
+{
+    util::Rng rng(404);
+    auto sys = sim::fig2System();
+    for (const auto policy :
+         {ctrl::TreePolicy::globalPriority(),
+          ctrl::TreePolicy::localPriority(),
+          ctrl::TreePolicy::noPriority()}) {
+        ctrl::ControlTree mono(sys->tree(0), policy);
+        DistributedControlPlane dist(*sys, policy);
+
+        for (int trial = 0; trial < 20; ++trial) {
+            const auto inputs = randomInputs(*sys, rng);
+            for (const auto &[ref, in] : inputs) {
+                mono.setLeafInput(ref, in);
+                dist.setLeafInput(ref, in);
+            }
+            const Watts budget = rng.uniform(600.0, 1600.0);
+            mono.gather();
+            mono.allocate(budget);
+            dist.iterate({budget});
+            for (const auto &[ref, in] : inputs) {
+                EXPECT_NEAR(dist.leafBudget(ref), mono.leafBudget(ref),
+                            1e-9)
+                    << "supply " << ref.server << "." << ref.supply;
+            }
+        }
+    }
+}
+
+TEST(Distributed, EquivalentToMonolithicOnDataCenter)
+{
+    sim::DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = 4;
+    const auto dc = sim::buildDataCenter(params);
+
+    const auto policy = ctrl::TreePolicy::globalPriority();
+    DistributedControlPlane dist(*dc.system, policy);
+    std::vector<std::unique_ptr<ctrl::ControlTree>> monos;
+    for (const auto &tree : dc.system->trees())
+        monos.push_back(
+            std::make_unique<ctrl::ControlTree>(*tree, policy));
+
+    util::Rng rng(606);
+    const auto inputs = randomInputs(*dc.system, rng);
+    for (const auto &[ref, in] : inputs)
+        dist.setLeafInput(ref, in);
+    // Each supply ref appears in exactly one tree; set it on all (the
+    // wrong tree simply doesn't have the leaf). Use the port index.
+    for (const auto &[ref, in] : inputs) {
+        const auto ports = dc.system->livePortsOf(ref.server);
+        monos[ports.at(ref.supply).tree]->setLeafInput(ref, in);
+    }
+
+    const std::vector<Watts> budgets(dc.system->trees().size(),
+                                     300000.0);
+    dist.iterate(budgets);
+    for (std::size_t t = 0; t < monos.size(); ++t) {
+        monos[t]->gather();
+        monos[t]->allocate(budgets[t]);
+    }
+
+    EXPECT_EQ(dist.rackWorkerCount(), 162u);
+    for (const auto &[ref, in] : inputs) {
+        const auto ports = dc.system->livePortsOf(ref.server);
+        const auto tree = ports.at(ref.supply).tree;
+        EXPECT_NEAR(dist.leafBudget(ref), monos[tree]->leafBudget(ref),
+                    1e-9);
+    }
+}
+
+TEST(Distributed, EquivalentOnDataCenterUnderEveryPolicy)
+{
+    // The partition must preserve semantics for Local and No Priority
+    // too (their collapse points sit exactly at the rack/room boundary).
+    sim::DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = 2;
+    const auto dc = sim::buildDataCenter(params);
+    util::Rng rng(321);
+    const auto inputs = randomInputs(*dc.system, rng);
+
+    for (const auto policy :
+         {ctrl::TreePolicy::localPriority(),
+          ctrl::TreePolicy::noPriority()}) {
+        DistributedControlPlane dist(*dc.system, policy);
+        std::vector<std::unique_ptr<ctrl::ControlTree>> monos;
+        for (const auto &tree : dc.system->trees())
+            monos.push_back(
+                std::make_unique<ctrl::ControlTree>(*tree, policy));
+        for (const auto &[ref, in] : inputs) {
+            dist.setLeafInput(ref, in);
+            const auto ports = dc.system->livePortsOf(ref.server);
+            monos[ports.at(ref.supply).tree]->setLeafInput(ref, in);
+        }
+        const std::vector<Watts> budgets(dc.system->trees().size(),
+                                         250000.0);
+        dist.iterate(budgets);
+        for (std::size_t t = 0; t < monos.size(); ++t) {
+            monos[t]->gather();
+            monos[t]->allocate(budgets[t]);
+        }
+        for (const auto &[ref, in] : inputs) {
+            const auto ports = dc.system->livePortsOf(ref.server);
+            EXPECT_NEAR(dist.leafBudget(ref),
+                        monos[ports.at(ref.supply).tree]->leafBudget(ref),
+                        1e-9);
+        }
+    }
+}
+
+TEST(Distributed, MessageAccounting)
+{
+    sim::DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = 2;
+    const auto dc = sim::buildDataCenter(params);
+    DistributedControlPlane dist(*dc.system,
+                                 ctrl::TreePolicy::globalPriority());
+
+    util::Rng rng(7);
+    for (const auto &[ref, in] : randomInputs(*dc.system, rng))
+        dist.setLeafInput(ref, in);
+
+    const auto stats = dist.iterate({300000.0, 300000.0});
+    // 162 racks x 2 trees, one metrics and one budget message each.
+    EXPECT_EQ(stats.metricsMessages, 324u);
+    EXPECT_EQ(stats.budgetMessages, 324u);
+    // Compact summaries: at most #priority-levels classes per message.
+    EXPECT_LE(stats.metricClassesSent, 324u * 4u);
+}
+
+TEST(Distributed, FailedFeedSkipped)
+{
+    sim::DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = 2;
+    auto dc = sim::buildDataCenter(params);
+    dc.system->failFeed(1);
+    DistributedControlPlane dist(*dc.system,
+                                 ctrl::TreePolicy::globalPriority());
+    util::Rng rng(7);
+    for (const auto &[ref, in] : randomInputs(*dc.system, rng))
+        dist.setLeafInput(ref, in);
+    const auto stats = dist.iterate({300000.0, 300000.0});
+    EXPECT_EQ(stats.metricsMessages, 162u); // only feed A's tree
+}
+
+TEST(Distributed, CompactSummariesIndependentOfServerCount)
+{
+    // The paper's scalability insight: upstream messages carry per-
+    // priority summaries, not per-server data. Growing the rack must
+    // not grow the message payload.
+    std::size_t classes_small = 0, classes_large = 0;
+    for (const int per_phase : {3, 15}) {
+        sim::DataCenterParams params;
+        params.phases = 1;
+        params.serversPerRackPerPhase = per_phase;
+        const auto dc = sim::buildDataCenter(params);
+        DistributedControlPlane dist(
+            *dc.system, ctrl::TreePolicy::globalPriority());
+        util::Rng rng(11);
+        for (const auto &[ref, in] : randomInputs(*dc.system, rng))
+            dist.setLeafInput(ref, in);
+        const auto stats = dist.iterate({300000.0, 300000.0});
+        (per_phase == 3 ? classes_small : classes_large) =
+            stats.metricClassesSent;
+    }
+    EXPECT_EQ(classes_small > 0, true);
+    // 5x the servers, same number of messages, payload within the
+    // priority-level bound either way.
+    EXPECT_LE(classes_large, classes_small * 2);
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Event-log tests: recording/filtering, and end-to-end emission from
+ * the closed-loop simulator across a failure scenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/events.hh"
+#include "sim/scenario.hh"
+
+using namespace capmaestro;
+using core::EventKind;
+using core::EventLog;
+
+TEST(EventLog, RecordAndFilter)
+{
+    EventLog log;
+    log.record(10, EventKind::FeedFailed, "feed0");
+    log.record(12, EventKind::BreakerOverloadBegan, "Y.leftCB", 860.0);
+    log.record(25, EventKind::BreakerOverloadCleared, "Y.leftCB", 740.0);
+    log.record(30, EventKind::SpoReclaimed, "fleet", 54.0);
+
+    EXPECT_EQ(log.events().size(), 4u);
+    EXPECT_EQ(log.count(EventKind::FeedFailed), 1u);
+    EXPECT_EQ(log.count(EventKind::BreakerTripped), 0u);
+    const auto overloads = log.ofKind(EventKind::BreakerOverloadBegan);
+    ASSERT_EQ(overloads.size(), 1u);
+    EXPECT_EQ(overloads[0].subject, "Y.leftCB");
+    EXPECT_DOUBLE_EQ(overloads[0].value, 860.0);
+}
+
+TEST(EventLog, PrintFormat)
+{
+    EventLog log;
+    log.record(42, EventKind::BreakerTripped, "X.cdu3", 990.0);
+    std::ostringstream os;
+    log.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("t=42"), std::string::npos);
+    EXPECT_NE(out.find("breaker-tripped"), std::string::npos);
+    EXPECT_NE(out.find("X.cdu3"), std::string::npos);
+}
+
+TEST(EventLog, ClearDropsAll)
+{
+    EventLog log;
+    log.record(1, EventKind::SupplyFailed, "S0.ps1");
+    log.clear();
+    EXPECT_TRUE(log.events().empty());
+}
+
+TEST(EventLog, KindNamesDistinct)
+{
+    EXPECT_STREQ(core::eventKindName(EventKind::FeedFailed),
+                 "feed-failed");
+    EXPECT_STREQ(core::eventKindName(EventKind::SpoReclaimed),
+                 "spo-reclaimed");
+    EXPECT_STREQ(core::eventKindName(EventKind::BudgetInfeasible),
+                 "budget-infeasible");
+}
+
+TEST(EventLog, EmittedByFeedFailureScenario)
+{
+    // Feed failure on the Fig. 7 rig: the log must show the failure,
+    // an overload window that opens and closes (the surviving left CB
+    // carries SB+SC at ~848 W > 750 W until capping bites), and no trip.
+    auto rig = sim::makeFig7Rig(/*enable_spo=*/false);
+    rig.failFeedAt(60, 0, 1400.0);
+    rig.run(200);
+
+    const auto &log = rig.eventLog();
+    EXPECT_EQ(log.count(EventKind::FeedFailed), 1u);
+    EXPECT_EQ(log.count(EventKind::BreakerTripped), 0u);
+    ASSERT_GE(log.count(EventKind::BreakerOverloadBegan), 1u);
+    ASSERT_GE(log.count(EventKind::BreakerOverloadCleared), 1u);
+
+    const auto began = log.ofKind(EventKind::BreakerOverloadBegan);
+    const auto cleared = log.ofKind(EventKind::BreakerOverloadCleared);
+    // The overload window stayed well inside the UL 489 30 s limit.
+    EXPECT_LE(cleared.front().time - began.front().time, 30);
+    EXPECT_GE(began.front().time, 60);
+}
+
+TEST(EventLog, SpoEventsCarryReclaimedWatts)
+{
+    auto rig = sim::makeFig7Rig(/*enable_spo=*/true);
+    rig.run(60);
+    const auto spo = rig.eventLog().ofKind(EventKind::SpoReclaimed);
+    ASSERT_GE(spo.size(), 1u);
+    EXPECT_GT(spo.back().value, 10.0);
+}
+
+TEST(EventLog, SupplyFailureEmitted)
+{
+    auto rig = sim::makeFig7Rig(/*enable_spo=*/false);
+    rig.failSupplyAt(40, 2, 0);
+    rig.run(80);
+    const auto events = rig.eventLog().ofKind(EventKind::SupplyFailed);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].subject, "SC.ps0");
+    EXPECT_EQ(events[0].time, 40);
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON reader: full value grammar, escapes,
+ * comments, trailing commas, accessors, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "util/json.hh"
+#include "util/random.hh"
+
+using capmaestro::util::Json;
+using capmaestro::util::parseJson;
+
+TEST(Json, Primitives)
+{
+    EXPECT_TRUE(parseJson("null").isNull());
+    EXPECT_TRUE(parseJson("true").asBool());
+    EXPECT_FALSE(parseJson("false").asBool());
+    EXPECT_DOUBLE_EQ(parseJson("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-3.5e2").asNumber(), -350.0);
+    EXPECT_EQ(parseJson("\"hello\"").asString(), "hello");
+}
+
+TEST(Json, NestedStructure)
+{
+    const Json doc = parseJson(R"({
+        "name": "dc1",
+        "feeds": 2,
+        "trees": [ {"feed": 0}, {"feed": 1} ],
+        "flags": { "spo": true }
+    })");
+    EXPECT_EQ(doc.at("name").asString(), "dc1");
+    EXPECT_DOUBLE_EQ(doc.at("feeds").asNumber(), 2.0);
+    ASSERT_EQ(doc.at("trees").asArray().size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        doc.at("trees").asArray()[1].at("feed").asNumber(), 1.0);
+    EXPECT_TRUE(doc.at("flags").at("spo").asBool());
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(parseJson(R"("a\"b\\c\n\t")").asString(), "a\"b\\c\n\t");
+    EXPECT_EQ(parseJson(R"("Aé")").asString(), "A\xc3\xa9");
+}
+
+TEST(Json, CommentsAndTrailingCommas)
+{
+    const Json doc = parseJson(R"(// header comment
+    {
+        "a": 1, // inline comment
+        "b": [1, 2, 3,],
+    })");
+    EXPECT_DOUBLE_EQ(doc.at("a").asNumber(), 1.0);
+    EXPECT_EQ(doc.at("b").asArray().size(), 3u);
+}
+
+TEST(Json, DefaultAccessors)
+{
+    const Json doc = parseJson(R"({"x": 5, "s": "v", "f": false})");
+    EXPECT_DOUBLE_EQ(doc.numberOr("x", 0.0), 5.0);
+    EXPECT_DOUBLE_EQ(doc.numberOr("missing", 7.0), 7.0);
+    EXPECT_EQ(doc.stringOr("s", "d"), "v");
+    EXPECT_EQ(doc.stringOr("missing", "d"), "d");
+    EXPECT_FALSE(doc.boolOr("f", true));
+    EXPECT_TRUE(doc.boolOr("missing", true));
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_TRUE(parseJson("{}").asObject().empty());
+    EXPECT_TRUE(parseJson("[]").asArray().empty());
+}
+
+TEST(Json, SerializeRoundTripFuzz)
+{
+    // Random nested documents must survive serialize -> parse ->
+    // serialize byte-identically (a fixpoint after one round trip).
+    capmaestro::util::Rng rng(99);
+    std::function<Json(int)> gen = [&](int depth) -> Json {
+        const int kind = depth > 2 ? (int)rng.uniformInt(0, 3)
+                                   : (int)rng.uniformInt(0, 5);
+        switch (kind) {
+          case 0: return Json();
+          case 1: return Json(rng.chance(0.5));
+          case 2: return Json(rng.uniform(-1e6, 1e6));
+          case 3: return Json("s" + std::to_string(rng.uniformInt(0, 999)));
+          case 4: {
+              Json::Array a;
+              const int n = (int)rng.uniformInt(0, 4);
+              for (int i = 0; i < n; ++i)
+                  a.push_back(gen(depth + 1));
+              return Json(std::move(a));
+          }
+          default: {
+              Json::Object o;
+              const int n = (int)rng.uniformInt(0, 4);
+              for (int i = 0; i < n; ++i)
+                  o.emplace("k" + std::to_string(i), gen(depth + 1));
+              return Json(std::move(o));
+          }
+        }
+    };
+    for (int trial = 0; trial < 50; ++trial) {
+        const Json doc = gen(0);
+        const std::string once = capmaestro::util::serializeJson(doc);
+        const std::string twice =
+            capmaestro::util::serializeJson(parseJson(once));
+        EXPECT_EQ(once, twice) << "trial " << trial;
+    }
+}
+
+TEST(JsonDeath, Malformed)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(parseJson("{"), testing::ExitedWithCode(1),
+                "expected a quoted key");
+    EXPECT_EXIT(parseJson("[1,"), testing::ExitedWithCode(1),
+                "expected a value");
+    EXPECT_EXIT(parseJson("{\"a\" 1}"), testing::ExitedWithCode(1),
+                "expected ':'");
+    EXPECT_EXIT(parseJson("[1 2]"), testing::ExitedWithCode(1),
+                "expected ',' or ']'");
+    EXPECT_EXIT(parseJson("\"unterminated"), testing::ExitedWithCode(1),
+                "unterminated string");
+    EXPECT_EXIT(parseJson("{} extra"), testing::ExitedWithCode(1),
+                "trailing content");
+    EXPECT_EXIT(parseJson(R"({"a":1,"a":2})"), testing::ExitedWithCode(1),
+                "duplicate key");
+}
+
+TEST(JsonDeath, TypeMismatch)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const Json doc = parseJson(R"({"a": 1})");
+    EXPECT_EXIT(doc.at("a").asString(), testing::ExitedWithCode(1),
+                "expected string, got number");
+    EXPECT_EXIT(doc.at("b"), testing::ExitedWithCode(1),
+                "missing required key");
+}
+
+TEST(JsonDeath, ErrorPositionsReported)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // The bad token is on line 3.
+    EXPECT_EXIT(parseJson("{\n  \"a\": 1,\n  \"b\": @\n}", "test.json"),
+                testing::ExitedWithCode(1), "test.json:3");
+}

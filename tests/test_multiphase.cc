@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Multi-phase tests (paper §4.1): control trees are replicated per phase
+ * to protect each phase independently, since phase loading is not
+ * uniform; and servers may plug into multiple phases of a feed (the
+ * paper's capability (3)).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/closed_loop.hh"
+#include "sim/scenario.hh"
+
+using namespace capmaestro;
+using sim::ClosedLoopSim;
+
+namespace {
+
+/**
+ * One feed, three phases. Phases 0 and 1 each host two single-corded
+ * servers (ids 0-1 and 2-3). Server 4 is a three-phase server with one
+ * supply on each phase. Each phase has a 900 W breaker.
+ */
+std::unique_ptr<topo::PowerSystem>
+makeThreePhaseSystem()
+{
+    auto sys = std::make_unique<topo::PowerSystem>(1);
+    for (int phase = 0; phase < 3; ++phase) {
+        auto tree = std::make_unique<topo::PowerTree>(
+            0, phase, "ph" + std::to_string(phase));
+        const auto root = tree->makeRoot(topo::NodeKind::Breaker,
+                                         "phaseCB", 900.0);
+        if (phase < 2) {
+            tree->addSupplyPort(root, "a", {2 * phase, 0});
+            tree->addSupplyPort(root, "b", {2 * phase + 1, 0});
+        }
+        // The 3-phase server: supply index == phase.
+        tree->addSupplyPort(root, "triphase", {4, phase});
+        sys->addTree(std::move(tree));
+    }
+    return sys;
+}
+
+std::vector<sim::ServerSetup>
+makeServers(double phase0_u, double phase1_u)
+{
+    std::vector<sim::ServerSetup> servers;
+    for (int i = 0; i < 4; ++i) {
+        sim::ServerSetup s;
+        s.spec = sim::testbedServerSpec("S" + std::to_string(i), 0, 1.0,
+                                        1);
+        s.workload = std::make_unique<dev::ConstantWorkload>(
+            i < 2 ? phase0_u : phase1_u);
+        servers.push_back(std::move(s));
+    }
+    // The three-phase server: three equal-share supplies.
+    sim::ServerSetup tri;
+    tri.spec = sim::testbedServerSpec("tri", 0);
+    tri.spec.supplies = {{1.0 / 3, 0.94}, {1.0 / 3, 0.94},
+                         {1.0 / 3, 0.94}};
+    tri.workload = std::make_unique<dev::ConstantWorkload>(0.6);
+    servers.push_back(std::move(tri));
+    return servers;
+}
+
+} // namespace
+
+TEST(MultiPhase, PhasesProtectedIndependently)
+{
+    // Phase 0 is overloaded (2 x 490 W demand + a third of the
+    // tri-phase server against its 900 W breaker); phase 1 is lightly
+    // loaded. Phase 0's servers get capped; phase 1's do not.
+    core::ServiceConfig config;
+    config.enableSpo = false;
+    ClosedLoopSim rig(makeThreePhaseSystem(),
+                      makeServers(/*phase0_u=*/1.0, /*phase1_u=*/0.3),
+                      config);
+    rig.setRootBudgets({900.0, 900.0, 900.0});
+    rig.run(120);
+
+    const auto &rec = rig.recorder();
+    // Phase-0 servers throttled...
+    EXPECT_LT(rec.mean(ClosedLoopSim::serverSeries(0, "throughput"), 80,
+                       119),
+              0.95);
+    // ...phase-1 servers untouched (their demand ~297 W each).
+    EXPECT_GT(rec.mean(ClosedLoopSim::serverSeries(2, "throughput"), 80,
+                       119),
+              0.99);
+    // Every phase breaker within limits.
+    for (int phase = 0; phase < 3; ++phase) {
+        EXPECT_LE(rec.max("ph" + std::to_string(phase)
+                              + ".phaseCB.power",
+                          24, 119),
+                  900.0 * 1.02)
+            << "phase " << phase;
+    }
+    EXPECT_FALSE(rig.anyBreakerTripped());
+}
+
+TEST(MultiPhase, ThreePhaseServerFollowsTightestPhase)
+{
+    // The tri-phase server draws a third of its power from each phase.
+    // With phase 0 congested, its phase-0 budget binds the whole server
+    // even though phases 1 and 2 have headroom.
+    core::ServiceConfig config;
+    config.enableSpo = false;
+    ClosedLoopSim rig(makeThreePhaseSystem(),
+                      makeServers(1.0, 0.3), config);
+    rig.setRootBudgets({900.0, 900.0, 900.0});
+    rig.run(120);
+
+    auto &tri = rig.server(4);
+    EXPECT_EQ(tri.supplyCount(), 3u);
+    // Supplies split the actual draw ~evenly.
+    const double total = tri.actualAc();
+    for (std::size_t s = 0; s < 3; ++s)
+        EXPECT_NEAR(tri.supplyAc(s), total / 3.0, 1.0);
+
+    // The phase-0 supply budget is the binding one.
+    const auto &rec = rig.recorder();
+    const double b0 = rec.mean(ClosedLoopSim::supplySeries(4, 0,
+                                                           "budget"),
+                               80, 119);
+    const double b1 = rec.mean(ClosedLoopSim::supplySeries(4, 1,
+                                                           "budget"),
+                               80, 119);
+    EXPECT_LT(b0, b1);
+}
+
+TEST(MultiPhase, SpoReclaimsAcrossPhases)
+{
+    // With SPO on, the tri-phase server's unusable phase-1/2 budgets
+    // are reclaimed for the lightly-loaded servers on those phases.
+    core::ServiceConfig with_spo;
+    with_spo.enableSpo = true;
+    ClosedLoopSim rig(makeThreePhaseSystem(), makeServers(1.0, 0.85),
+                      with_spo);
+    rig.setRootBudgets({900.0, 900.0, 900.0});
+    rig.run(160);
+    EXPECT_EQ(rig.service().lastStats().allocation.passes, 2);
+    EXPECT_GT(rig.service().lastStats().allocation.strandedReclaimed,
+              5.0);
+    EXPECT_FALSE(rig.anyBreakerTripped());
+}
+
+TEST(MultiPhase, PerPhaseBudgetsIndependentInService)
+{
+    auto sys = makeThreePhaseSystem();
+    core::CapMaestroService service(*sys);
+    service.refreshRootBudgets(750.0);
+    // One feed: each phase tree receives the full per-phase budget.
+    for (std::size_t t = 0; t < 3; ++t)
+        EXPECT_DOUBLE_EQ(service.rootBudgets()[t], 750.0);
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Policy-module tests: kind -> tree-flag mapping, naming, and the
+ * cap-ratio metric of §6.4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policy/policy.hh"
+
+using namespace capmaestro;
+
+TEST(Policy, Names)
+{
+    EXPECT_STREQ(policy::policyName(policy::PolicyKind::NoPriority),
+                 "No Priority");
+    EXPECT_STREQ(policy::policyName(policy::PolicyKind::LocalPriority),
+                 "Local Priority");
+    EXPECT_STREQ(policy::policyName(policy::PolicyKind::GlobalPriority),
+                 "Global Priority");
+}
+
+TEST(Policy, TreeFlags)
+{
+    const auto np = policy::treePolicy(policy::PolicyKind::NoPriority);
+    EXPECT_FALSE(np.leafPriorityAware);
+    EXPECT_FALSE(np.upperPriorityAware);
+
+    const auto lp = policy::treePolicy(policy::PolicyKind::LocalPriority);
+    EXPECT_TRUE(lp.leafPriorityAware);
+    EXPECT_FALSE(lp.upperPriorityAware);
+
+    const auto gp = policy::treePolicy(policy::PolicyKind::GlobalPriority);
+    EXPECT_TRUE(gp.leafPriorityAware);
+    EXPECT_TRUE(gp.upperPriorityAware);
+}
+
+TEST(Policy, AllPoliciesOrdered)
+{
+    ASSERT_EQ(policy::kAllPolicies.size(), 3u);
+    EXPECT_EQ(policy::kAllPolicies[0], policy::PolicyKind::NoPriority);
+    EXPECT_EQ(policy::kAllPolicies[2], policy::PolicyKind::GlobalPriority);
+}
+
+TEST(CapRatio, Definition)
+{
+    // (demand - budget) / (demand - idle), per §6.4.
+    EXPECT_DOUBLE_EQ(policy::capRatio(490.0, 325.0, 160.0), 0.5);
+    EXPECT_DOUBLE_EQ(policy::capRatio(490.0, 490.0, 160.0), 0.0);
+}
+
+TEST(CapRatio, ClampsToUnitInterval)
+{
+    // Budget above demand: no capping, ratio 0 (not negative).
+    EXPECT_DOUBLE_EQ(policy::capRatio(400.0, 450.0, 160.0), 0.0);
+    // Budget below idle: fully capped, ratio 1.
+    EXPECT_DOUBLE_EQ(policy::capRatio(400.0, 100.0, 160.0), 1.0);
+}
+
+TEST(CapRatio, IdleWorkloadIsZero)
+{
+    EXPECT_DOUBLE_EQ(policy::capRatio(160.0, 100.0, 160.0), 0.0);
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * CapMaestroService tests: attach/budget plumbing, the N+N root-budget
+ * refresh rule, per-period stats, and feed-failure response end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/service.hh"
+#include "sim/scenario.hh"
+
+using namespace capmaestro;
+using namespace capmaestro::sim;
+
+TEST(Service, RefreshRootBudgetsSplitsOverLiveFeeds)
+{
+    auto sys = fig7aSystem();
+    core::CapMaestroService service(*sys);
+    service.refreshRootBudgets(1400.0);
+    EXPECT_DOUBLE_EQ(service.rootBudgets()[0], 700.0);
+    EXPECT_DOUBLE_EQ(service.rootBudgets()[1], 700.0);
+
+    sys->failFeed(0);
+    service.refreshRootBudgets(1400.0);
+    EXPECT_DOUBLE_EQ(service.rootBudgets()[0], 0.0);
+    EXPECT_DOUBLE_EQ(service.rootBudgets()[1], 1400.0);
+}
+
+TEST(ServiceDeath, RootBudgetSizeMismatch)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    auto sys = fig7aSystem();
+    core::CapMaestroService service(*sys);
+    EXPECT_EXIT(service.setRootBudgets({1.0}),
+                testing::ExitedWithCode(1), "budgets for");
+}
+
+TEST(Service, PeriodStatsTrackBudgetsAndDemand)
+{
+    auto rig = makeFig6Rig(policy::PolicyKind::GlobalPriority);
+    rig.run(80);
+    const auto &stats = rig.service().lastStats();
+    EXPECT_GT(stats.periodsRun, 5u);
+    // Total estimated demand ~ 420+413+417+423 = 1673 W. The linear
+    // extrapolation of the gamma power curve underestimates by up to
+    // ~5 % while servers are throttled (the margin the paper reserves).
+    EXPECT_NEAR(stats.totalDemandEstimate, 1673.0, 0.06 * 1673.0);
+    ASSERT_EQ(stats.budgetByTree.size(), 1u);
+    EXPECT_LE(stats.budgetByTree[0], 1240.0 + 1e-6);
+    EXPECT_GT(stats.budgetByTree[0], 1200.0);
+}
+
+TEST(Service, FeedFailureEndToEnd)
+{
+    // Dual-feed rig under light budgets; at t=60 feed X dies. The
+    // service reroutes the full phase budget to Y and keeps the fleet
+    // safe: Y-side budgets never exceed 1400 W.
+    auto rig = makeFig7Rig(/*enable_spo=*/false);
+    rig.failFeedAt(60, /*feed=*/0, /*total_per_phase=*/1400.0);
+    rig.run(160);
+
+    EXPECT_TRUE(rig.system().feedFailed(0));
+    const auto &stats = rig.service().lastStats();
+    EXPECT_LE(stats.budgetByTree[1], 1400.0 + 1e-6);
+    EXPECT_DOUBLE_EQ(stats.budgetByTree[0], 0.0);
+
+    // SA lost its only live supply (it was X-only): it reads dark.
+    EXPECT_DOUBLE_EQ(
+        stats.allocation.servers[0].enforceableCapAc, 0.0);
+    // SB..SD survive on Y.
+    for (std::size_t i : {1u, 2u, 3u})
+        EXPECT_GT(stats.allocation.servers[i].enforceableCapAc, 260.0);
+    EXPECT_FALSE(rig.anyBreakerTripped());
+}
+
+TEST(Service, ControllerAccessor)
+{
+    auto rig = makeFig6Rig(policy::PolicyKind::GlobalPriority);
+    rig.run(20);
+    auto &controller = rig.service().controller(0);
+    EXPECT_EQ(controller.spec().priority, 1);
+}
+
+TEST(Service, SpoDisabledMeansOnePass)
+{
+    auto rig = makeFig7Rig(/*enable_spo=*/false);
+    rig.run(40);
+    EXPECT_EQ(rig.service().lastStats().allocation.passes, 1);
+}
+
+TEST(Service, SpoEnabledRunsSecondPass)
+{
+    auto rig = makeFig7Rig(/*enable_spo=*/true);
+    rig.run(60);
+    EXPECT_EQ(rig.service().lastStats().allocation.passes, 2);
+    EXPECT_GT(rig.service().lastStats().allocation.strandedReclaimed,
+              10.0);
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the util module: logging levels, deterministic RNG,
+ * sliding regression, numeric helpers, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/numeric.hh"
+#include "util/random.hh"
+#include "util/regression.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace cu = capmaestro::util;
+
+TEST(Logging, LevelRoundTrip)
+{
+    const auto prev = cu::logLevel();
+    cu::setLogLevel(cu::LogLevel::Debug);
+    EXPECT_EQ(cu::logLevel(), cu::LogLevel::Debug);
+    cu::setLogLevel(cu::LogLevel::Silent);
+    EXPECT_EQ(cu::logLevel(), cu::LogLevel::Silent);
+    cu::setLogLevel(prev);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(capmaestro::kw(6.9), 6900.0);
+    EXPECT_DOUBLE_EQ(capmaestro::ampsToWatts(30.0, 230.0), 6900.0);
+}
+
+TEST(Numeric, Clamp)
+{
+    EXPECT_DOUBLE_EQ(cu::clamp(5.0, 0.0, 10.0), 5.0);
+    EXPECT_DOUBLE_EQ(cu::clamp(-1.0, 0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(cu::clamp(11.0, 0.0, 10.0), 10.0);
+    // Degenerate interval: returns lo rather than asserting.
+    EXPECT_DOUBLE_EQ(cu::clamp(5.0, 10.0, 0.0), 10.0);
+}
+
+TEST(Numeric, ApproxEqual)
+{
+    EXPECT_TRUE(cu::approxEqual(1.0, 1.0 + 1e-9));
+    EXPECT_FALSE(cu::approxEqual(1.0, 1.1));
+    EXPECT_TRUE(cu::approxEqualRel(1e6, 1e6 * (1 + 1e-9)));
+    EXPECT_FALSE(cu::approxEqualRel(1e6, 1.1e6));
+}
+
+TEST(Numeric, SnapNonNegative)
+{
+    EXPECT_DOUBLE_EQ(cu::snapNonNegative(-1e-12), 0.0);
+    EXPECT_DOUBLE_EQ(cu::snapNonNegative(-1.0), -1.0);
+    EXPECT_DOUBLE_EQ(cu::snapNonNegative(2.0), 2.0);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    cu::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    cu::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniform() == b.uniform() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBounds)
+{
+    cu::Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    cu::Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(0, 4);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 4);
+        saw_lo |= v == 0;
+        saw_hi |= v == 4;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalClampedStaysInRange)
+{
+    cu::Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normalClamped(0.5, 0.4, 0.0, 1.0);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+    // Far-away interval must still terminate and land inside.
+    const double far = rng.normalClamped(100.0, 0.1, 0.0, 1.0);
+    EXPECT_GE(far, 0.0);
+    EXPECT_LE(far, 1.0);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    cu::Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIndependence)
+{
+    cu::Rng parent(99);
+    cu::Rng f1 = parent.fork();
+    cu::Rng f2 = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += f1.uniform() == f2.uniform() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkReproducible)
+{
+    cu::Rng p1(123), p2(123);
+    cu::Rng f1 = p1.fork();
+    cu::Rng f2 = p2.fork();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_DOUBLE_EQ(f1.uniform(), f2.uniform());
+}
+
+TEST(Regression, ExactLine)
+{
+    cu::SlidingRegression reg(16);
+    for (int i = 0; i < 10; ++i)
+        reg.add(i, 3.0 + 2.0 * i);
+    const auto fit = reg.fit();
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_NEAR(fit->slope, 2.0, 1e-9);
+    EXPECT_NEAR(fit->intercept, 3.0, 1e-9);
+    EXPECT_NEAR(fit->r2, 1.0, 1e-9);
+}
+
+TEST(Regression, WindowEviction)
+{
+    cu::SlidingRegression reg(4);
+    // Old points on one line, recent points on another; only the recent
+    // four should drive the fit.
+    for (int i = 0; i < 10; ++i)
+        reg.add(i, 100.0 - i);
+    for (int i = 0; i < 4; ++i)
+        reg.add(i, 5.0 + 1.0 * i);
+    EXPECT_EQ(reg.size(), 4u);
+    const auto fit = reg.fit();
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_NEAR(fit->slope, 1.0, 1e-9);
+    EXPECT_NEAR(fit->intercept, 5.0, 1e-9);
+}
+
+TEST(Regression, DegenerateXReturnsMean)
+{
+    cu::SlidingRegression reg(8);
+    reg.add(0.5, 10.0);
+    reg.add(0.5, 12.0);
+    reg.add(0.5, 14.0);
+    const auto fit = reg.fit();
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_DOUBLE_EQ(fit->slope, 0.0);
+    EXPECT_NEAR(fit->intercept, 12.0, 1e-9);
+    EXPECT_DOUBLE_EQ(fit->r2, 0.0);
+}
+
+TEST(Regression, TooFewSamples)
+{
+    cu::SlidingRegression reg(8);
+    EXPECT_FALSE(reg.fit().has_value());
+    reg.add(1.0, 1.0);
+    EXPECT_FALSE(reg.fit().has_value());
+    reg.add(2.0, 2.0);
+    EXPECT_TRUE(reg.fit().has_value());
+}
+
+TEST(Regression, Accessors)
+{
+    cu::SlidingRegression reg(8);
+    reg.add(0.0, 10.0);
+    reg.add(0.2, 20.0);
+    reg.add(0.4, 15.0);
+    EXPECT_NEAR(reg.meanX(), 0.2, 1e-12);
+    EXPECT_NEAR(reg.meanY(), 15.0, 1e-12);
+    EXPECT_NEAR(reg.maxY(), 20.0, 1e-12);
+    EXPECT_NEAR(reg.stddevX(), std::sqrt(0.08 / 3.0), 1e-12);
+}
+
+TEST(Regression, ClearResets)
+{
+    cu::SlidingRegression reg(8);
+    reg.add(1.0, 1.0);
+    reg.add(2.0, 2.0);
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_FALSE(reg.fit().has_value());
+}
+
+TEST(Table, AlignedOutput)
+{
+    cu::TextTable t("demo");
+    t.setHeader({"server", "budget"});
+    t.addNumericRow("SA", {430.0});
+    t.addNumericRow("SB", {270.0});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("430.0"), std::string::npos);
+    EXPECT_NE(s.find("server"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    cu::TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormatFixed)
+{
+    EXPECT_EQ(cu::formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(cu::formatFixed(2.0, 0), "2");
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the digitized Figure 8 utilization profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/utilization.hh"
+
+using namespace capmaestro;
+using sim::GoogleUtilizationProfile;
+
+TEST(UtilizationProfile, WeightsSumToOne)
+{
+    const auto &w = GoogleUtilizationProfile::binWeights();
+    const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(UtilizationProfile, ShapeMatchesPaper)
+{
+    // Figure 8: mode in the 20-30 % band, thin tail above 50 %.
+    const auto &w = GoogleUtilizationProfile::binWeights();
+    const std::size_t mode =
+        std::max_element(w.begin(), w.end()) - w.begin();
+    EXPECT_EQ(mode, 2u);
+    const double tail = w[5] + w[6] + w[7] + w[8] + w[9];
+    EXPECT_LT(tail, 0.02);
+}
+
+TEST(UtilizationProfile, MeanInTypicalBand)
+{
+    const double m = GoogleUtilizationProfile::mean();
+    EXPECT_GT(m, 0.15);
+    EXPECT_LT(m, 0.35);
+}
+
+TEST(UtilizationProfile, SamplingMatchesWeights)
+{
+    util::Rng rng(17);
+    const std::size_t n = 200000;
+    auto h = GoogleUtilizationProfile::histogram(rng, n);
+    EXPECT_EQ(h.count(), n);
+    const auto &w = GoogleUtilizationProfile::binWeights();
+    for (std::size_t i = 0; i < GoogleUtilizationProfile::kBins; ++i)
+        EXPECT_NEAR(h.binFraction(i), w[i], 0.005) << "bin " << i;
+}
+
+TEST(UtilizationProfile, SamplesInRange)
+{
+    util::Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = GoogleUtilizationProfile::sample(rng);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(UtilizationProfile, PerServerJitterClamped)
+{
+    util::Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const double u =
+            GoogleUtilizationProfile::perServer(rng, 0.02, 0.05);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(UtilizationProfile, PerServerCentersOnFleetAverage)
+{
+    util::Rng rng(7);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += GoogleUtilizationProfile::perServer(rng, 0.4, 0.05);
+    EXPECT_NEAR(sum / n, 0.4, 0.01);
+}

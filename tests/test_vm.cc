@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Virtual-partition tests (§7 extension): priority-first capacity
+ * division among a server's VMs, conservation, derived server priority,
+ * and end-to-end behavior on a capped server.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/server.hh"
+#include "device/vm.hh"
+#include "util/random.hh"
+
+using namespace capmaestro;
+using dev::VmPartitioner;
+using dev::VmSpec;
+
+namespace {
+
+std::vector<VmSpec>
+mixedTenancy()
+{
+    return {
+        {"web-prod", 2, 0.30},
+        {"batch-a", 0, 0.30},
+        {"batch-b", 0, 0.25},
+        {"analytics", 1, 0.15},
+    };
+}
+
+} // namespace
+
+TEST(VmPartitioner, UnthrottledEveryoneWhole)
+{
+    VmPartitioner part(mixedTenancy());
+    const auto alloc = part.allocate(1.0);
+    for (const auto &a : alloc)
+        EXPECT_DOUBLE_EQ(a.normalizedThroughput, 1.0);
+}
+
+TEST(VmPartitioner, ThrottleHitsLowPriorityFirst)
+{
+    VmPartitioner part(mixedTenancy());
+    // 60 % capacity: web-prod (0.30) and analytics (0.15) fit fully;
+    // the batch tier shares the remaining 0.15 of its 0.55 demand.
+    const auto alloc = part.allocate(0.60);
+    EXPECT_DOUBLE_EQ(alloc[0].normalizedThroughput, 1.0); // web-prod
+    EXPECT_DOUBLE_EQ(alloc[3].normalizedThroughput, 1.0); // analytics
+    EXPECT_NEAR(alloc[1].normalizedThroughput, 0.15 / 0.55, 1e-9);
+    EXPECT_NEAR(alloc[2].normalizedThroughput, 0.15 / 0.55, 1e-9);
+}
+
+TEST(VmPartitioner, DeepThrottleReachesMidTier)
+{
+    VmPartitioner part(mixedTenancy());
+    // 35 % capacity: web-prod whole, analytics gets 0.05 of 0.15,
+    // batch gets nothing.
+    const auto alloc = part.allocate(0.35);
+    EXPECT_DOUBLE_EQ(alloc[0].normalizedThroughput, 1.0);
+    EXPECT_NEAR(alloc[3].normalizedThroughput, 0.05 / 0.15, 1e-9);
+    EXPECT_DOUBLE_EQ(alloc[1].normalizedThroughput, 0.0);
+    EXPECT_DOUBLE_EQ(alloc[2].normalizedThroughput, 0.0);
+}
+
+TEST(VmPartitioner, ConservationProperty)
+{
+    util::Rng rng(66);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<VmSpec> vms;
+        double total = 0.0;
+        const int n = 1 + static_cast<int>(rng.uniformInt(0, 5));
+        for (int i = 0; i < n; ++i) {
+            const double share =
+                std::min(1.0 - total, rng.uniform(0.0, 0.4));
+            vms.push_back({"vm" + std::to_string(i),
+                           static_cast<Priority>(rng.uniformInt(0, 3)),
+                           share});
+            total += share;
+        }
+        VmPartitioner part(vms);
+        const double phi = rng.uniform(0.0, 1.0);
+        const auto alloc = part.allocate(phi);
+        double granted = 0.0;
+        for (std::size_t i = 0; i < vms.size(); ++i) {
+            granted += alloc[i].granted;
+            EXPECT_LE(alloc[i].granted, vms[i].cpuShare + 1e-9);
+            EXPECT_GE(alloc[i].granted, -1e-12);
+        }
+        EXPECT_LE(granted, phi + 1e-9);
+        EXPECT_NEAR(granted, std::min(phi, part.totalShare()), 1e-9);
+    }
+}
+
+TEST(VmPartitioner, PriorityDominanceProperty)
+{
+    util::Rng rng(67);
+    for (int trial = 0; trial < 200; ++trial) {
+        auto vms = mixedTenancy();
+        VmPartitioner part(vms);
+        const auto alloc = part.allocate(rng.uniform(0.0, 1.0));
+        // If any VM is throttled, every strictly lower-priority VM must
+        // be throttled at least as hard.
+        for (std::size_t i = 0; i < vms.size(); ++i) {
+            for (std::size_t j = 0; j < vms.size(); ++j) {
+                if (vms[i].priority > vms[j].priority) {
+                    EXPECT_GE(alloc[i].normalizedThroughput,
+                              alloc[j].normalizedThroughput - 1e-9);
+                }
+            }
+        }
+    }
+}
+
+TEST(VmPartitioner, DerivedServerPriority)
+{
+    // Top tenant holds 30 % < 50 %: the server should not claim the top
+    // badge; priority 0 VMs push cumulative coverage past 50 %.
+    VmPartitioner mixed(mixedTenancy());
+    EXPECT_EQ(mixed.derivedServerPriority(0.5), 0);
+
+    // A mostly-premium server claims the premium badge.
+    VmPartitioner premium({{"p1", 2, 0.5}, {"p2", 2, 0.2},
+                           {"b", 0, 0.2}});
+    EXPECT_EQ(premium.derivedServerPriority(0.5), 2);
+
+    // A stricter protection threshold demands more coverage.
+    EXPECT_EQ(premium.derivedServerPriority(0.9), 0);
+}
+
+TEST(VmPartitioner, EmptyAndEdgeCases)
+{
+    VmPartitioner none({});
+    EXPECT_TRUE(none.allocate(0.5).empty());
+    EXPECT_EQ(none.derivedServerPriority(), 0);
+
+    VmPartitioner zero_share({{"idle", 1, 0.0}});
+    const auto alloc = zero_share.allocate(0.5);
+    EXPECT_DOUBLE_EQ(alloc[0].normalizedThroughput, 1.0);
+}
+
+TEST(VmPartitionerDeath, OversubscriptionRejected)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(VmPartitioner({{"a", 0, 0.7}, {"b", 0, 0.7}}),
+                testing::ExitedWithCode(1), "shares sum");
+}
+
+TEST(VmPartitioner, EndToEndWithCappedServer)
+{
+    // A capped server at performance phi: the partition turns the
+    // server-level throttle into per-tenant outcomes.
+    dev::ServerSpec spec;
+    spec.name = "host";
+    spec.idle = 160.0;
+    spec.capMin = 270.0;
+    spec.capMax = 490.0;
+    dev::ServerModel server(spec);
+    server.setUtilization(1.0);
+    server.setEnforcedCapAc(330.0); // phi ~ 0.76
+
+    VmPartitioner part(mixedTenancy());
+    const auto alloc = part.allocate(server.performance());
+    // Premium tenants whole; batch tier absorbs the entire cut.
+    EXPECT_DOUBLE_EQ(alloc[0].normalizedThroughput, 1.0);
+    EXPECT_DOUBLE_EQ(alloc[3].normalizedThroughput, 1.0);
+    EXPECT_LT(alloc[1].normalizedThroughput, 0.65);
+}

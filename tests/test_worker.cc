@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Worker-layout tests for the §5 deployment model: controller and message
+ * counts, the < 0.1 % core-overhead claim, and scaling behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/worker.hh"
+
+using namespace capmaestro::core;
+
+TEST(WorkerLayout, PaperDeploymentCounts)
+{
+    DeploymentShape shape; // paper defaults: 162 racks, 45 servers, 2x3
+    const auto layout = planWorkers(shape, WorkerCosts{});
+
+    EXPECT_EQ(layout.rackWorkers, 162u);
+    EXPECT_EQ(layout.roomWorkers, 1u);
+    // Paper §5: one rack worker hosts 6 CDU-level shifting controllers
+    // and 45 capping controllers.
+    EXPECT_EQ(layout.cduControllersPerRack, 6u);
+    EXPECT_EQ(layout.cappingControllersPerRack, 45u);
+}
+
+TEST(WorkerLayout, CoreOverheadBelowOneTenthPercent)
+{
+    DeploymentShape shape;
+    const auto layout = planWorkers(shape, WorkerCosts{});
+    // Paper §5: less than 0.1 % of the data center's cores.
+    EXPECT_LT(layout.coreOverheadFraction, 0.001);
+}
+
+TEST(WorkerLayout, RoomWorkerScalesLinearlyWithRacks)
+{
+    WorkerCosts costs;
+    DeploymentShape small;
+    small.racks = 100;
+    DeploymentShape large;
+    large.racks = 500;
+    const auto a = planWorkers(small, costs);
+    const auto b = planWorkers(large, costs);
+    // Linear in racks (the RPP->CDU fan-out dominates).
+    EXPECT_NEAR(b.roomComputeMs / a.roomComputeMs, 5.0, 0.5);
+}
+
+TEST(WorkerLayout, FiveHundredRackRoomWorkerUnder300Ms)
+{
+    // Paper §5 estimates < 300 ms for a 500-rack room worker. Use
+    // deliberately conservative per-op costs (10x our measured ones).
+    WorkerCosts costs;
+    costs.gatherPerChildUs = 10.0;
+    costs.budgetPerChildUs = 10.0;
+    DeploymentShape shape;
+    shape.racks = 500;
+    const auto layout = planWorkers(shape, costs);
+    EXPECT_LT(layout.roomComputeMs, 300.0);
+}
+
+TEST(WorkerLayout, MessageCount)
+{
+    DeploymentShape shape;
+    shape.racks = 10;
+    const auto layout = planWorkers(shape, WorkerCosts{});
+    // 2 messages per tree per rack per period: 2 x 6 x 10.
+    EXPECT_EQ(layout.messagesPerPeriod, 120u);
+}
+
+TEST(WorkerLayout, RackComputeIndependentOfRackCount)
+{
+    WorkerCosts costs;
+    DeploymentShape small;
+    small.racks = 10;
+    DeploymentShape large;
+    large.racks = 1000;
+    const auto a = planWorkers(small, costs);
+    const auto b = planWorkers(large, costs);
+    // Adding racks adds rack workers; each rack worker's load is flat
+    // (the paper's horizontal-scalability claim).
+    EXPECT_DOUBLE_EQ(a.rackComputeMs, b.rackComputeMs);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * capmaestro_capacity — capacity planning for the Table 4-style data
+ * center from the command line.
+ *
+ * Usage:
+ *   capmaestro_capacity [options]
+ *
+ * Options:
+ *   --policy=global|local|none|all   capping policy (default all)
+ *   --worst                          worst-case (one feed down, 100 %
+ *                                    utilization); default typical case
+ *   --trials=N                       Monte-Carlo trials (default 30)
+ *   --sweep=LO:HI                    servers/rack/phase range (default
+ *                                    6:15); prints the full sweep
+ *   --max                            print only the deployable maximum
+ *   --hp=F                           high-priority fraction (default 0.3)
+ *   --capmin=W                       server Pcap_min (default 270)
+ *   --budget-kw=K                    contractual kW per phase (default
+ *                                    700)
+ *   --mismatch=F                     supply split mismatch (default 0)
+ *   --spo                            enable stranded-power optimization
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/capacity.hh"
+#include "util/table.hh"
+
+using namespace capmaestro;
+using namespace capmaestro::sim;
+
+namespace {
+
+const char *
+flagValue(int argc, char **argv, const char *name)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return argv[i] + prefix.size();
+    }
+    return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
+double
+doubleFlag(int argc, char **argv, const char *name, double fallback)
+{
+    const char *v = flagValue(argc, argv, name);
+    return v ? std::atof(v) : fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CapacityConfig base;
+    base.worstCase = hasFlag(argc, argv, "worst");
+    base.trials = static_cast<int>(
+        doubleFlag(argc, argv, "trials", 30.0));
+    base.enableSpo = hasFlag(argc, argv, "spo");
+    base.dc.highPriorityFraction = doubleFlag(argc, argv, "hp", 0.3);
+    base.dc.serverCapMin = doubleFlag(argc, argv, "capmin", 270.0);
+    base.dc.contractualPerPhase =
+        1000.0 * doubleFlag(argc, argv, "budget-kw", 700.0);
+    base.dc.supplyMismatch = doubleFlag(argc, argv, "mismatch", 0.0);
+
+    int lo = 6, hi = 15;
+    if (const char *sweep = flagValue(argc, argv, "sweep")) {
+        if (std::sscanf(sweep, "%d:%d", &lo, &hi) != 2 || lo < 1
+            || hi < lo) {
+            std::fprintf(stderr, "bad --sweep=LO:HI\n");
+            return 2;
+        }
+    }
+
+    std::vector<policy::PolicyKind> kinds;
+    const std::string policy_arg =
+        flagValue(argc, argv, "policy")
+            ? flagValue(argc, argv, "policy")
+            : "all";
+    if (policy_arg == "all") {
+        kinds.assign(policy::kAllPolicies.begin(),
+                     policy::kAllPolicies.end());
+    } else if (policy_arg == "global") {
+        kinds = {policy::PolicyKind::GlobalPriority};
+    } else if (policy_arg == "local") {
+        kinds = {policy::PolicyKind::LocalPriority};
+    } else if (policy_arg == "none") {
+        kinds = {policy::PolicyKind::NoPriority};
+    } else {
+        std::fprintf(stderr, "unknown --policy=%s\n",
+                     policy_arg.c_str());
+        return 2;
+    }
+
+    std::printf("capacity study: %s case, %.0f%% high priority, "
+                "Pcap_min %.0f W, %.0f kW/phase, %d trials\n\n",
+                base.worstCase ? "worst" : "typical",
+                100.0 * base.dc.highPriorityFraction,
+                base.dc.serverCapMin,
+                base.dc.contractualPerPhase / 1000.0, base.trials);
+
+    if (hasFlag(argc, argv, "max")) {
+        util::TextTable t("deployable maximum (<= 1% avg cap ratio)");
+        t.setHeader({"policy", "servers/rack/phase", "total servers"});
+        for (const auto kind : kinds) {
+            CapacityConfig cfg = base;
+            cfg.policy = kind;
+            const auto best = findMaxDeployable(cfg, lo, hi);
+            t.addRow({policy::policyName(kind),
+                      std::to_string(best.serversPerRackPerPhase),
+                      std::to_string(best.totalServers)});
+        }
+        t.print(std::cout);
+        return 0;
+    }
+
+    for (const auto kind : kinds) {
+        CapacityConfig cfg = base;
+        cfg.policy = kind;
+        util::TextTable t(std::string(policy::policyName(kind))
+                          + " -- cap ratio sweep");
+        t.setHeader({"servers/rack/phase", "total servers",
+                     "cap ratio (all)", "p99", "cap ratio (high)",
+                     "feasible"});
+        for (const auto &point : sweepCapacity(cfg, lo, hi)) {
+            t.addRow({std::to_string(point.serversPerRackPerPhase),
+                      std::to_string(point.totalServers),
+                      util::formatFixed(point.avgCapRatioAll, 4),
+                      util::formatFixed(point.p99CapRatioAll, 4),
+                      util::formatFixed(point.avgCapRatioHigh, 4),
+                      util::formatFixed(point.feasibleFraction, 2)});
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+    return 0;
+}

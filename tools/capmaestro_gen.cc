@@ -1,0 +1,124 @@
+/**
+ * @file
+ * capmaestro_gen — emit a runnable JSON scenario for the paper's
+ * Table 4 data center, so the full-scale center can be driven through
+ * `capmaestro_run` without writing C++.
+ *
+ * Usage:
+ *   capmaestro_gen [options] > datacenter.json
+ *
+ * Options:
+ *   --per-phase=N     servers per rack per phase (default 12)
+ *   --phases=N        phases to instantiate (default 1)
+ *   --hp=F            high-priority fraction (default 0.3)
+ *   --utilization=U   constant utilization for every server (default:
+ *                     per-server uniform in [0.85, 1.0])
+ *   --mismatch=F      supply split mismatch (default 0)
+ *   --seed=N          RNG seed for priorities/splits (default 1)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "config/loader.hh"
+#include "sim/datacenter.hh"
+#include "util/json.hh"
+#include "util/random.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+double
+doubleFlag(int argc, char **argv, const char *name, double fallback)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return std::atof(argv[i] + prefix.size());
+    }
+    return fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::DataCenterParams params;
+    params.phases =
+        static_cast<int>(doubleFlag(argc, argv, "phases", 1.0));
+    params.serversPerRackPerPhase =
+        static_cast<int>(doubleFlag(argc, argv, "per-phase", 12.0));
+    params.highPriorityFraction = doubleFlag(argc, argv, "hp", 0.3);
+    params.supplyMismatch = doubleFlag(argc, argv, "mismatch", 0.0);
+    const double fixed_u = doubleFlag(argc, argv, "utilization", -1.0);
+    util::Rng rng(static_cast<std::uint64_t>(
+        doubleFlag(argc, argv, "seed", 1.0)));
+
+    const auto dc = sim::buildDataCenter(params);
+
+    util::Json::Object doc;
+    doc.emplace("feeds",
+                util::Json(static_cast<double>(params.feeds)));
+
+    util::Json::Array trees;
+    for (const auto &tree : dc.system->trees())
+        trees.push_back(config::powerTreeToJson(*tree));
+    doc.emplace("trees", util::Json(std::move(trees)));
+
+    util::Json::Array servers;
+    for (std::size_t i = 0; i < dc.servers.size(); ++i) {
+        util::Json::Object server;
+        server.emplace("name",
+                       util::Json("s" + std::to_string(i)));
+        server.emplace(
+            "priority",
+            util::Json(rng.chance(params.highPriorityFraction) ? 1.0
+                                                               : 0.0));
+        server.emplace("idle", util::Json(params.serverIdle));
+        server.emplace("capMin", util::Json(params.serverCapMin));
+        server.emplace("capMax", util::Json(params.serverCapMax));
+
+        const double mismatch =
+            params.supplyMismatch > 0.0
+                ? rng.uniform(-params.supplyMismatch,
+                              params.supplyMismatch)
+                : 0.0;
+        util::Json::Array supplies;
+        for (const double share : {0.5 + mismatch, 0.5 - mismatch}) {
+            util::Json::Object supply;
+            supply.emplace("share", util::Json(share));
+            supplies.push_back(util::Json(std::move(supply)));
+        }
+        server.emplace("supplies", util::Json(std::move(supplies)));
+
+        util::Json::Object workload;
+        workload.emplace("type",
+                         util::Json(std::string("constant")));
+        workload.emplace("utilization",
+                         util::Json(fixed_u >= 0.0
+                                        ? fixed_u
+                                        : rng.uniform(0.85, 1.0)));
+        server.emplace("workload", util::Json(std::move(workload)));
+        servers.push_back(util::Json(std::move(server)));
+    }
+    doc.emplace("servers", util::Json(std::move(servers)));
+
+    util::Json::Object service;
+    service.emplace("policy", util::Json(std::string("global")));
+    service.emplace("spo",
+                    util::Json(params.supplyMismatch > 0.0));
+    doc.emplace("service", util::Json(std::move(service)));
+
+    util::Json::Object budgets;
+    budgets.emplace("totalPerPhase",
+                    util::Json(params.usableBudgetPerPhase()));
+    doc.emplace("budgets", util::Json(std::move(budgets)));
+
+    std::cout << util::serializeJson(util::Json(std::move(doc)), 2)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * capmaestro_run — run a CapMaestro scenario from a JSON config.
+ *
+ * Usage:
+ *   capmaestro_run <config.json> [options]
+ *
+ * Options:
+ *   --duration=SECONDS    simulated time to run (default 200)
+ *   --fail-feed=F@T       fail feed F at simulated time T seconds
+ *   --fail-supply=S.P@T   fail supply P of server S at time T
+ *   --csv                 dump all recorded time series as CSV to stdout
+ *   --seed=N              sensor-noise seed (default 1)
+ *
+ * Without --csv the tool prints a per-server summary (budget, power,
+ * throughput over the final quarter of the run) plus breaker status.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "config/loader.hh"
+#include "util/table.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+const char *
+flagValue(int argc, char **argv, const char *name)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 2; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return argv[i] + prefix.size();
+    }
+    return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    const std::string flag = std::string("--") + name;
+    for (int i = 2; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: capmaestro_run <config.json> [--duration=N] "
+                 "[--fail-feed=F@T]\n"
+                 "                      [--fail-supply=S.P@T] [--csv] "
+                 "[--seed=N]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argv[1][0] == '-')
+        usage();
+
+    auto scenario = config::loadScenarioFile(argv[1]);
+    const auto server_count = scenario.servers.size();
+    const auto total_per_phase = scenario.totalPerPhase;
+
+    const char *duration_arg = flagValue(argc, argv, "duration");
+    const Seconds duration =
+        duration_arg ? std::atoll(duration_arg) : 200;
+    const char *seed_arg = flagValue(argc, argv, "seed");
+    const std::uint64_t seed =
+        seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 1;
+
+    auto simulation = config::makeSimulation(std::move(scenario), seed);
+
+    if (const char *spec = flagValue(argc, argv, "fail-feed")) {
+        int feed = 0;
+        long long when = 0;
+        if (std::sscanf(spec, "%d@%lld", &feed, &when) != 2)
+            usage();
+        simulation.failFeedAt(when, feed,
+                              total_per_phase.value_or(0.0));
+    }
+    if (const char *spec = flagValue(argc, argv, "fail-supply")) {
+        int server = 0, supply = 0;
+        long long when = 0;
+        if (std::sscanf(spec, "%d.%d@%lld", &server, &supply, &when)
+            != 3) {
+            usage();
+        }
+        simulation.failSupplyAt(when,
+                                static_cast<std::size_t>(server),
+                                static_cast<std::size_t>(supply));
+    }
+
+    simulation.run(duration);
+
+    if (hasFlag(argc, argv, "csv")) {
+        simulation.recorder().printCsv(std::cout);
+        return 0;
+    }
+
+    const Seconds tail_from = duration - std::max<Seconds>(duration / 4,
+                                                           1);
+    util::TextTable table("capmaestro_run summary (tail of the run)");
+    table.setHeader({"server", "priority", "demand est (W)",
+                     "budget (W)", "power (W)", "throughput"});
+    const auto &rec = simulation.recorder();
+    for (std::size_t i = 0; i < server_count; ++i) {
+        double budget = 0.0;
+        for (std::size_t s = 0;
+             s < simulation.server(i).supplyCount(); ++s) {
+            budget += rec.mean(
+                sim::ClosedLoopSim::supplySeries(i, s, "budget"),
+                tail_from, duration);
+        }
+        const auto &report =
+            simulation.service().controller(i).lastReport();
+        table.addRow(
+            {simulation.server(i).spec().name,
+             std::to_string(simulation.server(i).spec().priority),
+             util::formatFixed(report.demandEstimate, 0),
+             util::formatFixed(budget, 0),
+             util::formatFixed(
+                 rec.mean(sim::ClosedLoopSim::serverSeries(i, "power"),
+                          tail_from, duration),
+                 0),
+             util::formatFixed(
+                 rec.mean(
+                     sim::ClosedLoopSim::serverSeries(i, "throughput"),
+                     tail_from, duration),
+                 2)});
+    }
+    table.print(std::cout);
+    std::printf("\nsimulated %lld s; control periods run: %zu; breakers "
+                "tripped: %s\n",
+                static_cast<long long>(duration),
+                simulation.service().lastStats().periodsRun,
+                simulation.anyBreakerTripped() ? "YES" : "no");
+    if (!simulation.eventLog().events().empty()) {
+        std::printf("\nevents:\n");
+        simulation.eventLog().print(std::cout);
+    }
+    return 0;
+}
