@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cap_enforcement.dir/bench_fig5_cap_enforcement.cc.o"
+  "CMakeFiles/bench_fig5_cap_enforcement.dir/bench_fig5_cap_enforcement.cc.o.d"
+  "bench_fig5_cap_enforcement"
+  "bench_fig5_cap_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cap_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

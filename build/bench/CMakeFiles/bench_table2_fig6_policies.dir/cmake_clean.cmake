@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fig6_policies.dir/bench_table2_fig6_policies.cc.o"
+  "CMakeFiles/bench_table2_fig6_policies.dir/bench_table2_fig6_policies.cc.o.d"
+  "bench_table2_fig6_policies"
+  "bench_table2_fig6_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fig6_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

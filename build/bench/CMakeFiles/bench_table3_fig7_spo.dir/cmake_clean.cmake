@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fig7_spo.dir/bench_table3_fig7_spo.cc.o"
+  "CMakeFiles/bench_table3_fig7_spo.dir/bench_table3_fig7_spo.cc.o.d"
+  "bench_table3_fig7_spo"
+  "bench_table3_fig7_spo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fig7_spo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

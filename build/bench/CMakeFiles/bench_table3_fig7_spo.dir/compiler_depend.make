@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table3_fig7_spo.
+# This may be replaced when dependencies are built.

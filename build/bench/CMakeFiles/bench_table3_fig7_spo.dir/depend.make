@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_fig7_spo.
+# This may be replaced when dependencies are built.

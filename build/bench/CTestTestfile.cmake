@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1 "/root/repo/build/bench/bench_table1_local_vs_global")
+set_tests_properties(bench_smoke_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig5 "/root/repo/build/bench/bench_fig5_cap_enforcement")
+set_tests_properties(bench_smoke_fig5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig6 "/root/repo/build/bench/bench_table2_fig6_policies")
+set_tests_properties(bench_smoke_fig6 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig7 "/root/repo/build/bench/bench_table3_fig7_spo")
+set_tests_properties(bench_smoke_fig7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig8 "/root/repo/build/bench/bench_fig8_load_profile" "--samples=2000")
+set_tests_properties(bench_smoke_fig8 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig9 "/root/repo/build/bench/bench_fig9_capacity" "--trials=3" "--typical-trials=10")
+set_tests_properties(bench_smoke_fig9 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig10 "/root/repo/build/bench/bench_fig10_cap_ratio" "--trials=2")
+set_tests_properties(bench_smoke_fig10 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_sensitivity "/root/repo/build/bench/bench_sensitivity" "--trials=2")
+set_tests_properties(bench_smoke_sensitivity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation "/root/repo/build/bench/bench_ablation" "--trials=2")
+set_tests_properties(bench_smoke_ablation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_scalability "/root/repo/build/bench/bench_scalability" "--benchmark_min_time=0.01")
+set_tests_properties(bench_smoke_scalability PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")

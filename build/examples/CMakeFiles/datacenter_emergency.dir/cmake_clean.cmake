@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_emergency.dir/datacenter_emergency.cpp.o"
+  "CMakeFiles/datacenter_emergency.dir/datacenter_emergency.cpp.o.d"
+  "datacenter_emergency"
+  "datacenter_emergency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_emergency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

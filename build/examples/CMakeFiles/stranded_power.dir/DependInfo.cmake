@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stranded_power.cpp" "examples/CMakeFiles/stranded_power.dir/stranded_power.cpp.o" "gcc" "examples/CMakeFiles/stranded_power.dir/stranded_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/cap_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/cap_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/cap_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cap_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

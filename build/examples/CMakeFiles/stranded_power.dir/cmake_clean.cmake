@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stranded_power.dir/stranded_power.cpp.o"
+  "CMakeFiles/stranded_power.dir/stranded_power.cpp.o.d"
+  "stranded_power"
+  "stranded_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stranded_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_audit.dir/topology_audit.cpp.o"
+  "CMakeFiles/topology_audit.dir/topology_audit.cpp.o.d"
+  "topology_audit"
+  "topology_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_config.dir/loader.cc.o"
+  "CMakeFiles/cap_config.dir/loader.cc.o.d"
+  "libcap_config.a"
+  "libcap_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/allocator.cc" "src/control/CMakeFiles/cap_control.dir/allocator.cc.o" "gcc" "src/control/CMakeFiles/cap_control.dir/allocator.cc.o.d"
+  "/root/repo/src/control/capping_controller.cc" "src/control/CMakeFiles/cap_control.dir/capping_controller.cc.o" "gcc" "src/control/CMakeFiles/cap_control.dir/capping_controller.cc.o.d"
+  "/root/repo/src/control/control_tree.cc" "src/control/CMakeFiles/cap_control.dir/control_tree.cc.o" "gcc" "src/control/CMakeFiles/cap_control.dir/control_tree.cc.o.d"
+  "/root/repo/src/control/demand_estimator.cc" "src/control/CMakeFiles/cap_control.dir/demand_estimator.cc.o" "gcc" "src/control/CMakeFiles/cap_control.dir/demand_estimator.cc.o.d"
+  "/root/repo/src/control/metrics.cc" "src/control/CMakeFiles/cap_control.dir/metrics.cc.o" "gcc" "src/control/CMakeFiles/cap_control.dir/metrics.cc.o.d"
+  "/root/repo/src/control/shifting.cc" "src/control/CMakeFiles/cap_control.dir/shifting.cc.o" "gcc" "src/control/CMakeFiles/cap_control.dir/shifting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cap_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cap_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_control.dir/allocator.cc.o"
+  "CMakeFiles/cap_control.dir/allocator.cc.o.d"
+  "CMakeFiles/cap_control.dir/capping_controller.cc.o"
+  "CMakeFiles/cap_control.dir/capping_controller.cc.o.d"
+  "CMakeFiles/cap_control.dir/control_tree.cc.o"
+  "CMakeFiles/cap_control.dir/control_tree.cc.o.d"
+  "CMakeFiles/cap_control.dir/demand_estimator.cc.o"
+  "CMakeFiles/cap_control.dir/demand_estimator.cc.o.d"
+  "CMakeFiles/cap_control.dir/metrics.cc.o"
+  "CMakeFiles/cap_control.dir/metrics.cc.o.d"
+  "CMakeFiles/cap_control.dir/shifting.cc.o"
+  "CMakeFiles/cap_control.dir/shifting.cc.o.d"
+  "libcap_control.a"
+  "libcap_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

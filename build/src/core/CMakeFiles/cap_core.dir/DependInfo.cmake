@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distributed.cc" "src/core/CMakeFiles/cap_core.dir/distributed.cc.o" "gcc" "src/core/CMakeFiles/cap_core.dir/distributed.cc.o.d"
+  "/root/repo/src/core/events.cc" "src/core/CMakeFiles/cap_core.dir/events.cc.o" "gcc" "src/core/CMakeFiles/cap_core.dir/events.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/core/CMakeFiles/cap_core.dir/service.cc.o" "gcc" "src/core/CMakeFiles/cap_core.dir/service.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/core/CMakeFiles/cap_core.dir/worker.cc.o" "gcc" "src/core/CMakeFiles/cap_core.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/cap_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/cap_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cap_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_core.dir/distributed.cc.o"
+  "CMakeFiles/cap_core.dir/distributed.cc.o.d"
+  "CMakeFiles/cap_core.dir/events.cc.o"
+  "CMakeFiles/cap_core.dir/events.cc.o.d"
+  "CMakeFiles/cap_core.dir/service.cc.o"
+  "CMakeFiles/cap_core.dir/service.cc.o.d"
+  "CMakeFiles/cap_core.dir/worker.cc.o"
+  "CMakeFiles/cap_core.dir/worker.cc.o.d"
+  "libcap_core.a"
+  "libcap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/node_manager.cc" "src/device/CMakeFiles/cap_device.dir/node_manager.cc.o" "gcc" "src/device/CMakeFiles/cap_device.dir/node_manager.cc.o.d"
+  "/root/repo/src/device/sensor.cc" "src/device/CMakeFiles/cap_device.dir/sensor.cc.o" "gcc" "src/device/CMakeFiles/cap_device.dir/sensor.cc.o.d"
+  "/root/repo/src/device/server.cc" "src/device/CMakeFiles/cap_device.dir/server.cc.o" "gcc" "src/device/CMakeFiles/cap_device.dir/server.cc.o.d"
+  "/root/repo/src/device/vm.cc" "src/device/CMakeFiles/cap_device.dir/vm.cc.o" "gcc" "src/device/CMakeFiles/cap_device.dir/vm.cc.o.d"
+  "/root/repo/src/device/workload.cc" "src/device/CMakeFiles/cap_device.dir/workload.cc.o" "gcc" "src/device/CMakeFiles/cap_device.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cap_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

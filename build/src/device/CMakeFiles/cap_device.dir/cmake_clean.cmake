@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_device.dir/node_manager.cc.o"
+  "CMakeFiles/cap_device.dir/node_manager.cc.o.d"
+  "CMakeFiles/cap_device.dir/sensor.cc.o"
+  "CMakeFiles/cap_device.dir/sensor.cc.o.d"
+  "CMakeFiles/cap_device.dir/server.cc.o"
+  "CMakeFiles/cap_device.dir/server.cc.o.d"
+  "CMakeFiles/cap_device.dir/vm.cc.o"
+  "CMakeFiles/cap_device.dir/vm.cc.o.d"
+  "CMakeFiles/cap_device.dir/workload.cc.o"
+  "CMakeFiles/cap_device.dir/workload.cc.o.d"
+  "libcap_device.a"
+  "libcap_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

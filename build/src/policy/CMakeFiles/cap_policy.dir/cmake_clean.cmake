@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_policy.dir/policy.cc.o"
+  "CMakeFiles/cap_policy.dir/policy.cc.o.d"
+  "libcap_policy.a"
+  "libcap_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_sim.dir/capacity.cc.o"
+  "CMakeFiles/cap_sim.dir/capacity.cc.o.d"
+  "CMakeFiles/cap_sim.dir/closed_loop.cc.o"
+  "CMakeFiles/cap_sim.dir/closed_loop.cc.o.d"
+  "CMakeFiles/cap_sim.dir/datacenter.cc.o"
+  "CMakeFiles/cap_sim.dir/datacenter.cc.o.d"
+  "CMakeFiles/cap_sim.dir/placement.cc.o"
+  "CMakeFiles/cap_sim.dir/placement.cc.o.d"
+  "CMakeFiles/cap_sim.dir/scenario.cc.o"
+  "CMakeFiles/cap_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/cap_sim.dir/utilization.cc.o"
+  "CMakeFiles/cap_sim.dir/utilization.cc.o.d"
+  "libcap_sim.a"
+  "libcap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

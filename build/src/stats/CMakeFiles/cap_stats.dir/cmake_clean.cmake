@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_stats.dir/accumulator.cc.o"
+  "CMakeFiles/cap_stats.dir/accumulator.cc.o.d"
+  "CMakeFiles/cap_stats.dir/histogram.cc.o"
+  "CMakeFiles/cap_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/cap_stats.dir/quantile.cc.o"
+  "CMakeFiles/cap_stats.dir/quantile.cc.o.d"
+  "CMakeFiles/cap_stats.dir/timeseries.cc.o"
+  "CMakeFiles/cap_stats.dir/timeseries.cc.o.d"
+  "libcap_stats.a"
+  "libcap_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

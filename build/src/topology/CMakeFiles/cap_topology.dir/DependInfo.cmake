@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/analysis.cc" "src/topology/CMakeFiles/cap_topology.dir/analysis.cc.o" "gcc" "src/topology/CMakeFiles/cap_topology.dir/analysis.cc.o.d"
+  "/root/repo/src/topology/audit.cc" "src/topology/CMakeFiles/cap_topology.dir/audit.cc.o" "gcc" "src/topology/CMakeFiles/cap_topology.dir/audit.cc.o.d"
+  "/root/repo/src/topology/breaker.cc" "src/topology/CMakeFiles/cap_topology.dir/breaker.cc.o" "gcc" "src/topology/CMakeFiles/cap_topology.dir/breaker.cc.o.d"
+  "/root/repo/src/topology/power_system.cc" "src/topology/CMakeFiles/cap_topology.dir/power_system.cc.o" "gcc" "src/topology/CMakeFiles/cap_topology.dir/power_system.cc.o.d"
+  "/root/repo/src/topology/power_tree.cc" "src/topology/CMakeFiles/cap_topology.dir/power_tree.cc.o" "gcc" "src/topology/CMakeFiles/cap_topology.dir/power_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

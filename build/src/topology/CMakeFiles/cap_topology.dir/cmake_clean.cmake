@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_topology.dir/analysis.cc.o"
+  "CMakeFiles/cap_topology.dir/analysis.cc.o.d"
+  "CMakeFiles/cap_topology.dir/audit.cc.o"
+  "CMakeFiles/cap_topology.dir/audit.cc.o.d"
+  "CMakeFiles/cap_topology.dir/breaker.cc.o"
+  "CMakeFiles/cap_topology.dir/breaker.cc.o.d"
+  "CMakeFiles/cap_topology.dir/power_system.cc.o"
+  "CMakeFiles/cap_topology.dir/power_system.cc.o.d"
+  "CMakeFiles/cap_topology.dir/power_tree.cc.o"
+  "CMakeFiles/cap_topology.dir/power_tree.cc.o.d"
+  "libcap_topology.a"
+  "libcap_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

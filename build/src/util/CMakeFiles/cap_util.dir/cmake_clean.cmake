@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cap_util.dir/json.cc.o"
+  "CMakeFiles/cap_util.dir/json.cc.o.d"
+  "CMakeFiles/cap_util.dir/logging.cc.o"
+  "CMakeFiles/cap_util.dir/logging.cc.o.d"
+  "CMakeFiles/cap_util.dir/random.cc.o"
+  "CMakeFiles/cap_util.dir/random.cc.o.d"
+  "CMakeFiles/cap_util.dir/regression.cc.o"
+  "CMakeFiles/cap_util.dir/regression.cc.o.d"
+  "CMakeFiles/cap_util.dir/table.cc.o"
+  "CMakeFiles/cap_util.dir/table.cc.o.d"
+  "libcap_util.a"
+  "libcap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcap_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_breaker_sweep.dir/test_breaker_sweep.cc.o"
+  "CMakeFiles/test_breaker_sweep.dir/test_breaker_sweep.cc.o.d"
+  "test_breaker_sweep"
+  "test_breaker_sweep.pdb"
+  "test_breaker_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_breaker_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

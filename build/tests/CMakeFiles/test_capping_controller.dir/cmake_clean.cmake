@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capping_controller.dir/test_capping_controller.cc.o"
+  "CMakeFiles/test_capping_controller.dir/test_capping_controller.cc.o.d"
+  "test_capping_controller"
+  "test_capping_controller.pdb"
+  "test_capping_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capping_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

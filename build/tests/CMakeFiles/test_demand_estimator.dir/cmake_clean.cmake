@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_demand_estimator.dir/test_demand_estimator.cc.o"
+  "CMakeFiles/test_demand_estimator.dir/test_demand_estimator.cc.o.d"
+  "test_demand_estimator"
+  "test_demand_estimator.pdb"
+  "test_demand_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_demand_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

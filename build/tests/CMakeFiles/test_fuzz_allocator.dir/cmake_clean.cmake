@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_allocator.dir/test_fuzz_allocator.cc.o"
+  "CMakeFiles/test_fuzz_allocator.dir/test_fuzz_allocator.cc.o.d"
+  "test_fuzz_allocator"
+  "test_fuzz_allocator.pdb"
+  "test_fuzz_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

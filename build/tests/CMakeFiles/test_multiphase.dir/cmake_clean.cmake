@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiphase.dir/test_multiphase.cc.o"
+  "CMakeFiles/test_multiphase.dir/test_multiphase.cc.o.d"
+  "test_multiphase"
+  "test_multiphase.pdb"
+  "test_multiphase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

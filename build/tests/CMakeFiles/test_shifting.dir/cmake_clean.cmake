@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shifting.dir/test_shifting.cc.o"
+  "CMakeFiles/test_shifting.dir/test_shifting.cc.o.d"
+  "test_shifting"
+  "test_shifting.pdb"
+  "test_shifting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmaestro_audit.dir/capmaestro_audit.cc.o"
+  "CMakeFiles/capmaestro_audit.dir/capmaestro_audit.cc.o.d"
+  "capmaestro_audit"
+  "capmaestro_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmaestro_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmaestro_capacity.dir/capmaestro_capacity.cc.o"
+  "CMakeFiles/capmaestro_capacity.dir/capmaestro_capacity.cc.o.d"
+  "capmaestro_capacity"
+  "capmaestro_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmaestro_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

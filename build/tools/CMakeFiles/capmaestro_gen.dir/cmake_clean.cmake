@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmaestro_gen.dir/capmaestro_gen.cc.o"
+  "CMakeFiles/capmaestro_gen.dir/capmaestro_gen.cc.o.d"
+  "capmaestro_gen"
+  "capmaestro_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmaestro_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

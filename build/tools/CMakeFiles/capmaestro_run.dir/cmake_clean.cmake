@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capmaestro_run.dir/capmaestro_run.cc.o"
+  "CMakeFiles/capmaestro_run.dir/capmaestro_run.cc.o.d"
+  "capmaestro_run"
+  "capmaestro_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capmaestro_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

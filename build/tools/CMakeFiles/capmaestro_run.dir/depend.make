@@ -1,0 +1,2 @@
+# Empty dependencies file for capmaestro_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_run_fig2 "/root/repo/build/tools/capmaestro_run" "/root/repo/configs/fig2_testbed.json" "--duration=40")
+set_tests_properties(tool_run_fig2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_spo_failover "/root/repo/build/tools/capmaestro_run" "/root/repo/configs/dual_feed_spo.json" "--duration=60" "--fail-feed=0@30")
+set_tests_properties(tool_run_spo_failover PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_csv "/root/repo/build/tools/capmaestro_run" "/root/repo/configs/fig2_testbed.json" "--duration=20" "--csv")
+set_tests_properties(tool_run_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_three_phase "/root/repo/build/tools/capmaestro_run" "/root/repo/configs/three_phase.json" "--duration=40")
+set_tests_properties(tool_run_three_phase PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_capacity_smoke "/root/repo/build/tools/capmaestro_capacity" "--policy=global" "--worst" "--trials=2" "--sweep=8:12" "--max")
+set_tests_properties(tool_capacity_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_audit_example "/root/repo/build/tools/capmaestro_audit" "/root/repo/configs/audit_example.json")
+set_tests_properties(tool_audit_example PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_gen_run_pipeline "sh" "-c" "/root/repo/build/tools/capmaestro_gen --per-phase=2 --seed=5 > gen_dc.json      && /root/repo/build/tools/capmaestro_run gen_dc.json --duration=24")
+set_tests_properties(tool_gen_run_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
