@@ -136,6 +136,51 @@ BM_DistributedIteration(benchmark::State &state)
 BENCHMARK(BM_DistributedIteration)->Arg(5)->Arg(13)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Message-plane iteration over the Table 4 center: the same exchange as
+ * BM_DistributedIteration but with every metric/budget frame encoded
+ * (net/wire) and carried by a lossless SimTransport, measuring the
+ * serialization + transport overhead and the real bytes on the wire.
+ */
+void
+BM_MessagePlaneIteration(benchmark::State &state)
+{
+    sim::DataCenterParams params;
+    params.phases = 1;
+    params.serversPerRackPerPhase = static_cast<int>(state.range(0));
+    auto dc = sim::buildDataCenter(params);
+    net::SimTransport transport;
+    core::DistributedControlPlane plane(
+        *dc.system, ctrl::TreePolicy::globalPriority(), transport);
+
+    util::Rng rng(5);
+    for (const auto &tree : dc.system->trees()) {
+        for (const auto &ref : tree->suppliesUnder(tree->root())) {
+            ctrl::LeafInput in;
+            in.live = true;
+            in.priority = rng.chance(0.3) ? 1 : 0;
+            in.capMin = 135.0;
+            in.demand = rng.uniform(135.0, 245.0);
+            in.constraint = 245.0;
+            plane.setLeafInput(ref, in);
+        }
+    }
+    const std::vector<Watts> budgets(dc.system->trees().size(),
+                                     332500.0);
+    std::size_t messages = 0;
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        const auto stats = plane.iterate(budgets);
+        messages = stats.metricsMessages + stats.budgetMessages
+                   + stats.heartbeatMessages;
+        bytes = stats.bytesOnWire;
+    }
+    state.counters["msgs/period"] = static_cast<double>(messages);
+    state.counters["bytes/period"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_MessagePlaneIteration)->Arg(5)->Arg(13)
+    ->Unit(benchmark::kMillisecond);
+
 /** One closed-loop control period on the Fig. 6 testbed, per server. */
 void
 BM_ControlPeriod(benchmark::State &state)

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build + test line from ROADMAP.md, plus
+# an ASan+UBSan build of the net-layer tests (wire codec, transport,
+# message-plane protocol) to catch memory and UB bugs in the frame
+# parsing paths that handle untrusted bytes.
+#
+# Usage: scripts/check.sh [--tier1-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: full build + test suite =="
+cmake -B build -S . > /dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+    exit 0
+fi
+
+echo
+echo "== sanitizers: ASan+UBSan build of the net tests =="
+cmake -B build-asan -S . -DCAPMAESTRO_SANITIZE=ON > /dev/null
+cmake --build build-asan -j --target \
+    test_wire test_transport test_distributed test_net_closed_loop
+for t in test_wire test_transport test_distributed test_net_closed_loop; do
+    echo "-- $t (sanitized)"
+    ./build-asan/tests/"$t"
+done
+
+echo
+echo "All checks passed."

@@ -288,6 +288,9 @@ loadScenario(const util::Json &doc)
             service->boolOr("emergencyFastPath", false);
     }
 
+    if (const util::Json *transport = doc.find("transport"))
+        applyTransportJson(scenario.service, *transport);
+
     scenario.rootBudgets.assign(scenario.system->trees().size(), 0.0);
     if (const util::Json *budgets = doc.find("budgets")) {
         if (const util::Json *per_tree = budgets->find("perTree")) {
@@ -338,6 +341,42 @@ loadScenario(const util::Json &doc)
         }
     }
     return scenario;
+}
+
+void
+applyTransportJson(core::ServiceConfig &service, const util::Json &spec)
+{
+    service.useMessagePlane = spec.boolOr("enabled", true);
+    service.transport.dropRate = spec.numberOr("dropRate", 0.0);
+    service.transport.dupRate = spec.numberOr("dupRate", 0.0);
+    service.transport.latencyMeanMs = spec.numberOr("latencyMs", 0.0);
+    service.transport.latencyJitterMs = spec.numberOr("jitterMs", 0.0);
+    service.transport.reorderRate = spec.numberOr("reorderRate", 0.0);
+    service.transport.reorderExtraMs =
+        spec.numberOr("reorderExtraMs", 10.0);
+    service.transport.seed = static_cast<std::uint64_t>(
+        spec.numberOr("seed",
+                      static_cast<double>(service.transport.seed)));
+    service.protocol.gatherDeadlineMs =
+        spec.numberOr("gatherDeadlineMs", 100.0);
+    service.protocol.budgetDeadlineMs =
+        spec.numberOr("budgetDeadlineMs", 100.0);
+    service.protocol.retryTimeoutMs =
+        spec.numberOr("retryTimeoutMs", 25.0);
+    service.protocol.maxAttempts =
+        static_cast<int>(spec.numberOr("maxAttempts", 4.0));
+    service.protocol.staleAgeCapPeriods =
+        static_cast<int>(spec.numberOr("staleAgeCap", 2.0));
+    service.protocol.heartbeatFailAfter =
+        static_cast<int>(spec.numberOr("heartbeatFailAfter", 3.0));
+
+    if (service.transport.dropRate < 0.0
+        || service.transport.dropRate >= 1.0) {
+        util::fatal("config: transport.dropRate %.3f outside [0, 1)",
+                    service.transport.dropRate);
+    }
+    if (service.protocol.maxAttempts < 1)
+        util::fatal("config: transport.maxAttempts must be >= 1");
 }
 
 LoadedScenario

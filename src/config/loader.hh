@@ -76,6 +76,18 @@ std::unique_ptr<topo::PowerTree> loadPowerTree(const util::Json &spec);
  */
 util::Json powerTreeToJson(const topo::PowerTree &tree);
 
+/**
+ * Apply a "transport" JSON block to a service config: enables the
+ * message plane (unless "enabled": false) and sets the SimTransport
+ * fault model plus the §4.5 protocol tunables. Keys (all optional):
+ * enabled, dropRate, dupRate, latencyMs, jitterMs, reorderRate,
+ * reorderExtraMs, seed, gatherDeadlineMs, budgetDeadlineMs,
+ * retryTimeoutMs, maxAttempts, staleAgeCap, heartbeatFailAfter.
+ * Also the element format of the top-level "transport" scenario block.
+ */
+void applyTransportJson(core::ServiceConfig &service,
+                        const util::Json &spec);
+
 /** Convenience: parse @p path and build the scenario. */
 LoadedScenario loadScenarioFile(const std::string &path);
 

@@ -26,11 +26,12 @@ FleetAllocator::tree(std::size_t index) const
 }
 
 std::vector<Fraction>
-FleetAllocator::effectiveShares(const ServerAllocInput &server,
-                                std::int32_t server_id) const
+effectiveSupplyShares(const topo::PowerSystem &system,
+                      const ServerAllocInput &server,
+                      std::int32_t server_id)
 {
     std::vector<Fraction> shares(server.supplies.size(), 0.0);
-    const auto live_ports = system_.livePortsOf(server_id);
+    const auto live_ports = system.livePortsOf(server_id);
 
     double live_sum = 0.0;
     for (std::size_t s = 0; s < server.supplies.size(); ++s) {
@@ -53,6 +54,78 @@ FleetAllocator::effectiveShares(const ServerAllocInput &server,
     return shares;
 }
 
+LeafInput
+scaledLeafInput(const ServerAllocInput &server, Fraction r)
+{
+    LeafInput leaf;
+    if (r <= 0.0) {
+        leaf.live = false;
+        return leaf;
+    }
+    const Watts demand_eff = std::max(server.demand, server.capMin);
+    leaf.live = true;
+    leaf.priority = server.priority;
+    leaf.capMin = r * server.capMin;
+    leaf.demand = r * std::min(demand_eff, server.capMax);
+    leaf.constraint = r * server.capMax;
+    return leaf;
+}
+
+void
+deriveServerCapsFrom(
+    const topo::PowerSystem &system,
+    const std::vector<ServerAllocInput> &servers,
+    const std::vector<std::vector<Fraction>> &shares,
+    const std::function<Watts(std::size_t tree,
+                              const topo::ServerSupplyRef &ref)>
+        &budget_of,
+    FleetAllocation &out)
+{
+    out.servers.assign(servers.size(), ServerAllocation{});
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        const ServerAllocInput &in = servers[i];
+        ServerAllocation &alloc = out.servers[i];
+        alloc.supplyBudget.assign(in.supplies.size(), 0.0);
+        alloc.effectiveDemand =
+            util::clamp(std::max(in.demand, in.capMin), in.capMin,
+                        in.capMax);
+
+        const auto live_ports =
+            system.livePortsOf(static_cast<std::int32_t>(i));
+        Watts binding = topo::kUnlimited;
+        bool any_live = false;
+        for (const auto &[sup, loc] : live_ports) {
+            const auto s = static_cast<std::size_t>(sup);
+            const Fraction r = s < shares[i].size() ? shares[i][s] : 0.0;
+            if (r <= 0.0)
+                continue;
+            const Watts budget = budget_of(
+                loc.tree, {static_cast<std::int32_t>(i), sup});
+            alloc.supplyBudget[s] = budget;
+            binding = std::min(binding, budget / r);
+            any_live = true;
+        }
+
+        if (!any_live) {
+            alloc.enforceableCapAc = 0.0;
+            alloc.capped = true;
+            continue;
+        }
+
+        alloc.enforceableCapAc =
+            util::clamp(binding, in.capMin, in.capMax);
+        alloc.capped =
+            alloc.enforceableCapAc < alloc.effectiveDemand - 1e-6;
+    }
+}
+
+std::vector<Fraction>
+FleetAllocator::effectiveShares(const ServerAllocInput &server,
+                                std::int32_t server_id) const
+{
+    return effectiveSupplyShares(system_, server, server_id);
+}
+
 void
 FleetAllocator::pushLeafInputs(
     const std::vector<ServerAllocInput> &servers,
@@ -71,19 +144,7 @@ FleetAllocator::pushLeafInputs(
             const auto sup = static_cast<std::size_t>(ref.supply);
             const Fraction r =
                 sup < shares[sid].size() ? shares[sid][sup] : 0.0;
-
-            LeafInput leaf;
-            if (r <= 0.0) {
-                leaf.live = false;
-            } else {
-                const Watts demand_eff = std::max(in.demand, in.capMin);
-                leaf.live = true;
-                leaf.priority = in.priority;
-                leaf.capMin = r * in.capMin;
-                leaf.demand = r * std::min(demand_eff, in.capMax);
-                leaf.constraint = r * in.capMax;
-            }
-            tree.setLeafInput(ref, leaf);
+            tree.setLeafInput(ref, scaledLeafInput(in, r));
         }
     }
 }
@@ -108,42 +169,12 @@ FleetAllocator::deriveServerCaps(
     const std::vector<std::vector<Fraction>> &shares,
     FleetAllocation &out) const
 {
-    out.servers.assign(servers.size(), ServerAllocation{});
-    for (std::size_t i = 0; i < servers.size(); ++i) {
-        const ServerAllocInput &in = servers[i];
-        ServerAllocation &alloc = out.servers[i];
-        alloc.supplyBudget.assign(in.supplies.size(), 0.0);
-        alloc.effectiveDemand =
-            util::clamp(std::max(in.demand, in.capMin), in.capMin,
-                        in.capMax);
-
-        const auto live_ports =
-            system_.livePortsOf(static_cast<std::int32_t>(i));
-        Watts binding = topo::kUnlimited;
-        bool any_live = false;
-        for (const auto &[sup, loc] : live_ports) {
-            const auto s = static_cast<std::size_t>(sup);
-            const Fraction r = s < shares[i].size() ? shares[i][s] : 0.0;
-            if (r <= 0.0)
-                continue;
-            const Watts budget = trees_[loc.tree]->leafBudget(
-                {static_cast<std::int32_t>(i), sup});
-            alloc.supplyBudget[s] = budget;
-            binding = std::min(binding, budget / r);
-            any_live = true;
-        }
-
-        if (!any_live) {
-            alloc.enforceableCapAc = 0.0;
-            alloc.capped = true;
-            continue;
-        }
-
-        alloc.enforceableCapAc =
-            util::clamp(binding, in.capMin, in.capMax);
-        alloc.capped =
-            alloc.enforceableCapAc < alloc.effectiveDemand - 1e-6;
-    }
+    deriveServerCapsFrom(
+        system_, servers, shares,
+        [this](std::size_t tree, const topo::ServerSupplyRef &ref) {
+            return trees_[tree]->leafBudget(ref);
+        },
+        out);
 }
 
 FleetAllocation

@@ -17,6 +17,7 @@
 #ifndef CAPMAESTRO_CONTROL_ALLOCATOR_HH
 #define CAPMAESTRO_CONTROL_ALLOCATOR_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -76,6 +77,40 @@ struct FleetAllocation
     /** Total stranded power reclaimed by SPO across the fleet. */
     Watts strandedReclaimed = 0.0;
 };
+
+/**
+ * Effective per-supply shares of one server given the live feeds:
+ * dead supplies/feeds get zero and the survivors are renormalized.
+ * Shared by the FleetAllocator and the distributed message plane so
+ * both produce identical leaf inputs.
+ */
+std::vector<Fraction>
+effectiveSupplyShares(const topo::PowerSystem &system,
+                      const ServerAllocInput &server,
+                      std::int32_t server_id);
+
+/**
+ * The leaf input a capping controller reports for one supply carrying
+ * share @p r of the server load (paper §4.3.1 level-1 formulas); a
+ * non-positive share yields a dead leaf.
+ */
+LeafInput scaledLeafInput(const ServerAllocInput &server, Fraction r);
+
+/**
+ * Derive per-server enforceable caps from per-supply leaf budgets (the
+ * most-constrained supply binds). @p budget_of returns the allocated
+ * budget for a supply leaf given its tree index and reference; the
+ * caller chooses whether budgets come from monolithic ControlTrees or
+ * from the distributed plane.
+ */
+void deriveServerCapsFrom(
+    const topo::PowerSystem &system,
+    const std::vector<ServerAllocInput> &servers,
+    const std::vector<std::vector<Fraction>> &shares,
+    const std::function<Watts(std::size_t tree,
+                              const topo::ServerSupplyRef &ref)>
+        &budget_of,
+    FleetAllocation &out);
 
 /** Fleet-level allocator over a PowerSystem. */
 class FleetAllocator

@@ -1,40 +1,86 @@
 #include "core/distributed.hh"
 
 #include <algorithm>
+#include <limits>
 
+#include "net/wire.hh"
 #include "util/logging.hh"
 
 namespace capmaestro::core {
 
+const char *
+degradedKindName(DegradedKind kind)
+{
+    switch (kind) {
+      case DegradedKind::StaleMetricsReused:   return "stale-metrics";
+      case DegradedKind::MetricsLost:          return "metrics-lost";
+      case DegradedKind::DefaultBudgetApplied: return "default-budget";
+      case DegradedKind::WorkerFailover:       return "worker-failover";
+    }
+    return "unknown";
+}
+
 // ---------------------------------------------------------------- RackWorker
 
 RackWorker::RackWorker(const topo::PowerSystem &system,
-                       std::vector<topo::NodeId> edge_nodes,
                        ctrl::TreePolicy policy)
     : system_(system), policy_(policy)
 {
-    edges_.resize(edge_nodes.size());
-    for (std::size_t t = 0; t < edge_nodes.size(); ++t) {
-        Edge &edge = edges_[t];
-        edge.node = edge_nodes[t];
-        if (edge.node == topo::kNoNode)
-            continue;
-        const auto &tree = system_.tree(t);
-        for (const topo::NodeId c : tree.node(edge.node).children) {
-            const auto &child = tree.node(c);
-            if (child.kind != topo::NodeKind::SupplyPort) {
-                util::fatal("RackWorker: edge node %s has a non-leaf "
-                            "child; mixed fan-out is not partitionable",
-                            tree.node(edge.node).name.c_str());
-            }
-            edge.leaves.push_back(*child.supplyRef);
-            ctrl::LeafInput dead;
-            dead.live = false;
-            edge.inputs.push_back(dead);
+}
+
+void
+RackWorker::addEdge(std::size_t tree, topo::NodeId node)
+{
+    Edge edge;
+    edge.tree = tree;
+    edge.node = node;
+    const auto &topo_tree = system_.tree(tree);
+    for (const topo::NodeId c : topo_tree.node(node).children) {
+        const auto &child = topo_tree.node(c);
+        if (child.kind != topo::NodeKind::SupplyPort) {
+            util::fatal("RackWorker: edge node %s has a non-leaf "
+                        "child; mixed fan-out is not partitionable",
+                        topo_tree.node(node).name.c_str());
         }
-        edge.leafMetrics.resize(edge.leaves.size());
-        edge.leafBudgets.assign(edge.leaves.size(), 0.0);
+        edge.leaves.push_back(*child.supplyRef);
+        ctrl::LeafInput dead;
+        dead.live = false;
+        edge.inputs.push_back(dead);
     }
+    edge.leafMetrics.resize(edge.leaves.size());
+    edge.leafBudgets.assign(edge.leaves.size(), 0.0);
+    edges_.push_back(std::move(edge));
+}
+
+void
+RackWorker::adoptEdge(Edge edge)
+{
+    edges_.push_back(std::move(edge));
+}
+
+std::vector<RackWorker::Edge>
+RackWorker::releaseEdges()
+{
+    std::vector<Edge> out = std::move(edges_);
+    edges_.clear();
+    return out;
+}
+
+RackWorker::Edge &
+RackWorker::findEdge(std::size_t tree, topo::NodeId node)
+{
+    for (Edge &edge : edges_) {
+        if (edge.tree == tree && edge.node == node)
+            return edge;
+    }
+    util::panic("RackWorker: edge %zu/%d not owned by this worker", tree,
+                node);
+}
+
+const RackWorker::Edge &
+RackWorker::findEdge(std::size_t tree, topo::NodeId node) const
+{
+    return const_cast<RackWorker *>(this)->findEdge(tree, node);
 }
 
 void
@@ -42,11 +88,14 @@ RackWorker::setLeafInput(std::size_t tree,
                          const topo::ServerSupplyRef &ref,
                          const ctrl::LeafInput &input)
 {
-    Edge &edge = edges_.at(tree);
-    for (std::size_t i = 0; i < edge.leaves.size(); ++i) {
-        if (edge.leaves[i] == ref) {
-            edge.inputs[i] = input;
-            return;
+    for (Edge &edge : edges_) {
+        if (edge.tree != tree)
+            continue;
+        for (std::size_t i = 0; i < edge.leaves.size(); ++i) {
+            if (edge.leaves[i] == ref) {
+                edge.inputs[i] = input;
+                return;
+            }
         }
     }
     util::panic("RackWorker: supply %d.%d not under this worker",
@@ -54,9 +103,9 @@ RackWorker::setLeafInput(std::size_t tree,
 }
 
 void
-RackWorker::refreshLeafMetrics(Edge &edge, std::size_t tree)
+RackWorker::refreshLeafMetrics(Edge &edge)
 {
-    const auto &topo_tree = system_.tree(tree);
+    const auto &topo_tree = system_.tree(edge.tree);
     for (std::size_t i = 0; i < edge.leaves.size(); ++i) {
         ctrl::NodeMetrics m;
         const ctrl::LeafInput &in = edge.inputs[i];
@@ -75,73 +124,75 @@ RackWorker::refreshLeafMetrics(Edge &edge, std::size_t tree)
 }
 
 ctrl::NodeMetrics
-RackWorker::computeMetrics(std::size_t tree)
+RackWorker::computeMetrics(std::size_t tree, topo::NodeId node)
 {
-    Edge &edge = edges_.at(tree);
-    if (edge.node == topo::kNoNode)
-        return {};
-    refreshLeafMetrics(edge, tree);
-    const Watts limit = system_.tree(tree).node(edge.node).limit();
+    Edge &edge = findEdge(tree, node);
+    refreshLeafMetrics(edge);
+    const Watts limit = system_.tree(tree).node(node).limit();
     return ctrl::gatherMetrics(edge.leafMetrics, limit,
                                policy_.upperPriorityAware);
 }
 
 void
-RackWorker::applyBudget(std::size_t tree, Watts budget)
+RackWorker::applyBudget(std::size_t tree, topo::NodeId node, Watts budget)
 {
-    Edge &edge = edges_.at(tree);
-    if (edge.node == topo::kNoNode)
-        return;
+    Edge &edge = findEdge(tree, node);
     // Mirror ControlTree: never distribute beyond the device limit.
-    const Watts usable = std::min(
-        budget, system_.tree(tree).node(edge.node).limit());
+    const Watts usable =
+        std::min(budget, system_.tree(tree).node(node).limit());
     const auto split = ctrl::budgetChildren(usable, edge.leafMetrics,
                                             policy_.leafPriorityAware);
     edge.leafBudgets = split.childBudgets;
 }
 
 Watts
+RackWorker::defaultBudget(std::size_t tree, topo::NodeId node) const
+{
+    const Edge &edge = findEdge(tree, node);
+    Watts floor = 0.0;
+    for (const ctrl::LeafInput &in : edge.inputs) {
+        if (in.live)
+            floor += in.capMin;
+    }
+    return std::min(floor, system_.tree(tree).node(node).limit());
+}
+
+Watts
 RackWorker::leafBudget(std::size_t tree,
                        const topo::ServerSupplyRef &ref) const
 {
-    const Edge &edge = edges_.at(tree);
-    for (std::size_t i = 0; i < edge.leaves.size(); ++i) {
-        if (edge.leaves[i] == ref)
-            return edge.leafBudgets[i];
+    for (const Edge &edge : edges_) {
+        if (edge.tree != tree)
+            continue;
+        for (std::size_t i = 0; i < edge.leaves.size(); ++i) {
+            if (edge.leaves[i] == ref)
+                return edge.leafBudgets[i];
+        }
     }
     util::panic("RackWorker: supply %d.%d not under this worker",
                 ref.server, ref.supply);
 }
 
-topo::NodeId
-RackWorker::edgeNode(std::size_t tree) const
-{
-    return edges_.at(tree).node;
-}
-
 // ---------------------------------------------------------------- RoomWorker
 
-RoomWorker::RoomWorker(
-    const topo::PowerSystem &system,
-    std::vector<std::map<topo::NodeId, std::size_t>> edge_owner,
-    ctrl::TreePolicy policy)
-    : system_(system), edgeOwner_(std::move(edge_owner)), policy_(policy)
+RoomWorker::RoomWorker(const topo::PowerSystem &system,
+                       std::vector<std::set<topo::NodeId>> edge_nodes,
+                       ctrl::TreePolicy policy)
+    : system_(system), edgeNodes_(std::move(edge_nodes)), policy_(policy)
 {
 }
 
 ctrl::NodeMetrics
 RoomWorker::gatherAbove(std::size_t tree, topo::NodeId node,
-                        const std::map<std::size_t, ctrl::NodeMetrics>
-                            &racks,
+                        const std::map<topo::NodeId, ctrl::NodeMetrics>
+                            &edges,
                         std::map<topo::NodeId, ctrl::NodeMetrics> &cache)
 {
-    const auto &owners = edgeOwner_.at(tree);
-    const auto owner = owners.find(node);
-    if (owner != owners.end()) {
+    if (edgeNodes_.at(tree).count(node)) {
         // Edge node: the rack worker's message is this node's metrics.
-        const auto it = racks.find(owner->second);
+        const auto it = edges.find(node);
         const ctrl::NodeMetrics m =
-            it != racks.end() ? it->second : ctrl::NodeMetrics{};
+            it != edges.end() ? it->second : ctrl::NodeMetrics{};
         cache[node] = m;
         return m;
     }
@@ -151,7 +202,7 @@ RoomWorker::gatherAbove(std::size_t tree, topo::NodeId node,
     std::vector<ctrl::NodeMetrics> children;
     children.reserve(tn.children.size());
     for (const topo::NodeId c : tn.children)
-        children.push_back(gatherAbove(tree, c, racks, cache));
+        children.push_back(gatherAbove(tree, c, edges, cache));
     ctrl::NodeMetrics m = ctrl::gatherMetrics(
         children, tn.limit(), policy_.upperPriorityAware);
     cache[node] = m;
@@ -162,12 +213,10 @@ void
 RoomWorker::budgetAbove(std::size_t tree, topo::NodeId node, Watts budget,
                         const std::map<topo::NodeId, ctrl::NodeMetrics>
                             &cache,
-                        std::map<std::size_t, Watts> &rack_budgets)
+                        std::map<topo::NodeId, Watts> &edge_budgets)
 {
-    const auto &owners = edgeOwner_.at(tree);
-    const auto owner = owners.find(node);
-    if (owner != owners.end()) {
-        rack_budgets[owner->second] = budget;
+    if (edgeNodes_.at(tree).count(node)) {
+        edge_budgets[node] = budget;
         return;
     }
 
@@ -182,27 +231,27 @@ RoomWorker::budgetAbove(std::size_t tree, topo::NodeId node, Watts budget,
                                             policy_.upperPriorityAware);
     for (std::size_t i = 0; i < tn.children.size(); ++i) {
         budgetAbove(tree, tn.children[i], split.childBudgets[i], cache,
-                    rack_budgets);
+                    edge_budgets);
     }
 }
 
-std::map<std::size_t, Watts>
+std::map<topo::NodeId, Watts>
 RoomWorker::iterate(std::size_t tree,
-                    const std::map<std::size_t, ctrl::NodeMetrics>
-                        &rack_metrics,
+                    const std::map<topo::NodeId, ctrl::NodeMetrics>
+                        &edge_metrics,
                     Watts root_budget)
 {
     const auto &topo_tree = system_.tree(tree);
     const topo::NodeId root = topo_tree.root();
 
     std::map<topo::NodeId, ctrl::NodeMetrics> cache;
-    gatherAbove(tree, root, rack_metrics, cache);
+    gatherAbove(tree, root, edge_metrics, cache);
 
-    std::map<std::size_t, Watts> rack_budgets;
+    std::map<topo::NodeId, Watts> edge_budgets;
     const Watts budget =
         std::min(root_budget, topo_tree.node(root).limit());
-    budgetAbove(tree, root, budget, cache, rack_budgets);
-    return rack_budgets;
+    budgetAbove(tree, root, budget, cache, edge_budgets);
+    return edge_budgets;
 }
 
 // --------------------------------------------------- DistributedControlPlane
@@ -229,51 +278,163 @@ DistributedControlPlane::partition(const topo::PowerSystem &system)
     return owners;
 }
 
+namespace {
+
+std::vector<std::set<topo::NodeId>>
+edgeNodeSets(const std::vector<std::map<topo::NodeId, std::size_t>>
+                 &owners)
+{
+    std::vector<std::set<topo::NodeId>> sets(owners.size());
+    for (std::size_t t = 0; t < owners.size(); ++t) {
+        for (const auto &[node, rack] : owners[t])
+            sets[t].insert(node);
+    }
+    return sets;
+}
+
+} // namespace
+
 DistributedControlPlane::DistributedControlPlane(
     const topo::PowerSystem &system, ctrl::TreePolicy policy)
     : system_(system), policy_(policy),
-      room_(system, partition(system), policy)
+      room_(system, edgeNodeSets(partition(system)), policy)
 {
-    const auto owners = partition(system);
+    buildWorkers();
+}
+
+DistributedControlPlane::DistributedControlPlane(
+    const topo::PowerSystem &system, ctrl::TreePolicy policy,
+    net::SimTransport &transport, net::ProtocolConfig protocol)
+    : system_(system), policy_(policy),
+      room_(system, edgeNodeSets(partition(system)), policy),
+      transport_(&transport), protocol_(protocol)
+{
+    buildWorkers();
+}
+
+void
+DistributedControlPlane::buildWorkers()
+{
+    const auto owners = partition(system_);
     std::size_t rack_count = 0;
     for (const auto &per_tree : owners) {
         for (const auto &[node, rack] : per_tree)
             rack_count = std::max(rack_count, rack + 1);
     }
 
-    std::vector<std::vector<topo::NodeId>> edges(
-        rack_count,
-        std::vector<topo::NodeId>(system.trees().size(), topo::kNoNode));
-    for (std::size_t t = 0; t < owners.size(); ++t) {
-        for (const auto &[node, rack] : owners[t])
-            edges[rack][t] = node;
-    }
-
     racks_.reserve(rack_count);
     for (std::size_t r = 0; r < rack_count; ++r)
-        racks_.emplace_back(system_, edges[r], policy_);
+        racks_.emplace_back(system_, policy_);
 
-    // Build leaf routing.
     for (std::size_t t = 0; t < owners.size(); ++t) {
         for (const auto &[node, rack] : owners[t]) {
+            racks_[rack].addEdge(t, node);
+            edgeOwner_[{t, node}] = rack;
             for (const topo::NodeId c :
                  system_.tree(t).node(node).children) {
                 const auto &ref = *system_.tree(t).node(c).supplyRef;
-                leafRouting_[{ref.server, ref.supply}] = {t, rack};
+                leafToRack_[{ref.server, ref.supply}] = rack;
             }
         }
     }
+
+    rackSeq_.assign(rack_count, 0);
+    rackFailed_.assign(rack_count, false);
+    rackDeclaredDead_.assign(rack_count, false);
+    missedHeartbeats_.assign(rack_count, 0);
+}
+
+net::SimTransport::Endpoint
+DistributedControlPlane::roomEndpoint() const
+{
+    return static_cast<net::SimTransport::Endpoint>(racks_.size());
+}
+
+std::size_t
+DistributedControlPlane::liveWorkerCount() const
+{
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < racks_.size(); ++r)
+        n += rackDeclaredDead_[r] ? 0 : 1;
+    return n;
 }
 
 void
 DistributedControlPlane::setLeafInput(const topo::ServerSupplyRef &ref,
                                       const ctrl::LeafInput &input)
 {
-    const auto it = leafRouting_.find({ref.server, ref.supply});
-    if (it == leafRouting_.end())
+    const auto it = leafToRack_.find({ref.server, ref.supply});
+    if (it == leafToRack_.end())
         util::panic("DistributedControlPlane: unknown supply %d.%d",
                     ref.server, ref.supply);
-    racks_[it->second.second].setLeafInput(it->second.first, ref, input);
+    // A leaf lives in exactly one of the owning rack's edges.
+    for (const RackWorker::Edge &edge : racks_[it->second].edges()) {
+        for (const auto &leaf : edge.leaves) {
+            if (leaf == ref) {
+                racks_[it->second].setLeafInput(edge.tree, ref, input);
+                return;
+            }
+        }
+    }
+    util::panic("DistributedControlPlane: supply %d.%d not routed",
+                ref.server, ref.supply);
+}
+
+void
+DistributedControlPlane::failWorker(std::size_t rack)
+{
+    if (rack >= racks_.size())
+        util::panic("DistributedControlPlane: bad rack %zu", rack);
+    rackFailed_[rack] = true;
+}
+
+bool
+DistributedControlPlane::workerDeclaredDead(std::size_t rack) const
+{
+    if (rack >= racks_.size())
+        util::panic("DistributedControlPlane: bad rack %zu", rack);
+    return rackDeclaredDead_[rack];
+}
+
+void
+DistributedControlPlane::rehomeWorker(std::size_t rack,
+                                      MessageStats &stats)
+{
+    rackDeclaredDead_[rack] = true;
+
+    // Adopt onto the live worker hosting the fewest edges (lowest
+    // index on ties) so failover load stays balanced and deterministic.
+    std::size_t adopter = racks_.size();
+    std::size_t best_edges = std::numeric_limits<std::size_t>::max();
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        if (r == rack || rackDeclaredDead_[r] || rackFailed_[r])
+            continue;
+        if (racks_[r].edges().size() < best_edges) {
+            best_edges = racks_[r].edges().size();
+            adopter = r;
+        }
+    }
+
+    DegradedDecision d;
+    d.kind = DegradedKind::WorkerFailover;
+    d.rack = rack;
+    d.value = adopter < racks_.size()
+                  ? static_cast<double>(adopter)
+                  : -1.0;
+    stats.degraded.push_back(d);
+
+    if (adopter >= racks_.size()) {
+        util::warn("DistributedControlPlane: worker %zu dead with no "
+                   "live peer to adopt its edges", rack);
+        return;
+    }
+
+    for (RackWorker::Edge &edge : racks_[rack].releaseEdges()) {
+        edgeOwner_[{edge.tree, edge.node}] = adopter;
+        for (const auto &ref : edge.leaves)
+            leafToRack_[{ref.server, ref.supply}] = adopter;
+        racks_[adopter].adoptEdge(std::move(edge));
+    }
 }
 
 MessageStats
@@ -283,44 +444,322 @@ DistributedControlPlane::iterate(const std::vector<Watts> &root_budgets)
         util::fatal("DistributedControlPlane: %zu budgets for %zu trees",
                     root_budgets.size(), system_.trees().size());
     }
+    return transport_ ? iterateTransport(root_budgets)
+                      : iterateDirect(root_budgets);
+}
 
+MessageStats
+DistributedControlPlane::iterateDirect(
+    const std::vector<Watts> &root_budgets)
+{
     MessageStats stats;
     for (std::size_t t = 0; t < system_.trees().size(); ++t) {
         if (system_.feedFailed(system_.tree(t).feed()))
             continue;
 
-        // Upstream: every rack with an edge in this tree sends metrics.
-        std::map<std::size_t, ctrl::NodeMetrics> rack_metrics;
-        for (std::size_t r = 0; r < racks_.size(); ++r) {
-            if (racks_[r].edgeNode(t) == topo::kNoNode)
+        // Upstream: every edge in this tree reports metrics.
+        std::map<topo::NodeId, ctrl::NodeMetrics> edge_metrics;
+        for (const auto &[key, rack] : edgeOwner_) {
+            if (key.first != t)
                 continue;
-            ctrl::NodeMetrics m = racks_[r].computeMetrics(t);
+            ctrl::NodeMetrics m =
+                racks_[rack].computeMetrics(t, key.second);
             ++stats.metricsMessages;
             stats.metricClassesSent += m.classes().size();
-            rack_metrics.emplace(r, std::move(m));
+            edge_metrics.emplace(key.second, std::move(m));
         }
 
-        // Room worker computes the upper tree and returns rack budgets.
-        const auto rack_budgets =
-            room_.iterate(t, rack_metrics, root_budgets[t]);
+        // Room worker computes the upper tree and returns edge budgets.
+        const auto edge_budgets =
+            room_.iterate(t, edge_metrics, root_budgets[t]);
 
-        // Downstream: budgets back to the rack workers.
-        for (const auto &[rack, budget] : rack_budgets) {
+        // Downstream: budgets back to the owning rack workers.
+        for (const auto &[node, budget] : edge_budgets) {
             ++stats.budgetMessages;
-            racks_[rack].applyBudget(t, budget);
+            racks_[edgeOwner_.at({t, node})].applyBudget(t, node, budget);
         }
     }
+    return stats;
+}
+
+MessageStats
+DistributedControlPlane::iterateTransport(
+    const std::vector<Watts> &root_budgets)
+{
+    MessageStats stats;
+    net::SimTransport &tp = *transport_;
+    ++epoch_;
+    const std::size_t bytes_before = tp.stats().bytesSent;
+    const double start = tp.nowMs();
+    const net::SimTransport::Endpoint room = roomEndpoint();
+
+    const auto tree_live = [&](std::size_t t) {
+        return !system_.feedFailed(system_.tree(t).feed());
+    };
+
+    // ---------------- upstream: heartbeats + per-edge metrics
+    struct PendingUp
+    {
+        std::size_t tree;
+        topo::NodeId node;
+        std::size_t rack;
+        std::vector<std::uint8_t> frame;
+    };
+    std::vector<PendingUp> pending_up;
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        if (rackFailed_[r] || rackDeclaredDead_[r])
+            continue;
+        tp.send(static_cast<net::SimTransport::Endpoint>(r), room,
+                net::encodeHeartbeat(
+                    {static_cast<std::uint16_t>(r), epoch_,
+                     rackSeq_[r]++}));
+        ++stats.heartbeatMessages;
+        for (const RackWorker::Edge &edge : racks_[r].edges()) {
+            if (!tree_live(edge.tree))
+                continue;
+            net::MetricsMsg msg;
+            msg.tree = static_cast<std::uint16_t>(edge.tree);
+            msg.edgeNode = static_cast<std::uint32_t>(edge.node);
+            msg.metrics = racks_[r].computeMetrics(edge.tree, edge.node);
+            ++stats.metricsMessages;
+            stats.metricClassesSent += msg.metrics.classes().size();
+            auto frame = net::encodeMetrics(
+                {static_cast<std::uint16_t>(r), epoch_, rackSeq_[r]++},
+                msg);
+            tp.send(static_cast<net::SimTransport::Endpoint>(r), room,
+                    frame);
+            pending_up.push_back(
+                {edge.tree, edge.node, r, std::move(frame)});
+        }
+    }
+
+    std::map<std::pair<std::size_t, topo::NodeId>, ctrl::NodeMetrics>
+        fresh;
+    std::set<std::size_t> heard;
+    const auto poll_room = [&] {
+        for (const auto &bytes : tp.poll(room)) {
+            const auto frame = net::decodeFrame(bytes);
+            if (!frame) {
+                ++stats.corruptFrames;
+                continue;
+            }
+            if (frame->epoch != epoch_) {
+                ++stats.orphanFrames;
+                continue;
+            }
+            if (frame->sender < racks_.size())
+                heard.insert(frame->sender);
+            if (frame->type == net::MsgType::Metrics) {
+                fresh[{frame->metrics.tree,
+                       static_cast<topo::NodeId>(
+                           frame->metrics.edgeNode)}] =
+                    frame->metrics.metrics;
+            }
+        }
+    };
+
+    const double gather_deadline = start + protocol_.gatherDeadlineMs;
+    for (int attempt = 1; attempt < protocol_.maxAttempts; ++attempt) {
+        const double next = start + attempt * protocol_.retryTimeoutMs;
+        if (next >= gather_deadline)
+            break;
+        tp.advanceTo(next);
+        poll_room();
+        bool all_in = true;
+        for (const PendingUp &up : pending_up) {
+            if (fresh.count({up.tree, up.node}))
+                continue;
+            all_in = false;
+            ++stats.retries;
+            tp.send(static_cast<net::SimTransport::Endpoint>(up.rack),
+                    room, up.frame);
+        }
+        if (all_in)
+            break;
+    }
+    tp.advanceTo(gather_deadline);
+    poll_room();
+
+    // Liveness: any frame from a rack counts as its heartbeat.
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        if (rackDeclaredDead_[r])
+            continue;
+        if (heard.count(r)) {
+            missedHeartbeats_[r] = 0;
+        } else if (++missedHeartbeats_[r]
+                   >= protocol_.heartbeatFailAfter) {
+            rehomeWorker(r, stats);
+        }
+    }
+
+    // Assemble per-tree edge metrics with §4.5 stale fallback.
+    std::vector<std::map<topo::NodeId, ctrl::NodeMetrics>> tree_metrics(
+        system_.trees().size());
+    for (const auto &[key, rack] : edgeOwner_) {
+        const auto [t, node] = key;
+        if (!tree_live(t))
+            continue;
+        const auto got = fresh.find(key);
+        if (got != fresh.end()) {
+            tree_metrics[t][node] = got->second;
+            metricCache_[key] = {got->second, epoch_, true};
+            continue;
+        }
+        const auto cached = metricCache_.find(key);
+        const std::uint32_t age =
+            cached != metricCache_.end() && cached->second.valid
+                ? epoch_ - cached->second.epoch
+                : 0;
+        if (cached != metricCache_.end() && cached->second.valid
+            && age <= static_cast<std::uint32_t>(
+                   protocol_.staleAgeCapPeriods)) {
+            tree_metrics[t][node] = cached->second.metrics;
+            ++stats.staleReuses;
+            stats.degraded.push_back({DegradedKind::StaleMetricsReused,
+                                      t, node, rack,
+                                      static_cast<double>(age)});
+        } else {
+            // Too old (or never seen): the edge contributes nothing.
+            ++stats.metricsLost;
+            stats.degraded.push_back(
+                {DegradedKind::MetricsLost, t, node, rack,
+                 static_cast<double>(age)});
+        }
+    }
+
+    // ---------------- room compute + downstream budgets
+    struct PendingDown
+    {
+        std::size_t tree;
+        topo::NodeId node;
+        std::size_t rack;
+        std::vector<std::uint8_t> frame;
+    };
+    std::vector<PendingDown> pending_down;
+    for (std::size_t t = 0; t < system_.trees().size(); ++t) {
+        if (!tree_live(t))
+            continue;
+        const auto edge_budgets =
+            room_.iterate(t, tree_metrics[t], root_budgets[t]);
+        for (const auto &[node, budget] : edge_budgets) {
+            const std::size_t rack = edgeOwner_.at({t, node});
+            if (rackFailed_[rack] || rackDeclaredDead_[rack])
+                continue; // nobody home to receive it
+            net::BudgetMsg msg;
+            msg.tree = static_cast<std::uint16_t>(t);
+            msg.edgeNode = static_cast<std::uint32_t>(node);
+            msg.budget = budget;
+            ++stats.budgetMessages;
+            auto frame = net::encodeBudget(
+                {net::kRoomSender, epoch_, roomSeq_++}, msg);
+            tp.send(room, static_cast<net::SimTransport::Endpoint>(rack),
+                    frame);
+            pending_down.push_back({t, node, rack, std::move(frame)});
+        }
+    }
+
+    std::set<std::pair<std::size_t, topo::NodeId>> applied;
+    const auto poll_racks = [&] {
+        for (std::size_t r = 0; r < racks_.size(); ++r) {
+            const auto frames =
+                tp.poll(static_cast<net::SimTransport::Endpoint>(r));
+            if (rackFailed_[r])
+                continue; // dead process: frames drain unread
+            for (const auto &bytes : frames) {
+                const auto frame = net::decodeFrame(bytes);
+                if (!frame) {
+                    ++stats.corruptFrames;
+                    continue;
+                }
+                if (frame->epoch != epoch_
+                    || frame->type != net::MsgType::Budget) {
+                    ++stats.orphanFrames;
+                    continue;
+                }
+                const std::size_t t = frame->budget.tree;
+                const auto node =
+                    static_cast<topo::NodeId>(frame->budget.edgeNode);
+                if (applied.count({t, node}))
+                    continue; // duplicate delivery
+                // Re-homed mid-period races are impossible (failover
+                // happens before budgets go out), so the owner check
+                // is a pure integrity assertion.
+                const auto owner = edgeOwner_.find({t, node});
+                if (owner == edgeOwner_.end() || owner->second != r) {
+                    ++stats.orphanFrames;
+                    continue;
+                }
+                racks_[r].applyBudget(t, node, frame->budget.budget);
+                applied.insert({t, node});
+            }
+        }
+    };
+
+    const double budget_start = tp.nowMs();
+    const double budget_deadline =
+        budget_start + protocol_.budgetDeadlineMs;
+    for (int attempt = 1; attempt < protocol_.maxAttempts; ++attempt) {
+        const double next =
+            budget_start + attempt * protocol_.retryTimeoutMs;
+        if (next >= budget_deadline)
+            break;
+        tp.advanceTo(next);
+        poll_racks();
+        bool all_in = true;
+        for (const PendingDown &down : pending_down) {
+            if (applied.count({down.tree, down.node}))
+                continue;
+            all_in = false;
+            ++stats.retries;
+            tp.send(room,
+                    static_cast<net::SimTransport::Endpoint>(down.rack),
+                    down.frame);
+        }
+        if (all_in)
+            break;
+    }
+    tp.advanceTo(budget_deadline);
+    poll_racks();
+
+    // §4.5 default budgets: a live rack whose edge saw no budget by the
+    // deadline falls back to its Pcap_min floor.
+    for (const auto &[key, rack] : edgeOwner_) {
+        const auto [t, node] = key;
+        if (!tree_live(t) || rackFailed_[rack]
+            || rackDeclaredDead_[rack]) {
+            continue;
+        }
+        if (applied.count(key))
+            continue;
+        const Watts fallback = racks_[rack].defaultBudget(t, node);
+        racks_[rack].applyBudget(t, node, fallback);
+        ++stats.defaultBudgets;
+        stats.degraded.push_back(
+            {DegradedKind::DefaultBudgetApplied, t, node, rack,
+             fallback});
+    }
+
+    stats.bytesOnWire = tp.stats().bytesSent - bytes_before;
     return stats;
 }
 
 Watts
 DistributedControlPlane::leafBudget(const topo::ServerSupplyRef &ref) const
 {
-    const auto it = leafRouting_.find({ref.server, ref.supply});
-    if (it == leafRouting_.end())
+    const auto it = leafToRack_.find({ref.server, ref.supply});
+    if (it == leafToRack_.end())
         util::panic("DistributedControlPlane: unknown supply %d.%d",
                     ref.server, ref.supply);
-    return racks_[it->second.second].leafBudget(it->second.first, ref);
+    // The owning rack knows which of its edges holds the leaf; search
+    // its trees (a leaf lives in exactly one edge).
+    for (const RackWorker::Edge &edge : racks_[it->second].edges()) {
+        for (std::size_t i = 0; i < edge.leaves.size(); ++i) {
+            if (edge.leaves[i] == ref)
+                return racks_[it->second].leafBudget(edge.tree, ref);
+        }
+    }
+    util::panic("DistributedControlPlane: supply %d.%d not routed",
+                ref.server, ref.supply);
 }
 
 } // namespace capmaestro::core

@@ -4,86 +4,124 @@
  * (paper §5): rack-level workers own the edge (CDU-level) shifting
  * controllers and the capping controllers beneath them; a room-level
  * worker owns everything above (RPPs, transformers, contractual roots).
- * The two tiers exchange explicit metric/budget messages.
  *
- * The distributed plane computes budgets bit-identical to the monolithic
- * ControlTree (proven by test), while exposing the message counts and
- * per-worker compute shares that the paper's scalability argument rests
- * on: each rack worker's work is constant as the center grows, and the
- * room worker's grows linearly in the number of racks.
+ * The two tiers exchange explicit metric/budget messages. In *direct*
+ * mode the exchange is an in-process function call and the plane is
+ * bit-identical to the monolithic ControlTree (proven by test). In
+ * *message-plane* mode the same exchange travels as encoded frames
+ * (net/wire) over an unreliable SimTransport (net/transport), and the
+ * plane runs the §4.5 fault-tolerant control-period protocol:
+ *
+ *   - bounded retransmission against per-phase deadlines,
+ *   - stale-metric reuse (with an age cap) when an edge's metrics miss
+ *     the gathering deadline,
+ *   - conservative Pcap_min-level default budgets when a budget
+ *     message is lost, and
+ *   - heartbeat-based worker-failure detection that re-homes a dead
+ *     worker's edge controllers onto a surviving rack worker.
+ *
+ * Under a lossless zero-latency transport the protocol degenerates to
+ * the direct exchange, so budgets remain bit-identical to the
+ * monolithic tree. Degraded-mode decisions are reported per iteration
+ * in MessageStats so callers (e.g., ClosedLoopSim) can log them.
  *
  * Partitioning rule: within each (feed, phase) tree, the i-th leaf-parent
- * node (in pre-order) belongs to rack worker i. Structurally parallel
- * trees — like the Table 4 center, where rack i's CDU is the i-th CDU of
- * every tree — therefore map each rack's controllers to one worker.
+ * node (in pre-order) initially belongs to rack worker i. Structurally
+ * parallel trees — like the Table 4 center, where rack i's CDU is the
+ * i-th CDU of every tree — therefore map each rack's controllers to one
+ * worker. Failover can later move edges between workers, so a worker
+ * owns an arbitrary set of (tree, edge-node) controllers.
  */
 
 #ifndef CAPMAESTRO_CORE_DISTRIBUTED_HH
 #define CAPMAESTRO_CORE_DISTRIBUTED_HH
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "control/control_tree.hh"
 #include "control/metrics.hh"
+#include "net/protocol.hh"
+#include "net/transport.hh"
 #include "topology/power_system.hh"
 
 namespace capmaestro::core {
 
+/** A degraded-mode (§4.5) decision the protocol took. */
+enum class DegradedKind {
+    /** Metrics missed the deadline; a cached summary was reused. */
+    StaleMetricsReused,
+    /** Metrics missed the deadline and the cache was too old. */
+    MetricsLost,
+    /** A budget message was lost; the edge fell back to Pcap_min. */
+    DefaultBudgetApplied,
+    /** A silent worker was declared dead and its edges re-homed. */
+    WorkerFailover,
+};
+
+/** Name of a DegradedKind (event/log rendering). */
+const char *degradedKindName(DegradedKind kind);
+
+/** One degraded-mode decision. */
+struct DegradedDecision
+{
+    DegradedKind kind = DegradedKind::StaleMetricsReused;
+    /** Tree index (meaningless for WorkerFailover). */
+    std::size_t tree = 0;
+    /** Edge node concerned (kNoNode for WorkerFailover). */
+    topo::NodeId node = topo::kNoNode;
+    /** Rack worker concerned (for failover: the dead worker). */
+    std::size_t rack = 0;
+    /**
+     * Kind-specific magnitude: stale age in periods, default budget in
+     * watts, or the adopting rack index for failover.
+     */
+    double value = 0.0;
+};
+
 /** Message-exchange accounting for one distributed iteration. */
 struct MessageStats
 {
-    /** Rack -> room metric messages. */
+    /** Rack -> room metric messages (logical, excluding retries). */
     std::size_t metricsMessages = 0;
-    /** Room -> rack budget messages. */
+    /** Room -> rack budget messages (logical, excluding retries). */
     std::size_t budgetMessages = 0;
     /** Total priority classes serialized upstream (payload proxy). */
     std::size_t metricClassesSent = 0;
+    /** Heartbeat frames sent (message-plane mode only). */
+    std::size_t heartbeatMessages = 0;
+    /** Retransmissions across both phases. */
+    std::size_t retries = 0;
+    /** Real encoded payload bytes submitted to the transport. */
+    std::size_t bytesOnWire = 0;
+    /** Edges that fell back to a cached metric summary. */
+    std::size_t staleReuses = 0;
+    /** Edges whose metrics were unusable (lost, cache expired). */
+    std::size_t metricsLost = 0;
+    /** Edges that applied the conservative Pcap_min default budget. */
+    std::size_t defaultBudgets = 0;
+    /** Frames discarded for carrying an old epoch (orphans). */
+    std::size_t orphanFrames = 0;
+    /** Frames that failed to decode (corruption). */
+    std::size_t corruptFrames = 0;
+    /** Every degraded-mode decision, in the order it was taken. */
+    std::vector<DegradedDecision> degraded;
 };
 
 /**
- * A rack-level worker: owns, for each tree, one edge shifting controller
- * (the leaf-parent node) and the supply leaves beneath it.
+ * A rack-level worker: owns an arbitrary set of edge (leaf-parent)
+ * shifting controllers and the supply leaves beneath them. Workers
+ * start with at most one edge per tree (the partitioning rule) but can
+ * adopt a dead peer's edges during failover.
  */
 class RackWorker
 {
   public:
-    /**
-     * @param system      power system (not owned)
-     * @param edge_nodes  for each tree index, the leaf-parent node this
-     *                    worker owns in that tree (kNoNode if none)
-     * @param policy      priority flags (same semantics as ControlTree)
-     */
-    RackWorker(const topo::PowerSystem &system,
-               std::vector<topo::NodeId> edge_nodes,
-               ctrl::TreePolicy policy);
-
-    /** Set a supply leaf's metrics (must live under this worker). */
-    void setLeafInput(std::size_t tree, const topo::ServerSupplyRef &ref,
-                      const ctrl::LeafInput &input);
-
-    /**
-     * Compute the edge controller's upstream metrics for @p tree
-     * (the rack's half of the metrics-gathering phase).
-     */
-    ctrl::NodeMetrics computeMetrics(std::size_t tree);
-
-    /**
-     * Accept the edge controller's budget for @p tree and split it over
-     * the rack's supply leaves (the rack's half of the budgeting phase).
-     */
-    void applyBudget(std::size_t tree, Watts budget);
-
-    /** Budget of one supply leaf after applyBudget(). */
-    Watts leafBudget(std::size_t tree,
-                     const topo::ServerSupplyRef &ref) const;
-
-    /** The edge node this worker owns in @p tree. */
-    topo::NodeId edgeNode(std::size_t tree) const;
-
-  private:
+    /** One owned edge controller and its leaf state. */
     struct Edge
     {
+        std::size_t tree = 0;
         topo::NodeId node = topo::kNoNode;
         /** Leaf refs in child order. */
         std::vector<topo::ServerSupplyRef> leaves;
@@ -92,68 +130,134 @@ class RackWorker
         std::vector<Watts> leafBudgets;
     };
 
+    /**
+     * @param system  power system (not owned)
+     * @param policy  priority flags (same semantics as ControlTree)
+     */
+    RackWorker(const topo::PowerSystem &system, ctrl::TreePolicy policy);
+
+    /** Take ownership of the edge controller at (@p tree, @p node). */
+    void addEdge(std::size_t tree, topo::NodeId node);
+
+    /** Adopt an edge (with its live state) from a failed worker. */
+    void adoptEdge(Edge edge);
+
+    /** Surrender every owned edge (failover out of this worker). */
+    std::vector<Edge> releaseEdges();
+
+    /** Owned edges. */
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Set a supply leaf's metrics (must live under this worker). */
+    void setLeafInput(std::size_t tree, const topo::ServerSupplyRef &ref,
+                      const ctrl::LeafInput &input);
+
+    /**
+     * Compute the edge controller's upstream metrics for (@p tree,
+     * @p node) — the rack's half of the metrics-gathering phase.
+     */
+    ctrl::NodeMetrics computeMetrics(std::size_t tree, topo::NodeId node);
+
+    /**
+     * Accept the edge controller's budget and split it over the edge's
+     * supply leaves (the rack's half of the budgeting phase).
+     */
+    void applyBudget(std::size_t tree, topo::NodeId node, Watts budget);
+
+    /**
+     * The §4.5 conservative fallback budget for an edge: the sum of
+     * its live leaves' Pcap_min floors, clamped to the device limit.
+     * Safe by construction — never exceeds what any feasible
+     * allocation owes the edge.
+     */
+    Watts defaultBudget(std::size_t tree, topo::NodeId node) const;
+
+    /** Budget of one supply leaf after applyBudget(). */
+    Watts leafBudget(std::size_t tree,
+                     const topo::ServerSupplyRef &ref) const;
+
+  private:
     const topo::PowerSystem &system_;
     ctrl::TreePolicy policy_;
-    /** Indexed by tree. */
     std::vector<Edge> edges_;
 
-    void refreshLeafMetrics(Edge &edge, std::size_t tree);
+    Edge &findEdge(std::size_t tree, topo::NodeId node);
+    const Edge &findEdge(std::size_t tree, topo::NodeId node) const;
+    void refreshLeafMetrics(Edge &edge);
 };
 
 /**
  * The room-level worker: runs the shifting controllers above the edge
- * (rack) level for every tree, consuming rack metric messages and
- * producing rack budget messages.
+ * (rack) level for every tree, consuming edge metric messages and
+ * producing edge budget messages. The room addresses edges by their
+ * topology node id and is oblivious to which rack worker owns them —
+ * ownership (and failover) is the control plane's concern.
  */
 class RoomWorker
 {
   public:
     /**
      * @param system      power system (not owned)
-     * @param edge_owner  per tree, per edge node: owning rack index
+     * @param edge_nodes  per tree: the set of edge (leaf-parent) nodes
      * @param policy      priority flags
      */
     RoomWorker(const topo::PowerSystem &system,
-               std::vector<std::map<topo::NodeId, std::size_t>> edge_owner,
+               std::vector<std::set<topo::NodeId>> edge_nodes,
                ctrl::TreePolicy policy);
 
     /**
      * Run the upper half of one iteration for @p tree: aggregate the
-     * rack metrics upward, then split @p root_budget back down to the
-     * edge nodes. Returns the budget per rack (indexed by rack).
+     * edge metrics upward, then split @p root_budget back down to the
+     * edge nodes. Edges absent from @p edge_metrics contribute empty
+     * metrics. Returns the budget per edge node.
      */
-    std::map<std::size_t, Watts>
-    iterate(std::size_t tree, const std::map<std::size_t,
-            ctrl::NodeMetrics> &rack_metrics, Watts root_budget);
+    std::map<topo::NodeId, Watts>
+    iterate(std::size_t tree,
+            const std::map<topo::NodeId, ctrl::NodeMetrics> &edge_metrics,
+            Watts root_budget);
 
   private:
     const topo::PowerSystem &system_;
-    std::vector<std::map<topo::NodeId, std::size_t>> edgeOwner_;
+    std::vector<std::set<topo::NodeId>> edgeNodes_;
     ctrl::TreePolicy policy_;
 
     ctrl::NodeMetrics
     gatherAbove(std::size_t tree, topo::NodeId node,
-                const std::map<std::size_t, ctrl::NodeMetrics> &racks,
+                const std::map<topo::NodeId, ctrl::NodeMetrics> &edges,
                 std::map<topo::NodeId, ctrl::NodeMetrics> &cache);
 
     void budgetAbove(std::size_t tree, topo::NodeId node, Watts budget,
                      const std::map<topo::NodeId, ctrl::NodeMetrics> &cache,
-                     std::map<std::size_t, Watts> &rack_budgets);
+                     std::map<topo::NodeId, Watts> &edge_budgets);
 };
 
 /**
  * The full two-tier control plane: builds the partition, routes
- * messages, and runs complete iterations. Budgets are bit-identical to
- * a monolithic ControlTree with the same policy.
+ * messages, and runs complete iterations. In direct mode budgets are
+ * bit-identical to a monolithic ControlTree with the same policy; in
+ * message-plane mode the §4.5 protocol runs over the given transport.
  */
 class DistributedControlPlane
 {
   public:
+    /** Direct (in-process) message exchange. */
     DistributedControlPlane(const topo::PowerSystem &system,
                             ctrl::TreePolicy policy);
 
+    /**
+     * Message-plane mode: frames travel over @p transport (not owned;
+     * must outlive the plane) under the §4.5 protocol @p protocol.
+     */
+    DistributedControlPlane(const topo::PowerSystem &system,
+                            ctrl::TreePolicy policy,
+                            net::SimTransport &transport,
+                            net::ProtocolConfig protocol = {});
+
     /** Number of rack workers discovered by the partitioning rule. */
     std::size_t rackWorkerCount() const { return racks_.size(); }
+
+    /** Workers not declared dead by the room. */
+    std::size_t liveWorkerCount() const;
 
     /** Set a supply leaf's metrics (routed to its rack worker). */
     void setLeafInput(const topo::ServerSupplyRef &ref,
@@ -168,18 +272,61 @@ class DistributedControlPlane
     /** Supply-leaf budget after iterate(). */
     Watts leafBudget(const topo::ServerSupplyRef &ref) const;
 
+    /**
+     * Simulate the death of rack worker @p rack: it stops sending (and
+     * processing) messages. The room detects the silence by heartbeat
+     * and re-homes the worker's edges (message-plane mode only).
+     */
+    void failWorker(std::size_t rack);
+
+    /** True when the room has declared @p rack dead. */
+    bool workerDeclaredDead(std::size_t rack) const;
+
+    /** Control-period counter (message-plane mode). */
+    std::uint32_t epoch() const { return epoch_; }
+
   private:
+    /** Room's cache of the last received metrics per edge. */
+    struct CachedMetrics
+    {
+        ctrl::NodeMetrics metrics;
+        std::uint32_t epoch = 0;
+        bool valid = false;
+    };
+
     const topo::PowerSystem &system_;
     ctrl::TreePolicy policy_;
     std::vector<RackWorker> racks_;
     RoomWorker room_;
-    /** (server, supply) -> (tree, rack worker). */
-    std::map<std::pair<std::int32_t, std::int32_t>,
-             std::pair<std::size_t, std::size_t>>
-        leafRouting_;
+    /** (server, supply) -> owning rack worker. */
+    std::map<std::pair<std::int32_t, std::int32_t>, std::size_t>
+        leafToRack_;
+    /** (tree, edge node) -> owning rack worker. */
+    std::map<std::pair<std::size_t, topo::NodeId>, std::size_t>
+        edgeOwner_;
+
+    // -------- message-plane state
+    net::SimTransport *transport_ = nullptr;
+    net::ProtocolConfig protocol_;
+    std::uint32_t epoch_ = 0;
+    std::vector<std::uint32_t> rackSeq_;
+    std::uint32_t roomSeq_ = 0;
+    /** Ground truth: the worker process is dead. */
+    std::vector<bool> rackFailed_;
+    /** Room's view: the worker was declared dead and failed over. */
+    std::vector<bool> rackDeclaredDead_;
+    std::vector<int> missedHeartbeats_;
+    std::map<std::pair<std::size_t, topo::NodeId>, CachedMetrics>
+        metricCache_;
 
     static std::vector<std::map<topo::NodeId, std::size_t>>
     partition(const topo::PowerSystem &system);
+
+    void buildWorkers();
+    net::SimTransport::Endpoint roomEndpoint() const;
+    MessageStats iterateDirect(const std::vector<Watts> &root_budgets);
+    MessageStats iterateTransport(const std::vector<Watts> &root_budgets);
+    void rehomeWorker(std::size_t rack, MessageStats &stats);
 };
 
 } // namespace capmaestro::core

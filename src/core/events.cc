@@ -20,6 +20,10 @@ eventKindName(EventKind kind)
       case EventKind::UtilityDisturbance:    return "utility-disturbance";
       case EventKind::UpsBridged:            return "ups-bridged";
       case EventKind::EmergencyPeriod:       return "emergency-period";
+      case EventKind::StaleMetricsReused:    return "stale-metrics";
+      case EventKind::MetricsLost:           return "metrics-lost";
+      case EventKind::DefaultBudgetApplied:  return "default-budget";
+      case EventKind::WorkerFailover:        return "worker-failover";
     }
     return "unknown";
 }

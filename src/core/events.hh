@@ -33,6 +33,10 @@ enum class EventKind {
     UtilityDisturbance,
     UpsBridged,
     EmergencyPeriod,
+    StaleMetricsReused,
+    MetricsLost,
+    DefaultBudgetApplied,
+    WorkerFailover,
 };
 
 /** Name of an EventKind. */

@@ -13,6 +13,12 @@ CapMaestroService::CapMaestroService(topo::PowerSystem &system,
 {
     allocator_ = std::make_unique<ctrl::FleetAllocator>(
         system_, policy::treePolicy(config_.policy));
+    if (config_.useMessagePlane) {
+        transport_ = std::make_unique<net::SimTransport>(config_.transport);
+        plane_ = std::make_unique<DistributedControlPlane>(
+            system_, policy::treePolicy(config_.policy), *transport_,
+            config_.protocol);
+    }
     rootBudgets_.assign(system_.trees().size(), 0.0);
 }
 
@@ -94,10 +100,16 @@ CapMaestroService::runControlPeriod()
     if (config_.adaptiveFeedBalance && config_.totalPerPhaseBudget > 0.0)
         rebalanceRootBudgets(inputs);
 
-    // Phase 2: global priority-aware allocation (+ SPO).
-    stats_.allocation = allocator_->allocate(
-        inputs, rootBudgets_, config_.enableSpo, config_.spoThreshold,
-        config_.spoPasses);
+    // Phase 2: global priority-aware allocation (+ SPO). In
+    // message-plane mode the exchange runs over the transport instead.
+    if (plane_) {
+        runPlanePeriod(inputs);
+    } else {
+        stats_.allocation = allocator_->allocate(
+            inputs, rootBudgets_, config_.enableSpo, config_.spoThreshold,
+            config_.spoPasses);
+        stats_.messages = MessageStats{};
+    }
 
     // Phase 3: hand each server its per-supply budgets; the PI loop turns
     // them into a DC cap for the node manager.
@@ -114,6 +126,51 @@ CapMaestroService::runControlPeriod()
     }
     ++stats_.periodsRun;
     return stats_;
+}
+
+void
+CapMaestroService::runPlanePeriod(
+    const std::vector<ctrl::ServerAllocInput> &inputs)
+{
+    if (config_.enableSpo && !warnedSpoSkipped_) {
+        warnedSpoSkipped_ = true;
+        util::warn("CapMaestroService: stranded-power optimization is not "
+                   "run in message-plane mode (follow-up: distributed SPO)");
+    }
+
+    // The leaf inputs are derived exactly as FleetAllocator derives them
+    // (shared helpers), so under a lossless transport the plane's
+    // budgets are bit-identical to the monolithic tree walk.
+    std::vector<std::vector<Fraction>> shares(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        shares[i] = ctrl::effectiveSupplyShares(
+            system_, inputs[i], static_cast<std::int32_t>(i));
+    }
+    for (const auto &tree : system_.trees()) {
+        for (const auto &ref : tree->suppliesUnder(tree->root())) {
+            const auto sid = static_cast<std::size_t>(ref.server);
+            const auto sup = static_cast<std::size_t>(ref.supply);
+            if (sid >= inputs.size()) {
+                util::fatal("CapMaestroService: topology references "
+                            "server %d but only %zu attached",
+                            ref.server, inputs.size());
+            }
+            const Fraction r =
+                sup < shares[sid].size() ? shares[sid][sup] : 0.0;
+            plane_->setLeafInput(ref,
+                                 ctrl::scaledLeafInput(inputs[sid], r));
+        }
+    }
+
+    stats_.messages = plane_->iterate(rootBudgets_);
+
+    stats_.allocation = ctrl::FleetAllocation{};
+    ctrl::deriveServerCapsFrom(
+        system_, inputs, shares,
+        [this](std::size_t, const topo::ServerSupplyRef &ref) {
+            return plane_->leafBudget(ref);
+        },
+        stats_.allocation);
 }
 
 void

@@ -25,6 +25,9 @@
 
 #include "control/allocator.hh"
 #include "control/capping_controller.hh"
+#include "core/distributed.hh"
+#include "net/protocol.hh"
+#include "net/transport.hh"
 #include "policy/policy.hh"
 #include "topology/power_system.hh"
 
@@ -68,6 +71,20 @@ struct ServiceConfig
     bool emergencyFastPath = false;
     /** Minimum spacing between emergency periods (sensor warm-up). */
     Seconds emergencyMinSpacing = 2;
+    /**
+     * Run the control exchange over the simulated message plane: the
+     * rack/room workers of the DistributedControlPlane exchange encoded
+     * frames (net/wire) through a SimTransport under the §4.5
+     * fault-tolerant protocol instead of the in-process FleetAllocator
+     * tree walk. With a lossless zero-latency transport the budgets are
+     * bit-identical to the monolithic path (modulo SPO, which the
+     * message plane does not run — see runControlPeriod()).
+     */
+    bool useMessagePlane = false;
+    /** Transport fault model (message-plane mode only). */
+    net::TransportConfig transport;
+    /** §4.5 protocol tunables (message-plane mode only). */
+    net::ProtocolConfig protocol;
 };
 
 /** Aggregate per-period statistics for observability. */
@@ -81,6 +98,8 @@ struct PeriodStats
     Watts totalDemandEstimate = 0.0;
     /** Number of control periods run so far. */
     std::size_t periodsRun = 0;
+    /** Message accounting + degraded decisions (message-plane mode). */
+    MessageStats messages;
 };
 
 /** The CapMaestro control-plane service. */
@@ -141,6 +160,12 @@ class CapMaestroService
     /** The allocator (e.g., for reading interior node budgets). */
     const ctrl::FleetAllocator &allocator() const { return *allocator_; }
 
+    /** The message plane, or nullptr outside message-plane mode. */
+    DistributedControlPlane *plane() { return plane_.get(); }
+
+    /** The simulated transport, or nullptr outside message-plane mode. */
+    net::SimTransport *transport() { return transport_.get(); }
+
     /** Service configuration. */
     const ServiceConfig &config() const { return config_; }
 
@@ -156,12 +181,18 @@ class CapMaestroService
     void rebalanceRootBudgets(
         const std::vector<ctrl::ServerAllocInput> &inputs);
 
+    /** One allocation over the message plane (§4.5 protocol). */
+    void runPlanePeriod(const std::vector<ctrl::ServerAllocInput> &inputs);
+
     topo::PowerSystem &system_;
     ServiceConfig config_;
     std::unique_ptr<ctrl::FleetAllocator> allocator_;
+    std::unique_ptr<net::SimTransport> transport_;
+    std::unique_ptr<DistributedControlPlane> plane_;
     std::vector<AttachedServer> servers_;
     std::vector<Watts> rootBudgets_;
     PeriodStats stats_;
+    bool warnedSpoSkipped_ = false;
 };
 
 } // namespace capmaestro::core

@@ -1,0 +1,92 @@
+#include "net/transport.hh"
+
+#include <algorithm>
+
+namespace capmaestro::net {
+
+SimTransport::SimTransport(TransportConfig config)
+    : config_(config), rng_(config.seed)
+{
+}
+
+double
+SimTransport::sampleLatency()
+{
+    double latency = config_.latencyMeanMs;
+    if (config_.latencyJitterMs > 0.0) {
+        latency += rng_.uniform(-config_.latencyJitterMs,
+                                config_.latencyJitterMs);
+    }
+    return std::max(latency, 0.0);
+}
+
+void
+SimTransport::enqueue(Endpoint to, double deliver_at,
+                      const std::vector<std::uint8_t> &frame)
+{
+    queues_[to].emplace(std::make_pair(deliver_at, order_++), frame);
+}
+
+void
+SimTransport::send(Endpoint from, Endpoint to,
+                   std::vector<std::uint8_t> frame)
+{
+    (void)from; // links share one fault model; kept for addressing
+    ++stats_.framesSent;
+    stats_.bytesSent += frame.size();
+
+    if (rng_.chance(config_.dropRate)) {
+        ++stats_.framesDropped;
+        return;
+    }
+
+    double deliver_at = nowMs_ + sampleLatency();
+    if (rng_.chance(config_.reorderRate))
+        deliver_at += config_.reorderExtraMs;
+
+    if (rng_.chance(config_.dupRate)) {
+        ++stats_.framesDuplicated;
+        enqueue(to, nowMs_ + sampleLatency(), frame);
+    }
+    enqueue(to, deliver_at, std::move(frame));
+}
+
+std::vector<std::vector<std::uint8_t>>
+SimTransport::poll(Endpoint to)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    const auto queue = queues_.find(to);
+    if (queue == queues_.end())
+        return out;
+    auto &q = queue->second;
+    while (!q.empty() && q.begin()->first.first <= nowMs_) {
+        out.push_back(std::move(q.begin()->second));
+        q.erase(q.begin());
+        ++stats_.framesDelivered;
+    }
+    return out;
+}
+
+void
+SimTransport::advanceTo(double ms)
+{
+    nowMs_ = std::max(nowMs_, ms);
+}
+
+void
+SimTransport::advanceBy(double ms)
+{
+    if (ms > 0.0)
+        nowMs_ += ms;
+}
+
+std::size_t
+SimTransport::inFlight() const
+{
+    std::size_t n = 0;
+    for (const auto &[to, q] : queues_)
+        n += q.size();
+    return n;
+}
+
+} // namespace capmaestro::net

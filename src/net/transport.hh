@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SimTransport: an unreliable datagram plane for the distributed
+ * control protocol (paper §4.5).
+ *
+ * The transport models each (source, destination) link as a queue of
+ * in-flight frames with a delivery time drawn from a configurable
+ * latency distribution, and applies drop / duplication / extra-delay
+ * (reordering) faults per frame. All randomness comes from one
+ * deterministic util::Rng, so a given seed reproduces the exact same
+ * fault pattern — simulations stay bit-reproducible.
+ *
+ * Time is a millisecond clock owned by the transport and advanced by
+ * the protocol driver (the control plane steps it through its retry
+ * and deadline schedule each control period). poll() hands a
+ * destination every frame whose delivery time has been reached, in
+ * delivery-time order; with zero latency and jitter the transport is
+ * lossless, instantaneous, and per-link FIFO — the configuration under
+ * which the distributed plane is bit-identical to the monolithic
+ * ControlTree.
+ */
+
+#ifndef CAPMAESTRO_NET_TRANSPORT_HH
+#define CAPMAESTRO_NET_TRANSPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace capmaestro::net {
+
+/** Fault and latency model for every link of a SimTransport. */
+struct TransportConfig
+{
+    /** Probability a frame is silently lost. */
+    double dropRate = 0.0;
+    /** Probability a frame is delivered twice. */
+    double dupRate = 0.0;
+    /** Mean one-way latency in milliseconds. */
+    double latencyMeanMs = 0.0;
+    /** Uniform +/- jitter around the mean, in milliseconds. */
+    double latencyJitterMs = 0.0;
+    /** Probability a frame is held back (reordered past its peers). */
+    double reorderRate = 0.0;
+    /** Extra delay applied to held-back frames, in milliseconds. */
+    double reorderExtraMs = 10.0;
+    /** Seed for the transport's deterministic fault stream. */
+    std::uint64_t seed = 0x5eedf00dULL;
+};
+
+/** Cumulative transport accounting. */
+struct TransportStats
+{
+    std::size_t framesSent = 0;
+    std::size_t framesDropped = 0;
+    std::size_t framesDuplicated = 0;
+    std::size_t framesDelivered = 0;
+    std::size_t bytesSent = 0;
+};
+
+/** Deterministic unreliable message plane. */
+class SimTransport
+{
+  public:
+    /** Worker address (rack index or the room endpoint). */
+    using Endpoint = std::uint32_t;
+
+    explicit SimTransport(TransportConfig config = {});
+
+    /**
+     * Submit a frame on link @p from -> @p to. The frame is dropped,
+     * delayed, and/or duplicated according to the config; surviving
+     * copies become visible to poll(to) once the clock reaches their
+     * delivery time.
+     */
+    void send(Endpoint from, Endpoint to, std::vector<std::uint8_t> frame);
+
+    /**
+     * Drain every frame addressed to @p to whose delivery time is
+     * <= now, in delivery-time order (FIFO per link at equal times).
+     */
+    std::vector<std::vector<std::uint8_t>> poll(Endpoint to);
+
+    /** Advance the clock to @p ms (no-op when already past). */
+    void advanceTo(double ms);
+
+    /** Advance the clock by @p ms. */
+    void advanceBy(double ms);
+
+    /** Current clock in milliseconds. */
+    double nowMs() const { return nowMs_; }
+
+    /** Frames currently queued (any destination, any delivery time). */
+    std::size_t inFlight() const;
+
+    /** Cumulative statistics. */
+    const TransportStats &stats() const { return stats_; }
+
+    /** The transport configuration. */
+    const TransportConfig &config() const { return config_; }
+
+  private:
+    /** Delivery-ordered queue per destination: (time, tiebreak). */
+    using Queue =
+        std::multimap<std::pair<double, std::uint64_t>,
+                      std::vector<std::uint8_t>>;
+
+    void enqueue(Endpoint to, double deliver_at,
+                 const std::vector<std::uint8_t> &frame);
+    double sampleLatency();
+
+    TransportConfig config_;
+    util::Rng rng_;
+    std::map<Endpoint, Queue> queues_;
+    TransportStats stats_;
+    double nowMs_ = 0.0;
+    std::uint64_t order_ = 0;
+};
+
+} // namespace capmaestro::net
+
+#endif // CAPMAESTRO_NET_TRANSPORT_HH

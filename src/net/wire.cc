@@ -1,0 +1,299 @@
+#include "net/wire.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace capmaestro::net {
+
+namespace {
+
+/** Most classes a metrics payload may carry (sanity bound, not a real
+ *  limit: the paper expects ~10 priority levels per center). */
+constexpr std::size_t kMaxClasses = 1024;
+
+/** Largest payload the u16 length field can describe. */
+constexpr std::size_t kMaxPayload = 0xFFFF;
+
+// ------------------------------------------------------------- writing
+
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        bytes_.push_back(static_cast<std::uint8_t>(v));
+        bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    i32(std::int32_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+    }
+
+    void
+    f64(double v)
+    {
+        const auto raw = std::bit_cast<std::uint64_t>(v);
+        for (int i = 0; i < 8; ++i)
+            bytes_.push_back(static_cast<std::uint8_t>(raw >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> &
+    bytes()
+    {
+        return bytes_;
+    }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+// ------------------------------------------------------------- reading
+
+/** Bounds-checked little-endian reader; ok() goes false on overrun. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    bool
+    ok() const
+    {
+        return ok_;
+    }
+
+    std::size_t
+    remaining() const
+    {
+        return size_ - pos_;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (!take(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        if (!take(2))
+            return 0;
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!take(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::int32_t
+    i32()
+    {
+        return static_cast<std::int32_t>(u32());
+    }
+
+    double
+    f64()
+    {
+        if (!take(8))
+            return 0.0;
+        std::uint64_t raw = 0;
+        for (int i = 0; i < 8; ++i)
+            raw |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+        return std::bit_cast<double>(raw);
+    }
+
+  private:
+    bool
+    take(std::size_t n)
+    {
+        if (!ok_ || size_ - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+std::vector<std::uint8_t>
+seal(MsgType type, const FrameMeta &meta,
+     const std::vector<std::uint8_t> &payload)
+{
+    Writer w;
+    w.u16(kWireMagic);
+    w.u8(kWireVersion);
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u16(meta.sender);
+    w.u32(meta.epoch);
+    w.u32(meta.seq);
+    w.u16(static_cast<std::uint16_t>(payload.size()));
+    auto &bytes = w.bytes();
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+    Writer tail;
+    tail.u32(crc);
+    bytes.insert(bytes.end(), tail.bytes().begin(), tail.bytes().end());
+    return std::move(bytes);
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    // Reflected IEEE 802.3 polynomial, bitwise (table-free) form.
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc ^= data[i];
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+    return ~crc;
+}
+
+std::vector<std::uint8_t>
+encodeMetrics(const FrameMeta &meta, const MetricsMsg &msg)
+{
+    Writer p;
+    p.u16(msg.tree);
+    p.u32(msg.edgeNode);
+    p.f64(msg.metrics.constraint());
+    p.u16(static_cast<std::uint16_t>(msg.metrics.classes().size()));
+    for (const auto &c : msg.metrics.classes()) {
+        p.i32(c.priority);
+        p.f64(c.capMin);
+        p.f64(c.demand);
+        p.f64(c.request);
+    }
+    return seal(MsgType::Metrics, meta, p.bytes());
+}
+
+std::vector<std::uint8_t>
+encodeBudget(const FrameMeta &meta, const BudgetMsg &msg)
+{
+    Writer p;
+    p.u16(msg.tree);
+    p.u32(msg.edgeNode);
+    p.f64(msg.budget);
+    return seal(MsgType::Budget, meta, p.bytes());
+}
+
+std::vector<std::uint8_t>
+encodeHeartbeat(const FrameMeta &meta)
+{
+    return seal(MsgType::Heartbeat, meta, {});
+}
+
+std::optional<Frame>
+decodeFrame(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < kHeaderSize + kCrcSize)
+        return std::nullopt;
+    if (bytes.size() > kHeaderSize + kMaxPayload + kCrcSize)
+        return std::nullopt;
+
+    Reader header(bytes.data(), kHeaderSize);
+    if (header.u16() != kWireMagic)
+        return std::nullopt;
+    if (header.u8() != kWireVersion)
+        return std::nullopt;
+    const std::uint8_t raw_type = header.u8();
+
+    Frame frame;
+    frame.sender = header.u16();
+    frame.epoch = header.u32();
+    frame.seq = header.u32();
+    const std::size_t payload_size = header.u16();
+    if (bytes.size() != kHeaderSize + payload_size + kCrcSize)
+        return std::nullopt;
+
+    const std::size_t covered = kHeaderSize + payload_size;
+    Reader crc_reader(bytes.data() + covered, kCrcSize);
+    if (crc32(bytes.data(), covered) != crc_reader.u32())
+        return std::nullopt;
+
+    Reader p(bytes.data() + kHeaderSize, payload_size);
+    switch (raw_type) {
+      case static_cast<std::uint8_t>(MsgType::Metrics): {
+        frame.type = MsgType::Metrics;
+        frame.metrics.tree = p.u16();
+        frame.metrics.edgeNode = p.u32();
+        const double constraint = p.f64();
+        const std::size_t count = p.u16();
+        if (count > kMaxClasses)
+            return std::nullopt;
+        auto &classes = frame.metrics.metrics.classes();
+        classes.reserve(count);
+        bool first = true;
+        Priority prev = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            ctrl::ClassMetrics c;
+            c.priority = p.i32();
+            c.capMin = p.f64();
+            c.demand = p.f64();
+            c.request = p.f64();
+            if (!p.ok())
+                return std::nullopt;
+            // NodeMetrics invariant: strictly descending priorities.
+            if (!first && c.priority >= prev)
+                return std::nullopt;
+            first = false;
+            prev = c.priority;
+            classes.push_back(c);
+        }
+        frame.metrics.metrics.setConstraint(constraint);
+        break;
+      }
+      case static_cast<std::uint8_t>(MsgType::Budget):
+        frame.type = MsgType::Budget;
+        frame.budget.tree = p.u16();
+        frame.budget.edgeNode = p.u32();
+        frame.budget.budget = p.f64();
+        break;
+      case static_cast<std::uint8_t>(MsgType::Heartbeat):
+        frame.type = MsgType::Heartbeat;
+        break;
+      default:
+        return std::nullopt;
+    }
+    if (!p.ok() || p.remaining() != 0)
+        return std::nullopt;
+    return frame;
+}
+
+} // namespace capmaestro::net

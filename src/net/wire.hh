@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Binary wire codec for the distributed control protocol (paper §5,
+ * §4.5).
+ *
+ * The rack and room workers exchange three message types per control
+ * period: per-priority metric summaries flowing upstream, budgets
+ * flowing downstream, and heartbeats for worker-failure detection.
+ * Every message travels in one self-contained frame:
+ *
+ *   offset  size  field
+ *   ------  ----  --------------------------------------------------
+ *        0     2  magic (0xCA9E, little-endian)
+ *        2     1  version (kWireVersion)
+ *        3     1  message type (MsgType)
+ *        4     2  sender id (rack index, or kRoomSender for the room)
+ *        6     4  epoch: control-period counter, detects orphans
+ *       10     4  sequence number (per sender, monotonically rising)
+ *       14     2  payload length in bytes
+ *       16     N  payload (type-specific, see below)
+ *     16+N     4  CRC-32 (IEEE) over bytes [0, 16+N)
+ *
+ * All integers are little-endian; watt values are IEEE-754 doubles
+ * carried as their 64-bit patterns, so encode/decode round-trips are
+ * bit-exact. The CRC detects every single-bit flip and all bursts
+ * shorter than 32 bits; decodeFrame() rejects (returns nullopt for)
+ * any frame that is truncated, oversized, version-skewed, corrupt, or
+ * structurally invalid — it never crashes on hostile input.
+ *
+ * Payloads:
+ *   Metrics  : tree u16 | edge node u32 | constraint f64 | count u16 |
+ *              count x (priority i32, capMin f64, demand f64,
+ *              request f64), priorities strictly descending
+ *   Budget   : tree u16 | edge node u32 | budget f64
+ *   Heartbeat: empty (the header carries everything)
+ */
+
+#ifndef CAPMAESTRO_NET_WIRE_HH
+#define CAPMAESTRO_NET_WIRE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "control/metrics.hh"
+#include "util/units.hh"
+
+namespace capmaestro::net {
+
+/** Frame magic value. */
+constexpr std::uint16_t kWireMagic = 0xCA9E;
+
+/** Current wire-format version. */
+constexpr std::uint8_t kWireVersion = 1;
+
+/** Sender id the room worker uses (racks use their rack index). */
+constexpr std::uint16_t kRoomSender = 0xFFFF;
+
+/** Fixed frame header size in bytes (before payload and CRC). */
+constexpr std::size_t kHeaderSize = 16;
+
+/** Trailing checksum size in bytes. */
+constexpr std::size_t kCrcSize = 4;
+
+/** Message types carried on the wire. */
+enum class MsgType : std::uint8_t {
+    Metrics = 1,
+    Budget = 2,
+    Heartbeat = 3,
+};
+
+/** Per-priority metric summary for one edge controller (upstream). */
+struct MetricsMsg
+{
+    std::uint16_t tree = 0;
+    std::uint32_t edgeNode = 0;
+    ctrl::NodeMetrics metrics;
+};
+
+/** Budget for one edge controller (downstream). */
+struct BudgetMsg
+{
+    std::uint16_t tree = 0;
+    std::uint32_t edgeNode = 0;
+    Watts budget = 0.0;
+};
+
+/** A decoded frame: header fields plus exactly one payload. */
+struct Frame
+{
+    MsgType type = MsgType::Heartbeat;
+    std::uint16_t sender = 0;
+    std::uint32_t epoch = 0;
+    std::uint32_t seq = 0;
+    /** Valid iff type == Metrics. */
+    MetricsMsg metrics;
+    /** Valid iff type == Budget. */
+    BudgetMsg budget;
+};
+
+/** Header fields common to every encode call. */
+struct FrameMeta
+{
+    std::uint16_t sender = 0;
+    std::uint32_t epoch = 0;
+    std::uint32_t seq = 0;
+};
+
+/** Encode a metrics message into a framed byte vector. */
+std::vector<std::uint8_t> encodeMetrics(const FrameMeta &meta,
+                                        const MetricsMsg &msg);
+
+/** Encode a budget message into a framed byte vector. */
+std::vector<std::uint8_t> encodeBudget(const FrameMeta &meta,
+                                       const BudgetMsg &msg);
+
+/** Encode a heartbeat frame. */
+std::vector<std::uint8_t> encodeHeartbeat(const FrameMeta &meta);
+
+/**
+ * Decode one frame. Returns nullopt on any malformation (short buffer,
+ * bad magic/version/type, length mismatch, CRC failure, ill-formed
+ * payload); never throws or crashes on arbitrary bytes.
+ */
+std::optional<Frame> decodeFrame(const std::vector<std::uint8_t> &bytes);
+
+/** CRC-32 (IEEE 802.3, reflected) of a byte range. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+} // namespace capmaestro::net
+
+#endif // CAPMAESTRO_NET_WIRE_HH

@@ -247,6 +247,33 @@ ClosedLoopSim::controlPeriodTick()
             events_log_.record(now_, core::EventKind::SpoReclaimed,
                                "fleet", alloc.strandedReclaimed);
         }
+        // Message-plane degraded-mode decisions (§4.5) become events so
+        // operators can audit every fallback the protocol took.
+        for (const auto &d : service_->lastStats().messages.degraded) {
+            core::EventKind kind = core::EventKind::WorkerFailover;
+            std::string subject;
+            switch (d.kind) {
+              case core::DegradedKind::StaleMetricsReused:
+                kind = core::EventKind::StaleMetricsReused;
+                break;
+              case core::DegradedKind::MetricsLost:
+                kind = core::EventKind::MetricsLost;
+                break;
+              case core::DegradedKind::DefaultBudgetApplied:
+                kind = core::EventKind::DefaultBudgetApplied;
+                break;
+              case core::DegradedKind::WorkerFailover:
+                kind = core::EventKind::WorkerFailover;
+                break;
+            }
+            if (d.kind == core::DegradedKind::WorkerFailover) {
+                subject = "worker" + std::to_string(d.rack);
+            } else {
+                subject = system_->tree(d.tree).name() + "."
+                          + system_->tree(d.tree).node(d.node).name;
+            }
+            events_log_.record(now_, kind, std::move(subject), d.value);
+        }
         for (std::size_t i = 0; i < plants_.size(); ++i) {
             for (std::size_t s = 0;
                  s < alloc.servers[i].supplyBudget.size(); ++s) {

@@ -2,13 +2,20 @@
  * @file
  * Tests for the distributed (rack-worker / room-worker) execution of the
  * capping algorithm (§5): equivalence with the monolithic ControlTree
- * under every policy, message accounting, and partition behavior.
+ * under every policy, message accounting, partition behavior, and the
+ * §4.5 fault-tolerant protocol over the simulated message plane
+ * (lossless bit-equivalence, stale-metric reuse, default budgets,
+ * worker failover, and safety under frame loss).
  */
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "control/control_tree.hh"
 #include "core/distributed.hh"
+#include "net/transport.hh"
 #include "sim/datacenter.hh"
 #include "sim/scenario.hh"
 #include "util/random.hh"
@@ -186,6 +193,261 @@ TEST(Distributed, FailedFeedSkipped)
         dist.setLeafInput(ref, in);
     const auto stats = dist.iterate({300000.0, 300000.0});
     EXPECT_EQ(stats.metricsMessages, 162u); // only feed A's tree
+}
+
+// ------------------------------------------------- §4.5 message plane
+
+TEST(MessagePlane, LosslessTransportBitIdenticalToMonolithic)
+{
+    // Under a lossless zero-latency transport the §4.5 protocol must
+    // degenerate to the direct exchange: every budget bit-identical to
+    // the monolithic ControlTree, no degraded decisions.
+    util::Rng rng(808);
+    auto sys = sim::fig2System();
+    for (const auto policy :
+         {ctrl::TreePolicy::globalPriority(),
+          ctrl::TreePolicy::localPriority(),
+          ctrl::TreePolicy::noPriority()}) {
+        ctrl::ControlTree mono(sys->tree(0), policy);
+        net::SimTransport transport; // lossless, instantaneous
+        DistributedControlPlane dist(*sys, policy, transport);
+
+        for (int trial = 0; trial < 20; ++trial) {
+            const auto inputs = randomInputs(*sys, rng);
+            for (const auto &[ref, in] : inputs) {
+                mono.setLeafInput(ref, in);
+                dist.setLeafInput(ref, in);
+            }
+            const Watts budget = rng.uniform(600.0, 1600.0);
+            mono.gather();
+            mono.allocate(budget);
+            const auto stats = dist.iterate({budget});
+
+            EXPECT_EQ(stats.degraded.size(), 0u);
+            EXPECT_EQ(stats.defaultBudgets, 0u);
+            EXPECT_EQ(stats.staleReuses, 0u);
+            EXPECT_GT(stats.bytesOnWire, 0u);
+            for (const auto &[ref, in] : inputs) {
+                EXPECT_EQ(
+                    std::bit_cast<std::uint64_t>(dist.leafBudget(ref)),
+                    std::bit_cast<std::uint64_t>(mono.leafBudget(ref)))
+                    << "supply " << ref.server << "." << ref.supply;
+            }
+        }
+    }
+}
+
+TEST(MessagePlane, TotalLossFallsBackToDefaultBudgets)
+{
+    // With every frame dropped, period 1 has no cache to fall back on:
+    // all metrics are lost and every edge applies the conservative
+    // Pcap_min default.
+    net::TransportConfig cfg;
+    cfg.dropRate = 1.0;
+    net::SimTransport transport(cfg);
+    auto sys = sim::fig2System();
+    DistributedControlPlane dist(*sys, ctrl::TreePolicy::globalPriority(),
+                                 transport);
+
+    util::Rng rng(11);
+    const auto inputs = randomInputs(*sys, rng);
+    for (const auto &[ref, in] : inputs)
+        dist.setLeafInput(ref, in);
+    const auto stats = dist.iterate({1200.0});
+
+    const std::size_t edges = dist.rackWorkerCount();
+    EXPECT_EQ(stats.metricsLost, edges);
+    EXPECT_EQ(stats.defaultBudgets, edges);
+    EXPECT_EQ(stats.staleReuses, 0u);
+    EXPECT_GT(stats.retries, 0u);
+
+    // Default budgets equal the sum of live leaves' capMin (clamped to
+    // the edge limit), split per the edge's own shifting controller —
+    // every live leaf gets at least its floor covered in aggregate.
+    for (const auto &[ref, in] : inputs) {
+        if (in.live)
+            EXPECT_GE(dist.leafBudget(ref), 0.0);
+    }
+    Watts total = 0.0, floor_total = 0.0;
+    for (const auto &[ref, in] : inputs) {
+        total += dist.leafBudget(ref);
+        if (in.live)
+            floor_total += in.capMin;
+    }
+    EXPECT_NEAR(total, floor_total, 1e-6);
+}
+
+TEST(MessagePlane, SilentWorkerUsesStaleMetricsThenFailsOver)
+{
+    net::ProtocolConfig proto;
+    proto.staleAgeCapPeriods = 2;
+    proto.heartbeatFailAfter = 3;
+    net::SimTransport transport; // lossless: isolate the worker failure
+    auto sys = sim::fig2System();
+    DistributedControlPlane dist(*sys, ctrl::TreePolicy::globalPriority(),
+                                 transport, proto);
+    ASSERT_GE(dist.rackWorkerCount(), 2u);
+
+    util::Rng rng(21);
+    const auto inputs = randomInputs(*sys, rng);
+    for (const auto &[ref, in] : inputs)
+        dist.setLeafInput(ref, in);
+
+    // Period 1: healthy; caches fill.
+    auto stats = dist.iterate({1200.0});
+    EXPECT_EQ(stats.staleReuses, 0u);
+
+    // Kill worker 0. Its edges' metrics now miss every deadline.
+    dist.failWorker(0);
+
+    // Periods 2..3: within the stale-age cap the room reuses worker 0's
+    // cached summary; the dead worker also misses its budget (default),
+    // though the default applies to no live process.
+    stats = dist.iterate({1200.0});
+    EXPECT_GE(stats.staleReuses, 1u);
+    EXPECT_FALSE(dist.workerDeclaredDead(0));
+    stats = dist.iterate({1200.0});
+    EXPECT_FALSE(dist.workerDeclaredDead(0));
+
+    // Period 4: third consecutive silent period - declared dead,
+    // edges re-homed to a live worker.
+    stats = dist.iterate({1200.0});
+    EXPECT_TRUE(dist.workerDeclaredDead(0));
+    EXPECT_EQ(dist.liveWorkerCount(), dist.rackWorkerCount() - 1);
+    bool saw_failover = false;
+    for (const auto &d : stats.degraded) {
+        if (d.kind == core::DegradedKind::WorkerFailover && d.rack == 0)
+            saw_failover = true;
+    }
+    EXPECT_TRUE(saw_failover);
+
+    // Period 5: the adopter now computes fresh metrics for the adopted
+    // edges, so budgets flow again for every leaf - and match the
+    // monolithic allocation exactly (the adopter owns identical state).
+    stats = dist.iterate({1200.0});
+    EXPECT_EQ(stats.staleReuses, 0u);
+    EXPECT_EQ(stats.defaultBudgets, 0u);
+    ctrl::ControlTree mono(sys->tree(0),
+                           ctrl::TreePolicy::globalPriority());
+    for (const auto &[ref, in] : inputs)
+        mono.setLeafInput(ref, in);
+    mono.gather();
+    mono.allocate(1200.0);
+    for (const auto &[ref, in] : inputs) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(dist.leafBudget(ref)),
+                  std::bit_cast<std::uint64_t>(mono.leafBudget(ref)));
+    }
+}
+
+TEST(MessagePlane, LossNeverInflatesTreeTotals)
+{
+    // Safety under drops: in a congested scenario (demand exceeds the
+    // root budget) the lossless allocation hands out the entire root
+    // budget, so no lossy run may ever exceed the lossless per-tree
+    // total - whatever mix of fresh, stale, and default budgets the
+    // protocol lands on.
+    auto sys = sim::fig2System();
+    util::Rng rng(99);
+    std::vector<std::pair<topo::ServerSupplyRef, ctrl::LeafInput>> inputs;
+    for (const auto &tree : sys->trees()) {
+        for (const auto &ref : tree->suppliesUnder(tree->root())) {
+            ctrl::LeafInput in;
+            in.live = true;
+            in.priority = static_cast<Priority>(rng.uniformInt(0, 3));
+            in.capMin = rng.uniform(100.0, 140.0);
+            in.demand = in.capMin + rng.uniform(100.0, 200.0);
+            in.constraint = in.demand + 50.0;
+            inputs.emplace_back(ref, in);
+        }
+    }
+    const Watts budget = 900.0; // well under total demand, above floors
+
+    // Lossless reference total.
+    ctrl::ControlTree mono(sys->tree(0),
+                           ctrl::TreePolicy::globalPriority());
+    for (const auto &[ref, in] : inputs)
+        mono.setLeafInput(ref, in);
+    mono.gather();
+    mono.allocate(budget);
+    Watts lossless_total = 0.0;
+    for (const auto &[ref, in] : inputs)
+        lossless_total += mono.leafBudget(ref);
+
+    for (const double drop : {0.1, 0.2, 0.4}) {
+        net::TransportConfig cfg;
+        cfg.dropRate = drop;
+        cfg.seed = 42 + static_cast<std::uint64_t>(drop * 100);
+        net::SimTransport transport(cfg);
+        DistributedControlPlane dist(
+            *sys, ctrl::TreePolicy::globalPriority(), transport);
+        for (const auto &[ref, in] : inputs)
+            dist.setLeafInput(ref, in);
+
+        for (int period = 0; period < 12; ++period) {
+            dist.iterate({budget});
+            Watts total = 0.0;
+            for (const auto &[ref, in] : inputs)
+                total += dist.leafBudget(ref);
+            EXPECT_LE(total, lossless_total + 1e-6)
+                << "drop=" << drop << " period=" << period;
+        }
+    }
+}
+
+TEST(MessagePlane, RetriesRecoverFromModerateLoss)
+{
+    // At 20% drop with 4 attempts per message, the per-message loss
+    // probability is 0.2^4 = 0.16%; a run of periods should complete
+    // mostly clean, and every degraded period must still deliver a
+    // budget (fresh, stale, or default) to every edge.
+    net::TransportConfig cfg;
+    cfg.dropRate = 0.2;
+    cfg.seed = 7;
+    net::SimTransport transport(cfg);
+    auto sys = sim::fig2System();
+    DistributedControlPlane dist(*sys, ctrl::TreePolicy::globalPriority(),
+                                 transport);
+    util::Rng rng(13);
+    const auto inputs = randomInputs(*sys, rng);
+    for (const auto &[ref, in] : inputs)
+        dist.setLeafInput(ref, in);
+
+    std::size_t clean = 0;
+    const int periods = 50;
+    for (int p = 0; p < periods; ++p) {
+        const auto stats = dist.iterate({1200.0});
+        if (stats.degraded.empty())
+            ++clean;
+        EXPECT_EQ(stats.metricsMessages, dist.rackWorkerCount());
+        EXPECT_EQ(stats.budgetMessages, dist.rackWorkerCount());
+    }
+    EXPECT_GT(clean, static_cast<std::size_t>(periods * 3 / 5));
+    // Nobody died: retries (not failover) absorbed the loss.
+    EXPECT_EQ(dist.liveWorkerCount(), dist.rackWorkerCount());
+}
+
+TEST(MessagePlane, BytesOnWireScaleWithSummariesNotServers)
+{
+    // The compactness claim (§4.1) holds on the real wire encoding:
+    // 5x the servers per rack must not change the per-period bytes,
+    // because messages carry per-priority summaries.
+    std::size_t bytes_small = 0, bytes_large = 0;
+    for (const int per_phase : {3, 15}) {
+        sim::DataCenterParams params;
+        params.phases = 1;
+        params.serversPerRackPerPhase = per_phase;
+        const auto dc = sim::buildDataCenter(params);
+        net::SimTransport transport;
+        DistributedControlPlane dist(
+            *dc.system, ctrl::TreePolicy::globalPriority(), transport);
+        util::Rng rng(11);
+        for (const auto &[ref, in] : randomInputs(*dc.system, rng))
+            dist.setLeafInput(ref, in);
+        const auto stats = dist.iterate({300000.0, 300000.0});
+        (per_phase == 3 ? bytes_small : bytes_large) = stats.bytesOnWire;
+    }
+    EXPECT_GT(bytes_small, 0u);
+    EXPECT_LE(bytes_large, bytes_small * 2);
 }
 
 TEST(Distributed, CompactSummariesIndependentOfServerCount)

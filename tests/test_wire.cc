@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the binary wire codec (net/wire): bit-exact round trips,
+ * header validation, and robustness against truncated / bit-flipped /
+ * random garbage frames (decodeFrame must reject them cleanly, never
+ * crash).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "net/wire.hh"
+#include "util/random.hh"
+
+using namespace capmaestro;
+using net::BudgetMsg;
+using net::FrameMeta;
+using net::MetricsMsg;
+using net::MsgType;
+
+namespace {
+
+MetricsMsg
+sampleMetrics()
+{
+    MetricsMsg msg;
+    msg.tree = 3;
+    msg.edgeNode = 17;
+    // Awkward doubles: values that lose precision if anything rounds.
+    msg.metrics.accumulate(7, 270.125, 0.1 + 0.2, 412.75);
+    msg.metrics.accumulate(2, 135.0, 301.3333333333333, 305.5);
+    msg.metrics.accumulate(0, 100.0, 123.456789, 130.0);
+    msg.metrics.setConstraint(1234.000000001);
+    return msg;
+}
+
+void
+expectBitExact(const ctrl::NodeMetrics &a, const ctrl::NodeMetrics &b)
+{
+    ASSERT_EQ(a.classes().size(), b.classes().size());
+    for (std::size_t i = 0; i < a.classes().size(); ++i) {
+        const auto &ca = a.classes()[i];
+        const auto &cb = b.classes()[i];
+        EXPECT_EQ(ca.priority, cb.priority);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ca.capMin),
+                  std::bit_cast<std::uint64_t>(cb.capMin));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ca.demand),
+                  std::bit_cast<std::uint64_t>(cb.demand));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ca.request),
+                  std::bit_cast<std::uint64_t>(cb.request));
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.constraint()),
+              std::bit_cast<std::uint64_t>(b.constraint()));
+}
+
+} // namespace
+
+TEST(Wire, MetricsRoundTripIsBitExact)
+{
+    const auto msg = sampleMetrics();
+    const FrameMeta meta{42, 1000, 77};
+    const auto bytes = net::encodeMetrics(meta, msg);
+
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Metrics);
+    EXPECT_EQ(frame->sender, 42);
+    EXPECT_EQ(frame->epoch, 1000u);
+    EXPECT_EQ(frame->seq, 77u);
+    EXPECT_EQ(frame->metrics.tree, 3);
+    EXPECT_EQ(frame->metrics.edgeNode, 17u);
+    expectBitExact(frame->metrics.metrics, msg.metrics);
+}
+
+TEST(Wire, BudgetRoundTripIsBitExact)
+{
+    BudgetMsg msg;
+    msg.tree = 1;
+    msg.edgeNode = 9;
+    msg.budget = 98765.4321000001;
+    const auto bytes =
+        net::encodeBudget(FrameMeta{net::kRoomSender, 5, 12}, msg);
+
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Budget);
+    EXPECT_EQ(frame->sender, net::kRoomSender);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frame->budget.budget),
+              std::bit_cast<std::uint64_t>(msg.budget));
+}
+
+TEST(Wire, HeartbeatRoundTrip)
+{
+    const auto bytes = net::encodeHeartbeat(FrameMeta{7, 3, 1});
+    EXPECT_EQ(bytes.size(), net::kHeaderSize + net::kCrcSize);
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Heartbeat);
+    EXPECT_EQ(frame->sender, 7);
+    EXPECT_EQ(frame->epoch, 3u);
+    EXPECT_EQ(frame->seq, 1u);
+}
+
+TEST(Wire, EmptyMetricsRoundTrip)
+{
+    // A dead edge reports zero classes; the codec must carry that.
+    MetricsMsg msg;
+    msg.tree = 0;
+    msg.edgeNode = 2;
+    const auto bytes = net::encodeMetrics(FrameMeta{}, msg);
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(frame->metrics.metrics.empty());
+}
+
+TEST(Wire, SpecialDoublesSurvive)
+{
+    BudgetMsg msg;
+    msg.tree = 0;
+    msg.edgeNode = 0;
+    msg.budget = std::numeric_limits<double>::infinity();
+    auto frame = net::decodeFrame(net::encodeBudget(FrameMeta{}, msg));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->budget.budget,
+              std::numeric_limits<double>::infinity());
+
+    msg.budget = std::numeric_limits<double>::denorm_min();
+    frame = net::decodeFrame(net::encodeBudget(FrameMeta{}, msg));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frame->budget.budget),
+              std::bit_cast<std::uint64_t>(
+                  std::numeric_limits<double>::denorm_min()));
+}
+
+TEST(Wire, EveryTruncationRejected)
+{
+    const auto bytes = net::encodeMetrics(FrameMeta{1, 2, 3},
+                                          sampleMetrics());
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + len);
+        EXPECT_FALSE(net::decodeFrame(prefix).has_value())
+            << "prefix of " << len << " bytes decoded";
+    }
+}
+
+TEST(Wire, EverySingleBitFlipRejected)
+{
+    // CRC-32 detects every single-bit error, so each of the frame's
+    // bits flipped in isolation must fail decoding.
+    const auto bytes = net::encodeMetrics(FrameMeta{1, 2, 3},
+                                          sampleMetrics());
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        auto corrupted = bytes;
+        corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(net::decodeFrame(corrupted).has_value())
+            << "bit " << bit << " flip decoded";
+    }
+}
+
+TEST(Wire, TrailingGarbageRejected)
+{
+    auto bytes = net::encodeHeartbeat(FrameMeta{1, 2, 3});
+    bytes.push_back(0x00);
+    EXPECT_FALSE(net::decodeFrame(bytes).has_value());
+}
+
+TEST(Wire, RandomGarbageNeverCrashes)
+{
+    util::Rng rng(2026);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::size_t len =
+            static_cast<std::size_t>(rng.uniformInt(0, 256));
+        std::vector<std::uint8_t> junk(len);
+        for (auto &b : junk)
+            b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        (void)net::decodeFrame(junk); // must not crash or throw
+    }
+}
+
+TEST(Wire, RandomMultiBitCorruptionNeverCrashes)
+{
+    // Start from valid frames and apply several random flips: the vast
+    // majority must be rejected, and none may crash. (Multi-bit errors
+    // can in principle alias the CRC, so we only assert no-crash plus
+    // structural validity of anything that does decode.)
+    util::Rng rng(31337);
+    const auto base = net::encodeMetrics(FrameMeta{1, 2, 3},
+                                         sampleMetrics());
+    for (int trial = 0; trial < 2000; ++trial) {
+        auto corrupted = base;
+        const int flips = rng.uniformInt(2, 64);
+        for (int f = 0; f < flips; ++f) {
+            const auto bit = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(corrupted.size() * 8) - 1));
+            corrupted[bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        const auto frame = net::decodeFrame(corrupted);
+        if (frame.has_value() && frame->type == MsgType::Metrics) {
+            // Anything that survives must still satisfy the invariants.
+            const auto &classes = frame->metrics.metrics.classes();
+            for (std::size_t i = 1; i < classes.size(); ++i)
+                EXPECT_LT(classes[i].priority, classes[i - 1].priority);
+        }
+    }
+}
+
+TEST(Wire, VersionSkewRejected)
+{
+    auto bytes = net::encodeHeartbeat(FrameMeta{1, 2, 3});
+    bytes[2] = net::kWireVersion + 1; // bump version
+    // Refresh the CRC so only the version check can reject it.
+    const std::uint32_t crc =
+        net::crc32(bytes.data(), bytes.size() - net::kCrcSize);
+    for (std::size_t i = 0; i < net::kCrcSize; ++i) {
+        bytes[bytes.size() - net::kCrcSize + i] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+    EXPECT_FALSE(net::decodeFrame(bytes).has_value());
+}
+
+TEST(Wire, Crc32MatchesKnownVector)
+{
+    // IEEE 802.3 check value for "123456789".
+    const std::uint8_t data[] = {'1', '2', '3', '4', '5',
+                                 '6', '7', '8', '9'};
+    EXPECT_EQ(net::crc32(data, sizeof(data)), 0xCBF43926u);
+}

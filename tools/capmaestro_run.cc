@@ -11,9 +11,16 @@
  *   --fail-supply=S.P@T   fail supply P of server S at time T
  *   --csv                 dump all recorded time series as CSV to stdout
  *   --seed=N              sensor-noise seed (default 1)
+ *   --transport=JSON      run the control exchange over the simulated
+ *                         message plane; JSON is a transport block, e.g.
+ *                         '{"dropRate":0.2,"latencyMs":5}'
+ *   --drop-rate=P         shorthand: message plane with drop rate P
+ *   --latency-ms=MS       shorthand: message plane with mean latency MS
  *
  * Without --csv the tool prints a per-server summary (budget, power,
- * throughput over the final quarter of the run) plus breaker status.
+ * throughput over the final quarter of the run) plus breaker status;
+ * in message-plane mode it adds message accounting and the §4.5
+ * degraded-mode decisions from the event log.
  */
 
 #include <cstdio>
@@ -23,6 +30,7 @@
 #include <string>
 
 #include "config/loader.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace capmaestro;
@@ -58,7 +66,9 @@ usage()
                  "usage: capmaestro_run <config.json> [--duration=N] "
                  "[--fail-feed=F@T]\n"
                  "                      [--fail-supply=S.P@T] [--csv] "
-                 "[--seed=N]\n");
+                 "[--seed=N]\n"
+                 "                      [--transport=JSON] "
+                 "[--drop-rate=P] [--latency-ms=MS]\n");
     std::exit(2);
 }
 
@@ -71,6 +81,29 @@ main(int argc, char **argv)
         usage();
 
     auto scenario = config::loadScenarioFile(argv[1]);
+
+    // Transport overrides: a full JSON block, or the shorthands that
+    // enable the message plane with a single fault knob.
+    if (const char *spec = flagValue(argc, argv, "transport")) {
+        config::applyTransportJson(scenario.service,
+                                   util::parseJson(spec));
+    }
+    if (const char *rate = flagValue(argc, argv, "drop-rate")) {
+        const double p = std::atof(rate);
+        if (p < 0.0 || p >= 1.0)
+            util::fatal("--drop-rate=%s: must be in [0, 1)", rate);
+        scenario.service.useMessagePlane = true;
+        scenario.service.transport.dropRate = p;
+    }
+    if (const char *lat = flagValue(argc, argv, "latency-ms")) {
+        const double ms = std::atof(lat);
+        if (ms < 0.0)
+            util::fatal("--latency-ms=%s: must be >= 0", lat);
+        scenario.service.useMessagePlane = true;
+        scenario.service.transport.latencyMeanMs = ms;
+    }
+    const bool message_plane = scenario.service.useMessagePlane;
+
     const auto server_count = scenario.servers.size();
     const auto total_per_phase = scenario.totalPerPhase;
 
@@ -147,6 +180,21 @@ main(int argc, char **argv)
                 static_cast<long long>(duration),
                 simulation.service().lastStats().periodsRun,
                 simulation.anyBreakerTripped() ? "YES" : "no");
+    if (message_plane) {
+        const auto &msgs = simulation.service().lastStats().messages;
+        const auto &log = simulation.eventLog();
+        std::printf(
+            "\nmessage plane (last period): %zu metrics + %zu budget + "
+            "%zu heartbeat msgs, %zu retries, %zu bytes on wire\n"
+            "degraded decisions over the run: %zu stale-metrics, "
+            "%zu metrics-lost, %zu default-budget, %zu worker-failover\n",
+            msgs.metricsMessages, msgs.budgetMessages,
+            msgs.heartbeatMessages, msgs.retries, msgs.bytesOnWire,
+            log.count(core::EventKind::StaleMetricsReused),
+            log.count(core::EventKind::MetricsLost),
+            log.count(core::EventKind::DefaultBudgetApplied),
+            log.count(core::EventKind::WorkerFailover));
+    }
     if (!simulation.eventLog().events().empty()) {
         std::printf("\nevents:\n");
         simulation.eventLog().print(std::cout);
