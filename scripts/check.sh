@@ -19,14 +19,16 @@ if [[ "${1:-}" == "--tier1-only" ]]; then
 fi
 
 echo
-echo "== sanitizers: ASan+UBSan build of the net tests =="
+echo "== sanitizers: ASan+UBSan run of the net tier (ctest -L net) =="
+# The message-plane tier is labeled "net" in tests/CMakeLists.txt: wire
+# codec fuzzers, transport fault model, distributed protocol, closed
+# loop, and the SPO equivalence suite. It is fast enough to run under
+# sanitizers on every check.
 cmake -B build-asan -S . -DCAPMAESTRO_SANITIZE=ON > /dev/null
 cmake --build build-asan -j --target \
-    test_wire test_transport test_distributed test_net_closed_loop
-for t in test_wire test_transport test_distributed test_net_closed_loop; do
-    echo "-- $t (sanitized)"
-    ./build-asan/tests/"$t"
-done
+    test_wire test_transport test_distributed test_net_closed_loop \
+    test_spo_equivalence
+(cd build-asan && ctest -L net --output-on-failure -j)
 
 echo
 echo "All checks passed."

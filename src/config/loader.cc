@@ -278,6 +278,10 @@ loadScenario(const util::Json &doc)
         scenario.service.controlPeriod = static_cast<Seconds>(
             service->numberOr("controlPeriodSeconds", 8.0));
         scenario.service.enableSpo = service->boolOr("spo", true);
+        scenario.service.spoThreshold =
+            service->numberOr("spoThreshold", 1.0);
+        scenario.service.spoPasses =
+            static_cast<int>(service->numberOr("spoPasses", 2.0));
         scenario.service.adaptiveFeedBalance =
             service->boolOr("adaptiveFeedBalance", false);
         scenario.service.totalPerPhaseBudget =
@@ -361,6 +365,10 @@ applyTransportJson(core::ServiceConfig &service, const util::Json &spec)
         spec.numberOr("gatherDeadlineMs", 100.0);
     service.protocol.budgetDeadlineMs =
         spec.numberOr("budgetDeadlineMs", 100.0);
+    service.protocol.spoGatherDeadlineMs =
+        spec.numberOr("spoGatherDeadlineMs", 100.0);
+    service.protocol.spoBudgetDeadlineMs =
+        spec.numberOr("spoBudgetDeadlineMs", 100.0);
     service.protocol.retryTimeoutMs =
         spec.numberOr("retryTimeoutMs", 25.0);
     service.protocol.maxAttempts =

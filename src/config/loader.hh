@@ -82,7 +82,8 @@ util::Json powerTreeToJson(const topo::PowerTree &tree);
  * fault model plus the §4.5 protocol tunables. Keys (all optional):
  * enabled, dropRate, dupRate, latencyMs, jitterMs, reorderRate,
  * reorderExtraMs, seed, gatherDeadlineMs, budgetDeadlineMs,
- * retryTimeoutMs, maxAttempts, staleAgeCap, heartbeatFailAfter.
+ * spoGatherDeadlineMs, spoBudgetDeadlineMs, retryTimeoutMs,
+ * maxAttempts, staleAgeCap, heartbeatFailAfter.
  * Also the element format of the top-level "transport" scenario block.
  */
 void applyTransportJson(core::ServiceConfig &service,

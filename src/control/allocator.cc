@@ -119,6 +119,58 @@ deriveServerCapsFrom(
     }
 }
 
+std::vector<SpoPin>
+detectStrandedSupplies(const topo::PowerSystem &system,
+                      const std::vector<ServerAllocInput> &servers,
+                      const std::vector<std::vector<Fraction>> &shares,
+                      const FleetAllocation &current,
+                      Watts spo_threshold)
+{
+    std::vector<SpoPin> pins;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        const ServerAllocation &alloc = current.servers[i];
+        if (!alloc.capped)
+            continue;
+        const Watts usable_total =
+            std::min(alloc.enforceableCapAc, alloc.effectiveDemand);
+        for (std::size_t s = 0; s < alloc.supplyBudget.size(); ++s) {
+            const Fraction r = shares[i][s];
+            if (r <= 0.0)
+                continue;
+            const Watts consumption = r * usable_total;
+            const Watts stranded = alloc.supplyBudget[s] - consumption;
+            if (stranded <= spo_threshold)
+                continue;
+            const auto ports =
+                system.livePortsOf(static_cast<std::int32_t>(i));
+            const auto it = ports.find(static_cast<std::int32_t>(s));
+            if (it == ports.end())
+                continue; // unreachable: r > 0 implies a live port
+            SpoPin pin;
+            pin.ref = {static_cast<std::int32_t>(i),
+                       static_cast<std::int32_t>(s)};
+            pin.tree = it->second.tree;
+            pin.consumption = consumption;
+            pin.stranded = stranded;
+            pin.priority = servers[i].priority;
+            pins.push_back(pin);
+        }
+    }
+    return pins;
+}
+
+LeafInput
+pinnedLeafInput(Priority priority, Watts consumption)
+{
+    LeafInput pinned;
+    pinned.live = true;
+    pinned.priority = priority;
+    pinned.capMin = consumption;
+    pinned.demand = consumption;
+    pinned.constraint = consumption;
+    return pinned;
+}
+
 std::vector<Fraction>
 FleetAllocator::effectiveShares(const ServerAllocInput &server,
                                 std::int32_t server_id) const
@@ -213,46 +265,18 @@ FleetAllocator::allocate(const std::vector<ServerAllocInput> &servers,
     // configuration is exactly one re-run (max_passes = 2).
     std::vector<Watts> stranded_first_pass(servers.size(), 0.0);
     while (out.passes < max_passes) {
-        bool any_stranded = false;
-        for (std::size_t i = 0; i < servers.size(); ++i) {
-            ServerAllocation &alloc = out.servers[i];
-            if (!alloc.capped)
-                continue;
-            const Watts usable_total =
-                std::min(alloc.enforceableCapAc, alloc.effectiveDemand);
-            for (std::size_t s = 0; s < alloc.supplyBudget.size(); ++s) {
-                const Fraction r = shares[i][s];
-                if (r <= 0.0)
-                    continue;
-                const Watts consumption = r * usable_total;
-                const Watts stranded =
-                    alloc.supplyBudget[s] - consumption;
-                if (stranded <= spo_threshold)
-                    continue;
-                any_stranded = true;
-                if (out.passes == 1)
-                    stranded_first_pass[i] += stranded;
-                out.strandedReclaimed += stranded;
-                // Pin this supply's next-pass metrics to consumption.
-                const auto ports =
-                    system_.livePortsOf(static_cast<std::int32_t>(i));
-                const auto it =
-                    ports.find(static_cast<std::int32_t>(s));
-                if (it == ports.end())
-                    continue;
-                LeafInput pinned;
-                pinned.live = true;
-                pinned.priority = servers[i].priority;
-                pinned.capMin = consumption;
-                pinned.demand = consumption;
-                pinned.constraint = consumption;
-                trees_[it->second.tree]->setLeafInput(
-                    {static_cast<std::int32_t>(i),
-                     static_cast<std::int32_t>(s)},
-                    pinned);
-            }
+        const auto pins = detectStrandedSupplies(system_, servers, shares,
+                                                 out, spo_threshold);
+        for (const auto &pin : pins) {
+            if (out.passes == 1)
+                stranded_first_pass[static_cast<std::size_t>(
+                    pin.ref.server)] += pin.stranded;
+            out.strandedReclaimed += pin.stranded;
+            // Pin this supply's next-pass metrics to consumption.
+            trees_[pin.tree]->setLeafInput(
+                pin.ref, pinnedLeafInput(pin.priority, pin.consumption));
         }
-        if (!any_stranded)
+        if (pins.empty())
             break;
 
         runPass(root_budgets, out);

@@ -96,6 +96,40 @@ effectiveSupplyShares(const topo::PowerSystem &system,
  */
 LeafInput scaledLeafInput(const ServerAllocInput &server, Fraction r);
 
+/** One §4.4 pinned supply: stranded power detected on a capped server. */
+struct SpoPin
+{
+    /** Leaf to pin (server id + supply index). */
+    topo::ServerSupplyRef ref{0, 0};
+    /** Tree (indexed like PowerSystem::trees()) owning the leaf. */
+    std::size_t tree = 0;
+    /** Consumption the supply is pinned to: share x usable total. */
+    Watts consumption = 0.0;
+    /** Stranded watts the pin releases back to the pool. */
+    Watts stranded = 0.0;
+    /** Server priority, carried into the pinned leaf input. */
+    Priority priority = 0;
+};
+
+/**
+ * Detect stranded supplies (§4.4): on capped servers, any live supply
+ * whose budget exceeds what the binding supply lets the server draw
+ * (by more than @p spo_threshold watts) holds stranded power. Pins are
+ * returned in deterministic order — servers ascending, supplies
+ * ascending — so every consumer accumulates stranded sums in the same
+ * float-op order. Shared by the monolithic FleetAllocator and the
+ * distributed message plane so both pin identical leaves.
+ */
+std::vector<SpoPin>
+detectStrandedSupplies(const topo::PowerSystem &system,
+                       const std::vector<ServerAllocInput> &servers,
+                       const std::vector<std::vector<Fraction>> &shares,
+                       const FleetAllocation &current,
+                       Watts spo_threshold);
+
+/** The leaf input that pins a §4.4 supply to its usable consumption. */
+LeafInput pinnedLeafInput(Priority priority, Watts consumption);
+
 /**
  * Derive per-server enforceable caps from per-supply leaf budgets (the
  * most-constrained supply binds). @p budget_of returns the allocated

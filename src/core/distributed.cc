@@ -16,6 +16,7 @@ degradedKindName(DegradedKind kind)
       case DegradedKind::MetricsLost:          return "metrics-lost";
       case DegradedKind::DefaultBudgetApplied: return "default-budget";
       case DegradedKind::WorkerFailover:       return "worker-failover";
+      case DegradedKind::SpoFallback:          return "spo-fallback";
     }
     return "unknown";
 }
@@ -342,6 +343,7 @@ DistributedControlPlane::buildWorkers()
     rackFailed_.assign(rack_count, false);
     rackDeclaredDead_.assign(rack_count, false);
     missedHeartbeats_.assign(rack_count, 0);
+    lastTreeMetrics_.assign(system_.trees().size(), {});
 }
 
 net::SimTransport::Endpoint
@@ -453,6 +455,7 @@ DistributedControlPlane::iterateDirect(
     const std::vector<Watts> &root_budgets)
 {
     MessageStats stats;
+    lastTreeMetrics_.assign(system_.trees().size(), {});
     for (std::size_t t = 0; t < system_.trees().size(); ++t) {
         if (system_.feedFailed(system_.tree(t).feed()))
             continue;
@@ -472,6 +475,7 @@ DistributedControlPlane::iterateDirect(
         // Room worker computes the upper tree and returns edge budgets.
         const auto edge_budgets =
             room_.iterate(t, edge_metrics, root_budgets[t]);
+        lastTreeMetrics_[t] = std::move(edge_metrics);
 
         // Downstream: budgets back to the owning rack workers.
         for (const auto &[node, budget] : edge_budgets) {
@@ -627,6 +631,9 @@ DistributedControlPlane::iterateTransport(
         }
     }
 
+    // The SPO round (if any) overlays pinned summaries on this view.
+    lastTreeMetrics_ = tree_metrics;
+
     // ---------------- room compute + downstream budgets
     struct PendingDown
     {
@@ -741,6 +748,339 @@ DistributedControlPlane::iterateTransport(
 
     stats.bytesOnWire = tp.stats().bytesSent - bytes_before;
     return stats;
+}
+
+std::map<std::size_t, std::set<topo::NodeId>>
+DistributedControlPlane::pinnedEdges(
+    const std::vector<ctrl::SpoPin> &pins) const
+{
+    std::map<std::size_t, std::set<topo::NodeId>> affected;
+    for (const ctrl::SpoPin &pin : pins) {
+        const auto it =
+            leafToRack_.find({pin.ref.server, pin.ref.supply});
+        if (it == leafToRack_.end()) {
+            util::panic("DistributedControlPlane: unknown pinned supply "
+                        "%d.%d", pin.ref.server, pin.ref.supply);
+        }
+        for (const RackWorker::Edge &edge : racks_[it->second].edges()) {
+            if (edge.tree != pin.tree)
+                continue;
+            for (const auto &leaf : edge.leaves) {
+                if (leaf == pin.ref) {
+                    affected[pin.tree].insert(edge.node);
+                    break;
+                }
+            }
+        }
+    }
+    return affected;
+}
+
+std::set<std::size_t>
+DistributedControlPlane::iterateSpo(const std::vector<Watts> &root_budgets,
+                                    const std::vector<ctrl::SpoPin> &pins,
+                                    MessageStats &stats)
+{
+    if (root_budgets.size() != system_.trees().size()) {
+        util::fatal("DistributedControlPlane: %zu budgets for %zu trees",
+                    root_budgets.size(), system_.trees().size());
+    }
+    return transport_ ? iterateSpoTransport(root_budgets, pins, stats)
+                      : iterateSpoDirect(root_budgets, pins, stats);
+}
+
+std::set<std::size_t>
+DistributedControlPlane::iterateSpoDirect(
+    const std::vector<Watts> &root_budgets,
+    const std::vector<ctrl::SpoPin> &pins, MessageStats &stats)
+{
+    std::set<std::size_t> committed;
+    if (pins.empty())
+        return committed;
+    ++stats.spoRounds;
+
+    // The per-server capping controllers pin their stranded supplies;
+    // the link to the owning rack worker is local (paper §5: capping
+    // controllers are colocated), so no frames travel for this step.
+    for (const ctrl::SpoPin &pin : pins) {
+        setLeafInput(pin.ref,
+                     ctrl::pinnedLeafInput(pin.priority, pin.consumption));
+    }
+
+    // Only pinned edges re-report: an unpinned edge's inputs are
+    // unchanged, so recomputing its metrics would reproduce the
+    // first-phase summary bit for bit. Trees without pins are skipped
+    // entirely for the same reason.
+    for (const auto &[t, nodes] : pinnedEdges(pins)) {
+        ++stats.spoTreesAttempted;
+        auto base = lastTreeMetrics_[t];
+        for (const topo::NodeId node : nodes) {
+            const std::size_t rack = edgeOwner_.at({t, node});
+            ++stats.spoSummaryMessages;
+            base[node] = racks_[rack].computeMetrics(t, node);
+        }
+
+        const auto edge_budgets =
+            room_.iterate(t, base, root_budgets[t]);
+        lastTreeMetrics_[t] = std::move(base);
+
+        for (const auto &[node, budget] : edge_budgets) {
+            ++stats.spoBudgetMessages;
+            racks_[edgeOwner_.at({t, node})].applyBudget(t, node, budget);
+        }
+        committed.insert(t);
+        ++stats.spoCommittedTrees;
+    }
+    return committed;
+}
+
+std::set<std::size_t>
+DistributedControlPlane::iterateSpoTransport(
+    const std::vector<Watts> &root_budgets,
+    const std::vector<ctrl::SpoPin> &pins, MessageStats &stats)
+{
+    std::set<std::size_t> committed;
+    if (pins.empty())
+        return committed;
+    ++stats.spoRounds;
+
+    net::SimTransport &tp = *transport_;
+    const std::size_t bytes_before = tp.stats().bytesSent;
+    const net::SimTransport::Endpoint room = roomEndpoint();
+
+    // Pin inputs locally (see iterateSpoDirect); a failed rack keeps
+    // the state but cannot report it, so its trees will fall back.
+    for (const ctrl::SpoPin &pin : pins) {
+        setLeafInput(pin.ref,
+                     ctrl::pinnedLeafInput(pin.priority, pin.consumption));
+    }
+    const auto affected = pinnedEdges(pins);
+
+    // ---------------- upstream: pinned summaries from affected edges
+    struct PendingUp
+    {
+        std::size_t tree;
+        topo::NodeId node;
+        std::size_t rack;
+        std::vector<std::uint8_t> frame;
+    };
+    std::vector<PendingUp> pending_up;
+    std::set<std::pair<std::size_t, topo::NodeId>> unreachable;
+    for (const auto &[t, nodes] : affected) {
+        ++stats.spoTreesAttempted;
+        for (const topo::NodeId node : nodes) {
+            const std::size_t rack = edgeOwner_.at({t, node});
+            if (rackFailed_[rack] || rackDeclaredDead_[rack]) {
+                unreachable.insert({t, node});
+                continue;
+            }
+            net::MetricsMsg msg;
+            msg.tree = static_cast<std::uint16_t>(t);
+            msg.edgeNode = static_cast<std::uint32_t>(node);
+            msg.metrics = racks_[rack].computeMetrics(t, node);
+            ++stats.spoSummaryMessages;
+            auto frame = net::encodePinnedSummary(
+                {static_cast<std::uint16_t>(rack), epoch_,
+                 rackSeq_[rack]++},
+                msg);
+            tp.send(static_cast<net::SimTransport::Endpoint>(rack), room,
+                    frame);
+            pending_up.push_back({t, node, rack, std::move(frame)});
+        }
+    }
+
+    std::map<std::pair<std::size_t, topo::NodeId>, ctrl::NodeMetrics>
+        fresh;
+    const auto poll_room = [&] {
+        for (const auto &bytes : tp.poll(room)) {
+            const auto frame = net::decodeFrame(bytes);
+            if (!frame) {
+                ++stats.corruptFrames;
+                continue;
+            }
+            // Late first-phase traffic and old epochs are both dead
+            // weight here; neither may masquerade as a pinned summary.
+            if (frame->epoch != epoch_
+                || frame->type != net::MsgType::PinnedSummary) {
+                ++stats.orphanFrames;
+                continue;
+            }
+            fresh[{frame->metrics.tree,
+                   static_cast<topo::NodeId>(frame->metrics.edgeNode)}] =
+                frame->metrics.metrics;
+        }
+    };
+
+    const double spo_start = tp.nowMs();
+    const double gather_deadline =
+        spo_start + protocol_.spoGatherDeadlineMs;
+    for (int attempt = 1; attempt < protocol_.maxAttempts; ++attempt) {
+        const double next = spo_start + attempt * protocol_.retryTimeoutMs;
+        if (next >= gather_deadline)
+            break;
+        tp.advanceTo(next);
+        poll_room();
+        bool all_in = true;
+        for (const PendingUp &up : pending_up) {
+            if (fresh.count({up.tree, up.node}))
+                continue;
+            all_in = false;
+            ++stats.spoRetries;
+            tp.send(static_cast<net::SimTransport::Endpoint>(up.rack),
+                    room, up.frame);
+        }
+        if (all_in)
+            break;
+    }
+    tp.advanceTo(gather_deadline);
+    poll_room();
+
+    // A tree may only be re-budgeted from a complete second-pass view:
+    // any missing pinned summary aborts the tree before a single budget
+    // goes out, so it keeps its first-pass budgets wholesale.
+    std::set<std::size_t> gather_ok;
+    for (const auto &[t, nodes] : affected) {
+        bool ok = true;
+        for (const topo::NodeId node : nodes) {
+            if (unreachable.count({t, node}) || !fresh.count({t, node})) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            gather_ok.insert(t);
+        } else {
+            ++stats.spoFallbackTrees;
+            stats.degraded.push_back({DegradedKind::SpoFallback, t,
+                                      topo::kNoNode, 0, 1.0});
+        }
+    }
+
+    // ---------------- room re-compute + downstream second-pass budgets
+    struct PendingDown
+    {
+        std::size_t tree;
+        topo::NodeId node;
+        std::size_t rack;
+        std::vector<std::uint8_t> frame;
+    };
+    std::vector<PendingDown> pending_down;
+    std::map<std::size_t, std::set<topo::NodeId>> expect;
+    std::map<std::size_t, std::map<topo::NodeId, ctrl::NodeMetrics>>
+        new_base;
+    for (const std::size_t t : gather_ok) {
+        auto base = lastTreeMetrics_[t];
+        for (const topo::NodeId node : affected.at(t))
+            base[node] = fresh.at({t, node});
+        const auto edge_budgets = room_.iterate(t, base, root_budgets[t]);
+        new_base[t] = std::move(base);
+        expect[t] = {};
+        for (const auto &[node, budget] : edge_budgets) {
+            const std::size_t rack = edgeOwner_.at({t, node});
+            if (rackFailed_[rack] || rackDeclaredDead_[rack])
+                continue; // nobody home to receive it
+            net::BudgetMsg msg;
+            msg.tree = static_cast<std::uint16_t>(t);
+            msg.edgeNode = static_cast<std::uint32_t>(node);
+            msg.budget = budget;
+            ++stats.spoBudgetMessages;
+            auto frame = net::encodeSpoBudget(
+                {net::kRoomSender, epoch_, roomSeq_++}, msg);
+            tp.send(room, static_cast<net::SimTransport::Endpoint>(rack),
+                    frame);
+            expect[t].insert(node);
+            pending_down.push_back({t, node, rack, std::move(frame)});
+        }
+    }
+
+    // Racks buffer second-pass budgets without applying them, so an
+    // incomplete tree can roll back without ever mixing the passes.
+    std::map<std::pair<std::size_t, topo::NodeId>, Watts> buffered;
+    const auto poll_racks = [&] {
+        for (std::size_t r = 0; r < racks_.size(); ++r) {
+            const auto frames =
+                tp.poll(static_cast<net::SimTransport::Endpoint>(r));
+            if (rackFailed_[r])
+                continue; // dead process: frames drain unread
+            for (const auto &bytes : frames) {
+                const auto frame = net::decodeFrame(bytes);
+                if (!frame) {
+                    ++stats.corruptFrames;
+                    continue;
+                }
+                if (frame->epoch != epoch_
+                    || frame->type != net::MsgType::SpoBudget) {
+                    ++stats.orphanFrames;
+                    continue;
+                }
+                const std::size_t t = frame->budget.tree;
+                const auto node =
+                    static_cast<topo::NodeId>(frame->budget.edgeNode);
+                const auto owner = edgeOwner_.find({t, node});
+                if (owner == edgeOwner_.end() || owner->second != r) {
+                    ++stats.orphanFrames;
+                    continue;
+                }
+                buffered[{t, node}] = frame->budget.budget;
+            }
+        }
+    };
+
+    const double budget_start = tp.nowMs();
+    const double budget_deadline =
+        budget_start + protocol_.spoBudgetDeadlineMs;
+    for (int attempt = 1; attempt < protocol_.maxAttempts; ++attempt) {
+        const double next =
+            budget_start + attempt * protocol_.retryTimeoutMs;
+        if (next >= budget_deadline)
+            break;
+        tp.advanceTo(next);
+        poll_racks();
+        bool all_in = true;
+        for (const PendingDown &down : pending_down) {
+            if (buffered.count({down.tree, down.node}))
+                continue;
+            all_in = false;
+            ++stats.spoRetries;
+            tp.send(room,
+                    static_cast<net::SimTransport::Endpoint>(down.rack),
+                    down.frame);
+        }
+        if (all_in)
+            break;
+    }
+    tp.advanceTo(budget_deadline);
+    poll_racks();
+
+    // Per-tree atomic commit: every live edge applies its second-pass
+    // budget, or none does and the buffers are discarded.
+    for (const std::size_t t : gather_ok) {
+        bool complete = true;
+        for (const topo::NodeId node : expect[t]) {
+            if (!buffered.count({t, node})) {
+                complete = false;
+                break;
+            }
+        }
+        if (!complete) {
+            ++stats.spoFallbackTrees;
+            stats.degraded.push_back({DegradedKind::SpoFallback, t,
+                                      topo::kNoNode, 0, 2.0});
+            continue;
+        }
+        for (const topo::NodeId node : expect[t]) {
+            racks_[edgeOwner_.at({t, node})].applyBudget(
+                t, node, buffered.at({t, node}));
+        }
+        lastTreeMetrics_[t] = std::move(new_base[t]);
+        committed.insert(t);
+        ++stats.spoCommittedTrees;
+    }
+
+    const std::size_t spo_bytes = tp.stats().bytesSent - bytes_before;
+    stats.spoBytesOnWire += spo_bytes;
+    stats.bytesOnWire += spo_bytes;
+    return committed;
 }
 
 Watts

@@ -40,6 +40,7 @@
 #include <set>
 #include <vector>
 
+#include "control/allocator.hh"
 #include "control/control_tree.hh"
 #include "control/metrics.hh"
 #include "net/protocol.hh"
@@ -58,6 +59,12 @@ enum class DegradedKind {
     DefaultBudgetApplied,
     /** A silent worker was declared dead and its edges re-homed. */
     WorkerFailover,
+    /**
+     * A tree's §4.4 SPO round missed a deadline; the tree kept its
+     * first-pass budgets wholesale (value: 1 = gather phase, 2 =
+     * budget phase).
+     */
+    SpoFallback,
 };
 
 /** Name of a DegradedKind (event/log rendering). */
@@ -105,6 +112,22 @@ struct MessageStats
     std::size_t orphanFrames = 0;
     /** Frames that failed to decode (corruption). */
     std::size_t corruptFrames = 0;
+    /** §4.4 SPO rounds run this period (0 when nothing was pinned). */
+    std::size_t spoRounds = 0;
+    /** Rack -> room pinned-summary messages (logical, no retries). */
+    std::size_t spoSummaryMessages = 0;
+    /** Room -> rack second-pass budget messages (logical, no retries). */
+    std::size_t spoBudgetMessages = 0;
+    /** Retransmissions across both SPO phases. */
+    std::size_t spoRetries = 0;
+    /** Trees that entered an SPO round (had at least one pin). */
+    std::size_t spoTreesAttempted = 0;
+    /** Trees whose SPO round-trip completed and committed atomically. */
+    std::size_t spoCommittedTrees = 0;
+    /** Trees that fell back wholesale to their first-pass budgets. */
+    std::size_t spoFallbackTrees = 0;
+    /** Encoded SPO bytes submitted to the transport (also in bytesOnWire). */
+    std::size_t spoBytesOnWire = 0;
     /** Every degraded-mode decision, in the order it was taken. */
     std::vector<DegradedDecision> degraded;
 };
@@ -269,6 +292,29 @@ class DistributedControlPlane
      */
     MessageStats iterate(const std::vector<Watts> &root_budgets);
 
+    /**
+     * Run one §4.4 stranded-power round after iterate(): pin the given
+     * supplies to their usable consumption, gather fresh summaries from
+     * the affected edges, and re-budget every tree that holds a pin.
+     * Non-pinned edges reuse their first-phase metrics (recomputing
+     * them would be bit-identical — leaf inputs are unchanged), and
+     * trees without pins are skipped entirely, so in direct mode (or on
+     * a lossless transport) the result is bit-identical to the
+     * monolithic FleetAllocator second pass.
+     *
+     * The round is atomic per tree: in message-plane mode racks buffer
+     * second-pass budgets without applying them, and at the SPO budget
+     * deadline each attempted tree either commits (every live edge
+     * applies its new budget) or rolls back wholesale to its first-pass
+     * budgets — never a mix of the two passes. Counters and degraded
+     * decisions accumulate into @p stats.
+     *
+     * @return indices of the trees that committed second-pass budgets
+     */
+    std::set<std::size_t> iterateSpo(const std::vector<Watts> &root_budgets,
+                                     const std::vector<ctrl::SpoPin> &pins,
+                                     MessageStats &stats);
+
     /** Supply-leaf budget after iterate(). */
     Watts leafBudget(const topo::ServerSupplyRef &ref) const;
 
@@ -318,6 +364,14 @@ class DistributedControlPlane
     std::vector<int> missedHeartbeats_;
     std::map<std::pair<std::size_t, topo::NodeId>, CachedMetrics>
         metricCache_;
+    /**
+     * Edge metrics the room used in the last iterate() (per tree), the
+     * base the SPO round overlays pinned summaries onto. Never fed from
+     * pinned summaries, and distinct from metricCache_ so the SPO round
+     * cannot pollute the §4.5 stale-metric fallback.
+     */
+    std::vector<std::map<topo::NodeId, ctrl::NodeMetrics>>
+        lastTreeMetrics_;
 
     static std::vector<std::map<topo::NodeId, std::size_t>>
     partition(const topo::PowerSystem &system);
@@ -326,6 +380,17 @@ class DistributedControlPlane
     net::SimTransport::Endpoint roomEndpoint() const;
     MessageStats iterateDirect(const std::vector<Watts> &root_budgets);
     MessageStats iterateTransport(const std::vector<Watts> &root_budgets);
+    std::set<std::size_t>
+    iterateSpoDirect(const std::vector<Watts> &root_budgets,
+                     const std::vector<ctrl::SpoPin> &pins,
+                     MessageStats &stats);
+    std::set<std::size_t>
+    iterateSpoTransport(const std::vector<Watts> &root_budgets,
+                        const std::vector<ctrl::SpoPin> &pins,
+                        MessageStats &stats);
+    /** Affected edges per attempted tree (edges holding >= 1 pin). */
+    std::map<std::size_t, std::set<topo::NodeId>>
+    pinnedEdges(const std::vector<ctrl::SpoPin> &pins) const;
     void rehomeWorker(std::size_t rack, MessageStats &stats);
 };
 

@@ -24,6 +24,7 @@ eventKindName(EventKind kind)
       case EventKind::MetricsLost:           return "metrics-lost";
       case EventKind::DefaultBudgetApplied:  return "default-budget";
       case EventKind::WorkerFailover:        return "worker-failover";
+      case EventKind::SpoFallback:           return "spo-fallback";
     }
     return "unknown";
 }

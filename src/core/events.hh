@@ -37,6 +37,7 @@ enum class EventKind {
     MetricsLost,
     DefaultBudgetApplied,
     WorkerFailover,
+    SpoFallback,
 };
 
 /** Name of an EventKind. */

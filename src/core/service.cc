@@ -132,12 +132,6 @@ void
 CapMaestroService::runPlanePeriod(
     const std::vector<ctrl::ServerAllocInput> &inputs)
 {
-    if (config_.enableSpo && !warnedSpoSkipped_) {
-        warnedSpoSkipped_ = true;
-        util::warn("CapMaestroService: stranded-power optimization is not "
-                   "run in message-plane mode (follow-up: distributed SPO)");
-    }
-
     // The leaf inputs are derived exactly as FleetAllocator derives them
     // (shared helpers), so under a lossless transport the plane's
     // budgets are bit-identical to the monolithic tree walk.
@@ -164,13 +158,53 @@ CapMaestroService::runPlanePeriod(
 
     stats_.messages = plane_->iterate(rootBudgets_);
 
+    const auto derive_caps = [&] {
+        ctrl::deriveServerCapsFrom(
+            system_, inputs, shares,
+            [this](std::size_t, const topo::ServerSupplyRef &ref) {
+                return plane_->leafBudget(ref);
+            },
+            stats_.allocation);
+    };
     stats_.allocation = ctrl::FleetAllocation{};
-    ctrl::deriveServerCapsFrom(
-        system_, inputs, shares,
-        [this](std::size_t, const topo::ServerSupplyRef &ref) {
-            return plane_->leafBudget(ref);
-        },
-        stats_.allocation);
+    derive_caps();
+
+    if (!config_.enableSpo)
+        return;
+
+    // §4.4 stranded-power optimization over the message plane: detect
+    // stranded supplies with the allocator's shared helper, run a second
+    // gather/budget round-trip for the affected trees, and re-derive the
+    // caps. Stranded power counts as reclaimed only on trees whose SPO
+    // round committed; a tree that missed a deadline kept its first-pass
+    // budgets and the plane reported the fallback.
+    std::vector<Watts> stranded_first(inputs.size(), 0.0);
+    while (stats_.allocation.passes < config_.spoPasses) {
+        const auto pins = ctrl::detectStrandedSupplies(
+            system_, inputs, shares, stats_.allocation,
+            config_.spoThreshold);
+        if (stats_.allocation.passes == 1) {
+            for (const ctrl::SpoPin &pin : pins) {
+                stranded_first[static_cast<std::size_t>(
+                    pin.ref.server)] += pin.stranded;
+            }
+        }
+        if (pins.empty())
+            break;
+
+        const auto committed =
+            plane_->iterateSpo(rootBudgets_, pins, stats_.messages);
+        for (const ctrl::SpoPin &pin : pins) {
+            if (committed.count(pin.tree))
+                stats_.allocation.strandedReclaimed += pin.stranded;
+        }
+        ++stats_.allocation.passes;
+        derive_caps();
+        if (committed.empty())
+            break; // every tree fell back; re-detection would not move
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        stats_.allocation.servers[i].strandedBeforeSpo = stranded_first[i];
 }
 
 void

@@ -76,9 +76,10 @@ struct ServiceConfig
      * rack/room workers of the DistributedControlPlane exchange encoded
      * frames (net/wire) through a SimTransport under the §4.5
      * fault-tolerant protocol instead of the in-process FleetAllocator
-     * tree walk. With a lossless zero-latency transport the budgets are
-     * bit-identical to the monolithic path (modulo SPO, which the
-     * message plane does not run — see runControlPeriod()).
+     * tree walk. The §4.4 stranded-power optimization runs as a second
+     * gather/budget round-trip over the same transport. With a lossless
+     * zero-latency transport the budgets — including the SPO second
+     * pass — are bit-identical to the monolithic path.
      */
     bool useMessagePlane = false;
     /** Transport fault model (message-plane mode only). */
@@ -192,7 +193,6 @@ class CapMaestroService
     std::vector<AttachedServer> servers_;
     std::vector<Watts> rootBudgets_;
     PeriodStats stats_;
-    bool warnedSpoSkipped_ = false;
 };
 
 } // namespace capmaestro::core

@@ -24,6 +24,15 @@
  * (no frame at all, any type) for heartbeatFailAfter consecutive
  * periods is declared dead and its edge controllers are re-homed to
  * the live rack worker hosting the fewest edges.
+ *
+ * When the stranded-power optimization (§4.4) detects pinned supplies,
+ * a third and fourth phase run within the same control period: racks
+ * send pinned-consumption summaries for the affected edges (upstream,
+ * against spoGatherDeadlineMs) and the room answers with second-pass
+ * budgets (downstream, against spoBudgetDeadlineMs), both with the
+ * same bounded-retransmission discipline. The SPO round is atomic per
+ * tree: a tree whose round-trip misses either deadline keeps its
+ * first-pass budgets wholesale — never a mix of the two passes.
  */
 
 #ifndef CAPMAESTRO_NET_PROTOCOL_HH
@@ -42,6 +51,10 @@ struct ProtocolConfig
     double retryTimeoutMs = 25.0;
     /** Total send attempts per message (first send + retries). */
     int maxAttempts = 4;
+    /** Deadline for the §4.4 pinned-summary gather, from SPO round start. */
+    double spoGatherDeadlineMs = 100.0;
+    /** Deadline for the §4.4 budget phase, from the SPO gather deadline. */
+    double spoBudgetDeadlineMs = 100.0;
     /** Oldest cached metrics (in periods) usable as a stale fallback. */
     int staleAgeCapPeriods = 2;
     /** Silent periods before a worker is declared dead and re-homed. */

@@ -186,8 +186,11 @@ crc32(const std::uint8_t *data, std::size_t size)
     return ~crc;
 }
 
+namespace {
+
 std::vector<std::uint8_t>
-encodeMetrics(const FrameMeta &meta, const MetricsMsg &msg)
+sealMetricsPayload(MsgType type, const FrameMeta &meta,
+                   const MetricsMsg &msg)
 {
     Writer p;
     p.u16(msg.tree);
@@ -200,17 +203,77 @@ encodeMetrics(const FrameMeta &meta, const MetricsMsg &msg)
         p.f64(c.demand);
         p.f64(c.request);
     }
-    return seal(MsgType::Metrics, meta, p.bytes());
+    return seal(type, meta, p.bytes());
 }
 
 std::vector<std::uint8_t>
-encodeBudget(const FrameMeta &meta, const BudgetMsg &msg)
+sealBudgetPayload(MsgType type, const FrameMeta &meta,
+                  const BudgetMsg &msg)
 {
     Writer p;
     p.u16(msg.tree);
     p.u32(msg.edgeNode);
     p.f64(msg.budget);
-    return seal(MsgType::Budget, meta, p.bytes());
+    return seal(type, meta, p.bytes());
+}
+
+/** Parse a Metrics-layout payload into @p out; false on malformation. */
+bool
+readMetricsPayload(Reader &p, MetricsMsg &out)
+{
+    out.tree = p.u16();
+    out.edgeNode = p.u32();
+    const double constraint = p.f64();
+    const std::size_t count = p.u16();
+    if (count > kMaxClasses)
+        return false;
+    auto &classes = out.metrics.classes();
+    classes.reserve(count);
+    bool first = true;
+    Priority prev = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        ctrl::ClassMetrics c;
+        c.priority = p.i32();
+        c.capMin = p.f64();
+        c.demand = p.f64();
+        c.request = p.f64();
+        if (!p.ok())
+            return false;
+        // NodeMetrics invariant: strictly descending priorities.
+        if (!first && c.priority >= prev)
+            return false;
+        first = false;
+        prev = c.priority;
+        classes.push_back(c);
+    }
+    out.metrics.setConstraint(constraint);
+    return true;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeMetrics(const FrameMeta &meta, const MetricsMsg &msg)
+{
+    return sealMetricsPayload(MsgType::Metrics, meta, msg);
+}
+
+std::vector<std::uint8_t>
+encodePinnedSummary(const FrameMeta &meta, const MetricsMsg &msg)
+{
+    return sealMetricsPayload(MsgType::PinnedSummary, meta, msg);
+}
+
+std::vector<std::uint8_t>
+encodeBudget(const FrameMeta &meta, const BudgetMsg &msg)
+{
+    return sealBudgetPayload(MsgType::Budget, meta, msg);
+}
+
+std::vector<std::uint8_t>
+encodeSpoBudget(const FrameMeta &meta, const BudgetMsg &msg)
+{
+    return sealBudgetPayload(MsgType::SpoBudget, meta, msg);
 }
 
 std::vector<std::uint8_t>
@@ -249,38 +312,15 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
 
     Reader p(bytes.data() + kHeaderSize, payload_size);
     switch (raw_type) {
-      case static_cast<std::uint8_t>(MsgType::Metrics): {
-        frame.type = MsgType::Metrics;
-        frame.metrics.tree = p.u16();
-        frame.metrics.edgeNode = p.u32();
-        const double constraint = p.f64();
-        const std::size_t count = p.u16();
-        if (count > kMaxClasses)
+      case static_cast<std::uint8_t>(MsgType::Metrics):
+      case static_cast<std::uint8_t>(MsgType::PinnedSummary):
+        frame.type = static_cast<MsgType>(raw_type);
+        if (!readMetricsPayload(p, frame.metrics))
             return std::nullopt;
-        auto &classes = frame.metrics.metrics.classes();
-        classes.reserve(count);
-        bool first = true;
-        Priority prev = 0;
-        for (std::size_t i = 0; i < count; ++i) {
-            ctrl::ClassMetrics c;
-            c.priority = p.i32();
-            c.capMin = p.f64();
-            c.demand = p.f64();
-            c.request = p.f64();
-            if (!p.ok())
-                return std::nullopt;
-            // NodeMetrics invariant: strictly descending priorities.
-            if (!first && c.priority >= prev)
-                return std::nullopt;
-            first = false;
-            prev = c.priority;
-            classes.push_back(c);
-        }
-        frame.metrics.metrics.setConstraint(constraint);
         break;
-      }
       case static_cast<std::uint8_t>(MsgType::Budget):
-        frame.type = MsgType::Budget;
+      case static_cast<std::uint8_t>(MsgType::SpoBudget):
+        frame.type = static_cast<MsgType>(raw_type);
         frame.budget.tree = p.u16();
         frame.budget.edgeNode = p.u32();
         frame.budget.budget = p.f64();

@@ -3,9 +3,14 @@
  * Binary wire codec for the distributed control protocol (paper §5,
  * §4.5).
  *
- * The rack and room workers exchange three message types per control
+ * The rack and room workers exchange five message types per control
  * period: per-priority metric summaries flowing upstream, budgets
- * flowing downstream, and heartbeats for worker-failure detection.
+ * flowing downstream, heartbeats for worker-failure detection, and —
+ * when the stranded-power optimization (§4.4) fires — a second
+ * round-trip of pinned-consumption summaries (upstream) and SPO
+ * budgets (downstream). The SPO pair reuses the Metrics/Budget payload
+ * layouts under distinct type codes so a retransmitted first-phase
+ * frame can never masquerade as a second-phase one.
  * Every message travels in one self-contained frame:
  *
  *   offset  size  field
@@ -33,6 +38,9 @@
  *              request f64), priorities strictly descending
  *   Budget   : tree u16 | edge node u32 | budget f64
  *   Heartbeat: empty (the header carries everything)
+ *   PinnedSummary: same layout as Metrics (edge metrics recomputed
+ *              with §4.4 pinned leaves)
+ *   SpoBudget: same layout as Budget (second-pass edge budget)
  */
 
 #ifndef CAPMAESTRO_NET_WIRE_HH
@@ -50,8 +58,8 @@ namespace capmaestro::net {
 /** Frame magic value. */
 constexpr std::uint16_t kWireMagic = 0xCA9E;
 
-/** Current wire-format version. */
-constexpr std::uint8_t kWireVersion = 1;
+/** Current wire-format version (2 added the §4.4 SPO message pair). */
+constexpr std::uint8_t kWireVersion = 2;
 
 /** Sender id the room worker uses (racks use their rack index). */
 constexpr std::uint16_t kRoomSender = 0xFFFF;
@@ -67,6 +75,10 @@ enum class MsgType : std::uint8_t {
     Metrics = 1,
     Budget = 2,
     Heartbeat = 3,
+    /** §4.4 second-round pinned-consumption summary (rack -> room). */
+    PinnedSummary = 4,
+    /** §4.4 second-round budget (room -> rack). */
+    SpoBudget = 5,
 };
 
 /** Per-priority metric summary for one edge controller (upstream). */
@@ -92,9 +104,9 @@ struct Frame
     std::uint16_t sender = 0;
     std::uint32_t epoch = 0;
     std::uint32_t seq = 0;
-    /** Valid iff type == Metrics. */
+    /** Valid iff type == Metrics or PinnedSummary. */
     MetricsMsg metrics;
-    /** Valid iff type == Budget. */
+    /** Valid iff type == Budget or SpoBudget. */
     BudgetMsg budget;
 };
 
@@ -116,6 +128,14 @@ std::vector<std::uint8_t> encodeBudget(const FrameMeta &meta,
 
 /** Encode a heartbeat frame. */
 std::vector<std::uint8_t> encodeHeartbeat(const FrameMeta &meta);
+
+/** Encode a §4.4 pinned-consumption summary (Metrics payload layout). */
+std::vector<std::uint8_t> encodePinnedSummary(const FrameMeta &meta,
+                                              const MetricsMsg &msg);
+
+/** Encode a §4.4 second-pass budget (Budget payload layout). */
+std::vector<std::uint8_t> encodeSpoBudget(const FrameMeta &meta,
+                                          const BudgetMsg &msg);
 
 /**
  * Decode one frame. Returns nullopt on any malformation (short buffer,

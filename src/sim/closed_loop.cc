@@ -265,9 +265,15 @@ ClosedLoopSim::controlPeriodTick()
               case core::DegradedKind::WorkerFailover:
                 kind = core::EventKind::WorkerFailover;
                 break;
+              case core::DegradedKind::SpoFallback:
+                kind = core::EventKind::SpoFallback;
+                break;
             }
             if (d.kind == core::DegradedKind::WorkerFailover) {
                 subject = "worker" + std::to_string(d.rack);
+            } else if (d.kind == core::DegradedKind::SpoFallback) {
+                // Tree-wide decision: no single edge node to name.
+                subject = system_->tree(d.tree).name();
             } else {
                 subject = system_->tree(d.tree).name() + "."
                           + system_->tree(d.tree).node(d.node).name;

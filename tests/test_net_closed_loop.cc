@@ -4,15 +4,27 @@
  * sense -> gather -> budget -> actuate loop running over a faulty
  * SimTransport. Asserts (1) service-level equivalence with the
  * monolithic path under a lossless transport, (2) budget safety at 20%
- * frame loss (no breaker ever trips), and (3) degraded-mode decisions
- * surfacing in the structured event log.
+ * frame loss (no breaker ever trips), (3) degraded-mode decisions
+ * surfacing in the structured event log, and (4) §4.4 SPO degradation:
+ * under loss or timeout a tree either commits its whole second-pass
+ * budget set or keeps its first-pass budgets untouched - never a mix -
+ * and every fallback shows up in MessageStats and the event log.
  */
 
 #include <gtest/gtest.h>
 
 #include <bit>
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "control/allocator.hh"
+#include "core/distributed.hh"
+#include "net/transport.hh"
+#include "policy/policy.hh"
 
 #include "config/loader.hh"
 #include "core/events.hh"
@@ -65,6 +77,63 @@ const char *kScenario = R"({
   "budgets": { "perTree": [ 1240 ] }
 })";
 
+/**
+ * The Figure 7a dual-feed stranded-power testbed (SPO on): dual-corded
+ * servers with intrinsic share mismatches, so the §4.4 second round
+ * fires every period once caps bite.
+ */
+const char *kSpoScenario = R"({
+  "feeds": 2,
+  "trees": [
+    {
+      "feed": 0, "phase": 0, "name": "X",
+      "root": {
+        "kind": "breaker", "name": "topCB", "rating": 1400,
+        "children": [
+          { "kind": "breaker", "name": "leftCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 0, "supply": 0 },
+              { "kind": "supply", "server": 2, "supply": 0 } ] },
+          { "kind": "breaker", "name": "rightCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 3, "supply": 0 } ] }
+        ]
+      }
+    },
+    {
+      "feed": 1, "phase": 0, "name": "Y",
+      "root": {
+        "kind": "breaker", "name": "topCB", "rating": 1400,
+        "children": [
+          { "kind": "breaker", "name": "leftCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 1, "supply": 1 },
+              { "kind": "supply", "server": 2, "supply": 1 } ] },
+          { "kind": "breaker", "name": "rightCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 3, "supply": 1 } ] }
+        ]
+      }
+    }
+  ],
+  "servers": [
+    { "name": "SA", "priority": 1,
+      "supplies": [ { "share": 0.5 }, { "share": 0.5 } ],
+      "workload": { "type": "constant", "utilization": 0.684 } },
+    { "name": "SB",
+      "supplies": [ { "share": 0.5 }, { "share": 0.5 } ],
+      "workload": { "type": "constant", "utilization": 0.686 } },
+    { "name": "SC",
+      "supplies": [ { "share": 0.53 }, { "share": 0.47 } ],
+      "workload": { "type": "constant", "utilization": 0.722 } },
+    { "name": "SD",
+      "supplies": [ { "share": 0.46 }, { "share": 0.54 } ],
+      "workload": { "type": "constant", "utilization": 0.734 } }
+  ],
+  "service": { "policy": "global", "spo": true },
+  "budgets": { "totalPerPhase": 1400 }
+})";
+
 config::LoadedScenario
 loadWithTransport(const std::string &transport_json)
 {
@@ -74,6 +143,97 @@ loadWithTransport(const std::string &transport_json)
                                    util::parseJson(transport_json));
     }
     return scenario;
+}
+
+config::LoadedScenario
+loadSpoWithTransport(const std::string &transport_json)
+{
+    auto scenario = config::loadScenario(util::parseJson(kSpoScenario));
+    config::applyTransportJson(scenario.service,
+                               util::parseJson(transport_json));
+    return scenario;
+}
+
+/** Fleet inputs for the SPO scenario's servers, demand near capMax. */
+std::vector<ctrl::ServerAllocInput>
+spoInputs(const config::LoadedScenario &scenario)
+{
+    std::vector<ctrl::ServerAllocInput> inputs;
+    for (const auto &server : scenario.servers) {
+        const auto &spec = server.spec;
+        ctrl::ServerAllocInput in;
+        in.priority = spec.priority;
+        in.capMin = spec.capMin;
+        in.capMax = spec.capMax;
+        in.demand = spec.capMin + 0.8 * (spec.capMax - spec.capMin);
+        in.supplies.resize(spec.supplies.size());
+        for (std::size_t s = 0; s < spec.supplies.size(); ++s)
+            in.supplies[s].share = spec.supplies[s].loadShare;
+        inputs.push_back(std::move(in));
+    }
+    return inputs;
+}
+
+/** Per-leaf budget snapshot of the whole plane. */
+std::map<std::pair<int, int>, std::uint64_t>
+leafSnapshot(core::DistributedControlPlane &plane,
+             const topo::PowerSystem &system)
+{
+    std::map<std::pair<int, int>, std::uint64_t> snap;
+    for (const auto &tree : system.trees()) {
+        for (const auto &ref : tree->suppliesUnder(tree->root())) {
+            snap[{ref.server, ref.supply}] =
+                std::bit_cast<std::uint64_t>(plane.leafBudget(ref));
+        }
+    }
+    return snap;
+}
+
+/**
+ * First-pass iterate + stranded detection + one SPO round on the given
+ * plane. Returns the committed tree set; @p first_pass receives the
+ * leaf budgets as of the end of the first pass and @p pins_found the
+ * number of stranded supplies detected (0 means the SPO round was a
+ * no-op, e.g. after heavy first-pass degradation).
+ */
+std::set<std::size_t>
+runOneSpoRound(core::DistributedControlPlane &plane,
+               const topo::PowerSystem &system,
+               const std::vector<ctrl::ServerAllocInput> &inputs,
+               const std::vector<Watts> &root_budgets,
+               core::MessageStats &stats,
+               std::map<std::pair<int, int>, std::uint64_t> &first_pass,
+               std::size_t &pins_found)
+{
+    std::vector<std::vector<Fraction>> shares(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        shares[i] = ctrl::effectiveSupplyShares(
+            system, inputs[i], static_cast<std::int32_t>(i));
+    }
+    for (const auto &tree : system.trees()) {
+        for (const auto &ref : tree->suppliesUnder(tree->root())) {
+            const auto sid = static_cast<std::size_t>(ref.server);
+            const auto sup = static_cast<std::size_t>(ref.supply);
+            const Fraction r =
+                sup < shares[sid].size() ? shares[sid][sup] : 0.0;
+            plane.setLeafInput(ref,
+                               ctrl::scaledLeafInput(inputs[sid], r));
+        }
+    }
+    stats = plane.iterate(root_budgets);
+    first_pass = leafSnapshot(plane, system);
+
+    ctrl::FleetAllocation alloc;
+    ctrl::deriveServerCapsFrom(
+        system, inputs, shares,
+        [&](std::size_t, const topo::ServerSupplyRef &ref) {
+            return plane.leafBudget(ref);
+        },
+        alloc);
+    const auto pins =
+        ctrl::detectStrandedSupplies(system, inputs, shares, alloc, 1.0);
+    pins_found = pins.size();
+    return plane.iterateSpo(root_budgets, pins, stats);
 }
 
 } // namespace
@@ -182,6 +342,7 @@ TEST(NetClosedLoop, TransportJsonRoundTripIntoServiceConfig)
         "\"jitterMs\": 1, \"reorderRate\": 0.1, \"maxAttempts\": 6, "
         "\"staleAgeCap\": 4, \"heartbeatFailAfter\": 5, "
         "\"gatherDeadlineMs\": 200, \"budgetDeadlineMs\": 150, "
+        "\"spoGatherDeadlineMs\": 120, \"spoBudgetDeadlineMs\": 80, "
         "\"retryTimeoutMs\": 40, \"seed\": 77}");
     const auto &svc = scenario.service;
     EXPECT_TRUE(svc.useMessagePlane);
@@ -196,9 +357,220 @@ TEST(NetClosedLoop, TransportJsonRoundTripIntoServiceConfig)
     EXPECT_EQ(svc.protocol.heartbeatFailAfter, 5);
     EXPECT_DOUBLE_EQ(svc.protocol.gatherDeadlineMs, 200.0);
     EXPECT_DOUBLE_EQ(svc.protocol.budgetDeadlineMs, 150.0);
+    EXPECT_DOUBLE_EQ(svc.protocol.spoGatherDeadlineMs, 120.0);
+    EXPECT_DOUBLE_EQ(svc.protocol.spoBudgetDeadlineMs, 80.0);
     EXPECT_DOUBLE_EQ(svc.protocol.retryTimeoutMs, 40.0);
 
     // "enabled": false declares the block without switching modes.
     auto off = loadWithTransport("{\"enabled\": false, \"dropRate\": 0.5}");
     EXPECT_FALSE(off.service.useMessagePlane);
+}
+
+TEST(NetClosedLoop, SpoGatherTimeoutFallsBackToFirstPassBudgets)
+{
+    // 5 ms link latency against a 1 ms SPO gather deadline: no pinned
+    // summary can arrive in time, so every attempted tree must fall
+    // back wholesale to its first-pass budgets. The main round, under
+    // the default 100 ms deadlines, is unaffected.
+    auto scenario = loadSpoWithTransport("{\"latencyMs\": 5}");
+    const topo::PowerSystem &system = *scenario.system;
+    const auto policy = policy::treePolicy(scenario.service.policy);
+    const auto inputs = spoInputs(scenario);
+
+    net::SimTransport tp{scenario.service.transport};
+    auto protocol = scenario.service.protocol;
+    protocol.spoGatherDeadlineMs = 1.0;
+    core::DistributedControlPlane plane(system, policy, tp, protocol);
+
+    core::MessageStats stats;
+    std::map<std::pair<int, int>, std::uint64_t> first_pass;
+    std::size_t pins = 0;
+    const auto committed =
+        runOneSpoRound(plane, system, inputs, scenario.rootBudgets,
+                       stats, first_pass, pins);
+
+    ASSERT_GT(pins, 0u)
+        << "scenario no longer strands power; the test lost its teeth";
+    EXPECT_TRUE(committed.empty());
+    EXPECT_GT(stats.spoTreesAttempted, 0u);
+    EXPECT_EQ(stats.spoCommittedTrees, 0u);
+    EXPECT_EQ(stats.spoFallbackTrees, stats.spoTreesAttempted);
+
+    // Every fallback was taken in the gather phase (value 1.0) and is
+    // tree-wide (no single edge node to blame).
+    std::size_t fallbacks = 0;
+    for (const auto &d : stats.degraded) {
+        if (d.kind != core::DegradedKind::SpoFallback)
+            continue;
+        ++fallbacks;
+        EXPECT_EQ(d.node, topo::kNoNode);
+        EXPECT_DOUBLE_EQ(d.value, 1.0);
+    }
+    EXPECT_EQ(fallbacks, stats.spoFallbackTrees);
+
+    // First-pass budgets stand untouched at every leaf.
+    EXPECT_EQ(leafSnapshot(plane, system), first_pass);
+}
+
+TEST(NetClosedLoop, SpoBudgetTimeoutFallsBackToFirstPassBudgets)
+{
+    // Gather succeeds (default 100 ms deadline vs 5 ms latency) but the
+    // 1 ms budget deadline expires with every SpoBudget frame still in
+    // flight. Racks buffer rather than apply, so nothing may have
+    // leaked through: first-pass budgets stand, and the fallback is
+    // recorded as budget-phase (value 2.0).
+    auto scenario = loadSpoWithTransport("{\"latencyMs\": 5}");
+    const topo::PowerSystem &system = *scenario.system;
+    const auto policy = policy::treePolicy(scenario.service.policy);
+    const auto inputs = spoInputs(scenario);
+
+    net::SimTransport tp{scenario.service.transport};
+    auto protocol = scenario.service.protocol;
+    protocol.spoBudgetDeadlineMs = 1.0;
+    core::DistributedControlPlane plane(system, policy, tp, protocol);
+
+    core::MessageStats stats;
+    std::map<std::pair<int, int>, std::uint64_t> first_pass;
+    std::size_t pins = 0;
+    const auto committed =
+        runOneSpoRound(plane, system, inputs, scenario.rootBudgets,
+                       stats, first_pass, pins);
+
+    ASSERT_GT(pins, 0u)
+        << "scenario no longer strands power; the test lost its teeth";
+    EXPECT_TRUE(committed.empty());
+    EXPECT_GT(stats.spoSummaryMessages, 0u); // the gather did complete
+    EXPECT_EQ(stats.spoCommittedTrees, 0u);
+    EXPECT_EQ(stats.spoFallbackTrees, stats.spoTreesAttempted);
+    for (const auto &d : stats.degraded) {
+        if (d.kind == core::DegradedKind::SpoFallback) {
+            EXPECT_DOUBLE_EQ(d.value, 2.0);
+        }
+    }
+    EXPECT_EQ(leafSnapshot(plane, system), first_pass);
+}
+
+TEST(NetClosedLoop, SpoPartialBudgetDeliveryNeverAppliesAMix)
+{
+    // 50% loss with retries disabled: across seeds, some SPO rounds
+    // lose only part of a tree's budget frames. A tree that misses any
+    // edge must keep ALL of its first-pass budgets - including at the
+    // edges whose frames did arrive (buffered, never applied).
+    std::size_t budget_phase_fallbacks = 0;
+    std::size_t commits = 0;
+    for (std::uint32_t seed = 1; seed <= 60; ++seed) {
+        auto scenario = loadSpoWithTransport("{\"dropRate\": 0.5}");
+        auto transport_cfg = scenario.service.transport;
+        transport_cfg.seed = seed;
+        net::SimTransport tp{transport_cfg};
+        auto protocol = scenario.service.protocol;
+        protocol.maxAttempts = 1;
+        const topo::PowerSystem &system = *scenario.system;
+        const auto policy = policy::treePolicy(scenario.service.policy);
+        const auto inputs = spoInputs(scenario);
+        core::DistributedControlPlane plane(system, policy, tp,
+                                            protocol);
+
+        core::MessageStats stats;
+        std::map<std::pair<int, int>, std::uint64_t> first_pass;
+        std::size_t pins = 0;
+        const auto committed =
+            runOneSpoRound(plane, system, inputs, scenario.rootBudgets,
+                           stats, first_pass, pins);
+
+        ASSERT_EQ(stats.spoTreesAttempted,
+                  stats.spoCommittedTrees + stats.spoFallbackTrees)
+            << "seed " << seed;
+        commits += stats.spoCommittedTrees;
+
+        std::set<std::size_t> fallen;
+        for (const auto &d : stats.degraded) {
+            if (d.kind == core::DegradedKind::SpoFallback) {
+                fallen.insert(d.tree);
+                if (d.value == 2.0)
+                    ++budget_phase_fallbacks;
+            }
+        }
+        EXPECT_EQ(fallen.size(), stats.spoFallbackTrees)
+            << "seed " << seed;
+
+        const auto after = leafSnapshot(plane, system);
+        for (const std::size_t t : fallen) {
+            const auto &tree = system.tree(t);
+            for (const auto &ref : tree.suppliesUnder(tree.root())) {
+                const auto key =
+                    std::make_pair(ref.server, ref.supply);
+                EXPECT_EQ(after.at(key), first_pass.at(key))
+                    << "seed " << seed << " tree " << t << " server "
+                    << ref.server << " supply " << ref.supply
+                    << ": fallen tree budget changed (stale mix)";
+            }
+        }
+        for (const std::size_t t : committed)
+            EXPECT_FALSE(fallen.count(t)) << "seed " << seed;
+    }
+    // The sweep must exercise both outcomes, or it proves nothing.
+    EXPECT_GT(budget_phase_fallbacks, 0u);
+    EXPECT_GT(commits, 0u);
+}
+
+TEST(NetClosedLoop, SpoAtTwentyPercentLossNeverTripsABreaker)
+{
+    // The §4.5 acceptance bar extended to the second round: at 20%
+    // frame drop the SPO phase may retry or fall back, but budgets stay
+    // enforced (no trips) and the counter identity holds every period.
+    auto sim = config::makeSimulation(
+        loadSpoWithTransport("{\"dropRate\": 0.2, \"seed\": 21}"), 1);
+
+    std::size_t rounds = 0, committed = 0, fallbacks = 0;
+    for (int period = 0; period < 50; ++period) {
+        sim.run(8);
+        const auto &msgs = sim.service().lastStats().messages;
+        ASSERT_EQ(msgs.spoTreesAttempted,
+                  msgs.spoCommittedTrees + msgs.spoFallbackTrees)
+            << "period " << period;
+        rounds += msgs.spoRounds;
+        committed += msgs.spoCommittedTrees;
+        fallbacks += msgs.spoFallbackTrees;
+    }
+    EXPECT_FALSE(sim.anyBreakerTripped());
+    EXPECT_EQ(sim.eventLog().count(core::EventKind::BreakerTripped), 0u);
+    EXPECT_GT(rounds, 0u);
+    EXPECT_GT(committed, 0u);
+    // Every fallback the plane counted surfaced as a structured event.
+    EXPECT_EQ(sim.eventLog().count(core::EventKind::SpoFallback),
+              fallbacks);
+}
+
+TEST(NetClosedLoop, SpoAtSeventyPercentLossFallsBackIntoEventLog)
+{
+    // At 70% drop, SPO fallbacks are statistically certain over 50
+    // periods. Each one must appear in the event log, named after the
+    // tree that kept its first-pass budgets, with the phase code as the
+    // value - and the first-pass safety story still holds: no trips.
+    auto sim = config::makeSimulation(
+        loadSpoWithTransport("{\"dropRate\": 0.7, \"seed\": 5}"), 1);
+
+    std::size_t fallbacks = 0;
+    for (int period = 0; period < 50; ++period) {
+        sim.run(8);
+        const auto &msgs = sim.service().lastStats().messages;
+        ASSERT_EQ(msgs.spoTreesAttempted,
+                  msgs.spoCommittedTrees + msgs.spoFallbackTrees)
+            << "period " << period;
+        fallbacks += msgs.spoFallbackTrees;
+    }
+    EXPECT_FALSE(sim.anyBreakerTripped());
+    EXPECT_GT(fallbacks, 0u);
+
+    const auto &log = sim.eventLog();
+    EXPECT_EQ(log.count(core::EventKind::SpoFallback), fallbacks);
+    for (const auto &e : log.events()) {
+        if (e.kind != core::EventKind::SpoFallback)
+            continue;
+        EXPECT_TRUE(e.subject == "X" || e.subject == "Y")
+            << "subject: " << e.subject;
+        EXPECT_TRUE(e.value == 1.0 || e.value == 2.0)
+            << "value: " << e.value;
+    }
 }

@@ -104,6 +104,68 @@ TEST(Wire, HeartbeatRoundTrip)
     EXPECT_EQ(frame->seq, 1u);
 }
 
+TEST(Wire, PinnedSummaryRoundTripIsBitExact)
+{
+    // The §4.4 second-round summary reuses the Metrics payload layout
+    // but must come back under its own type code.
+    const auto msg = sampleMetrics();
+    const FrameMeta meta{11, 2000, 99};
+    const auto bytes = net::encodePinnedSummary(meta, msg);
+
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::PinnedSummary);
+    EXPECT_EQ(frame->sender, 11);
+    EXPECT_EQ(frame->epoch, 2000u);
+    EXPECT_EQ(frame->seq, 99u);
+    EXPECT_EQ(frame->metrics.tree, 3);
+    EXPECT_EQ(frame->metrics.edgeNode, 17u);
+    expectBitExact(frame->metrics.metrics, msg.metrics);
+}
+
+TEST(Wire, SpoBudgetRoundTripIsBitExact)
+{
+    BudgetMsg msg;
+    msg.tree = 2;
+    msg.edgeNode = 14;
+    msg.budget = 1350.0000000001;
+    const auto bytes =
+        net::encodeSpoBudget(FrameMeta{net::kRoomSender, 8, 21}, msg);
+
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::SpoBudget);
+    EXPECT_EQ(frame->budget.tree, 2);
+    EXPECT_EQ(frame->budget.edgeNode, 14u);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frame->budget.budget),
+              std::bit_cast<std::uint64_t>(msg.budget));
+}
+
+TEST(Wire, SpoTypesAreDistinctFromFirstPhaseTypes)
+{
+    // Identical payload, different phase: the only difference between
+    // the frames is the type byte, so a retransmitted first-phase frame
+    // can never decode as a second-phase one (or vice versa).
+    const auto msg = sampleMetrics();
+    const FrameMeta meta{1, 2, 3};
+    const auto first = net::decodeFrame(net::encodeMetrics(meta, msg));
+    const auto second =
+        net::decodeFrame(net::encodePinnedSummary(meta, msg));
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_NE(first->type, second->type);
+
+    BudgetMsg b;
+    b.tree = 1;
+    b.edgeNode = 4;
+    b.budget = 500.0;
+    const auto down1 = net::decodeFrame(net::encodeBudget(meta, b));
+    const auto down2 = net::decodeFrame(net::encodeSpoBudget(meta, b));
+    ASSERT_TRUE(down1.has_value());
+    ASSERT_TRUE(down2.has_value());
+    EXPECT_NE(down1->type, down2->type);
+}
+
 TEST(Wire, EmptyMetricsRoundTrip)
 {
     // A dead edge reports zero classes; the codec must carry that.
@@ -158,6 +220,74 @@ TEST(Wire, EverySingleBitFlipRejected)
         corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
         EXPECT_FALSE(net::decodeFrame(corrupted).has_value())
             << "bit " << bit << " flip decoded";
+    }
+}
+
+TEST(Wire, PinnedSummaryEveryTruncationRejected)
+{
+    const auto bytes = net::encodePinnedSummary(FrameMeta{1, 2, 3},
+                                                sampleMetrics());
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + len);
+        EXPECT_FALSE(net::decodeFrame(prefix).has_value())
+            << "prefix of " << len << " bytes decoded";
+    }
+}
+
+TEST(Wire, PinnedSummaryEverySingleBitFlipRejected)
+{
+    const auto bytes = net::encodePinnedSummary(FrameMeta{1, 2, 3},
+                                                sampleMetrics());
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        auto corrupted = bytes;
+        corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(net::decodeFrame(corrupted).has_value())
+            << "bit " << bit << " flip decoded";
+    }
+}
+
+TEST(Wire, PinnedSummaryRandomMultiBitCorruptionNeverCrashes)
+{
+    util::Rng rng(90210);
+    const auto base = net::encodePinnedSummary(FrameMeta{1, 2, 3},
+                                               sampleMetrics());
+    for (int trial = 0; trial < 2000; ++trial) {
+        auto corrupted = base;
+        const int flips = rng.uniformInt(2, 64);
+        for (int f = 0; f < flips; ++f) {
+            const auto bit = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(corrupted.size() * 8) - 1));
+            corrupted[bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        const auto frame = net::decodeFrame(corrupted);
+        if (frame.has_value()
+            && frame->type == MsgType::PinnedSummary) {
+            const auto &classes = frame->metrics.metrics.classes();
+            for (std::size_t i = 1; i < classes.size(); ++i)
+                EXPECT_LT(classes[i].priority, classes[i - 1].priority);
+        }
+    }
+}
+
+TEST(Wire, SpoBudgetTruncationAndBitFlipsRejected)
+{
+    BudgetMsg msg;
+    msg.tree = 7;
+    msg.edgeNode = 3;
+    msg.budget = 775.25;
+    const auto bytes =
+        net::encodeSpoBudget(FrameMeta{net::kRoomSender, 4, 6}, msg);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + len);
+        EXPECT_FALSE(net::decodeFrame(prefix).has_value());
+    }
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        auto corrupted = bytes;
+        corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(net::decodeFrame(corrupted).has_value());
     }
 }
 

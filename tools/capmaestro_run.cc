@@ -186,14 +186,21 @@ main(int argc, char **argv)
         std::printf(
             "\nmessage plane (last period): %zu metrics + %zu budget + "
             "%zu heartbeat msgs, %zu retries, %zu bytes on wire\n"
+            "spo round (last period): %zu summary + %zu budget msgs, "
+            "%zu retries, %zu/%zu trees committed, %zu bytes on wire\n"
             "degraded decisions over the run: %zu stale-metrics, "
-            "%zu metrics-lost, %zu default-budget, %zu worker-failover\n",
+            "%zu metrics-lost, %zu default-budget, %zu worker-failover, "
+            "%zu spo-fallback\n",
             msgs.metricsMessages, msgs.budgetMessages,
             msgs.heartbeatMessages, msgs.retries, msgs.bytesOnWire,
+            msgs.spoSummaryMessages, msgs.spoBudgetMessages,
+            msgs.spoRetries, msgs.spoCommittedTrees,
+            msgs.spoTreesAttempted, msgs.spoBytesOnWire,
             log.count(core::EventKind::StaleMetricsReused),
             log.count(core::EventKind::MetricsLost),
             log.count(core::EventKind::DefaultBudgetApplied),
-            log.count(core::EventKind::WorkerFailover));
+            log.count(core::EventKind::WorkerFailover),
+            log.count(core::EventKind::SpoFallback));
     }
     if (!simulation.eventLog().events().empty()) {
         std::printf("\nevents:\n");
