@@ -31,4 +31,17 @@ cmake --build build-asan -j --target \
 (cd build-asan && ctest -L net --output-on-failure -j)
 
 echo
+echo "== sanitizers: ASan+UBSan run of the telemetry tier =="
+# The observability tier (label "telemetry"): registry/tracer units,
+# the closed-loop trace contract, and the export tools end to end.
+cmake --build build-asan -j --target \
+    test_telemetry capmaestro_run capmaestro_trace capmaestro_audit
+(cd build-asan && ctest -L telemetry --output-on-failure -j)
+build-asan/tools/capmaestro_run configs/dual_feed_spo.json \
+    --duration=32 --drop-rate=0.1 \
+    --telemetry-out=build-asan/telemetry_smoke > /dev/null
+build-asan/tools/capmaestro_trace \
+    build-asan/telemetry_smoke/trace.jsonl --summary > /dev/null
+
+echo
 echo "All checks passed."

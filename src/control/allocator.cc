@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <string>
 
 #include "util/logging.hh"
 #include "util/numeric.hh"
@@ -159,6 +161,55 @@ detectStrandedSupplies(const topo::PowerSystem &system,
     return pins;
 }
 
+void
+recordAllocationTelemetry(telemetry::Registry *registry,
+                          const std::vector<ServerAllocInput> &servers,
+                          const FleetAllocation &alloc)
+{
+    if (registry == nullptr)
+        return;
+
+    // Aggregate grants and unmet demand by priority class.
+    std::map<Priority, Watts> granted;
+    std::map<Priority, Watts> denied;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        const ServerAllocation &server = alloc.servers[i];
+        granted[servers[i].priority] += server.enforceableCapAc;
+        denied[servers[i].priority] += std::max(
+            0.0, server.effectiveDemand - server.enforceableCapAc);
+    }
+    for (const auto &[priority, watts] : granted) {
+        registry
+            ->gauge("capmaestro_alloc_granted_watts",
+                    {{"priority", std::to_string(priority)}},
+                    "Enforceable AC cap granted, by priority class")
+            .set(watts);
+    }
+    for (const auto &[priority, watts] : denied) {
+        registry
+            ->gauge("capmaestro_alloc_denied_watts",
+                    {{"priority", std::to_string(priority)}},
+                    "Demand above the granted cap, by priority class")
+            .set(watts);
+    }
+    registry
+        ->gauge("capmaestro_alloc_feasible", {},
+                "1 when every tree covered its Pcap_min floors")
+        .set(alloc.feasible ? 1.0 : 0.0);
+    registry
+        ->gauge("capmaestro_alloc_passes", {},
+                "Allocation passes run last period (2+ = SPO re-run)")
+        .set(static_cast<double>(alloc.passes));
+    registry
+        ->gauge("capmaestro_spo_reclaimed_watts", {},
+                "Stranded watts reclaimed by SPO last period")
+        .set(alloc.strandedReclaimed);
+    registry
+        ->counter("capmaestro_spo_reclaimed_watts_total", {},
+                  "Cumulative stranded watts reclaimed by SPO")
+        .inc(alloc.strandedReclaimed);
+}
+
 LeafInput
 pinnedLeafInput(Priority priority, Watts consumption)
 {
@@ -252,8 +303,10 @@ FleetAllocator::allocate(const std::vector<ServerAllocInput> &servers,
     runPass(root_budgets, out);
     deriveServerCaps(servers, shares, out);
 
-    if (!enable_spo)
+    if (!enable_spo) {
+        recordAllocationTelemetry(registry_, servers, out);
         return out;
+    }
 
     // Stranded-power optimization: on capped servers, any live supply
     // whose budget exceeds what the binding supply lets the server draw
@@ -286,6 +339,7 @@ FleetAllocator::allocate(const std::vector<ServerAllocInput> &servers,
 
     for (std::size_t i = 0; i < servers.size(); ++i)
         out.servers[i].strandedBeforeSpo = stranded_first_pass[i];
+    recordAllocationTelemetry(registry_, servers, out);
     return out;
 }
 

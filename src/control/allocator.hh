@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "control/control_tree.hh"
+#include "telemetry/registry.hh"
 #include "topology/power_system.hh"
 #include "util/units.hh"
 
@@ -131,6 +132,16 @@ detectStrandedSupplies(const topo::PowerSystem &system,
 LeafInput pinnedLeafInput(Priority priority, Watts consumption);
 
 /**
+ * Record fleet-allocation outcome metrics into @p registry (no-op when
+ * nullptr): per-priority granted/denied watts, feasibility, pass count,
+ * and SPO reclaimed watts. Shared by the monolithic FleetAllocator and
+ * the distributed message plane so both modes export the same series.
+ */
+void recordAllocationTelemetry(telemetry::Registry *registry,
+                               const std::vector<ServerAllocInput> &servers,
+                               const FleetAllocation &alloc);
+
+/**
  * Derive per-server enforceable caps from per-supply leaf budgets (the
  * most-constrained supply binds). @p budget_of returns the allocated
  * budget for a supply leaf given its tree index and reference; the
@@ -185,9 +196,19 @@ class FleetAllocator
     /** Number of trees. */
     std::size_t treeCount() const { return trees_.size(); }
 
+    /**
+     * Attach a metrics registry (nullptr detaches); allocate() then
+     * records its outcome via recordAllocationTelemetry().
+     */
+    void setTelemetry(telemetry::Registry *registry)
+    {
+        registry_ = registry;
+    }
+
   private:
     const topo::PowerSystem &system_;
     std::vector<std::unique_ptr<ControlTree>> trees_;
+    telemetry::Registry *registry_ = nullptr;
 
     /** Effective per-supply shares for a server given live feeds. */
     std::vector<Fraction>

@@ -29,6 +29,38 @@ CappingController::CappingController(const dev::ServerModel &server,
 }
 
 void
+CappingController::setTelemetry(telemetry::Registry *registry)
+{
+    registry_ = registry;
+    if (registry_ == nullptr) {
+        mErrorWatts_ = {};
+        mThrottle_ = {};
+        mDemandWatts_ = {};
+        mDcCapWatts_ = {};
+        mSettlePeriods_ = {};
+        mPeriods_ = {};
+        return;
+    }
+    const telemetry::Labels labels = {{"server", server_.spec().name}};
+    mErrorWatts_ =
+        registry_->gauge("capmaestro_server_error_watts", labels,
+                         "Most conservative per-supply budget error");
+    mThrottle_ = registry_->gauge("capmaestro_server_throttle", labels,
+                                  "Average throttle level last period");
+    mDemandWatts_ =
+        registry_->gauge("capmaestro_server_demand_watts", labels,
+                         "Estimated uncapped AC demand");
+    mDcCapWatts_ = registry_->gauge("capmaestro_server_dc_cap_watts",
+                                    labels, "Actuated DC cap");
+    mSettlePeriods_ = registry_->gauge(
+        "capmaestro_server_settle_periods", labels,
+        "Consecutive periods with |error| inside the settle band");
+    mPeriods_ =
+        registry_->counter("capmaestro_server_periods_total", labels,
+                           "Control periods actuated for this server");
+}
+
+void
 CappingController::senseTick()
 {
     const dev::SensorReading r = sensors_.read();
@@ -99,6 +131,10 @@ CappingController::closePeriod()
     samples_ = 0;
 
     report_ = rep;
+    if (registry_ != nullptr) {
+        mThrottle_.set(report_.avgThrottle);
+        mDemandWatts_.set(report_.demandEstimate);
+    }
     return report_;
 }
 
@@ -164,6 +200,19 @@ CappingController::applyBudgets(const std::vector<Watts> &budgets_ac)
     // Step 4: clip to the controllable range and actuate.
     integratorDc_ = util::clamp(integratorDc_, cap_min_dc, cap_max_dc);
     nm_.setDcCap(integratorDc_);
+
+    if (registry_ != nullptr) {
+        // "Settled" = the conservative error stayed within a small band;
+        // count consecutive such periods as a convergence indicator.
+        constexpr double kSettleBandWatts = 2.0;
+        settlePeriods_ = std::abs(min_error) <= kSettleBandWatts
+                             ? settlePeriods_ + 1
+                             : 0;
+        mErrorWatts_.set(min_error);
+        mDcCapWatts_.set(integratorDc_);
+        mSettlePeriods_.set(static_cast<double>(settlePeriods_));
+        mPeriods_.inc();
+    }
 }
 
 } // namespace capmaestro::ctrl

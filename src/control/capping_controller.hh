@@ -27,6 +27,7 @@
 #include "device/node_manager.hh"
 #include "device/sensor.hh"
 #include "device/server.hh"
+#include "telemetry/registry.hh"
 #include "util/units.hh"
 
 namespace capmaestro::ctrl {
@@ -101,6 +102,13 @@ class CappingController
     /** Server spec convenience accessor. */
     const dev::ServerSpec &spec() const { return server_.spec(); }
 
+    /**
+     * Attach a metrics registry (nullptr detaches). Registers the
+     * per-server series once, labeled {server=<name>}; the per-period
+     * updates are plain slot writes.
+     */
+    void setTelemetry(telemetry::Registry *registry);
+
   private:
     const dev::ServerModel &server_;
     dev::NodeManager &nm_;
@@ -117,6 +125,17 @@ class CappingController
     std::vector<Fraction> shareEwma_;
     Watts integratorDc_ = 0.0;
     bool integratorPrimed_ = false;
+
+    /** Telemetry handles (null-safe no-ops when detached). */
+    telemetry::Registry *registry_ = nullptr;
+    telemetry::Gauge mErrorWatts_;
+    telemetry::Gauge mThrottle_;
+    telemetry::Gauge mDemandWatts_;
+    telemetry::Gauge mDcCapWatts_;
+    telemetry::Gauge mSettlePeriods_;
+    telemetry::Counter mPeriods_;
+    /** Consecutive periods with |min error| inside the settle band. */
+    std::size_t settlePeriods_ = 0;
 };
 
 } // namespace capmaestro::ctrl

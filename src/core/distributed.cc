@@ -352,6 +352,136 @@ DistributedControlPlane::roomEndpoint() const
     return static_cast<net::SimTransport::Endpoint>(racks_.size());
 }
 
+void
+DistributedControlPlane::setTelemetry(telemetry::Registry *registry,
+                                      telemetry::PeriodTracer *tracer)
+{
+    registry_ = registry;
+    tracer_ = tracer;
+    if (registry_ == nullptr) {
+        metrics_ = {};
+        return;
+    }
+    auto counter = [&](const char *name, const char *help) {
+        return registry_->counter(name, {}, help);
+    };
+    metrics_.metricsMessages =
+        counter("capmaestro_plane_metrics_messages_total",
+                "Rack -> room metric messages (logical)");
+    metrics_.budgetMessages =
+        counter("capmaestro_plane_budget_messages_total",
+                "Room -> rack budget messages (logical)");
+    metrics_.metricClasses =
+        counter("capmaestro_plane_metric_classes_total",
+                "Priority classes serialized upstream");
+    metrics_.heartbeats = counter("capmaestro_plane_heartbeats_total",
+                                  "Heartbeat frames sent");
+    metrics_.retries = counter("capmaestro_plane_retries_total",
+                               "First-pass retransmissions");
+    metrics_.bytes = counter("capmaestro_plane_bytes_total",
+                             "Encoded payload bytes on the wire");
+    metrics_.staleReuses =
+        counter("capmaestro_plane_stale_reuses_total",
+                "Edges served from a cached metric summary");
+    metrics_.metricsLost = counter("capmaestro_plane_metrics_lost_total",
+                                   "Edges whose metrics were unusable");
+    metrics_.defaultBudgets =
+        counter("capmaestro_plane_default_budgets_total",
+                "Edges that fell back to the Pcap_min default budget");
+    metrics_.orphanFrames =
+        counter("capmaestro_plane_orphan_frames_total",
+                "Frames discarded for epoch/type mismatch");
+    metrics_.corruptFrames =
+        counter("capmaestro_plane_corrupt_frames_total",
+                "Frames that failed to decode");
+    metrics_.spoRounds = counter("capmaestro_plane_spo_rounds_total",
+                                 "SPO rounds run");
+    metrics_.spoSummaryMessages =
+        counter("capmaestro_plane_spo_summary_messages_total",
+                "Rack -> room pinned-summary messages");
+    metrics_.spoBudgetMessages =
+        counter("capmaestro_plane_spo_budget_messages_total",
+                "Room -> rack second-pass budget messages");
+    metrics_.spoRetries = counter("capmaestro_plane_spo_retries_total",
+                                  "SPO-phase retransmissions");
+    metrics_.spoTreesAttempted =
+        counter("capmaestro_plane_spo_trees_attempted_total",
+                "Trees that entered an SPO round");
+    metrics_.spoCommittedTrees =
+        counter("capmaestro_plane_spo_committed_trees_total",
+                "Trees that committed second-pass budgets");
+    metrics_.spoFallbackTrees =
+        counter("capmaestro_plane_spo_fallback_trees_total",
+                "Trees that rolled back to first-pass budgets");
+    metrics_.spoBytes = counter("capmaestro_plane_spo_bytes_total",
+                                "Encoded SPO bytes on the wire");
+    metrics_.degradedDecisions =
+        counter("capmaestro_plane_degraded_decisions_total",
+                "Degraded-mode (§4.5) decisions taken");
+    metrics_.liveWorkers =
+        registry_->gauge("capmaestro_plane_live_workers", {},
+                         "Rack workers not declared dead");
+    metrics_.epoch = registry_->gauge("capmaestro_plane_epoch", {},
+                                      "Current control-period epoch");
+}
+
+void
+DistributedControlPlane::recordIterationMetrics(const MessageStats &stats)
+{
+    if (registry_ == nullptr)
+        return;
+    const auto n = [](std::size_t v) { return static_cast<double>(v); };
+    metrics_.metricsMessages.inc(n(stats.metricsMessages));
+    metrics_.budgetMessages.inc(n(stats.budgetMessages));
+    metrics_.metricClasses.inc(n(stats.metricClassesSent));
+    metrics_.heartbeats.inc(n(stats.heartbeatMessages));
+    metrics_.retries.inc(n(stats.retries));
+    metrics_.bytes.inc(n(stats.bytesOnWire));
+    metrics_.staleReuses.inc(n(stats.staleReuses));
+    metrics_.metricsLost.inc(n(stats.metricsLost));
+    metrics_.defaultBudgets.inc(n(stats.defaultBudgets));
+    metrics_.orphanFrames.inc(n(stats.orphanFrames));
+    metrics_.corruptFrames.inc(n(stats.corruptFrames));
+    metrics_.degradedDecisions.inc(n(stats.degraded.size()));
+    metrics_.liveWorkers.set(n(liveWorkerCount()));
+    metrics_.epoch.set(static_cast<double>(epoch_));
+}
+
+void
+DistributedControlPlane::recordSpoMetrics(const MessageStats &before,
+                                          const MessageStats &after)
+{
+    if (registry_ == nullptr)
+        return;
+    // iterateSpo accumulates into the caller's MessageStats (the same
+    // object iterate() filled, possibly across several SPO rounds), so
+    // only the growth since entry may be added to the counters.
+    const auto delta = [](std::size_t b, std::size_t a) {
+        return static_cast<double>(a - b);
+    };
+    metrics_.spoRounds.inc(delta(before.spoRounds, after.spoRounds));
+    metrics_.spoSummaryMessages.inc(
+        delta(before.spoSummaryMessages, after.spoSummaryMessages));
+    metrics_.spoBudgetMessages.inc(
+        delta(before.spoBudgetMessages, after.spoBudgetMessages));
+    metrics_.spoRetries.inc(delta(before.spoRetries, after.spoRetries));
+    metrics_.spoTreesAttempted.inc(
+        delta(before.spoTreesAttempted, after.spoTreesAttempted));
+    metrics_.spoCommittedTrees.inc(
+        delta(before.spoCommittedTrees, after.spoCommittedTrees));
+    metrics_.spoFallbackTrees.inc(
+        delta(before.spoFallbackTrees, after.spoFallbackTrees));
+    metrics_.spoBytes.inc(delta(before.spoBytesOnWire,
+                                after.spoBytesOnWire));
+    metrics_.bytes.inc(delta(before.bytesOnWire, after.bytesOnWire));
+    metrics_.orphanFrames.inc(delta(before.orphanFrames,
+                                    after.orphanFrames));
+    metrics_.corruptFrames.inc(delta(before.corruptFrames,
+                                     after.corruptFrames));
+    metrics_.degradedDecisions.inc(
+        delta(before.degraded.size(), after.degraded.size()));
+}
+
 std::size_t
 DistributedControlPlane::liveWorkerCount() const
 {
@@ -446,8 +576,10 @@ DistributedControlPlane::iterate(const std::vector<Watts> &root_budgets)
         util::fatal("DistributedControlPlane: %zu budgets for %zu trees",
                     root_budgets.size(), system_.trees().size());
     }
-    return transport_ ? iterateTransport(root_budgets)
-                      : iterateDirect(root_budgets);
+    MessageStats stats = transport_ ? iterateTransport(root_budgets)
+                                    : iterateDirect(root_budgets);
+    recordIterationMetrics(stats);
+    return stats;
 }
 
 MessageStats
@@ -455,10 +587,15 @@ DistributedControlPlane::iterateDirect(
     const std::vector<Watts> &root_budgets)
 {
     MessageStats stats;
+    const auto iterate_span =
+        tracer_ ? tracer_->begin("iterate") : telemetry::PeriodTracer::kNoSpan;
     lastTreeMetrics_.assign(system_.trees().size(), {});
     for (std::size_t t = 0; t < system_.trees().size(); ++t) {
         if (system_.feedFailed(system_.tree(t).feed()))
             continue;
+        const auto tree_span =
+            tracer_ ? tracer_->begin("tree", iterate_span)
+                    : telemetry::PeriodTracer::kNoSpan;
 
         // Upstream: every edge in this tree reports metrics.
         std::map<topo::NodeId, ctrl::NodeMetrics> edge_metrics;
@@ -482,6 +619,19 @@ DistributedControlPlane::iterateDirect(
             ++stats.budgetMessages;
             racks_[edgeOwner_.at({t, node})].applyBudget(t, node, budget);
         }
+        if (tracer_) {
+            tracer_->num(tree_span, "tree", static_cast<double>(t));
+            tracer_->num(tree_span, "edges",
+                         static_cast<double>(edge_budgets.size()));
+            tracer_->end(tree_span);
+        }
+    }
+    if (tracer_) {
+        tracer_->num(iterate_span, "metrics_messages",
+                     static_cast<double>(stats.metricsMessages));
+        tracer_->num(iterate_span, "budget_messages",
+                     static_cast<double>(stats.budgetMessages));
+        tracer_->end(iterate_span);
     }
     return stats;
 }
@@ -496,6 +646,13 @@ DistributedControlPlane::iterateTransport(
     const std::size_t bytes_before = tp.stats().bytesSent;
     const double start = tp.nowMs();
     const net::SimTransport::Endpoint room = roomEndpoint();
+
+    const auto gather_span =
+        tracer_ ? tracer_->begin("gather") : telemetry::PeriodTracer::kNoSpan;
+    if (tracer_) {
+        tracer_->num(gather_span, "deadline_ms",
+                     protocol_.gatherDeadlineMs);
+    }
 
     const auto tree_live = [&](std::size_t t) {
         return !system_.feedFailed(system_.tree(t).feed());
@@ -634,6 +791,28 @@ DistributedControlPlane::iterateTransport(
     // The SPO round (if any) overlays pinned summaries on this view.
     lastTreeMetrics_ = tree_metrics;
 
+    const std::size_t gather_retries = stats.retries;
+    if (tracer_) {
+        tracer_->num(gather_span, "messages",
+                     static_cast<double>(stats.metricsMessages));
+        tracer_->num(gather_span, "heartbeats",
+                     static_cast<double>(stats.heartbeatMessages));
+        tracer_->num(gather_span, "retries",
+                     static_cast<double>(gather_retries));
+        tracer_->num(gather_span, "stale",
+                     static_cast<double>(stats.staleReuses));
+        tracer_->num(gather_span, "lost",
+                     static_cast<double>(stats.metricsLost));
+        tracer_->end(gather_span);
+    }
+
+    const auto budget_span =
+        tracer_ ? tracer_->begin("budget") : telemetry::PeriodTracer::kNoSpan;
+    if (tracer_) {
+        tracer_->num(budget_span, "deadline_ms",
+                     protocol_.budgetDeadlineMs);
+    }
+
     // ---------------- room compute + downstream budgets
     struct PendingDown
     {
@@ -747,6 +926,23 @@ DistributedControlPlane::iterateTransport(
     }
 
     stats.bytesOnWire = tp.stats().bytesSent - bytes_before;
+    if (tracer_) {
+        tracer_->num(budget_span, "messages",
+                     static_cast<double>(stats.budgetMessages));
+        tracer_->num(budget_span, "retries",
+                     static_cast<double>(stats.retries - gather_retries));
+        tracer_->num(budget_span, "defaults",
+                     static_cast<double>(stats.defaultBudgets));
+        tracer_->end(budget_span);
+        for (const DegradedDecision &d : stats.degraded) {
+            const auto span = tracer_->begin("degraded");
+            tracer_->str(span, "kind", degradedKindName(d.kind));
+            tracer_->num(span, "tree", static_cast<double>(d.tree));
+            tracer_->num(span, "rack", static_cast<double>(d.rack));
+            tracer_->num(span, "value", d.value);
+            tracer_->end(span);
+        }
+    }
     return stats;
 }
 
@@ -785,8 +981,14 @@ DistributedControlPlane::iterateSpo(const std::vector<Watts> &root_budgets,
         util::fatal("DistributedControlPlane: %zu budgets for %zu trees",
                     root_budgets.size(), system_.trees().size());
     }
-    return transport_ ? iterateSpoTransport(root_budgets, pins, stats)
-                      : iterateSpoDirect(root_budgets, pins, stats);
+    MessageStats before;
+    if (registry_ != nullptr)
+        before = stats;
+    const auto committed =
+        transport_ ? iterateSpoTransport(root_budgets, pins, stats)
+                   : iterateSpoDirect(root_budgets, pins, stats);
+    recordSpoMetrics(before, stats);
+    return committed;
 }
 
 std::set<std::size_t>
@@ -798,6 +1000,8 @@ DistributedControlPlane::iterateSpoDirect(
     if (pins.empty())
         return committed;
     ++stats.spoRounds;
+    const auto spo_span =
+        tracer_ ? tracer_->begin("spo") : telemetry::PeriodTracer::kNoSpan;
 
     // The per-server capping controllers pin their stranded supplies;
     // the link to the owning rack worker is local (paper §5: capping
@@ -831,6 +1035,12 @@ DistributedControlPlane::iterateSpoDirect(
         committed.insert(t);
         ++stats.spoCommittedTrees;
     }
+    if (tracer_) {
+        tracer_->num(spo_span, "pins", static_cast<double>(pins.size()));
+        tracer_->num(spo_span, "committed",
+                     static_cast<double>(committed.size()));
+        tracer_->end(spo_span);
+    }
     return committed;
 }
 
@@ -847,6 +1057,16 @@ DistributedControlPlane::iterateSpoTransport(
     net::SimTransport &tp = *transport_;
     const std::size_t bytes_before = tp.stats().bytesSent;
     const net::SimTransport::Endpoint room = roomEndpoint();
+    const std::size_t spo_retries_entry = stats.spoRetries;
+    const auto spo_gather_span =
+        tracer_ ? tracer_->begin("spo.gather")
+                : telemetry::PeriodTracer::kNoSpan;
+    if (tracer_) {
+        tracer_->num(spo_gather_span, "deadline_ms",
+                     protocol_.spoGatherDeadlineMs);
+        tracer_->num(spo_gather_span, "pins",
+                     static_cast<double>(pins.size()));
+    }
 
     // Pin inputs locally (see iterateSpoDirect); a failed rack keeps
     // the state but cannot report it, so its trees will fall back.
@@ -954,6 +1174,25 @@ DistributedControlPlane::iterateSpoTransport(
             stats.degraded.push_back({DegradedKind::SpoFallback, t,
                                       topo::kNoNode, 0, 1.0});
         }
+    }
+
+    const std::size_t spo_gather_retries =
+        stats.spoRetries - spo_retries_entry;
+    if (tracer_) {
+        tracer_->num(spo_gather_span, "attempted",
+                     static_cast<double>(affected.size()));
+        tracer_->num(spo_gather_span, "gather_ok",
+                     static_cast<double>(gather_ok.size()));
+        tracer_->num(spo_gather_span, "retries",
+                     static_cast<double>(spo_gather_retries));
+        tracer_->end(spo_gather_span);
+    }
+    const auto spo_budget_span =
+        tracer_ ? tracer_->begin("spo.budget")
+                : telemetry::PeriodTracer::kNoSpan;
+    if (tracer_) {
+        tracer_->num(spo_budget_span, "deadline_ms",
+                     protocol_.spoBudgetDeadlineMs);
     }
 
     // ---------------- room re-compute + downstream second-pass budgets
@@ -1080,6 +1319,15 @@ DistributedControlPlane::iterateSpoTransport(
     const std::size_t spo_bytes = tp.stats().bytesSent - bytes_before;
     stats.spoBytesOnWire += spo_bytes;
     stats.bytesOnWire += spo_bytes;
+    if (tracer_) {
+        tracer_->num(spo_budget_span, "retries",
+                     static_cast<double>(stats.spoRetries
+                                         - spo_retries_entry
+                                         - spo_gather_retries));
+        tracer_->num(spo_budget_span, "committed",
+                     static_cast<double>(committed.size()));
+        tracer_->end(spo_budget_span);
+    }
     return committed;
 }
 

@@ -45,6 +45,8 @@
 #include "control/metrics.hh"
 #include "net/protocol.hh"
 #include "net/transport.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
 #include "topology/power_system.hh"
 
 namespace capmaestro::core {
@@ -331,6 +333,18 @@ class DistributedControlPlane
     /** Control-period counter (message-plane mode). */
     std::uint32_t epoch() const { return epoch_; }
 
+    /**
+     * Attach telemetry (either pointer may be nullptr). The registry
+     * receives cumulative counters mirroring every MessageStats field —
+     * MessageStats remains the per-iteration snapshot view; the
+     * counters are its running sums. The tracer receives phase spans
+     * (gather/budget, spo.gather/spo.budget) for every iteration that
+     * runs inside an open period. Instrumentation is pure observation:
+     * it never changes what the protocol computes or transmits.
+     */
+    void setTelemetry(telemetry::Registry *registry,
+                      telemetry::PeriodTracer *tracer);
+
   private:
     /** Room's cache of the last received metrics per edge. */
     struct CachedMetrics
@@ -372,6 +386,42 @@ class DistributedControlPlane
      */
     std::vector<std::map<topo::NodeId, ctrl::NodeMetrics>>
         lastTreeMetrics_;
+
+    // -------- telemetry (null when disabled; handles cached once)
+    telemetry::Registry *registry_ = nullptr;
+    telemetry::PeriodTracer *tracer_ = nullptr;
+    struct PlaneMetrics
+    {
+        telemetry::Counter metricsMessages;
+        telemetry::Counter budgetMessages;
+        telemetry::Counter metricClasses;
+        telemetry::Counter heartbeats;
+        telemetry::Counter retries;
+        telemetry::Counter bytes;
+        telemetry::Counter staleReuses;
+        telemetry::Counter metricsLost;
+        telemetry::Counter defaultBudgets;
+        telemetry::Counter orphanFrames;
+        telemetry::Counter corruptFrames;
+        telemetry::Counter spoRounds;
+        telemetry::Counter spoSummaryMessages;
+        telemetry::Counter spoBudgetMessages;
+        telemetry::Counter spoRetries;
+        telemetry::Counter spoTreesAttempted;
+        telemetry::Counter spoCommittedTrees;
+        telemetry::Counter spoFallbackTrees;
+        telemetry::Counter spoBytes;
+        telemetry::Counter degradedDecisions;
+        telemetry::Gauge liveWorkers;
+        telemetry::Gauge epoch;
+    };
+    PlaneMetrics metrics_;
+
+    /** Add one iteration's MessageStats into the cumulative counters. */
+    void recordIterationMetrics(const MessageStats &stats);
+    /** Add the spo* fields accumulated since @p before (delta record). */
+    void recordSpoMetrics(const MessageStats &before,
+                          const MessageStats &after);
 
     static std::vector<std::map<topo::NodeId, std::size_t>>
     partition(const topo::PowerSystem &system);

@@ -29,11 +29,46 @@ eventKindName(EventKind kind)
     return "unknown";
 }
 
+std::optional<EventKind>
+eventKindFromName(const std::string &name)
+{
+    static constexpr EventKind kAll[] = {
+        EventKind::FeedFailed,          EventKind::FeedRestored,
+        EventKind::SupplyFailed,        EventKind::SupplyRestored,
+        EventKind::BreakerOverloadBegan,
+        EventKind::BreakerOverloadCleared,
+        EventKind::BreakerTripped,      EventKind::BudgetInfeasible,
+        EventKind::SpoReclaimed,        EventKind::UtilityDisturbance,
+        EventKind::UpsBridged,          EventKind::EmergencyPeriod,
+        EventKind::StaleMetricsReused,  EventKind::MetricsLost,
+        EventKind::DefaultBudgetApplied, EventKind::WorkerFailover,
+        EventKind::SpoFallback,
+    };
+    for (const EventKind kind : kAll) {
+        if (name == eventKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+util::Json
+eventToJson(const Event &event)
+{
+    util::Json::Object obj;
+    obj.emplace("seq", util::Json(static_cast<double>(event.seq)));
+    obj.emplace("time", util::Json(static_cast<double>(event.time)));
+    obj.emplace("kind",
+                util::Json(std::string(eventKindName(event.kind))));
+    obj.emplace("subject", util::Json(event.subject));
+    obj.emplace("value", util::Json(event.value));
+    return util::Json(std::move(obj));
+}
+
 void
 EventLog::record(Seconds time, EventKind kind, std::string subject,
                  double value)
 {
-    events_.push_back({time, kind, std::move(subject), value});
+    events_.push_back({nextSeq_++, time, kind, std::move(subject), value});
 }
 
 std::vector<Event>
@@ -66,6 +101,14 @@ EventLog::print(std::ostream &os) const
                       eventKindName(e.kind), e.subject.c_str(), e.value);
         os << buf;
     }
+    os.flush();
+}
+
+void
+EventLog::printJsonl(std::ostream &os) const
+{
+    for (const auto &e : events_)
+        os << util::serializeJson(eventToJson(e), 0) << '\n';
     os.flush();
 }
 

@@ -11,10 +11,13 @@
 #ifndef CAPMAESTRO_CORE_EVENTS_HH
 #define CAPMAESTRO_CORE_EVENTS_HH
 
+#include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "util/json.hh"
 #include "util/units.hh"
 
 namespace capmaestro::core {
@@ -43,9 +46,14 @@ enum class EventKind {
 /** Name of an EventKind. */
 const char *eventKindName(EventKind kind);
 
+/** Reverse lookup by name; nullopt when the name matches no kind. */
+std::optional<EventKind> eventKindFromName(const std::string &name);
+
 /** One logged event. */
 struct Event
 {
+    /** Monotonic sequence number, unique across the log's lifetime. */
+    std::uint64_t seq = 0;
     Seconds time = 0;
     EventKind kind = EventKind::FeedFailed;
     /** What the event concerns (feed, breaker, server name). */
@@ -53,6 +61,9 @@ struct Event
     /** Kind-specific magnitude (watts for overloads/SPO, index, ...). */
     double value = 0.0;
 };
+
+/** One event as a JSON object ({seq, time, kind, subject, value}). */
+util::Json eventToJson(const Event &event);
 
 /** Append-only event log. */
 class EventLog
@@ -74,11 +85,19 @@ class EventLog
     /** Render one line per event. */
     void print(std::ostream &os) const;
 
-    /** Drop everything. */
+    /** Render one compact JSON object per event (JSONL). */
+    void printJsonl(std::ostream &os) const;
+
+    /**
+     * Drop recorded events. Sequence numbering continues where it left
+     * off, so events recorded after a clear() are still ordered
+     * relative to everything that came before.
+     */
     void clear() { events_.clear(); }
 
   private:
     std::vector<Event> events_;
+    std::uint64_t nextSeq_ = 0;
 };
 
 } // namespace capmaestro::core

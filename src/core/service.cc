@@ -1,6 +1,7 @@
 #include "core/service.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 #include "util/logging.hh"
@@ -32,7 +33,45 @@ CapMaestroService::attachServer(dev::ServerModel &server,
     entry.nm = &nm;
     entry.controller = std::make_unique<ctrl::CappingController>(
         server, nm, sensors, config_.capping);
+    entry.controller->setTelemetry(registry_);
     servers_.push_back(std::move(entry));
+}
+
+void
+CapMaestroService::enableTelemetry(telemetry::Registry *registry,
+                                   telemetry::PeriodTracer *tracer)
+{
+    registry_ = registry;
+    tracer_ = tracer;
+    allocator_->setTelemetry(registry_);
+    if (plane_)
+        plane_->setTelemetry(registry_, tracer_);
+    if (transport_)
+        transport_->setTelemetry(registry_);
+    for (auto &s : servers_)
+        s.controller->setTelemetry(registry_);
+
+    mTreeBudget_.clear();
+    if (registry_ == nullptr) {
+        mPeriodWallMs_ = {};
+        mPeriods_ = {};
+        mFleetDemand_ = {};
+        return;
+    }
+    mPeriodWallMs_ = registry_->histogram(
+        "capmaestro_period_wall_ms", 0.0, 50.0, 50, {},
+        "Wall-clock time of one control period, milliseconds");
+    mPeriods_ = registry_->counter("capmaestro_periods_total", {},
+                                   "Control periods run");
+    mFleetDemand_ =
+        registry_->gauge("capmaestro_fleet_demand_watts", {},
+                         "Total estimated uncapped AC demand");
+    mTreeBudget_.reserve(system_.trees().size());
+    for (const auto &tree : system_.trees()) {
+        mTreeBudget_.push_back(registry_->gauge(
+            "capmaestro_tree_budget_watts", {{"tree", tree->name()}},
+            "Sum of per-supply budgets applied, by control tree"));
+    }
 }
 
 void
@@ -72,6 +111,14 @@ CapMaestroService::senseTick()
 const PeriodStats &
 CapMaestroService::runControlPeriod()
 {
+    const auto wall_start = registry_ != nullptr
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
+    if (tracer_)
+        tracer_->beginPeriod(stats_.periodsRun);
+    const auto close_span =
+        tracer_ ? tracer_->begin("close") : telemetry::PeriodTracer::kNoSpan;
+
     // Phase 1: close controller periods and build the fleet inputs.
     std::vector<ctrl::ServerAllocInput> inputs;
     inputs.reserve(servers_.size());
@@ -100,16 +147,37 @@ CapMaestroService::runControlPeriod()
     if (config_.adaptiveFeedBalance && config_.totalPerPhaseBudget > 0.0)
         rebalanceRootBudgets(inputs);
 
+    if (tracer_) {
+        tracer_->num(close_span, "servers",
+                     static_cast<double>(servers_.size()));
+        tracer_->end(close_span);
+    }
+
     // Phase 2: global priority-aware allocation (+ SPO). In
     // message-plane mode the exchange runs over the transport instead.
     if (plane_) {
         runPlanePeriod(inputs);
     } else {
+        const auto alloc_span =
+            tracer_ ? tracer_->begin("allocate")
+                    : telemetry::PeriodTracer::kNoSpan;
         stats_.allocation = allocator_->allocate(
             inputs, rootBudgets_, config_.enableSpo, config_.spoThreshold,
             config_.spoPasses);
         stats_.messages = MessageStats{};
+        if (tracer_) {
+            tracer_->num(alloc_span, "passes",
+                         static_cast<double>(stats_.allocation.passes));
+            tracer_->num(alloc_span, "feasible",
+                         stats_.allocation.feasible ? 1.0 : 0.0);
+            tracer_->num(alloc_span, "reclaimed_watts",
+                         stats_.allocation.strandedReclaimed);
+            tracer_->end(alloc_span);
+        }
     }
+
+    const auto apply_span =
+        tracer_ ? tracer_->begin("apply") : telemetry::PeriodTracer::kNoSpan;
 
     // Phase 3: hand each server its per-supply budgets; the PI loop turns
     // them into a DC cap for the node manager.
@@ -125,6 +193,29 @@ CapMaestroService::runControlPeriod()
         }
     }
     ++stats_.periodsRun;
+
+    if (tracer_)
+        tracer_->end(apply_span);
+    if (registry_ != nullptr) {
+        mPeriods_.inc();
+        mFleetDemand_.set(stats_.totalDemandEstimate);
+        for (std::size_t t = 0; t < mTreeBudget_.size(); ++t)
+            mTreeBudget_[t].set(stats_.budgetByTree[t]);
+        const auto elapsed =
+            std::chrono::steady_clock::now() - wall_start;
+        mPeriodWallMs_.observe(
+            std::chrono::duration<double, std::milli>(elapsed).count());
+    }
+    if (tracer_) {
+        tracer_->periodNum("demand_watts", stats_.totalDemandEstimate);
+        tracer_->periodNum("feasible",
+                           stats_.allocation.feasible ? 1.0 : 0.0);
+        tracer_->periodNum("passes",
+                           static_cast<double>(stats_.allocation.passes));
+        tracer_->periodNum("reclaimed_watts",
+                           stats_.allocation.strandedReclaimed);
+        tracer_->endPeriod();
+    }
     return stats_;
 }
 
@@ -169,8 +260,11 @@ CapMaestroService::runPlanePeriod(
     stats_.allocation = ctrl::FleetAllocation{};
     derive_caps();
 
-    if (!config_.enableSpo)
+    if (!config_.enableSpo) {
+        ctrl::recordAllocationTelemetry(registry_, inputs,
+                                        stats_.allocation);
         return;
+    }
 
     // §4.4 stranded-power optimization over the message plane: detect
     // stranded supplies with the allocator's shared helper, run a second
@@ -205,6 +299,7 @@ CapMaestroService::runPlanePeriod(
     }
     for (std::size_t i = 0; i < inputs.size(); ++i)
         stats_.allocation.servers[i].strandedBeforeSpo = stranded_first[i];
+    ctrl::recordAllocationTelemetry(registry_, inputs, stats_.allocation);
 }
 
 void

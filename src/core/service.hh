@@ -29,6 +29,8 @@
 #include "net/protocol.hh"
 #include "net/transport.hh"
 #include "policy/policy.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
 #include "topology/power_system.hh"
 
 namespace capmaestro::core {
@@ -170,6 +172,19 @@ class CapMaestroService
     /** Service configuration. */
     const ServiceConfig &config() const { return config_; }
 
+    /**
+     * Enable (or, with nullptrs, disable) telemetry across the whole
+     * control plane: the service's own period metrics plus every
+     * attached capping controller, the allocator, the message plane,
+     * and the transport. Servers attached after this call are wired
+     * automatically. Registration happens here, once — the
+     * per-period instrumentation is plain slot writes, and with
+     * telemetry disabled the control path performs no telemetry work
+     * at all.
+     */
+    void enableTelemetry(telemetry::Registry *registry,
+                         telemetry::PeriodTracer *tracer);
+
   private:
     struct AttachedServer
     {
@@ -193,6 +208,14 @@ class CapMaestroService
     std::vector<AttachedServer> servers_;
     std::vector<Watts> rootBudgets_;
     PeriodStats stats_;
+
+    /** Telemetry (null when disabled; handles cached at enable time). */
+    telemetry::Registry *registry_ = nullptr;
+    telemetry::PeriodTracer *tracer_ = nullptr;
+    telemetry::HistogramMetric mPeriodWallMs_;
+    telemetry::Counter mPeriods_;
+    telemetry::Gauge mFleetDemand_;
+    std::vector<telemetry::Gauge> mTreeBudget_;
 };
 
 } // namespace capmaestro::core

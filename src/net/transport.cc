@@ -9,6 +9,41 @@ SimTransport::SimTransport(TransportConfig config)
 {
 }
 
+void
+SimTransport::setTelemetry(telemetry::Registry *registry)
+{
+    registry_ = registry;
+    if (registry_ == nullptr) {
+        mSent_ = {};
+        mDropped_ = {};
+        mDuplicated_ = {};
+        mDelivered_ = {};
+        mBytes_ = {};
+        mQueueDepth_ = {};
+        mLatencyMs_ = {};
+        return;
+    }
+    mSent_ = registry_->counter("capmaestro_transport_frames_sent_total",
+                                {}, "Frames submitted to the transport");
+    mDropped_ =
+        registry_->counter("capmaestro_transport_frames_dropped_total", {},
+                           "Frames lost by the fault model");
+    mDuplicated_ =
+        registry_->counter("capmaestro_transport_frames_duplicated_total",
+                           {}, "Frames delivered twice");
+    mDelivered_ =
+        registry_->counter("capmaestro_transport_frames_delivered_total",
+                           {}, "Frames handed to poll()");
+    mBytes_ = registry_->counter("capmaestro_transport_bytes_total", {},
+                                 "Payload bytes submitted");
+    mQueueDepth_ =
+        registry_->gauge("capmaestro_transport_queue_depth", {},
+                         "Frames in flight after the last send/poll");
+    mLatencyMs_ = registry_->histogram(
+        "capmaestro_transport_latency_ms", 0.0, 100.0, 50, {},
+        "Scheduled one-way frame latency, milliseconds");
+}
+
 double
 SimTransport::sampleLatency()
 {
@@ -34,9 +69,12 @@ SimTransport::send(Endpoint from, Endpoint to,
     (void)from; // links share one fault model; kept for addressing
     ++stats_.framesSent;
     stats_.bytesSent += frame.size();
+    mSent_.inc();
+    mBytes_.inc(static_cast<double>(frame.size()));
 
     if (rng_.chance(config_.dropRate)) {
         ++stats_.framesDropped;
+        mDropped_.inc();
         return;
     }
 
@@ -46,9 +84,15 @@ SimTransport::send(Endpoint from, Endpoint to,
 
     if (rng_.chance(config_.dupRate)) {
         ++stats_.framesDuplicated;
-        enqueue(to, nowMs_ + sampleLatency(), frame);
+        mDuplicated_.inc();
+        const double dup_at = nowMs_ + sampleLatency();
+        mLatencyMs_.observe(dup_at - nowMs_);
+        enqueue(to, dup_at, frame);
     }
+    mLatencyMs_.observe(deliver_at - nowMs_);
     enqueue(to, deliver_at, std::move(frame));
+    if (registry_ != nullptr)
+        mQueueDepth_.set(static_cast<double>(inFlight()));
 }
 
 std::vector<std::vector<std::uint8_t>>
@@ -63,6 +107,10 @@ SimTransport::poll(Endpoint to)
         out.push_back(std::move(q.begin()->second));
         q.erase(q.begin());
         ++stats_.framesDelivered;
+    }
+    if (registry_ != nullptr && !out.empty()) {
+        mDelivered_.inc(static_cast<double>(out.size()));
+        mQueueDepth_.set(static_cast<double>(inFlight()));
     }
     return out;
 }

@@ -27,6 +27,7 @@
 #include <map>
 #include <vector>
 
+#include "telemetry/registry.hh"
 #include "util/random.hh"
 
 namespace capmaestro::net {
@@ -101,6 +102,14 @@ class SimTransport
     /** The transport configuration. */
     const TransportConfig &config() const { return config_; }
 
+    /**
+     * Attach a metrics registry (nullptr detaches). Instrumentation is
+     * pure observation of values the transport already computes — it
+     * draws no randomness and allocates nothing per frame, so enabling
+     * it cannot perturb the deterministic fault stream.
+     */
+    void setTelemetry(telemetry::Registry *registry);
+
   private:
     /** Delivery-ordered queue per destination: (time, tiebreak). */
     using Queue =
@@ -117,6 +126,16 @@ class SimTransport
     TransportStats stats_;
     double nowMs_ = 0.0;
     std::uint64_t order_ = 0;
+
+    /** Handles resolved once in setTelemetry(); null-safe no-ops. */
+    telemetry::Registry *registry_ = nullptr;
+    telemetry::Counter mSent_;
+    telemetry::Counter mDropped_;
+    telemetry::Counter mDuplicated_;
+    telemetry::Counter mDelivered_;
+    telemetry::Counter mBytes_;
+    telemetry::Gauge mQueueDepth_;
+    telemetry::HistogramMetric mLatencyMs_;
 };
 
 } // namespace capmaestro::net

@@ -226,8 +226,18 @@ ClosedLoopSim::recordState()
 }
 
 void
+ClosedLoopSim::enableTelemetry(telemetry::Registry *registry,
+                               telemetry::PeriodTracer *tracer)
+{
+    tracer_ = tracer;
+    service_->enableTelemetry(registry, tracer);
+}
+
+void
 ClosedLoopSim::controlPeriodTick()
 {
+    if (tracer_)
+        tracer_->noteSimTime(static_cast<double>(now_));
     if (manualMode_) {
         for (std::size_t i = 0; i < plants_.size(); ++i) {
             auto &controller = service_->controller(i);

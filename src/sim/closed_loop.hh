@@ -127,6 +127,15 @@ class ClosedLoopSim
     /** Structured event log (failures, overloads, SPO, infeasibility). */
     const core::EventLog &eventLog() const { return events_log_; }
 
+    /**
+     * Enable telemetry on the whole control plane (see
+     * CapMaestroService::enableTelemetry). The simulator additionally
+     * stamps each period trace with the simulated time of its control
+     * period.
+     */
+    void enableTelemetry(telemetry::Registry *registry,
+                         telemetry::PeriodTracer *tracer);
+
     /** Series name for a per-server signal, e.g. "S0.throughput". */
     static std::string serverSeries(std::size_t id, const char *what);
 
@@ -164,6 +173,7 @@ class ClosedLoopSim
     Seconds now_ = 0;
     Seconds lastControlPeriod_ = 0;
     bool anyTrip_ = false;
+    telemetry::PeriodTracer *tracer_ = nullptr;
 
     void tick();
     void controlPeriodTick();

@@ -20,11 +20,23 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x)
 {
-    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-    auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
-    idx = std::clamp<std::ptrdiff_t>(
-        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(idx)];
+    // Resolve the clamps before converting to an index: casting the
+    // quotient directly would be undefined for samples far outside the
+    // range (or NaN). !(x > lo_) also routes NaN into the first bin.
+    std::size_t idx;
+    if (!(x > lo_)) {
+        idx = 0;
+    } else if (x >= hi_) {
+        // Exclusive upper bound: x == hi_ clamps into [hi - width, hi).
+        idx = counts_.size() - 1;
+    } else {
+        const double width =
+            (hi_ - lo_) / static_cast<double>(counts_.size());
+        idx = std::min(
+            static_cast<std::size_t>(std::floor((x - lo_) / width)),
+            counts_.size() - 1);
+    }
+    ++counts_[idx];
     ++total_;
 }
 
@@ -48,6 +60,13 @@ Histogram::binLow(std::size_t i) const
 {
     const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
     return lo_ + static_cast<double>(i) * width;
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + static_cast<double>(i + 1) * width;
 }
 
 std::string

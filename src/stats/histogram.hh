@@ -12,7 +12,17 @@
 
 namespace capmaestro::stats {
 
-/** Equal-width histogram over [lo, hi); out-of-range samples clamp. */
+/**
+ * Equal-width histogram over [lo, hi); out-of-range samples clamp.
+ *
+ * Clamp semantics (part of the API contract, verified by test):
+ * samples below lo count into the first bin; samples at or above hi
+ * count into the last bin. The upper bound is *exclusive*: a sample
+ * exactly at hi does not open a new bin but clamps down into the top
+ * bin [hi - width, hi). Non-finite samples clamp too (NaN and -inf
+ * into the first bin, +inf into the last), so no input can corrupt
+ * the bin index.
+ */
 class Histogram
 {
   public:
@@ -23,7 +33,7 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t bins);
 
-    /** Add one sample (clamped into range). */
+    /** Add one sample (clamped into range; see class comment). */
     void add(double x);
 
     /** Total number of samples. */
@@ -43,6 +53,15 @@ class Histogram
 
     /** Lower edge of bin @p i. */
     double binLow(std::size_t i) const;
+
+    /** Upper (exclusive) edge of bin @p i. */
+    double binHigh(std::size_t i) const;
+
+    /** Inclusive lower bound of the range. */
+    double lo() const { return lo_; }
+
+    /** Exclusive upper bound of the range. */
+    double hi() const { return hi_; }
 
     /** Render an ASCII bar chart (one line per bin). */
     std::string render(std::size_t width = 50) const;

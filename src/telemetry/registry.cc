@@ -1,0 +1,403 @@
+#include "telemetry/registry.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace capmaestro::telemetry {
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:   return "counter";
+      case MetricKind::Gauge:     return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "unknown";
+}
+
+namespace {
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    const auto head = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_'
+               || c == ':';
+    };
+    const auto tail = [&head](char c) {
+        return head(c) || std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (!head(name[0]))
+        return false;
+    return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+bool
+validLabelName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    const auto head = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+    };
+    if (!head(name[0]))
+        return false;
+    return std::all_of(name.begin() + 1, name.end(), [&head](char c) {
+        return head(c) || std::isdigit(static_cast<unsigned char>(c));
+    });
+}
+
+/** Canonical series key: labels sorted by name, values escaped. */
+std::string
+labelKey(const Labels &labels)
+{
+    std::string key;
+    for (const auto &[name, value] : labels) {
+        key += name;
+        key += '\x1f';
+        key += value;
+        key += '\x1e';
+    }
+    return key;
+}
+
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"':  out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default:   out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+formatNumber(double v)
+{
+    char buf[48];
+    if (v == static_cast<double>(static_cast<long long>(v))
+        && std::abs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    return buf;
+}
+
+std::string
+renderLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += labels[i].first;
+        out += "=\"";
+        out += escapeLabelValue(labels[i].second);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+/** Labels plus one extra pair (for histogram `le` buckets). */
+std::string
+renderLabelsPlus(const Labels &labels, const std::string &extra_name,
+                 const std::string &extra_value)
+{
+    Labels all = labels;
+    all.emplace_back(extra_name, extra_value);
+    return renderLabels(all);
+}
+
+HistogramSnapshot
+snapshotHistogram(const detail::HistogramSlot &slot)
+{
+    HistogramSnapshot snap;
+    const stats::Histogram &h = slot.hist;
+    snap.lo = h.lo();
+    snap.hi = h.hi();
+    snap.counts.resize(h.bins());
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        snap.counts[i] = h.binCount(i);
+    snap.sum = slot.sum;
+    snap.count = h.count();
+    snap.p50 = slot.p50.value();
+    snap.p95 = slot.p95.value();
+    snap.p99 = slot.p99.value();
+    return snap;
+}
+
+} // namespace
+
+double
+HistogramSnapshot::upperEdge(std::size_t i) const
+{
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + static_cast<double>(i + 1) * width;
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0 || counts.empty())
+        return 0.0;
+    if (!(q > 0.0) || !(q < 1.0))
+        util::fatal("HistogramSnapshot: quantile %.3f not in (0, 1)", q);
+    const double target = q * static_cast<double>(count);
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    double seen = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double next = seen + static_cast<double>(counts[i]);
+        if (next >= target) {
+            // Interpolate linearly within the containing bin.
+            const double frac =
+                counts[i] > 0 ? (target - seen)
+                                    / static_cast<double>(counts[i])
+                              : 0.0;
+            return lo + (static_cast<double>(i) + frac) * width;
+        }
+        seen = next;
+    }
+    return hi;
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (counts.size() != other.counts.size() || lo != other.lo
+        || hi != other.hi) {
+        util::fatal("HistogramSnapshot: merging incompatible ranges "
+                    "([%g, %g) x%zu vs [%g, %g) x%zu)",
+                    lo, hi, counts.size(), other.lo, other.hi,
+                    other.counts.size());
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    sum += other.sum;
+    count += other.count;
+    // Streaming markers cannot be merged; fall back to bin estimates.
+    p50 = quantile(0.50);
+    p95 = quantile(0.95);
+    p99 = quantile(0.99);
+}
+
+detail::Slot *
+Registry::resolve(const std::string &name, Labels labels,
+                  const std::string &help, MetricKind kind, double lo,
+                  double hi, std::size_t bins)
+{
+    if (!validMetricName(name))
+        util::fatal("telemetry: invalid metric name '%s'", name.c_str());
+    for (const auto &[label, value] : labels) {
+        if (!validLabelName(label)) {
+            util::fatal("telemetry: invalid label name '%s' on metric "
+                        "'%s'", label.c_str(), name.c_str());
+        }
+    }
+    std::sort(labels.begin(), labels.end());
+    for (std::size_t i = 1; i < labels.size(); ++i) {
+        if (labels[i].first == labels[i - 1].first) {
+            util::fatal("telemetry: duplicate label '%s' on metric '%s'",
+                        labels[i].first.c_str(), name.c_str());
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = families_.try_emplace(name);
+    Family &family = it->second;
+    if (inserted) {
+        family.kind = kind;
+        family.help = help;
+        family.lo = lo;
+        family.hi = hi;
+        family.bins = bins;
+    } else {
+        if (family.kind != kind) {
+            util::fatal("telemetry: metric '%s' registered as %s, "
+                        "requested as %s", name.c_str(),
+                        metricKindName(family.kind),
+                        metricKindName(kind));
+        }
+        if (kind == MetricKind::Histogram
+            && (family.lo != lo || family.hi != hi
+                || family.bins != bins)) {
+            util::fatal("telemetry: histogram '%s' re-registered with "
+                        "different bounds", name.c_str());
+        }
+    }
+
+    const std::string key = labelKey(labels);
+    auto series = family.series.find(key);
+    if (series == family.series.end()) {
+        auto slot = std::make_unique<detail::Slot>();
+        if (kind == MetricKind::Histogram) {
+            slot->histogram =
+                std::make_unique<detail::HistogramSlot>(lo, hi, bins);
+        }
+        series = family.series
+                     .emplace(key, std::make_pair(std::move(labels),
+                                                  std::move(slot)))
+                     .first;
+    }
+    return series->second.second.get();
+}
+
+Counter
+Registry::counter(const std::string &name, Labels labels,
+                  const std::string &help)
+{
+    return Counter(resolve(name, std::move(labels), help,
+                           MetricKind::Counter, 0, 0, 0));
+}
+
+Gauge
+Registry::gauge(const std::string &name, Labels labels,
+                const std::string &help)
+{
+    return Gauge(resolve(name, std::move(labels), help, MetricKind::Gauge,
+                         0, 0, 0));
+}
+
+HistogramMetric
+Registry::histogram(const std::string &name, double lo, double hi,
+                    std::size_t bins, Labels labels,
+                    const std::string &help)
+{
+    if (!(hi > lo) || bins == 0) {
+        util::fatal("telemetry: histogram '%s' needs hi > lo and >= 1 "
+                    "bin", name.c_str());
+    }
+    return HistogramMetric(resolve(name, std::move(labels), help,
+                                   MetricKind::Histogram, lo, hi, bins));
+}
+
+std::size_t
+Registry::seriesCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &[name, family] : families_)
+        n += family.series.size();
+    return n;
+}
+
+std::vector<SeriesSnapshot>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SeriesSnapshot> out;
+    for (const auto &[name, family] : families_) {
+        for (const auto &[key, entry] : family.series) {
+            SeriesSnapshot snap;
+            snap.name = name;
+            snap.labels = entry.first;
+            snap.kind = family.kind;
+            snap.help = family.help;
+            if (family.kind == MetricKind::Histogram)
+                snap.histogram = snapshotHistogram(*entry.second->histogram);
+            else
+                snap.value = entry.second->value;
+            out.push_back(std::move(snap));
+        }
+    }
+    return out;
+}
+
+std::string
+Registry::renderPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto &[name, family] : families_) {
+        if (!family.help.empty()) {
+            out += "# HELP " + name + " " + family.help + "\n";
+        }
+        out += "# TYPE " + name + " ";
+        out += metricKindName(family.kind);
+        out += '\n';
+        for (const auto &[key, entry] : family.series) {
+            const Labels &labels = entry.first;
+            const detail::Slot &slot = *entry.second;
+            if (family.kind != MetricKind::Histogram) {
+                out += name + renderLabels(labels) + " "
+                       + formatNumber(slot.value) + "\n";
+                continue;
+            }
+            const auto snap = snapshotHistogram(*slot.histogram);
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+                cumulative += snap.counts[i];
+                out += name + "_bucket"
+                       + renderLabelsPlus(labels, "le",
+                                          formatNumber(snap.upperEdge(i)))
+                       + " " + formatNumber(
+                           static_cast<double>(cumulative))
+                       + "\n";
+            }
+            out += name + "_bucket"
+                   + renderLabelsPlus(labels, "le", "+Inf") + " "
+                   + formatNumber(static_cast<double>(snap.count)) + "\n";
+            out += name + "_sum" + renderLabels(labels) + " "
+                   + formatNumber(snap.sum) + "\n";
+            out += name + "_count" + renderLabels(labels) + " "
+                   + formatNumber(static_cast<double>(snap.count)) + "\n";
+        }
+    }
+    return out;
+}
+
+void
+Registry::writeJsonl(std::ostream &os) const
+{
+    for (const SeriesSnapshot &snap : snapshot()) {
+        util::Json::Object obj;
+        obj.emplace("name", util::Json(snap.name));
+        obj.emplace("kind",
+                    util::Json(std::string(metricKindName(snap.kind))));
+        util::Json::Object labels;
+        for (const auto &[label, value] : snap.labels)
+            labels.emplace(label, util::Json(value));
+        obj.emplace("labels", util::Json(std::move(labels)));
+        if (snap.histogram) {
+            const HistogramSnapshot &h = *snap.histogram;
+            util::Json::Object hist;
+            hist.emplace("lo", util::Json(h.lo));
+            hist.emplace("hi", util::Json(h.hi));
+            util::Json::Array counts;
+            counts.reserve(h.counts.size());
+            for (const std::uint64_t c : h.counts)
+                counts.emplace_back(util::Json(static_cast<double>(c)));
+            hist.emplace("counts", util::Json(std::move(counts)));
+            hist.emplace("sum", util::Json(h.sum));
+            hist.emplace("count",
+                         util::Json(static_cast<double>(h.count)));
+            hist.emplace("p50", util::Json(h.p50));
+            hist.emplace("p95", util::Json(h.p95));
+            hist.emplace("p99", util::Json(h.p99));
+            obj.emplace("histogram", util::Json(std::move(hist)));
+        } else {
+            obj.emplace("value", util::Json(snap.value));
+        }
+        os << util::serializeJson(util::Json(std::move(obj)), 0) << '\n';
+    }
+    os.flush();
+}
+
+} // namespace capmaestro::telemetry

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Metrics registry for the CapMaestro control plane.
+ *
+ * A Registry holds labeled time-series metrics — Counter, Gauge, and
+ * Histogram — keyed by (name, label set), in the Prometheus data
+ * model. Components register their series once (registration takes a
+ * mutex and may allocate) and receive a lightweight handle whose
+ * update operations are plain slot writes: no lock, no lookup, no
+ * allocation on the control-period hot path. Histograms reuse
+ * stats::Histogram for the fixed-bin distribution and stats::P2Quantile
+ * for streaming p50/p95/p99 estimates.
+ *
+ * Telemetry is strictly optional: every instrumented component holds a
+ * `Registry *` that defaults to nullptr, and all instrumentation is
+ * guarded on it, so a disabled run performs no telemetry work (and no
+ * allocations) at all. Handles themselves are null-safe: operations on
+ * a default-constructed handle are no-ops.
+ *
+ * Exports: renderPrometheus() emits the Prometheus text exposition
+ * format (version 0.0.4); writeJsonl() emits one JSON object per
+ * series. See docs/observability.md for the metric catalog and label
+ * conventions.
+ */
+
+#ifndef CAPMAESTRO_TELEMETRY_REGISTRY_HH
+#define CAPMAESTRO_TELEMETRY_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/histogram.hh"
+#include "stats/quantile.hh"
+
+namespace capmaestro::telemetry {
+
+/** Label set: (name, value) pairs; order-insensitive identity. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Metric families come in the three classic flavors. */
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/** Name of a MetricKind (exports, diagnostics). */
+const char *metricKindName(MetricKind kind);
+
+namespace detail {
+
+/** Histogram series state: fixed bins + streaming quantile markers. */
+struct HistogramSlot
+{
+    HistogramSlot(double lo, double hi, std::size_t bins)
+        : hist(lo, hi, bins), p50(0.50), p95(0.95), p99(0.99)
+    {
+    }
+
+    stats::Histogram hist;
+    double sum = 0.0;
+    stats::P2Quantile p50;
+    stats::P2Quantile p95;
+    stats::P2Quantile p99;
+
+    void observe(double x)
+    {
+        hist.add(x);
+        sum += x;
+        p50.add(x);
+        p95.add(x);
+        p99.add(x);
+    }
+};
+
+/** One registered series: a scalar slot or a histogram slot. */
+struct Slot
+{
+    double value = 0.0;
+    std::unique_ptr<HistogramSlot> histogram;
+};
+
+} // namespace detail
+
+/** Monotonically increasing counter handle. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p delta (must be >= 0); no-op on a null handle. */
+    void inc(double delta = 1.0)
+    {
+        if (slot_ && delta > 0.0)
+            slot_->value += delta;
+    }
+
+    /** Current total (0 on a null handle). */
+    double value() const { return slot_ ? slot_->value : 0.0; }
+
+    /** True when bound to a registry series. */
+    bool valid() const { return slot_ != nullptr; }
+
+  private:
+    friend class Registry;
+    explicit Counter(detail::Slot *slot) : slot_(slot) {}
+    detail::Slot *slot_ = nullptr;
+};
+
+/** Last-value gauge handle. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    /** Set the current value; no-op on a null handle. */
+    void set(double value)
+    {
+        if (slot_)
+            slot_->value = value;
+    }
+
+    /** Adjust the current value by @p delta; no-op on a null handle. */
+    void add(double delta)
+    {
+        if (slot_)
+            slot_->value += delta;
+    }
+
+    /** Current value (0 on a null handle). */
+    double value() const { return slot_ ? slot_->value : 0.0; }
+
+    /** True when bound to a registry series. */
+    bool valid() const { return slot_ != nullptr; }
+
+  private:
+    friend class Registry;
+    explicit Gauge(detail::Slot *slot) : slot_(slot) {}
+    detail::Slot *slot_ = nullptr;
+};
+
+/** Distribution handle (fixed bins + p50/p95/p99 estimates). */
+class HistogramMetric
+{
+  public:
+    HistogramMetric() = default;
+
+    /** Record one sample; no-op on a null handle. */
+    void observe(double x)
+    {
+        if (slot_)
+            slot_->histogram->observe(x);
+    }
+
+    /** Number of samples observed (0 on a null handle). */
+    std::size_t count() const
+    {
+        return slot_ ? slot_->histogram->hist.count() : 0;
+    }
+
+    /** True when bound to a registry series. */
+    bool valid() const { return slot_ != nullptr; }
+
+  private:
+    friend class Registry;
+    explicit HistogramMetric(detail::Slot *slot) : slot_(slot) {}
+    detail::Slot *slot_ = nullptr;
+};
+
+/**
+ * Point-in-time copy of one histogram series. Snapshots can be merged
+ * (bin-wise; the ranges must match) and queried for quantiles; after a
+ * merge the p50/p95/p99 fields are re-derived from the merged bins by
+ * linear interpolation, so they are bin-resolution approximations
+ * rather than streaming P-squared estimates.
+ */
+struct HistogramSnapshot
+{
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::uint64_t> counts;
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    /** Upper edge of bin @p i (the Prometheus `le` boundary). */
+    double upperEdge(std::size_t i) const;
+
+    /**
+     * Quantile @p q in (0, 1) estimated from the bins by linear
+     * interpolation within the containing bin; 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /**
+     * Fold @p other into this snapshot. The bin ranges and counts must
+     * match (fatal otherwise); quantile fields are recomputed from the
+     * merged bins.
+     */
+    void merge(const HistogramSnapshot &other);
+};
+
+/** Point-in-time copy of one registered series. */
+struct SeriesSnapshot
+{
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::Gauge;
+    std::string help;
+    /** Counter/gauge value (unused for histograms). */
+    double value = 0.0;
+    /** Histogram state (present only for histograms). */
+    std::optional<HistogramSnapshot> histogram;
+};
+
+/** Labeled metrics registry (see file comment for the contract). */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Register (or re-fetch) a counter series. The same (name, labels)
+     * pair always returns a handle to the same slot; re-registering a
+     * name with a different kind is fatal. Names must match
+     * [a-zA-Z_:][a-zA-Z0-9_:]* and label names [a-zA-Z_][a-zA-Z0-9_]*.
+     */
+    Counter counter(const std::string &name, Labels labels = {},
+                    const std::string &help = "");
+
+    /** Register (or re-fetch) a gauge series (rules as counter()). */
+    Gauge gauge(const std::string &name, Labels labels = {},
+                const std::string &help = "");
+
+    /**
+     * Register (or re-fetch) a histogram series over [lo, hi) with
+     * @p bins equal-width buckets (samples outside the range clamp
+     * into the edge buckets). Re-registering a histogram name with
+     * different bounds or bin count is fatal.
+     */
+    HistogramMetric histogram(const std::string &name, double lo,
+                              double hi, std::size_t bins,
+                              Labels labels = {},
+                              const std::string &help = "");
+
+    /** Number of registered series across all families. */
+    std::size_t seriesCount() const;
+
+    /** Copy out every series, families sorted by name. */
+    std::vector<SeriesSnapshot> snapshot() const;
+
+    /** Render the Prometheus text exposition format (version 0.0.4). */
+    std::string renderPrometheus() const;
+
+    /** Write one compact JSON object per series. */
+    void writeJsonl(std::ostream &os) const;
+
+  private:
+    struct Family
+    {
+        MetricKind kind = MetricKind::Gauge;
+        std::string help;
+        double lo = 0.0;
+        double hi = 1.0;
+        std::size_t bins = 0;
+        /** Canonical label key -> (labels, slot). */
+        std::map<std::string, std::pair<Labels, std::unique_ptr<detail::Slot>>>
+            series;
+    };
+
+    detail::Slot *resolve(const std::string &name, Labels labels,
+                          const std::string &help, MetricKind kind,
+                          double lo, double hi, std::size_t bins);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Family> families_;
+};
+
+} // namespace capmaestro::telemetry
+
+#endif // CAPMAESTRO_TELEMETRY_REGISTRY_HH

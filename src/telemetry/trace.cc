@@ -1,0 +1,186 @@
+#include "telemetry/trace.hh"
+
+#include <algorithm>
+
+namespace capmaestro::telemetry {
+
+double
+TraceSpan::num(const std::string &key) const
+{
+    for (const auto &[k, v] : nums) {
+        if (k == key)
+            return v;
+    }
+    return 0.0;
+}
+
+bool
+TraceSpan::hasNum(const std::string &key) const
+{
+    return std::any_of(nums.begin(), nums.end(),
+                       [&key](const auto &kv) { return kv.first == key; });
+}
+
+std::string
+TraceSpan::str(const std::string &key) const
+{
+    for (const auto &[k, v] : strs) {
+        if (k == key)
+            return v;
+    }
+    return "";
+}
+
+double
+PeriodTrace::num(const std::string &key) const
+{
+    for (const auto &[k, v] : nums) {
+        if (k == key)
+            return v;
+    }
+    return 0.0;
+}
+
+std::vector<const TraceSpan *>
+PeriodTrace::named(const std::string &name) const
+{
+    std::vector<const TraceSpan *> out;
+    for (const TraceSpan &span : spans) {
+        if (span.name == name)
+            out.push_back(&span);
+    }
+    return out;
+}
+
+double
+PeriodTracer::usSinceStart() const
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+void
+PeriodTracer::beginPeriod(std::uint64_t index)
+{
+    if (open_)
+        endPeriod();
+    current_ = PeriodTrace{};
+    current_.period = index;
+    current_.simTime = pendingSimTime_;
+    pendingSimTime_ = -1.0;
+    start_ = std::chrono::steady_clock::now();
+    open_ = true;
+}
+
+void
+PeriodTracer::endPeriod()
+{
+    if (!open_)
+        return;
+    const double end_us = usSinceStart();
+    current_.wallMs = end_us / 1000.0;
+    for (TraceSpan &span : current_.spans) {
+        if (span.endUs < 0.0)
+            span.endUs = end_us;
+    }
+    periods_.push_back(std::move(current_));
+    current_ = PeriodTrace{};
+    open_ = false;
+}
+
+PeriodTracer::SpanId
+PeriodTracer::begin(const std::string &name, SpanId parent)
+{
+    if (!open_)
+        return kNoSpan;
+    TraceSpan span;
+    span.name = name;
+    span.parent = parent < current_.spans.size() ? parent
+                                                 : TraceSpan::kNoParent;
+    span.beginUs = usSinceStart();
+    current_.spans.push_back(std::move(span));
+    return current_.spans.size() - 1;
+}
+
+void
+PeriodTracer::end(SpanId span)
+{
+    if (!open_ || span >= current_.spans.size())
+        return;
+    current_.spans[span].endUs = usSinceStart();
+}
+
+void
+PeriodTracer::num(SpanId span, const std::string &key, double value)
+{
+    if (!open_ || span >= current_.spans.size())
+        return;
+    current_.spans[span].nums.emplace_back(key, value);
+}
+
+void
+PeriodTracer::str(SpanId span, const std::string &key, std::string value)
+{
+    if (!open_ || span >= current_.spans.size())
+        return;
+    current_.spans[span].strs.emplace_back(key, std::move(value));
+}
+
+void
+PeriodTracer::periodNum(const std::string &key, double value)
+{
+    if (!open_)
+        return;
+    current_.nums.emplace_back(key, value);
+}
+
+util::Json
+PeriodTracer::toJson(const PeriodTrace &trace)
+{
+    util::Json::Object obj;
+    obj.emplace("period",
+                util::Json(static_cast<double>(trace.period)));
+    if (trace.simTime >= 0.0)
+        obj.emplace("simTime", util::Json(trace.simTime));
+    obj.emplace("wallMs", util::Json(trace.wallMs));
+    util::Json::Object attrs;
+    for (const auto &[key, value] : trace.nums)
+        attrs.emplace(key, util::Json(value));
+    if (!attrs.empty())
+        obj.emplace("attrs", util::Json(std::move(attrs)));
+
+    util::Json::Array spans;
+    spans.reserve(trace.spans.size());
+    for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+        const TraceSpan &span = trace.spans[i];
+        util::Json::Object js;
+        js.emplace("id", util::Json(static_cast<double>(i)));
+        if (span.parent != TraceSpan::kNoParent) {
+            js.emplace("parent",
+                       util::Json(static_cast<double>(span.parent)));
+        }
+        js.emplace("name", util::Json(span.name));
+        js.emplace("t0us", util::Json(span.beginUs));
+        js.emplace("t1us", util::Json(span.endUs));
+        util::Json::Object span_attrs;
+        for (const auto &[key, value] : span.nums)
+            span_attrs.emplace(key, util::Json(value));
+        for (const auto &[key, value] : span.strs)
+            span_attrs.emplace(key, util::Json(value));
+        if (!span_attrs.empty())
+            js.emplace("attrs", util::Json(std::move(span_attrs)));
+        spans.emplace_back(util::Json(std::move(js)));
+    }
+    obj.emplace("spans", util::Json(std::move(spans)));
+    return util::Json(std::move(obj));
+}
+
+void
+PeriodTracer::writeJsonl(std::ostream &os) const
+{
+    for (const PeriodTrace &trace : periods_)
+        os << util::serializeJson(toJson(trace), 0) << '\n';
+    os.flush();
+}
+
+} // namespace capmaestro::telemetry

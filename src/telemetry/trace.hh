@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Span-structured tracing of control periods.
+ *
+ * A PeriodTracer records one trace per control period. Each trace is a
+ * flat arena of spans (name, wall-clock begin/end in microseconds
+ * relative to the period start, numeric and string attributes, parent
+ * span index), which lets the control plane narrate its §4.3 phase
+ * structure — gather, allocate, budget, the §4.4 SPO round — with
+ * deadlines, retry counts, and §4.5 degraded-mode outcomes attached
+ * where they happened.
+ *
+ * The tracer is harness-agnostic and failure-tolerant by design:
+ *
+ *   - span operations outside an open period are silently dropped, so
+ *     components can stay instrumented when driven directly by tests;
+ *   - operations through a null tracer pointer are simply not made
+ *     (components guard on their `PeriodTracer *`), keeping disabled
+ *     runs free of telemetry work;
+ *   - spans left open when the period ends are closed at the period's
+ *     end time.
+ *
+ * Export is JSONL: one compact JSON object per period, schema
+ * documented in docs/observability.md. The bundled `capmaestro_trace`
+ * tool filters and pretty-prints these files.
+ */
+
+#ifndef CAPMAESTRO_TELEMETRY_TRACE_HH
+#define CAPMAESTRO_TELEMETRY_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace capmaestro::telemetry {
+
+/** One span of a period trace (see file comment for the model). */
+struct TraceSpan
+{
+    static constexpr std::size_t kNoParent =
+        static_cast<std::size_t>(-1);
+
+    std::string name;
+    /** Index of the parent span in the trace, or kNoParent. */
+    std::size_t parent = kNoParent;
+    /** Wall-clock bounds, microseconds since period start. */
+    double beginUs = 0.0;
+    double endUs = -1.0;
+    std::vector<std::pair<std::string, double>> nums;
+    std::vector<std::pair<std::string, std::string>> strs;
+
+    /** Numeric attribute by key (0 when absent). */
+    double num(const std::string &key) const;
+    /** True when the numeric attribute @p key is present. */
+    bool hasNum(const std::string &key) const;
+    /** String attribute by key ("" when absent). */
+    std::string str(const std::string &key) const;
+};
+
+/** One control period's trace. */
+struct PeriodTrace
+{
+    /** Period index (the service's periodsRun at period start). */
+    std::uint64_t period = 0;
+    /** Simulated time at period start (-1 when not provided). */
+    double simTime = -1.0;
+    /** Total wall-clock cost of the period in milliseconds. */
+    double wallMs = 0.0;
+    /** Period-level numeric attributes (feasibility, totals, ...). */
+    std::vector<std::pair<std::string, double>> nums;
+    std::vector<TraceSpan> spans;
+
+    /** Period-level numeric attribute by key (0 when absent). */
+    double num(const std::string &key) const;
+    /** Spans named @p name (top level and nested). */
+    std::vector<const TraceSpan *> named(const std::string &name) const;
+};
+
+/** Records one span-structured trace per control period. */
+class PeriodTracer
+{
+  public:
+    using SpanId = std::size_t;
+    static constexpr SpanId kNoSpan = static_cast<std::size_t>(-1);
+
+    /**
+     * Stamp the simulated time carried by the *next* beginPeriod().
+     * The control-plane service has no notion of simulated time, so
+     * the driver (e.g. ClosedLoopSim) provides it just before running
+     * the period.
+     */
+    void noteSimTime(double sim_time) { pendingSimTime_ = sim_time; }
+
+    /** Open the trace for period @p index (closes a leftover period). */
+    void beginPeriod(std::uint64_t index);
+
+    /** Close the current period; no-op when none is open. */
+    void endPeriod();
+
+    /** True while a period trace is open. */
+    bool inPeriod() const { return open_; }
+
+    /**
+     * Open a span. Returns kNoSpan (and records nothing) when no
+     * period is open, so instrumented components need no guards beyond
+     * their tracer pointer.
+     */
+    SpanId begin(const std::string &name, SpanId parent = kNoSpan);
+
+    /** Close a span (no-op for kNoSpan). */
+    void end(SpanId span);
+
+    /** Attach a numeric attribute to a span (no-op for kNoSpan). */
+    void num(SpanId span, const std::string &key, double value);
+
+    /** Attach a string attribute to a span (no-op for kNoSpan). */
+    void str(SpanId span, const std::string &key, std::string value);
+
+    /** Attach a numeric attribute to the open period itself. */
+    void periodNum(const std::string &key, double value);
+
+    /** All completed period traces, in order. */
+    const std::vector<PeriodTrace> &periods() const { return periods_; }
+
+    /** Drop all completed traces (the open period survives). */
+    void clear() { periods_.clear(); }
+
+    /** One compact JSON object per completed period. */
+    void writeJsonl(std::ostream &os) const;
+
+    /** JSON form of one period trace (the JSONL line schema). */
+    static util::Json toJson(const PeriodTrace &trace);
+
+  private:
+    double usSinceStart() const;
+
+    std::vector<PeriodTrace> periods_;
+    PeriodTrace current_;
+    bool open_ = false;
+    double pendingSimTime_ = -1.0;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace capmaestro::telemetry
+
+#endif // CAPMAESTRO_TELEMETRY_TRACE_HH

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/events.hh"
@@ -50,6 +51,69 @@ TEST(EventLog, ClearDropsAll)
     log.record(1, EventKind::SupplyFailed, "S0.ps1");
     log.clear();
     EXPECT_TRUE(log.events().empty());
+}
+
+TEST(EventLog, SequenceNumbersAreMonotonic)
+{
+    EventLog log;
+    log.record(5, EventKind::FeedFailed, "feed0");
+    log.record(5, EventKind::SupplyFailed, "S0.ps0");
+    log.record(9, EventKind::SpoReclaimed, "fleet", 12.0);
+    const auto &events = log.events();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[1].seq, 1u);
+    EXPECT_EQ(events[2].seq, 2u);
+}
+
+TEST(EventLog, SequenceContinuesAcrossClear)
+{
+    // Numbering survives clear() so a consumer that drains the log
+    // periodically can still detect gaps.
+    EventLog log;
+    log.record(1, EventKind::FeedFailed, "feed0");
+    log.record(2, EventKind::FeedRestored, "feed0");
+    log.clear();
+    log.record(3, EventKind::SupplyFailed, "S1.ps0");
+    ASSERT_EQ(log.events().size(), 1u);
+    EXPECT_EQ(log.events()[0].seq, 2u);
+}
+
+TEST(EventLog, JsonlRendering)
+{
+    EventLog log;
+    log.record(42, EventKind::BreakerTripped, "X.cdu3", 990.0);
+    log.record(43, EventKind::SpoReclaimed, "fleet", 54.5);
+    std::ostringstream os;
+    log.printJsonl(os);
+    const std::string out = os.str();
+    // One object per line, machine-parsable fields.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+    EXPECT_NE(out.find("\"seq\": 0"), std::string::npos);
+    EXPECT_NE(out.find("\"seq\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\"kind\": \"breaker-tripped\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"subject\": \"X.cdu3\""), std::string::npos);
+    EXPECT_NE(out.find("\"time\": 42"), std::string::npos);
+
+    // Every line round-trips through the JSON parser.
+    std::istringstream is(out);
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto parsed = util::parseJson(line, "events-test");
+        EXPECT_TRUE(parsed.isObject());
+        EXPECT_TRUE(parsed.at("kind").isString());
+        EXPECT_TRUE(parsed.at("seq").isNumber());
+    }
+}
+
+TEST(EventLog, KindFromNameRoundTrip)
+{
+    EXPECT_EQ(core::eventKindFromName("feed-failed"),
+              EventKind::FeedFailed);
+    EXPECT_EQ(core::eventKindFromName("spo-reclaimed"),
+              EventKind::SpoReclaimed);
+    EXPECT_EQ(core::eventKindFromName("no-such-kind"), std::nullopt);
 }
 
 TEST(EventLog, KindNamesDistinct)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "stats/accumulator.hh"
@@ -90,6 +91,37 @@ TEST(Histogram, BinningAndClamping)
     EXPECT_DOUBLE_EQ(h.binFraction(0), 0.4);
     EXPECT_NEAR(h.binCenter(0), 0.05, 1e-12);
     EXPECT_NEAR(h.binLow(9), 0.9, 1e-12);
+}
+
+TEST(Histogram, UpperBoundIsExclusive)
+{
+    cs::Histogram h(0.0, 1.0, 10);
+    h.add(1.0);    // exactly hi: clamps into the last bin
+    h.add(0.9999); // just under hi: also the last bin, by binning
+    h.add(1e300);  // far above: clamps, no overflow
+    EXPECT_EQ(h.binCount(9), 3u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, NonFiniteSamplesClamp)
+{
+    cs::Histogram h(0.0, 1.0, 4);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(-std::numeric_limits<double>::infinity());
+    h.add(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.binCount(0), 2u); // NaN and -inf
+    EXPECT_EQ(h.binCount(3), 1u); // +inf
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, EdgeAccessors)
+{
+    cs::Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.lo(), 10.0);
+    EXPECT_DOUBLE_EQ(h.hi(), 20.0);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 12.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(4), 20.0);
 }
 
 TEST(Histogram, RenderContainsBars)

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Telemetry tests: registry identity and label rules, histogram
+ * snapshot merge, Prometheus/JSONL rendering, period-tracer span
+ * semantics, and the end-to-end contract on a message-plane closed
+ * loop — every control period emits exactly one trace whose phase
+ * spans agree with the MessageStats counters, and enabling telemetry
+ * never perturbs the control decisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/loader.hh"
+#include "sim/closed_loop.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
+#include "util/json.hh"
+
+using namespace capmaestro;
+using telemetry::Labels;
+using telemetry::PeriodTracer;
+using telemetry::Registry;
+
+namespace {
+
+/** Scalar value of a named series in a registry snapshot (-1 absent). */
+double
+seriesValue(const Registry &registry, const std::string &name,
+            const Labels &labels = {})
+{
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto &snap : registry.snapshot()) {
+        if (snap.name == name && snap.labels == sorted)
+            return snap.value;
+    }
+    return -1.0;
+}
+
+} // namespace
+
+TEST(Registry, SameNameAndLabelsShareOneSeries)
+{
+    Registry registry;
+    auto a = registry.counter("requests_total", {{"code", "200"}});
+    auto b = registry.counter("requests_total", {{"code", "200"}});
+    a.inc();
+    b.inc(2.0);
+    EXPECT_DOUBLE_EQ(a.value(), 3.0);
+    EXPECT_DOUBLE_EQ(b.value(), 3.0);
+    EXPECT_EQ(registry.seriesCount(), 1u);
+}
+
+TEST(Registry, LabelOrderDoesNotSplitSeries)
+{
+    Registry registry;
+    auto a = registry.gauge("g", {{"a", "1"}, {"b", "2"}});
+    auto b = registry.gauge("g", {{"b", "2"}, {"a", "1"}});
+    a.set(7.0);
+    EXPECT_DOUBLE_EQ(b.value(), 7.0);
+    EXPECT_EQ(registry.seriesCount(), 1u);
+}
+
+TEST(Registry, DistinctLabelValuesAreDistinctSeries)
+{
+    Registry registry;
+    auto a = registry.counter("c", {{"tree", "X"}});
+    auto b = registry.counter("c", {{"tree", "Y"}});
+    a.inc(5.0);
+    b.inc(1.0);
+    EXPECT_DOUBLE_EQ(a.value(), 5.0);
+    EXPECT_DOUBLE_EQ(b.value(), 1.0);
+    EXPECT_EQ(registry.seriesCount(), 2u);
+    EXPECT_DOUBLE_EQ(seriesValue(registry, "c", {{"tree", "X"}}), 5.0);
+    EXPECT_DOUBLE_EQ(seriesValue(registry, "c", {{"tree", "Y"}}), 1.0);
+}
+
+TEST(Registry, NullHandlesAreNoOps)
+{
+    telemetry::Counter counter;
+    telemetry::Gauge gauge;
+    telemetry::HistogramMetric histogram;
+    counter.inc();
+    gauge.set(3.0);
+    gauge.add(1.0);
+    histogram.observe(2.0);
+    EXPECT_FALSE(counter.valid());
+    EXPECT_FALSE(gauge.valid());
+    EXPECT_FALSE(histogram.valid());
+    EXPECT_DOUBLE_EQ(counter.value(), 0.0);
+    EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+    EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(Registry, CounterRejectsNegativeDeltas)
+{
+    Registry registry;
+    auto c = registry.counter("c");
+    c.inc(2.0);
+    c.inc(-5.0); // ignored: counters are monotonic
+    EXPECT_DOUBLE_EQ(c.value(), 2.0);
+}
+
+TEST(Registry, HistogramSnapshotCarriesBinsSumQuantiles)
+{
+    Registry registry;
+    auto h = registry.histogram("latency_ms", 0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.observe(0.1 * i); // uniform over [0, 10)
+    EXPECT_EQ(h.count(), 100u);
+
+    const auto snaps = registry.snapshot();
+    ASSERT_EQ(snaps.size(), 1u);
+    ASSERT_TRUE(snaps[0].histogram.has_value());
+    const auto &snap = *snaps[0].histogram;
+    EXPECT_EQ(snap.count, 100u);
+    EXPECT_DOUBLE_EQ(snap.lo, 0.0);
+    EXPECT_DOUBLE_EQ(snap.hi, 10.0);
+    ASSERT_EQ(snap.counts.size(), 10u);
+    for (const auto c : snap.counts)
+        EXPECT_EQ(c, 10u);
+    EXPECT_NEAR(snap.sum, 495.0, 1e-9);
+    EXPECT_NEAR(snap.p50, 5.0, 0.6);
+    EXPECT_NEAR(snap.p95, 9.5, 0.6);
+    EXPECT_NEAR(snap.quantile(0.5), 5.0, 1.0);
+    EXPECT_DOUBLE_EQ(snap.upperEdge(0), 1.0);
+    EXPECT_DOUBLE_EQ(snap.upperEdge(9), 10.0);
+}
+
+TEST(Registry, HistogramSnapshotMergeIsBinwise)
+{
+    Registry left, right;
+    auto hl = left.histogram("h", 0.0, 4.0, 4);
+    auto hr = right.histogram("h", 0.0, 4.0, 4);
+    hl.observe(0.5);
+    hl.observe(1.5);
+    hr.observe(1.5);
+    hr.observe(3.5);
+
+    auto a = *left.snapshot()[0].histogram;
+    const auto b = *right.snapshot()[0].histogram;
+    a.merge(b);
+    EXPECT_EQ(a.count, 4u);
+    EXPECT_DOUBLE_EQ(a.sum, 7.0);
+    EXPECT_EQ(a.counts[0], 1u);
+    EXPECT_EQ(a.counts[1], 2u);
+    EXPECT_EQ(a.counts[2], 0u);
+    EXPECT_EQ(a.counts[3], 1u);
+    // Post-merge quantiles are re-derived from the merged bins.
+    EXPECT_GT(a.p95, a.p50);
+    EXPECT_LE(a.p99, 4.0);
+}
+
+TEST(Registry, PrometheusRenderFollowsTextFormat)
+{
+    Registry registry;
+    registry.counter("runs_total", {}, "completed runs").inc(3.0);
+    registry.gauge("temp", {{"room", "a\"b"}}).set(21.5);
+    auto h = registry.histogram("lat", 0.0, 2.0, 2);
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(99.0); // clamps into the last bucket
+
+    const std::string out = registry.renderPrometheus();
+    EXPECT_NE(out.find("# HELP runs_total completed runs\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("# TYPE runs_total counter\n"), std::string::npos);
+    EXPECT_NE(out.find("runs_total 3\n"), std::string::npos);
+    // Label values are escaped.
+    EXPECT_NE(out.find("temp{room=\"a\\\"b\"} 21.5\n"),
+              std::string::npos);
+    // Cumulative buckets plus the implicit +Inf, _sum, and _count.
+    EXPECT_NE(out.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+    EXPECT_NE(out.find("lat_bucket{le=\"2\"} 3\n"), std::string::npos);
+    EXPECT_NE(out.find("lat_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("lat_sum 101\n"), std::string::npos);
+    EXPECT_NE(out.find("lat_count 3\n"), std::string::npos);
+}
+
+TEST(Registry, JsonlRoundTripsThroughTheParser)
+{
+    Registry registry;
+    registry.counter("c", {{"k", "v"}}).inc();
+    registry.histogram("h", 0.0, 1.0, 2).observe(0.3);
+    std::ostringstream os;
+    registry.writeJsonl(os);
+
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line)) {
+        ++lines;
+        const auto parsed = util::parseJson(line, "telemetry-test");
+        EXPECT_TRUE(parsed.at("name").isString());
+        EXPECT_TRUE(parsed.at("kind").isString());
+        EXPECT_TRUE(parsed.at("labels").isObject());
+        EXPECT_TRUE(parsed.find("value") != nullptr
+                    || parsed.find("histogram") != nullptr);
+    }
+    EXPECT_EQ(lines, 2u);
+}
+
+TEST(Tracer, SpansOutsideAPeriodAreDropped)
+{
+    PeriodTracer tracer;
+    const auto span = tracer.begin("orphan");
+    EXPECT_EQ(span, PeriodTracer::kNoSpan);
+    tracer.num(span, "k", 1.0); // all no-ops
+    tracer.end(span);
+    EXPECT_TRUE(tracer.periods().empty());
+    EXPECT_FALSE(tracer.inPeriod());
+}
+
+TEST(Tracer, SpanNestingAndAttributes)
+{
+    PeriodTracer tracer;
+    tracer.noteSimTime(64.0);
+    tracer.beginPeriod(7);
+    const auto outer = tracer.begin("gather");
+    tracer.num(outer, "messages", 12.0);
+    const auto inner = tracer.begin("tree", outer);
+    tracer.str(inner, "name", "X");
+    tracer.end(inner);
+    tracer.end(outer);
+    tracer.periodNum("demand_watts", 900.0);
+    tracer.endPeriod();
+
+    ASSERT_EQ(tracer.periods().size(), 1u);
+    const auto &trace = tracer.periods()[0];
+    EXPECT_EQ(trace.period, 7u);
+    EXPECT_DOUBLE_EQ(trace.simTime, 64.0);
+    EXPECT_DOUBLE_EQ(trace.num("demand_watts"), 900.0);
+    ASSERT_EQ(trace.spans.size(), 2u);
+    EXPECT_EQ(trace.spans[0].name, "gather");
+    EXPECT_EQ(trace.spans[0].parent, telemetry::TraceSpan::kNoParent);
+    EXPECT_EQ(trace.spans[1].name, "tree");
+    EXPECT_EQ(trace.spans[1].parent, 0u);
+    EXPECT_EQ(trace.spans[1].str("name"), "X");
+    EXPECT_DOUBLE_EQ(trace.named("gather")[0]->num("messages"), 12.0);
+    // Nested span closed within its parent's bounds.
+    EXPECT_GE(trace.spans[1].beginUs, trace.spans[0].beginUs);
+    EXPECT_LE(trace.spans[1].endUs, trace.spans[0].endUs + 1e-6);
+}
+
+TEST(Tracer, OpenSpansCloseWithThePeriod)
+{
+    PeriodTracer tracer;
+    tracer.beginPeriod(0);
+    tracer.begin("left-open");
+    tracer.endPeriod();
+    ASSERT_EQ(tracer.periods().size(), 1u);
+    const auto &span = tracer.periods()[0].spans[0];
+    EXPECT_GE(span.endUs, span.beginUs);
+}
+
+TEST(Tracer, SimTimeStampsOnlyTheNextPeriod)
+{
+    PeriodTracer tracer;
+    tracer.noteSimTime(8.0);
+    tracer.beginPeriod(0);
+    tracer.endPeriod();
+    tracer.beginPeriod(1);
+    tracer.endPeriod();
+    ASSERT_EQ(tracer.periods().size(), 2u);
+    EXPECT_DOUBLE_EQ(tracer.periods()[0].simTime, 8.0);
+    EXPECT_DOUBLE_EQ(tracer.periods()[1].simTime, -1.0);
+}
+
+TEST(Tracer, JsonlSchemaRoundTrips)
+{
+    PeriodTracer tracer;
+    tracer.beginPeriod(3);
+    const auto span = tracer.begin("phase");
+    tracer.num(span, "n", 2.0);
+    tracer.end(span);
+    tracer.endPeriod();
+
+    std::ostringstream os;
+    tracer.writeJsonl(os);
+    const auto parsed = util::parseJson(os.str(), "trace-test");
+    EXPECT_DOUBLE_EQ(parsed.at("period").asNumber(), 3.0);
+    EXPECT_TRUE(parsed.at("wallMs").isNumber());
+    const auto &spans = parsed.at("spans").asArray();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].at("name").asString(), "phase");
+    EXPECT_DOUBLE_EQ(spans[0].at("attrs").at("n").asNumber(), 2.0);
+    EXPECT_LE(spans[0].at("t0us").asNumber(),
+              spans[0].at("t1us").asNumber());
+}
+
+namespace {
+
+/** The Figure 2 testbed, single feed, SPO off (see test_net_closed_loop). */
+const char *kScenario = R"({
+  "feeds": 1,
+  "trees": [
+    {
+      "feed": 0, "phase": 0, "name": "feed",
+      "root": {
+        "kind": "breaker", "name": "topCB", "rating": 1400,
+        "children": [
+          {
+            "kind": "breaker", "name": "leftCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 0, "supply": 0 },
+              { "kind": "supply", "server": 1, "supply": 0 }
+            ]
+          },
+          {
+            "kind": "breaker", "name": "rightCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 2, "supply": 0 },
+              { "kind": "supply", "server": 3, "supply": 0 }
+            ]
+          }
+        ]
+      }
+    }
+  ],
+  "servers": [
+    { "name": "SA", "priority": 1, "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.695 } },
+    { "name": "SB", "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.676 } },
+    { "name": "SC", "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.687 } },
+    { "name": "SD", "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.703 } }
+  ],
+  "service": { "policy": "global", "controlPeriodSeconds": 8,
+               "spo": false },
+  "budgets": { "perTree": [ 1240 ] }
+})";
+
+sim::ClosedLoopSim
+makeSim(const std::string &transport_json)
+{
+    auto scenario = config::loadScenario(util::parseJson(kScenario));
+    if (!transport_json.empty()) {
+        config::applyTransportJson(scenario.service,
+                                   util::parseJson(transport_json));
+    }
+    return config::makeSimulation(std::move(scenario), 1);
+}
+
+} // namespace
+
+TEST(TelemetryClosedLoop, OneTracePerPeriodWithMatchingPhaseCounters)
+{
+    auto sim = makeSim("{\"dropRate\": 0.2, \"seed\": 11}");
+    Registry registry;
+    PeriodTracer tracer;
+    sim.enableTelemetry(&registry, &tracer);
+
+    std::size_t total_metrics_msgs = 0, total_budget_msgs = 0;
+    for (int period = 0; period < 20; ++period) {
+        sim.run(8);
+        const auto &stats = sim.service().lastStats();
+        const auto &msgs = stats.messages;
+        total_metrics_msgs += msgs.metricsMessages;
+        total_budget_msgs += msgs.budgetMessages;
+
+        // Exactly one trace per control period, in order.
+        ASSERT_EQ(tracer.periods().size(), stats.periodsRun);
+        if (stats.periodsRun == 0)
+            continue; // the first period fires on the next 8 s window
+        const auto &trace = tracer.periods().back();
+        EXPECT_EQ(trace.period, stats.periodsRun - 1);
+        // The simulator stamped the trace with the period's sim time,
+        // which falls inside the 8 s window that just ran.
+        EXPECT_GT(trace.simTime, static_cast<double>(sim.now()) - 9.0);
+        EXPECT_LE(trace.simTime, static_cast<double>(sim.now()));
+
+        // The phase spans narrate the same numbers MessageStats counts.
+        const auto gathers = trace.named("gather");
+        const auto budgets = trace.named("budget");
+        ASSERT_EQ(gathers.size(), 1u);
+        ASSERT_EQ(budgets.size(), 1u);
+        EXPECT_DOUBLE_EQ(gathers[0]->num("messages"),
+                         static_cast<double>(msgs.metricsMessages));
+        EXPECT_DOUBLE_EQ(gathers[0]->num("stale"),
+                         static_cast<double>(msgs.staleReuses));
+        EXPECT_DOUBLE_EQ(gathers[0]->num("lost"),
+                         static_cast<double>(msgs.metricsLost));
+        EXPECT_DOUBLE_EQ(budgets[0]->num("messages"),
+                         static_cast<double>(msgs.budgetMessages));
+        EXPECT_DOUBLE_EQ(budgets[0]->num("defaults"),
+                         static_cast<double>(msgs.defaultBudgets));
+        EXPECT_DOUBLE_EQ(gathers[0]->num("retries")
+                             + budgets[0]->num("retries"),
+                         static_cast<double>(msgs.retries));
+        // One degraded span per degraded decision.
+        EXPECT_EQ(trace.named("degraded").size(), msgs.degraded.size());
+        // Phases are ordered and bounded by the period.
+        EXPECT_LE(gathers[0]->endUs, budgets[0]->beginUs + 1e-6);
+    }
+
+    // Registry counters accumulate exactly what the periods reported.
+    EXPECT_DOUBLE_EQ(
+        seriesValue(registry, "capmaestro_plane_metrics_messages_total"),
+        static_cast<double>(total_metrics_msgs));
+    EXPECT_DOUBLE_EQ(
+        seriesValue(registry, "capmaestro_plane_budget_messages_total"),
+        static_cast<double>(total_budget_msgs));
+    EXPECT_DOUBLE_EQ(seriesValue(registry, "capmaestro_periods_total"),
+                     static_cast<double>(
+                         sim.service().lastStats().periodsRun));
+
+    // The per-server families carry one series per server.
+    std::size_t server_period_series = 0;
+    for (const auto &snap : registry.snapshot()) {
+        if (snap.name == "capmaestro_server_periods_total")
+            ++server_period_series;
+    }
+    EXPECT_EQ(server_period_series, 4u);
+}
+
+TEST(TelemetryClosedLoop, EnablingTelemetryDoesNotPerturbControl)
+{
+    // Same lossy scenario, same seed, telemetry on vs off: every
+    // per-supply budget of every control period must stay bit-identical
+    // (instrumentation is pure observation — it draws no randomness).
+    auto plain = makeSim("{\"dropRate\": 0.2, \"seed\": 7}");
+    auto traced = makeSim("{\"dropRate\": 0.2, \"seed\": 7}");
+    Registry registry;
+    PeriodTracer tracer;
+    traced.enableTelemetry(&registry, &tracer);
+
+    for (int period = 0; period < 15; ++period) {
+        plain.run(8);
+        traced.run(8);
+        const auto &a = plain.service().lastStats().allocation;
+        const auto &b = traced.service().lastStats().allocation;
+        ASSERT_EQ(a.servers.size(), b.servers.size());
+        for (std::size_t i = 0; i < a.servers.size(); ++i) {
+            const auto &ab = a.servers[i].supplyBudget;
+            const auto &bb = b.servers[i].supplyBudget;
+            ASSERT_EQ(ab.size(), bb.size());
+            for (std::size_t s = 0; s < ab.size(); ++s) {
+                EXPECT_EQ(std::bit_cast<std::uint64_t>(ab[s]),
+                          std::bit_cast<std::uint64_t>(bb[s]))
+                    << "period " << period << " server " << i
+                    << " supply " << s;
+            }
+        }
+    }
+}
+
+TEST(TelemetryClosedLoop, MonolithicPathTracesAllocateAndApply)
+{
+    auto sim = makeSim("");
+    Registry registry;
+    PeriodTracer tracer;
+    sim.enableTelemetry(&registry, &tracer);
+    sim.run(40);
+
+    ASSERT_EQ(tracer.periods().size(),
+              sim.service().lastStats().periodsRun);
+    const auto &trace = tracer.periods().back();
+    EXPECT_EQ(trace.named("close").size(), 1u);
+    EXPECT_EQ(trace.named("allocate").size(), 1u);
+    EXPECT_EQ(trace.named("apply").size(), 1u);
+    EXPECT_GT(trace.num("demand_watts"), 0.0);
+    EXPECT_EQ(trace.num("feasible"), 1.0);
+
+    // Allocation telemetry shows up with per-priority labels.
+    EXPECT_GT(
+        seriesValue(registry, "capmaestro_alloc_granted_watts",
+                    {{"priority", "1"}}),
+        0.0);
+    EXPECT_GT(seriesValue(registry, "capmaestro_fleet_demand_watts"),
+              0.0);
+    // Wall-clock cost was observed once per period.
+    for (const auto &snap : registry.snapshot()) {
+        if (snap.name == "capmaestro_period_wall_ms") {
+            ASSERT_TRUE(snap.histogram.has_value());
+            EXPECT_EQ(snap.histogram->count,
+                      sim.service().lastStats().periodsRun);
+        }
+    }
+}

@@ -5,6 +5,7 @@
  *
  * Usage:
  *   capmaestro_audit <audit.json> [--tolerance=W]
+ *   capmaestro_audit --events-json=FILE [--kind=K]
  *
  * Input format:
  * {
@@ -13,30 +14,110 @@
  *   "meters": [ { "node": "cdu0", "watts": 712 }, ... ]   // by name
  * }
  *
+ * The second form inspects an events.jsonl file written by
+ * `capmaestro_run --telemetry-out` instead: it prints the events it
+ * contains (optionally only those of kind K, e.g. --kind=spo-fallback)
+ * and a per-kind tally. Sequence numbers let the operator confirm no
+ * events were dropped between the control plane and the file.
+ *
  * Exit status: 0 clean, 1 discrepancies found, 2 usage/config error.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "config/loader.hh"
+#include "core/events.hh"
 #include "topology/audit.hh"
 #include "util/json.hh"
 
 using namespace capmaestro;
 
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: capmaestro_audit <audit.json> [--tolerance=W]\n"
+                 "       capmaestro_audit --events-json=FILE "
+                 "[--kind=K]\n");
+    std::exit(2);
+}
+
+const char *
+flagValue(int argc, char **argv, const char *name)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return argv[i] + prefix.size();
+    }
+    return nullptr;
+}
+
+/** The --events-json mode: print and tally an events.jsonl file. */
+int
+inspectEvents(const char *path, const char *kind_name)
+{
+    if (kind_name != nullptr
+        && !core::eventKindFromName(kind_name).has_value()) {
+        std::fprintf(stderr, "--kind=%s: unknown event kind\n",
+                     kind_name);
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path);
+        return 2;
+    }
+
+    std::map<std::string, std::size_t> tally;
+    std::size_t shown = 0, total = 0;
+    std::string line;
+    for (std::size_t lineno = 1; std::getline(in, line); ++lineno) {
+        if (line.empty())
+            continue;
+        const util::Json event = util::parseJson(
+            line, std::string(path) + ":" + std::to_string(lineno));
+        const std::string kind = event.stringOr("kind", "?");
+        ++tally[kind];
+        ++total;
+        if (kind_name != nullptr && kind != kind_name)
+            continue;
+        std::printf("#%-5lld t=%-6lld %-22s %s",
+                    static_cast<long long>(event.numberOr("seq", -1)),
+                    static_cast<long long>(event.numberOr("time", -1)),
+                    kind.c_str(),
+                    event.stringOr("subject", "").c_str());
+        if (const util::Json *value = event.find("value"))
+            std::printf("  value=%.6g", value->asNumber());
+        std::printf("\n");
+        ++shown;
+    }
+
+    std::printf("\n%zu event(s) shown of %zu in %s\n", shown, total,
+                path);
+    for (const auto &[kind, count] : tally)
+        std::printf("  %-22s %zu\n", kind.c_str(), count);
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    if (argc < 2 || argv[1][0] == '-') {
-        std::fprintf(stderr,
-                     "usage: capmaestro_audit <audit.json> "
-                     "[--tolerance=W]\n");
-        return 2;
-    }
+    if (const char *events = flagValue(argc, argv, "events-json"))
+        return inspectEvents(events, flagValue(argc, argv, "kind"));
+
+    if (argc < 2 || argv[1][0] == '-')
+        usage();
 
     double tolerance = 5.0;
     for (int i = 2; i < argc; ++i) {

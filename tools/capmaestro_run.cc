@@ -16,6 +16,10 @@
  *                         '{"dropRate":0.2,"latencyMs":5}'
  *   --drop-rate=P         shorthand: message plane with drop rate P
  *   --latency-ms=MS       shorthand: message plane with mean latency MS
+ *   --telemetry-out=DIR   enable telemetry and write DIR/metrics.prom
+ *                         (Prometheus text format 0.0.4),
+ *                         DIR/metrics.jsonl, DIR/trace.jsonl (one line
+ *                         per control period), and DIR/events.jsonl
  *
  * Without --csv the tool prints a per-server summary (budget, power,
  * throughput over the final quarter of the run) plus breaker status;
@@ -26,10 +30,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "config/loader.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -68,8 +76,18 @@ usage()
                  "                      [--fail-supply=S.P@T] [--csv] "
                  "[--seed=N]\n"
                  "                      [--transport=JSON] "
-                 "[--drop-rate=P] [--latency-ms=MS]\n");
+                 "[--drop-rate=P] [--latency-ms=MS]\n"
+                 "                      [--telemetry-out=DIR]\n");
     std::exit(2);
+}
+
+std::ofstream
+openOutput(const std::filesystem::path &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        util::fatal("cannot write %s", path.string().c_str());
+    return os;
 }
 
 } // namespace
@@ -136,7 +154,33 @@ main(int argc, char **argv)
                                 static_cast<std::size_t>(supply));
     }
 
+    telemetry::Registry registry;
+    telemetry::PeriodTracer tracer;
+    const char *telemetry_dir = flagValue(argc, argv, "telemetry-out");
+    if (telemetry_dir != nullptr)
+        simulation.enableTelemetry(&registry, &tracer);
+
     simulation.run(duration);
+
+    if (telemetry_dir != nullptr) {
+        const std::filesystem::path dir(telemetry_dir);
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec)
+            util::fatal("cannot create %s: %s", telemetry_dir,
+                        ec.message().c_str());
+        openOutput(dir / "metrics.prom") << registry.renderPrometheus();
+        auto metrics_jsonl = openOutput(dir / "metrics.jsonl");
+        registry.writeJsonl(metrics_jsonl);
+        auto trace_jsonl = openOutput(dir / "trace.jsonl");
+        tracer.writeJsonl(trace_jsonl);
+        auto events_jsonl = openOutput(dir / "events.jsonl");
+        simulation.eventLog().printJsonl(events_jsonl);
+        std::fprintf(stderr,
+                     "telemetry: wrote metrics.prom, metrics.jsonl, "
+                     "trace.jsonl (%zu periods), events.jsonl to %s\n",
+                     tracer.periods().size(), telemetry_dir);
+    }
 
     if (hasFlag(argc, argv, "csv")) {
         simulation.recorder().printCsv(std::cout);

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * capmaestro_trace — inspect control-period traces written by
+ * `capmaestro_run --telemetry-out` (trace.jsonl).
+ *
+ * Usage:
+ *   capmaestro_trace <trace.jsonl> [options]
+ *
+ * Options:
+ *   --period=N     only the trace of control period N
+ *   --name=SUBSTR  only spans whose name contains SUBSTR
+ *   --min-us=X     only spans that lasted at least X microseconds
+ *   --summary      one line per period (no spans)
+ *
+ * Output is one block per period: the period header (index, simulated
+ * time, wall-clock milliseconds, period attributes), then the span tree
+ * indented by parentage, each span with its duration and attributes.
+ * Filters drop spans but keep period headers, so `--name=spo` shows at
+ * a glance which periods ran an SPO round.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+const char *
+flagValue(int argc, char **argv, const char *name)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 2; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return argv[i] + prefix.size();
+    }
+    return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    const std::string flag = std::string("--") + name;
+    for (int i = 2; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: capmaestro_trace <trace.jsonl> [--period=N] "
+                 "[--name=SUBSTR]\n"
+                 "                        [--min-us=X] [--summary]\n");
+    std::exit(2);
+}
+
+/** One span as decoded from a trace line. */
+struct Span
+{
+    std::int64_t id = 0;
+    std::int64_t parent = -1;
+    std::string name;
+    double t0us = 0.0;
+    double t1us = 0.0;
+    std::string attrs; // pre-rendered "k=v k=v" suffix
+};
+
+std::string
+renderAttrs(const util::Json *attrs)
+{
+    if (attrs == nullptr || !attrs->isObject())
+        return "";
+    std::string out;
+    char buf[64];
+    for (const auto &[key, value] : attrs->asObject()) {
+        out += "  ";
+        out += key;
+        out += '=';
+        if (value.isNumber()) {
+            std::snprintf(buf, sizeof(buf), "%.6g", value.asNumber());
+            out += buf;
+        } else if (value.isString()) {
+            out += value.asString();
+        } else {
+            out += util::serializeJson(value, 0);
+        }
+    }
+    return out;
+}
+
+void
+printSpanTree(const std::vector<Span> &spans, std::int64_t parent,
+              int depth, const std::string &name_filter, double min_us)
+{
+    for (const Span &span : spans) {
+        if (span.parent != parent)
+            continue;
+        const double dur = span.t1us - span.t0us;
+        const bool keep =
+            (name_filter.empty()
+             || span.name.find(name_filter) != std::string::npos)
+            && dur >= min_us;
+        if (keep) {
+            std::printf("  %*s%-*s %9.1f us%s\n", depth * 2, "",
+                        24 - depth * 2, span.name.c_str(), dur,
+                        span.attrs.c_str());
+        }
+        // Children stay visible even when the parent is filtered out:
+        // the tree is for orientation, the filter for relevance.
+        printSpanTree(spans, span.id, depth + 1, name_filter, min_us);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argv[1][0] == '-')
+        usage();
+
+    std::ifstream in(argv[1]);
+    if (!in)
+        util::fatal("cannot read %s", argv[1]);
+
+    const char *period_arg = flagValue(argc, argv, "period");
+    const long long only_period =
+        period_arg ? std::atoll(period_arg) : -1;
+    const char *name_arg = flagValue(argc, argv, "name");
+    const std::string name_filter = name_arg ? name_arg : "";
+    const char *min_arg = flagValue(argc, argv, "min-us");
+    const double min_us = min_arg ? std::atof(min_arg) : 0.0;
+    const bool summary = hasFlag(argc, argv, "summary");
+
+    std::size_t shown = 0;
+    std::string line;
+    for (std::size_t lineno = 1; std::getline(in, line); ++lineno) {
+        if (line.empty())
+            continue;
+        const util::Json trace = util::parseJson(
+            line, std::string(argv[1]) + ":" + std::to_string(lineno));
+        const auto period =
+            static_cast<long long>(trace.numberOr("period", -1));
+        if (only_period >= 0 && period != only_period)
+            continue;
+
+        const double wall_ms = trace.numberOr("wallMs", 0.0);
+        const util::Json *sim_time = trace.find("simTime");
+        const util::Json *spans_json = trace.find("spans");
+        const std::size_t span_count =
+            spans_json && spans_json->isArray()
+                ? spans_json->asArray().size()
+                : 0;
+        if (sim_time != nullptr) {
+            std::printf("period %lld  t=%.0fs  wall=%.3fms  spans=%zu%s\n",
+                        period, sim_time->asNumber(), wall_ms, span_count,
+                        renderAttrs(trace.find("attrs")).c_str());
+        } else {
+            std::printf("period %lld  wall=%.3fms  spans=%zu%s\n", period,
+                        wall_ms, span_count,
+                        renderAttrs(trace.find("attrs")).c_str());
+        }
+        ++shown;
+        if (summary)
+            continue;
+
+        std::vector<Span> spans;
+        if (spans_json != nullptr && spans_json->isArray()) {
+            for (const util::Json &js : spans_json->asArray()) {
+                Span span;
+                span.id =
+                    static_cast<std::int64_t>(js.numberOr("id", -1));
+                span.parent =
+                    static_cast<std::int64_t>(js.numberOr("parent", -1));
+                span.name = js.stringOr("name", "?");
+                span.t0us = js.numberOr("t0us", 0.0);
+                span.t1us = js.numberOr("t1us", 0.0);
+                span.attrs = renderAttrs(js.find("attrs"));
+                spans.push_back(std::move(span));
+            }
+        }
+        printSpanTree(spans, -1, 0, name_filter, min_us);
+    }
+
+    if (shown == 0 && only_period >= 0)
+        util::fatal("no trace for period %lld in %s", only_period,
+                    argv[1]);
+    return 0;
+}
