@@ -19,16 +19,32 @@ if [[ "${1:-}" == "--tier1-only" ]]; then
 fi
 
 echo
-echo "== sanitizers: ASan+UBSan run of the net tier (ctest -L net) =="
+echo "== udp tier: multi-process loopback smoke (capmaestro_worker) =="
+# One room + two rack daemons over real 127.0.0.1 sockets, one rack
+# killed mid-run; asserts the §4.5 heartbeat failover from outside the
+# processes. Skips itself (exit 77) when CAPMAESTRO_NO_NET=1.
+smoke_rc=0
+sh scripts/udp_smoke.sh build || smoke_rc=$?
+if [ "$smoke_rc" -eq 77 ]; then
+    echo "udp smoke: skipped"
+elif [ "$smoke_rc" -ne 0 ]; then
+    exit "$smoke_rc"
+fi
+
+echo
+echo "== sanitizers: ASan+UBSan run of the net + udp tiers =="
 # The message-plane tier is labeled "net" in tests/CMakeLists.txt: wire
 # codec fuzzers, transport fault model, distributed protocol, closed
-# loop, and the SPO equivalence suite. It is fast enough to run under
-# sanitizers on every check.
+# loop, and the SPO equivalence suite. The "udp" tier adds the
+# real-socket backend and the worker runtime (skippable via
+# CAPMAESTRO_NO_NET=1). Both are fast enough to run under sanitizers
+# on every check.
 cmake -B build-asan -S . -DCAPMAESTRO_SANITIZE=ON > /dev/null
 cmake --build build-asan -j --target \
     test_wire test_transport test_distributed test_net_closed_loop \
-    test_spo_equivalence
-(cd build-asan && ctest -L net --output-on-failure -j)
+    test_spo_equivalence test_udp_transport test_udp_closed_loop \
+    test_worker_runtime capmaestro_run capmaestro_worker
+(cd build-asan && ctest -L 'net|udp' --output-on-failure -j)
 
 echo
 echo "== sanitizers: ASan+UBSan run of the telemetry tier =="

@@ -351,6 +351,17 @@ void
 applyTransportJson(core::ServiceConfig &service, const util::Json &spec)
 {
     service.useMessagePlane = spec.boolOr("enabled", true);
+    const std::string backend = spec.stringOr("backend", "sim");
+    if (backend == "sim") {
+        service.transportBackend =
+            core::ServiceConfig::TransportBackend::Sim;
+    } else if (backend == "udp") {
+        service.transportBackend =
+            core::ServiceConfig::TransportBackend::Udp;
+    } else {
+        util::fatal("config: transport.backend '%s' is not 'sim' or "
+                    "'udp'", backend.c_str());
+    }
     service.transport.dropRate = spec.numberOr("dropRate", 0.0);
     service.transport.dupRate = spec.numberOr("dupRate", 0.0);
     service.transport.latencyMeanMs = spec.numberOr("latencyMs", 0.0);
@@ -385,6 +396,62 @@ applyTransportJson(core::ServiceConfig &service, const util::Json &spec)
     }
     if (service.protocol.maxAttempts < 1)
         util::fatal("config: transport.maxAttempts must be >= 1");
+}
+
+WorkerPeers
+loadWorkerPeers(const util::Json &doc)
+{
+    WorkerPeers out;
+    out.periodMs = doc.numberOr("periodMs", 1000.0);
+    if (out.periodMs <= 0.0)
+        util::fatal("peers: periodMs must be positive");
+    out.originMs =
+        static_cast<std::uint64_t>(doc.numberOr("originMs", 0.0));
+    const util::Json *peers = doc.find("peers");
+    if (peers == nullptr || !peers->isArray() ||
+        peers->asArray().empty()) {
+        util::fatal("peers: a non-empty 'peers' array is required");
+    }
+    for (const util::Json &row : peers->asArray()) {
+        const auto ep = static_cast<net::Transport::Endpoint>(
+            row.at("endpoint").asNumber());
+        if (out.peers.count(ep))
+            util::fatal("peers: endpoint %u listed twice", ep);
+        net::UdpPeer peer;
+        peer.host = row.stringOr("host", "127.0.0.1");
+        const double port = row.at("port").asNumber();
+        if (port < 1.0 || port > 65535.0)
+            util::fatal("peers: endpoint %u port %.0f out of range", ep,
+                        port);
+        peer.port = static_cast<std::uint16_t>(port);
+        out.peers[ep] = peer;
+    }
+    // The table must be dense 0..n-1 so the room endpoint (n-1) and the
+    // rack count are unambiguous.
+    for (std::size_t ep = 0; ep < out.peers.size(); ++ep) {
+        if (!out.peers.count(static_cast<net::Transport::Endpoint>(ep)))
+            util::fatal("peers: endpoints must be dense 0..n-1; %zu "
+                        "missing", ep);
+    }
+    return out;
+}
+
+util::Json
+workerPeersToJson(const WorkerPeers &peers)
+{
+    util::Json::Array rows;
+    for (const auto &[ep, peer] : peers.peers) {
+        util::Json::Object row;
+        row["endpoint"] = util::Json(static_cast<double>(ep));
+        row["host"] = util::Json(peer.host);
+        row["port"] = util::Json(static_cast<double>(peer.port));
+        rows.emplace_back(std::move(row));
+    }
+    util::Json::Object doc;
+    doc["periodMs"] = util::Json(peers.periodMs);
+    doc["originMs"] = util::Json(static_cast<double>(peers.originMs));
+    doc["peers"] = util::Json(std::move(rows));
+    return util::Json(std::move(doc));
 }
 
 LoadedScenario

@@ -35,6 +35,8 @@
 #ifndef CAPMAESTRO_CONFIG_LOADER_HH
 #define CAPMAESTRO_CONFIG_LOADER_HH
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -80,14 +82,49 @@ util::Json powerTreeToJson(const topo::PowerTree &tree);
  * Apply a "transport" JSON block to a service config: enables the
  * message plane (unless "enabled": false) and sets the SimTransport
  * fault model plus the §4.5 protocol tunables. Keys (all optional):
- * enabled, dropRate, dupRate, latencyMs, jitterMs, reorderRate,
- * reorderExtraMs, seed, gatherDeadlineMs, budgetDeadlineMs,
- * spoGatherDeadlineMs, spoBudgetDeadlineMs, retryTimeoutMs,
- * maxAttempts, staleAgeCap, heartbeatFailAfter.
+ * enabled, backend ("sim" or "udp"), dropRate, dupRate, latencyMs,
+ * jitterMs, reorderRate, reorderExtraMs, seed, gatherDeadlineMs,
+ * budgetDeadlineMs, spoGatherDeadlineMs, spoBudgetDeadlineMs,
+ * retryTimeoutMs, maxAttempts, staleAgeCap, heartbeatFailAfter. The
+ * fault-model keys apply to the sim backend only — the udp backend's
+ * faults are the real network's.
  * Also the element format of the top-level "transport" scenario block.
  */
 void applyTransportJson(core::ServiceConfig &service,
                         const util::Json &spec);
+
+/**
+ * The multi-process deployment's shared peer table (docs/distributed.md
+ * quickstart). One file is distributed to every worker process:
+ *
+ * {
+ *   "periodMs": 1000,             // wall-clock control period
+ *   "originMs": 1754380000000,    // shared epoch origin, unix ms
+ *   "peers": [
+ *     { "endpoint": 0, "host": "127.0.0.1", "port": 9810 },  // rack 0
+ *     { "endpoint": 1, "host": "127.0.0.1", "port": 9811 },  // rack 1
+ *     { "endpoint": 2, "host": "127.0.0.1", "port": 9812 }   // room
+ *   ]
+ * }
+ *
+ * Endpoints are rack indices under the partitioning rule; the room is
+ * endpoint rackWorkerCount. originMs anchors the control-period epoch
+ * all processes must agree on: epoch = (now - originMs) / periodMs.
+ */
+struct WorkerPeers
+{
+    std::map<net::Transport::Endpoint, net::UdpPeer> peers;
+    /** Wall-clock control period in milliseconds. */
+    double periodMs = 1000.0;
+    /** Epoch origin in unix milliseconds (realtime clock). */
+    std::uint64_t originMs = 0;
+};
+
+/** Parse a peer-table document (the format above). */
+WorkerPeers loadWorkerPeers(const util::Json &doc);
+
+/** Serialize a peer table back to its document format. */
+util::Json workerPeersToJson(const WorkerPeers &peers);
 
 /** Convenience: parse @p path and build the scenario. */
 LoadedScenario loadScenarioFile(const std::string &path);

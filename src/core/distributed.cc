@@ -279,6 +279,41 @@ DistributedControlPlane::partition(const topo::PowerSystem &system)
     return owners;
 }
 
+std::vector<std::map<std::size_t, topo::NodeId>>
+DistributedControlPlane::partitionEdges(const topo::PowerSystem &system)
+{
+    const auto owners = partition(system);
+    std::size_t rack_count = 0;
+    for (const auto &per_tree : owners) {
+        for (const auto &[node, rack] : per_tree)
+            rack_count = std::max(rack_count, rack + 1);
+    }
+    std::vector<std::map<std::size_t, topo::NodeId>> per_rack(rack_count);
+    for (std::size_t t = 0; t < owners.size(); ++t) {
+        for (const auto &[node, rack] : owners[t]) {
+            if (per_rack[rack].count(t)) {
+                util::fatal("partitionEdges: rack worker %zu owns two "
+                            "edges of tree %zu; this topology cannot be "
+                            "deployed one-process-per-rack",
+                            rack, t);
+            }
+            per_rack[rack][t] = node;
+        }
+    }
+    return per_rack;
+}
+
+std::size_t
+DistributedControlPlane::rackWorkerCountFor(const topo::PowerSystem &system)
+{
+    std::size_t rack_count = 0;
+    for (const auto &per_tree : partition(system)) {
+        for (const auto &[node, rack] : per_tree)
+            rack_count = std::max(rack_count, rack + 1);
+    }
+    return rack_count;
+}
+
 namespace {
 
 std::vector<std::set<topo::NodeId>>
@@ -305,7 +340,7 @@ DistributedControlPlane::DistributedControlPlane(
 
 DistributedControlPlane::DistributedControlPlane(
     const topo::PowerSystem &system, ctrl::TreePolicy policy,
-    net::SimTransport &transport, net::ProtocolConfig protocol)
+    net::Transport &transport, net::ProtocolConfig protocol)
     : system_(system), policy_(policy),
       room_(system, edgeNodeSets(partition(system)), policy),
       transport_(&transport), protocol_(protocol)
@@ -346,10 +381,10 @@ DistributedControlPlane::buildWorkers()
     lastTreeMetrics_.assign(system_.trees().size(), {});
 }
 
-net::SimTransport::Endpoint
+net::Transport::Endpoint
 DistributedControlPlane::roomEndpoint() const
 {
-    return static_cast<net::SimTransport::Endpoint>(racks_.size());
+    return static_cast<net::Transport::Endpoint>(racks_.size());
 }
 
 void
@@ -641,11 +676,11 @@ DistributedControlPlane::iterateTransport(
     const std::vector<Watts> &root_budgets)
 {
     MessageStats stats;
-    net::SimTransport &tp = *transport_;
+    net::Transport &tp = *transport_;
     ++epoch_;
     const std::size_t bytes_before = tp.stats().bytesSent;
     const double start = tp.nowMs();
-    const net::SimTransport::Endpoint room = roomEndpoint();
+    const net::Transport::Endpoint room = roomEndpoint();
 
     const auto gather_span =
         tracer_ ? tracer_->begin("gather") : telemetry::PeriodTracer::kNoSpan;
@@ -670,7 +705,7 @@ DistributedControlPlane::iterateTransport(
     for (std::size_t r = 0; r < racks_.size(); ++r) {
         if (rackFailed_[r] || rackDeclaredDead_[r])
             continue;
-        tp.send(static_cast<net::SimTransport::Endpoint>(r), room,
+        tp.send(static_cast<net::Transport::Endpoint>(r), room,
                 net::encodeHeartbeat(
                     {static_cast<std::uint16_t>(r), epoch_,
                      rackSeq_[r]++}));
@@ -687,7 +722,7 @@ DistributedControlPlane::iterateTransport(
             auto frame = net::encodeMetrics(
                 {static_cast<std::uint16_t>(r), epoch_, rackSeq_[r]++},
                 msg);
-            tp.send(static_cast<net::SimTransport::Endpoint>(r), room,
+            tp.send(static_cast<net::Transport::Endpoint>(r), room,
                     frame);
             pending_up.push_back(
                 {edge.tree, edge.node, r, std::move(frame)});
@@ -732,7 +767,7 @@ DistributedControlPlane::iterateTransport(
                 continue;
             all_in = false;
             ++stats.retries;
-            tp.send(static_cast<net::SimTransport::Endpoint>(up.rack),
+            tp.send(static_cast<net::Transport::Endpoint>(up.rack),
                     room, up.frame);
         }
         if (all_in)
@@ -838,7 +873,7 @@ DistributedControlPlane::iterateTransport(
             ++stats.budgetMessages;
             auto frame = net::encodeBudget(
                 {net::kRoomSender, epoch_, roomSeq_++}, msg);
-            tp.send(room, static_cast<net::SimTransport::Endpoint>(rack),
+            tp.send(room, static_cast<net::Transport::Endpoint>(rack),
                     frame);
             pending_down.push_back({t, node, rack, std::move(frame)});
         }
@@ -848,7 +883,7 @@ DistributedControlPlane::iterateTransport(
     const auto poll_racks = [&] {
         for (std::size_t r = 0; r < racks_.size(); ++r) {
             const auto frames =
-                tp.poll(static_cast<net::SimTransport::Endpoint>(r));
+                tp.poll(static_cast<net::Transport::Endpoint>(r));
             if (rackFailed_[r])
                 continue; // dead process: frames drain unread
             for (const auto &bytes : frames) {
@@ -898,7 +933,7 @@ DistributedControlPlane::iterateTransport(
             all_in = false;
             ++stats.retries;
             tp.send(room,
-                    static_cast<net::SimTransport::Endpoint>(down.rack),
+                    static_cast<net::Transport::Endpoint>(down.rack),
                     down.frame);
         }
         if (all_in)
@@ -1054,9 +1089,9 @@ DistributedControlPlane::iterateSpoTransport(
         return committed;
     ++stats.spoRounds;
 
-    net::SimTransport &tp = *transport_;
+    net::Transport &tp = *transport_;
     const std::size_t bytes_before = tp.stats().bytesSent;
-    const net::SimTransport::Endpoint room = roomEndpoint();
+    const net::Transport::Endpoint room = roomEndpoint();
     const std::size_t spo_retries_entry = stats.spoRetries;
     const auto spo_gather_span =
         tracer_ ? tracer_->begin("spo.gather")
@@ -1103,7 +1138,7 @@ DistributedControlPlane::iterateSpoTransport(
                 {static_cast<std::uint16_t>(rack), epoch_,
                  rackSeq_[rack]++},
                 msg);
-            tp.send(static_cast<net::SimTransport::Endpoint>(rack), room,
+            tp.send(static_cast<net::Transport::Endpoint>(rack), room,
                     frame);
             pending_up.push_back({t, node, rack, std::move(frame)});
         }
@@ -1146,7 +1181,7 @@ DistributedControlPlane::iterateSpoTransport(
                 continue;
             all_in = false;
             ++stats.spoRetries;
-            tp.send(static_cast<net::SimTransport::Endpoint>(up.rack),
+            tp.send(static_cast<net::Transport::Endpoint>(up.rack),
                     room, up.frame);
         }
         if (all_in)
@@ -1225,7 +1260,7 @@ DistributedControlPlane::iterateSpoTransport(
             ++stats.spoBudgetMessages;
             auto frame = net::encodeSpoBudget(
                 {net::kRoomSender, epoch_, roomSeq_++}, msg);
-            tp.send(room, static_cast<net::SimTransport::Endpoint>(rack),
+            tp.send(room, static_cast<net::Transport::Endpoint>(rack),
                     frame);
             expect[t].insert(node);
             pending_down.push_back({t, node, rack, std::move(frame)});
@@ -1238,7 +1273,7 @@ DistributedControlPlane::iterateSpoTransport(
     const auto poll_racks = [&] {
         for (std::size_t r = 0; r < racks_.size(); ++r) {
             const auto frames =
-                tp.poll(static_cast<net::SimTransport::Endpoint>(r));
+                tp.poll(static_cast<net::Transport::Endpoint>(r));
             if (rackFailed_[r])
                 continue; // dead process: frames drain unread
             for (const auto &bytes : frames) {
@@ -1282,7 +1317,7 @@ DistributedControlPlane::iterateSpoTransport(
             all_in = false;
             ++stats.spoRetries;
             tp.send(room,
-                    static_cast<net::SimTransport::Endpoint>(down.rack),
+                    static_cast<net::Transport::Endpoint>(down.rack),
                     down.frame);
         }
         if (all_in)

@@ -271,15 +271,30 @@ class DistributedControlPlane
 
     /**
      * Message-plane mode: frames travel over @p transport (not owned;
-     * must outlive the plane) under the §4.5 protocol @p protocol.
+     * must outlive the plane) under the §4.5 protocol @p protocol. Any
+     * Transport backend works — SimTransport for deterministic
+     * simulation, UdpTransport for real sockets (where advanceTo()
+     * paces the protocol's deadline schedule in wall time).
      */
     DistributedControlPlane(const topo::PowerSystem &system,
                             ctrl::TreePolicy policy,
-                            net::SimTransport &transport,
+                            net::Transport &transport,
                             net::ProtocolConfig protocol = {});
 
     /** Number of rack workers discovered by the partitioning rule. */
     std::size_t rackWorkerCount() const { return racks_.size(); }
+
+    /**
+     * The partitioning rule, exposed for out-of-process runtimes
+     * (src/rt) that must agree with the in-process plane on worker
+     * membership: per rack worker, the (tree -> edge node) map of the
+     * edges it initially owns.
+     */
+    static std::vector<std::map<std::size_t, topo::NodeId>>
+    partitionEdges(const topo::PowerSystem &system);
+
+    /** Rack workers the partitioning rule yields for @p system. */
+    static std::size_t rackWorkerCountFor(const topo::PowerSystem &system);
 
     /** Workers not declared dead by the room. */
     std::size_t liveWorkerCount() const;
@@ -366,7 +381,7 @@ class DistributedControlPlane
         edgeOwner_;
 
     // -------- message-plane state
-    net::SimTransport *transport_ = nullptr;
+    net::Transport *transport_ = nullptr;
     net::ProtocolConfig protocol_;
     std::uint32_t epoch_ = 0;
     std::vector<std::uint32_t> rackSeq_;
@@ -427,7 +442,7 @@ class DistributedControlPlane
     partition(const topo::PowerSystem &system);
 
     void buildWorkers();
-    net::SimTransport::Endpoint roomEndpoint() const;
+    net::Transport::Endpoint roomEndpoint() const;
     MessageStats iterateDirect(const std::vector<Watts> &root_budgets);
     MessageStats iterateTransport(const std::vector<Watts> &root_budgets);
     std::set<std::size_t>

@@ -15,7 +15,22 @@ CapMaestroService::CapMaestroService(topo::PowerSystem &system,
     allocator_ = std::make_unique<ctrl::FleetAllocator>(
         system_, policy::treePolicy(config_.policy));
     if (config_.useMessagePlane) {
-        transport_ = std::make_unique<net::SimTransport>(config_.transport);
+        if (config_.transportBackend
+            == ServiceConfig::TransportBackend::Udp) {
+            net::UdpConfig udp = config_.udp;
+            if (udp.local.empty()) {
+                // Single-process loopback: every rack worker plus the
+                // room gets a socket on an ephemeral 127.0.0.1 port.
+                const auto racks =
+                    DistributedControlPlane::rackWorkerCountFor(system_);
+                udp = net::UdpConfig::loopback(
+                    static_cast<std::uint32_t>(racks) + 1);
+            }
+            transport_ = std::make_unique<net::UdpTransport>(std::move(udp));
+        } else {
+            transport_ =
+                std::make_unique<net::SimTransport>(config_.transport);
+        }
         plane_ = std::make_unique<DistributedControlPlane>(
             system_, policy::treePolicy(config_.policy), *transport_,
             config_.protocol);

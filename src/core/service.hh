@@ -28,6 +28,7 @@
 #include "core/distributed.hh"
 #include "net/protocol.hh"
 #include "net/transport.hh"
+#include "net/udp_transport.hh"
 #include "policy/policy.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/trace.hh"
@@ -84,8 +85,27 @@ struct ServiceConfig
      * pass — are bit-identical to the monolithic path.
      */
     bool useMessagePlane = false;
-    /** Transport fault model (message-plane mode only). */
+    /** Which Transport backend carries message-plane frames. */
+    enum class TransportBackend {
+        /** Deterministic in-process queues, virtual time. */
+        Sim,
+        /** Real non-blocking UDP sockets, wall-clock time. */
+        Udp,
+    };
+    /**
+     * Backend selection (message-plane mode only). Udp binds every
+     * endpoint in this process (loopback mode); the protocol's deadline
+     * schedule then paces each control period in real wall time.
+     */
+    TransportBackend transportBackend = TransportBackend::Sim;
+    /** Transport fault model (Sim backend only). */
     net::TransportConfig transport;
+    /**
+     * Socket layout (Udp backend only). Left empty, the service builds
+     * a single-process loopback layout with ephemeral ports covering
+     * every rack worker plus the room.
+     */
+    net::UdpConfig udp;
     /** §4.5 protocol tunables (message-plane mode only). */
     net::ProtocolConfig protocol;
 };
@@ -166,8 +186,8 @@ class CapMaestroService
     /** The message plane, or nullptr outside message-plane mode. */
     DistributedControlPlane *plane() { return plane_.get(); }
 
-    /** The simulated transport, or nullptr outside message-plane mode. */
-    net::SimTransport *transport() { return transport_.get(); }
+    /** The message-plane transport, or nullptr outside that mode. */
+    net::Transport *transport() { return transport_.get(); }
 
     /** Service configuration. */
     const ServiceConfig &config() const { return config_; }
@@ -203,7 +223,7 @@ class CapMaestroService
     topo::PowerSystem &system_;
     ServiceConfig config_;
     std::unique_ptr<ctrl::FleetAllocator> allocator_;
-    std::unique_ptr<net::SimTransport> transport_;
+    std::unique_ptr<net::Transport> transport_;
     std::unique_ptr<DistributedControlPlane> plane_;
     std::vector<AttachedServer> servers_;
     std::vector<Watts> rootBudgets_;

@@ -19,6 +19,7 @@ SimTransport::setTelemetry(telemetry::Registry *registry)
         mDuplicated_ = {};
         mDelivered_ = {};
         mBytes_ = {};
+        mBytesDelivered_ = {};
         mQueueDepth_ = {};
         mLatencyMs_ = {};
         return;
@@ -36,6 +37,9 @@ SimTransport::setTelemetry(telemetry::Registry *registry)
                            {}, "Frames handed to poll()");
     mBytes_ = registry_->counter("capmaestro_transport_bytes_total", {},
                                  "Payload bytes submitted");
+    mBytesDelivered_ =
+        registry_->counter("capmaestro_transport_bytes_delivered_total",
+                           {}, "Payload bytes handed to poll()");
     mQueueDepth_ =
         registry_->gauge("capmaestro_transport_queue_depth", {},
                          "Frames in flight after the last send/poll");
@@ -103,13 +107,17 @@ SimTransport::poll(Endpoint to)
     if (queue == queues_.end())
         return out;
     auto &q = queue->second;
+    std::size_t bytes = 0;
     while (!q.empty() && q.begin()->first.first <= nowMs_) {
+        bytes += q.begin()->second.size();
         out.push_back(std::move(q.begin()->second));
         q.erase(q.begin());
         ++stats_.framesDelivered;
     }
+    stats_.bytesDelivered += bytes;
     if (registry_ != nullptr && !out.empty()) {
         mDelivered_.inc(static_cast<double>(out.size()));
+        mBytesDelivered_.inc(static_cast<double>(bytes));
         mQueueDepth_.set(static_cast<double>(inFlight()));
     }
     return out;

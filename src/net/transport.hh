@@ -1,23 +1,30 @@
 /**
  * @file
- * SimTransport: an unreliable datagram plane for the distributed
- * control protocol (paper §4.5).
+ * The datagram plane for the distributed control protocol (paper
+ * §4.5): an abstract Transport interface plus the deterministic
+ * in-process SimTransport backend.
  *
- * The transport models each (source, destination) link as a queue of
- * in-flight frames with a delivery time drawn from a configurable
- * latency distribution, and applies drop / duplication / extra-delay
- * (reordering) faults per frame. All randomness comes from one
- * deterministic util::Rng, so a given seed reproduces the exact same
- * fault pattern — simulations stay bit-reproducible.
+ * Transport models an unreliable, unordered datagram service between
+ * small integer endpoints (rack workers are 0..N-1, the room worker is
+ * N). The protocol driver (core/distributed, src/rt) only ever uses
+ * four capabilities — send a frame, drain a destination, read the
+ * clock, advance the clock — so backends are interchangeable:
+ *
+ *  - SimTransport (this file): frames live in in-process queues, the
+ *    clock is virtual and advanced by the caller, and drop/dup/latency
+ *    faults come from one deterministic Rng. Simulations over it are
+ *    bit-reproducible.
+ *  - UdpTransport (net/udp_transport.hh): frames travel through real
+ *    non-blocking UDP sockets, the clock is the monotonic wall clock,
+ *    and advancing it sleeps. Faults come from the actual network.
  *
  * Time is a millisecond clock owned by the transport and advanced by
  * the protocol driver (the control plane steps it through its retry
  * and deadline schedule each control period). poll() hands a
- * destination every frame whose delivery time has been reached, in
- * delivery-time order; with zero latency and jitter the transport is
- * lossless, instantaneous, and per-link FIFO — the configuration under
- * which the distributed plane is bit-identical to the monolithic
- * ControlTree.
+ * destination every frame available to it, in delivery order; with
+ * zero latency and jitter the SimTransport is lossless, instantaneous,
+ * and per-link FIFO — the configuration under which the distributed
+ * plane is bit-identical to the monolithic ControlTree.
  */
 
 #ifndef CAPMAESTRO_NET_TRANSPORT_HH
@@ -51,7 +58,7 @@ struct TransportConfig
     std::uint64_t seed = 0x5eedf00dULL;
 };
 
-/** Cumulative transport accounting. */
+/** Cumulative transport accounting (same fields on every backend). */
 struct TransportStats
 {
     std::size_t framesSent = 0;
@@ -59,15 +66,65 @@ struct TransportStats
     std::size_t framesDuplicated = 0;
     std::size_t framesDelivered = 0;
     std::size_t bytesSent = 0;
+    /** Payload bytes actually handed to poll() callers. */
+    std::size_t bytesDelivered = 0;
 };
 
-/** Deterministic unreliable message plane. */
-class SimTransport
+/**
+ * Abstract unreliable datagram plane. Implementations must tolerate
+ * arbitrary interleavings of send/poll/advance and never throw on
+ * hostile traffic; loss, duplication, and reordering are allowed at
+ * any rate (the §4.5 protocol on top is built for it).
+ */
+class Transport
 {
   public:
-    /** Worker address (rack index or the room endpoint). */
+    /** Worker address (rack index, or rack count for the room). */
     using Endpoint = std::uint32_t;
 
+    virtual ~Transport() = default;
+
+    /**
+     * Submit a frame on link @p from -> @p to. Surviving copies become
+     * visible to poll(to) once delivered (immediately, or when the
+     * clock reaches their delivery time, backend-dependent).
+     */
+    virtual void send(Endpoint from, Endpoint to,
+                      std::vector<std::uint8_t> frame) = 0;
+
+    /** Drain every frame currently available to destination @p to. */
+    virtual std::vector<std::vector<std::uint8_t>> poll(Endpoint to) = 0;
+
+    /** Advance the clock to @p ms (no-op when already past). */
+    virtual void advanceTo(double ms) = 0;
+
+    /** Advance the clock by @p ms. */
+    virtual void advanceBy(double ms) = 0;
+
+    /** Current clock in milliseconds. */
+    virtual double nowMs() const = 0;
+
+    /**
+     * Frames queued but not yet delivered, where the backend can know
+     * (SimTransport); backends whose queues live in the kernel report 0.
+     */
+    virtual std::size_t inFlight() const = 0;
+
+    /** Cumulative statistics. */
+    virtual const TransportStats &stats() const = 0;
+
+    /**
+     * Attach a metrics registry (nullptr detaches). Instrumentation is
+     * pure observation of values the transport already computes — it
+     * draws no randomness and cannot perturb delivery.
+     */
+    virtual void setTelemetry(telemetry::Registry *registry) = 0;
+};
+
+/** Deterministic unreliable message plane (the simulator backend). */
+class SimTransport : public Transport
+{
+  public:
     explicit SimTransport(TransportConfig config = {});
 
     /**
@@ -76,39 +133,31 @@ class SimTransport
      * copies become visible to poll(to) once the clock reaches their
      * delivery time.
      */
-    void send(Endpoint from, Endpoint to, std::vector<std::uint8_t> frame);
+    void send(Endpoint from, Endpoint to,
+              std::vector<std::uint8_t> frame) override;
 
     /**
      * Drain every frame addressed to @p to whose delivery time is
      * <= now, in delivery-time order (FIFO per link at equal times).
      */
-    std::vector<std::vector<std::uint8_t>> poll(Endpoint to);
+    std::vector<std::vector<std::uint8_t>> poll(Endpoint to) override;
 
-    /** Advance the clock to @p ms (no-op when already past). */
-    void advanceTo(double ms);
+    void advanceTo(double ms) override;
 
-    /** Advance the clock by @p ms. */
-    void advanceBy(double ms);
+    void advanceBy(double ms) override;
 
-    /** Current clock in milliseconds. */
-    double nowMs() const { return nowMs_; }
+    /** Current clock in milliseconds (virtual time). */
+    double nowMs() const override { return nowMs_; }
 
     /** Frames currently queued (any destination, any delivery time). */
-    std::size_t inFlight() const;
+    std::size_t inFlight() const override;
 
-    /** Cumulative statistics. */
-    const TransportStats &stats() const { return stats_; }
+    const TransportStats &stats() const override { return stats_; }
 
     /** The transport configuration. */
     const TransportConfig &config() const { return config_; }
 
-    /**
-     * Attach a metrics registry (nullptr detaches). Instrumentation is
-     * pure observation of values the transport already computes — it
-     * draws no randomness and allocates nothing per frame, so enabling
-     * it cannot perturb the deterministic fault stream.
-     */
-    void setTelemetry(telemetry::Registry *registry);
+    void setTelemetry(telemetry::Registry *registry) override;
 
   private:
     /** Delivery-ordered queue per destination: (time, tiebreak). */
@@ -134,6 +183,7 @@ class SimTransport
     telemetry::Counter mDuplicated_;
     telemetry::Counter mDelivered_;
     telemetry::Counter mBytes_;
+    telemetry::Counter mBytesDelivered_;
     telemetry::Gauge mQueueDepth_;
     telemetry::HistogramMetric mLatencyMs_;
 };

@@ -11,8 +11,12 @@ namespace {
  *  limit: the paper expects ~10 priority levels per center). */
 constexpr std::size_t kMaxClasses = 1024;
 
-/** Largest payload the u16 length field can describe. */
-constexpr std::size_t kMaxPayload = 0xFFFF;
+/** Encoded size of one ClassMetrics record (i32 + 3 x f64). */
+constexpr std::size_t kClassBytes = 4 + 3 * 8;
+
+static_assert(kMaxClasses * kClassBytes + 16 <= kMaxPayloadBytes,
+              "the largest legitimate Metrics payload must fit under "
+              "the frame-size cap");
 
 // ------------------------------------------------------------- writing
 
@@ -227,6 +231,10 @@ readMetricsPayload(Reader &p, MetricsMsg &out)
     const std::size_t count = p.u16();
     if (count > kMaxClasses)
         return false;
+    // A hostile count field must not drive the reserve below: the
+    // declared records must actually fit in the remaining payload.
+    if (count * kClassBytes > p.remaining())
+        return false;
     auto &classes = out.metrics.classes();
     classes.reserve(count);
     bool first = true;
@@ -287,7 +295,7 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
 {
     if (bytes.size() < kHeaderSize + kCrcSize)
         return std::nullopt;
-    if (bytes.size() > kHeaderSize + kMaxPayload + kCrcSize)
+    if (bytes.size() > kMaxFrameBytes)
         return std::nullopt;
 
     Reader header(bytes.data(), kHeaderSize);
@@ -301,7 +309,11 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
     frame.sender = header.u16();
     frame.epoch = header.u32();
     frame.seq = header.u32();
+    // A hostile length field is rejected here, before the CRC pass and
+    // before any payload parsing allocates from it.
     const std::size_t payload_size = header.u16();
+    if (payload_size > kMaxPayloadBytes)
+        return std::nullopt;
     if (bytes.size() != kHeaderSize + payload_size + kCrcSize)
         return std::nullopt;
 

@@ -70,6 +70,21 @@ constexpr std::size_t kHeaderSize = 16;
 /** Trailing checksum size in bytes. */
 constexpr std::size_t kCrcSize = 4;
 
+/**
+ * Hard cap on a full encoded frame (header + payload + CRC). Every
+ * legitimate message fits with room to spare (the largest — a Metrics
+ * payload at the 1024-class sanity bound — is under 29 KiB), and the
+ * cap keeps one frame inside a single unfragmented-on-loopback UDP
+ * datagram. decodeFrame() rejects larger buffers, and rejects any
+ * declared payload length over kMaxPayloadBytes before allocating;
+ * UdpTransport refuses to send or deliver frames over the cap.
+ */
+constexpr std::size_t kMaxFrameBytes = 32768;
+
+/** Largest payload length a frame may declare. */
+constexpr std::size_t kMaxPayloadBytes =
+    kMaxFrameBytes - kHeaderSize - kCrcSize;
+
 /** Message types carried on the wire. */
 enum class MsgType : std::uint8_t {
     Metrics = 1,

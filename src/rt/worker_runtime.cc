@@ -1,0 +1,529 @@
+#include "rt/worker_runtime.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "net/wire.hh"
+#include "policy/policy.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace capmaestro::rt {
+
+namespace {
+
+/** Stop-flag poll granularity while waiting for a period boundary. */
+constexpr std::uint64_t kSleepSliceMs = 25;
+
+/** Receive-poll granularity inside a protocol phase, milliseconds. */
+constexpr double kPollSliceMs = 2.0;
+
+} // namespace
+
+WorkerRuntime::WorkerRuntime(config::LoadedScenario scenario,
+                             config::WorkerPeers peers,
+                             std::uint32_t role, std::uint64_t seed)
+    : scenario_(std::move(scenario)), peers_(std::move(peers)),
+      role_(role)
+{
+    if (!scenario_.system)
+        util::fatal("rt: scenario has no power system");
+    rackCount_ =
+        core::DistributedControlPlane::rackWorkerCountFor(*scenario_.system);
+    if (role_ > rackCount_) {
+        util::fatal("rt: role %u out of range (racks 0..%zu, room %zu)",
+                    role_, rackCount_ - 1, rackCount_);
+    }
+    if (peers_.peers.size() != rackCount_ + 1) {
+        util::fatal("rt: peer table has %zu endpoints; topology needs "
+                    "%zu (racks) + 1 (room)",
+                    peers_.peers.size(), rackCount_);
+    }
+    if (peers_.originMs == 0)
+        util::fatal("rt: peers.originMs must be set (shared epoch origin)");
+    const auto &proto = scenario_.service.protocol;
+    if (peers_.periodMs
+        <= proto.gatherDeadlineMs + proto.budgetDeadlineMs) {
+        util::fatal("rt: periodMs %.0f must exceed gather+budget "
+                    "deadlines (%.0f ms)",
+                    peers_.periodMs,
+                    proto.gatherDeadlineMs + proto.budgetDeadlineMs);
+    }
+    if (epochAt(unixNowMs()) > 1000000) {
+        util::fatal("rt: peers.originMs is too far in the past; "
+                    "regenerate the peer table");
+    }
+
+    net::UdpConfig udp;
+    udp.peers = peers_.peers;
+    udp.local.push_back(role_);
+    transport_ = std::make_unique<net::UdpTransport>(std::move(udp));
+
+    if (isRoom())
+        buildRoom();
+    else
+        buildRack(seed);
+}
+
+WorkerRuntime::~WorkerRuntime() = default;
+
+void
+WorkerRuntime::buildRack(std::uint64_t seed)
+{
+    const auto &system = *scenario_.system;
+    const auto partition =
+        core::DistributedControlPlane::partitionEdges(system);
+    const auto policy = policy::treePolicy(scenario_.service.policy);
+
+    rack_ = std::make_unique<core::RackWorker>(system, policy);
+    myEdges_ = partition[role_];
+    for (const auto &[tree, node] : myEdges_)
+        rack_->addEdge(tree, node);
+
+    // Which rack each server's leaves land on; a server split across
+    // racks cannot have its plant homed in one process.
+    std::map<std::size_t, std::set<std::size_t>> server_racks;
+    for (std::size_t r = 0; r < partition.size(); ++r) {
+        for (const auto &[tree, node] : partition[r]) {
+            for (const topo::NodeId c :
+                 system.tree(tree).node(node).children) {
+                const auto &ref = *system.tree(tree).node(c).supplyRef;
+                server_racks[static_cast<std::size_t>(ref.server)]
+                    .insert(r);
+            }
+        }
+    }
+
+    // Fork the per-server sensor-noise streams in server-id order so a
+    // server's stream is the same no matter which process hosts it.
+    util::Rng rng(seed);
+    for (std::size_t sid = 0; sid < scenario_.servers.size(); ++sid) {
+        util::Rng server_rng = rng.fork();
+        const auto racks = server_racks.find(sid);
+        if (racks == server_racks.end()
+            || !racks->second.count(role_)) {
+            continue;
+        }
+        if (racks->second.size() > 1) {
+            util::fatal("rt: server %zu has supplies on %zu rack "
+                        "workers; its plant cannot be homed in one "
+                        "process",
+                        sid, racks->second.size());
+        }
+
+        Plant plant;
+        plant.serverId = sid;
+        plant.server = std::make_unique<dev::ServerModel>(
+            std::move(scenario_.servers[sid].spec));
+        plant.nm = std::make_unique<dev::NodeManager>(*plant.server);
+        plant.sensors = std::make_unique<dev::SensorEmulator>(
+            *plant.server, *plant.nm, std::move(server_rng),
+            dev::SensorConfig{});
+        plant.workload = std::move(scenario_.servers[sid].workload);
+        if (!plant.workload)
+            util::fatal("rt: server %zu has no workload", sid);
+        plant.controller = std::make_unique<ctrl::CappingController>(
+            *plant.server, *plant.nm, *plant.sensors,
+            scenario_.service.capping);
+        for (const auto &[tree, node] : myEdges_) {
+            for (const topo::NodeId c :
+                 system.tree(tree).node(node).children) {
+                const auto &ref = *system.tree(tree).node(c).supplyRef;
+                if (static_cast<std::size_t>(ref.server) == sid)
+                    plant.leaves.emplace_back(tree, ref);
+            }
+        }
+        plant.server->setUtilization(plant.workload->utilizationAt(0));
+        plants_.push_back(std::move(plant));
+    }
+}
+
+void
+WorkerRuntime::buildRoom()
+{
+    const auto &system = *scenario_.system;
+    const auto partition =
+        core::DistributedControlPlane::partitionEdges(system);
+    std::vector<std::set<topo::NodeId>> edge_nodes(
+        system.trees().size());
+    for (std::size_t r = 0; r < partition.size(); ++r) {
+        for (const auto &[tree, node] : partition[r]) {
+            edge_nodes[tree].insert(node);
+            edgeOwner_[{tree, node}] = r;
+        }
+    }
+    room_ = std::make_unique<core::RoomWorker>(
+        system, std::move(edge_nodes),
+        policy::treePolicy(scenario_.service.policy));
+    missedHeartbeats_.assign(rackCount_, 0);
+    rackDeclaredDead_.assign(rackCount_, false);
+}
+
+std::uint64_t
+WorkerRuntime::unixNowMs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint32_t
+WorkerRuntime::epochAt(std::uint64_t unix_ms) const
+{
+    if (unix_ms < peers_.originMs)
+        return 0;
+    return static_cast<std::uint32_t>(
+               static_cast<double>(unix_ms - peers_.originMs)
+               / peers_.periodMs)
+           + 1;
+}
+
+bool
+WorkerRuntime::sleepUntil(std::uint64_t unix_ms)
+{
+    for (;;) {
+        if (stop_.load(std::memory_order_relaxed))
+            return false;
+        const std::uint64_t now = unixNowMs();
+        if (now >= unix_ms)
+            return true;
+        const std::uint64_t wait =
+            std::min<std::uint64_t>(unix_ms - now, kSleepSliceMs);
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
+}
+
+std::size_t
+WorkerRuntime::runPeriods(std::size_t max_periods)
+{
+    std::size_t done = 0;
+    while (done < max_periods
+           && !stop_.load(std::memory_order_relaxed)) {
+        // The next epoch that has not yet begun; its window start is
+        // the shared wall-clock boundary every process sleeps to.
+        const std::uint32_t epoch = epochAt(unixNowMs()) + 1;
+        const std::uint64_t start =
+            peers_.originMs
+            + static_cast<std::uint64_t>(
+                  static_cast<double>(epoch - 1) * peers_.periodMs);
+        if (!sleepUntil(start))
+            break;
+        if (isRoom())
+            runRoomPeriod(epoch);
+        else
+            runRackPeriod(epoch);
+        lastEpoch_ = epoch;
+        ++stats_.periodsRun;
+        ++done;
+    }
+    return done;
+}
+
+void
+WorkerRuntime::runRackPeriod(std::uint32_t epoch)
+{
+    const auto &system = *scenario_.system;
+    const auto &proto = scenario_.service.protocol;
+    net::UdpTransport &tp = *transport_;
+
+    // ---- plant: one control period of 1 Hz sensing and actuation.
+    // Wall pacing is per period, not per tick: the protocol deadlines
+    // below are what consume the period's wall budget.
+    for (Seconds tick = 0; tick < scenario_.service.controlPeriod;
+         ++tick) {
+        for (Plant &plant : plants_) {
+            plant.server->setUtilization(
+                plant.workload->utilizationAt(simNow_));
+        }
+        for (Plant &plant : plants_)
+            plant.controller->senseTick();
+        for (Plant &plant : plants_)
+            plant.nm->step(1.0);
+        ++simNow_;
+    }
+
+    // ---- close controller periods and refresh the edge leaf inputs.
+    for (Plant &plant : plants_) {
+        const auto report = plant.controller->closePeriod();
+        ctrl::ServerAllocInput in;
+        const auto &spec = plant.server->spec();
+        in.priority = spec.priority;
+        in.capMin = spec.capMin;
+        in.capMax = spec.capMax;
+        in.demand = report.demandEstimate;
+        in.supplies.resize(report.shares.size());
+        for (std::size_t i = 0; i < report.shares.size(); ++i) {
+            in.supplies[i].share = std::max(report.shares[i], 1e-9);
+            in.supplies[i].live = report.shares[i] > 0.0;
+        }
+        const auto shares = ctrl::effectiveSupplyShares(
+            system, in, static_cast<std::int32_t>(plant.serverId));
+        for (const auto &[tree, ref] : plant.leaves) {
+            const auto sup = static_cast<std::size_t>(ref.supply);
+            const Fraction r =
+                sup < shares.size() ? shares[sup] : 0.0;
+            rack_->setLeafInput(tree, ref,
+                                ctrl::scaledLeafInput(in, r));
+        }
+    }
+
+    // ---- upstream: heartbeat + one metrics frame per edge, with
+    // blind bounded retransmission (no ACK channel exists; the room
+    // dedups by (tree, edge) map overwrite).
+    const double start = tp.nowMs();
+    const double gather_deadline = start + proto.gatherDeadlineMs;
+    const double budget_deadline =
+        gather_deadline + proto.budgetDeadlineMs;
+    const auto room_ep =
+        static_cast<net::Transport::Endpoint>(rackCount_);
+
+    std::vector<std::vector<std::uint8_t>> up;
+    up.push_back(net::encodeHeartbeat(
+        {static_cast<std::uint16_t>(role_), epoch, seq_++}));
+    for (const auto &[tree, node] : myEdges_) {
+        net::MetricsMsg msg;
+        msg.tree = static_cast<std::uint16_t>(tree);
+        msg.edgeNode = static_cast<std::uint32_t>(node);
+        msg.metrics = rack_->computeMetrics(tree, node);
+        up.push_back(net::encodeMetrics(
+            {static_cast<std::uint16_t>(role_), epoch, seq_++}, msg));
+    }
+    for (const auto &frame : up)
+        tp.send(role_, room_ep, frame);
+    for (int attempt = 1; attempt < proto.maxAttempts; ++attempt) {
+        const double next = start + attempt * proto.retryTimeoutMs;
+        if (next >= gather_deadline)
+            break;
+        tp.advanceTo(next);
+        for (const auto &frame : up) {
+            tp.send(role_, room_ep, frame);
+            ++stats_.retries;
+        }
+    }
+
+    // ---- downstream: collect budgets until the deadline; a budget's
+    // arrival is the implicit end of this edge's exchange.
+    std::set<std::pair<std::size_t, topo::NodeId>> applied;
+    for (;;) {
+        for (const auto &bytes : tp.poll(role_)) {
+            const auto frame = net::decodeFrame(bytes);
+            if (!frame) {
+                ++stats_.corruptFrames;
+                continue;
+            }
+            if (frame->epoch != epoch
+                || frame->type != net::MsgType::Budget) {
+                ++stats_.orphanFrames;
+                continue;
+            }
+            const std::size_t tree = frame->budget.tree;
+            const auto node =
+                static_cast<topo::NodeId>(frame->budget.edgeNode);
+            const auto mine = myEdges_.find(tree);
+            if (mine == myEdges_.end() || mine->second != node) {
+                ++stats_.orphanFrames;
+                continue;
+            }
+            if (applied.count({tree, node}))
+                continue; // duplicate delivery
+            rack_->applyBudget(tree, node, frame->budget.budget);
+            applied.insert({tree, node});
+            ++stats_.budgetsApplied;
+        }
+        if (applied.size() == myEdges_.size())
+            break;
+        const double remaining = budget_deadline - tp.nowMs();
+        if (remaining <= 0.0)
+            break;
+        tp.advanceBy(std::min(remaining, kPollSliceMs));
+    }
+
+    // ---- §4.5 default budgets for edges the room never reached.
+    for (const auto &[tree, node] : myEdges_) {
+        if (applied.count({tree, node}))
+            continue;
+        const Watts fallback = rack_->defaultBudget(tree, node);
+        rack_->applyBudget(tree, node, fallback);
+        ++stats_.defaultBudgets;
+        events_.record(static_cast<Seconds>(epoch),
+                       core::EventKind::DefaultBudgetApplied,
+                       system.tree(tree).name() + "."
+                           + system.tree(tree).node(node).name,
+                       fallback);
+    }
+
+    // ---- per-server caps through the PI loops.
+    for (Plant &plant : plants_) {
+        std::vector<Watts> budgets(plant.server->supplyCount(), 0.0);
+        for (const auto &[tree, ref] : plant.leaves) {
+            const auto sup = static_cast<std::size_t>(ref.supply);
+            if (sup < budgets.size())
+                budgets[sup] = rack_->leafBudget(tree, ref);
+        }
+        plant.controller->applyBudgets(budgets);
+        plant.lastBudgets = std::move(budgets);
+    }
+}
+
+void
+WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
+{
+    const auto &system = *scenario_.system;
+    const auto &proto = scenario_.service.protocol;
+    net::UdpTransport &tp = *transport_;
+
+    const double start = tp.nowMs();
+    const double gather_deadline = start + proto.gatherDeadlineMs;
+
+    // ---- gather: drain metrics until the deadline (or until every
+    // edge of every live rack has reported — finishing early only
+    // shortens the racks' wait for budgets).
+    std::map<std::pair<std::size_t, topo::NodeId>, ctrl::NodeMetrics>
+        fresh;
+    std::set<std::size_t> heard;
+    std::size_t expected = 0;
+    for (const auto &[key, rack] : edgeOwner_) {
+        if (!rackDeclaredDead_[rack])
+            ++expected;
+    }
+    for (;;) {
+        for (const auto &bytes : tp.poll(role_)) {
+            const auto frame = net::decodeFrame(bytes);
+            if (!frame) {
+                ++stats_.corruptFrames;
+                continue;
+            }
+            if (frame->epoch != epoch) {
+                ++stats_.orphanFrames;
+                continue;
+            }
+            if (frame->sender < rackCount_)
+                heard.insert(frame->sender);
+            if (frame->type == net::MsgType::Metrics) {
+                fresh[{frame->metrics.tree,
+                       static_cast<topo::NodeId>(
+                           frame->metrics.edgeNode)}] =
+                    frame->metrics.metrics;
+            }
+        }
+        if (fresh.size() >= expected)
+            break;
+        const double remaining = gather_deadline - tp.nowMs();
+        if (remaining <= 0.0)
+            break;
+        tp.advanceBy(std::min(remaining, kPollSliceMs));
+    }
+
+    // ---- heartbeat liveness: any frame this epoch counts. A worker
+    // declared dead here stays dead — its plant lives in the dead
+    // process, so unlike the in-process plane there is no adopter to
+    // re-home its edge controllers onto (value -1 marks that).
+    for (std::size_t r = 0; r < rackCount_; ++r) {
+        if (rackDeclaredDead_[r])
+            continue;
+        if (heard.count(r)) {
+            missedHeartbeats_[r] = 0;
+        } else if (++missedHeartbeats_[r] >= proto.heartbeatFailAfter) {
+            rackDeclaredDead_[r] = true;
+            ++stats_.failovers;
+            events_.record(static_cast<Seconds>(epoch),
+                           core::EventKind::WorkerFailover,
+                           "worker" + std::to_string(r), -1.0);
+        }
+    }
+
+    // ---- assemble per-tree edge metrics with the §4.5 stale cache.
+    std::vector<std::map<topo::NodeId, ctrl::NodeMetrics>> tree_metrics(
+        system.trees().size());
+    for (const auto &[key, rack] : edgeOwner_) {
+        const auto [tree, node] = key;
+        const auto got = fresh.find(key);
+        if (got != fresh.end()) {
+            tree_metrics[tree][node] = got->second;
+            metricCache_[key] = {got->second, epoch, true};
+            continue;
+        }
+        const std::string subject =
+            system.tree(tree).name() + "."
+            + system.tree(tree).node(node).name;
+        const auto cached = metricCache_.find(key);
+        const std::uint32_t age =
+            cached != metricCache_.end() && cached->second.valid
+                ? epoch - cached->second.epoch
+                : 0;
+        if (cached != metricCache_.end() && cached->second.valid
+            && age <= static_cast<std::uint32_t>(
+                   proto.staleAgeCapPeriods)) {
+            tree_metrics[tree][node] = cached->second.metrics;
+            ++stats_.staleReuses;
+            events_.record(static_cast<Seconds>(epoch),
+                           core::EventKind::StaleMetricsReused, subject,
+                           static_cast<double>(age));
+        } else {
+            ++stats_.metricsLost;
+            events_.record(static_cast<Seconds>(epoch),
+                           core::EventKind::MetricsLost, subject,
+                           static_cast<double>(age));
+        }
+    }
+
+    // ---- upper-tree compute + downstream budgets, blind bounded
+    // retransmission (racks dedup by the applied set).
+    struct PendingDown
+    {
+        std::size_t rack;
+        std::vector<std::uint8_t> frame;
+    };
+    std::vector<PendingDown> pending;
+    for (std::size_t t = 0; t < system.trees().size(); ++t) {
+        const auto edge_budgets = room_->iterate(
+            t, tree_metrics[t], scenario_.rootBudgets[t]);
+        for (const auto &[node, budget] : edge_budgets) {
+            const std::size_t rack = edgeOwner_.at({t, node});
+            if (rackDeclaredDead_[rack])
+                continue; // nobody home to receive it
+            net::BudgetMsg msg;
+            msg.tree = static_cast<std::uint16_t>(t);
+            msg.edgeNode = static_cast<std::uint32_t>(node);
+            msg.budget = budget;
+            pending.push_back(
+                {rack, net::encodeBudget(
+                           {net::kRoomSender, epoch, seq_++}, msg)});
+        }
+    }
+
+    const double budget_start = tp.nowMs();
+    const double budget_deadline =
+        budget_start + proto.budgetDeadlineMs;
+    for (const PendingDown &down : pending) {
+        tp.send(role_, static_cast<net::Transport::Endpoint>(down.rack),
+                down.frame);
+    }
+    for (int attempt = 1; attempt < proto.maxAttempts; ++attempt) {
+        const double next =
+            budget_start + attempt * proto.retryTimeoutMs;
+        if (next >= budget_deadline)
+            break;
+        tp.advanceTo(next);
+        for (const PendingDown &down : pending) {
+            tp.send(role_,
+                    static_cast<net::Transport::Endpoint>(down.rack),
+                    down.frame);
+            ++stats_.retries;
+        }
+    }
+}
+
+std::vector<Watts>
+WorkerRuntime::lastServerBudgets(std::size_t server_id) const
+{
+    for (const Plant &plant : plants_) {
+        if (plant.serverId == server_id)
+            return plant.lastBudgets;
+    }
+    return {};
+}
+
+} // namespace capmaestro::rt

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Process-level worker runtime (the deployment shape of paper §5): one
+ * rack or room worker's half of the §4.5 control protocol, driven by
+ * wall-clock deadlines over a real transport instead of by the
+ * in-process DistributedControlPlane loop.
+ *
+ * A deployment runs rackWorkerCount() rack processes (endpoints
+ * 0..N-1) plus one room process (endpoint N), all sharing one peer
+ * table (config::WorkerPeers). Control periods are anchored to the
+ * table's wall-clock origin: period (epoch) e owns the real-time
+ * window [originMs + (e-1)*periodMs, originMs + e*periodMs), so every
+ * process independently agrees on the current epoch from its own clock
+ * (NTP-grade agreement is enough; the per-phase deadlines and the
+ * epoch field on every frame absorb skew).
+ *
+ * Within its window each period runs the two §4.5 phases:
+ *
+ *   rack:  advance the local plant (sensing + actuation), close the
+ *          capping-controller period, send heartbeat + per-edge
+ *          metrics (blind bounded retransmission — a real rack cannot
+ *          see the room's receive state, so it re-sends on a timer up
+ *          to maxAttempts), then collect budgets until the budget
+ *          deadline; edges with no budget fall back to the Pcap_min
+ *          default. Budgets feed the per-server PI loops exactly as in
+ *          the monolithic service.
+ *   room:  collect metrics until the gather deadline (stale-cache
+ *          fallback per §4.5), run the upper-tree controllers, then
+ *          send per-edge budgets with the same blind bounded
+ *          retransmission.
+ *
+ * Failure handling differs from the in-process plane in one honest
+ * way: a dead rack's edge controllers cannot be re-homed, because
+ * their plant (servers, sensors) lives in the dead process. The room
+ * still detects the silence by heartbeat and logs a WorkerFailover
+ * event (adopter -1); the dead rack's edges then ride the
+ * stale-metrics -> metrics-lost path and its servers keep their last
+ * caps — the conservative §4.5 degradation. The §4.4 SPO round is
+ * also skipped here (it needs fleet-wide stranded-power detection,
+ * which no single worker can see); the single-process loopback mode
+ * of capmaestro_run --transport=udp retains it.
+ *
+ * Every degraded decision lands in the runtime's EventLog with the
+ * epoch as its timestamp, mirroring ClosedLoopSim's audit trail.
+ */
+
+#ifndef CAPMAESTRO_RT_WORKER_RUNTIME_HH
+#define CAPMAESTRO_RT_WORKER_RUNTIME_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "config/loader.hh"
+#include "control/capping_controller.hh"
+#include "core/distributed.hh"
+#include "core/events.hh"
+#include "device/node_manager.hh"
+#include "device/sensor.hh"
+#include "device/server.hh"
+#include "device/workload.hh"
+#include "net/udp_transport.hh"
+
+namespace capmaestro::rt {
+
+/** Cumulative protocol accounting for one worker process. */
+struct RuntimeStats
+{
+    std::size_t periodsRun = 0;
+    /** Rack: edges budgeted by a received Budget frame. */
+    std::size_t budgetsApplied = 0;
+    /** Rack: edges that fell back to the Pcap_min default. */
+    std::size_t defaultBudgets = 0;
+    /** Room: edges served from the stale-metrics cache. */
+    std::size_t staleReuses = 0;
+    /** Room: edges with no usable metrics at the deadline. */
+    std::size_t metricsLost = 0;
+    /** Room: workers declared dead by heartbeat silence. */
+    std::size_t failovers = 0;
+    /** Frames from another epoch, discarded. */
+    std::size_t orphanFrames = 0;
+    /** Frames that failed to decode. */
+    std::size_t corruptFrames = 0;
+    /** Retransmissions sent (both phases). */
+    std::size_t retries = 0;
+};
+
+/**
+ * One worker process's runtime: plant + protocol state machine, paced
+ * by the wall clock. Construct with role 0..N-1 for a rack worker or
+ * role N for the room (N = DistributedControlPlane::rackWorkerCountFor
+ * on the scenario's power system).
+ */
+class WorkerRuntime
+{
+  public:
+    /**
+     * @param scenario  loaded scenario (ownership taken; every worker
+     *                  process loads the same file)
+     * @param peers     shared peer table (ports, periodMs, originMs)
+     * @param role      endpoint: rack index, or rack count for the room
+     * @param seed      sensor-noise seed (must match across processes
+     *                  only in that each process forks its own servers'
+     *                  streams from it)
+     */
+    WorkerRuntime(config::LoadedScenario scenario,
+                  config::WorkerPeers peers, std::uint32_t role,
+                  std::uint64_t seed = 1);
+
+    ~WorkerRuntime();
+
+    WorkerRuntime(const WorkerRuntime &) = delete;
+    WorkerRuntime &operator=(const WorkerRuntime &) = delete;
+
+    /** True when this runtime drives the room worker. */
+    bool isRoom() const { return role_ == rackCount_; }
+
+    /** Rack workers in the deployment (the room is endpoint rackCount). */
+    std::size_t rackCount() const { return rackCount_; }
+
+    /**
+     * Run up to @p max_periods control periods, each aligned to its
+     * wall-clock window, until requestStop(). Returns periods run.
+     */
+    std::size_t runPeriods(std::size_t max_periods);
+
+    /**
+     * Ask the period loop to exit at the next check (async-signal-safe:
+     * only stores an atomic flag — wire it to SIGTERM in a daemon).
+     */
+    void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+    /** Protocol accounting so far. */
+    const RuntimeStats &stats() const { return stats_; }
+
+    /** Degraded-mode decisions (timestamps are epochs). */
+    const core::EventLog &eventLog() const { return events_; }
+
+    /** The UDP transport (e.g., to rewire ephemeral ports in tests). */
+    net::UdpTransport &transport() { return *transport_; }
+
+    /** Epoch of the most recently completed period (0 before any). */
+    std::uint32_t lastEpoch() const { return lastEpoch_; }
+
+    /**
+     * Rack only: per-supply AC budgets applied to server @p server_id
+     * in the last period (empty before the first period or when the
+     * server is not homed on this rack).
+     */
+    std::vector<Watts> lastServerBudgets(std::size_t server_id) const;
+
+  private:
+    /** One server whose plant lives in this rack process. */
+    struct Plant
+    {
+        std::size_t serverId = 0;
+        std::unique_ptr<dev::ServerModel> server;
+        std::unique_ptr<dev::NodeManager> nm;
+        std::unique_ptr<dev::SensorEmulator> sensors;
+        std::unique_ptr<dev::Workload> workload;
+        std::unique_ptr<ctrl::CappingController> controller;
+        /** (tree, supply ref) leaves of this server, all on this rack. */
+        std::vector<std::pair<std::size_t, topo::ServerSupplyRef>> leaves;
+        std::vector<Watts> lastBudgets;
+    };
+
+    /** Room's cache of the last received metrics per edge. */
+    struct CachedMetrics
+    {
+        ctrl::NodeMetrics metrics;
+        std::uint32_t epoch = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t epochAt(std::uint64_t unix_ms) const;
+    std::uint64_t unixNowMs() const;
+    /** Sleep until @p unix_ms, checking stop_; false when stopped. */
+    bool sleepUntil(std::uint64_t unix_ms);
+
+    void runRackPeriod(std::uint32_t epoch);
+    void runRoomPeriod(std::uint32_t epoch);
+    void buildRack(std::uint64_t seed);
+    void buildRoom();
+
+    config::LoadedScenario scenario_;
+    config::WorkerPeers peers_;
+    std::uint32_t role_ = 0;
+    std::size_t rackCount_ = 0;
+    std::unique_ptr<net::UdpTransport> transport_;
+    std::atomic<bool> stop_{false};
+    RuntimeStats stats_;
+    core::EventLog events_;
+    std::uint32_t lastEpoch_ = 0;
+    std::uint32_t seq_ = 0;
+
+    // -------- rack state
+    std::unique_ptr<core::RackWorker> rack_;
+    /** This rack's (tree -> edge node) slice of the partition. */
+    std::map<std::size_t, topo::NodeId> myEdges_;
+    std::vector<Plant> plants_;
+    /** Simulated plant time (advances controlPeriod per wall period). */
+    Seconds simNow_ = 0;
+
+    // -------- room state
+    std::unique_ptr<core::RoomWorker> room_;
+    /** (tree, edge node) -> owning rack, full partition view. */
+    std::map<std::pair<std::size_t, topo::NodeId>, std::size_t>
+        edgeOwner_;
+    std::vector<int> missedHeartbeats_;
+    std::vector<bool> rackDeclaredDead_;
+    std::map<std::pair<std::size_t, topo::NodeId>, CachedMetrics>
+        metricCache_;
+};
+
+} // namespace capmaestro::rt
+
+#endif // CAPMAESTRO_RT_WORKER_RUNTIME_HH

@@ -360,3 +360,125 @@ TEST(Wire, Crc32MatchesKnownVector)
                                  '6', '7', '8', '9'};
     EXPECT_EQ(net::crc32(data, sizeof(data)), 0xCBF43926u);
 }
+
+namespace {
+
+/** Overwrite the trailing CRC so later checks see a "valid" frame. */
+void
+refreshCrc(std::vector<std::uint8_t> &bytes)
+{
+    const std::uint32_t crc =
+        net::crc32(bytes.data(), bytes.size() - net::kCrcSize);
+    for (std::size_t i = 0; i < net::kCrcSize; ++i) {
+        bytes[bytes.size() - net::kCrcSize + i] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+}
+
+/** Patch the header's declared payload-length field (offset 14). */
+void
+declarePayloadLength(std::vector<std::uint8_t> &bytes,
+                     std::uint16_t length)
+{
+    bytes[14] = static_cast<std::uint8_t>(length & 0xFF);
+    bytes[15] = static_cast<std::uint8_t>(length >> 8);
+}
+
+} // namespace
+
+TEST(Wire, FrameOverHardCapRejected)
+{
+    // A buffer larger than kMaxFrameBytes is rejected up front, even
+    // if everything inside it were to check out.
+    auto bytes = net::encodeHeartbeat(FrameMeta{1, 2, 3});
+    bytes.resize(net::kMaxFrameBytes + 1, 0);
+    refreshCrc(bytes);
+    EXPECT_FALSE(net::decodeFrame(bytes).has_value());
+}
+
+TEST(Wire, HostileDeclaredPayloadLengthRejected)
+{
+    // Declared payload length beyond kMaxPayloadBytes must be rejected
+    // on the declared value alone — before any size-equality or CRC
+    // work that would trust it. Keep the CRC honest so nothing else
+    // can be the reason for rejection.
+    for (const std::uint32_t hostile :
+         {static_cast<std::uint32_t>(net::kMaxPayloadBytes) + 1,
+          40000u, 65535u}) {
+        auto bytes = net::encodeHeartbeat(FrameMeta{1, 2, 3});
+        declarePayloadLength(bytes,
+                             static_cast<std::uint16_t>(hostile));
+        refreshCrc(bytes);
+        EXPECT_FALSE(net::decodeFrame(bytes).has_value())
+            << "declared length " << hostile;
+    }
+}
+
+TEST(Wire, HostileMetricsCountRejectedBeforeAllocation)
+{
+    // A Metrics payload declaring more class records than the payload
+    // holds must be rejected by arithmetic on the declared count, not
+    // by faulting after a count-sized allocation. The frame below is
+    // fully valid (magic, version, length, CRC) except that its count
+    // field promises 1024 records while carrying none.
+    std::vector<std::uint8_t> bytes;
+    const std::uint8_t header[] = {
+        0x9E, 0xCA,                  // magic, little-endian
+        net::kWireVersion,
+        static_cast<std::uint8_t>(MsgType::Metrics),
+        0x01, 0x00,                  // sender
+        0x02, 0x00, 0x00, 0x00,      // epoch
+        0x03, 0x00, 0x00, 0x00,      // seq
+        0x10, 0x00,                  // payload length: 16 bytes
+    };
+    bytes.assign(header, header + sizeof(header));
+    const std::uint8_t payload[] = {
+        0x00, 0x00,                  // tree
+        0x11, 0x00, 0x00, 0x00,      // edge node
+        0, 0, 0, 0, 0, 0, 0, 0,      // constraint (0.0)
+        0x00, 0x04,                  // count = 1024, but no records
+    };
+    bytes.insert(bytes.end(), payload, payload + sizeof(payload));
+    bytes.resize(bytes.size() + net::kCrcSize, 0);
+    refreshCrc(bytes);
+    EXPECT_FALSE(net::decodeFrame(bytes).has_value());
+}
+
+TEST(Wire, FuzzedDeclaredLengthsNeverCrash)
+{
+    // Randomized declared-length hostility over every message type:
+    // patch the length field to an arbitrary value, refresh the CRC,
+    // and decode. Any declared length that differs from the real one
+    // must be rejected; none may crash or over-allocate.
+    util::Rng rng(40426);
+    const auto metrics =
+        net::encodeMetrics(FrameMeta{1, 2, 3}, sampleMetrics());
+    BudgetMsg budget;
+    budget.tree = 1;
+    budget.edgeNode = 9;
+    budget.budget = 512.25;
+    const std::vector<std::vector<std::uint8_t>> bases = {
+        metrics,
+        net::encodeBudget(FrameMeta{1, 2, 4}, budget),
+        net::encodeHeartbeat(FrameMeta{1, 2, 5}),
+        net::encodePinnedSummary(FrameMeta{1, 2, 6}, sampleMetrics()),
+        net::encodeSpoBudget(FrameMeta{1, 2, 7}, budget),
+    };
+    for (int trial = 0; trial < 4000; ++trial) {
+        auto bytes = bases[static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(bases.size()) - 1))];
+        const auto declared =
+            static_cast<std::uint16_t>(rng.uniformInt(0, 65535));
+        const std::size_t real_length =
+            bytes.size() - net::kHeaderSize - net::kCrcSize;
+        declarePayloadLength(bytes, declared);
+        refreshCrc(bytes);
+        const auto frame = net::decodeFrame(bytes);
+        if (declared != real_length) {
+            EXPECT_FALSE(frame.has_value())
+                << "declared " << declared << " real " << real_length;
+        } else {
+            EXPECT_TRUE(frame.has_value());
+        }
+    }
+}

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the multi-process worker runtime (rt/worker_runtime), run
+ * as threads sharing one address space but communicating only through
+ * real 127.0.0.1 UDP sockets — the same code path capmaestro_worker
+ * daemons execute, minus fork/exec. Covers the healthy steady state
+ * (every edge budgeted, no degraded decisions) and the §4.5 failure
+ * story: a killed rack worker is detected by heartbeat silence, the
+ * room logs a WorkerFailover event, and the surviving rack keeps
+ * receiving real budgets throughout.
+ *
+ * Set CAPMAESTRO_NO_NET=1 to skip (every test binds UDP sockets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/loader.hh"
+#include "core/events.hh"
+#include "rt/worker_runtime.hh"
+#include "util/json.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+#define SKIP_WITHOUT_NET()                                            \
+    do {                                                              \
+        if (std::getenv("CAPMAESTRO_NO_NET") != nullptr)              \
+            GTEST_SKIP() << "CAPMAESTRO_NO_NET is set";               \
+    } while (0)
+
+/** Dual-feed testbed whose partitioning rule yields two rack workers:
+ *  leftCB (servers 0, 2) is rack 0 and rightCB (servers 1, 3) is rack
+ *  1 on both trees; the room is endpoint 2. */
+const char *kScenario = R"({
+  "feeds": 2,
+  "trees": [
+    {
+      "feed": 0, "phase": 0, "name": "X",
+      "root": {
+        "kind": "breaker", "name": "topCB", "rating": 1400,
+        "children": [
+          { "kind": "breaker", "name": "leftCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 0, "supply": 0 },
+              { "kind": "supply", "server": 2, "supply": 0 } ] },
+          { "kind": "breaker", "name": "rightCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 1, "supply": 0 },
+              { "kind": "supply", "server": 3, "supply": 0 } ] }
+        ]
+      }
+    },
+    {
+      "feed": 1, "phase": 0, "name": "Y",
+      "root": {
+        "kind": "breaker", "name": "topCB", "rating": 1400,
+        "children": [
+          { "kind": "breaker", "name": "leftCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 0, "supply": 1 },
+              { "kind": "supply", "server": 2, "supply": 1 } ] },
+          { "kind": "breaker", "name": "rightCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 1, "supply": 1 },
+              { "kind": "supply", "server": 3, "supply": 1 } ] }
+        ]
+      }
+    }
+  ],
+  "servers": [
+    { "name": "SA", "priority": 1,
+      "supplies": [ { "share": 0.5 }, { "share": 0.5 } ],
+      "workload": { "type": "constant", "utilization": 0.684 } },
+    { "name": "SB",
+      "supplies": [ { "share": 0.5 }, { "share": 0.5 } ],
+      "workload": { "type": "constant", "utilization": 0.686 } },
+    { "name": "SC",
+      "supplies": [ { "share": 0.53 }, { "share": 0.47 } ],
+      "workload": { "type": "constant", "utilization": 0.722 } },
+    { "name": "SD",
+      "supplies": [ { "share": 0.46 }, { "share": 0.54 } ],
+      "workload": { "type": "constant", "utilization": 0.734 } }
+  ],
+  "service": { "policy": "global", "spo": false },
+  "budgets": { "totalPerPhase": 1400 }
+})";
+
+constexpr double kPeriodMs = 300.0;
+constexpr std::size_t kWorkers = 3; // rack 0, rack 1, room
+
+std::uint64_t
+unixNowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+config::LoadedScenario
+loadScenarioForWorker()
+{
+    auto scenario = config::loadScenario(util::parseJson(kScenario));
+    // Deadlines well under the period, generous for loopback: the
+    // protocol phases consume 160 ms of each 300 ms window.
+    config::applyTransportJson(
+        scenario.service,
+        util::parseJson(R"({"backend":"udp","gatherDeadlineMs":80,
+            "budgetDeadlineMs":80,"retryTimeoutMs":20})"));
+    return scenario;
+}
+
+/** Build all three runtimes on ephemeral ports and cross-wire them. */
+std::vector<std::unique_ptr<rt::WorkerRuntime>>
+makeDeployment()
+{
+    config::WorkerPeers peers;
+    peers.periodMs = kPeriodMs;
+    peers.originMs = unixNowMs() + 200; // epoch 1 starts shortly
+    for (std::uint32_t e = 0; e < kWorkers; ++e)
+        peers.peers[e] = net::UdpPeer{"127.0.0.1", 0};
+
+    std::vector<std::unique_ptr<rt::WorkerRuntime>> workers;
+    for (std::uint32_t role = 0; role < kWorkers; ++role) {
+        workers.push_back(std::make_unique<rt::WorkerRuntime>(
+            loadScenarioForWorker(), peers, role, /*seed=*/1));
+    }
+    for (std::uint32_t a = 0; a < kWorkers; ++a) {
+        for (std::uint32_t b = 0; b < kWorkers; ++b) {
+            if (a == b)
+                continue;
+            workers[a]->transport().setPeer(
+                b, net::UdpPeer{"127.0.0.1",
+                                workers[b]->transport().boundPort(b)});
+        }
+    }
+    return workers;
+}
+
+/** Run every worker for its period count on its own thread. */
+void
+runAll(std::vector<std::unique_ptr<rt::WorkerRuntime>> &workers,
+       const std::vector<std::size_t> &periods)
+{
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        threads.emplace_back([&workers, &periods, i] {
+            workers[i]->runPeriods(periods[i]);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+}
+
+} // namespace
+
+TEST(WorkerRuntime, RolesPartitionTheDeployment)
+{
+    SKIP_WITHOUT_NET();
+    auto workers = makeDeployment();
+    EXPECT_EQ(workers[0]->rackCount(), 2u);
+    EXPECT_FALSE(workers[0]->isRoom());
+    EXPECT_FALSE(workers[1]->isRoom());
+    EXPECT_TRUE(workers[2]->isRoom());
+}
+
+TEST(WorkerRuntime, HealthyDeploymentBudgetsEveryEdgeEveryPeriod)
+{
+    SKIP_WITHOUT_NET();
+    auto workers = makeDeployment();
+    runAll(workers, {3, 3, 3});
+
+    for (std::size_t rack = 0; rack < 2; ++rack) {
+        const auto &stats = workers[rack]->stats();
+        EXPECT_EQ(stats.periodsRun, 3u) << "rack " << rack;
+        // Two trees -> two edges per rack, budgeted every period.
+        EXPECT_EQ(stats.budgetsApplied, 6u) << "rack " << rack;
+        EXPECT_EQ(stats.defaultBudgets, 0u) << "rack " << rack;
+        EXPECT_EQ(stats.corruptFrames, 0u) << "rack " << rack;
+        EXPECT_TRUE(workers[rack]->eventLog().events().empty())
+            << "rack " << rack;
+    }
+    const auto &room = workers[2]->stats();
+    EXPECT_EQ(room.periodsRun, 3u);
+    EXPECT_EQ(room.staleReuses, 0u);
+    EXPECT_EQ(room.metricsLost, 0u);
+    EXPECT_EQ(room.failovers, 0u);
+    EXPECT_TRUE(workers[2]->eventLog().events().empty());
+
+    // Rack 0 homes servers 0 and 2 and actually capped them with the
+    // budgets the room computed.
+    const auto sa = workers[0]->lastServerBudgets(0);
+    ASSERT_EQ(sa.size(), 2u);
+    EXPECT_GT(sa[0] + sa[1], 0.0);
+    EXPECT_TRUE(workers[0]->lastServerBudgets(1).empty());
+    const auto sb = workers[1]->lastServerBudgets(1);
+    ASSERT_EQ(sb.size(), 2u);
+    EXPECT_GT(sb[0] + sb[1], 0.0);
+}
+
+TEST(WorkerRuntime, KilledRackIsDetectedAndSurvivorsKeepRunning)
+{
+    SKIP_WITHOUT_NET();
+    auto workers = makeDeployment();
+    // Rack 1 dies after 2 periods (its thread simply exits, as if the
+    // process were killed); rack 0 and the room run 8. With
+    // heartbeatFailAfter=3 the room must declare rack 1 dead around
+    // epoch 5 and keep budgeting rack 0 throughout.
+    runAll(workers, {8, 2, 8});
+
+    const auto &room = workers[2]->stats();
+    EXPECT_EQ(room.failovers, 1u);
+    const auto failovers = workers[2]->eventLog().ofKind(
+        core::EventKind::WorkerFailover);
+    ASSERT_EQ(failovers.size(), 1u);
+    EXPECT_EQ(failovers[0].subject, "worker1");
+    EXPECT_EQ(failovers[0].value, -1.0);
+    // Rack 1's edges rode the §4.5 degradation: stale reuse while the
+    // cache was fresh enough, metrics-lost afterwards.
+    EXPECT_GT(room.staleReuses, 0u);
+    EXPECT_GT(room.metricsLost, 0u);
+
+    // The survivor never degraded to default budgets.
+    const auto &rack0 = workers[0]->stats();
+    EXPECT_EQ(rack0.periodsRun, 8u);
+    EXPECT_EQ(rack0.budgetsApplied, 16u);
+    EXPECT_EQ(rack0.defaultBudgets, 0u);
+    EXPECT_TRUE(workers[0]->eventLog().events().empty());
+}
+
+TEST(WorkerRuntime, RequestStopExitsPromptly)
+{
+    SKIP_WITHOUT_NET();
+    auto workers = makeDeployment();
+    auto &room = *workers[2];
+    std::thread runner([&room] { room.runPeriods(1000); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(450));
+    room.requestStop();
+    const auto asked = std::chrono::steady_clock::now();
+    runner.join();
+    const auto took =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - asked)
+            .count();
+    // One period (300 ms) plus slack: the stop flag is honored at the
+    // next boundary check, never after another full period.
+    EXPECT_LT(took, 2000);
+    EXPECT_LT(room.stats().periodsRun, 1000u);
+}
+
+TEST(WorkerRuntime, RejectsMalformedDeployments)
+{
+    SKIP_WITHOUT_NET();
+    // Roles beyond the room and undersized peer tables are fatal; the
+    // checks below only exercise the validating paths that return.
+    config::WorkerPeers peers;
+    peers.periodMs = kPeriodMs;
+    peers.originMs = unixNowMs();
+    for (std::uint32_t e = 0; e < kWorkers; ++e)
+        peers.peers[e] = net::UdpPeer{"127.0.0.1", 0};
+    EXPECT_DEATH(
+        {
+            rt::WorkerRuntime bad(
+                config::loadScenario(util::parseJson(kScenario)), peers,
+                /*role=*/7);
+        },
+        "out of range");
+
+    config::WorkerPeers short_peers = peers;
+    short_peers.peers.erase(2);
+    EXPECT_DEATH(
+        {
+            rt::WorkerRuntime bad(
+                config::loadScenario(util::parseJson(kScenario)),
+                short_peers, /*role=*/0);
+        },
+        "peer table");
+}

@@ -11,9 +11,12 @@
  *   --fail-supply=S.P@T   fail supply P of server S at time T
  *   --csv                 dump all recorded time series as CSV to stdout
  *   --seed=N              sensor-noise seed (default 1)
- *   --transport=JSON      run the control exchange over the simulated
- *                         message plane; JSON is a transport block, e.g.
- *                         '{"dropRate":0.2,"latencyMs":5}'
+ *   --transport=JSON      run the control exchange over the message
+ *                         plane; JSON is a transport block, e.g.
+ *                         '{"dropRate":0.2,"latencyMs":5}'. A bare
+ *                         backend name is shorthand: --transport=udp
+ *                         runs every worker in-process over real
+ *                         127.0.0.1 UDP sockets (wall-clock paced)
  *   --drop-rate=P         shorthand: message plane with drop rate P
  *   --latency-ms=MS       shorthand: message plane with mean latency MS
  *   --telemetry-out=DIR   enable telemetry and write DIR/metrics.prom
@@ -100,11 +103,15 @@ main(int argc, char **argv)
 
     auto scenario = config::loadScenarioFile(argv[1]);
 
-    // Transport overrides: a full JSON block, or the shorthands that
-    // enable the message plane with a single fault knob.
+    // Transport overrides: a full JSON block, a bare backend name
+    // (--transport=udp runs the whole tree over 127.0.0.1 sockets), or
+    // the shorthands that enable the plane with a single fault knob.
     if (const char *spec = flagValue(argc, argv, "transport")) {
+        const std::string text =
+            spec[0] == '{' ? spec
+                           : "{\"backend\":\"" + std::string(spec) + "\"}";
         config::applyTransportJson(scenario.service,
-                                   util::parseJson(spec));
+                                   util::parseJson(text));
     }
     if (const char *rate = flagValue(argc, argv, "drop-rate")) {
         const double p = std::atof(rate);

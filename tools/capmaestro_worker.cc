@@ -1,0 +1,235 @@
+/**
+ * @file
+ * capmaestro_worker — one process of the multi-process control plane
+ * (docs/distributed.md quickstart). Every worker loads the same
+ * scenario and peer table; the role selects which endpoint this
+ * process drives: rack index 0..N-1, or N for the room (N = the
+ * partitioning rule's rack worker count).
+ *
+ * Usage:
+ *   capmaestro_worker <config.json> --peers=peers.json --role=N
+ *                     [options]
+ *   capmaestro_worker <config.json> --print-peers-template
+ *                     [--port-base=P] [--period-ms=MS]
+ *
+ * Options:
+ *   --peers=FILE          shared peer table (see config::WorkerPeers)
+ *   --role=N              endpoint to drive (rack index, or rack
+ *                         count for the room worker)
+ *   --periods=N           stop after N control periods (default: run
+ *                         until SIGTERM/SIGINT)
+ *   --seed=N              sensor-noise seed (default 1; give every
+ *                         worker the same seed)
+ *   --telemetry-out=DIR   write DIR/metrics.prom + DIR/metrics.jsonl
+ *                         (transport counters) and DIR/events.jsonl
+ *                         (degraded-mode decisions, timestamps are
+ *                         epochs) on exit
+ *   --print-peers-template  print a ready-to-use peers.json for this
+ *                         scenario (originMs = now) and exit
+ *   --port-base=P         first UDP port for the template (default
+ *                         19870; endpoint e gets port P+e)
+ *   --period-ms=MS        wall-clock control period for the template
+ *                         (default 1000)
+ *
+ * On SIGTERM/SIGINT the worker finishes nothing: it exits its period
+ * loop at the next stop check (≤ ~25 ms) and reports. Exit status 0
+ * when the requested periods ran (or a signal stopped the loop).
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "config/loader.hh"
+#include "rt/worker_runtime.hh"
+#include "telemetry/registry.hh"
+#include "util/logging.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+rt::WorkerRuntime *g_runtime = nullptr;
+
+extern "C" void
+onSignal(int)
+{
+    if (g_runtime != nullptr)
+        g_runtime->requestStop(); // async-signal-safe: one atomic store
+}
+
+const char *
+flagValue(int argc, char **argv, const char *name)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 2; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return argv[i] + prefix.size();
+    }
+    return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    const std::string flag = std::string("--") + name;
+    for (int i = 2; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: capmaestro_worker <config.json> --peers=FILE --role=N\n"
+        "                         [--periods=N] [--seed=N]\n"
+        "                         [--telemetry-out=DIR]\n"
+        "       capmaestro_worker <config.json> --print-peers-template\n"
+        "                         [--port-base=P] [--period-ms=MS]\n");
+    std::exit(2);
+}
+
+std::uint64_t
+unixNowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+int
+printPeersTemplate(const config::LoadedScenario &scenario, int argc,
+                   char **argv)
+{
+    const char *base_arg = flagValue(argc, argv, "port-base");
+    const int port_base = base_arg ? std::atoi(base_arg) : 19870;
+    const char *period_arg = flagValue(argc, argv, "period-ms");
+    const double period_ms =
+        period_arg ? std::atof(period_arg) : 1000.0;
+
+    const std::size_t racks =
+        core::DistributedControlPlane::rackWorkerCountFor(
+            *scenario.system);
+    config::WorkerPeers peers;
+    peers.periodMs = period_ms;
+    peers.originMs = unixNowMs();
+    for (std::size_t e = 0; e <= racks; ++e) {
+        net::UdpPeer peer;
+        peer.host = "127.0.0.1";
+        peer.port =
+            static_cast<std::uint16_t>(port_base + static_cast<int>(e));
+        peers.peers[static_cast<net::Transport::Endpoint>(e)] = peer;
+    }
+    std::printf("%s\n",
+                util::serializeJson(config::workerPeersToJson(peers),
+                                    2)
+                    .c_str());
+    std::fprintf(stderr,
+                 "peers template: %zu rack workers (roles 0..%zu) + "
+                 "room (role %zu), ports %d..%d\n",
+                 racks, racks - 1, racks, port_base,
+                 port_base + static_cast<int>(racks));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argv[1][0] == '-')
+        usage();
+
+    auto scenario = config::loadScenarioFile(argv[1]);
+
+    if (hasFlag(argc, argv, "print-peers-template"))
+        return printPeersTemplate(scenario, argc, argv);
+
+    const char *peers_path = flagValue(argc, argv, "peers");
+    const char *role_arg = flagValue(argc, argv, "role");
+    if (peers_path == nullptr || role_arg == nullptr)
+        usage();
+
+    std::ifstream peers_in(peers_path);
+    if (!peers_in)
+        util::fatal("cannot read %s", peers_path);
+    const std::string peers_text(
+        (std::istreambuf_iterator<char>(peers_in)),
+        std::istreambuf_iterator<char>());
+    const auto peers =
+        config::loadWorkerPeers(util::parseJson(peers_text));
+
+    const auto role =
+        static_cast<std::uint32_t>(std::strtoul(role_arg, nullptr, 10));
+    const char *seed_arg = flagValue(argc, argv, "seed");
+    const std::uint64_t seed =
+        seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 1;
+    const char *periods_arg = flagValue(argc, argv, "periods");
+    const std::size_t max_periods =
+        periods_arg
+            ? static_cast<std::size_t>(
+                  std::strtoull(periods_arg, nullptr, 10))
+            : static_cast<std::size_t>(-1);
+
+    rt::WorkerRuntime runtime(std::move(scenario), peers, role, seed);
+    g_runtime = &runtime;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    telemetry::Registry registry;
+    const char *telemetry_dir = flagValue(argc, argv, "telemetry-out");
+    if (telemetry_dir != nullptr)
+        runtime.transport().setTelemetry(&registry);
+
+    std::fprintf(stderr,
+                 "worker role %u (%s) up: %zu rack workers, period "
+                 "%.0f ms, udp port %u\n",
+                 role, runtime.isRoom() ? "room" : "rack",
+                 runtime.rackCount(), peers.periodMs,
+                 runtime.transport().boundPort(role));
+
+    const std::size_t ran = runtime.runPeriods(max_periods);
+
+    const auto &stats = runtime.stats();
+    std::fprintf(stderr,
+                 "worker role %u done: %zu periods, %zu budgets "
+                 "applied, %zu defaults, %zu stale, %zu lost, %zu "
+                 "failovers, %zu retries, %zu orphan + %zu corrupt "
+                 "frames\n",
+                 role, ran, stats.budgetsApplied, stats.defaultBudgets,
+                 stats.staleReuses, stats.metricsLost, stats.failovers,
+                 stats.retries, stats.orphanFrames,
+                 stats.corruptFrames);
+    runtime.eventLog().printJsonl(std::cout);
+
+    if (telemetry_dir != nullptr) {
+        const std::filesystem::path dir(telemetry_dir);
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            util::fatal("cannot create %s: %s", telemetry_dir,
+                        ec.message().c_str());
+        }
+        std::ofstream prom(dir / "metrics.prom");
+        prom << registry.renderPrometheus();
+        std::ofstream jsonl(dir / "metrics.jsonl");
+        registry.writeJsonl(jsonl);
+        std::ofstream events(dir / "events.jsonl");
+        runtime.eventLog().printJsonl(events);
+        std::fprintf(stderr,
+                     "telemetry: wrote metrics.prom, metrics.jsonl, "
+                     "events.jsonl to %s\n",
+                     telemetry_dir);
+    }
+    return 0;
+}
