@@ -32,19 +32,35 @@ elif [ "$smoke_rc" -ne 0 ]; then
 fi
 
 echo
+echo "== failover tier: supervisor restart + checkpoint re-home =="
+# capmaestro_supervisor forks the full deployment, one rack worker is
+# SIGKILLed, and the script asserts the respawn, the §4.5 failover,
+# and the checkpoint replay from the daemons' logs. Skips itself
+# (exit 77) when CAPMAESTRO_NO_NET=1.
+failover_rc=0
+sh scripts/failover_smoke.sh build || failover_rc=$?
+if [ "$failover_rc" -eq 77 ]; then
+    echo "failover smoke: skipped"
+elif [ "$failover_rc" -ne 0 ]; then
+    exit "$failover_rc"
+fi
+
+echo
 echo "== sanitizers: ASan+UBSan run of the net + udp tiers =="
 # The message-plane tier is labeled "net" in tests/CMakeLists.txt: wire
 # codec fuzzers, transport fault model, distributed protocol, closed
 # loop, and the SPO equivalence suite. The "udp" tier adds the
-# real-socket backend and the worker runtime (skippable via
-# CAPMAESTRO_NO_NET=1). Both are fast enough to run under sanitizers
-# on every check.
+# real-socket backend and the worker runtime, and the "failover" tier
+# the checkpoint/re-homing chaos suite plus the supervisor smoke (the
+# socket-bound members skip via CAPMAESTRO_NO_NET=1). All are fast
+# enough to run under sanitizers on every check.
 cmake -B build-asan -S . -DCAPMAESTRO_SANITIZE=ON > /dev/null
 cmake --build build-asan -j --target \
     test_wire test_transport test_distributed test_net_closed_loop \
     test_spo_equivalence test_udp_transport test_udp_closed_loop \
-    test_worker_runtime capmaestro_run capmaestro_worker
-(cd build-asan && ctest -L 'net|udp' --output-on-failure -j)
+    test_worker_runtime test_failover capmaestro_run \
+    capmaestro_worker capmaestro_supervisor
+(cd build-asan && ctest -L 'net|udp|failover' --output-on-failure -j)
 
 echo
 echo "== sanitizers: ASan+UBSan run of the telemetry tier =="

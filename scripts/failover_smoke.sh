@@ -1,0 +1,104 @@
+#!/bin/sh
+# Supervisor + checkpoint/re-home smoke test: run the whole deployment
+# under capmaestro_supervisor on loopback UDP, SIGKILL one rack worker
+# mid-run, and assert (a) the supervisor restarts it, (b) the room
+# detects the restart and re-homes the new instance from its latest
+# checkpoint, and (c) the survivor rack never falls back to Pcap_min
+# defaults.
+#
+# Usage: scripts/failover_smoke.sh [build-dir]     (default: build)
+# Exit:  0 pass, 77 skipped (CAPMAESTRO_NO_NET=1), 1 fail.
+
+set -u
+cd "$(dirname "$0")/.."
+
+if [ -n "${CAPMAESTRO_NO_NET:-}" ]; then
+    echo "failover_smoke: skipped (CAPMAESTRO_NO_NET is set)"
+    exit 77
+fi
+
+BUILD="${1:-build}"
+WORKER="$BUILD/tools/capmaestro_worker"
+SUPERVISOR="$BUILD/tools/capmaestro_supervisor"
+CONFIG=configs/dual_feed_spo.json
+for bin in "$WORKER" "$SUPERVISOR"; do
+    if [ ! -x "$bin" ]; then
+        echo "failover_smoke: $bin not built" >&2
+        exit 1
+    fi
+done
+
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/capmaestro_failover.XXXXXX")"
+trap 'rm -rf "$DIR"' EXIT
+
+"$WORKER" "$CONFIG" --print-peers-template \
+    --port-base=0 --period-ms=300 \
+    > "$DIR/peers.json" 2> /dev/null || exit 1
+
+# Pick a restart backoff longer than the room's heartbeat-fail window
+# (3 x 300 ms) so the kill is observed as a real failover, but short
+# enough that the rack re-homes well inside the 20-period run. The
+# template already carries a supervisor block with the defaults;
+# rewrite the two backoff knobs in place.
+sed -e 's/"backoffInitialMs": [0-9.]*/"backoffInitialMs": 1500/' \
+    -e 's/"backoffMaxMs": [0-9.]*/"backoffMaxMs": 1500/' \
+    "$DIR/peers.json" > "$DIR/peers_sup.json"
+
+"$SUPERVISOR" "$CONFIG" --peers="$DIR/peers_sup.json" --periods=20 \
+    --log-dir="$DIR/logs" 2> "$DIR/supervisor.log" &
+SUP=$!
+
+# Find rack 1's pid from the supervisor spawn log, then SIGKILL it
+# after a few healthy periods so the checkpoint store is warm.
+sleep 2.0
+RACK1_PID="$(sed -n 's/^spawn role=1 pid=\([0-9]*\).*/\1/p' \
+    "$DIR/supervisor.log" | head -n 1)"
+if [ -z "$RACK1_PID" ]; then
+    echo "failover_smoke: no spawn line for role 1" >&2
+    cat "$DIR/supervisor.log"
+    exit 1
+fi
+kill -KILL "$RACK1_PID" 2> /dev/null
+
+wait "$SUP" || {
+    echo "failover_smoke: supervisor failed" >&2
+    cat "$DIR/supervisor.log"
+    exit 1
+}
+
+echo "--- supervisor log"
+cat "$DIR/supervisor.log"
+
+# The supervisor must have restarted role 1 (a second spawn line)...
+RESPAWNS="$(grep -c '^spawn role=1 ' "$DIR/supervisor.log")"
+if [ "$RESPAWNS" -lt 2 ]; then
+    echo "failover_smoke: rack 1 was never restarted" >&2
+    exit 1
+fi
+# ...the room must have detected the dead rack and re-homed the new
+# instance from a checkpoint...
+grep -q 'worker-failover' "$DIR/logs/role2.out" || {
+    echo "failover_smoke: no worker-failover event in room output" >&2
+    cat "$DIR/logs/role2.out"
+    exit 1
+}
+grep -q 'worker-rehomed' "$DIR/logs/role2.out" || {
+    echo "failover_smoke: room never re-homed the restarted rack" >&2
+    cat "$DIR/logs/role2.out"
+    exit 1
+}
+# ...the restarted rack must have replayed the checkpoint...
+grep -q 'checkpoint-replayed' "$DIR/logs/role1.out" || {
+    echo "failover_smoke: restarted rack never replayed a checkpoint" >&2
+    cat "$DIR/logs/role1.out"
+    exit 1
+}
+# ...and the survivor rack stayed on real budgets throughout.
+grep -q ' 0 defaults' "$DIR/logs/role0.err" || {
+    echo "failover_smoke: rack 0 fell back to default budgets" >&2
+    cat "$DIR/logs/role0.err"
+    exit 1
+}
+
+echo "failover_smoke: PASS (restart + checkpoint re-home verified)"
+exit 0

@@ -27,10 +27,10 @@ fi
 DIR="$(mktemp -d "${TMPDIR:-/tmp}/capmaestro_udp_smoke.XXXXXX")"
 trap 'rm -rf "$DIR"' EXIT
 
-# Ephemeral-ish port base keyed on the PID to dodge parallel runs.
-PORT_BASE=$((20000 + $$ % 20000))
+# --port-base=0 probes a free ephemeral port per endpoint, so parallel
+# smoke runs (or anything else on this host) cannot collide with us.
 "$WORKER" "$CONFIG" --print-peers-template \
-    --port-base="$PORT_BASE" --period-ms=300 \
+    --port-base=0 --period-ms=300 \
     > "$DIR/peers.json" 2> /dev/null || exit 1
 
 "$WORKER" "$CONFIG" --peers="$DIR/peers.json" --role=0 --periods=10 \

@@ -433,6 +433,24 @@ loadWorkerPeers(const util::Json &doc)
             util::fatal("peers: endpoints must be dense 0..n-1; %zu "
                         "missing", ep);
     }
+    if (const util::Json *sup = doc.find("supervisor")) {
+        out.supervisor.backoffInitialMs =
+            sup->numberOr("backoffInitialMs", 250.0);
+        out.supervisor.backoffMaxMs = sup->numberOr("backoffMaxMs", 5000.0);
+        out.supervisor.backoffResetAfterMs =
+            sup->numberOr("backoffResetAfterMs", 10000.0);
+        out.supervisor.maxRestarts =
+            static_cast<int>(sup->numberOr("maxRestarts", 0.0));
+        out.supervisor.stateDir = sup->stringOr("stateDir", "");
+        if (out.supervisor.backoffInitialMs <= 0.0
+            || out.supervisor.backoffMaxMs
+                   < out.supervisor.backoffInitialMs) {
+            util::fatal("peers: supervisor backoff must satisfy "
+                        "0 < backoffInitialMs <= backoffMaxMs");
+        }
+        if (out.supervisor.maxRestarts < 0)
+            util::fatal("peers: supervisor.maxRestarts must be >= 0");
+    }
     return out;
 }
 
@@ -451,6 +469,16 @@ workerPeersToJson(const WorkerPeers &peers)
     doc["periodMs"] = util::Json(peers.periodMs);
     doc["originMs"] = util::Json(static_cast<double>(peers.originMs));
     doc["peers"] = util::Json(std::move(rows));
+    util::Json::Object sup;
+    sup["backoffInitialMs"] = util::Json(peers.supervisor.backoffInitialMs);
+    sup["backoffMaxMs"] = util::Json(peers.supervisor.backoffMaxMs);
+    sup["backoffResetAfterMs"] =
+        util::Json(peers.supervisor.backoffResetAfterMs);
+    sup["maxRestarts"] =
+        util::Json(static_cast<double>(peers.supervisor.maxRestarts));
+    if (!peers.supervisor.stateDir.empty())
+        sup["stateDir"] = util::Json(peers.supervisor.stateDir);
+    doc["supervisor"] = util::Json(std::move(sup));
     return util::Json(std::move(doc));
 }
 

@@ -110,7 +110,32 @@ void applyTransportJson(core::ServiceConfig &service,
  * Endpoints are rack indices under the partitioning rule; the room is
  * endpoint rackWorkerCount. originMs anchors the control-period epoch
  * all processes must agree on: epoch = (now - originMs) / periodMs.
+ *
+ * An optional "supervisor" object tunes capmaestro_supervisor (all
+ * fields optional):
+ *
+ *   "supervisor": {
+ *     "backoffInitialMs": 250,    // first restart delay
+ *     "backoffMaxMs": 5000,       // exponential backoff ceiling
+ *     "backoffResetAfterMs": 10000, // uptime that resets the backoff
+ *     "maxRestarts": 0,           // per child; 0 = unlimited
+ *     "stateDir": ""              // room checkpoint directory
+ *   }
  */
+struct SupervisorConfig
+{
+    /** Delay before the first restart of a crashed child, ms. */
+    double backoffInitialMs = 250.0;
+    /** Ceiling of the exponential restart backoff, ms. */
+    double backoffMaxMs = 5000.0;
+    /** A child alive this long gets its backoff reset, ms. */
+    double backoffResetAfterMs = 10000.0;
+    /** Restarts allowed per child before giving up; 0 = unlimited. */
+    int maxRestarts = 0;
+    /** Where the room worker persists checkpoints ("" = disabled). */
+    std::string stateDir;
+};
+
 struct WorkerPeers
 {
     std::map<net::Transport::Endpoint, net::UdpPeer> peers;
@@ -118,6 +143,8 @@ struct WorkerPeers
     double periodMs = 1000.0;
     /** Epoch origin in unix milliseconds (realtime clock). */
     std::uint64_t originMs = 0;
+    /** capmaestro_supervisor tunables (defaults when absent). */
+    SupervisorConfig supervisor;
 };
 
 /** Parse a peer-table document (the format above). */

@@ -138,6 +138,45 @@ CappingController::closePeriod()
     return report_;
 }
 
+CappingControllerState
+CappingController::exportState() const
+{
+    CappingControllerState state;
+    state.integratorDc = integratorDc_;
+    state.integratorPrimed = integratorPrimed_;
+    state.report = report_;
+    return state;
+}
+
+void
+CappingController::restoreState(const CappingControllerState &state)
+{
+    const dev::ServerSpec &spec = server_.spec();
+    const std::size_t n = server_.supplyCount();
+
+    report_ = state.report;
+    report_.supplyAvgAc.resize(n, 0.0);
+    report_.shares.resize(n, 0.0);
+    // Re-seed r-hat from the checkpointed split; a pre-first-period
+    // checkpoint carries all-zero shares, in which case the nominal
+    // seed from construction stays in place.
+    double share_sum = 0.0;
+    for (const Fraction r : report_.shares)
+        share_sum += r;
+    if (share_sum > 1e-9)
+        shareEwma_ = report_.shares;
+
+    integratorPrimed_ = state.integratorPrimed;
+    if (integratorPrimed_) {
+        const double k = server_.blendedEfficiency();
+        integratorDc_ = util::clamp(state.integratorDc,
+                                    spec.capMin * k, spec.capMax * k);
+        nm_.setDcCap(integratorDc_);
+    } else {
+        integratorDc_ = state.integratorDc;
+    }
+}
+
 LeafInput
 CappingController::leafInputFor(std::size_t s) const
 {

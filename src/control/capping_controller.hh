@@ -57,6 +57,21 @@ struct ServerPeriodReport
     std::size_t workingSupplies = 0;
 };
 
+/**
+ * Checkpointable cross-period state of a CappingController: everything
+ * that must survive a process restart for the control loop to resume
+ * where it left off (the period accumulators deliberately excluded —
+ * they re-warm within one period).
+ */
+struct CappingControllerState
+{
+    /** Integrator value (the desired DC cap when primed). */
+    Watts integratorDc = 0.0;
+    bool integratorPrimed = false;
+    /** Last closed period's report (shares re-seed the r-hat EWMA). */
+    ServerPeriodReport report;
+};
+
 /** Closed-loop capping controller for one server. */
 class CappingController
 {
@@ -98,6 +113,17 @@ class CappingController
 
     /** Latest period report (valid after the first closePeriod()). */
     const ServerPeriodReport &lastReport() const { return report_; }
+
+    /** Snapshot the cross-period state (for failover checkpoints). */
+    CappingControllerState exportState() const;
+
+    /**
+     * Replay a checkpointed state: restores the integrator, re-seeds
+     * the r-hat EWMA from the report's shares, and — when the
+     * integrator was primed — re-actuates the DC cap immediately, so a
+     * restarted server does not wait a full period uncapped.
+     */
+    void restoreState(const CappingControllerState &state);
 
     /** Server spec convenience accessor. */
     const dev::ServerSpec &spec() const { return server_.spec(); }

@@ -25,6 +25,10 @@ eventKindName(EventKind kind)
       case EventKind::DefaultBudgetApplied:  return "default-budget";
       case EventKind::WorkerFailover:        return "worker-failover";
       case EventKind::SpoFallback:           return "spo-fallback";
+      case EventKind::WorkerRestartDetected: return "worker-restart";
+      case EventKind::CheckpointReplayed:    return "checkpoint-replayed";
+      case EventKind::WorkerRehomed:         return "worker-rehomed";
+      case EventKind::RehomeDeclined:        return "rehome-declined";
     }
     return "unknown";
 }
@@ -42,7 +46,9 @@ eventKindFromName(const std::string &name)
         EventKind::UpsBridged,          EventKind::EmergencyPeriod,
         EventKind::StaleMetricsReused,  EventKind::MetricsLost,
         EventKind::DefaultBudgetApplied, EventKind::WorkerFailover,
-        EventKind::SpoFallback,
+        EventKind::SpoFallback,          EventKind::WorkerRestartDetected,
+        EventKind::CheckpointReplayed,   EventKind::WorkerRehomed,
+        EventKind::RehomeDeclined,
     };
     for (const EventKind kind : kAll) {
         if (name == eventKindName(kind))

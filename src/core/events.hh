@@ -41,6 +41,14 @@ enum class EventKind {
     DefaultBudgetApplied,
     WorkerFailover,
     SpoFallback,
+    /** Room: frames from a dead or reincarnated rack instance. */
+    WorkerRestartDetected,
+    /** Rack: a Rehome checkpoint was replayed into the local plant. */
+    CheckpointReplayed,
+    /** Room: a re-homing rack acked its checkpoint and is live again. */
+    WorkerRehomed,
+    /** Rack: a Rehome frame was ignored (local state already intact). */
+    RehomeDeclined,
 };
 
 /** Name of an EventKind. */

@@ -1,0 +1,96 @@
+#include "net/chaos_transport.hh"
+
+#include "net/wire.hh"
+
+namespace capmaestro::net {
+
+ChaosTransport::ChaosTransport(Transport &inner, Endpoint room_endpoint)
+    : inner_(inner), roomEndpoint_(room_endpoint)
+{
+}
+
+ChaosTransport::Link
+ChaosTransport::normalize(Endpoint a, Endpoint b)
+{
+    return a < b ? Link{a, b} : Link{b, a};
+}
+
+void
+ChaosTransport::setPartition(Endpoint a, Endpoint b, bool blocked)
+{
+    if (blocked)
+        partitions_.insert(normalize(a, b));
+    else
+        partitions_.erase(normalize(a, b));
+}
+
+void
+ChaosTransport::isolate(Endpoint e, Endpoint endpoints, bool blocked)
+{
+    for (Endpoint other = 0; other < endpoints; ++other) {
+        if (other != e)
+            setPartition(e, other, blocked);
+    }
+}
+
+void
+ChaosTransport::heal()
+{
+    partitions_.clear();
+}
+
+bool
+ChaosTransport::linkBlocked(Endpoint a, Endpoint b) const
+{
+    return partitions_.count(normalize(a, b)) != 0;
+}
+
+std::optional<Transport::Endpoint>
+ChaosTransport::senderOf(const std::vector<std::uint8_t> &frame,
+                         Endpoint room_endpoint)
+{
+    // Header prefix: magic u16 LE | version u8 | type u8 | sender u16.
+    if (frame.size() < 6)
+        return std::nullopt;
+    const std::uint16_t magic = static_cast<std::uint16_t>(
+        frame[0] | (static_cast<std::uint16_t>(frame[1]) << 8));
+    if (magic != kWireMagic)
+        return std::nullopt;
+    const std::uint16_t sender = static_cast<std::uint16_t>(
+        frame[4] | (static_cast<std::uint16_t>(frame[5]) << 8));
+    if (sender == kRoomSender)
+        return room_endpoint;
+    return static_cast<Endpoint>(sender);
+}
+
+void
+ChaosTransport::send(Endpoint from, Endpoint to,
+                     std::vector<std::uint8_t> frame)
+{
+    if (linkBlocked(from, to)) {
+        ++blocked_;
+        return;
+    }
+    inner_.send(from, to, std::move(frame));
+}
+
+std::vector<std::vector<std::uint8_t>>
+ChaosTransport::poll(Endpoint to)
+{
+    auto frames = inner_.poll(to);
+    if (partitions_.empty())
+        return frames;
+    std::vector<std::vector<std::uint8_t>> kept;
+    kept.reserve(frames.size());
+    for (auto &frame : frames) {
+        const auto sender = senderOf(frame, roomEndpoint_);
+        if (sender.has_value() && linkBlocked(*sender, to)) {
+            ++blocked_;
+            continue;
+        }
+        kept.push_back(std::move(frame));
+    }
+    return kept;
+}
+
+} // namespace capmaestro::net

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fault-injecting Transport decorator: scripted link partitions over
+ * any backend.
+ *
+ * SimTransport injects probabilistic frame-level faults (drop, dup,
+ * latency); what it cannot express — and what UdpTransport cannot
+ * express at all — is a *scripted network partition*: "rack 1 and the
+ * room cannot talk between periods 4 and 8". ChaosTransport wraps any
+ * Transport and enforces a symmetric block list on both directions of
+ * a link:
+ *
+ *   - send() on a blocked link silently discards the frame (counted in
+ *     framesBlocked(), not in the inner transport's stats);
+ *   - poll() filters delivered frames whose *sender header field* maps
+ *     to a blocked peer, so frames already in flight (or in a kernel
+ *     socket buffer) when the partition began are dropped too.
+ *
+ * The sender filter peeks only at the fixed frame header (magic +
+ * sender id); undecodable runts pass through unfiltered — hostile
+ * bytes are the §4.5 protocol's problem, not the partition model's.
+ * The decorator draws no randomness, so a deterministic inner backend
+ * (SimTransport) stays bit-reproducible under scripted chaos.
+ */
+
+#ifndef CAPMAESTRO_NET_CHAOS_TRANSPORT_HH
+#define CAPMAESTRO_NET_CHAOS_TRANSPORT_HH
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/transport.hh"
+
+namespace capmaestro::net {
+
+/** Transport decorator enforcing scripted symmetric link partitions. */
+class ChaosTransport : public Transport
+{
+  public:
+    /**
+     * @param inner         backend to decorate (not owned)
+     * @param room_endpoint endpoint the kRoomSender header id maps to
+     *                      (rack count), for the receive-side filter
+     */
+    ChaosTransport(Transport &inner, Endpoint room_endpoint);
+
+    /** Block or unblock both directions of link @p a <-> @p b. */
+    void setPartition(Endpoint a, Endpoint b, bool blocked);
+
+    /** Block or unblock every link touching @p e (up to @p endpoints). */
+    void isolate(Endpoint e, Endpoint endpoints, bool blocked);
+
+    /** Clear every partition. */
+    void heal();
+
+    /** Frames discarded by the partition filter (both directions). */
+    std::size_t framesBlocked() const { return blocked_; }
+
+    // ------------------------------------------------- Transport API
+    void send(Endpoint from, Endpoint to,
+              std::vector<std::uint8_t> frame) override;
+    std::vector<std::vector<std::uint8_t>> poll(Endpoint to) override;
+    void advanceTo(double ms) override { inner_.advanceTo(ms); }
+    void advanceBy(double ms) override { inner_.advanceBy(ms); }
+    double nowMs() const override { return inner_.nowMs(); }
+    std::size_t inFlight() const override { return inner_.inFlight(); }
+    const TransportStats &stats() const override
+    {
+        return inner_.stats();
+    }
+    void setTelemetry(telemetry::Registry *registry) override
+    {
+        inner_.setTelemetry(registry);
+    }
+
+  private:
+    using Link = std::pair<Endpoint, Endpoint>;
+
+    static Link normalize(Endpoint a, Endpoint b);
+    bool linkBlocked(Endpoint a, Endpoint b) const;
+    /** Sender endpoint from a frame's header, or nullopt for runts. */
+    static std::optional<Transport::Endpoint>
+    senderOf(const std::vector<std::uint8_t> &frame,
+             Endpoint room_endpoint);
+
+    Transport &inner_;
+    Endpoint roomEndpoint_;
+    std::set<Link> partitions_;
+    std::size_t blocked_ = 0;
+};
+
+} // namespace capmaestro::net
+
+#endif // CAPMAESTRO_NET_CHAOS_TRANSPORT_HH

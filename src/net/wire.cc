@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "util/logging.hh"
+
 namespace capmaestro::net {
 
 namespace {
@@ -17,6 +19,12 @@ constexpr std::size_t kClassBytes = 4 + 3 * 8;
 static_assert(kMaxClasses * kClassBytes + 16 <= kMaxPayloadBytes,
               "the largest legitimate Metrics payload must fit under "
               "the frame-size cap");
+
+/** Fixed bytes of one checkpoint server record (before supplies). */
+constexpr std::size_t kCheckpointServerBytes = 4 + 1 + 3 * 8 + 2;
+
+/** Bytes of one checkpoint supply slice (3 x f64). */
+constexpr std::size_t kCheckpointSupplyBytes = 3 * 8;
 
 // ------------------------------------------------------------- writing
 
@@ -221,6 +229,49 @@ sealBudgetPayload(MsgType type, const FrameMeta &meta,
     return seal(type, meta, p.bytes());
 }
 
+std::vector<std::uint8_t>
+sealCheckpointPayload(MsgType type, const FrameMeta &meta,
+                      const CheckpointMsg &msg)
+{
+    if (msg.servers.size() > kMaxCheckpointServers) {
+        util::fatal("wire: checkpoint with %zu servers exceeds the "
+                    "%zu-server bound",
+                    msg.servers.size(), kMaxCheckpointServers);
+    }
+    Writer p;
+    p.f64(msg.simNow);
+    p.u32(msg.rehomeAckEpoch);
+    p.u16(static_cast<std::uint16_t>(msg.servers.size()));
+    for (const auto &srv : msg.servers) {
+        if (srv.supplies.size() > kMaxCheckpointSupplies) {
+            util::fatal("wire: checkpoint server %u with %zu supplies "
+                        "exceeds the %zu-supply bound",
+                        srv.serverId, srv.supplies.size(),
+                        kMaxCheckpointSupplies);
+        }
+        p.u32(srv.serverId);
+        p.u8(static_cast<std::uint8_t>(
+            (srv.integratorPrimed ? 0x01 : 0x00)
+            | (srv.spoPinned ? 0x02 : 0x00)));
+        p.f64(srv.integratorDc);
+        p.f64(srv.demandEstimate);
+        p.f64(srv.avgThrottle);
+        p.u16(static_cast<std::uint16_t>(srv.supplies.size()));
+        for (const auto &sup : srv.supplies) {
+            p.f64(sup.lastBudget);
+            p.f64(sup.share);
+            p.f64(sup.avgAc);
+        }
+    }
+    if (p.bytes().size() > kMaxPayloadBytes) {
+        util::fatal("wire: checkpoint payload of %zu bytes exceeds the "
+                    "%zu-byte frame cap; partition the topology into "
+                    "smaller racks",
+                    p.bytes().size(), kMaxPayloadBytes);
+    }
+    return seal(type, meta, p.bytes());
+}
+
 /** Parse a Metrics-layout payload into @p out; false on malformation. */
 bool
 readMetricsPayload(Reader &p, MetricsMsg &out)
@@ -258,6 +309,51 @@ readMetricsPayload(Reader &p, MetricsMsg &out)
     return true;
 }
 
+/** Parse a Checkpoint-layout payload; false on malformation. Every
+ *  count field is validated against the remaining payload before any
+ *  reserve, so hostile lengths cannot drive allocation. */
+bool
+readCheckpointPayload(Reader &p, CheckpointMsg &out)
+{
+    out.simNow = p.f64();
+    out.rehomeAckEpoch = p.u32();
+    const std::size_t count = p.u16();
+    if (count > kMaxCheckpointServers)
+        return false;
+    if (count * kCheckpointServerBytes > p.remaining())
+        return false;
+    out.servers.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        CheckpointServer srv;
+        srv.serverId = p.u32();
+        const std::uint8_t flags = p.u8();
+        if ((flags & ~0x03u) != 0)
+            return false;
+        srv.integratorPrimed = (flags & 0x01u) != 0;
+        srv.spoPinned = (flags & 0x02u) != 0;
+        srv.integratorDc = p.f64();
+        srv.demandEstimate = p.f64();
+        srv.avgThrottle = p.f64();
+        const std::size_t supplies = p.u16();
+        if (!p.ok() || supplies > kMaxCheckpointSupplies)
+            return false;
+        if (supplies * kCheckpointSupplyBytes > p.remaining())
+            return false;
+        srv.supplies.reserve(supplies);
+        for (std::size_t s = 0; s < supplies; ++s) {
+            CheckpointSupply sup;
+            sup.lastBudget = p.f64();
+            sup.share = p.f64();
+            sup.avgAc = p.f64();
+            srv.supplies.push_back(sup);
+        }
+        if (!p.ok())
+            return false;
+        out.servers.push_back(std::move(srv));
+    }
+    return true;
+}
+
 } // namespace
 
 std::vector<std::uint8_t>
@@ -282,6 +378,18 @@ std::vector<std::uint8_t>
 encodeSpoBudget(const FrameMeta &meta, const BudgetMsg &msg)
 {
     return sealBudgetPayload(MsgType::SpoBudget, meta, msg);
+}
+
+std::vector<std::uint8_t>
+encodeCheckpoint(const FrameMeta &meta, const CheckpointMsg &msg)
+{
+    return sealCheckpointPayload(MsgType::Checkpoint, meta, msg);
+}
+
+std::vector<std::uint8_t>
+encodeRehome(const FrameMeta &meta, const CheckpointMsg &msg)
+{
+    return sealCheckpointPayload(MsgType::Rehome, meta, msg);
 }
 
 std::vector<std::uint8_t>
@@ -336,6 +444,12 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
         frame.budget.tree = p.u16();
         frame.budget.edgeNode = p.u32();
         frame.budget.budget = p.f64();
+        break;
+      case static_cast<std::uint8_t>(MsgType::Checkpoint):
+      case static_cast<std::uint8_t>(MsgType::Rehome):
+        frame.type = static_cast<MsgType>(raw_type);
+        if (!readCheckpointPayload(p, frame.checkpoint))
+            return std::nullopt;
         break;
       case static_cast<std::uint8_t>(MsgType::Heartbeat):
         frame.type = MsgType::Heartbeat;

@@ -3,14 +3,17 @@
  * Binary wire codec for the distributed control protocol (paper §5,
  * §4.5).
  *
- * The rack and room workers exchange five message types per control
- * period: per-priority metric summaries flowing upstream, budgets
- * flowing downstream, heartbeats for worker-failure detection, and —
- * when the stranded-power optimization (§4.4) fires — a second
- * round-trip of pinned-consumption summaries (upstream) and SPO
- * budgets (downstream). The SPO pair reuses the Metrics/Budget payload
- * layouts under distinct type codes so a retransmitted first-phase
- * frame can never masquerade as a second-phase one.
+ * The rack and room workers exchange seven message types: per-priority
+ * metric summaries flowing upstream, budgets flowing downstream,
+ * heartbeats for worker-failure detection, a second round-trip of
+ * pinned-consumption summaries (upstream) and SPO budgets (downstream)
+ * when the stranded-power optimization (§4.4) fires, and the failover
+ * pair — plant-state Checkpoints streamed upstream alongside the
+ * heartbeat every period, and a Rehome frame (the room's stored
+ * checkpoint) sent downstream to replay state into a restarted rack
+ * worker. The SPO and failover pairs reuse payload layouts under
+ * distinct type codes so a retransmitted first-phase frame can never
+ * masquerade as a second-phase one.
  * Every message travels in one self-contained frame:
  *
  *   offset  size  field
@@ -41,6 +44,13 @@
  *   PinnedSummary: same layout as Metrics (edge metrics recomputed
  *              with §4.4 pinned leaves)
  *   SpoBudget: same layout as Budget (second-pass edge budget)
+ *   Checkpoint: simNow f64 | rehomeAckEpoch u32 | count u16 |
+ *              count x (serverId u32, flags u8 [bit0 integrator
+ *              primed, bit1 SPO-pinned], integratorDc f64,
+ *              demand f64, avgThrottle f64, supplyCount u16,
+ *              supplyCount x (lastBudget f64, share f64, avgAc f64))
+ *   Rehome   : same layout as Checkpoint (the room replays its stored
+ *              copy into a restarted rack)
  */
 
 #ifndef CAPMAESTRO_NET_WIRE_HH
@@ -58,8 +68,9 @@ namespace capmaestro::net {
 /** Frame magic value. */
 constexpr std::uint16_t kWireMagic = 0xCA9E;
 
-/** Current wire-format version (2 added the §4.4 SPO message pair). */
-constexpr std::uint8_t kWireVersion = 2;
+/** Current wire-format version (2 added the §4.4 SPO message pair;
+ *  3 added the Checkpoint/Rehome failover pair). */
+constexpr std::uint8_t kWireVersion = 3;
 
 /** Sender id the room worker uses (racks use their rack index). */
 constexpr std::uint16_t kRoomSender = 0xFFFF;
@@ -94,6 +105,10 @@ enum class MsgType : std::uint8_t {
     PinnedSummary = 4,
     /** §4.4 second-round budget (room -> rack). */
     SpoBudget = 5,
+    /** Plant-state checkpoint (rack -> room, piggybacked upstream). */
+    Checkpoint = 6,
+    /** Checkpoint replay into a restarted rack (room -> rack). */
+    Rehome = 7,
 };
 
 /** Per-priority metric summary for one edge controller (upstream). */
@@ -112,6 +127,58 @@ struct BudgetMsg
     Watts budget = 0.0;
 };
 
+/** Most servers one checkpoint may carry (sanity bound; a rack hosts
+ *  tens of servers, not hundreds). */
+constexpr std::size_t kMaxCheckpointServers = 256;
+
+/** Most supplies one checkpointed server may carry. */
+constexpr std::size_t kMaxCheckpointSupplies = 8;
+
+/** Per-supply slice of one server's checkpoint record. */
+struct CheckpointSupply
+{
+    /** Last AC budget applied to this supply's PI input. */
+    Watts lastBudget = 0.0;
+    /** Measured load split r-hat. */
+    Fraction share = 0.0;
+    /** Average AC power over the last closed period. */
+    Watts avgAc = 0.0;
+};
+
+/** One server's recoverable plant/controller state. */
+struct CheckpointServer
+{
+    std::uint32_t serverId = 0;
+    /** Whether the capping integrator has been primed. */
+    bool integratorPrimed = false;
+    /** Whether any of this server's leaves are §4.4 SPO-pinned. */
+    bool spoPinned = false;
+    /** Capping integrator value (the actuated DC cap when primed). */
+    Watts integratorDc = 0.0;
+    /** Last-period demand estimate. */
+    Watts demandEstimate = 0.0;
+    /** Last-period average throttle level. */
+    double avgThrottle = 0.0;
+    std::vector<CheckpointSupply> supplies;
+};
+
+/**
+ * Plant-state checkpoint for one rack worker (upstream every period;
+ * replayed downstream as a Rehome frame after a worker restart).
+ */
+struct CheckpointMsg
+{
+    /** The rack's simulated plant clock, seconds. */
+    double simNow = 0.0;
+    /**
+     * Epoch of the last Rehome frame this rack *instance* processed
+     * (replayed or declined), 0 before any. The room treats an ack at
+     * or after its own rehome epoch as re-homing complete.
+     */
+    std::uint32_t rehomeAckEpoch = 0;
+    std::vector<CheckpointServer> servers;
+};
+
 /** A decoded frame: header fields plus exactly one payload. */
 struct Frame
 {
@@ -123,6 +190,8 @@ struct Frame
     MetricsMsg metrics;
     /** Valid iff type == Budget or SpoBudget. */
     BudgetMsg budget;
+    /** Valid iff type == Checkpoint or Rehome. */
+    CheckpointMsg checkpoint;
 };
 
 /** Header fields common to every encode call. */
@@ -151,6 +220,18 @@ std::vector<std::uint8_t> encodePinnedSummary(const FrameMeta &meta,
 /** Encode a §4.4 second-pass budget (Budget payload layout). */
 std::vector<std::uint8_t> encodeSpoBudget(const FrameMeta &meta,
                                           const BudgetMsg &msg);
+
+/**
+ * Encode a plant-state checkpoint (rack -> room). fatal()s when the
+ * message exceeds the kMaxCheckpointServers / kMaxCheckpointSupplies
+ * sanity bounds — a legitimate rack never does.
+ */
+std::vector<std::uint8_t> encodeCheckpoint(const FrameMeta &meta,
+                                           const CheckpointMsg &msg);
+
+/** Encode a checkpoint replay (room -> rack, Checkpoint layout). */
+std::vector<std::uint8_t> encodeRehome(const FrameMeta &meta,
+                                       const CheckpointMsg &msg);
 
 /**
  * Decode one frame. Returns nullopt on any malformation (short buffer,

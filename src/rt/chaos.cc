@@ -1,0 +1,292 @@
+#include "rt/chaos.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace capmaestro::rt {
+
+namespace {
+
+/** Slack on the safety comparisons: absorbs f64 summation error only. */
+constexpr double kSafetyEps = 1e-6;
+
+/** Raw IEEE-754 pattern of a double, for bit-exact log lines. */
+std::string
+bitsOf(double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+} // namespace
+
+const char *
+chaosKindName(ChaosEvent::Kind kind)
+{
+    switch (kind) {
+    case ChaosEvent::Kind::Kill:
+        return "kill";
+    case ChaosEvent::Kind::Restart:
+        return "restart";
+    case ChaosEvent::Kind::Partition:
+        return "partition";
+    case ChaosEvent::Kind::Heal:
+        return "heal";
+    }
+    return "?";
+}
+
+void
+ChaosScheduler::at(std::uint32_t epoch, ChaosEvent::Kind kind,
+                   std::uint32_t a, std::uint32_t b)
+{
+    events_.push_back({epoch, kind, a, b});
+}
+
+void
+ChaosScheduler::randomKillRestarts(std::size_t rack_count,
+                                   std::uint32_t first_epoch,
+                                   std::uint32_t last_epoch,
+                                   std::size_t kills,
+                                   std::uint32_t down_periods)
+{
+    if (rack_count == 0 || last_epoch < first_epoch)
+        util::fatal("chaos: empty kill schedule domain");
+    // A rack must finish its previous re-homing handshake (restart,
+    // replay, ack — plus slack for lost frames) before it may be
+    // killed again, or recovery accounting loses its anchor.
+    const std::uint32_t spacing = down_periods + 8;
+    std::map<std::size_t, std::uint32_t> busy_until;
+    for (std::size_t i = 0; i < kills; ++i) {
+        const auto rack = static_cast<std::size_t>(rng_.uniformInt(
+            0, static_cast<std::int64_t>(rack_count) - 1));
+        auto epoch = static_cast<std::uint32_t>(rng_.uniformInt(
+            first_epoch, last_epoch));
+        const auto busy = busy_until.find(rack);
+        if (busy != busy_until.end() && epoch < busy->second)
+            epoch = busy->second;
+        at(epoch, ChaosEvent::Kind::Kill, static_cast<std::uint32_t>(rack));
+        at(epoch + down_periods, ChaosEvent::Kind::Restart,
+           static_cast<std::uint32_t>(rack));
+        busy_until[rack] = epoch + spacing;
+    }
+}
+
+std::vector<ChaosEvent>
+ChaosScheduler::eventsAt(std::uint32_t epoch) const
+{
+    std::vector<ChaosEvent> out;
+    for (const ChaosEvent &event : events_) {
+        if (event.epoch == epoch)
+            out.push_back(event);
+    }
+    return out;
+}
+
+LockstepDeployment::LockstepDeployment(std::string scenario_json,
+                                       ChaosBackend backend,
+                                       net::TransportConfig sim_faults,
+                                       std::uint64_t seed)
+    : scenarioJson_(std::move(scenario_json)), backend_(backend),
+      seed_(seed), scenario_(makeScenario()), chaos_(seed)
+{
+    rackCount_ = core::DistributedControlPlane::rackWorkerCountFor(
+        *scenario_.system);
+
+    peers_.periodMs = 1000.0;
+    peers_.originMs = 1; // unused in lockstep, but kept well-formed
+    for (std::uint32_t e = 0; e <= rackCount_; ++e)
+        peers_.peers[e] = net::UdpPeer{"127.0.0.1", 0};
+
+    if (backend_ == ChaosBackend::Sim) {
+        inner_ = std::make_unique<net::SimTransport>(sim_faults);
+    } else {
+        // One shared socket set for the whole deployment: every
+        // endpoint binds an ephemeral loopback port, and the shared
+        // peer table resolves them — a restarted runtime reuses the
+        // role's socket, so no re-advertising dance is needed.
+        inner_ = std::make_unique<net::UdpTransport>(
+            net::UdpConfig::loopback(
+                static_cast<std::uint32_t>(rackCount_) + 1));
+    }
+    chaosNet_ = std::make_unique<net::ChaosTransport>(
+        *inner_, static_cast<net::Transport::Endpoint>(rackCount_));
+
+    for (std::uint32_t r = 0; r < rackCount_; ++r)
+        racks_.push_back(makeRuntime(r));
+    room_ = makeRuntime(static_cast<std::uint32_t>(rackCount_));
+}
+
+LockstepDeployment::~LockstepDeployment() = default;
+
+config::LoadedScenario
+LockstepDeployment::makeScenario() const
+{
+    return config::loadScenario(util::parseJson(scenarioJson_));
+}
+
+std::unique_ptr<WorkerRuntime>
+LockstepDeployment::makeRuntime(std::uint32_t role)
+{
+    auto runtime = std::make_unique<WorkerRuntime>(
+        makeScenario(), peers_, role, seed_, *chaosNet_,
+        Pacing::Lockstep);
+    runtime->setTelemetry(&registry_);
+    return runtime;
+}
+
+void
+LockstepDeployment::apply(const ChaosEvent &event, std::uint32_t epoch)
+{
+    switch (event.kind) {
+    case ChaosEvent::Kind::Kill:
+        if (event.a < rackCount_)
+            racks_[event.a].reset();
+        break;
+    case ChaosEvent::Kind::Restart:
+        if (event.a < rackCount_ && !racks_[event.a]) {
+            racks_[event.a] = makeRuntime(event.a);
+            pendingRecovery_[event.a] = epoch;
+        }
+        break;
+    case ChaosEvent::Kind::Partition:
+        chaosNet_->setPartition(event.a, event.b, true);
+        break;
+    case ChaosEvent::Kind::Heal:
+        chaosNet_->heal();
+        break;
+    }
+}
+
+std::string
+LockstepDeployment::auditSafety() const
+{
+    const auto &system = *scenario_.system;
+    std::vector<Watts> tree_totals(system.trees().size(), 0.0);
+    for (std::size_t r = 0; r < rackCount_; ++r) {
+        if (!racks_[r])
+            continue;
+        for (const auto &[key, budget] : racks_[r]->lastEdgeBudgets()) {
+            const auto [tree, node] = key;
+            const Watts limit = system.tree(tree).node(node).limit();
+            if (limit != topo::kUnlimited
+                && budget > limit + kSafetyEps) {
+                return "rack" + std::to_string(r) + " edge "
+                       + system.tree(tree).name() + "."
+                       + system.tree(tree).node(node).name + " budget "
+                       + std::to_string(budget) + " W over device limit "
+                       + std::to_string(limit) + " W";
+            }
+            tree_totals[tree] += budget;
+        }
+    }
+    for (std::size_t t = 0; t < tree_totals.size(); ++t) {
+        if (tree_totals[t] > scenario_.rootBudgets[t] + kSafetyEps) {
+            return "tree " + system.tree(t).name() + " total "
+                   + std::to_string(tree_totals[t])
+                   + " W over root budget "
+                   + std::to_string(scenario_.rootBudgets[t]) + " W";
+        }
+    }
+    return "";
+}
+
+std::string
+LockstepDeployment::logLine(std::uint32_t epoch) const
+{
+    std::string line = "e=" + std::to_string(epoch) + " st=";
+    for (std::size_t r = 0; r < rackCount_; ++r) {
+        if (!racks_[r]) {
+            line += 'K';
+            continue;
+        }
+        switch (room_->rackState(r)) {
+        case RackState::Live:
+            line += 'L';
+            break;
+        case RackState::Dead:
+            line += 'D';
+            break;
+        case RackState::Rehoming:
+            line += 'R';
+            break;
+        }
+    }
+    const auto &rs = room_->stats();
+    line += " fo=" + std::to_string(rs.failovers)
+            + " rd=" + std::to_string(rs.restartsDetected)
+            + " rh=" + std::to_string(rs.rehomed);
+    for (std::size_t r = 0; r < rackCount_; ++r) {
+        line += " | r" + std::to_string(r);
+        if (!racks_[r]) {
+            line += " killed";
+            continue;
+        }
+        const auto &system = *scenario_.system;
+        for (const auto &[key, budget] : racks_[r]->lastEdgeBudgets()) {
+            const auto [tree, node] = key;
+            line += " " + system.tree(tree).name() + "."
+                    + system.tree(tree).node(node).name + "="
+                    + bitsOf(budget);
+        }
+    }
+    return line;
+}
+
+ChaosRunReport
+LockstepDeployment::run(std::uint32_t epochs)
+{
+    ChaosRunReport report;
+    for (std::uint32_t i = 0; i < epochs; ++i) {
+        const std::uint32_t epoch = nextEpoch_++;
+        for (const ChaosEvent &event : chaos_.eventsAt(epoch))
+            apply(event, epoch);
+
+        for (auto &rack : racks_) {
+            if (rack)
+                rack->stepUpstream(epoch);
+        }
+        room_->stepRoom(epoch);
+        for (auto &rack : racks_) {
+            if (rack)
+                rack->stepDownstream(epoch);
+        }
+
+        for (auto it = pendingRecovery_.begin();
+             it != pendingRecovery_.end();) {
+            if (racks_[it->first]
+                && room_->rackState(it->first) == RackState::Live) {
+                const std::uint32_t took = epoch - it->second + 1;
+                report.maxRecoveryPeriods =
+                    std::max(report.maxRecoveryPeriods, took);
+                ++report.recoveries;
+                it = pendingRecovery_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        const std::string violation = auditSafety();
+        if (!violation.empty()) {
+            ++report.violations;
+            if (report.firstViolation.empty()) {
+                report.firstViolation =
+                    "epoch " + std::to_string(epoch) + ": " + violation;
+            }
+        }
+        report.log.push_back(logLine(epoch));
+        ++report.epochsRun;
+    }
+    report.unrecovered = pendingRecovery_.size();
+    return report;
+}
+
+} // namespace capmaestro::rt

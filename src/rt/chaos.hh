@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Deterministic chaos harness for the multi-process worker runtime.
+ *
+ * A LockstepDeployment hosts a full worker deployment — every rack
+ * runtime plus the room — inside one process, all speaking through a
+ * single shared Transport wrapped in a ChaosTransport. The runtimes
+ * run in Lockstep pacing, so the harness owns the epoch schedule and
+ * can interleave scripted faults at exact period boundaries:
+ *
+ *   Kill      — destroy a rack runtime (the process dies mid-flight;
+ *               whatever frames it queued stay in the network)
+ *   Restart   — construct a fresh runtime for the role on the same
+ *               endpoint (sequence numbers restart at zero, plant
+ *               state is lost — exactly what the checkpoint/Rehome
+ *               machinery must repair)
+ *   Partition — block one endpoint pair symmetrically
+ *   Heal      — clear every partition
+ *
+ * The script comes from a ChaosScheduler: either explicit at() calls
+ * or a seeded random kill/restart schedule. Nothing in the harness
+ * draws randomness outside the scheduler's Rng, so a given
+ * (scenario, backend, faults, seed, script) tuple replays the same
+ * epoch-by-epoch trace — on the Sim backend, bit-for-bit (the run log
+ * records every applied edge budget as its raw IEEE-754 pattern).
+ *
+ * Both Transport backends are supported: SimTransport (virtual clock,
+ * seeded loss/reorder/duplication — fully deterministic) and a single
+ * shared UdpTransport in loopback mode (real sockets and the real
+ * kernel; deterministic in behavior-level properties, not bits).
+ *
+ * After every epoch the harness audits the §4.5 safety claim: no
+ * applied edge budget may exceed its node's device limit, and no
+ * tree's total applied budget may exceed the tree's root budget —
+ * even while racks are dead, re-homing, or partitioned. It also
+ * tracks recovery time (Restart to the room's Live promotion) so
+ * tests can bound re-homing latency in periods.
+ */
+
+#ifndef CAPMAESTRO_RT_CHAOS_HH
+#define CAPMAESTRO_RT_CHAOS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/chaos_transport.hh"
+#include "net/transport.hh"
+#include "net/udp_transport.hh"
+#include "rt/worker_runtime.hh"
+#include "telemetry/registry.hh"
+#include "util/random.hh"
+
+namespace capmaestro::rt {
+
+/** One scripted fault, applied at the start of its epoch. */
+struct ChaosEvent
+{
+    enum class Kind { Kill, Restart, Partition, Heal };
+
+    std::uint32_t epoch = 0;
+    Kind kind = Kind::Kill;
+    /** Rack role (Kill/Restart) or first endpoint (Partition). */
+    std::uint32_t a = 0;
+    /** Second endpoint (Partition only). */
+    std::uint32_t b = 0;
+};
+
+/** Name of a ChaosEvent kind (log rendering). */
+const char *chaosKindName(ChaosEvent::Kind kind);
+
+/**
+ * Builds a fault script. All randomness in a seeded schedule comes
+ * from the scheduler's own Rng, drawn in a fixed order, so equal
+ * seeds give equal scripts.
+ */
+class ChaosScheduler
+{
+  public:
+    explicit ChaosScheduler(std::uint64_t seed) : rng_(seed) {}
+
+    /** Schedule one explicit event. */
+    void at(std::uint32_t epoch, ChaosEvent::Kind kind,
+            std::uint32_t a = 0, std::uint32_t b = 0);
+
+    /**
+     * Append @p kills seeded kill/restart pairs over racks
+     * [0, rack_count): each kill lands at a random epoch in
+     * [first_epoch, last_epoch], its restart @p down_periods later.
+     * Kills of the same rack are spaced far enough apart that the
+     * previous re-homing handshake can finish first (so recovery-time
+     * accounting stays well-defined).
+     */
+    void randomKillRestarts(std::size_t rack_count,
+                            std::uint32_t first_epoch,
+                            std::uint32_t last_epoch,
+                            std::size_t kills,
+                            std::uint32_t down_periods);
+
+    /** Events scheduled for @p epoch, in scheduling order. */
+    std::vector<ChaosEvent> eventsAt(std::uint32_t epoch) const;
+
+    /** Every scheduled event. */
+    const std::vector<ChaosEvent> &events() const { return events_; }
+
+  private:
+    util::Rng rng_;
+    std::vector<ChaosEvent> events_;
+};
+
+/** Which Transport backend carries the deployment's frames. */
+enum class ChaosBackend { Sim, Udp };
+
+/** What one run() observed. */
+struct ChaosRunReport
+{
+    std::size_t epochsRun = 0;
+    /** Per-epoch safety-audit failures (0 on a correct protocol). */
+    std::size_t violations = 0;
+    /** Human-readable description of the first violation, if any. */
+    std::string firstViolation;
+    /** Completed Restart -> Live promotions observed. */
+    std::size_t recoveries = 0;
+    /** Worst observed recovery latency, in control periods. */
+    std::uint32_t maxRecoveryPeriods = 0;
+    /** Restarts whose promotion had not completed by the end. */
+    std::size_t unrecovered = 0;
+    /**
+     * One deterministic line per epoch: states, applied edge budgets
+     * as raw IEEE-754 bit patterns, cumulative failover counters.
+     * Bit-identical across same-seed runs on the Sim backend.
+     */
+    std::vector<std::string> log;
+};
+
+/** A whole worker deployment in one process, driven in lockstep. */
+class LockstepDeployment
+{
+  public:
+    /**
+     * @param scenario_json  scenario document (parsed once per runtime
+     *                       construction, so restarts get fresh plants)
+     * @param backend        Sim (deterministic faults) or Udp (real
+     *                       loopback sockets)
+     * @param sim_faults     fault model for the Sim backend (ignored
+     *                       for Udp); keep the seed fixed for
+     *                       reproducible runs
+     * @param seed           sensor-noise seed shared by every worker
+     */
+    LockstepDeployment(std::string scenario_json, ChaosBackend backend,
+                       net::TransportConfig sim_faults,
+                       std::uint64_t seed);
+
+    ~LockstepDeployment();
+
+    /** The fault script (seeded from the deployment seed). */
+    ChaosScheduler &chaos() { return chaos_; }
+
+    /**
+     * Run @p epochs control periods from where the previous run()
+     * stopped, applying scheduled faults at their epoch boundaries and
+     * auditing safety after every period.
+     */
+    ChaosRunReport run(std::uint32_t epochs);
+
+    /** Rack runtimes in the deployment. */
+    std::size_t rackCount() const { return rackCount_; }
+
+    /** The room runtime. */
+    WorkerRuntime &room() { return *room_; }
+
+    /** Rack runtime @p r, or nullptr while killed. */
+    WorkerRuntime *rack(std::size_t r) { return racks_[r].get(); }
+
+    /** The partition-capable wrapper every frame passes through. */
+    net::ChaosTransport &net() { return *chaosNet_; }
+
+    /** Shared metrics registry all runtimes report into. */
+    telemetry::Registry &registry() { return registry_; }
+
+  private:
+    config::LoadedScenario makeScenario() const;
+    std::unique_ptr<WorkerRuntime> makeRuntime(std::uint32_t role);
+    void apply(const ChaosEvent &event, std::uint32_t epoch);
+    /** Audit this epoch's applied budgets; "" when safe. */
+    std::string auditSafety() const;
+    std::string logLine(std::uint32_t epoch) const;
+
+    std::string scenarioJson_;
+    ChaosBackend backend_;
+    std::uint64_t seed_;
+    /** Harness's own copy of the topology (limits, root budgets). */
+    config::LoadedScenario scenario_;
+    std::size_t rackCount_ = 0;
+    config::WorkerPeers peers_;
+
+    std::unique_ptr<net::Transport> inner_;
+    std::unique_ptr<net::ChaosTransport> chaosNet_;
+    telemetry::Registry registry_;
+
+    std::vector<std::unique_ptr<WorkerRuntime>> racks_;
+    std::unique_ptr<WorkerRuntime> room_;
+
+    ChaosScheduler chaos_;
+    std::uint32_t nextEpoch_ = 1;
+    /** Rack -> epoch of its pending Restart (recovery tracking). */
+    std::map<std::size_t, std::uint32_t> pendingRecovery_;
+};
+
+} // namespace capmaestro::rt
+
+#endif // CAPMAESTRO_RT_CHAOS_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "net/wire.hh"
@@ -19,6 +21,15 @@ constexpr std::uint64_t kSleepSliceMs = 25;
 /** Receive-poll granularity inside a protocol phase, milliseconds. */
 constexpr double kPollSliceMs = 2.0;
 
+/**
+ * Lockstep pacing: longest a collect loop waits (transport-clock ms)
+ * for frames that may never come. Virtual (instant) on SimTransport;
+ * a real bounded sleep on UdpTransport. Generous against loopback
+ * latency, short enough that a chaos script with losses still runs in
+ * test time.
+ */
+constexpr double kLockstepWaitMs = 150.0;
+
 } // namespace
 
 WorkerRuntime::WorkerRuntime(config::LoadedScenario scenario,
@@ -26,6 +37,28 @@ WorkerRuntime::WorkerRuntime(config::LoadedScenario scenario,
                              std::uint32_t role, std::uint64_t seed)
     : scenario_(std::move(scenario)), peers_(std::move(peers)),
       role_(role)
+{
+    init(seed);
+
+    net::UdpConfig udp;
+    udp.peers = peers_.peers;
+    udp.local.push_back(role_);
+    ownedTransport_ = std::make_unique<net::UdpTransport>(std::move(udp));
+    transport_ = ownedTransport_.get();
+}
+
+WorkerRuntime::WorkerRuntime(config::LoadedScenario scenario,
+                             config::WorkerPeers peers,
+                             std::uint32_t role, std::uint64_t seed,
+                             net::Transport &transport, Pacing pacing)
+    : scenario_(std::move(scenario)), peers_(std::move(peers)),
+      role_(role), pacing_(pacing), transport_(&transport)
+{
+    init(seed);
+}
+
+void
+WorkerRuntime::init(std::uint64_t seed)
 {
     if (!scenario_.system)
         util::fatal("rt: scenario has no power system");
@@ -40,25 +73,31 @@ WorkerRuntime::WorkerRuntime(config::LoadedScenario scenario,
                     "%zu (racks) + 1 (room)",
                     peers_.peers.size(), rackCount_);
     }
-    if (peers_.originMs == 0)
-        util::fatal("rt: peers.originMs must be set (shared epoch origin)");
-    const auto &proto = scenario_.service.protocol;
-    if (peers_.periodMs
-        <= proto.gatherDeadlineMs + proto.budgetDeadlineMs) {
-        util::fatal("rt: periodMs %.0f must exceed gather+budget "
-                    "deadlines (%.0f ms)",
-                    peers_.periodMs,
-                    proto.gatherDeadlineMs + proto.budgetDeadlineMs);
-    }
-    if (epochAt(unixNowMs()) > 1000000) {
-        util::fatal("rt: peers.originMs is too far in the past; "
-                    "regenerate the peer table");
+    if (pacing_ == Pacing::Wall) {
+        // Lockstep runtimes have no wall-clock schedule: the harness
+        // owns the epochs, so the origin/deadline checks do not apply.
+        if (peers_.originMs == 0) {
+            util::fatal(
+                "rt: peers.originMs must be set (shared epoch origin)");
+        }
+        const auto &proto = scenario_.service.protocol;
+        if (peers_.periodMs
+            <= proto.gatherDeadlineMs + proto.budgetDeadlineMs) {
+            util::fatal("rt: periodMs %.0f must exceed gather+budget "
+                        "deadlines (%.0f ms)",
+                        peers_.periodMs,
+                        proto.gatherDeadlineMs + proto.budgetDeadlineMs);
+        }
+        if (epochAt(unixNowMs()) > 1000000) {
+            util::fatal("rt: peers.originMs is too far in the past; "
+                        "regenerate the peer table");
+        }
     }
 
-    net::UdpConfig udp;
-    udp.peers = peers_.peers;
-    udp.local.push_back(role_);
-    transport_ = std::make_unique<net::UdpTransport>(std::move(udp));
+    // Before buildRack moves the server specs into the plants: the
+    // floors are read straight from the config so rack and room agree
+    // bit for bit.
+    computeNominalFloors();
 
     if (isRoom())
         buildRoom();
@@ -66,7 +105,41 @@ WorkerRuntime::WorkerRuntime(config::LoadedScenario scenario,
         buildRack(seed);
 }
 
+void
+WorkerRuntime::computeNominalFloors()
+{
+    const auto &system = *scenario_.system;
+    const auto partition =
+        core::DistributedControlPlane::partitionEdges(system);
+    for (const auto &edges : partition) {
+        for (const auto &[tree, node] : edges) {
+            Watts floor = 0.0;
+            for (const topo::NodeId c :
+                 system.tree(tree).node(node).children) {
+                const auto &ref = *system.tree(tree).node(c).supplyRef;
+                const auto sid = static_cast<std::size_t>(ref.server);
+                const auto sup = static_cast<std::size_t>(ref.supply);
+                const dev::ServerSpec &spec =
+                    scenario_.servers[sid].spec;
+                const Fraction share =
+                    sup < spec.supplies.size()
+                        ? spec.supplies[sup].loadShare
+                        : 0.0;
+                floor += spec.capMin * share;
+            }
+            nominalFloor_[{tree, node}] = std::min(
+                floor, system.tree(tree).node(node).limit());
+        }
+    }
+}
+
 WorkerRuntime::~WorkerRuntime() = default;
+
+std::string
+WorkerRuntime::roleName() const
+{
+    return isRoom() ? "room" : "rack" + std::to_string(role_);
+}
 
 void
 WorkerRuntime::buildRack(std::uint64_t seed)
@@ -156,8 +229,7 @@ WorkerRuntime::buildRoom()
     room_ = std::make_unique<core::RoomWorker>(
         system, std::move(edge_nodes),
         policy::treePolicy(scenario_.service.policy));
-    missedHeartbeats_.assign(rackCount_, 0);
-    rackDeclaredDead_.assign(rackCount_, false);
+    rackHealth_.assign(rackCount_, RackHealth{});
 }
 
 std::uint64_t
@@ -198,6 +270,10 @@ WorkerRuntime::sleepUntil(std::uint64_t unix_ms)
 std::size_t
 WorkerRuntime::runPeriods(std::size_t max_periods)
 {
+    if (pacing_ != Pacing::Wall) {
+        util::fatal("rt: runPeriods() needs Wall pacing; lockstep "
+                    "runtimes are driven via step*()");
+    }
     std::size_t done = 0;
     while (done < max_periods
            && !stop_.load(std::memory_order_relaxed)) {
@@ -214,23 +290,33 @@ WorkerRuntime::runPeriods(std::size_t max_periods)
             runRoomPeriod(epoch);
         else
             runRackPeriod(epoch);
-        lastEpoch_ = epoch;
-        ++stats_.periodsRun;
+        finishPeriod(epoch);
         ++done;
     }
     return done;
 }
 
 void
-WorkerRuntime::runRackPeriod(std::uint32_t epoch)
+WorkerRuntime::finishPeriod(std::uint32_t epoch)
+{
+    lastEpoch_ = epoch;
+    ++stats_.periodsRun;
+    mPeriods_.inc();
+}
+
+// ===================================================================
+// Rack phases
+// ===================================================================
+
+void
+WorkerRuntime::rackAdvancePlant(std::uint32_t)
 {
     const auto &system = *scenario_.system;
-    const auto &proto = scenario_.service.protocol;
-    net::UdpTransport &tp = *transport_;
+    replayedThisPeriod_ = false;
 
     // ---- plant: one control period of 1 Hz sensing and actuation.
     // Wall pacing is per period, not per tick: the protocol deadlines
-    // below are what consume the period's wall budget.
+    // are what consume the period's wall budget.
     for (Seconds tick = 0; tick < scenario_.service.controlPeriod;
          ++tick) {
         for (Plant &plant : plants_) {
@@ -244,7 +330,12 @@ WorkerRuntime::runRackPeriod(std::uint32_t epoch)
         ++simNow_;
     }
 
-    // ---- close controller periods and refresh the edge leaf inputs.
+    // ---- close controller periods, refresh the edge leaf inputs, and
+    // snapshot the recoverable plant state into this period's
+    // checkpoint message.
+    lastCheckpoint_ = net::CheckpointMsg{};
+    lastCheckpoint_.simNow = static_cast<double>(simNow_);
+    lastCheckpoint_.rehomeAckEpoch = rehomeAckEpoch_;
     for (Plant &plant : plants_) {
         const auto report = plant.controller->closePeriod();
         ctrl::ServerAllocInput in;
@@ -264,21 +355,56 @@ WorkerRuntime::runRackPeriod(std::uint32_t epoch)
             const auto sup = static_cast<std::size_t>(ref.supply);
             const Fraction r =
                 sup < shares.size() ? shares[sup] : 0.0;
-            rack_->setLeafInput(tree, ref,
-                                ctrl::scaledLeafInput(in, r));
+            auto leaf = ctrl::scaledLeafInput(in, r);
+            // Pin the leaf floor to the config-nominal share while the
+            // supply is live. Demand and constraint stay measured, but
+            // the floor must not wobble with sensor noise: the §4.5
+            // fallback and the room's degraded-mode reserve are both
+            // defined on the nominal floor, and an allocation granted
+            // from a noise-lowered measured floor could otherwise end
+            // up a watt below the fallback the rack applies when the
+            // budget frame is lost — breaking the supply-budget
+            // invariant in a fully contended tree.
+            if (leaf.live) {
+                const Fraction nominal =
+                    sup < spec.supplies.size()
+                        ? spec.supplies[sup].loadShare
+                        : 0.0;
+                leaf.capMin = spec.capMin * nominal;
+                leaf.demand = std::max(leaf.demand, leaf.capMin);
+                leaf.constraint =
+                    std::max(leaf.constraint, leaf.capMin);
+            }
+            rack_->setLeafInput(tree, ref, leaf);
         }
+
+        const auto state = plant.controller->exportState();
+        net::CheckpointServer rec;
+        rec.serverId = static_cast<std::uint32_t>(plant.serverId);
+        rec.integratorPrimed = state.integratorPrimed;
+        rec.spoPinned = false; // §4.4 SPO rounds are not run by rt yet
+        rec.integratorDc = state.integratorDc;
+        rec.demandEstimate = report.demandEstimate;
+        rec.avgThrottle = report.avgThrottle;
+        const std::size_t supplies = plant.server->supplyCount();
+        rec.supplies.resize(supplies);
+        for (std::size_t s = 0; s < supplies; ++s) {
+            rec.supplies[s].lastBudget =
+                s < plant.lastBudgets.size() ? plant.lastBudgets[s]
+                                             : 0.0;
+            rec.supplies[s].share =
+                s < report.shares.size() ? report.shares[s] : 0.0;
+            rec.supplies[s].avgAc = s < report.supplyAvgAc.size()
+                                        ? report.supplyAvgAc[s]
+                                        : 0.0;
+        }
+        lastCheckpoint_.servers.push_back(std::move(rec));
     }
+}
 
-    // ---- upstream: heartbeat + one metrics frame per edge, with
-    // blind bounded retransmission (no ACK channel exists; the room
-    // dedups by (tree, edge) map overwrite).
-    const double start = tp.nowMs();
-    const double gather_deadline = start + proto.gatherDeadlineMs;
-    const double budget_deadline =
-        gather_deadline + proto.budgetDeadlineMs;
-    const auto room_ep =
-        static_cast<net::Transport::Endpoint>(rackCount_);
-
+std::vector<std::vector<std::uint8_t>>
+WorkerRuntime::buildUpstreamFrames(std::uint32_t epoch)
+{
     std::vector<std::vector<std::uint8_t>> up;
     up.push_back(net::encodeHeartbeat(
         {static_cast<std::uint16_t>(role_), epoch, seq_++}));
@@ -290,68 +416,173 @@ WorkerRuntime::runRackPeriod(std::uint32_t epoch)
         up.push_back(net::encodeMetrics(
             {static_cast<std::uint16_t>(role_), epoch, seq_++}, msg));
     }
-    for (const auto &frame : up)
-        tp.send(role_, room_ep, frame);
-    for (int attempt = 1; attempt < proto.maxAttempts; ++attempt) {
-        const double next = start + attempt * proto.retryTimeoutMs;
-        if (next >= gather_deadline)
-            break;
-        tp.advanceTo(next);
-        for (const auto &frame : up) {
-            tp.send(role_, room_ep, frame);
-            ++stats_.retries;
-        }
-    }
+    lastCheckpoint_.rehomeAckEpoch = rehomeAckEpoch_;
+    up.push_back(net::encodeCheckpoint(
+        {static_cast<std::uint16_t>(role_), epoch, seq_++},
+        lastCheckpoint_));
+    ++stats_.checkpointsSent;
+    mCheckpoints_.inc();
+    return up;
+}
 
-    // ---- downstream: collect budgets until the deadline; a budget's
-    // arrival is the implicit end of this edge's exchange.
-    std::set<std::pair<std::size_t, topo::NodeId>> applied;
-    for (;;) {
-        for (const auto &bytes : tp.poll(role_)) {
-            const auto frame = net::decodeFrame(bytes);
-            if (!frame) {
-                ++stats_.corruptFrames;
-                continue;
-            }
-            if (frame->epoch != epoch
-                || frame->type != net::MsgType::Budget) {
-                ++stats_.orphanFrames;
-                continue;
-            }
-            const std::size_t tree = frame->budget.tree;
-            const auto node =
-                static_cast<topo::NodeId>(frame->budget.edgeNode);
-            const auto mine = myEdges_.find(tree);
-            if (mine == myEdges_.end() || mine->second != node) {
-                ++stats_.orphanFrames;
-                continue;
-            }
-            if (applied.count({tree, node}))
-                continue; // duplicate delivery
-            rack_->applyBudget(tree, node, frame->budget.budget);
-            applied.insert({tree, node});
-            ++stats_.budgetsApplied;
-        }
-        if (applied.size() == myEdges_.size())
-            break;
-        const double remaining = budget_deadline - tp.nowMs();
-        if (remaining <= 0.0)
-            break;
-        tp.advanceBy(std::min(remaining, kPollSliceMs));
+bool
+WorkerRuntime::processDownFrame(
+    const net::Frame &frame, std::uint32_t epoch,
+    std::set<std::pair<std::size_t, topo::NodeId>> &applied)
+{
+    if (frame.epoch != epoch) {
+        ++stats_.orphanFrames;
+        return false;
     }
+    if (frame.type == net::MsgType::Rehome) {
+        if (frame.sender != net::kRoomSender) {
+            ++stats_.orphanFrames;
+            return false;
+        }
+        // The room retransmits the Rehome like any downstream frame;
+        // one replay (or decline) per epoch is the whole handshake.
+        if (rehomeAckEpoch_ == epoch)
+            return true;
+        // An intact instance that merely rode out a partition has
+        // newer state than the room's checkpoint of it: decline the
+        // replay but still ack, so the room stops re-sending. Only a
+        // young instance (restarted less than a failure-detection
+        // window ago) accepts.
+        if (stats_.periodsRun
+            >= static_cast<std::size_t>(
+                   scenario_.service.protocol.heartbeatFailAfter)) {
+            rehomeAckEpoch_ = epoch;
+            ++stats_.rehomesDeclined;
+            mRehomesDeclined_.inc();
+            events_.record(static_cast<Seconds>(epoch),
+                           core::EventKind::RehomeDeclined,
+                           "worker" + std::to_string(role_),
+                           static_cast<double>(epoch));
+        } else {
+            replayCheckpoint(frame.checkpoint, epoch);
+        }
+        return true;
+    }
+    if (frame.type != net::MsgType::Budget) {
+        ++stats_.orphanFrames;
+        return false;
+    }
+    const std::size_t tree = frame.budget.tree;
+    const auto node = static_cast<topo::NodeId>(frame.budget.edgeNode);
+    const auto mine = myEdges_.find(tree);
+    if (mine == myEdges_.end() || mine->second != node) {
+        ++stats_.orphanFrames;
+        return false;
+    }
+    if (applied.count({tree, node}))
+        return false; // duplicate delivery
+    rack_->applyBudget(tree, node, frame.budget.budget);
+    lastEdgeBudgets_[{tree, node}] = frame.budget.budget;
+    applied.insert({tree, node});
+    ++stats_.budgetsApplied;
+    return false;
+}
+
+void
+WorkerRuntime::replayCheckpoint(const net::CheckpointMsg &msg,
+                                std::uint32_t epoch)
+{
+    for (const net::CheckpointServer &rec : msg.servers) {
+        Plant *plant = nullptr;
+        for (Plant &p : plants_) {
+            if (p.serverId == rec.serverId) {
+                plant = &p;
+                break;
+            }
+        }
+        if (!plant)
+            continue; // not homed here (partition changed?) — skip
+
+        ctrl::CappingControllerState state;
+        state.integratorDc = rec.integratorDc;
+        state.integratorPrimed = rec.integratorPrimed;
+        state.report.demandEstimate = rec.demandEstimate;
+        state.report.avgThrottle = rec.avgThrottle;
+        state.report.supplyAvgAc.resize(rec.supplies.size());
+        state.report.shares.resize(rec.supplies.size());
+        std::size_t working = 0;
+        for (std::size_t s = 0; s < rec.supplies.size(); ++s) {
+            state.report.supplyAvgAc[s] = rec.supplies[s].avgAc;
+            state.report.shares[s] = rec.supplies[s].share;
+            if (rec.supplies[s].share > 0.0)
+                ++working;
+        }
+        state.report.workingSupplies = working;
+        plant->controller->restoreState(state);
+
+        plant->lastBudgets.resize(plant->server->supplyCount(), 0.0);
+        for (std::size_t s = 0;
+             s < rec.supplies.size() && s < plant->lastBudgets.size();
+             ++s) {
+            plant->lastBudgets[s] = rec.supplies[s].lastBudget;
+        }
+    }
+    // Never rewind the plant clock: a replay onto an instance that
+    // already ran periods must not repeat workload history.
+    simNow_ = std::max(simNow_,
+                       static_cast<Seconds>(msg.simNow));
+    rehomeAckEpoch_ = epoch;
+    replayedThisPeriod_ = true;
+    ++stats_.rehomesApplied;
+    mRehomesApplied_.inc();
+    events_.record(static_cast<Seconds>(epoch),
+                   core::EventKind::CheckpointReplayed,
+                   "worker" + std::to_string(role_),
+                   static_cast<double>(msg.servers.size()));
+}
+
+void
+WorkerRuntime::finishRackPeriod(
+    std::uint32_t epoch,
+    const std::set<std::pair<std::size_t, topo::NodeId>> &applied)
+{
+    const auto &system = *scenario_.system;
 
     // ---- §4.5 default budgets for edges the room never reached.
+    // Clamped to the config-nominal floor: the live defaultBudget is
+    // built from measured shares, and sensor noise must not let a
+    // unilateral fallback creep above the floor the room reserves for
+    // this edge when it stops budgeting us (see roomComputeAndSend).
     for (const auto &[tree, node] : myEdges_) {
         if (applied.count({tree, node}))
             continue;
-        const Watts fallback = rack_->defaultBudget(tree, node);
+        const Watts fallback =
+            std::min(rack_->defaultBudget(tree, node),
+                     nominalFloor_.at({tree, node}));
         rack_->applyBudget(tree, node, fallback);
+        lastEdgeBudgets_[{tree, node}] = fallback;
         ++stats_.defaultBudgets;
+        mDefaultBudgets_.inc();
         events_.record(static_cast<Seconds>(epoch),
                        core::EventKind::DefaultBudgetApplied,
                        system.tree(tree).name() + "."
                            + system.tree(tree).node(node).name,
                        fallback);
+    }
+
+    // ---- post-replay clamp: until the room trusts fresh metrics from
+    // this instance again, ride the conservative Pcap_min floor even
+    // if a stray budget frame slipped through.
+    if (replayedThisPeriod_) {
+        for (const auto &[tree, node] : myEdges_) {
+            const Watts floor =
+                std::min(rack_->defaultBudget(tree, node),
+                         nominalFloor_.at({tree, node}));
+            const auto cur = lastEdgeBudgets_.find({tree, node});
+            const Watts clamped =
+                cur != lastEdgeBudgets_.end()
+                    ? std::min(cur->second, floor)
+                    : floor;
+            rack_->applyBudget(tree, node, clamped);
+            lastEdgeBudgets_[{tree, node}] = clamped;
+        }
+        ++stats_.clampedPeriods;
+        mClampedPeriods_.inc();
     }
 
     // ---- per-server caps through the PI loops.
@@ -368,26 +599,199 @@ WorkerRuntime::runRackPeriod(std::uint32_t epoch)
 }
 
 void
-WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
+WorkerRuntime::runRackPeriod(std::uint32_t epoch)
 {
-    const auto &system = *scenario_.system;
     const auto &proto = scenario_.service.protocol;
-    net::UdpTransport &tp = *transport_;
+    net::Transport &tp = *transport_;
+
+    rackAdvancePlant(epoch);
+
+    // ---- upstream: heartbeat + one metrics frame per edge + the
+    // plant-state checkpoint, with blind bounded retransmission (no
+    // ACK channel exists; the room dedups by map overwrite).
+    const double start = tp.nowMs();
+    const double gather_deadline = start + proto.gatherDeadlineMs;
+    const double budget_deadline =
+        gather_deadline + proto.budgetDeadlineMs;
+    const auto room_ep =
+        static_cast<net::Transport::Endpoint>(rackCount_);
+
+    const auto up = buildUpstreamFrames(epoch);
+    for (const auto &frame : up)
+        tp.send(role_, room_ep, frame);
+    for (int attempt = 1; attempt < proto.maxAttempts; ++attempt) {
+        const double next = start + attempt * proto.retryTimeoutMs;
+        if (next >= gather_deadline)
+            break;
+        tp.advanceTo(next);
+        for (const auto &frame : up) {
+            tp.send(role_, room_ep, frame);
+            ++stats_.retries;
+        }
+    }
+
+    // ---- downstream: collect budgets (or a Rehome) until the
+    // deadline; a budget's arrival is the implicit end of this edge's
+    // exchange.
+    std::set<std::pair<std::size_t, topo::NodeId>> applied;
+    for (;;) {
+        for (const auto &bytes : tp.poll(role_)) {
+            const auto frame = net::decodeFrame(bytes);
+            if (!frame) {
+                ++stats_.corruptFrames;
+                continue;
+            }
+            processDownFrame(*frame, epoch, applied);
+        }
+        if (applied.size() == myEdges_.size())
+            break;
+        const double remaining = budget_deadline - tp.nowMs();
+        if (remaining <= 0.0)
+            break;
+        tp.advanceBy(std::min(remaining, kPollSliceMs));
+    }
+
+    finishRackPeriod(epoch, applied);
+}
+
+void
+WorkerRuntime::stepUpstream(std::uint32_t epoch)
+{
+    if (pacing_ != Pacing::Lockstep || isRoom())
+        util::fatal("rt: stepUpstream() needs a lockstep rack runtime");
+    rackAdvancePlant(epoch);
+    const auto room_ep =
+        static_cast<net::Transport::Endpoint>(rackCount_);
+    // Single-shot sends: lockstep has no deadline schedule to pace
+    // retransmissions against, and a chaos harness wants injected loss
+    // to actually cost a frame.
+    for (const auto &frame : buildUpstreamFrames(epoch))
+        transport_->send(role_, room_ep, frame);
+}
+
+void
+WorkerRuntime::stepDownstream(std::uint32_t epoch)
+{
+    if (pacing_ != Pacing::Lockstep || isRoom())
+        util::fatal("rt: stepDownstream() needs a lockstep rack runtime");
+    net::Transport &tp = *transport_;
+    std::set<std::pair<std::size_t, topo::NodeId>> applied;
+    const double start = tp.nowMs();
+    bool rehomed = false;
+    for (;;) {
+        for (const auto &bytes : tp.poll(role_)) {
+            const auto frame = net::decodeFrame(bytes);
+            if (!frame) {
+                ++stats_.corruptFrames;
+                continue;
+            }
+            rehomed |= processDownFrame(*frame, epoch, applied);
+        }
+        // A Rehome ends the period: the room withholds budgets from a
+        // re-homing rack, so there is nothing further to wait for.
+        if (rehomed || applied.size() == myEdges_.size())
+            break;
+        if (tp.nowMs() - start >= kLockstepWaitMs)
+            break;
+        tp.advanceBy(kPollSliceMs);
+    }
+    finishRackPeriod(epoch, applied);
+    finishPeriod(epoch);
+}
+
+// ===================================================================
+// Room phases
+// ===================================================================
+
+void
+WorkerRuntime::noteRackFrame(std::size_t rack, std::uint32_t seq,
+                             std::uint32_t epoch)
+{
+    heard_.insert(rack);
+    RackHealth &h = rackHealth_[rack];
+    if (!h.seqSeen) {
+        h.seqSeen = true;
+        h.maxSeq = seq;
+        return;
+    }
+    // A restarted process begins again at sequence 0. A regression no
+    // larger than one upstream batch (heartbeat + one metrics frame
+    // per edge + checkpoint) is normal: the rack's blind bounded
+    // retransmission re-sends the whole batch with the *same*
+    // sequence numbers, and reordered duplicates from an earlier send
+    // sit at most a batch below the newest frame. Only a regression
+    // deeper than the batch means a new instance — caught even when
+    // the restart fit inside one epoch window and no heartbeat was
+    // ever missed. (A restart after a single period is below the
+    // detection threshold; it is picked up one period later once the
+    // old instance's higher sequence numbers dominate.)
+    if (seq + rackBatchSize(rack) < h.maxSeq) {
+        if (h.state == RackState::Live)
+            beginRehoming(rack, epoch);
+        h.maxSeq = seq;
+        return;
+    }
+    h.maxSeq = std::max(h.maxSeq, seq);
+}
+
+std::uint32_t
+WorkerRuntime::rackBatchSize(std::size_t rack) const
+{
+    std::uint32_t edges = 0;
+    for (const auto &[key, owner] : edgeOwner_) {
+        if (owner == rack)
+            ++edges;
+    }
+    return edges + 2;
+}
+
+void
+WorkerRuntime::beginRehoming(std::size_t rack, std::uint32_t epoch)
+{
+    RackHealth &h = rackHealth_[rack];
+    h.state = RackState::Rehoming;
+    h.missed = 0;
+    h.rehomeEpoch = 0;
+    // Acks recorded so far came from the dead instance; the new one
+    // must ack a Rehome sent this round.
+    h.lastAckEpoch = 0;
+    ++stats_.restartsDetected;
+    mRestartsDetected_.inc();
+    events_.record(static_cast<Seconds>(epoch),
+                   core::EventKind::WorkerRestartDetected,
+                   "worker" + std::to_string(rack),
+                   static_cast<double>(epoch));
+}
+
+std::size_t
+WorkerRuntime::deadOrRehomingCount() const
+{
+    std::size_t n = 0;
+    for (const RackHealth &h : rackHealth_) {
+        if (h.state != RackState::Live)
+            ++n;
+    }
+    return n;
+}
+
+void
+WorkerRuntime::roomGather(std::uint32_t epoch, bool paced)
+{
+    const auto &proto = scenario_.service.protocol;
+    net::Transport &tp = *transport_;
+    heard_.clear();
+    fresh_.clear();
+
+    // Dead racks send nothing; everyone else (including re-homing
+    // racks, whose plants run on default budgets) is expected.
+    std::size_t expected = 0;
+    for (const auto &[key, rack] : edgeOwner_) {
+        if (rackHealth_[rack].state != RackState::Dead)
+            ++expected;
+    }
 
     const double start = tp.nowMs();
     const double gather_deadline = start + proto.gatherDeadlineMs;
-
-    // ---- gather: drain metrics until the deadline (or until every
-    // edge of every live rack has reported — finishing early only
-    // shortens the racks' wait for budgets).
-    std::map<std::pair<std::size_t, topo::NodeId>, ctrl::NodeMetrics>
-        fresh;
-    std::set<std::size_t> heard;
-    std::size_t expected = 0;
-    for (const auto &[key, rack] : edgeOwner_) {
-        if (!rackDeclaredDead_[rack])
-            ++expected;
-    }
     for (;;) {
         for (const auto &bytes : tp.poll(role_)) {
             const auto frame = net::decodeFrame(bytes);
@@ -400,47 +804,118 @@ WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
                 continue;
             }
             if (frame->sender < rackCount_)
-                heard.insert(frame->sender);
+                noteRackFrame(frame->sender, frame->seq, epoch);
             if (frame->type == net::MsgType::Metrics) {
-                fresh[{frame->metrics.tree,
-                       static_cast<topo::NodeId>(
-                           frame->metrics.edgeNode)}] =
+                fresh_[{frame->metrics.tree,
+                        static_cast<topo::NodeId>(
+                            frame->metrics.edgeNode)}] =
                     frame->metrics.metrics;
+            } else if (frame->type == net::MsgType::Checkpoint
+                       && frame->sender < rackCount_) {
+                RackHealth &h = rackHealth_[frame->sender];
+                h.lastAckEpoch = std::max(
+                    h.lastAckEpoch, frame->checkpoint.rehomeAckEpoch);
+                checkpoints_[frame->sender] = frame->checkpoint;
+                ++stats_.checkpointsStored;
+                persistCheckpoint(frame->sender);
             }
         }
-        if (fresh.size() >= expected)
+        if (fresh_.size() >= expected)
             break;
-        const double remaining = gather_deadline - tp.nowMs();
-        if (remaining <= 0.0)
-            break;
-        tp.advanceBy(std::min(remaining, kPollSliceMs));
-    }
-
-    // ---- heartbeat liveness: any frame this epoch counts. A worker
-    // declared dead here stays dead — its plant lives in the dead
-    // process, so unlike the in-process plane there is no adopter to
-    // re-home its edge controllers onto (value -1 marks that).
-    for (std::size_t r = 0; r < rackCount_; ++r) {
-        if (rackDeclaredDead_[r])
-            continue;
-        if (heard.count(r)) {
-            missedHeartbeats_[r] = 0;
-        } else if (++missedHeartbeats_[r] >= proto.heartbeatFailAfter) {
-            rackDeclaredDead_[r] = true;
-            ++stats_.failovers;
-            events_.record(static_cast<Seconds>(epoch),
-                           core::EventKind::WorkerFailover,
-                           "worker" + std::to_string(r), -1.0);
+        const double now = tp.nowMs();
+        if (paced) {
+            if (now >= gather_deadline)
+                break;
+            tp.advanceBy(std::min(gather_deadline - now, kPollSliceMs));
+        } else {
+            if (now - start >= kLockstepWaitMs)
+                break;
+            tp.advanceBy(kPollSliceMs);
         }
     }
+}
+
+void
+WorkerRuntime::roomLiveness(std::uint32_t epoch)
+{
+    const auto &proto = scenario_.service.protocol;
+    for (std::size_t r = 0; r < rackCount_; ++r) {
+        RackHealth &h = rackHealth_[r];
+        const bool heard = heard_.count(r) != 0;
+        switch (h.state) {
+        case RackState::Live:
+            if (heard) {
+                h.missed = 0;
+            } else if (++h.missed >= proto.heartbeatFailAfter) {
+                h.state = RackState::Dead;
+                ++stats_.failovers;
+                mFailovers_.inc();
+                events_.record(static_cast<Seconds>(epoch),
+                               core::EventKind::WorkerFailover,
+                               "worker" + std::to_string(r), -1.0);
+            }
+            break;
+        case RackState::Dead:
+            // Any frame means a (restarted) instance is back.
+            if (heard)
+                beginRehoming(r, epoch);
+            break;
+        case RackState::Rehoming:
+            if (h.rehomeEpoch > 0
+                && h.lastAckEpoch >= h.rehomeEpoch) {
+                h.state = RackState::Live;
+                h.missed = 0;
+                h.rehomeEpoch = 0;
+                ++stats_.rehomed;
+                mRehomed_.inc();
+                events_.record(static_cast<Seconds>(epoch),
+                               core::EventKind::WorkerRehomed,
+                               "worker" + std::to_string(r),
+                               static_cast<double>(epoch));
+            } else if (!heard) {
+                if (++h.missed >= proto.heartbeatFailAfter) {
+                    h.state = RackState::Dead;
+                    ++stats_.failovers;
+                    mFailovers_.inc();
+                    events_.record(static_cast<Seconds>(epoch),
+                                   core::EventKind::WorkerFailover,
+                                   "worker" + std::to_string(r), -1.0);
+                }
+            } else {
+                h.missed = 0;
+            }
+            break;
+        }
+    }
+    mDeadRacks_.set(static_cast<double>(deadOrRehomingCount()));
+}
+
+void
+WorkerRuntime::roomComputeAndSend(std::uint32_t epoch, bool paced)
+{
+    const auto &system = *scenario_.system;
+    const auto &proto = scenario_.service.protocol;
+    net::Transport &tp = *transport_;
 
     // ---- assemble per-tree edge metrics with the §4.5 stale cache.
+    // Fresh metrics are trusted only from racks the room considers
+    // Live: a reincarnated instance's fresh-plant numbers would poison
+    // the allocation, and its liveness must not be double-counted as
+    // both the dead instance (stale) and the new one (fresh) within
+    // the same epoch window.
+    // A non-Live rack's edges are excluded from the allocation
+    // entirely (their nominal floor is reserved out of the tree budget
+    // below instead), but they still ride the stale -> lost event
+    // accounting so the degradation is visible in the audit trail.
     std::vector<std::map<topo::NodeId, ctrl::NodeMetrics>> tree_metrics(
         system.trees().size());
+    std::vector<Watts> reserved(system.trees().size(), 0.0);
     for (const auto &[key, rack] : edgeOwner_) {
         const auto [tree, node] = key;
-        const auto got = fresh.find(key);
-        if (got != fresh.end()) {
+        const bool trusted =
+            rackHealth_[rack].state == RackState::Live;
+        const auto got = fresh_.find(key);
+        if (got != fresh_.end() && trusted) {
             tree_metrics[tree][node] = got->second;
             metricCache_[key] = {got->second, epoch, true};
             continue;
@@ -453,10 +928,13 @@ WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
             cached != metricCache_.end() && cached->second.valid
                 ? epoch - cached->second.epoch
                 : 0;
-        if (cached != metricCache_.end() && cached->second.valid
+        const bool stale_ok =
+            cached != metricCache_.end() && cached->second.valid
             && age <= static_cast<std::uint32_t>(
-                   proto.staleAgeCapPeriods)) {
-            tree_metrics[tree][node] = cached->second.metrics;
+                   proto.staleAgeCapPeriods);
+        if (stale_ok) {
+            if (trusted)
+                tree_metrics[tree][node] = cached->second.metrics;
             ++stats_.staleReuses;
             events_.record(static_cast<Seconds>(epoch),
                            core::EventKind::StaleMetricsReused, subject,
@@ -467,10 +945,19 @@ WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
                            core::EventKind::MetricsLost, subject,
                            static_cast<double>(age));
         }
+        // No allocation will be computed for this edge — either its
+        // rack is untrusted (dead, partitioned, or replaying) or even
+        // the stale cache ran dry. The rack rides its unilateral
+        // Pcap_min fallback in both cases, so its nominal floor comes
+        // out of the tree budget before the Live edges divide it.
+        if (!trusted || !stale_ok)
+            reserved[tree] += nominalFloor_.at(key);
     }
 
     // ---- upper-tree compute + downstream budgets, blind bounded
-    // retransmission (racks dedup by the applied set).
+    // retransmission (racks dedup by the applied set). Dead and
+    // re-homing racks get no budgets: their edges ride the Pcap_min
+    // defaults until the room trusts their metrics again.
     struct PendingDown
     {
         std::size_t rack;
@@ -478,12 +965,20 @@ WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
     };
     std::vector<PendingDown> pending;
     for (std::size_t t = 0; t < system.trees().size(); ++t) {
-        const auto edge_budgets = room_->iterate(
-            t, tree_metrics[t], scenario_.rootBudgets[t]);
+        // Reserve the nominal Pcap_min floor of every edge the room is
+        // not budgeting this period: that rack may be riding exactly
+        // that fallback right now (killed-but-enforcing, partitioned,
+        // or replaying a checkpoint), and the sum of its unilateral
+        // floor plus what we hand the Live edges must never exceed the
+        // tree's supply budget.
+        const Watts usable = std::max(
+            0.0, scenario_.rootBudgets[t] - reserved[t]);
+        const auto edge_budgets =
+            room_->iterate(t, tree_metrics[t], usable);
         for (const auto &[node, budget] : edge_budgets) {
             const std::size_t rack = edgeOwner_.at({t, node});
-            if (rackDeclaredDead_[rack])
-                continue; // nobody home to receive it
+            if (rackHealth_[rack].state != RackState::Live)
+                continue;
             net::BudgetMsg msg;
             msg.tree = static_cast<std::uint16_t>(t);
             msg.edgeNode = static_cast<std::uint32_t>(node);
@@ -494,6 +989,27 @@ WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
         }
     }
 
+    // ---- Rehome frames for re-homing racks heard this epoch: replay
+    // the stored checkpoint into the new instance. An empty checkpoint
+    // (none ever stored) still completes the handshake — the rack
+    // simply keeps its fresh plant.
+    for (std::size_t r = 0; r < rackCount_; ++r) {
+        RackHealth &h = rackHealth_[r];
+        if (h.state != RackState::Rehoming || !heard_.count(r))
+            continue;
+        const auto stored = checkpoints_.find(r);
+        const net::CheckpointMsg msg = stored != checkpoints_.end()
+                                           ? stored->second
+                                           : net::CheckpointMsg{};
+        pending.push_back(
+            {r, net::encodeRehome({net::kRoomSender, epoch, seq_++},
+                                  msg)});
+        if (h.rehomeEpoch == 0)
+            h.rehomeEpoch = epoch;
+        ++stats_.rehomesSent;
+        mRehomesSent_.inc();
+    }
+
     const double budget_start = tp.nowMs();
     const double budget_deadline =
         budget_start + proto.budgetDeadlineMs;
@@ -501,6 +1017,8 @@ WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
         tp.send(role_, static_cast<net::Transport::Endpoint>(down.rack),
                 down.frame);
     }
+    if (!paced)
+        return;
     for (int attempt = 1; attempt < proto.maxAttempts; ++attempt) {
         const double next =
             budget_start + attempt * proto.retryTimeoutMs;
@@ -516,6 +1034,46 @@ WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
     }
 }
 
+void
+WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
+{
+    roomGather(epoch, /*paced=*/true);
+    roomLiveness(epoch);
+    roomComputeAndSend(epoch, /*paced=*/true);
+}
+
+void
+WorkerRuntime::stepRoom(std::uint32_t epoch)
+{
+    if (pacing_ != Pacing::Lockstep || !isRoom())
+        util::fatal("rt: stepRoom() needs the lockstep room runtime");
+    const auto span = tracer_ ? tracer_->begin("rt.room")
+                              : telemetry::PeriodTracer::kNoSpan;
+    roomGather(epoch, /*paced=*/false);
+    roomLiveness(epoch);
+    roomComputeAndSend(epoch, /*paced=*/false);
+    if (tracer_) {
+        tracer_->num(span, "epoch", static_cast<double>(epoch));
+        tracer_->num(span, "freshEdges",
+                     static_cast<double>(fresh_.size()));
+        tracer_->num(span, "degradedRacks",
+                     static_cast<double>(deadOrRehomingCount()));
+        std::string states;
+        for (const RackHealth &h : rackHealth_) {
+            states += h.state == RackState::Live
+                          ? 'L'
+                          : (h.state == RackState::Dead ? 'D' : 'R');
+        }
+        tracer_->str(span, "rackStates", std::move(states));
+        tracer_->end(span);
+    }
+    finishPeriod(epoch);
+}
+
+// ===================================================================
+// Accessors, telemetry, persistence
+// ===================================================================
+
 std::vector<Watts>
 WorkerRuntime::lastServerBudgets(std::size_t server_id) const
 {
@@ -524,6 +1082,132 @@ WorkerRuntime::lastServerBudgets(std::size_t server_id) const
             return plant.lastBudgets;
     }
     return {};
+}
+
+RackState
+WorkerRuntime::rackState(std::size_t r) const
+{
+    if (!isRoom() || r >= rackHealth_.size())
+        util::fatal("rt: rackState() needs the room runtime");
+    return rackHealth_[r].state;
+}
+
+void
+WorkerRuntime::setTelemetry(telemetry::Registry *registry,
+                            telemetry::PeriodTracer *tracer)
+{
+    registry_ = registry;
+    tracer_ = tracer;
+    transport_->setTelemetry(registry);
+    if (!registry_) {
+        mPeriods_ = {};
+        mCheckpoints_ = {};
+        mRehomesSent_ = {};
+        mRehomesApplied_ = {};
+        mRehomesDeclined_ = {};
+        mClampedPeriods_ = {};
+        mFailovers_ = {};
+        mRestartsDetected_ = {};
+        mRehomed_ = {};
+        mDefaultBudgets_ = {};
+        mDeadRacks_ = {};
+        return;
+    }
+    const telemetry::Labels ls{{"role", roleName()}};
+    mPeriods_ = registry_->counter(
+        "capmaestro_rt_periods_total", ls,
+        "Control periods completed by this worker");
+    mCheckpoints_ = registry_->counter(
+        "capmaestro_rt_checkpoints_sent_total", ls,
+        "Plant-state checkpoints sent upstream");
+    mRehomesSent_ = registry_->counter(
+        "capmaestro_rt_rehomes_sent_total", ls,
+        "Rehome frames sent to re-homing racks");
+    mRehomesApplied_ = registry_->counter(
+        "capmaestro_rt_rehomes_applied_total", ls,
+        "Rehome checkpoints replayed into the local plant");
+    mRehomesDeclined_ = registry_->counter(
+        "capmaestro_rt_rehomes_declined_total", ls,
+        "Rehome frames declined (local state already intact)");
+    mClampedPeriods_ = registry_->counter(
+        "capmaestro_rt_clamped_periods_total", ls,
+        "Periods ridden on the Pcap_min clamp after a replay");
+    mFailovers_ = registry_->counter(
+        "capmaestro_rt_failovers_total", ls,
+        "Rack workers declared dead by heartbeat silence");
+    mRestartsDetected_ = registry_->counter(
+        "capmaestro_rt_restarts_detected_total", ls,
+        "Dead or reincarnated rack instances detected");
+    mRehomed_ = registry_->counter(
+        "capmaestro_rt_rehomed_total", ls,
+        "Racks promoted back to Live after a checkpoint ack");
+    mDefaultBudgets_ = registry_->counter(
+        "capmaestro_rt_default_budgets_total", ls,
+        "Edges that fell back to the Pcap_min default budget");
+    mDeadRacks_ = registry_->gauge(
+        "capmaestro_rt_degraded_racks", ls,
+        "Racks currently Dead or Rehoming (room view)");
+}
+
+std::string
+WorkerRuntime::checkpointPath(std::size_t rack) const
+{
+    return stateDir_ + "/rack" + std::to_string(rack) + ".ckpt";
+}
+
+void
+WorkerRuntime::setStateDir(const std::string &dir)
+{
+    if (!isRoom())
+        util::fatal("rt: setStateDir() needs the room runtime");
+    stateDir_ = dir;
+    loadPersistedCheckpoints();
+}
+
+void
+WorkerRuntime::persistCheckpoint(std::size_t rack)
+{
+    if (stateDir_.empty())
+        return;
+    // The on-disk format is simply the encoded Checkpoint frame: it
+    // reuses the codec's CRC and version checks, so a torn or stale
+    // file is rejected on load exactly like a corrupt frame.
+    const auto bytes = net::encodeCheckpoint(
+        {static_cast<std::uint16_t>(rack), lastEpoch_, 0},
+        checkpoints_.at(rack));
+    const std::string path = checkpointPath(rack);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            util::warn("rt: cannot write checkpoint %s", tmp.c_str());
+            return;
+        }
+        os.write(reinterpret_cast<const char *>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        util::warn("rt: cannot install checkpoint %s", path.c_str());
+}
+
+void
+WorkerRuntime::loadPersistedCheckpoints()
+{
+    for (std::size_t r = 0; r < rackCount_; ++r) {
+        std::ifstream is(checkpointPath(r), std::ios::binary);
+        if (!is)
+            continue;
+        std::vector<std::uint8_t> bytes(
+            (std::istreambuf_iterator<char>(is)),
+            std::istreambuf_iterator<char>());
+        const auto frame = net::decodeFrame(bytes);
+        if (!frame || frame->type != net::MsgType::Checkpoint) {
+            util::warn("rt: ignoring corrupt checkpoint for rack %zu",
+                       r);
+            continue;
+        }
+        checkpoints_[r] = frame->checkpoint;
+    }
 }
 
 } // namespace capmaestro::rt

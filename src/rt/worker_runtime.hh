@@ -18,27 +18,58 @@
  *
  *   rack:  advance the local plant (sensing + actuation), close the
  *          capping-controller period, send heartbeat + per-edge
- *          metrics (blind bounded retransmission — a real rack cannot
- *          see the room's receive state, so it re-sends on a timer up
- *          to maxAttempts), then collect budgets until the budget
- *          deadline; edges with no budget fall back to the Pcap_min
- *          default. Budgets feed the per-server PI loops exactly as in
- *          the monolithic service.
+ *          metrics + a plant-state Checkpoint (blind bounded
+ *          retransmission — a real rack cannot see the room's receive
+ *          state, so it re-sends on a timer up to maxAttempts), then
+ *          collect budgets until the budget deadline; edges with no
+ *          budget fall back to the Pcap_min default. Budgets feed the
+ *          per-server PI loops exactly as in the monolithic service.
  *   room:  collect metrics until the gather deadline (stale-cache
  *          fallback per §4.5), run the upper-tree controllers, then
  *          send per-edge budgets with the same blind bounded
  *          retransmission.
  *
- * Failure handling differs from the in-process plane in one honest
- * way: a dead rack's edge controllers cannot be re-homed, because
- * their plant (servers, sensors) lives in the dead process. The room
- * still detects the silence by heartbeat and logs a WorkerFailover
- * event (adopter -1); the dead rack's edges then ride the
- * stale-metrics -> metrics-lost path and its servers keep their last
- * caps — the conservative §4.5 degradation. The §4.4 SPO round is
- * also skipped here (it needs fleet-wide stranded-power detection,
- * which no single worker can see); the single-process loopback mode
- * of capmaestro_run --transport=udp retains it.
+ * Failover (the gap PR 4 documented, now closed): every rack streams a
+ * compact checkpoint of its recoverable plant state — per-server
+ * capping-integrator value, SPO pin flags, and last-period summaries —
+ * to the room each period. The room keeps the latest checkpoint per
+ * rack (optionally persisted under a state directory for supervisor
+ * restarts) and runs a per-rack liveness state machine:
+ *
+ *   Live ──(heartbeatFailAfter missed)──> Dead: WorkerFailover, the
+ *        rack's edges ride the stale -> lost degradation, budgets stop
+ *        flowing to it.
+ *   Dead ──(any frame heard)──> Rehoming. A *reincarnated* instance is
+ *        also detected from a Live rack by sequence-number regression
+ *        (a restarted process begins again at seq 0), so a worker
+ *        restarted within the same epoch window transitions straight
+ *        to Rehoming — its fresh-plant metrics are never trusted, and
+ *        its liveness is never double-counted against the stale
+ *        accounting of the instance that died.
+ *   Rehoming: the room withholds budgets (the rack rides its Pcap_min
+ *        defaults — the clamp §4.5 requires until fresh metrics exist)
+ *        and sends the stored checkpoint as a Rehome frame each period
+ *        the rack is heard. The rack replays it (restoring integrator
+ *        state, r-hat, summaries, and the plant clock) and acks via
+ *        the rehomeAckEpoch field of its next Checkpoint; an intact
+ *        instance that merely rode out a partition declines the replay
+ *        instead (its own state is newer) and acks likewise.
+ *   Rehoming ──(ack at/after the rehome epoch)──> Live: WorkerRehomed,
+ *        fresh metrics trusted again, budgets resume. Recovery is
+ *        bounded: detection takes at most heartbeatFailAfter periods,
+ *        replay + ack two more, so a supervisor restart re-joins
+ *        within heartbeatFailAfter + restart delay + 2 periods.
+ *
+ * The §4.4 SPO round is still skipped here (it needs fleet-wide
+ * stranded-power detection); the checkpoint carries the pin flags for
+ * format completeness.
+ *
+ * Pacing: Wall mode (daemons, runPeriods()) sleeps to window
+ * boundaries and paces phases with transport deadlines. Lockstep mode
+ * (chaos harness) hands the schedule to the caller: stepUpstream() on
+ * every rack, then stepRoom(), then stepDownstream() on every rack,
+ * one explicit epoch at a time over any injected Transport — this is
+ * what makes kill/restart/partition scripts deterministic.
  *
  * Every degraded decision lands in the runtime's EventLog with the
  * epoch as its timestamp, mirroring ClosedLoopSim's audit trail.
@@ -52,6 +83,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "config/loader.hh"
@@ -63,6 +95,9 @@
 #include "device/server.hh"
 #include "device/workload.hh"
 #include "net/udp_transport.hh"
+#include "net/wire.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
 
 namespace capmaestro::rt {
 
@@ -86,18 +121,48 @@ struct RuntimeStats
     std::size_t corruptFrames = 0;
     /** Retransmissions sent (both phases). */
     std::size_t retries = 0;
+    /** Rack: checkpoints sent upstream. */
+    std::size_t checkpointsSent = 0;
+    /** Room: checkpoints received and stored. */
+    std::size_t checkpointsStored = 0;
+    /** Room: Rehome frames sent to re-homing racks. */
+    std::size_t rehomesSent = 0;
+    /** Rack: Rehome checkpoints replayed into the local plant. */
+    std::size_t rehomesApplied = 0;
+    /** Rack: Rehome frames declined (local state already intact). */
+    std::size_t rehomesDeclined = 0;
+    /** Rack: periods ridden on the Pcap_min clamp after a replay. */
+    std::size_t clampedPeriods = 0;
+    /** Room: dead or reincarnated rack instances detected. */
+    std::size_t restartsDetected = 0;
+    /** Room: racks promoted back to Live after a checkpoint ack. */
+    std::size_t rehomed = 0;
+};
+
+/** Room-side liveness state of one rack worker. */
+enum class RackState { Live, Dead, Rehoming };
+
+/** How the period schedule is driven. */
+enum class Pacing {
+    /** Sleep to wall-clock windows; runPeriods() drives (daemons). */
+    Wall,
+    /** The caller drives phases explicitly via step*() (harnesses). */
+    Lockstep,
 };
 
 /**
- * One worker process's runtime: plant + protocol state machine, paced
- * by the wall clock. Construct with role 0..N-1 for a rack worker or
- * role N for the room (N = DistributedControlPlane::rackWorkerCountFor
- * on the scenario's power system).
+ * One worker process's runtime: plant + protocol state machine.
+ * Construct with role 0..N-1 for a rack worker or role N for the room
+ * (N = DistributedControlPlane::rackWorkerCountFor on the scenario's
+ * power system).
  */
 class WorkerRuntime
 {
   public:
     /**
+     * Wall-paced runtime over an internally owned UdpTransport (the
+     * daemon shape).
+     *
      * @param scenario  loaded scenario (ownership taken; every worker
      *                  process loads the same file)
      * @param peers     shared peer table (ports, periodMs, originMs)
@@ -109,6 +174,16 @@ class WorkerRuntime
     WorkerRuntime(config::LoadedScenario scenario,
                   config::WorkerPeers peers, std::uint32_t role,
                   std::uint64_t seed = 1);
+
+    /**
+     * Runtime over an injected transport (not owned; must outlive the
+     * runtime). Lockstep pacing skips every wall-clock validation —
+     * the harness owns the epoch schedule.
+     */
+    WorkerRuntime(config::LoadedScenario scenario,
+                  config::WorkerPeers peers, std::uint32_t role,
+                  std::uint64_t seed, net::Transport &transport,
+                  Pacing pacing);
 
     ~WorkerRuntime();
 
@@ -122,10 +197,27 @@ class WorkerRuntime
     std::size_t rackCount() const { return rackCount_; }
 
     /**
-     * Run up to @p max_periods control periods, each aligned to its
-     * wall-clock window, until requestStop(). Returns periods run.
+     * Wall pacing only: run up to @p max_periods control periods, each
+     * aligned to its wall-clock window, until requestStop(). Returns
+     * periods run.
      */
     std::size_t runPeriods(std::size_t max_periods);
+
+    // ---- Lockstep pacing: the caller drives one epoch as
+    // stepUpstream() on every live rack, stepRoom(), then
+    // stepDownstream() on every live rack.
+
+    /** Rack, lockstep: advance the plant and send the upstream batch
+     *  (heartbeat + metrics + checkpoint) once, without pacing. */
+    void stepUpstream(std::uint32_t epoch);
+
+    /** Room, lockstep: gather, run liveness/failover, compute and send
+     *  budgets (+ Rehome frames) once. */
+    void stepRoom(std::uint32_t epoch);
+
+    /** Rack, lockstep: collect budgets/Rehome, apply defaults and
+     *  per-server caps. */
+    void stepDownstream(std::uint32_t epoch);
 
     /**
      * Ask the period loop to exit at the next check (async-signal-safe:
@@ -139,8 +231,14 @@ class WorkerRuntime
     /** Degraded-mode decisions (timestamps are epochs). */
     const core::EventLog &eventLog() const { return events_; }
 
-    /** The UDP transport (e.g., to rewire ephemeral ports in tests). */
-    net::UdpTransport &transport() { return *transport_; }
+    /** The transport this runtime speaks over. */
+    net::Transport &transport() { return *transport_; }
+
+    /**
+     * The internally owned UDP transport (e.g., to rewire ephemeral
+     * ports in tests), or nullptr when a transport was injected.
+     */
+    net::UdpTransport *udp() { return ownedTransport_.get(); }
 
     /** Epoch of the most recently completed period (0 before any). */
     std::uint32_t lastEpoch() const { return lastEpoch_; }
@@ -151,6 +249,33 @@ class WorkerRuntime
      * server is not homed on this rack).
      */
     std::vector<Watts> lastServerBudgets(std::size_t server_id) const;
+
+    /** Rack only: (tree, edge) -> AC budget applied last period. */
+    const std::map<std::pair<std::size_t, topo::NodeId>, Watts> &
+    lastEdgeBudgets() const
+    {
+        return lastEdgeBudgets_;
+    }
+
+    /** Room only: liveness state of rack @p r. */
+    RackState rackState(std::size_t r) const;
+
+    /**
+     * Attach a metrics registry and (optionally) a period tracer.
+     * Counters are labeled {role=rackN|room}; the transport is
+     * instrumented too. nullptr detaches.
+     */
+    void setTelemetry(telemetry::Registry *registry,
+                      telemetry::PeriodTracer *tracer = nullptr);
+
+    /**
+     * Room only: persist the latest checkpoint per rack under
+     * @p dir (one file per rack, atomically replaced), and load any
+     * checkpoints a previous room instance left there — how a
+     * supervisor-restarted room can still re-home racks that died
+     * while it was down.
+     */
+    void setStateDir(const std::string &dir);
 
   private:
     /** One server whose plant lives in this rack process. */
@@ -175,6 +300,36 @@ class WorkerRuntime
         bool valid = false;
     };
 
+    /** Room's per-rack liveness and re-homing bookkeeping. */
+    struct RackHealth
+    {
+        RackState state = RackState::Live;
+        int missed = 0;
+        /** Highest sequence number seen from the current instance. */
+        std::uint32_t maxSeq = 0;
+        bool seqSeen = false;
+        /** Latest rehomeAckEpoch reported by the rack's checkpoints. */
+        std::uint32_t lastAckEpoch = 0;
+        /** Epoch the current re-homing round's first Rehome was sent
+         *  (0 = none yet this round). */
+        std::uint32_t rehomeEpoch = 0;
+    };
+
+    /** Shared ctor body: validate the deployment and build the role. */
+    void init(std::uint64_t seed);
+
+    /**
+     * Precompute the config-nominal Pcap_min floor of every edge:
+     * sum over the edge's supply leaves of server capMin x nominal
+     * load share, clamped to the edge device limit. Derived purely
+     * from the scenario file, so every process computes bit-identical
+     * values — the contract that makes degraded-mode budgeting safe:
+     * a rack's unilateral fallback never exceeds this floor, and the
+     * room reserves exactly this floor out of the tree budget for
+     * every rack it is not currently budgeting.
+     */
+    void computeNominalFloors();
+
     std::uint32_t epochAt(std::uint64_t unix_ms) const;
     std::uint64_t unixNowMs() const;
     /** Sleep until @p unix_ms, checking stop_; false when stopped. */
@@ -184,12 +339,51 @@ class WorkerRuntime
     void runRoomPeriod(std::uint32_t epoch);
     void buildRack(std::uint64_t seed);
     void buildRoom();
+    std::string roleName() const;
+
+    // ---- rack phase helpers (shared by Wall and Lockstep pacing)
+    void rackAdvancePlant(std::uint32_t epoch);
+    std::vector<std::vector<std::uint8_t>>
+    buildUpstreamFrames(std::uint32_t epoch);
+    /** Handle one downstream frame; true when it was a Rehome. */
+    bool processDownFrame(const net::Frame &frame, std::uint32_t epoch,
+                          std::set<std::pair<std::size_t, topo::NodeId>>
+                              &applied);
+    void replayCheckpoint(const net::CheckpointMsg &msg,
+                          std::uint32_t epoch);
+    void finishRackPeriod(
+        std::uint32_t epoch,
+        const std::set<std::pair<std::size_t, topo::NodeId>> &applied);
+
+    // ---- room phase helpers
+    void roomGather(std::uint32_t epoch, bool paced);
+    void noteRackFrame(std::size_t rack, std::uint32_t seq,
+                       std::uint32_t epoch);
+    /** Frames in one of rack @p rack's upstream batches (heartbeat +
+     *  one metrics frame per owned edge + checkpoint) — the sequence
+     *  regression a retransmitted batch can legitimately show. */
+    std::uint32_t rackBatchSize(std::size_t rack) const;
+    void beginRehoming(std::size_t rack, std::uint32_t epoch);
+    void roomLiveness(std::uint32_t epoch);
+    void roomComputeAndSend(std::uint32_t epoch, bool paced);
+    void persistCheckpoint(std::size_t rack);
+    void loadPersistedCheckpoints();
+    std::string checkpointPath(std::size_t rack) const;
+    std::size_t deadOrRehomingCount() const;
+
+    void finishPeriod(std::uint32_t epoch);
 
     config::LoadedScenario scenario_;
     config::WorkerPeers peers_;
+    /** (tree, edge node) -> nominal Pcap_min floor (see
+     *  computeNominalFloors()); identical in every process. */
+    std::map<std::pair<std::size_t, topo::NodeId>, Watts>
+        nominalFloor_;
     std::uint32_t role_ = 0;
     std::size_t rackCount_ = 0;
-    std::unique_ptr<net::UdpTransport> transport_;
+    Pacing pacing_ = Pacing::Wall;
+    std::unique_ptr<net::UdpTransport> ownedTransport_;
+    net::Transport *transport_ = nullptr;
     std::atomic<bool> stop_{false};
     RuntimeStats stats_;
     core::EventLog events_;
@@ -203,16 +397,45 @@ class WorkerRuntime
     std::vector<Plant> plants_;
     /** Simulated plant time (advances controlPeriod per wall period). */
     Seconds simNow_ = 0;
+    /** Checkpoint built by the last rackAdvancePlant(). */
+    net::CheckpointMsg lastCheckpoint_;
+    /** Epoch of the last Rehome this instance processed (0 = none). */
+    std::uint32_t rehomeAckEpoch_ = 0;
+    /** A Rehome was replayed during the current period. */
+    bool replayedThisPeriod_ = false;
+    std::map<std::pair<std::size_t, topo::NodeId>, Watts>
+        lastEdgeBudgets_;
 
     // -------- room state
     std::unique_ptr<core::RoomWorker> room_;
     /** (tree, edge node) -> owning rack, full partition view. */
     std::map<std::pair<std::size_t, topo::NodeId>, std::size_t>
         edgeOwner_;
-    std::vector<int> missedHeartbeats_;
-    std::vector<bool> rackDeclaredDead_;
+    std::vector<RackHealth> rackHealth_;
     std::map<std::pair<std::size_t, topo::NodeId>, CachedMetrics>
         metricCache_;
+    /** Latest checkpoint per rack. */
+    std::map<std::size_t, net::CheckpointMsg> checkpoints_;
+    /** Per-epoch gather results (cleared by roomGather). */
+    std::set<std::size_t> heard_;
+    std::map<std::pair<std::size_t, topo::NodeId>, ctrl::NodeMetrics>
+        fresh_;
+    std::string stateDir_;
+
+    // -------- telemetry (null-safe no-op handles when detached)
+    telemetry::Registry *registry_ = nullptr;
+    telemetry::PeriodTracer *tracer_ = nullptr;
+    telemetry::Counter mPeriods_;
+    telemetry::Counter mCheckpoints_;
+    telemetry::Counter mRehomesSent_;
+    telemetry::Counter mRehomesApplied_;
+    telemetry::Counter mRehomesDeclined_;
+    telemetry::Counter mClampedPeriods_;
+    telemetry::Counter mFailovers_;
+    telemetry::Counter mRestartsDetected_;
+    telemetry::Counter mRehomed_;
+    telemetry::Counter mDefaultBudgets_;
+    telemetry::Gauge mDeadRacks_;
 };
 
 } // namespace capmaestro::rt

@@ -41,6 +41,16 @@ PeriodTrace::num(const std::string &key) const
     return 0.0;
 }
 
+std::string
+PeriodTrace::str(const std::string &key) const
+{
+    for (const auto &[k, v] : strs) {
+        if (k == key)
+            return v;
+    }
+    return "";
+}
+
 std::vector<const TraceSpan *>
 PeriodTrace::named(const std::string &name) const
 {
@@ -134,6 +144,14 @@ PeriodTracer::periodNum(const std::string &key, double value)
     current_.nums.emplace_back(key, value);
 }
 
+void
+PeriodTracer::periodStr(const std::string &key, std::string value)
+{
+    if (!open_)
+        return;
+    current_.strs.emplace_back(key, std::move(value));
+}
+
 util::Json
 PeriodTracer::toJson(const PeriodTrace &trace)
 {
@@ -145,6 +163,8 @@ PeriodTracer::toJson(const PeriodTrace &trace)
     obj.emplace("wallMs", util::Json(trace.wallMs));
     util::Json::Object attrs;
     for (const auto &[key, value] : trace.nums)
+        attrs.emplace(key, util::Json(value));
+    for (const auto &[key, value] : trace.strs)
         attrs.emplace(key, util::Json(value));
     if (!attrs.empty())
         obj.emplace("attrs", util::Json(std::move(attrs)));

@@ -73,10 +73,14 @@ struct PeriodTrace
     double wallMs = 0.0;
     /** Period-level numeric attributes (feasibility, totals, ...). */
     std::vector<std::pair<std::string, double>> nums;
+    /** Period-level string attributes (role, rack state, ...). */
+    std::vector<std::pair<std::string, std::string>> strs;
     std::vector<TraceSpan> spans;
 
     /** Period-level numeric attribute by key (0 when absent). */
     double num(const std::string &key) const;
+    /** Period-level string attribute by key ("" when absent). */
+    std::string str(const std::string &key) const;
     /** Spans named @p name (top level and nested). */
     std::vector<const TraceSpan *> named(const std::string &name) const;
 };
@@ -123,6 +127,10 @@ class PeriodTracer
 
     /** Attach a numeric attribute to the open period itself. */
     void periodNum(const std::string &key, double value);
+
+    /** Attach a string attribute to the open period itself (e.g. the
+     *  worker role or a failover state-machine label). */
+    void periodStr(const std::string &key, std::string value);
 
     /** All completed period traces, in order. */
     const std::vector<PeriodTrace> &periods() const { return periods_; }

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Deterministic chaos tests for the rt failover story (checkpoint,
+ * restart detection, re-homing), driven through the rt/chaos lockstep
+ * harness. A seeded ChaosScheduler kills, restarts, and partitions
+ * workers at scripted control periods while the harness audits the
+ * §4.5 safety claim after every epoch: no applied edge budget may
+ * exceed a device limit, and no tree's applied total may exceed its
+ * root budget — ever, including while racks are dead, re-homing, or
+ * partitioned.
+ *
+ * The same scripts run over both Transport backends:
+ *   - SimTransport: virtual clock, fully deterministic — the per-epoch
+ *     log (applied budgets as raw IEEE-754 bit patterns) must be
+ *     bit-identical across same-seed runs;
+ *   - UdpTransport: one shared loopback socket set — behavior-level
+ *     assertions only (the kernel schedules delivery), skipped under
+ *     CAPMAESTRO_NO_NET=1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/events.hh"
+#include "net/transport.hh"
+#include "rt/chaos.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+#define SKIP_WITHOUT_NET()                                            \
+    do {                                                              \
+        if (std::getenv("CAPMAESTRO_NO_NET") != nullptr)              \
+            GTEST_SKIP() << "CAPMAESTRO_NO_NET is set";               \
+    } while (0)
+
+/** Same dual-feed two-rack testbed the worker-runtime tests use. */
+const char *kScenario = R"({
+  "feeds": 2,
+  "trees": [
+    {
+      "feed": 0, "phase": 0, "name": "X",
+      "root": {
+        "kind": "breaker", "name": "topCB", "rating": 1400,
+        "children": [
+          { "kind": "breaker", "name": "leftCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 0, "supply": 0 },
+              { "kind": "supply", "server": 2, "supply": 0 } ] },
+          { "kind": "breaker", "name": "rightCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 1, "supply": 0 },
+              { "kind": "supply", "server": 3, "supply": 0 } ] }
+        ]
+      }
+    },
+    {
+      "feed": 1, "phase": 0, "name": "Y",
+      "root": {
+        "kind": "breaker", "name": "topCB", "rating": 1400,
+        "children": [
+          { "kind": "breaker", "name": "leftCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 0, "supply": 1 },
+              { "kind": "supply", "server": 2, "supply": 1 } ] },
+          { "kind": "breaker", "name": "rightCB", "rating": 750,
+            "children": [
+              { "kind": "supply", "server": 1, "supply": 1 },
+              { "kind": "supply", "server": 3, "supply": 1 } ] }
+        ]
+      }
+    }
+  ],
+  "servers": [
+    { "name": "SA", "priority": 1,
+      "supplies": [ { "share": 0.5 }, { "share": 0.5 } ],
+      "workload": { "type": "constant", "utilization": 0.684 } },
+    { "name": "SB",
+      "supplies": [ { "share": 0.5 }, { "share": 0.5 } ],
+      "workload": { "type": "constant", "utilization": 0.686 } },
+    { "name": "SC",
+      "supplies": [ { "share": 0.53 }, { "share": 0.47 } ],
+      "workload": { "type": "constant", "utilization": 0.722 } },
+    { "name": "SD",
+      "supplies": [ { "share": 0.46 }, { "share": 0.54 } ],
+      "workload": { "type": "constant", "utilization": 0.734 } }
+  ],
+  "service": { "policy": "global", "spo": false },
+  "budgets": { "totalPerPhase": 1400 }
+})";
+
+/** The fixed chaos script both backends run: a kill long enough to be
+ *  declared dead, a room-side partition, and a second kill — every
+ *  §4.5 state transition fires at a known epoch. */
+void
+scriptStandardChaos(rt::ChaosScheduler &chaos, std::size_t racks)
+{
+    ASSERT_EQ(racks, 2u);
+    chaos.at(5, rt::ChaosEvent::Kind::Kill, 0);
+    chaos.at(9, rt::ChaosEvent::Kind::Restart, 0);
+    chaos.at(14, rt::ChaosEvent::Kind::Partition, 1, 2); // rack1 | room
+    chaos.at(18, rt::ChaosEvent::Kind::Heal);
+    chaos.at(23, rt::ChaosEvent::Kind::Kill, 1);
+    chaos.at(27, rt::ChaosEvent::Kind::Restart, 1);
+}
+
+} // namespace
+
+TEST(Failover, ChaosScheduleIsDeterministic)
+{
+    rt::ChaosScheduler a(99);
+    rt::ChaosScheduler b(99);
+    a.randomKillRestarts(2, 5, 100, 10, 3);
+    b.randomKillRestarts(2, 5, 100, 10, 3);
+    ASSERT_EQ(a.events().size(), b.events().size());
+    ASSERT_EQ(a.events().size(), 20u); // kill + restart per cycle
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+        EXPECT_EQ(a.events()[i].epoch, b.events()[i].epoch);
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_EQ(a.events()[i].a, b.events()[i].a);
+    }
+
+    rt::ChaosScheduler c(100); // different seed, different script
+    c.randomKillRestarts(2, 5, 100, 10, 3);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+        any_diff |= a.events()[i].epoch != c.events()[i].epoch
+                    || a.events()[i].a != c.events()[i].a;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Failover, SimChaosNeverViolatesBudgetsAndRehomesEveryRestart)
+{
+    rt::LockstepDeployment dep(kScenario, rt::ChaosBackend::Sim,
+                               net::TransportConfig{}, /*seed=*/11);
+    scriptStandardChaos(dep.chaos(), dep.rackCount());
+    const auto report = dep.run(35);
+
+    EXPECT_EQ(report.epochsRun, 35u);
+    // The headline §4.5 claim: zero budget violations under chaos.
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    // Both kill/restart cycles completed a re-homing handshake.
+    EXPECT_EQ(report.recoveries, 2u);
+    EXPECT_EQ(report.unrecovered, 0u);
+    EXPECT_GE(report.maxRecoveryPeriods, 1u);
+    EXPECT_LE(report.maxRecoveryPeriods, 5u);
+
+    const auto &room = dep.room().stats();
+    // Kill at 5 (down 4 > heartbeatFailAfter) and kill at 23 were both
+    // declared dead; the partition (4 epochs of silence) adds a third.
+    EXPECT_EQ(room.failovers, 3u);
+    // Every reappearance — two restarts plus the partition heal — went
+    // through re-homing, and each handshake completed.
+    EXPECT_EQ(room.restartsDetected, 3u);
+    EXPECT_EQ(room.rehomed, 3u);
+    EXPECT_GE(room.rehomesSent, 3u);
+    EXPECT_GT(room.checkpointsStored, 0u);
+    EXPECT_EQ(
+        dep.room().eventLog().ofKind(core::EventKind::WorkerRehomed)
+            .size(),
+        3u);
+
+    // The genuinely restarted instances replayed their checkpoints;
+    // the partitioned rack survived with newer local state and must
+    // have *declined* its replay (its plant never died).
+    ASSERT_NE(dep.rack(0), nullptr);
+    ASSERT_NE(dep.rack(1), nullptr);
+    EXPECT_EQ(dep.rack(0)->stats().rehomesApplied, 1u);
+    EXPECT_EQ(dep.rack(1)->stats().rehomesApplied, 1u);
+    EXPECT_EQ(dep.rack(1)->stats().rehomesDeclined, 0u); // fresh instance
+    // The decline happened before rack 1's kill, in the pre-restart
+    // instance — visible in the room's ledger, not the final instance's.
+    EXPECT_EQ(
+        dep.room().eventLog().ofKind(core::EventKind::WorkerFailover)
+            .size(),
+        3u);
+}
+
+TEST(Failover, PartitionHealDeclinesReplayAndKeepsLocalState)
+{
+    // A partition (not a crash) means the rack's local state is newer
+    // than the room's checkpoint: after the heal the room offers a
+    // replay, and the rack must decline it instead of rolling back —
+    // while the handshake still completes and budgets resume.
+    rt::LockstepDeployment dep(kScenario, rt::ChaosBackend::Sim,
+                               net::TransportConfig{}, /*seed=*/23);
+    dep.chaos().at(6, rt::ChaosEvent::Kind::Partition, 0, 2);
+    dep.chaos().at(11, rt::ChaosEvent::Kind::Heal);
+    const auto report = dep.run(16);
+
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    const auto &room = dep.room().stats();
+    EXPECT_EQ(room.failovers, 1u);
+    EXPECT_EQ(room.rehomed, 1u);
+
+    ASSERT_NE(dep.rack(0), nullptr);
+    const auto &rack0 = dep.rack(0)->stats();
+    EXPECT_EQ(rack0.rehomesDeclined, 1u);
+    EXPECT_EQ(rack0.rehomesApplied, 0u);
+    EXPECT_TRUE(dep.rack(0)
+                    ->eventLog()
+                    .ofKind(core::EventKind::CheckpointReplayed)
+                    .empty());
+    EXPECT_EQ(dep.rack(0)
+                  ->eventLog()
+                  .ofKind(core::EventKind::RehomeDeclined)
+                  .size(),
+              1u);
+    // Once Live again, budgets flow: the last epochs ran undegraded.
+    EXPECT_GT(rack0.budgetsApplied, 0u);
+}
+
+TEST(Failover, SimSameSeedRunsAreBitReproducible)
+{
+    // The acceptance bar: two same-seed Sim runs produce bit-identical
+    // epoch-by-epoch traces, applied budgets compared as raw IEEE-754
+    // patterns (the log lines embed them as hex).
+    auto run_once = [] {
+        rt::LockstepDeployment dep(kScenario, rt::ChaosBackend::Sim,
+                                   net::TransportConfig{}, /*seed=*/77);
+        dep.chaos().randomKillRestarts(dep.rackCount(), 4, 40, 4, 4);
+        return dep.run(60);
+    };
+    const auto first = run_once();
+    const auto second = run_once();
+
+    EXPECT_EQ(first.violations, 0u) << first.firstViolation;
+    EXPECT_EQ(first.recoveries, 4u);
+    EXPECT_EQ(first.unrecovered, 0u);
+    ASSERT_EQ(first.log.size(), second.log.size());
+    for (std::size_t i = 0; i < first.log.size(); ++i)
+        ASSERT_EQ(first.log[i], second.log[i]) << "epoch line " << i;
+    EXPECT_EQ(first.recoveries, second.recoveries);
+    EXPECT_EQ(first.maxRecoveryPeriods, second.maxRecoveryPeriods);
+}
+
+TEST(Failover, UdpChaosNeverViolatesBudgetsAndRehomesEveryRestart)
+{
+    SKIP_WITHOUT_NET();
+    // The same script over real loopback sockets: one shared socket
+    // set for the whole deployment, a restarted runtime reusing its
+    // role's port. The kernel owns delivery timing, so assertions are
+    // behavior-level (states and counters), not bit-level.
+    rt::LockstepDeployment dep(kScenario, rt::ChaosBackend::Udp,
+                               net::TransportConfig{}, /*seed=*/11);
+    scriptStandardChaos(dep.chaos(), dep.rackCount());
+    const auto report = dep.run(35);
+
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    EXPECT_EQ(report.recoveries, 2u);
+    EXPECT_EQ(report.unrecovered, 0u);
+    EXPECT_LE(report.maxRecoveryPeriods, 8u);
+
+    const auto &room = dep.room().stats();
+    EXPECT_GE(room.failovers, 3u);
+    EXPECT_GE(room.rehomed, 3u);
+    ASSERT_NE(dep.rack(0), nullptr);
+    ASSERT_NE(dep.rack(1), nullptr);
+    EXPECT_EQ(dep.rack(0)->stats().rehomesApplied, 1u);
+    EXPECT_EQ(dep.rack(1)->stats().rehomesApplied, 1u);
+}
+
+TEST(Failover, SimLossyTransportStillRehomes)
+{
+    // Chaos on top of an already-lossy message plane: drops, dups, and
+    // reorders while racks die and return. Slightly looser recovery
+    // bound (lost Rehome frames cost a period each), same hard safety
+    // bar.
+    net::TransportConfig faults;
+    faults.dropRate = 0.15;
+    faults.dupRate = 0.05;
+    faults.reorderRate = 0.1;
+    faults.seed = 555;
+    rt::LockstepDeployment dep(kScenario, rt::ChaosBackend::Sim, faults,
+                               /*seed=*/31);
+    scriptStandardChaos(dep.chaos(), dep.rackCount());
+    const auto report = dep.run(45);
+
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    EXPECT_EQ(report.recoveries, 2u);
+    EXPECT_EQ(report.unrecovered, 0u);
+    EXPECT_LE(report.maxRecoveryPeriods, 10u);
+    EXPECT_GE(dep.room().stats().rehomed, 3u);
+}

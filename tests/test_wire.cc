@@ -444,6 +444,275 @@ TEST(Wire, HostileMetricsCountRejectedBeforeAllocation)
     EXPECT_FALSE(net::decodeFrame(bytes).has_value());
 }
 
+namespace {
+
+/** A checkpoint exercising every field with precision-hostile values. */
+net::CheckpointMsg
+sampleCheckpoint()
+{
+    net::CheckpointMsg msg;
+    msg.simNow = 12345.000000000001;
+    msg.rehomeAckEpoch = 0xDEADBEEF;
+    net::CheckpointServer a;
+    a.serverId = 7;
+    a.integratorPrimed = true;
+    a.spoPinned = false;
+    a.integratorDc = 270.1 + 0.2;
+    a.demandEstimate = 412.3333333333333;
+    a.avgThrottle = 0.1 + 0.2;
+    a.supplies.push_back({350.125, 0.5000000001, 348.875});
+    a.supplies.push_back({349.875, 0.4999999999, 351.0625});
+    msg.servers.push_back(a);
+    net::CheckpointServer b;
+    b.serverId = 2;
+    b.integratorPrimed = false;
+    b.spoPinned = true;
+    b.avgThrottle = 1.0;
+    b.supplies.push_back({0.0, 1.0, 0.0});
+    msg.servers.push_back(b);
+    // A server with no supplies at all (dead plant) must round-trip.
+    net::CheckpointServer c;
+    c.serverId = 9;
+    msg.servers.push_back(c);
+    return msg;
+}
+
+void
+expectBitExact(const net::CheckpointMsg &a, const net::CheckpointMsg &b)
+{
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.simNow),
+              std::bit_cast<std::uint64_t>(b.simNow));
+    EXPECT_EQ(a.rehomeAckEpoch, b.rehomeAckEpoch);
+    ASSERT_EQ(a.servers.size(), b.servers.size());
+    for (std::size_t i = 0; i < a.servers.size(); ++i) {
+        const auto &sa = a.servers[i];
+        const auto &sb = b.servers[i];
+        EXPECT_EQ(sa.serverId, sb.serverId);
+        EXPECT_EQ(sa.integratorPrimed, sb.integratorPrimed);
+        EXPECT_EQ(sa.spoPinned, sb.spoPinned);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.integratorDc),
+                  std::bit_cast<std::uint64_t>(sb.integratorDc));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.demandEstimate),
+                  std::bit_cast<std::uint64_t>(sb.demandEstimate));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.avgThrottle),
+                  std::bit_cast<std::uint64_t>(sb.avgThrottle));
+        ASSERT_EQ(sa.supplies.size(), sb.supplies.size());
+        for (std::size_t s = 0; s < sa.supplies.size(); ++s) {
+            EXPECT_EQ(
+                std::bit_cast<std::uint64_t>(sa.supplies[s].lastBudget),
+                std::bit_cast<std::uint64_t>(sb.supplies[s].lastBudget));
+            EXPECT_EQ(
+                std::bit_cast<std::uint64_t>(sa.supplies[s].share),
+                std::bit_cast<std::uint64_t>(sb.supplies[s].share));
+            EXPECT_EQ(
+                std::bit_cast<std::uint64_t>(sa.supplies[s].avgAc),
+                std::bit_cast<std::uint64_t>(sb.supplies[s].avgAc));
+        }
+    }
+}
+
+} // namespace
+
+TEST(Wire, CheckpointRoundTripIsBitExact)
+{
+    const auto msg = sampleCheckpoint();
+    const FrameMeta meta{3, 4000, 123};
+    const auto bytes = net::encodeCheckpoint(meta, msg);
+
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Checkpoint);
+    EXPECT_EQ(frame->sender, 3);
+    EXPECT_EQ(frame->epoch, 4000u);
+    EXPECT_EQ(frame->seq, 123u);
+    expectBitExact(frame->checkpoint, msg);
+}
+
+TEST(Wire, RehomeReusesCheckpointLayoutUnderDistinctType)
+{
+    // A re-played checkpoint travels under its own type code, so a
+    // retransmitted upstream Checkpoint can never masquerade as the
+    // room's downstream Rehome (or vice versa).
+    const auto msg = sampleCheckpoint();
+    const FrameMeta meta{net::kRoomSender, 8, 44};
+    const auto frame = net::decodeFrame(net::encodeRehome(meta, msg));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Rehome);
+    EXPECT_EQ(frame->sender, net::kRoomSender);
+    expectBitExact(frame->checkpoint, msg);
+
+    const auto up = net::decodeFrame(net::encodeCheckpoint(meta, msg));
+    ASSERT_TRUE(up.has_value());
+    EXPECT_NE(up->type, frame->type);
+}
+
+TEST(Wire, EmptyCheckpointRoundTrip)
+{
+    // The room completes a re-homing handshake with an empty Rehome
+    // when it never stored a checkpoint; the codec must carry it.
+    net::CheckpointMsg msg;
+    msg.simNow = 0.0;
+    const auto frame =
+        net::decodeFrame(net::encodeRehome(FrameMeta{}, msg));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(frame->checkpoint.servers.empty());
+}
+
+TEST(Wire, CheckpointEveryTruncationRejected)
+{
+    const auto bytes =
+        net::encodeCheckpoint(FrameMeta{1, 2, 3}, sampleCheckpoint());
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + len);
+        EXPECT_FALSE(net::decodeFrame(prefix).has_value())
+            << "prefix of " << len << " bytes decoded";
+    }
+}
+
+TEST(Wire, CheckpointEverySingleBitFlipRejected)
+{
+    const auto bytes =
+        net::encodeRehome(FrameMeta{1, 2, 3}, sampleCheckpoint());
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        auto corrupted = bytes;
+        corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(net::decodeFrame(corrupted).has_value())
+            << "bit " << bit << " flip decoded";
+    }
+}
+
+TEST(Wire, CheckpointVersionSkewRejected)
+{
+    // A frame from a pre-failover (or future) build must be rejected on
+    // its version byte alone; keep the CRC honest so nothing else can
+    // be the reason.
+    for (const std::uint8_t version :
+         {static_cast<std::uint8_t>(net::kWireVersion - 1),
+          static_cast<std::uint8_t>(net::kWireVersion + 1),
+          static_cast<std::uint8_t>(0), static_cast<std::uint8_t>(255)}) {
+        auto bytes = net::encodeCheckpoint(FrameMeta{1, 2, 3},
+                                           sampleCheckpoint());
+        bytes[2] = version;
+        refreshCrc(bytes);
+        EXPECT_FALSE(net::decodeFrame(bytes).has_value())
+            << "version " << static_cast<int>(version);
+    }
+}
+
+namespace {
+
+/**
+ * Hand-assemble a Checkpoint frame whose payload bytes are given
+ * verbatim (valid magic/version/length/CRC), so only the payload
+ * parser can reject it.
+ */
+std::vector<std::uint8_t>
+rawCheckpointFrame(const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> bytes = {
+        0x9E, 0xCA,                  // magic, little-endian
+        net::kWireVersion,
+        static_cast<std::uint8_t>(MsgType::Checkpoint),
+        0x01, 0x00,                  // sender
+        0x02, 0x00, 0x00, 0x00,      // epoch
+        0x03, 0x00, 0x00, 0x00,      // seq
+        static_cast<std::uint8_t>(payload.size() & 0xFF),
+        static_cast<std::uint8_t>(payload.size() >> 8),
+    };
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    bytes.resize(bytes.size() + net::kCrcSize, 0);
+    refreshCrc(bytes);
+    return bytes;
+}
+
+} // namespace
+
+TEST(Wire, HostileCheckpointServerCountRejectedBeforeAllocation)
+{
+    // Fixed prelude: simNow f64, rehomeAckEpoch u32, then a server
+    // count promising far more records than the payload (or the
+    // kMaxCheckpointServers bound) allows. The parser must reject on
+    // the declared count, not fault after a count-sized allocation.
+    for (const std::uint16_t hostile : {
+             static_cast<std::uint16_t>(net::kMaxCheckpointServers + 1),
+             static_cast<std::uint16_t>(1024),
+             static_cast<std::uint16_t>(65535)}) {
+        std::vector<std::uint8_t> payload(14, 0);
+        payload[12] = static_cast<std::uint8_t>(hostile & 0xFF);
+        payload[13] = static_cast<std::uint8_t>(hostile >> 8);
+        EXPECT_FALSE(
+            net::decodeFrame(rawCheckpointFrame(payload)).has_value())
+            << "server count " << hostile;
+    }
+}
+
+TEST(Wire, HostileCheckpointSupplyCountRejectedBeforeAllocation)
+{
+    // One well-formed server record whose supplyCount promises more
+    // slices than the payload carries (and more than the
+    // kMaxCheckpointSupplies bound).
+    for (const std::uint16_t hostile : {
+             static_cast<std::uint16_t>(net::kMaxCheckpointSupplies + 1),
+             static_cast<std::uint16_t>(512),
+             static_cast<std::uint16_t>(65535)}) {
+        std::vector<std::uint8_t> payload(14, 0);
+        payload[12] = 1; // one server
+        std::vector<std::uint8_t> server(31, 0);
+        server[29] = static_cast<std::uint8_t>(hostile & 0xFF);
+        server[30] = static_cast<std::uint8_t>(hostile >> 8);
+        payload.insert(payload.end(), server.begin(), server.end());
+        EXPECT_FALSE(
+            net::decodeFrame(rawCheckpointFrame(payload)).has_value())
+            << "supply count " << hostile;
+    }
+}
+
+TEST(Wire, CheckpointTrailingGarbageRejected)
+{
+    // Extra bytes after the last declared server record mean the
+    // payload length and the structure disagree; reject.
+    const auto msg = sampleCheckpoint();
+    auto bytes = net::encodeCheckpoint(FrameMeta{1, 2, 3}, msg);
+    const std::size_t payload_len =
+        bytes.size() - net::kHeaderSize - net::kCrcSize;
+    bytes.insert(bytes.end() - net::kCrcSize, 0x00);
+    declarePayloadLength(
+        bytes, static_cast<std::uint16_t>(payload_len + 1));
+    refreshCrc(bytes);
+    EXPECT_FALSE(net::decodeFrame(bytes).has_value());
+}
+
+TEST(Wire, CheckpointRandomMultiBitCorruptionNeverCrashes)
+{
+    // Multi-bit errors can in principle alias the CRC; anything that
+    // does decode must still satisfy the structural sanity bounds.
+    util::Rng rng(60188);
+    const auto base =
+        net::encodeCheckpoint(FrameMeta{1, 2, 3}, sampleCheckpoint());
+    for (int trial = 0; trial < 2000; ++trial) {
+        auto corrupted = base;
+        const int flips = rng.uniformInt(2, 64);
+        for (int f = 0; f < flips; ++f) {
+            const auto bit = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(corrupted.size() * 8) - 1));
+            corrupted[bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        const auto frame = net::decodeFrame(corrupted);
+        if (frame.has_value()
+            && (frame->type == MsgType::Checkpoint
+                || frame->type == MsgType::Rehome)) {
+            EXPECT_LE(frame->checkpoint.servers.size(),
+                      net::kMaxCheckpointServers);
+            for (const auto &server : frame->checkpoint.servers) {
+                EXPECT_LE(server.supplies.size(),
+                          net::kMaxCheckpointSupplies);
+            }
+        }
+    }
+}
+
 TEST(Wire, FuzzedDeclaredLengthsNeverCrash)
 {
     // Randomized declared-length hostility over every message type:
@@ -463,6 +732,8 @@ TEST(Wire, FuzzedDeclaredLengthsNeverCrash)
         net::encodeHeartbeat(FrameMeta{1, 2, 5}),
         net::encodePinnedSummary(FrameMeta{1, 2, 6}, sampleMetrics()),
         net::encodeSpoBudget(FrameMeta{1, 2, 7}, budget),
+        net::encodeCheckpoint(FrameMeta{1, 2, 8}, sampleCheckpoint()),
+        net::encodeRehome(FrameMeta{1, 2, 9}, sampleCheckpoint()),
     };
     for (int trial = 0; trial < 4000; ++trial) {
         auto bytes = bases[static_cast<std::size_t>(

@@ -24,6 +24,7 @@
 
 #include "config/loader.hh"
 #include "core/events.hh"
+#include "rt/chaos.hh"
 #include "rt/worker_runtime.hh"
 #include "util/json.hh"
 
@@ -138,9 +139,9 @@ makeDeployment()
         for (std::uint32_t b = 0; b < kWorkers; ++b) {
             if (a == b)
                 continue;
-            workers[a]->transport().setPeer(
+            workers[a]->udp()->setPeer(
                 b, net::UdpPeer{"127.0.0.1",
-                                workers[b]->transport().boundPort(b)});
+                                workers[b]->udp()->boundPort(b)});
         }
     }
     return workers;
@@ -255,6 +256,135 @@ TEST(WorkerRuntime, RequestStopExitsPromptly)
     // next boundary check, never after another full period.
     EXPECT_LT(took, 2000);
     EXPECT_LT(room.stats().periodsRun, 1000u);
+}
+
+// Regression: a rack worker that dies and is restarted *within the
+// same epoch window* never misses a heartbeat, so the room's liveness
+// counter alone cannot see the restart. The sequence-regression check
+// must still catch it, and the new instance must be degraded to the
+// stale-cache path — not double-counted as both the dead instance
+// (stale) and a live one (fresh) in the same window. The fresh-plant
+// numbers of a reincarnated process would otherwise poison the room's
+// allocation. Runs in deterministic lockstep over SimTransport, so the
+// exact counter values are asserted, not bounded.
+TEST(WorkerRuntime, SameEpochRestartIsNotDoubleCounted)
+{
+    rt::LockstepDeployment dep(kScenario, rt::ChaosBackend::Sim,
+                               net::TransportConfig{}, /*seed=*/42);
+    ASSERT_EQ(dep.rackCount(), 2u);
+    // Kill and restart rack 1 at the same epoch: the replacement steps
+    // in epoch 5 as if the crash-and-respawn fit inside one window.
+    dep.chaos().at(5, rt::ChaosEvent::Kind::Kill, 1);
+    dep.chaos().at(5, rt::ChaosEvent::Kind::Restart, 1);
+    const auto report = dep.run(10);
+
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    EXPECT_EQ(report.recoveries, 1u);
+    EXPECT_EQ(report.unrecovered, 0u);
+    // Restart at 5, re-homed by 6: two periods end to end.
+    EXPECT_EQ(report.maxRecoveryPeriods, 2u);
+
+    const auto &room = dep.room().stats();
+    // Never a heartbeat failover — the whole point of this scenario —
+    // but exactly one restart detection (sequence regression).
+    EXPECT_EQ(room.failovers, 0u);
+    EXPECT_EQ(room.restartsDetected, 1u);
+    EXPECT_EQ(room.rehomed, 1u);
+    EXPECT_EQ(room.rehomesSent, 1u);
+    // Epoch 5 is the only degraded period, and the new instance's two
+    // edges ride the stale cache exactly once each. Double counting
+    // would either budget them fresh (0 stale) or degrade them twice
+    // (4 events).
+    EXPECT_EQ(room.staleReuses, 2u);
+    EXPECT_EQ(room.metricsLost, 0u);
+
+    // The replacement replayed the checkpoint and spent exactly its
+    // restart period clamped to defaults.
+    ASSERT_NE(dep.rack(1), nullptr);
+    const auto &rack1 = dep.rack(1)->stats();
+    EXPECT_EQ(rack1.rehomesApplied, 1u);
+    EXPECT_EQ(rack1.clampedPeriods, 1u);
+    EXPECT_EQ(dep.rack(1)
+                  ->eventLog()
+                  .ofKind(core::EventKind::CheckpointReplayed)
+                  .size(),
+              1u);
+    // The survivor never noticed.
+    const auto &rack0 = dep.rack(0)->stats();
+    EXPECT_EQ(rack0.defaultBudgets, 0u);
+    EXPECT_EQ(rack0.clampedPeriods, 0u);
+}
+
+// §4.4/§4.5 soak: 50 seeded kill/restart cycles across both racks
+// under 10 % frame loss, in deterministic lockstep over SimTransport.
+// The safety audit runs after every epoch (no applied budget may ever
+// exceed a device limit or a tree's root budget), every restart must
+// re-home within a bounded number of periods, and the shared telemetry
+// registry must agree with the harness's own accounting.
+TEST(WorkerRuntime, SoakFiftyKillsUnderLossStaysSafe)
+{
+    net::TransportConfig faults;
+    faults.dropRate = 0.1;
+    faults.seed = 1234;
+    rt::LockstepDeployment dep(kScenario, rt::ChaosBackend::Sim, faults,
+                               /*seed=*/7);
+    dep.chaos().randomKillRestarts(dep.rackCount(),
+                                   /*first_epoch=*/5,
+                                   /*last_epoch=*/600,
+                                   /*kills=*/50,
+                                   /*down_periods=*/4);
+    // Busy-spacing can push events past last_epoch; run far enough
+    // beyond the final restart for its re-homing to complete.
+    std::uint32_t last_event = 0;
+    for (const auto &event : dep.chaos().events())
+        last_event = std::max(last_event, event.epoch);
+    const auto report = dep.run(last_event + 20);
+
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    EXPECT_EQ(report.recoveries, 50u);
+    EXPECT_EQ(report.unrecovered, 0u);
+    // Down for 4 periods, then the re-homing handshake; 10 % loss can
+    // cost a few retries but recovery must stay bounded.
+    EXPECT_GT(report.maxRecoveryPeriods, 0u);
+    EXPECT_LE(report.maxRecoveryPeriods, 12u);
+
+    // The room observed every kill (as failover or same-window restart
+    // detection) and re-homed every replacement.
+    const auto &room = dep.room().stats();
+    EXPECT_EQ(room.rehomed, 50u);
+    EXPECT_GE(room.rehomesSent, 50u);
+    EXPECT_GE(room.failovers + room.restartsDetected, 50u);
+    EXPECT_GT(room.checkpointsStored, 0u);
+
+    // The telemetry counters are the external interface the ops story
+    // rides on; they must match the in-process stats exactly.
+    auto &reg = dep.registry();
+    const telemetry::Labels room_labels{{"role", "room"}};
+    EXPECT_EQ(reg.counter("capmaestro_rt_rehomed_total", room_labels)
+                  .value(),
+              static_cast<double>(room.rehomed));
+    EXPECT_EQ(reg.counter("capmaestro_rt_failovers_total", room_labels)
+                  .value(),
+              static_cast<double>(room.failovers));
+    EXPECT_EQ(reg.counter("capmaestro_rt_restarts_detected_total",
+                          room_labels)
+                  .value(),
+              static_cast<double>(room.restartsDetected));
+    EXPECT_EQ(reg.counter("capmaestro_rt_rehomes_sent_total",
+                          room_labels)
+                  .value(),
+              static_cast<double>(room.rehomesSent));
+    // Replays are counted by whichever rack instance applied them; the
+    // registry accumulates across instances, so it must cover every
+    // re-homing the room completed.
+    double replayed = 0.0;
+    for (std::size_t r = 0; r < dep.rackCount(); ++r) {
+        replayed += reg.counter("capmaestro_rt_rehomes_applied_total",
+                                {{"role",
+                                  "rack" + std::to_string(r)}})
+                        .value();
+    }
+    EXPECT_GE(replayed, static_cast<double>(room.rehomed));
 }
 
 TEST(WorkerRuntime, RejectsMalformedDeployments)

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * capmaestro_supervisor — keeps a whole worker deployment alive on one
+ * host (docs/distributed.md failover quickstart). The supervisor
+ * fork/execs one capmaestro_worker per endpoint (every rack plus the
+ * room), then sits in a waitpid loop: a child that exits is restarted
+ * with per-child exponential backoff, and the §4.5/checkpoint
+ * machinery inside the workers re-homes the restarted process within a
+ * few control periods. The room child automatically gets --state-dir
+ * so its checkpoint store survives its own restarts.
+ *
+ * Usage:
+ *   capmaestro_supervisor <config.json> --peers=peers.json [options]
+ *
+ * Options:
+ *   --periods=N        pass --periods=N to every worker; the
+ *                      supervisor exits when all children have
+ *                      completed normally (exit 0) instead of
+ *                      restarting them
+ *   --seed=N           sensor-noise seed forwarded to workers
+ *   --log-dir=DIR      per-child stdout/stderr under DIR (default: a
+ *                      mktemp directory, printed at startup)
+ *   --worker-bin=PATH  worker binary (default: capmaestro_worker next
+ *                      to this executable)
+ *
+ * Backoff and restart limits come from the optional "supervisor"
+ * object in peers.json (config::SupervisorConfig): the first restart
+ * waits backoffInitialMs, each subsequent crash doubles the wait up to
+ * backoffMaxMs, and a child that stays up for backoffResetAfterMs gets
+ * its backoff reset. maxRestarts > 0 caps restarts per child; a child
+ * over the cap is abandoned (logged, not respawned).
+ *
+ * Every spawn is logged as "spawn role=R pid=P restarts=K" on stderr —
+ * chaos scripts (scripts/failover_smoke.sh) parse these lines to pick
+ * a victim. SIGTERM/SIGINT is forwarded to all children and the
+ * supervisor exits after reaping them.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "config/loader.hh"
+#include "core/distributed.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+volatile sig_atomic_t g_terminate = 0;
+
+extern "C" void
+onSignal(int)
+{
+    g_terminate = 1;
+}
+
+const char *
+flagValue(int argc, char **argv, const char *name)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 2; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return argv[i] + prefix.size();
+    }
+    return nullptr;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: capmaestro_supervisor <config.json> --peers=FILE\n"
+        "                             [--periods=N] [--seed=N]\n"
+        "                             [--log-dir=DIR] "
+        "[--worker-bin=PATH]\n");
+    std::exit(2);
+}
+
+std::uint64_t
+monotonicMs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000u
+           + static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+/** Worker binary living next to this executable. */
+std::string
+siblingWorkerPath()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "capmaestro_worker"; // fall back to PATH lookup
+    buf[n] = '\0';
+    return (std::filesystem::path(buf).parent_path()
+            / "capmaestro_worker")
+        .string();
+}
+
+/** One supervised child process. */
+struct Child
+{
+    std::uint32_t role = 0;
+    pid_t pid = -1;
+    /** Completed its --periods run; never restarted. */
+    bool finished = false;
+    /** Over maxRestarts; never restarted. */
+    bool abandoned = false;
+    int restarts = 0;
+    double backoffMs = 0.0;
+    std::uint64_t startedAtMs = 0;
+    /** 0 = not waiting; else monotonic ms of the next respawn. */
+    std::uint64_t respawnAtMs = 0;
+};
+
+struct SpawnArgs
+{
+    std::string workerBin;
+    std::string configPath;
+    std::string peersPath;
+    std::string logDir;
+    std::string stateDir;
+    const char *periods = nullptr;
+    const char *seed = nullptr;
+    std::uint32_t roomRole = 0;
+};
+
+void
+spawn(Child &child, const SpawnArgs &args)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        util::fatal("supervisor: fork failed: %s", std::strerror(errno));
+    if (pid == 0) {
+        // Child: redirect stdout/stderr to per-role logs, exec worker.
+        const std::string base =
+            args.logDir + "/role" + std::to_string(child.role);
+        const int out = ::open((base + ".out").c_str(),
+                               O_WRONLY | O_CREAT | O_APPEND, 0644);
+        const int err = ::open((base + ".err").c_str(),
+                               O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (out >= 0)
+            ::dup2(out, STDOUT_FILENO);
+        if (err >= 0)
+            ::dup2(err, STDERR_FILENO);
+
+        std::vector<std::string> argstrs;
+        argstrs.push_back(args.workerBin);
+        argstrs.push_back(args.configPath);
+        argstrs.push_back("--peers=" + args.peersPath);
+        argstrs.push_back("--role=" + std::to_string(child.role));
+        if (args.periods != nullptr)
+            argstrs.push_back(std::string("--periods=") + args.periods);
+        if (args.seed != nullptr)
+            argstrs.push_back(std::string("--seed=") + args.seed);
+        if (child.role == args.roomRole && !args.stateDir.empty())
+            argstrs.push_back("--state-dir=" + args.stateDir);
+
+        std::vector<char *> argv;
+        for (std::string &s : argstrs)
+            argv.push_back(s.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        std::fprintf(stderr, "supervisor: execv %s failed: %s\n",
+                     argv[0], std::strerror(errno));
+        std::_Exit(127);
+    }
+    child.pid = pid;
+    child.startedAtMs = monotonicMs();
+    child.respawnAtMs = 0;
+    std::fprintf(stderr, "spawn role=%u pid=%d restarts=%d\n",
+                 child.role, static_cast<int>(pid), child.restarts);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argv[1][0] == '-')
+        usage();
+    const char *peers_path = flagValue(argc, argv, "peers");
+    if (peers_path == nullptr)
+        usage();
+
+    auto scenario = config::loadScenarioFile(argv[1]);
+    std::ifstream peers_in(peers_path);
+    if (!peers_in)
+        util::fatal("cannot read %s", peers_path);
+    const std::string peers_text(
+        (std::istreambuf_iterator<char>(peers_in)),
+        std::istreambuf_iterator<char>());
+    const auto peers =
+        config::loadWorkerPeers(util::parseJson(peers_text));
+    const config::SupervisorConfig &cfg = peers.supervisor;
+
+    const std::size_t racks =
+        core::DistributedControlPlane::rackWorkerCountFor(
+            *scenario.system);
+    if (peers.peers.size() != racks + 1) {
+        util::fatal("supervisor: peer table has %zu endpoints; "
+                    "topology needs %zu",
+                    peers.peers.size(), racks + 1);
+    }
+
+    SpawnArgs args;
+    const char *worker_bin = flagValue(argc, argv, "worker-bin");
+    args.workerBin = worker_bin ? worker_bin : siblingWorkerPath();
+    args.configPath = argv[1];
+    args.peersPath = peers_path;
+    args.periods = flagValue(argc, argv, "periods");
+    args.seed = flagValue(argc, argv, "seed");
+    args.roomRole = static_cast<std::uint32_t>(racks);
+
+    const char *log_dir = flagValue(argc, argv, "log-dir");
+    if (log_dir != nullptr) {
+        args.logDir = log_dir;
+        std::error_code ec;
+        std::filesystem::create_directories(args.logDir, ec);
+        if (ec) {
+            util::fatal("cannot create %s: %s", log_dir,
+                        ec.message().c_str());
+        }
+    } else {
+        char tmpl[] = "/tmp/capmaestro_supervisor.XXXXXX";
+        const char *dir = ::mkdtemp(tmpl);
+        if (dir == nullptr)
+            util::fatal("mkdtemp failed: %s", std::strerror(errno));
+        args.logDir = dir;
+    }
+    args.stateDir =
+        cfg.stateDir.empty() ? args.logDir + "/state" : cfg.stateDir;
+
+    std::fprintf(stderr,
+                 "supervisor: %zu rack workers + room, logs in %s, "
+                 "room state in %s\n",
+                 racks, args.logDir.c_str(), args.stateDir.c_str());
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::vector<Child> children(racks + 1);
+    for (std::size_t r = 0; r <= racks; ++r) {
+        children[r].role = static_cast<std::uint32_t>(r);
+        children[r].backoffMs = cfg.backoffInitialMs;
+        spawn(children[r], args);
+    }
+
+    int exit_code = 0;
+    for (;;) {
+        if (g_terminate) {
+            for (Child &child : children) {
+                if (child.pid > 0)
+                    ::kill(child.pid, SIGTERM);
+            }
+            for (Child &child : children) {
+                if (child.pid > 0) {
+                    ::waitpid(child.pid, nullptr, 0);
+                    child.pid = -1;
+                }
+            }
+            std::fprintf(stderr, "supervisor: terminated\n");
+            break;
+        }
+
+        // Reap any exited children.
+        int status = 0;
+        pid_t reaped;
+        while ((reaped = ::waitpid(-1, &status, WNOHANG)) > 0) {
+            for (Child &child : children) {
+                if (child.pid != reaped)
+                    continue;
+                child.pid = -1;
+                const bool clean = WIFEXITED(status)
+                                   && WEXITSTATUS(status) == 0;
+                const std::uint64_t uptime =
+                    monotonicMs() - child.startedAtMs;
+                if (clean && args.periods != nullptr) {
+                    child.finished = true;
+                    std::fprintf(stderr,
+                                 "supervisor: role %u completed\n",
+                                 child.role);
+                    break;
+                }
+                // Crash (or an unexpected exit in daemon mode): plan a
+                // restart with exponential backoff. A long, healthy
+                // uptime resets the backoff first.
+                if (uptime
+                    >= static_cast<std::uint64_t>(
+                           cfg.backoffResetAfterMs)) {
+                    child.backoffMs = cfg.backoffInitialMs;
+                }
+                ++child.restarts;
+                if (cfg.maxRestarts > 0
+                    && child.restarts > cfg.maxRestarts) {
+                    child.abandoned = true;
+                    std::fprintf(stderr,
+                                 "supervisor: role %u exceeded %d "
+                                 "restarts; abandoned\n",
+                                 child.role, cfg.maxRestarts);
+                    exit_code = 1;
+                    break;
+                }
+                child.respawnAtMs =
+                    monotonicMs()
+                    + static_cast<std::uint64_t>(child.backoffMs);
+                std::fprintf(stderr,
+                             "supervisor: role %u exited (status %d) "
+                             "after %llu ms; restart in %.0f ms\n",
+                             child.role, status,
+                             static_cast<unsigned long long>(uptime),
+                             child.backoffMs);
+                child.backoffMs = std::min(child.backoffMs * 2.0,
+                                           cfg.backoffMaxMs);
+                break;
+            }
+        }
+
+        // Respawn children whose backoff has elapsed.
+        const std::uint64_t now = monotonicMs();
+        for (Child &child : children) {
+            if (child.pid < 0 && !child.finished && !child.abandoned
+                && child.respawnAtMs != 0 && now >= child.respawnAtMs) {
+                spawn(child, args);
+            }
+        }
+
+        // Done when nobody is left to supervise.
+        bool anything_left = false;
+        for (const Child &child : children) {
+            if (child.pid > 0 || (!child.finished && !child.abandoned))
+                anything_left = true;
+        }
+        if (!anything_left) {
+            std::fprintf(stderr, "supervisor: all workers done\n");
+            break;
+        }
+
+        ::usleep(20 * 1000);
+    }
+    return exit_code;
+}

@@ -24,10 +24,17 @@
  *                         (transport counters) and DIR/events.jsonl
  *                         (degraded-mode decisions, timestamps are
  *                         epochs) on exit
+ *   --state-dir=DIR       room only: persist the latest checkpoint
+ *                         per rack under DIR (and reload any left by
+ *                         a previous room instance), so a
+ *                         supervisor-restarted room can still re-home
+ *                         racks that died while it was down
  *   --print-peers-template  print a ready-to-use peers.json for this
  *                         scenario (originMs = now) and exit
  *   --port-base=P         first UDP port for the template (default
- *                         19870; endpoint e gets port P+e)
+ *                         19870; endpoint e gets port P+e). P=0 probes
+ *                         a free ephemeral port per endpoint instead —
+ *                         the collision-proof choice for test scripts
  *   --period-ms=MS        wall-clock control period for the template
  *                         (default 1000)
  *
@@ -36,6 +43,8 @@
  * when the requested periods ran (or a signal stopped the loop).
  */
 
+#include <arpa/inet.h>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +52,11 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <netinet/in.h>
 #include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
 
 #include "config/loader.hh"
 #include "rt/worker_runtime.hh"
@@ -92,7 +105,7 @@ usage()
         stderr,
         "usage: capmaestro_worker <config.json> --peers=FILE --role=N\n"
         "                         [--periods=N] [--seed=N]\n"
-        "                         [--telemetry-out=DIR]\n"
+        "                         [--telemetry-out=DIR] [--state-dir=DIR]\n"
         "       capmaestro_worker <config.json> --print-peers-template\n"
         "                         [--port-base=P] [--period-ms=MS]\n");
     std::exit(2);
@@ -105,6 +118,49 @@ unixNowMs()
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::system_clock::now().time_since_epoch())
             .count());
+}
+
+/**
+ * Probe @p count free ephemeral UDP ports on 127.0.0.1. All probe
+ * sockets stay open until every port is allocated, so the kernel
+ * cannot hand the same port out twice within one probe; the ports are
+ * only *likely* free afterwards (another process may grab one before
+ * the workers bind), which is exactly the collision risk a fixed
+ * port-base scheme has constantly and this one has for a few
+ * milliseconds.
+ */
+std::vector<std::uint16_t>
+probeFreePorts(std::size_t count)
+{
+    std::vector<int> fds;
+    std::vector<std::uint16_t> ports;
+    for (std::size_t i = 0; i < count; ++i) {
+        const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+        if (fd < 0)
+            util::fatal("port probe: socket() failed: %s",
+                        std::strerror(errno));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0;
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            util::fatal("port probe: bind failed: %s",
+                        std::strerror(errno));
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &len) < 0) {
+            util::fatal("port probe: getsockname failed: %s",
+                        std::strerror(errno));
+        }
+        fds.push_back(fd);
+        ports.push_back(ntohs(bound.sin_port));
+    }
+    for (const int fd : fds)
+        ::close(fd);
+    return ports;
 }
 
 int
@@ -120,25 +176,37 @@ printPeersTemplate(const config::LoadedScenario &scenario, int argc,
     const std::size_t racks =
         core::DistributedControlPlane::rackWorkerCountFor(
             *scenario.system);
+    const auto probed =
+        port_base == 0 ? probeFreePorts(racks + 1)
+                       : std::vector<std::uint16_t>{};
     config::WorkerPeers peers;
     peers.periodMs = period_ms;
     peers.originMs = unixNowMs();
     for (std::size_t e = 0; e <= racks; ++e) {
         net::UdpPeer peer;
         peer.host = "127.0.0.1";
-        peer.port =
-            static_cast<std::uint16_t>(port_base + static_cast<int>(e));
+        peer.port = port_base == 0
+                        ? probed[e]
+                        : static_cast<std::uint16_t>(
+                              port_base + static_cast<int>(e));
         peers.peers[static_cast<net::Transport::Endpoint>(e)] = peer;
     }
     std::printf("%s\n",
                 util::serializeJson(config::workerPeersToJson(peers),
                                     2)
                     .c_str());
-    std::fprintf(stderr,
-                 "peers template: %zu rack workers (roles 0..%zu) + "
-                 "room (role %zu), ports %d..%d\n",
-                 racks, racks - 1, racks, port_base,
-                 port_base + static_cast<int>(racks));
+    if (port_base == 0) {
+        std::fprintf(stderr,
+                     "peers template: %zu rack workers (roles 0..%zu) "
+                     "+ room (role %zu), probed ephemeral ports\n",
+                     racks, racks - 1, racks);
+    } else {
+        std::fprintf(stderr,
+                     "peers template: %zu rack workers (roles 0..%zu) "
+                     "+ room (role %zu), ports %d..%d\n",
+                     racks, racks - 1, racks, port_base,
+                     port_base + static_cast<int>(racks));
+    }
     return 0;
 }
 
@@ -186,17 +254,30 @@ main(int argc, char **argv)
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
 
+    const char *state_dir = flagValue(argc, argv, "state-dir");
+    if (state_dir != nullptr) {
+        if (!runtime.isRoom())
+            util::fatal("--state-dir only applies to the room worker");
+        std::error_code ec;
+        std::filesystem::create_directories(state_dir, ec);
+        if (ec) {
+            util::fatal("cannot create %s: %s", state_dir,
+                        ec.message().c_str());
+        }
+        runtime.setStateDir(state_dir);
+    }
+
     telemetry::Registry registry;
     const char *telemetry_dir = flagValue(argc, argv, "telemetry-out");
     if (telemetry_dir != nullptr)
-        runtime.transport().setTelemetry(&registry);
+        runtime.setTelemetry(&registry);
 
     std::fprintf(stderr,
                  "worker role %u (%s) up: %zu rack workers, period "
                  "%.0f ms, udp port %u\n",
                  role, runtime.isRoom() ? "room" : "rack",
                  runtime.rackCount(), peers.periodMs,
-                 runtime.transport().boundPort(role));
+                 runtime.udp()->boundPort(role));
 
     const std::size_t ran = runtime.runPeriods(max_periods);
 
@@ -205,11 +286,16 @@ main(int argc, char **argv)
                  "worker role %u done: %zu periods, %zu budgets "
                  "applied, %zu defaults, %zu stale, %zu lost, %zu "
                  "failovers, %zu retries, %zu orphan + %zu corrupt "
-                 "frames\n",
+                 "frames, %zu checkpoints, %zu restarts detected, "
+                 "%zu rehomes sent, %zu replayed, %zu declined, "
+                 "%zu rehomed\n",
                  role, ran, stats.budgetsApplied, stats.defaultBudgets,
                  stats.staleReuses, stats.metricsLost, stats.failovers,
                  stats.retries, stats.orphanFrames,
-                 stats.corruptFrames);
+                 stats.corruptFrames, stats.checkpointsSent,
+                 stats.restartsDetected, stats.rehomesSent,
+                 stats.rehomesApplied, stats.rehomesDeclined,
+                 stats.rehomed);
     runtime.eventLog().printJsonl(std::cout);
 
     if (telemetry_dir != nullptr) {
