@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Workload-layer experiment: SLO attainment vs. budget tightness per
+ * placement policy.
+ *
+ * A fleet of testbed servers on one feed runs the two-class tenant mix
+ * (batch priority 0, online priority 1, Max priority inheritance) while
+ * the root budget sweeps from uncapped down to deep capping. For every
+ * (policy, budget) cell the bench reports per-class SLO attainment, p99
+ * slowdown, drops, and detected priority-inversion periods — the
+ * closed-loop counterpart of the paper's priority ordering claims, now
+ * measured at job granularity.
+ *
+ * Expected shape: attainment degrades as the budget tightens, but the
+ * online (high-priority) class keeps the lower p99 slowdown at every
+ * tightness. Inversion counts stay small but non-zero under capping:
+ * job churn between control-period boundaries briefly leaves a
+ * low-priority job on a well-funded server until the next boundary
+ * re-derives priorities.
+ *
+ * Flags:
+ *   --servers=N     fleet size (default 12)
+ *   --duration=S    simulated seconds per cell (default 900; the CI
+ *                   smoke run uses 200 to stay well under a minute)
+ *   --csv           machine-readable output
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/scenario.hh"
+#include "util/table.hh"
+#include "workload/engine.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+workload::Params
+mixParams(workload::PlacementPolicy policy, std::size_t servers)
+{
+    workload::Params params;
+    params.seed = 17;
+    // ~70 % offered CPU load at the mean duration mix.
+    params.arrivalRate = 0.035 * static_cast<double>(servers);
+    params.diurnalAmplitude = 0.2;
+    params.diurnalPeriod = 600; // a full swing per cell
+    params.policy = policy;
+    params.priorityMode = workload::PriorityMode::Max;
+    params.backgroundUtilization = 0.1;
+    params.backgroundJitter = 0.02;
+
+    // Equal durations so per-class slowdowns compare apples-to-apples
+    // (queueing delay inflates short jobs' slowdown far more than long
+    // ones', which would mask the priority effect).
+    workload::TenantSpec batch;
+    batch.name = "batch";
+    batch.priority = 0;
+    batch.weight = 0.7;
+    batch.cpuDemand = 0.5;
+    batch.meanDuration = 40;
+    batch.durationSpread = 0.4;
+    batch.sloSlowdown = 3.0;
+    workload::TenantSpec online;
+    online.name = "online";
+    online.priority = 1;
+    online.weight = 0.3;
+    online.cpuDemand = 0.5;
+    online.meanDuration = 40;
+    online.durationSpread = 0.4;
+    online.sloSlowdown = 1.5;
+    params.tenants = {batch, online};
+    return params;
+}
+
+std::string
+attainment(const workload::ClassReport *cls)
+{
+    if (cls == nullptr || cls->completed == 0)
+        return "-";
+    return util::formatFixed(100.0 * static_cast<double>(cls->sloMet)
+                                 / static_cast<double>(cls->completed),
+                             1)
+           + "%";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto servers = static_cast<std::size_t>(
+        bench::intFlag(argc, argv, "servers", 12));
+    const auto duration = static_cast<Seconds>(
+        bench::intFlag(argc, argv, "duration", 900));
+    const bool csv = bench::boolFlag(argc, argv, "csv");
+
+    if (!csv) {
+        bench::banner("workload",
+                      "Job-level SLO attainment vs. budget tightness "
+                      "per placement policy");
+    }
+
+    // Budget as a fraction of the fleet's nameplate (capMax) draw:
+    // 1.0 never caps, 0.55 is deep in the capping regime (capMin is
+    // ~0.55 of capMax on the testbed spec).
+    const std::vector<double> tightness{1.0, 0.85, 0.70, 0.60};
+    const Watts nameplate = 490.0 * static_cast<double>(servers);
+
+    for (const auto policy : workload::allPlacementPolicies()) {
+        util::TextTable t(std::string("policy: ")
+                          + workload::placementPolicyName(policy));
+        t.setHeader({"budget", "online SLO", "batch SLO", "online p99",
+                     "batch p99", "dropped", "inversions"});
+        for (const double frac : tightness) {
+            auto rig = sim::makeContentionRig(
+                std::vector<Priority>(servers, 0), frac * nameplate);
+            rig.attachTraffic(std::make_unique<workload::WorkloadEngine>(
+                mixParams(policy, servers)));
+            rig.run(duration);
+            const auto *engine =
+                dynamic_cast<workload::WorkloadEngine *>(rig.traffic());
+            const auto report = engine->report(duration);
+            const auto *online = report.byPriority(1);
+            const auto *batch = report.byPriority(0);
+            t.addRow({util::formatFixed(frac, 2),
+                      attainment(online), attainment(batch),
+                      online != nullptr
+                          ? util::formatFixed(online->p99Slowdown, 2)
+                          : "-",
+                      batch != nullptr
+                          ? util::formatFixed(batch->p99Slowdown, 2)
+                          : "-",
+                      std::to_string(report.dropped),
+                      std::to_string(report.inversionPeriods)});
+        }
+        if (csv)
+            t.printCsv(std::cout);
+        else
+            t.print(std::cout);
+    }
+
+    if (!csv) {
+        std::printf(
+            "Expected shape: attainment falls as the budget tightens; "
+            "the online class keeps the\nlower p99 slowdown under "
+            "every policy (Max priority inheritance). Small non-zero\n"
+            "inversion counts under capping are churn transients "
+            "corrected at the next boundary.\n");
+    }
+    return 0;
+}

@@ -76,4 +76,13 @@ build-asan/tools/capmaestro_trace \
     build-asan/telemetry_smoke/trace.jsonl --summary > /dev/null
 
 echo
+echo "== sanitizers: ASan+UBSan run of the workload tier =="
+# The workload tier (label "workload"): the job/tenant traffic layer,
+# placement policies, SLO accounting, the closed-loop priority path,
+# and the bench_workload smoke sweep. Its Sim/UDP equivalence test
+# skips itself under CAPMAESTRO_NO_NET=1 like the socket tiers.
+cmake --build build-asan -j --target test_workload bench_workload
+(cd build-asan && ctest -L workload --output-on-failure -j)
+
+echo
 echo "All checks passed."

@@ -295,6 +295,11 @@ loadScenario(const util::Json &doc)
     if (const util::Json *transport = doc.find("transport"))
         applyTransportJson(scenario.service, *transport);
 
+    if (const util::Json *workload = doc.find("workload")) {
+        if (workload->boolOr("enabled", true))
+            scenario.workload = workloadParamsFromJson(*workload);
+    }
+
     scenario.rootBudgets.assign(scenario.system->trees().size(), 0.0);
     if (const util::Json *budgets = doc.find("budgets")) {
         if (const util::Json *per_tree = budgets->find("perTree")) {
@@ -396,6 +401,119 @@ applyTransportJson(core::ServiceConfig &service, const util::Json &spec)
     }
     if (service.protocol.maxAttempts < 1)
         util::fatal("config: transport.maxAttempts must be >= 1");
+}
+
+workload::Params
+workloadParamsFromJson(const util::Json &spec)
+{
+    workload::Params params;
+    params.seed = static_cast<std::uint64_t>(
+        spec.numberOr("seed", static_cast<double>(params.seed)));
+    params.arrivalRate = spec.numberOr("arrivalRate", params.arrivalRate);
+    params.diurnalPeriod = static_cast<Seconds>(
+        spec.numberOr("diurnalPeriodSeconds",
+                      static_cast<double>(params.diurnalPeriod)));
+    params.diurnalAmplitude =
+        spec.numberOr("diurnalAmplitude", params.diurnalAmplitude);
+    if (const util::Json *flash = spec.find("flash")) {
+        params.flash.startChance =
+            flash->numberOr("startChance", params.flash.startChance);
+        params.flash.duration = static_cast<Seconds>(
+            flash->numberOr("durationSeconds",
+                            static_cast<double>(params.flash.duration)));
+        params.flash.multiplier =
+            flash->numberOr("multiplier", params.flash.multiplier);
+    }
+    params.policy = workload::placementPolicyFromString(
+        spec.stringOr("placement",
+                      workload::placementPolicyName(params.policy)));
+    params.priorityMode = workload::priorityModeFromString(
+        spec.stringOr("priorityMode",
+                      workload::priorityModeName(params.priorityMode)));
+    params.queueTimeout = static_cast<Seconds>(
+        spec.numberOr("queueTimeoutSeconds",
+                      static_cast<double>(params.queueTimeout)));
+    params.backgroundUtilization = spec.numberOr(
+        "backgroundUtilization", params.backgroundUtilization);
+    params.backgroundJitter =
+        spec.numberOr("backgroundJitter", params.backgroundJitter);
+    params.phaseCount = static_cast<int>(
+        spec.numberOr("phaseCount",
+                      static_cast<double>(params.phaseCount)));
+    if (const util::Json *tenants = spec.find("tenants")) {
+        for (const auto &row : tenants->asArray()) {
+            workload::TenantSpec tenant;
+            tenant.name = row.stringOr("name", tenant.name);
+            tenant.priority = static_cast<Priority>(
+                row.numberOr("priority",
+                             static_cast<double>(tenant.priority)));
+            tenant.weight = row.numberOr("weight", tenant.weight);
+            tenant.cpuDemand = row.numberOr("cpuDemand", tenant.cpuDemand);
+            tenant.meanDuration = static_cast<Seconds>(
+                row.numberOr("meanDurationSeconds",
+                             static_cast<double>(tenant.meanDuration)));
+            tenant.durationSpread =
+                row.numberOr("durationSpread", tenant.durationSpread);
+            tenant.sloSlowdown =
+                row.numberOr("sloSlowdown", tenant.sloSlowdown);
+            params.tenants.push_back(std::move(tenant));
+        }
+    }
+    return params;
+}
+
+util::Json
+workloadParamsToJson(const workload::Params &params)
+{
+    util::Json::Object obj;
+    obj.emplace("enabled", util::Json(true));
+    obj.emplace("seed",
+                util::Json(static_cast<double>(params.seed)));
+    obj.emplace("arrivalRate", util::Json(params.arrivalRate));
+    obj.emplace("diurnalPeriodSeconds",
+                util::Json(static_cast<double>(params.diurnalPeriod)));
+    obj.emplace("diurnalAmplitude", util::Json(params.diurnalAmplitude));
+    if (params.flash.startChance > 0.0) {
+        util::Json::Object flash;
+        flash.emplace("startChance", util::Json(params.flash.startChance));
+        flash.emplace("durationSeconds",
+                      util::Json(static_cast<double>(
+                          params.flash.duration)));
+        flash.emplace("multiplier", util::Json(params.flash.multiplier));
+        obj.emplace("flash", util::Json(std::move(flash)));
+    }
+    obj.emplace("placement",
+                util::Json(std::string(
+                    workload::placementPolicyName(params.policy))));
+    obj.emplace("priorityMode",
+                util::Json(std::string(
+                    workload::priorityModeName(params.priorityMode))));
+    obj.emplace("queueTimeoutSeconds",
+                util::Json(static_cast<double>(params.queueTimeout)));
+    obj.emplace("backgroundUtilization",
+                util::Json(params.backgroundUtilization));
+    obj.emplace("backgroundJitter", util::Json(params.backgroundJitter));
+    if (params.phaseCount > 0) {
+        obj.emplace("phaseCount",
+                    util::Json(static_cast<double>(params.phaseCount)));
+    }
+    util::Json::Array tenants;
+    for (const auto &tenant : params.tenants) {
+        util::Json::Object row;
+        row.emplace("name", util::Json(tenant.name));
+        row.emplace("priority",
+                    util::Json(static_cast<double>(tenant.priority)));
+        row.emplace("weight", util::Json(tenant.weight));
+        row.emplace("cpuDemand", util::Json(tenant.cpuDemand));
+        row.emplace("meanDurationSeconds",
+                    util::Json(static_cast<double>(tenant.meanDuration)));
+        row.emplace("durationSpread", util::Json(tenant.durationSpread));
+        row.emplace("sloSlowdown", util::Json(tenant.sloSlowdown));
+        tenants.push_back(util::Json(std::move(row)));
+    }
+    if (!tenants.empty())
+        obj.emplace("tenants", util::Json(std::move(tenants)));
+    return util::Json(std::move(obj));
 }
 
 WorkerPeers
@@ -508,6 +626,11 @@ makeSimulation(LoadedScenario scenario, std::uint64_t seed)
             if (!ports.count(static_cast<std::int32_t>(s)))
                 server.setSupplyState(s, dev::SupplyState::Failed);
         }
+    }
+
+    if (scenario.workload) {
+        simulation.attachTraffic(
+            std::make_unique<workload::WorkloadEngine>(*scenario.workload));
     }
     return simulation;
 }

@@ -30,6 +30,27 @@
  * Node kinds: contractual, ats, transformer, ups, rpp, cdu, breaker,
  * supply. A rating of "unlimited" (or an omitted rating) means the node
  * imposes no limit. Workload types: constant, steps, sine, randomwalk.
+ *
+ * An optional top-level "workload" block enables the job/tenant traffic
+ * layer (src/workload, docs/workload.md). All keys optional except
+ * "enabled":
+ *
+ *   "workload": {
+ *     "enabled": true,
+ *     "seed": 42, "arrivalRate": 0.5,
+ *     "diurnalPeriodSeconds": 86400, "diurnalAmplitude": 0.3,
+ *     "flash": { "startChance": 0.001, "durationSeconds": 30,
+ *                "multiplier": 4 },
+ *     "placement": "loadBalanced",   // firstFit/loadBalanced/
+ *                                    // phaseAware/powerHeadroom
+ *     "priorityMode": "max",         // off/max/weighted
+ *     "queueTimeoutSeconds": 120,
+ *     "backgroundUtilization": -1,   // < 0: sample the Barroso profile
+ *     "backgroundJitter": 0.05, "phaseCount": 0,
+ *     "tenants": [ { "name": "batch", "priority": 0, "weight": 1,
+ *                    "cpuDemand": 0.25, "meanDurationSeconds": 60,
+ *                    "durationSpread": 0.5, "sloSlowdown": 2 } ]
+ *   }
  */
 
 #ifndef CAPMAESTRO_CONFIG_LOADER_HH
@@ -46,6 +67,7 @@
 #include "sim/closed_loop.hh"
 #include "topology/power_system.hh"
 #include "util/json.hh"
+#include "workload/engine.hh"
 
 namespace capmaestro::config {
 
@@ -59,6 +81,8 @@ struct LoadedScenario
     std::vector<Watts> rootBudgets;
     /** Present when the config used the totalPerPhase form. */
     std::optional<Watts> totalPerPhase;
+    /** Present when the config enabled the workload traffic layer. */
+    std::optional<workload::Params> workload;
 };
 
 /** Build a scenario from a parsed JSON document. */
@@ -92,6 +116,19 @@ util::Json powerTreeToJson(const topo::PowerTree &tree);
  */
 void applyTransportJson(core::ServiceConfig &service,
                         const util::Json &spec);
+
+/**
+ * Parse a "workload" block (see the schema in the file comment) into
+ * workload-layer parameters. Ignores the "enabled" key — the caller
+ * decides whether the layer is attached.
+ */
+workload::Params workloadParamsFromJson(const util::Json &spec);
+
+/**
+ * Serialize workload parameters back to the config schema (with
+ * "enabled": true). Round-trips through workloadParamsFromJson.
+ */
+util::Json workloadParamsToJson(const workload::Params &params);
 
 /**
  * The multi-process deployment's shared peer table (docs/distributed.md

@@ -160,6 +160,12 @@ ClosedLoopSim::utilityBlipAt(Seconds t, int feed, Seconds duration,
     });
 }
 
+void
+ClosedLoopSim::attachTraffic(std::unique_ptr<TrafficDriver> driver)
+{
+    traffic_ = std::move(driver);
+}
+
 dev::ServerModel &
 ClosedLoopSim::server(std::size_t id)
 {
@@ -238,6 +244,9 @@ ClosedLoopSim::controlPeriodTick()
 {
     if (tracer_)
         tracer_->noteSimTime(static_cast<double>(now_));
+    // Job-derived priorities must land before the allocator reads them.
+    if (traffic_)
+        traffic_->controlPeriodBoundary(*this, now_);
     if (manualMode_) {
         for (std::size_t i = 0; i < plants_.size(); ++i) {
             auto &controller = service_->controller(i);
@@ -319,9 +328,20 @@ ClosedLoopSim::tick()
         fn();
     }
 
-    // Workloads drive demand.
-    for (auto &plant : plants_)
-        plant.server->setUtilization(plant.workload->utilizationAt(now_));
+    // Workloads drive demand. With a traffic layer attached, the
+    // per-server trace becomes the background level the driver may
+    // overwrite with job-derived demand.
+    if (traffic_) {
+        trafficUtil_.resize(plants_.size());
+        for (std::size_t i = 0; i < plants_.size(); ++i)
+            trafficUtil_[i] = plants_[i].workload->utilizationAt(now_);
+        traffic_->beginTick(*this, now_, trafficUtil_);
+        for (std::size_t i = 0; i < plants_.size(); ++i)
+            plants_[i].server->setUtilization(trafficUtil_[i]);
+    } else {
+        for (auto &plant : plants_)
+            plant.server->setUtilization(plant.workload->utilizationAt(now_));
+    }
 
     // 1 Hz sensing.
     service_->senseTick();
@@ -353,6 +373,10 @@ ClosedLoopSim::tick()
     // Actuation dynamics.
     for (auto &plant : plants_)
         plant.nm->step(1.0);
+
+    // Jobs accrue progress at the post-actuation speed.
+    if (traffic_)
+        traffic_->endTick(*this, now_);
 
     // Breaker protection with overload-window event tracking.
     for (auto &bw : breakers_) {

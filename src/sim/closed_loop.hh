@@ -42,6 +42,42 @@ struct ServerSetup
     std::unique_ptr<dev::Workload> workload;
 };
 
+class ClosedLoopSim;
+
+/**
+ * Hook for a job-level traffic layer driving the simulation (see
+ * src/workload). The simulator calls the three hooks on its fixed
+ * cadence; a driver places jobs, rewrites per-server utilization, and
+ * (when it manages priorities) refreshes server priorities right before
+ * the control plane reads them. No driver attached means the historical
+ * behavior, bit for bit: per-server dev::Workload traces drive demand
+ * and static spec priorities stand.
+ */
+class TrafficDriver
+{
+  public:
+    virtual ~TrafficDriver() = default;
+
+    /**
+     * Called once per simulated second before sensing. @p utilization
+     * arrives preloaded with each server's dev::Workload level for
+     * second @p t; the driver may overwrite any entry and the result
+     * is applied to the server models.
+     */
+    virtual void beginTick(ClosedLoopSim &sim, Seconds t,
+                           std::vector<Fraction> &utilization) = 0;
+
+    /**
+     * Called at every control-period boundary (scheduled and
+     * emergency), before the control plane allocates — the moment to
+     * push job-derived server priorities so the allocator sees them.
+     */
+    virtual void controlPeriodBoundary(ClosedLoopSim &sim, Seconds t) = 0;
+
+    /** Called after actuation each second (job progress accrual). */
+    virtual void endTick(ClosedLoopSim &sim, Seconds t) = 0;
+};
+
 /** Closed-loop simulation of a small testbed. */
 class ClosedLoopSim
 {
@@ -136,6 +172,18 @@ class ClosedLoopSim
     void enableTelemetry(telemetry::Registry *registry,
                          telemetry::PeriodTracer *tracer);
 
+    /**
+     * Attach a traffic layer (ownership transferred; nullptr detaches).
+     * Attach before run() — the driver's hooks fire from the next tick.
+     */
+    void attachTraffic(std::unique_ptr<TrafficDriver> driver);
+
+    /** The attached traffic layer, nullptr when none. */
+    TrafficDriver *traffic() const { return traffic_.get(); }
+
+    /** Number of servers in the plant. */
+    std::size_t serverCount() const { return plants_.size(); }
+
     /** Series name for a per-server signal, e.g. "S0.throughput". */
     static std::string serverSeries(std::size_t id, const char *what);
 
@@ -174,6 +222,9 @@ class ClosedLoopSim
     Seconds lastControlPeriod_ = 0;
     bool anyTrip_ = false;
     telemetry::PeriodTracer *tracer_ = nullptr;
+    std::unique_ptr<TrafficDriver> traffic_;
+    /** Scratch utilization vector for the traffic-driver path. */
+    std::vector<Fraction> trafficUtil_;
 
     void tick();
     void controlPeriodTick();

@@ -169,4 +169,42 @@ makeFig7Rig(bool enable_spo, std::uint64_t seed,
     return rig;
 }
 
+std::unique_ptr<topo::PowerSystem>
+contentionSystem(std::size_t servers)
+{
+    auto sys = std::make_unique<topo::PowerSystem>(1);
+    auto tree = std::make_unique<topo::PowerTree>(0, 0, "feed");
+    const auto top = tree->makeRoot(topo::NodeKind::Breaker, "topCB",
+                                    490.0 * static_cast<double>(servers));
+    for (std::size_t i = 0; i < servers; ++i) {
+        tree->addSupplyPort(top, "S" + std::to_string(i) + ".0",
+                            {static_cast<std::int32_t>(i), 0});
+    }
+    sys->addTree(std::move(tree));
+    return sys;
+}
+
+ClosedLoopSim
+makeContentionRig(const std::vector<Priority> &priorities,
+                  Watts root_budget, std::uint64_t seed)
+{
+    std::vector<ServerSetup> servers;
+    for (std::size_t i = 0; i < priorities.size(); ++i) {
+        ServerSetup s;
+        s.spec = testbedServerSpec("S" + std::to_string(i),
+                                   priorities[i], 1.0, 1);
+        s.workload = std::make_unique<dev::ConstantWorkload>(0.1);
+        servers.push_back(std::move(s));
+    }
+
+    core::ServiceConfig config;
+    config.policy = policy::PolicyKind::GlobalPriority;
+    config.enableSpo = false; // single-corded servers: nothing to strand
+
+    ClosedLoopSim rig(contentionSystem(priorities.size()),
+                      std::move(servers), config, seed);
+    rig.setRootBudgets({root_budget});
+    return rig;
+}
+
 } // namespace capmaestro::sim

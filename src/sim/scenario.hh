@@ -61,6 +61,23 @@ ClosedLoopSim makeFig7Rig(bool enable_spo, std::uint64_t seed = 1,
                           policy::PolicyKind policy =
                               policy::PolicyKind::GlobalPriority);
 
+/**
+ * Power system for workload-contention experiments: one feed, a single
+ * top breaker rated at 490 W per server (never the binding constraint —
+ * the root budget is), with @p servers single-supply ports under it.
+ */
+std::unique_ptr<topo::PowerSystem> contentionSystem(std::size_t servers);
+
+/**
+ * Closed-loop rig for job-traffic experiments: one testbed server per
+ * entry of @p priorities (its static spec priority), on the contention
+ * system, global-priority policy, root budget @p root_budget. The
+ * background dev::Workload idles at 10 % utilization — a traffic layer
+ * attached via attachTraffic() overwrites it with job-driven demand.
+ */
+ClosedLoopSim makeContentionRig(const std::vector<Priority> &priorities,
+                                Watts root_budget, std::uint64_t seed = 1);
+
 } // namespace capmaestro::sim
 
 #endif // CAPMAESTRO_SIM_SCENARIO_HH

@@ -13,8 +13,8 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 {
     if (bins == 0)
         util::fatal("Histogram needs at least one bin");
-    if (!(hi > lo))
-        util::fatal("Histogram range must satisfy hi > lo");
+    if (!(hi >= lo))
+        util::fatal("Histogram range must satisfy hi >= lo");
 }
 
 void

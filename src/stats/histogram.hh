@@ -22,13 +22,22 @@ namespace capmaestro::stats {
  * bin [hi - width, hi). Non-finite samples clamp too (NaN and -inf
  * into the first bin, +inf into the last), so no input can corrupt
  * the bin index.
+ *
+ * Degenerate range: hi == lo is legal and yields zero-width bins.
+ * Callers deriving the range from observed data (e.g., an SLO slowdown
+ * distribution where every job completed instantly, so min == max)
+ * would otherwise have to special-case the single-point distribution.
+ * Samples at or below lo land in the first bin, samples above in the
+ * last; every bin edge equals lo and no division ever happens, so the
+ * clamp contract holds unchanged. Only hi < lo is rejected.
  */
 class Histogram
 {
   public:
     /**
      * @param lo    inclusive lower bound of the histogram range
-     * @param hi    exclusive upper bound
+     * @param hi    exclusive upper bound (hi == lo is the degenerate
+     *              single-point range; see class comment)
      * @param bins  number of equal-width bins (>= 1)
      */
     Histogram(double lo, double hi, std::size_t bins);

@@ -1,0 +1,352 @@
+#include "workload/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "sim/utilization.hh"
+#include "util/logging.hh"
+
+namespace capmaestro::workload {
+
+namespace {
+
+/** Throughput slack before a cross-class gap counts as an inversion. */
+constexpr double kInversionEps = 1e-6;
+
+void
+validateTenant(const TenantSpec &tenant)
+{
+    if (tenant.cpuDemand <= 0.0 || tenant.cpuDemand > 1.0)
+        util::fatal("workload: tenant \"%s\" cpuDemand outside (0, 1]",
+                    tenant.name.c_str());
+    if (tenant.weight <= 0.0)
+        util::fatal("workload: tenant \"%s\" weight must be positive",
+                    tenant.name.c_str());
+    if (tenant.meanDuration < 0)
+        util::fatal("workload: tenant \"%s\" meanDuration must be >= 0",
+                    tenant.name.c_str());
+    if (tenant.durationSpread < 0.0 || tenant.durationSpread > 1.0)
+        util::fatal("workload: tenant \"%s\" durationSpread outside [0, 1]",
+                    tenant.name.c_str());
+    if (tenant.sloSlowdown < 1.0)
+        util::fatal("workload: tenant \"%s\" sloSlowdown must be >= 1",
+                    tenant.name.c_str());
+}
+
+} // namespace
+
+const char *
+priorityModeName(PriorityMode mode)
+{
+    switch (mode) {
+      case PriorityMode::Off: return "off";
+      case PriorityMode::Max: return "max";
+      case PriorityMode::Weighted: return "weighted";
+    }
+    return "?";
+}
+
+PriorityMode
+priorityModeFromString(const std::string &name)
+{
+    if (name == "off")
+        return PriorityMode::Off;
+    if (name == "max")
+        return PriorityMode::Max;
+    if (name == "weighted")
+        return PriorityMode::Weighted;
+    util::fatal("workload: unknown priority mode \"%s\" "
+                "(use off/max/weighted)",
+                name.c_str());
+}
+
+WorkloadEngine::WorkloadEngine(Params params)
+    : params_(std::move(params)), rng_(params_.seed),
+      arrivals_(params_.arrivalRate,
+                DiurnalCurve(params_.diurnalPeriod,
+                             params_.diurnalAmplitude),
+                params_.flash, rng_.fork())
+{
+    if (params_.tenants.empty())
+        params_.tenants.push_back(TenantSpec{});
+    for (const auto &tenant : params_.tenants)
+        validateTenant(tenant);
+    if (params_.queueTimeout < 0)
+        util::fatal("workload: queueTimeout must be >= 0");
+    if (params_.backgroundUtilization > 1.0)
+        util::fatal("workload: backgroundUtilization must be <= 1");
+    if (params_.backgroundJitter < 0.0)
+        util::fatal("workload: backgroundJitter must be >= 0");
+}
+
+void
+WorkloadEngine::bindTelemetry(telemetry::Registry *registry)
+{
+    registry_ = registry;
+    slo_.bindTelemetry(registry);
+    if (!registry_)
+        return;
+    queueGauge_ = registry_->gauge("workload_queued_jobs", {},
+                                   "Jobs waiting for placement");
+    runningGauge_ = registry_->gauge("workload_running_jobs", {},
+                                     "Jobs resident on servers");
+    rateGauge_ = registry_->gauge("workload_arrival_rate", {},
+                                  "Instantaneous arrival rate, jobs/s");
+}
+
+void
+WorkloadEngine::ensureInit(sim::ClosedLoopSim &sim)
+{
+    if (initialized_)
+        return;
+    initialized_ = true;
+
+    const std::size_t n = sim.serverCount();
+    jobLoad_.assign(n, 0.0);
+    background_.resize(n);
+    basePriority_.resize(n);
+    phase_.resize(n);
+
+    // One fork for the background level keeps the main stream's draw
+    // schedule independent of the server count.
+    util::Rng bg = rng_.fork();
+    backgroundAverage_ =
+        params_.backgroundUtilization >= 0.0
+            ? params_.backgroundUtilization
+            : sim::GoogleUtilizationProfile::sample(bg);
+
+    const auto trees = sim.system().trees().size();
+    phaseCount_ = params_.phaseCount > 0
+                      ? params_.phaseCount
+                      : static_cast<int>(std::max<std::size_t>(trees, 1));
+    for (std::size_t i = 0; i < n; ++i) {
+        background_[i] = sim::GoogleUtilizationProfile::perServer(
+            bg, backgroundAverage_, params_.backgroundJitter);
+        basePriority_[i] = sim.server(i).spec().priority;
+        const auto ports =
+            sim.system().livePortsOf(static_cast<std::int32_t>(i));
+        const std::size_t tree =
+            ports.empty() ? 0 : ports.begin()->second.tree;
+        phase_[i] = static_cast<int>(tree % static_cast<std::size_t>(
+                                         phaseCount_));
+    }
+}
+
+int
+WorkloadEngine::pickTenant()
+{
+    double total = 0.0;
+    for (const auto &tenant : params_.tenants)
+        total += tenant.weight;
+    const double x = rng_.uniform(0.0, total);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < params_.tenants.size(); ++i) {
+        acc += params_.tenants[i].weight;
+        if (x < acc)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(params_.tenants.size()) - 1;
+}
+
+std::vector<ServerLoadView>
+WorkloadEngine::serverViews(sim::ClosedLoopSim &sim) const
+{
+    std::vector<ServerLoadView> views(jobLoad_.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+        auto &server = sim.server(i);
+        views[i].jobLoad = jobLoad_[i];
+        views[i].actualAc = server.actualAc();
+        views[i].capMax = server.spec().capMax;
+        views[i].throttle = server.throttleLevel();
+        views[i].phase = phase_[i];
+    }
+    return views;
+}
+
+void
+WorkloadEngine::retire(Job &&job, Seconds completion, bool dropped)
+{
+    JobRecord record;
+    record.id = job.id;
+    record.tenant = job.tenant;
+    record.priority = job.priority;
+    record.server = job.server;
+    record.arrival = job.arrival;
+    record.start = job.start;
+    record.completion = completion;
+    record.ideal = job.ideal;
+    record.dropped = dropped;
+    if (dropped) {
+        slo_.noteDrop(record);
+    } else {
+        record.slowdown =
+            SloAccounting::slowdownOf(job.arrival, completion, job.ideal);
+        slo_.noteCompletion(record, job.sloSlowdown);
+    }
+    trace_.push_back(record);
+}
+
+void
+WorkloadEngine::placeQueued(sim::ClosedLoopSim &sim, Seconds t)
+{
+    // Expire first so a timed-out job never grabs a slot.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (t - it->arrival > params_.queueTimeout) {
+            retire(std::move(*it), t, /*dropped=*/true);
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    auto views = serverViews(sim);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        const auto chosen = chooseServer(it->cpuDemand, views,
+                                         params_.policy, phaseCount_);
+        if (!chosen) {
+            // No room for this job; smaller ones behind it may still fit.
+            ++it;
+            continue;
+        }
+        it->start = t;
+        it->server = static_cast<std::int32_t>(*chosen);
+        jobLoad_[*chosen] += it->cpuDemand;
+        views[*chosen].jobLoad = jobLoad_[*chosen];
+        running_.push_back(std::move(*it));
+        it = queue_.erase(it);
+    }
+}
+
+void
+WorkloadEngine::beginTick(sim::ClosedLoopSim &sim, Seconds t,
+                          std::vector<Fraction> &utilization)
+{
+    ensureInit(sim);
+
+    const std::size_t arrivals = arrivals_.arrivalsAt(t);
+    for (std::size_t a = 0; a < arrivals; ++a) {
+        const int tenant = pickTenant();
+        const auto &spec =
+            params_.tenants[static_cast<std::size_t>(tenant)];
+        // Draw unconditionally so the RNG schedule does not depend on
+        // the spread setting.
+        const double stretch = rng_.uniform(1.0 - spec.durationSpread,
+                                            1.0 + spec.durationSpread);
+        Job job;
+        job.id = nextJobId_++;
+        job.tenant = tenant;
+        job.priority = spec.priority;
+        job.cpuDemand = spec.cpuDemand;
+        job.ideal = std::max<Seconds>(
+            0, std::llround(static_cast<double>(spec.meanDuration)
+                            * stretch));
+        job.sloSlowdown = spec.sloSlowdown;
+        job.arrival = t;
+        slo_.noteArrival(job.priority);
+        queue_.push_back(std::move(job));
+    }
+
+    placeQueued(sim, t);
+
+    for (std::size_t i = 0; i < utilization.size(); ++i) {
+        utilization[i] =
+            std::clamp(background_[i] + jobLoad_[i], 0.0, 1.0);
+    }
+
+    queueGauge_.set(static_cast<double>(queue_.size()));
+    runningGauge_.set(static_cast<double>(running_.size()));
+    rateGauge_.set(arrivals_.currentRate());
+}
+
+void
+WorkloadEngine::refreshPriorities(sim::ClosedLoopSim &sim)
+{
+    const std::size_t n = jobLoad_.size();
+    std::vector<Priority> top(n, std::numeric_limits<Priority>::min());
+    std::vector<double> weighted(n, 0.0);
+    std::vector<double> demand(n, 0.0);
+    std::vector<bool> occupied(n, false);
+    for (const auto &job : running_) {
+        const auto s = static_cast<std::size_t>(job.server);
+        occupied[s] = true;
+        top[s] = std::max(top[s], job.priority);
+        weighted[s] += static_cast<double>(job.priority) * job.cpuDemand;
+        demand[s] += job.cpuDemand;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        Priority p = basePriority_[i];
+        if (occupied[i]) {
+            p = params_.priorityMode == PriorityMode::Max
+                    ? top[i]
+                    : static_cast<Priority>(
+                          std::llround(weighted[i] / demand[i]));
+        }
+        sim.server(i).setPriority(p);
+    }
+}
+
+bool
+WorkloadEngine::detectInversion(sim::ClosedLoopSim &sim) const
+{
+    // Per-class throughput envelope over the servers hosting that class.
+    std::map<Priority, std::pair<double, double>> envelope; // {min, max}
+    for (const auto &job : running_) {
+        const double tp =
+            sim.server(static_cast<std::size_t>(job.server))
+                .normalizedThroughput();
+        auto [it, inserted] =
+            envelope.try_emplace(job.priority, std::make_pair(tp, tp));
+        if (!inserted) {
+            it->second.first = std::min(it->second.first, tp);
+            it->second.second = std::max(it->second.second, tp);
+        }
+    }
+    // Inverted when some higher class's slowest server trails a lower
+    // class's fastest by more than the slack.
+    for (auto hi = envelope.begin(); hi != envelope.end(); ++hi) {
+        for (auto lo = envelope.begin(); lo != hi; ++lo) {
+            if (hi->second.first < lo->second.second - kInversionEps)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+WorkloadEngine::controlPeriodBoundary(sim::ClosedLoopSim &sim, Seconds t)
+{
+    (void)t;
+    ensureInit(sim);
+    // Sample inversion from the throughputs the *previous* allocation
+    // produced, then push fresh priorities for the one about to run.
+    slo_.notePeriod(detectInversion(sim));
+    if (params_.priorityMode != PriorityMode::Off)
+        refreshPriorities(sim);
+}
+
+void
+WorkloadEngine::endTick(sim::ClosedLoopSim &sim, Seconds t)
+{
+    ensureInit(sim);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+        auto &job = running_[i];
+        job.progress +=
+            sim.server(static_cast<std::size_t>(job.server))
+                .normalizedThroughput();
+        if (job.progress + 1e-9 >= static_cast<double>(job.ideal)) {
+            const auto s = static_cast<std::size_t>(job.server);
+            jobLoad_[s] = std::max(0.0, jobLoad_[s] - job.cpuDemand);
+            retire(std::move(job), t, /*dropped=*/false);
+        } else {
+            if (kept != i)
+                running_[kept] = std::move(job);
+            ++kept;
+        }
+    }
+    running_.resize(kept);
+}
+
+} // namespace capmaestro::workload

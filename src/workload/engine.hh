@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The workload engine: job/tenant traffic driving a ClosedLoopSim.
+ *
+ * WorkloadEngine implements sim::TrafficDriver. Each simulated second it
+ * draws arrivals from the seeded diurnal/flash-crowd process, places
+ * queued jobs with the configured policy, and rewrites per-server
+ * utilization as background level plus resident job demand. At every
+ * control-period boundary it recomputes server priorities from the
+ * resident jobs (so per-job priority flows into the capping plane as
+ * jobs churn) and samples priority-inversion state; after actuation it
+ * accrues job progress at each server's capped speed and retires
+ * finished jobs into the trace.
+ *
+ * Determinism: one util::Rng seeded from Params::seed drives every draw
+ * in a fixed per-tick order, so the job trace and the SLO report are
+ * bit-identical across runs with the same seed and config — and across
+ * transport backends, because the engine only reads server state that
+ * the lossless bit-equivalence suites already pin down.
+ */
+
+#ifndef CAPMAESTRO_WORKLOAD_ENGINE_HH
+#define CAPMAESTRO_WORKLOAD_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/closed_loop.hh"
+#include "telemetry/registry.hh"
+#include "util/random.hh"
+#include "workload/job.hh"
+#include "workload/placement.hh"
+#include "workload/slo.hh"
+#include "workload/traffic.hh"
+
+namespace capmaestro::workload {
+
+/** How job priorities reach the capping plane. */
+enum class PriorityMode {
+    /** Leave static spec priorities alone (jobs are invisible to it). */
+    Off,
+    /** Server priority = max priority among resident jobs. */
+    Max,
+    /** Server priority = CPU-demand-weighted mean, rounded to nearest. */
+    Weighted,
+};
+
+/** Config-schema name of a priority mode ("off", "max", "weighted"). */
+const char *priorityModeName(PriorityMode mode);
+
+/** Parse a config-schema priority-mode name; fatal() on unknown. */
+PriorityMode priorityModeFromString(const std::string &name);
+
+/** Full workload-layer configuration (the `workload` config block). */
+struct Params
+{
+    /** Master seed for arrivals, tenants, durations, and background. */
+    std::uint64_t seed = 42;
+    /** Fleet-wide base arrival rate, jobs/s. */
+    double arrivalRate = 0.5;
+    /** Diurnal modulation of the arrival rate. */
+    Seconds diurnalPeriod = 86400;
+    double diurnalAmplitude = 0.3;
+    /** Flash-crowd bursts (startChance 0 disables). */
+    FlashCrowdParams flash;
+    /** Tenant mix; a single default tenant when empty. */
+    std::vector<TenantSpec> tenants;
+    PlacementPolicy policy = PlacementPolicy::LoadBalanced;
+    PriorityMode priorityMode = PriorityMode::Max;
+    /** Drop a job still unplaced this many seconds after arrival. */
+    Seconds queueTimeout = 120;
+    /**
+     * Fleet-average background utilization under the jobs. Negative
+     * (the default) samples the Barroso profile
+     * (sim::GoogleUtilizationProfile) once per run.
+     */
+    double backgroundUtilization = -1.0;
+    /** Per-server normal jitter around the background average. */
+    double backgroundJitter = 0.05;
+    /**
+     * Electrical phase count for the phaseAware policy; 0 (default)
+     * uses the power system's tree count.
+     */
+    int phaseCount = 0;
+};
+
+/** Job traffic layer; attach to a ClosedLoopSim via attachTraffic(). */
+class WorkloadEngine : public sim::TrafficDriver
+{
+  public:
+    explicit WorkloadEngine(Params params);
+
+    /** Mirror SLO accounting into @p registry (call before run()). */
+    void bindTelemetry(telemetry::Registry *registry);
+
+    // sim::TrafficDriver
+    void beginTick(sim::ClosedLoopSim &sim, Seconds t,
+                   std::vector<Fraction> &utilization) override;
+    void controlPeriodBoundary(sim::ClosedLoopSim &sim, Seconds t) override;
+    void endTick(sim::ClosedLoopSim &sim, Seconds t) override;
+
+    /** Finished jobs in retirement order (the deterministic trace). */
+    const std::vector<JobRecord> &trace() const { return trace_; }
+
+    /** Aggregate SLO statistics after @p elapsed simulated seconds. */
+    SloReport report(Seconds elapsed) const { return slo_.report(elapsed); }
+
+    const Params &params() const { return params_; }
+
+    /** Jobs waiting for placement right now. */
+    std::size_t queuedJobs() const { return queue_.size(); }
+
+    /** Jobs resident on servers right now. */
+    std::size_t runningJobs() const { return running_.size(); }
+
+    /** Background utilization average actually in force. */
+    Fraction backgroundAverage() const { return backgroundAverage_; }
+
+  private:
+    /** Late init on first tick (needs the sim's server count). */
+    void ensureInit(sim::ClosedLoopSim &sim);
+    /** Weighted tenant draw. */
+    int pickTenant();
+    /** Place queued jobs (FIFO), dropping ones past the timeout. */
+    void placeQueued(sim::ClosedLoopSim &sim, Seconds t);
+    /** Resident-job view of every server for the placement policy. */
+    std::vector<ServerLoadView> serverViews(sim::ClosedLoopSim &sim) const;
+    /** Push job-derived priorities into the server models. */
+    void refreshPriorities(sim::ClosedLoopSim &sim);
+    /** True when some lower class out-runs a higher one right now. */
+    bool detectInversion(sim::ClosedLoopSim &sim) const;
+    void retire(Job &&job, Seconds completion, bool dropped);
+
+    Params params_;
+    util::Rng rng_;
+    ArrivalProcess arrivals_;
+    SloAccounting slo_;
+    bool initialized_ = false;
+    std::uint64_t nextJobId_ = 0;
+    std::deque<Job> queue_;
+    std::vector<Job> running_;
+    /** Resident job CPU demand per server. */
+    std::vector<Fraction> jobLoad_;
+    /** Static background utilization per server. */
+    std::vector<Fraction> background_;
+    /** Spec priorities captured at init (restored when no jobs). */
+    std::vector<Priority> basePriority_;
+    /** Electrical phase per server (tree of its first live port). */
+    std::vector<int> phase_;
+    int phaseCount_ = 1;
+    Fraction backgroundAverage_ = 0.0;
+    std::vector<JobRecord> trace_;
+    telemetry::Registry *registry_ = nullptr;
+    telemetry::Gauge queueGauge_;
+    telemetry::Gauge runningGauge_;
+    telemetry::Gauge rateGauge_;
+};
+
+} // namespace capmaestro::workload
+
+#endif // CAPMAESTRO_WORKLOAD_ENGINE_HH

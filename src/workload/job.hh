@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The job/tenant model of the workload layer.
+ *
+ * The paper evaluates priority-aware capping over a static fleet; its
+ * priority machinery only becomes interesting when priorities belong to
+ * workloads that arrive, run, and finish (CloudPowerCap co-manages power
+ * budgets with the job scheduler; nvPAX studies hierarchical multi-tenant
+ * budget contention). A Job is one unit of tenant traffic: it lands on a
+ * server, contributes CPU demand while resident, progresses at the
+ * server's capped speed, and reports a slowdown against its SLO when it
+ * completes.
+ */
+
+#ifndef CAPMAESTRO_WORKLOAD_JOB_HH
+#define CAPMAESTRO_WORKLOAD_JOB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace capmaestro::workload {
+
+/** One priority class of traffic (the "tenant" of the job model). */
+struct TenantSpec
+{
+    std::string name = "default";
+    /** Priority inherited by every job of this tenant. */
+    Priority priority = 0;
+    /** Relative arrival-mix weight across tenants. */
+    double weight = 1.0;
+    /** CPU demand one resident job adds to its server, in [0, 1]. */
+    Fraction cpuDemand = 0.25;
+    /** Service requirement at full speed, seconds (0 = instant job). */
+    Seconds meanDuration = 60;
+    /**
+     * Half-width of the uniform duration spread around meanDuration,
+     * as a fraction of it (0 = every job takes exactly meanDuration).
+     */
+    double durationSpread = 0.5;
+    /** SLO target: the job meets its SLO when slowdown <= this. */
+    double sloSlowdown = 2.0;
+};
+
+/** A job in flight (queued or running). */
+struct Job
+{
+    std::uint64_t id = 0;
+    /** Index into the tenant table. */
+    int tenant = 0;
+    Priority priority = 0;
+    Fraction cpuDemand = 0.0;
+    /** Service requirement at full speed (ideal runtime), seconds. */
+    Seconds ideal = 0;
+    double sloSlowdown = 2.0;
+    Seconds arrival = 0;
+    /** Placement time; -1 while queued. */
+    Seconds start = -1;
+    /** Hosting server; -1 while queued. */
+    std::int32_t server = -1;
+    /** Accumulated service seconds (progresses at the capped speed). */
+    double progress = 0.0;
+};
+
+/**
+ * Immutable record of a finished (completed or dropped) job — the job
+ * trace. Every field is deterministic given the seed and the scenario,
+ * and the determinism tests compare traces bit-for-bit across runs and
+ * across transport backends.
+ */
+struct JobRecord
+{
+    std::uint64_t id = 0;
+    int tenant = 0;
+    Priority priority = 0;
+    /** Hosting server, -1 when the job was dropped unplaced. */
+    std::int32_t server = -1;
+    Seconds arrival = 0;
+    /** Placement time, -1 when dropped. */
+    Seconds start = -1;
+    /** Completion (or drop) time. */
+    Seconds completion = 0;
+    /** Ideal runtime at full speed. */
+    Seconds ideal = 0;
+    /** Response / ideal (see SloAccounting::slowdownOf); 0 if dropped. */
+    double slowdown = 0.0;
+    bool dropped = false;
+
+    bool operator==(const JobRecord &) const = default;
+};
+
+} // namespace capmaestro::workload
+
+#endif // CAPMAESTRO_WORKLOAD_JOB_HH

@@ -1,0 +1,165 @@
+#include "workload/placement.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/placement.hh"
+#include "util/logging.hh"
+
+namespace capmaestro::workload {
+
+namespace {
+
+constexpr double kCapacityTol = 1e-9;
+
+bool
+fits(Fraction cpu_demand, const ServerLoadView &s)
+{
+    return s.jobLoad + cpu_demand <= 1.0 + kCapacityTol;
+}
+
+std::optional<std::size_t>
+firstFit(Fraction cpu_demand, const std::vector<ServerLoadView> &servers)
+{
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (fits(cpu_demand, servers[i]))
+            return i;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+loadBalanced(Fraction cpu_demand,
+             const std::vector<ServerLoadView> &servers)
+{
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (!fits(cpu_demand, servers[i]))
+            continue;
+        if (!best || servers[i].jobLoad < servers[*best].jobLoad)
+            best = i;
+    }
+    return best;
+}
+
+std::optional<std::size_t>
+phaseAware(Fraction cpu_demand,
+           const std::vector<ServerLoadView> &servers, int phase_count)
+{
+    // The balancePhases advisor's LPT greedy assigns each arriving
+    // demand to the currently lightest phase; apply the same rule
+    // online using the advisor's phase-load accounting over resident
+    // job demand.
+    std::vector<Watts> demands(servers.size());
+    std::vector<int> assignment(servers.size());
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        demands[i] = servers[i].jobLoad;
+        assignment[i] = servers[i].phase;
+    }
+    const auto loads = sim::phaseLoads(demands, assignment, phase_count);
+
+    // Phases ordered lightest first; within the chosen phase, the
+    // least-loaded fitting server. Falls through to heavier phases
+    // when the lightest has no capacity.
+    std::vector<int> order(loads.size());
+    for (std::size_t p = 0; p < order.size(); ++p)
+        order[p] = static_cast<int>(p);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return loads[static_cast<std::size_t>(a)]
+               < loads[static_cast<std::size_t>(b)];
+    });
+    for (const int phase : order) {
+        std::optional<std::size_t> best;
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+            if (servers[i].phase != phase || !fits(cpu_demand, servers[i]))
+                continue;
+            if (!best || servers[i].jobLoad < servers[*best].jobLoad)
+                best = i;
+        }
+        if (best)
+            return best;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t>
+powerHeadroom(Fraction cpu_demand,
+              const std::vector<ServerLoadView> &servers)
+{
+    std::optional<std::size_t> best;
+    double best_headroom = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (!fits(cpu_demand, servers[i]))
+            continue;
+        // Unthrottled watts to the server's ceiling; a throttled
+        // server's headroom is discounted because the capping plane is
+        // already clawing power back from it.
+        const double headroom = (1.0 - servers[i].throttle)
+                                * (servers[i].capMax
+                                   - servers[i].actualAc);
+        if (!best || headroom > best_headroom + kCapacityTol) {
+            best = i;
+            best_headroom = headroom;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::FirstFit: return "firstFit";
+      case PlacementPolicy::LoadBalanced: return "loadBalanced";
+      case PlacementPolicy::PhaseAware: return "phaseAware";
+      case PlacementPolicy::PowerHeadroom: return "powerHeadroom";
+    }
+    return "?";
+}
+
+PlacementPolicy
+placementPolicyFromString(const std::string &name)
+{
+    for (const auto policy : allPlacementPolicies()) {
+        if (name == placementPolicyName(policy))
+            return policy;
+    }
+    util::fatal("workload: unknown placement policy \"%s\" (use "
+                "firstFit/loadBalanced/phaseAware/powerHeadroom)",
+                name.c_str());
+}
+
+const std::vector<PlacementPolicy> &
+allPlacementPolicies()
+{
+    static const std::vector<PlacementPolicy> kAll{
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::LoadBalanced,
+        PlacementPolicy::PhaseAware,
+        PlacementPolicy::PowerHeadroom,
+    };
+    return kAll;
+}
+
+std::optional<std::size_t>
+chooseServer(Fraction cpu_demand,
+             const std::vector<ServerLoadView> &servers,
+             PlacementPolicy policy, int phase_count)
+{
+    switch (policy) {
+      case PlacementPolicy::FirstFit:
+        return firstFit(cpu_demand, servers);
+      case PlacementPolicy::LoadBalanced:
+        return loadBalanced(cpu_demand, servers);
+      case PlacementPolicy::PhaseAware:
+        return phaseAware(cpu_demand, servers,
+                          phase_count > 0 ? phase_count : 1);
+      case PlacementPolicy::PowerHeadroom:
+        return powerHeadroom(cpu_demand, servers);
+    }
+    return std::nullopt;
+}
+
+} // namespace capmaestro::workload

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pluggable job-placement policies.
+ *
+ * Placement decides which server hosts an arriving job, subject to CPU
+ * capacity (resident job demand per server may not exceed 1). The four
+ * policies trade simplicity against power-awareness:
+ *
+ *   - firstFit:      lowest-index server with room (the naive baseline)
+ *   - loadBalanced:  least resident job demand
+ *   - phaseAware:    the balancePhases advisor's LPT rule applied
+ *                    online — lightest phase first (via
+ *                    sim::phaseLoads), then least-loaded server on it —
+ *                    so job traffic never skews one phase's tree into
+ *                    capping while the others idle
+ *   - powerHeadroom: most unthrottled AC headroom (capMax - actual,
+ *                    discounted by the current throttle level), steering
+ *                    jobs away from servers the capping plane is already
+ *                    squeezing
+ */
+
+#ifndef CAPMAESTRO_WORKLOAD_PLACEMENT_HH
+#define CAPMAESTRO_WORKLOAD_PLACEMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace capmaestro::workload {
+
+enum class PlacementPolicy {
+    FirstFit,
+    LoadBalanced,
+    PhaseAware,
+    PowerHeadroom,
+};
+
+/** Config-schema name of a policy ("firstFit", "loadBalanced", ...). */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** Parse a config-schema policy name; fatal() on an unknown one. */
+PlacementPolicy placementPolicyFromString(const std::string &name);
+
+/** All policies, in a stable order (bench sweeps iterate this). */
+const std::vector<PlacementPolicy> &allPlacementPolicies();
+
+/** What placement sees of one server. */
+struct ServerLoadView
+{
+    /** Total CPU demand of the jobs resident on the server, [0, 1]. */
+    Fraction jobLoad = 0.0;
+    /** Measured AC power draw, watts. */
+    Watts actualAc = 0.0;
+    /** Maximum AC power, watts. */
+    Watts capMax = 0.0;
+    /** Node-manager throttle level, [0, 1). */
+    Fraction throttle = 0.0;
+    /** Electrical phase the server is plugged into. */
+    int phase = 0;
+};
+
+/**
+ * Choose a server for a job demanding @p cpu_demand of one server.
+ * Returns std::nullopt when no server has capacity (the job stays
+ * queued). Ties break toward the lowest server index, keeping every
+ * policy deterministic.
+ */
+std::optional<std::size_t> chooseServer(Fraction cpu_demand,
+                                        const std::vector<ServerLoadView>
+                                            &servers,
+                                        PlacementPolicy policy,
+                                        int phase_count);
+
+} // namespace capmaestro::workload
+
+#endif // CAPMAESTRO_WORKLOAD_PLACEMENT_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Job-level SLO accounting for the workload layer.
+ *
+ * SloAccounting aggregates finished jobs into per-priority-class
+ * statistics: completion/drop counts, SLO attainment, and the slowdown
+ * distribution (streaming P-squared p50/p99). It also counts
+ * priority-inversion control periods — periods where some lower-priority
+ * class out-ran a higher-priority one under capping — which is the
+ * signal the closed-loop priority tests assert on.
+ *
+ * All state is deterministic given the job stream, and Report compares
+ * with operator== so determinism suites can require bit-identical
+ * metrics across runs and transport backends. When a telemetry registry
+ * is bound, every event is mirrored into labeled series
+ * (workload_jobs_*_total, workload_job_slowdown, ...) per
+ * docs/observability.md conventions.
+ */
+
+#ifndef CAPMAESTRO_WORKLOAD_SLO_HH
+#define CAPMAESTRO_WORKLOAD_SLO_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "stats/quantile.hh"
+#include "telemetry/registry.hh"
+#include "workload/job.hh"
+
+namespace capmaestro::workload {
+
+/** Aggregated statistics for one priority class. */
+struct ClassReport
+{
+    Priority priority = 0;
+    std::uint64_t arrived = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    /** Completed jobs whose slowdown met the tenant SLO. */
+    std::uint64_t sloMet = 0;
+    double meanSlowdown = 0.0;
+    double p50Slowdown = 0.0;
+    double p99Slowdown = 0.0;
+    /** Completed jobs per simulated second. */
+    double throughput = 0.0;
+
+    bool operator==(const ClassReport &) const = default;
+};
+
+/** Fleet-wide SLO summary (classes sorted by ascending priority). */
+struct SloReport
+{
+    std::uint64_t arrived = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    /** Control periods where priority ordering was inverted. */
+    std::uint64_t inversionPeriods = 0;
+    /** Control periods observed. */
+    std::uint64_t periods = 0;
+    std::vector<ClassReport> classes;
+
+    bool operator==(const SloReport &) const = default;
+
+    /** Stats of class @p priority; nullptr when it saw no jobs. */
+    const ClassReport *byPriority(Priority priority) const;
+};
+
+/** Accumulates job outcomes into per-class SLO statistics. */
+class SloAccounting
+{
+  public:
+    /**
+     * Slowdown of a job: response time over ideal runtime, where both
+     * are measured in whole simulated seconds and a job landing and
+     * finishing within one tick has response 1. Instant jobs (ideal
+     * 0) divide by 1 instead, so the metric is defined for them and a
+     * fully unthrottled instant job scores exactly 1.0.
+     */
+    static double slowdownOf(Seconds arrival, Seconds completion,
+                             Seconds ideal);
+
+    /**
+     * Mirror events into @p registry (nullptr disables, the default).
+     * Bind before the first event; series are registered lazily per
+     * priority class.
+     */
+    void bindTelemetry(telemetry::Registry *registry);
+
+    void noteArrival(Priority priority);
+    void noteCompletion(const JobRecord &record, double slo_slowdown);
+    void noteDrop(const JobRecord &record);
+
+    /** Count one control period, flagged when inverted. */
+    void notePeriod(bool inversion);
+
+    /** Snapshot the aggregate statistics after @p elapsed sim seconds. */
+    SloReport report(Seconds elapsed) const;
+
+  private:
+    struct ClassState
+    {
+        std::uint64_t arrived = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t sloMet = 0;
+        double slowdownSum = 0.0;
+        stats::P2Quantile p50{0.50};
+        stats::P2Quantile p99{0.99};
+        telemetry::Counter completedMetric;
+        telemetry::Counter droppedMetric;
+        telemetry::Counter sloMetMetric;
+        telemetry::HistogramMetric slowdownMetric;
+    };
+
+    ClassState &classState(Priority priority);
+
+    std::map<Priority, ClassState> classes_;
+    std::uint64_t arrived_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t inversionPeriods_ = 0;
+    std::uint64_t periods_ = 0;
+    telemetry::Registry *registry_ = nullptr;
+    telemetry::Counter arrivedMetric_;
+    telemetry::Counter inversionMetric_;
+    telemetry::Counter periodsMetric_;
+};
+
+} // namespace capmaestro::workload
+
+#endif // CAPMAESTRO_WORKLOAD_SLO_HH

@@ -1,0 +1,82 @@
+#include "workload/traffic.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace capmaestro::workload {
+
+DiurnalCurve::DiurnalCurve(Seconds period, double amplitude)
+    : period_(period), amplitude_(amplitude)
+{
+    if (period_ <= 0)
+        util::fatal("DiurnalCurve: period must be positive");
+    if (amplitude_ < 0.0)
+        util::fatal("DiurnalCurve: amplitude must be >= 0");
+}
+
+double
+DiurnalCurve::factor(Seconds t) const
+{
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    const double phase = kTwoPi * static_cast<double>(t)
+                         / static_cast<double>(period_);
+    const double f = 1.0 + amplitude_ * std::sin(phase);
+    return f > 0.0 ? f : 0.0;
+}
+
+ArrivalProcess::ArrivalProcess(double base_rate, DiurnalCurve diurnal,
+                               FlashCrowdParams flash, util::Rng rng)
+    : baseRate_(base_rate), diurnal_(diurnal), flash_(flash),
+      rng_(std::move(rng))
+{
+    if (baseRate_ < 0.0)
+        util::fatal("ArrivalProcess: base rate must be >= 0");
+    if (flash_.startChance < 0.0 || flash_.startChance >= 1.0)
+        util::fatal("ArrivalProcess: flash startChance outside [0, 1)");
+    if (flash_.multiplier < 0.0)
+        util::fatal("ArrivalProcess: flash multiplier must be >= 0");
+}
+
+std::size_t
+ArrivalProcess::arrivalsAt(Seconds t)
+{
+    // Flash-crowd state machine first, so the burst applies to this
+    // very second. One Bernoulli draw per idle second keeps the RNG
+    // consumption schedule deterministic.
+    if (crowdUntil_ >= 0 && t >= crowdUntil_)
+        crowdUntil_ = -1;
+    if (crowdUntil_ < 0 && flash_.startChance > 0.0
+        && rng_.chance(flash_.startChance)) {
+        crowdUntil_ = t + flash_.duration;
+    }
+
+    double rate = baseRate_ * diurnal_.factor(t);
+    if (crowdUntil_ >= 0)
+        rate *= flash_.multiplier;
+    currentRate_ = rate;
+    return poisson(rate);
+}
+
+std::size_t
+ArrivalProcess::poisson(double lambda)
+{
+    if (lambda <= 0.0)
+        return 0;
+    // Knuth's multiplication method: exact for the modest rates a
+    // control-period-scale simulation uses. The cap bounds the loop
+    // (and the arrivals burst) even under an extreme configuration.
+    constexpr double kMaxLambda = 64.0;
+    if (lambda > kMaxLambda)
+        lambda = kMaxLambda;
+    const double limit = std::exp(-lambda);
+    std::size_t k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= rng_.uniform();
+    } while (p > limit);
+    return k - 1;
+}
+
+} // namespace capmaestro::workload

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic arrival process for the workload layer: a diurnal rate
+ * curve plus seeded flash-crowd bursts, layered over the Barroso
+ * utilization profile (sim/utilization.hh) that supplies the fleet's
+ * background load level.
+ *
+ * Everything is driven by an explicit util::Rng, so the same seed and
+ * tick sequence reproduce the same arrival schedule bit-for-bit — the
+ * property the closed-loop determinism suites assert.
+ */
+
+#ifndef CAPMAESTRO_WORKLOAD_TRAFFIC_HH
+#define CAPMAESTRO_WORKLOAD_TRAFFIC_HH
+
+#include <cstddef>
+
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace capmaestro::workload {
+
+/**
+ * Multiplicative diurnal rate curve: factor(t) = 1 + A sin(2*pi*t/T),
+ * clamped at 0. A = 0 flattens the curve; T defaults to a day.
+ */
+class DiurnalCurve
+{
+  public:
+    DiurnalCurve(Seconds period, double amplitude);
+
+    /** Rate multiplier at simulated second @p t (>= 0). */
+    double factor(Seconds t) const;
+
+    Seconds period() const { return period_; }
+    double amplitude() const { return amplitude_; }
+
+  private:
+    Seconds period_;
+    double amplitude_;
+};
+
+/** Flash-crowd burst model tunables. */
+struct FlashCrowdParams
+{
+    /** Per-second chance a crowd starts while none is active (0 = off). */
+    double startChance = 0.0;
+    /** Burst length, seconds. */
+    Seconds duration = 30;
+    /** Rate multiplier while a crowd is active. */
+    double multiplier = 4.0;
+};
+
+/**
+ * Poisson arrival process with the diurnal curve and flash crowds
+ * modulating the base rate. Call arrivalsAt() exactly once per
+ * simulated second, in time order: it advances the RNG and the flash
+ * state deterministically.
+ */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(double base_rate, DiurnalCurve diurnal,
+                   FlashCrowdParams flash, util::Rng rng);
+
+    /** Number of arrivals in second @p t; advances RNG and flash state. */
+    std::size_t arrivalsAt(Seconds t);
+
+    /** Instantaneous rate (jobs/s) the last arrivalsAt() call used. */
+    double currentRate() const { return currentRate_; }
+
+    /** True while a flash crowd is active. */
+    bool inFlashCrowd() const { return crowdUntil_ >= 0; }
+
+  private:
+    double baseRate_;
+    DiurnalCurve diurnal_;
+    FlashCrowdParams flash_;
+    util::Rng rng_;
+    /** Last second (exclusive) of the active crowd; -1 when none. */
+    Seconds crowdUntil_ = -1;
+    double currentRate_ = 0.0;
+
+    std::size_t poisson(double lambda);
+};
+
+} // namespace capmaestro::workload
+
+#endif // CAPMAESTRO_WORKLOAD_TRAFFIC_HH

@@ -124,6 +124,30 @@ TEST(Histogram, EdgeAccessors)
     EXPECT_DOUBLE_EQ(h.binHigh(4), 20.0);
 }
 
+TEST(Histogram, ZeroWidthRangeIsLegal)
+{
+    // Regression: a degenerate hi == lo range used to fatal() in the
+    // constructor, which broke SLO histograms over a zero-width target
+    // band (e.g. every tenant sharing one slowdown target). The
+    // documented contract: samples <= lo land in bin 0, everything
+    // above clamps into the last bin, and no division blows up.
+    cs::Histogram h(2.0, 2.0, 4);
+    h.add(2.0);  // == lo: bin 0
+    h.add(1.0);  // below: bin 0
+    h.add(3.0);  // above: last bin
+    h.add(std::numeric_limits<double>::infinity()); // clamps, finite
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(3), 2u);
+    EXPECT_DOUBLE_EQ(h.lo(), h.hi());
+}
+
+TEST(HistogramDeath, RejectsInvertedRange)
+{
+    // hi < lo is still a configuration error, not a degenerate range.
+    EXPECT_DEATH(cs::Histogram(2.0, 1.0, 4), "hi >= lo");
+}
+
 TEST(Histogram, RenderContainsBars)
 {
     cs::Histogram h(0.0, 1.0, 4);

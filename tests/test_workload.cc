@@ -1,0 +1,548 @@
+/**
+ * @file
+ * The workload traffic layer: deterministic arrivals, placement
+ * policies, SLO accounting, and the closed-loop priority path — per-job
+ * priorities flowing through server-priority inheritance into the
+ * capping plane, demonstrated by strict per-class slowdown ordering
+ * under a tight budget and by inversion detection when inheritance is
+ * off. The Sim/UDP equivalence test binds real loopback sockets; set
+ * CAPMAESTRO_NO_NET=1 to skip it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdlib>
+#include <string>
+
+#include "config/loader.hh"
+#include "sim/scenario.hh"
+#include "util/json.hh"
+#include "workload/engine.hh"
+
+using namespace capmaestro;
+
+namespace {
+
+#define SKIP_WITHOUT_NET()                                            \
+    do {                                                              \
+        if (std::getenv("CAPMAESTRO_NO_NET") != nullptr)              \
+            GTEST_SKIP() << "CAPMAESTRO_NO_NET is set";               \
+    } while (0)
+
+workload::TenantSpec
+tenant(const std::string &name, Priority priority, Fraction demand,
+       Seconds duration)
+{
+    workload::TenantSpec t;
+    t.name = name;
+    t.priority = priority;
+    t.cpuDemand = demand;
+    t.meanDuration = duration;
+    t.durationSpread = 0.0;
+    return t;
+}
+
+/** Two-class params with a clean (no-jitter) background. */
+workload::Params
+twoClassParams(double rate, workload::PriorityMode mode)
+{
+    workload::Params params;
+    params.seed = 7;
+    params.arrivalRate = rate;
+    params.diurnalAmplitude = 0.0;
+    params.policy = workload::PlacementPolicy::LoadBalanced;
+    params.priorityMode = mode;
+    params.backgroundUtilization = 0.0;
+    params.backgroundJitter = 0.0;
+    params.tenants = {tenant("lo", 0, 0.9, 40),
+                      tenant("hi", 1, 0.9, 40)};
+    return params;
+}
+
+} // namespace
+
+// --- traffic ---------------------------------------------------------
+
+TEST(DiurnalCurve, SineShapeAndClamp)
+{
+    const workload::DiurnalCurve curve(86400, 0.3);
+    EXPECT_NEAR(curve.factor(0), 1.0, 1e-12);
+    EXPECT_NEAR(curve.factor(86400 / 4), 1.3, 1e-9);
+    EXPECT_NEAR(curve.factor(3 * 86400 / 4), 0.7, 1e-9);
+    // Amplitude above 1 clamps the trough at zero instead of going
+    // negative.
+    const workload::DiurnalCurve deep(86400, 2.0);
+    EXPECT_DOUBLE_EQ(deep.factor(3 * 86400 / 4), 0.0);
+}
+
+TEST(ArrivalProcess, SameSeedSameSchedule)
+{
+    workload::FlashCrowdParams flash;
+    flash.startChance = 0.01;
+    auto make = [&] {
+        return workload::ArrivalProcess(
+            2.0, workload::DiurnalCurve(3600, 0.5), flash, util::Rng(42));
+    };
+    auto a = make();
+    auto b = make();
+    for (Seconds t = 0; t < 2000; ++t)
+        ASSERT_EQ(a.arrivalsAt(t), b.arrivalsAt(t)) << "t=" << t;
+}
+
+TEST(ArrivalProcess, FlashCrowdMultipliesRate)
+{
+    workload::FlashCrowdParams flash;
+    flash.startChance = 0.5; // starts quickly
+    flash.duration = 10;
+    flash.multiplier = 4.0;
+    workload::ArrivalProcess proc(1.0, workload::DiurnalCurve(86400, 0.0),
+                                  flash, util::Rng(1));
+    bool saw_crowd = false;
+    for (Seconds t = 0; t < 50; ++t) {
+        proc.arrivalsAt(t);
+        if (proc.inFlashCrowd()) {
+            saw_crowd = true;
+            EXPECT_DOUBLE_EQ(proc.currentRate(), 4.0);
+        } else {
+            EXPECT_DOUBLE_EQ(proc.currentRate(), 1.0);
+        }
+    }
+    EXPECT_TRUE(saw_crowd);
+}
+
+// --- placement -------------------------------------------------------
+
+namespace {
+
+workload::ServerLoadView
+view(Fraction load, Watts actual, Watts cap_max, Fraction throttle,
+     int phase)
+{
+    return {load, actual, cap_max, throttle, phase};
+}
+
+} // namespace
+
+TEST(Placement, FirstFitTakesLowestIndexWithRoom)
+{
+    const std::vector<workload::ServerLoadView> servers{
+        view(0.9, 0, 490, 0, 0), view(0.3, 0, 490, 0, 0),
+        view(0.0, 0, 490, 0, 0)};
+    const auto chosen = workload::chooseServer(
+        0.5, servers, workload::PlacementPolicy::FirstFit, 1);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(*chosen, 1u);
+}
+
+TEST(Placement, LoadBalancedTakesLeastLoaded)
+{
+    const std::vector<workload::ServerLoadView> servers{
+        view(0.5, 0, 490, 0, 0), view(0.2, 0, 490, 0, 0),
+        view(0.4, 0, 490, 0, 0)};
+    const auto chosen = workload::chooseServer(
+        0.5, servers, workload::PlacementPolicy::LoadBalanced, 1);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(*chosen, 1u);
+}
+
+TEST(Placement, PowerHeadroomPrefersUnthrottledHeadroom)
+{
+    // Server 0 has more raw watts free but is half throttled; server 1
+    // wins on discounted headroom: 0.5*(490-400)=45 < 1.0*(490-430)=60.
+    const std::vector<workload::ServerLoadView> servers{
+        view(0.1, 400, 490, 0.5, 0), view(0.1, 430, 490, 0.0, 0)};
+    const auto chosen = workload::chooseServer(
+        0.2, servers, workload::PlacementPolicy::PowerHeadroom, 1);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(*chosen, 1u);
+}
+
+TEST(Placement, PhaseAwareBalancesPhases)
+{
+    // Phase 0 carries 1.2 of demand, phase 1 only 0.1: the lightest
+    // phase wins even though phase 0 also has a server with room.
+    const std::vector<workload::ServerLoadView> servers{
+        view(0.8, 0, 490, 0, 0), view(0.4, 0, 490, 0, 0),
+        view(0.1, 0, 490, 0, 1), view(0.0, 0, 490, 0, 1)};
+    const auto chosen = workload::chooseServer(
+        0.3, servers, workload::PlacementPolicy::PhaseAware, 2);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(*chosen, 3u); // least-loaded server of the light phase
+}
+
+TEST(Placement, ReturnsNulloptWhenNoCapacity)
+{
+    const std::vector<workload::ServerLoadView> servers{
+        view(0.9, 0, 490, 0, 0), view(0.8, 0, 490, 0, 0)};
+    for (const auto policy : workload::allPlacementPolicies()) {
+        EXPECT_FALSE(
+            workload::chooseServer(0.5, servers, policy, 1).has_value())
+            << workload::placementPolicyName(policy);
+    }
+}
+
+TEST(Placement, PolicyNamesRoundTrip)
+{
+    for (const auto policy : workload::allPlacementPolicies()) {
+        EXPECT_EQ(workload::placementPolicyFromString(
+                      workload::placementPolicyName(policy)),
+                  policy);
+    }
+}
+
+// --- SLO accounting --------------------------------------------------
+
+TEST(SloAccounting, SlowdownOfHandlesInstantJobs)
+{
+    using workload::SloAccounting;
+    // Ideal 0 (instant job): defined, and exactly 1.0 when it finishes
+    // the second it arrives.
+    EXPECT_DOUBLE_EQ(SloAccounting::slowdownOf(10, 10, 0), 1.0);
+    // Ideal 1 finishing the same second: also 1.0 (response is one
+    // whole tick).
+    EXPECT_DOUBLE_EQ(SloAccounting::slowdownOf(10, 10, 1), 1.0);
+    // A 10 s job taking 20 wall seconds: slowdown 2.
+    EXPECT_DOUBLE_EQ(SloAccounting::slowdownOf(0, 19, 10), 2.0);
+}
+
+TEST(SloAccounting, PerClassCountsAndInversions)
+{
+    workload::SloAccounting slo;
+    slo.noteArrival(0);
+    slo.noteArrival(0);
+    slo.noteArrival(1);
+
+    workload::JobRecord rec;
+    rec.priority = 0;
+    rec.arrival = 0;
+    rec.completion = 9;
+    rec.ideal = 10;
+    rec.slowdown = 1.0;
+    slo.noteCompletion(rec, 2.0);
+
+    rec.priority = 0;
+    rec.slowdown = 3.0; // misses the 2.0 SLO
+    slo.noteCompletion(rec, 2.0);
+
+    rec.priority = 1;
+    rec.dropped = true;
+    slo.noteDrop(rec);
+
+    slo.notePeriod(false);
+    slo.notePeriod(true);
+
+    const auto report = slo.report(100);
+    EXPECT_EQ(report.arrived, 3u);
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.dropped, 1u);
+    EXPECT_EQ(report.periods, 2u);
+    EXPECT_EQ(report.inversionPeriods, 1u);
+    ASSERT_EQ(report.classes.size(), 2u);
+    const auto *lo = report.byPriority(0);
+    ASSERT_NE(lo, nullptr);
+    EXPECT_EQ(lo->completed, 2u);
+    EXPECT_EQ(lo->sloMet, 1u);
+    EXPECT_DOUBLE_EQ(lo->meanSlowdown, 2.0);
+    EXPECT_DOUBLE_EQ(lo->throughput, 0.02);
+    const auto *hi = report.byPriority(1);
+    ASSERT_NE(hi, nullptr);
+    EXPECT_EQ(hi->dropped, 1u);
+    EXPECT_EQ(hi->completed, 0u);
+}
+
+// --- engine determinism ----------------------------------------------
+
+namespace {
+
+/** Run a 4-server contention rig with the given params. */
+std::pair<std::vector<workload::JobRecord>, workload::SloReport>
+runContention(const workload::Params &params, Watts budget,
+              Seconds duration)
+{
+    auto rig = sim::makeContentionRig({0, 0, 0, 0}, budget);
+    rig.attachTraffic(
+        std::make_unique<workload::WorkloadEngine>(params));
+    rig.run(duration);
+    auto *engine =
+        dynamic_cast<workload::WorkloadEngine *>(rig.traffic());
+    return {engine->trace(), engine->report(duration)};
+}
+
+} // namespace
+
+TEST(WorkloadEngine, SameSeedBitIdenticalTraceAndReport)
+{
+    const auto params =
+        twoClassParams(0.06, workload::PriorityMode::Max);
+    const auto [trace_a, report_a] = runContention(params, 1400.0, 600);
+    const auto [trace_b, report_b] = runContention(params, 1400.0, 600);
+    ASSERT_GT(trace_a.size(), 10u);
+    EXPECT_EQ(trace_a, trace_b);
+    EXPECT_EQ(report_a, report_b);
+}
+
+TEST(WorkloadEngine, DifferentSeedDifferentTrace)
+{
+    auto params = twoClassParams(0.06, workload::PriorityMode::Max);
+    const auto [trace_a, report_a] = runContention(params, 1400.0, 600);
+    params.seed = 8;
+    const auto [trace_b, report_b] = runContention(params, 1400.0, 600);
+    EXPECT_NE(trace_a, trace_b);
+}
+
+TEST(WorkloadEngine, JobsDriveUtilizationAndComplete)
+{
+    const auto params =
+        twoClassParams(0.06, workload::PriorityMode::Max);
+    // Generous budget: nothing throttles, so every completed job has
+    // slowdown ~1 (modulo queueing) and meets its SLO.
+    const auto [trace, report] = runContention(params, 4000.0, 600);
+    EXPECT_GT(report.completed, 20u);
+    EXPECT_EQ(report.inversionPeriods, 0u);
+    for (const auto &cls : report.classes) {
+        EXPECT_GE(cls.p99Slowdown, 1.0);
+        EXPECT_EQ(cls.sloMet, cls.completed);
+    }
+}
+
+// --- closed-loop priority path ---------------------------------------
+
+TEST(WorkloadClosedLoop, TightBudgetPreservesPriorityOrdering)
+{
+    // Four equal servers, tight fleet budget: the allocator must fund
+    // servers hosting priority-1 jobs first (via Max inheritance), so
+    // the high class's tail slowdown stays strictly below the low
+    // class's.
+    const auto params =
+        twoClassParams(0.06, workload::PriorityMode::Max);
+    const auto [trace, report] = runContention(params, 1350.0, 1200);
+    const auto *lo = report.byPriority(0);
+    const auto *hi = report.byPriority(1);
+    ASSERT_NE(lo, nullptr);
+    ASSERT_NE(hi, nullptr);
+    ASSERT_GT(lo->completed, 10u);
+    ASSERT_GT(hi->completed, 10u);
+    EXPECT_LT(hi->p99Slowdown, lo->p99Slowdown);
+    EXPECT_LT(hi->meanSlowdown, lo->meanSlowdown);
+}
+
+TEST(WorkloadClosedLoop, InversionDetectedWhenInheritanceOff)
+{
+    // Two servers with *misleading* static priorities: server 1 is
+    // marked high although jobs of either class land on both. With
+    // inheritance off the allocator keeps funding server 1 regardless
+    // of what runs there, so the SLO metrics must catch inverted
+    // periods; with Max inheritance the budgets follow the jobs and
+    // inversions (nearly) vanish.
+    auto make = [](workload::PriorityMode mode) {
+        workload::Params params;
+        params.seed = 11;
+        params.arrivalRate = 0.08;
+        params.diurnalAmplitude = 0.0;
+        params.policy = workload::PlacementPolicy::FirstFit;
+        params.priorityMode = mode;
+        params.backgroundUtilization = 0.0;
+        params.backgroundJitter = 0.0;
+        params.tenants = {tenant("lo", 0, 0.95, 50),
+                          tenant("hi", 1, 0.95, 50)};
+        return params;
+    };
+    auto run = [&](workload::PriorityMode mode) {
+        auto rig = sim::makeContentionRig({0, 1}, 700.0);
+        rig.attachTraffic(
+            std::make_unique<workload::WorkloadEngine>(make(mode)));
+        rig.run(1200);
+        auto *engine =
+            dynamic_cast<workload::WorkloadEngine *>(rig.traffic());
+        return engine->report(1200);
+    };
+
+    const auto off = run(workload::PriorityMode::Off);
+    const auto max = run(workload::PriorityMode::Max);
+
+    EXPECT_GT(off.inversionPeriods, 0u);
+    EXPECT_LT(max.inversionPeriods * 2, off.inversionPeriods);
+
+    // Inheritance restores the ordering the static assignment broke.
+    const auto *max_lo = max.byPriority(0);
+    const auto *max_hi = max.byPriority(1);
+    ASSERT_NE(max_lo, nullptr);
+    ASSERT_NE(max_hi, nullptr);
+    EXPECT_LT(max_hi->p99Slowdown, max_lo->p99Slowdown);
+
+    // And the high class is strictly better off than under the
+    // misleading static assignment.
+    const auto *off_hi = off.byPriority(1);
+    ASSERT_NE(off_hi, nullptr);
+    EXPECT_LT(max_hi->p99Slowdown, off_hi->p99Slowdown);
+}
+
+// --- config plumbing -------------------------------------------------
+
+TEST(WorkloadConfig, ParamsRoundTripThroughJson)
+{
+    workload::Params params;
+    params.seed = 99;
+    params.arrivalRate = 1.5;
+    params.diurnalPeriod = 7200;
+    params.diurnalAmplitude = 0.4;
+    params.flash.startChance = 0.002;
+    params.flash.duration = 45;
+    params.flash.multiplier = 3.0;
+    params.policy = workload::PlacementPolicy::PowerHeadroom;
+    params.priorityMode = workload::PriorityMode::Weighted;
+    params.queueTimeout = 60;
+    params.backgroundUtilization = 0.25;
+    params.backgroundJitter = 0.1;
+    params.phaseCount = 3;
+    params.tenants = {tenant("batch", 0, 0.3, 100),
+                      tenant("online", 2, 0.1, 10)};
+
+    const auto json = config::workloadParamsToJson(params);
+    const auto parsed = config::workloadParamsFromJson(json);
+
+    EXPECT_EQ(parsed.seed, params.seed);
+    EXPECT_DOUBLE_EQ(parsed.arrivalRate, params.arrivalRate);
+    EXPECT_EQ(parsed.diurnalPeriod, params.diurnalPeriod);
+    EXPECT_DOUBLE_EQ(parsed.diurnalAmplitude, params.diurnalAmplitude);
+    EXPECT_DOUBLE_EQ(parsed.flash.startChance, params.flash.startChance);
+    EXPECT_EQ(parsed.flash.duration, params.flash.duration);
+    EXPECT_DOUBLE_EQ(parsed.flash.multiplier, params.flash.multiplier);
+    EXPECT_EQ(parsed.policy, params.policy);
+    EXPECT_EQ(parsed.priorityMode, params.priorityMode);
+    EXPECT_EQ(parsed.queueTimeout, params.queueTimeout);
+    EXPECT_DOUBLE_EQ(parsed.backgroundUtilization,
+                     params.backgroundUtilization);
+    EXPECT_DOUBLE_EQ(parsed.backgroundJitter, params.backgroundJitter);
+    EXPECT_EQ(parsed.phaseCount, params.phaseCount);
+    ASSERT_EQ(parsed.tenants.size(), 2u);
+    EXPECT_EQ(parsed.tenants[0].name, "batch");
+    EXPECT_EQ(parsed.tenants[1].priority, 2);
+    EXPECT_DOUBLE_EQ(parsed.tenants[1].cpuDemand, 0.1);
+}
+
+namespace {
+
+const char *kSmallScenario = R"({
+  "trees": [
+    { "feed": 0, "phase": 0, "name": "feed",
+      "root": { "kind": "breaker", "name": "topCB", "rating": 1960,
+                "children": [
+                  { "kind": "supply", "server": 0 },
+                  { "kind": "supply", "server": 1 } ] } }
+  ],
+  "servers": [
+    { "name": "S0", "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.7 } },
+    { "name": "S1", "supplies": [ { "share": 1.0 } ],
+      "workload": { "type": "constant", "utilization": 0.8 } }
+  ],
+  "service": { "policy": "global", "spo": false },
+  "budgets": { "perTree": [800] }
+})";
+
+/** Insert a workload block (or nothing) into kSmallScenario. */
+std::string
+scenarioWith(const std::string &workload_block)
+{
+    std::string text = kSmallScenario;
+    if (!workload_block.empty()) {
+        const auto pos = text.rfind('}');
+        text.insert(pos, ",\n  \"workload\": " + workload_block + "\n");
+    }
+    return text;
+}
+
+} // namespace
+
+TEST(WorkloadConfig, DisabledBlockIsBitIdenticalToNoBlock)
+{
+    auto run = [](const std::string &text) {
+        auto scenario = config::loadScenario(util::parseJson(text));
+        auto simulation = config::makeSimulation(std::move(scenario), 1);
+        simulation.run(100);
+        return simulation;
+    };
+    auto plain = run(scenarioWith(""));
+    auto disabled = run(scenarioWith("{ \"enabled\": false }"));
+    EXPECT_EQ(plain.traffic(), nullptr);
+    EXPECT_EQ(disabled.traffic(), nullptr);
+
+    const auto &a = plain.recorder();
+    const auto &b = disabled.recorder();
+    ASSERT_EQ(a.names(), b.names());
+    for (const auto &name : a.names()) {
+        const auto &sa = a.series(name);
+        const auto &sb = b.series(name);
+        ASSERT_EQ(sa.size(), sb.size()) << name;
+        for (std::size_t i = 0; i < sa.size(); ++i) {
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(sa[i].value),
+                      std::bit_cast<std::uint64_t>(sb[i].value))
+                << name << "[" << i << "]";
+        }
+    }
+}
+
+TEST(WorkloadConfig, EnabledBlockAttachesEngine)
+{
+    const auto text = scenarioWith(
+        R"({ "enabled": true, "arrivalRate": 0.2, "seed": 3,
+             "backgroundUtilization": 0.1, "backgroundJitter": 0,
+             "tenants": [ { "name": "t", "cpuDemand": 0.5,
+                            "meanDurationSeconds": 20,
+                            "durationSpread": 0 } ] })");
+    auto scenario = config::loadScenario(util::parseJson(text));
+    ASSERT_TRUE(scenario.workload.has_value());
+    auto simulation = config::makeSimulation(std::move(scenario), 1);
+    auto *engine =
+        dynamic_cast<workload::WorkloadEngine *>(simulation.traffic());
+    ASSERT_NE(engine, nullptr);
+    simulation.run(200);
+    EXPECT_GT(engine->report(200).completed, 5u);
+}
+
+// --- transport-backend equivalence -----------------------------------
+
+namespace {
+
+/** Same rig, driven over a chosen transport backend. The lossless
+ *  loopback exchange must not perturb the job trace by one bit. */
+std::pair<std::vector<workload::JobRecord>, workload::SloReport>
+runBackend(const std::string &backend, Seconds duration)
+{
+    const auto text = scenarioWith(
+        R"({ "enabled": true, "arrivalRate": 0.15, "seed": 5,
+             "backgroundUtilization": 0.2, "backgroundJitter": 0.02,
+             "priorityMode": "max",
+             "tenants": [
+               { "name": "lo", "priority": 0, "cpuDemand": 0.6,
+                 "meanDurationSeconds": 25, "durationSpread": 0.4 },
+               { "name": "hi", "priority": 1, "cpuDemand": 0.4,
+                 "meanDurationSeconds": 12, "durationSpread": 0.4 } ] })");
+    auto scenario = config::loadScenario(util::parseJson(text));
+    config::applyTransportJson(
+        scenario.service,
+        util::parseJson("{\"backend\":\"" + backend
+                        + "\",\"gatherDeadlineMs\":40,"
+                          "\"budgetDeadlineMs\":40,"
+                          "\"retryTimeoutMs\":10}"));
+    auto simulation = config::makeSimulation(std::move(scenario), 1);
+    simulation.run(duration);
+    auto *engine =
+        dynamic_cast<workload::WorkloadEngine *>(simulation.traffic());
+    return {engine->trace(), engine->report(duration)};
+}
+
+} // namespace
+
+TEST(WorkloadClosedLoop, JobTraceBitIdenticalAcrossSimAndUdpBackends)
+{
+    SKIP_WITHOUT_NET();
+    const Seconds duration = 48;
+    const auto [sim_trace, sim_report] = runBackend("sim", duration);
+    const auto [udp_trace, udp_report] = runBackend("udp", duration);
+    ASSERT_GT(sim_trace.size(), 0u);
+    EXPECT_EQ(sim_trace, udp_trace);
+    EXPECT_EQ(sim_report, udp_report);
+}

@@ -15,6 +15,13 @@
  *                     per-server uniform in [0.85, 1.0])
  *   --mismatch=F      supply split mismatch (default 0)
  *   --seed=N          RNG seed for priorities/splits (default 1)
+ *   --workload=P      emit a workload traffic block using placement
+ *                     policy P (firstFit/loadBalanced/phaseAware/
+ *                     powerHeadroom); "off" (the default) omits the
+ *                     block entirely, leaving the output identical to
+ *                     a run without the flag
+ *   --workload-rate=R fleet arrival rate, jobs/s (default 0.02 per
+ *                     server); only meaningful with --workload
  */
 
 #include <cstdio>
@@ -40,6 +47,46 @@ doubleFlag(int argc, char **argv, const char *name, double fallback)
             return std::atof(argv[i] + prefix.size());
     }
     return fallback;
+}
+
+std::string
+stringFlag(int argc, char **argv, const char *name,
+           const std::string &fallback)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return argv[i] + prefix.size();
+    }
+    return fallback;
+}
+
+/** The canonical two-tenant mix the generator emits. */
+workload::Params
+generatedWorkload(const std::string &policy, double rate,
+                  std::uint64_t seed)
+{
+    workload::Params params;
+    params.seed = seed;
+    params.arrivalRate = rate;
+    params.policy = workload::placementPolicyFromString(policy);
+    params.priorityMode = workload::PriorityMode::Max;
+    workload::TenantSpec batch;
+    batch.name = "batch";
+    batch.priority = 0;
+    batch.weight = 0.7;
+    batch.cpuDemand = 0.25;
+    batch.meanDuration = 120;
+    batch.sloSlowdown = 3.0;
+    workload::TenantSpec online;
+    online.name = "online";
+    online.priority = 1;
+    online.weight = 0.3;
+    online.cpuDemand = 0.15;
+    online.meanDuration = 30;
+    online.sloSlowdown = 1.5;
+    params.tenants = {batch, online};
+    return params;
 }
 
 } // namespace
@@ -117,6 +164,21 @@ main(int argc, char **argv)
     budgets.emplace("totalPerPhase",
                     util::Json(params.usableBudgetPerPhase()));
     doc.emplace("budgets", util::Json(std::move(budgets)));
+
+    // --workload=off (the default) must not touch the document at all:
+    // the no-workload output stays byte-for-byte what it always was.
+    const std::string workload_policy =
+        stringFlag(argc, argv, "workload", "off");
+    if (workload_policy != "off") {
+        const double rate = doubleFlag(
+            argc, argv, "workload-rate",
+            0.02 * static_cast<double>(dc.servers.size()));
+        doc.emplace("workload",
+                    config::workloadParamsToJson(generatedWorkload(
+                        workload_policy, rate,
+                        static_cast<std::uint64_t>(
+                            doubleFlag(argc, argv, "seed", 1.0)))));
+    }
 
     std::cout << util::serializeJson(util::Json(std::move(doc)), 2)
               << "\n";

@@ -23,11 +23,17 @@
  *                         (Prometheus text format 0.0.4),
  *                         DIR/metrics.jsonl, DIR/trace.jsonl (one line
  *                         per control period), and DIR/events.jsonl
+ *   --workload=SPEC       attach the job/tenant traffic layer
+ *                         (docs/workload.md). SPEC is a workload JSON
+ *                         block, a bare placement-policy name as
+ *                         shorthand (--workload=loadBalanced), or
+ *                         "off" to ignore the config's workload block
  *
  * Without --csv the tool prints a per-server summary (budget, power,
  * throughput over the final quarter of the run) plus breaker status;
  * in message-plane mode it adds message accounting and the §4.5
- * degraded-mode decisions from the event log.
+ * degraded-mode decisions from the event log; with a workload layer it
+ * adds per-priority-class SLO attainment and slowdown percentiles.
  */
 
 #include <cstdio>
@@ -43,6 +49,7 @@
 #include "telemetry/trace.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "workload/engine.hh"
 
 using namespace capmaestro;
 
@@ -80,7 +87,8 @@ usage()
                  "[--seed=N]\n"
                  "                      [--transport=JSON] "
                  "[--drop-rate=P] [--latency-ms=MS]\n"
-                 "                      [--telemetry-out=DIR]\n");
+                 "                      [--telemetry-out=DIR] "
+                 "[--workload=SPEC]\n");
     std::exit(2);
 }
 
@@ -127,6 +135,21 @@ main(int argc, char **argv)
         scenario.service.useMessagePlane = true;
         scenario.service.transport.latencyMeanMs = ms;
     }
+    // Workload override: a full workload JSON block, a bare placement
+    // policy name, or "off" to drop the config's block.
+    if (const char *spec = flagValue(argc, argv, "workload")) {
+        if (std::strcmp(spec, "off") == 0) {
+            scenario.workload.reset();
+        } else {
+            const std::string text =
+                spec[0] == '{'
+                    ? spec
+                    : "{\"placement\":\"" + std::string(spec) + "\"}";
+            scenario.workload =
+                config::workloadParamsFromJson(util::parseJson(text));
+        }
+    }
+
     const bool message_plane = scenario.service.useMessagePlane;
 
     const auto server_count = scenario.servers.size();
@@ -161,11 +184,17 @@ main(int argc, char **argv)
                                 static_cast<std::size_t>(supply));
     }
 
+    auto *engine = dynamic_cast<workload::WorkloadEngine *>(
+        simulation.traffic());
+
     telemetry::Registry registry;
     telemetry::PeriodTracer tracer;
     const char *telemetry_dir = flagValue(argc, argv, "telemetry-out");
-    if (telemetry_dir != nullptr)
+    if (telemetry_dir != nullptr) {
         simulation.enableTelemetry(&registry, &tracer);
+        if (engine != nullptr)
+            engine->bindTelemetry(&registry);
+    }
 
     simulation.run(duration);
 
@@ -252,6 +281,40 @@ main(int argc, char **argv)
             log.count(core::EventKind::DefaultBudgetApplied),
             log.count(core::EventKind::WorkerFailover),
             log.count(core::EventKind::SpoFallback));
+    }
+    if (engine != nullptr) {
+        const auto report = engine->report(duration);
+        util::TextTable slo("workload SLO summary");
+        slo.setHeader({"priority", "arrived", "completed", "dropped",
+                       "SLO met", "p50 slowdown", "p99 slowdown",
+                       "jobs/s"});
+        for (const auto &cls : report.classes) {
+            const double attainment =
+                cls.completed > 0
+                    ? static_cast<double>(cls.sloMet)
+                          / static_cast<double>(cls.completed)
+                    : 0.0;
+            slo.addRow({std::to_string(cls.priority),
+                        std::to_string(cls.arrived),
+                        std::to_string(cls.completed),
+                        std::to_string(cls.dropped),
+                        util::formatFixed(100.0 * attainment, 1) + "%",
+                        util::formatFixed(cls.p50Slowdown, 2),
+                        util::formatFixed(cls.p99Slowdown, 2),
+                        util::formatFixed(cls.throughput, 3)});
+        }
+        std::printf("\n");
+        slo.print(std::cout);
+        std::printf("workload: %llu arrived, %llu completed, %llu "
+                    "dropped, %zu queued, %zu running; priority "
+                    "inversions in %llu/%llu control periods\n",
+                    static_cast<unsigned long long>(report.arrived),
+                    static_cast<unsigned long long>(report.completed),
+                    static_cast<unsigned long long>(report.dropped),
+                    engine->queuedJobs(), engine->runningJobs(),
+                    static_cast<unsigned long long>(
+                        report.inversionPeriods),
+                    static_cast<unsigned long long>(report.periods));
     }
     if (!simulation.eventLog().events().empty()) {
         std::printf("\nevents:\n");
