@@ -46,21 +46,38 @@ elif [ "$failover_rc" -ne 0 ]; then
 fi
 
 echo
-echo "== sanitizers: ASan+UBSan run of the net + udp tiers =="
+echo "== tree tier: multi-process depth-3 aggregator-kill smoke =="
+# Three event-loop host processes run the depth-3 scenario
+# (configs/tree_depth3.json); the process hosting a mid-tier
+# aggregator is SIGKILLed and the script asserts the survivors
+# degrade (stale -> lost upstream, Pcap_min defaults on the orphaned
+# subtree) and exit cleanly. Skips itself (exit 77) when
+# CAPMAESTRO_NO_NET=1.
+tree_rc=0
+sh scripts/tree_smoke.sh build || tree_rc=$?
+if [ "$tree_rc" -eq 77 ]; then
+    echo "tree smoke: skipped"
+elif [ "$tree_rc" -ne 0 ]; then
+    exit "$tree_rc"
+fi
+
+echo
+echo "== sanitizers: ASan+UBSan run of the net + udp + tree tiers =="
 # The message-plane tier is labeled "net" in tests/CMakeLists.txt: wire
 # codec fuzzers, transport fault model, distributed protocol, closed
 # loop, and the SPO equivalence suite. The "udp" tier adds the
-# real-socket backend and the worker runtime, and the "failover" tier
-# the checkpoint/re-homing chaos suite plus the supervisor smoke (the
+# real-socket backend and the worker runtime, the "failover" tier the
+# checkpoint/re-homing chaos suite plus the supervisor smoke, and the
+# "tree" tier the deep-control-tree equivalence property test (the
 # socket-bound members skip via CAPMAESTRO_NO_NET=1). All are fast
 # enough to run under sanitizers on every check.
 cmake -B build-asan -S . -DCAPMAESTRO_SANITIZE=ON > /dev/null
 cmake --build build-asan -j --target \
     test_wire test_transport test_distributed test_net_closed_loop \
     test_spo_equivalence test_udp_transport test_udp_closed_loop \
-    test_worker_runtime test_failover capmaestro_run \
+    test_worker_runtime test_failover test_tree_depth capmaestro_run \
     capmaestro_worker capmaestro_supervisor
-(cd build-asan && ctest -L 'net|udp|failover' --output-on-failure -j)
+(cd build-asan && ctest -L 'net|udp|failover|tree' --output-on-failure -j)
 
 echo
 echo "== sanitizers: ASan+UBSan run of the telemetry tier =="

@@ -1,0 +1,113 @@
+#!/bin/sh
+# Deep-tree host smoke test: run the depth-3 scenario
+# (configs/tree_depth3.json, room -> 2 rows -> 4 racks -> 8 servers)
+# as three event-loop host processes on loopback UDP, SIGKILL the
+# process hosting the rowB aggregator mid-run, and assert that
+# (a) the survivors keep running and exit cleanly on SIGTERM,
+# (b) the root degrades the dead subtree through the stale -> lost
+#     ladder rather than stalling,
+# (c) the orphaned leaf under the dead aggregator falls back to its
+#     Pcap_min default budget, and
+# (d) the intact rowA subtree never defaults.
+#
+# Usage: scripts/tree_smoke.sh [build-dir]     (default: build)
+# Exit:  0 pass, 77 skipped (CAPMAESTRO_NO_NET=1), 1 fail.
+
+set -u
+cd "$(dirname "$0")/.."
+
+if [ -n "${CAPMAESTRO_NO_NET:-}" ]; then
+    echo "tree_smoke: skipped (CAPMAESTRO_NO_NET is set)"
+    exit 77
+fi
+
+BUILD="${1:-build}"
+WORKER="$BUILD/tools/capmaestro_worker"
+CONFIG=configs/tree_depth3.json
+if [ ! -x "$WORKER" ]; then
+    echo "tree_smoke: $WORKER not built" >&2
+    exit 1
+fi
+
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/capmaestro_tree.XXXXXX")"
+trap 'rm -rf "$DIR"' EXIT
+
+# Cut the tree at height 1 over three host processes. The template's
+# placement puts the rowA subtree and the root in process 0, the rowB
+# aggregator plus its first rack in process 1, and the remaining rowB
+# rack in process 2 — so killing process 1 orphans process 2's leaf.
+"$WORKER" "$CONFIG" --print-peers-template \
+    --agg-levels=1 --processes=3 --port-base=0 --period-ms=300 \
+    > "$DIR/peers.json" 2> /dev/null || exit 1
+
+# Hosts free-run on completeness, so no --periods: let them run until
+# we stop them, which keeps the kill timing race-free.
+for P in 0 1 2; do
+    "$WORKER" "$CONFIG" --peers="$DIR/peers.json" --process=$P \
+        > "$DIR/proc$P.out" 2> "$DIR/proc$P.err" &
+    eval "PID$P=\$!"
+done
+
+# Warm up lossless, then kill the mid-tier aggregator's process.
+sleep 1.0
+kill -KILL "$PID1" 2> /dev/null
+# Let the survivors ride the degraded deadline cascade for a few
+# periods (each degraded period costs the tier-staggered deadlines,
+# roughly half a second), then stop them cleanly.
+sleep 4.0
+kill -TERM "$PID0" "$PID2" 2> /dev/null
+wait "$PID0" || {
+    echo "tree_smoke: process 0 (rowA + root) exited nonzero" >&2
+    cat "$DIR/proc0.err"
+    exit 1
+}
+wait "$PID2" || {
+    echo "tree_smoke: process 2 (orphaned leaf) exited nonzero" >&2
+    cat "$DIR/proc2.err"
+    exit 1
+}
+wait "$PID1" 2> /dev/null
+
+echo "--- host summaries"
+grep 'host process' "$DIR"/proc0.err "$DIR"/proc2.err
+
+DONE0="$(grep 'host process 0 done:' "$DIR/proc0.err")"
+DONE2="$(grep 'host process 2 done:' "$DIR/proc2.err")"
+if [ -z "$DONE0" ] || [ -z "$DONE2" ]; then
+    echo "tree_smoke: missing host exit summary" >&2
+    exit 1
+fi
+
+# The root must have degraded the dead rowB subtree (stale reuse and
+# then metrics-lost), not sailed through as if nothing happened...
+case "$DONE0" in
+*" 0 stale, 0 lost,"*)
+    echo "tree_smoke: root never degraded the killed subtree" >&2
+    exit 1 ;;
+esac
+# ...while its own rowA subtree stayed on real budgets throughout...
+case "$DONE0" in
+*" 0 defaults,"*) : ;;
+*)
+    echo "tree_smoke: intact rowA subtree fell back to defaults" >&2
+    exit 1 ;;
+esac
+# ...and the leaf orphaned under the dead aggregator must have applied
+# its conservative Pcap_min default at least once.
+case "$DONE2" in
+*" 0 defaults,"*)
+    echo "tree_smoke: orphaned leaf never applied a default budget" >&2
+    exit 1 ;;
+esac
+# Both survivors must have applied real budgets before the kill.
+for LINE in "$DONE0" "$DONE2"; do
+    APPLIED="$(printf '%s\n' "$LINE" \
+        | sed -n 's/.*periods, \([0-9]*\) budgets applied.*/\1/p')"
+    if [ -z "$APPLIED" ] || [ "$APPLIED" -eq 0 ]; then
+        echo "tree_smoke: a survivor never applied a real budget" >&2
+        exit 1
+    fi
+done
+
+echo "tree_smoke: PASS (aggregator kill degraded, survivors clean)"
+exit 0

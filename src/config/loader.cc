@@ -516,6 +516,29 @@ workloadParamsToJson(const workload::Params &params)
     return util::Json(std::move(obj));
 }
 
+std::uint32_t
+WorkerPeers::processCount() const
+{
+    std::uint32_t count = 1;
+    for (const auto &[ep, process] : processOf)
+        count = std::max(count, process + 1);
+    return count;
+}
+
+std::vector<net::Transport::Endpoint>
+WorkerPeers::endpointsOf(std::uint32_t process) const
+{
+    std::vector<net::Transport::Endpoint> out;
+    for (const auto &[ep, peer] : peers) {
+        const auto assigned = processOf.find(ep);
+        const std::uint32_t mine =
+            assigned == processOf.end() ? 0 : assigned->second;
+        if (mine == process)
+            out.push_back(ep);
+    }
+    return out;
+}
+
 WorkerPeers
 loadWorkerPeers(const util::Json &doc)
 {
@@ -543,6 +566,21 @@ loadWorkerPeers(const util::Json &doc)
                         port);
         peer.port = static_cast<std::uint16_t>(port);
         out.peers[ep] = peer;
+        const double process = row.numberOr("process", 0.0);
+        if (process < 0.0)
+            util::fatal("peers: endpoint %u process must be >= 0", ep);
+        if (process > 0.0)
+            out.processOf[ep] = static_cast<std::uint32_t>(process);
+    }
+    if (const util::Json *levels = doc.find("aggLevels")) {
+        if (!levels->isArray())
+            util::fatal("peers: aggLevels must be an array");
+        for (const util::Json &level : levels->asArray()) {
+            const double v = level.asNumber();
+            if (v < 1.0)
+                util::fatal("peers: aggLevels entries must be >= 1");
+            out.aggLevels.push_back(static_cast<std::uint32_t>(v));
+        }
     }
     // The table must be dense 0..n-1 so the room endpoint (n-1) and the
     // rack count are unambiguous.
@@ -581,11 +619,22 @@ workerPeersToJson(const WorkerPeers &peers)
         row["endpoint"] = util::Json(static_cast<double>(ep));
         row["host"] = util::Json(peer.host);
         row["port"] = util::Json(static_cast<double>(peer.port));
+        const auto process = peers.processOf.find(ep);
+        if (process != peers.processOf.end() && process->second > 0) {
+            row["process"] =
+                util::Json(static_cast<double>(process->second));
+        }
         rows.emplace_back(std::move(row));
     }
     util::Json::Object doc;
     doc["periodMs"] = util::Json(peers.periodMs);
     doc["originMs"] = util::Json(static_cast<double>(peers.originMs));
+    if (!peers.aggLevels.empty()) {
+        util::Json::Array levels;
+        for (const std::uint32_t level : peers.aggLevels)
+            levels.emplace_back(util::Json(static_cast<double>(level)));
+        doc["aggLevels"] = util::Json(std::move(levels));
+    }
     doc["peers"] = util::Json(std::move(rows));
     util::Json::Object sup;
     sup["backoffInitialMs"] = util::Json(peers.supervisor.backoffInitialMs);

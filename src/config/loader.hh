@@ -148,6 +148,15 @@ util::Json workloadParamsToJson(const workload::Params &params);
  * endpoint rackWorkerCount. originMs anchors the control-period epoch
  * all processes must agree on: epoch = (now - originMs) / periodMs.
  *
+ * An optional "aggLevels" array (ascending heights above the edge
+ * level, see core/tree_plan) makes the deployment a deep control tree:
+ * endpoints then follow the TreePlan numbering — leaf workers first,
+ * aggregator tiers bottom-up, the root worker last — and every process
+ * must be given the same levels. An optional per-peer "process" key
+ * assigns the endpoint to a host process (capmaestro_worker
+ * --process=K runs every endpoint assigned to K in one event loop);
+ * endpoints without the key belong to process 0.
+ *
  * An optional "supervisor" object tunes capmaestro_supervisor (all
  * fields optional):
  *
@@ -180,8 +189,26 @@ struct WorkerPeers
     double periodMs = 1000.0;
     /** Epoch origin in unix milliseconds (realtime clock). */
     std::uint64_t originMs = 0;
+    /**
+     * Aggregation levels of the deployment's tree plan (empty = the
+     * classic 2-level rack/room layout). Must match the endpoint
+     * numbering of core::TreePlan::build on the scenario's topology.
+     */
+    std::vector<std::uint32_t> aggLevels;
+    /**
+     * Endpoint -> host process index (endpoints absent from the map
+     * belong to process 0). Purely a deployment grouping hint for
+     * capmaestro_worker --process=K; the protocol ignores it.
+     */
+    std::map<net::Transport::Endpoint, std::uint32_t> processOf;
     /** capmaestro_supervisor tunables (defaults when absent). */
     SupervisorConfig supervisor;
+
+    /** Host processes implied by processOf (>= 1). */
+    std::uint32_t processCount() const;
+    /** Endpoints assigned to host process @p process, ascending. */
+    std::vector<net::Transport::Endpoint>
+    endpointsOf(std::uint32_t process) const;
 };
 
 /** Parse a peer-table document (the format above). */

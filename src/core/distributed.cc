@@ -179,8 +179,36 @@ RackWorker::leafBudget(std::size_t tree,
 RoomWorker::RoomWorker(const topo::PowerSystem &system,
                        std::vector<std::set<topo::NodeId>> edge_nodes,
                        ctrl::TreePolicy policy)
-    : system_(system), edgeNodes_(std::move(edge_nodes)), policy_(policy)
+    : system_(system), edgeNodes_(std::move(edge_nodes)), policy_(policy),
+      lastCache_(edgeNodes_.size())
 {
+}
+
+RoomWorker::RoomWorker(const topo::PowerSystem &system,
+                       std::vector<topo::NodeId> tops,
+                       std::vector<std::set<topo::NodeId>> boundaries,
+                       ctrl::TreePolicy policy)
+    : system_(system), edgeNodes_(std::move(boundaries)),
+      policy_(policy), tops_(std::move(tops)),
+      lastCache_(edgeNodes_.size())
+{
+    if (tops_.size() != edgeNodes_.size()) {
+        util::fatal("RoomWorker: %zu fragment tops for %zu boundary "
+                    "sets",
+                    tops_.size(), edgeNodes_.size());
+    }
+}
+
+topo::NodeId
+RoomWorker::topOf(std::size_t tree) const
+{
+    if (tops_.empty())
+        return system_.tree(tree).root();
+    const topo::NodeId top = tops_.at(tree);
+    if (top == topo::kNoNode) {
+        util::fatal("RoomWorker: no fragment in tree %zu", tree);
+    }
+    return top;
 }
 
 ctrl::NodeMetrics
@@ -236,23 +264,37 @@ RoomWorker::budgetAbove(std::size_t tree, topo::NodeId node, Watts budget,
     }
 }
 
+ctrl::NodeMetrics
+RoomWorker::gatherTop(std::size_t tree,
+                      const std::map<topo::NodeId, ctrl::NodeMetrics>
+                          &boundary_metrics)
+{
+    auto &cache = lastCache_.at(tree);
+    cache.clear();
+    return gatherAbove(tree, topOf(tree), boundary_metrics, cache);
+}
+
+std::map<topo::NodeId, Watts>
+RoomWorker::budgetDown(std::size_t tree, Watts top_budget)
+{
+    const topo::NodeId top = topOf(tree);
+    std::map<topo::NodeId, Watts> edge_budgets;
+    // budgetAbove() clamps to the top's own limit, so an over-generous
+    // (or unlimited-root) grant never overloads the fragment.
+    const Watts budget =
+        std::min(top_budget, system_.tree(tree).node(top).limit());
+    budgetAbove(tree, top, budget, lastCache_.at(tree), edge_budgets);
+    return edge_budgets;
+}
+
 std::map<topo::NodeId, Watts>
 RoomWorker::iterate(std::size_t tree,
                     const std::map<topo::NodeId, ctrl::NodeMetrics>
                         &edge_metrics,
                     Watts root_budget)
 {
-    const auto &topo_tree = system_.tree(tree);
-    const topo::NodeId root = topo_tree.root();
-
-    std::map<topo::NodeId, ctrl::NodeMetrics> cache;
-    gatherAbove(tree, root, edge_metrics, cache);
-
-    std::map<topo::NodeId, Watts> edge_budgets;
-    const Watts budget =
-        std::min(root_budget, topo_tree.node(root).limit());
-    budgetAbove(tree, root, budget, cache, edge_budgets);
-    return edge_budgets;
+    gatherTop(tree, edge_metrics);
+    return budgetDown(tree, root_budget);
 }
 
 // --------------------------------------------------- DistributedControlPlane
@@ -331,18 +373,24 @@ edgeNodeSets(const std::vector<std::map<topo::NodeId, std::size_t>>
 } // namespace
 
 DistributedControlPlane::DistributedControlPlane(
-    const topo::PowerSystem &system, ctrl::TreePolicy policy)
+    const topo::PowerSystem &system, ctrl::TreePolicy policy,
+    std::vector<std::uint32_t> agg_levels)
     : system_(system), policy_(policy),
-      room_(system, edgeNodeSets(partition(system)), policy)
+      plan_(TreePlan::build(system, agg_levels)),
+      // The root fragment's boundary: its child stations — which with
+      // an empty plan are exactly the edge node sets of old.
+      room_(system, plan_.boundariesOf(plan_.rootEndpoint()), policy)
 {
     buildWorkers();
 }
 
 DistributedControlPlane::DistributedControlPlane(
     const topo::PowerSystem &system, ctrl::TreePolicy policy,
-    net::Transport &transport, net::ProtocolConfig protocol)
+    net::Transport &transport, net::ProtocolConfig protocol,
+    std::vector<std::uint32_t> agg_levels)
     : system_(system), policy_(policy),
-      room_(system, edgeNodeSets(partition(system)), policy),
+      plan_(TreePlan::build(system, agg_levels)),
+      room_(system, plan_.boundariesOf(plan_.rootEndpoint()), policy),
       transport_(&transport), protocol_(protocol)
 {
     buildWorkers();
@@ -379,6 +427,15 @@ DistributedControlPlane::buildWorkers()
     rackDeclaredDead_.assign(rack_count, false);
     missedHeartbeats_.assign(rack_count, 0);
     lastTreeMetrics_.assign(system_.trees().size(), {});
+
+    // Aggregator fragments for deep plans: one RoomWorker per internal
+    // non-root worker, cut at its stations and its children's.
+    for (std::uint32_t ep = static_cast<std::uint32_t>(plan_.leafWorkers);
+         ep < plan_.rootEndpoint(); ++ep) {
+        aggs_.emplace_back(system_, plan_.topsOf(ep),
+                           plan_.boundariesOf(ep), policy_);
+    }
+    aggSeq_.assign(aggs_.size(), 0);
 }
 
 net::Transport::Endpoint
@@ -552,6 +609,13 @@ DistributedControlPlane::failWorker(std::size_t rack)
 {
     if (rack >= racks_.size())
         util::panic("DistributedControlPlane: bad rack %zu", rack);
+    if (plan_.tiers() > 2) {
+        // Heartbeat failover / re-homing stays a 2-level plane
+        // feature; deep deployments test worker death at the runtime
+        // level (rt::WorkerRuntime), which owns checkpoints.
+        util::fatal("DistributedControlPlane: failWorker is not "
+                    "supported on a deep plan");
+    }
     rackFailed_[rack] = true;
 }
 
@@ -611,8 +675,14 @@ DistributedControlPlane::iterate(const std::vector<Watts> &root_budgets)
         util::fatal("DistributedControlPlane: %zu budgets for %zu trees",
                     root_budgets.size(), system_.trees().size());
     }
-    MessageStats stats = transport_ ? iterateTransport(root_budgets)
-                                    : iterateDirect(root_budgets);
+    MessageStats stats;
+    if (plan_.tiers() > 2) {
+        stats = transport_ ? iterateTransportDeep(root_budgets)
+                           : iterateDirectDeep(root_budgets);
+    } else {
+        stats = transport_ ? iterateTransport(root_budgets)
+                           : iterateDirect(root_budgets);
+    }
     recordIterationMetrics(stats);
     return stats;
 }
@@ -1015,6 +1085,12 @@ DistributedControlPlane::iterateSpo(const std::vector<Watts> &root_budgets,
     if (root_budgets.size() != system_.trees().size()) {
         util::fatal("DistributedControlPlane: %zu budgets for %zu trees",
                     root_budgets.size(), system_.trees().size());
+    }
+    if (plan_.tiers() > 2 && !pins.empty()) {
+        // The §4.4 second round is a room <-> rack exchange; deep
+        // plans run SPO-free until the round learns to hop tiers.
+        util::fatal("DistributedControlPlane: iterateSpo is not "
+                    "supported on a deep plan");
     }
     MessageStats before;
     if (registry_ != nullptr)

@@ -43,6 +43,7 @@
 #include "control/allocator.hh"
 #include "control/control_tree.hh"
 #include "control/metrics.hh"
+#include "core/tree_plan.hh"
 #include "net/protocol.hh"
 #include "net/transport.hh"
 #include "telemetry/registry.hh"
@@ -96,6 +97,10 @@ struct MessageStats
     std::size_t metricsMessages = 0;
     /** Room -> rack budget messages (logical, excluding retries). */
     std::size_t budgetMessages = 0;
+    /** Aggregator -> parent summary messages (deep plans only). */
+    std::size_t summaryMessages = 0;
+    /** Parent -> aggregator budget messages (deep plans only). */
+    std::size_t subBudgetMessages = 0;
     /** Total priority classes serialized upstream (payload proxy). */
     std::size_t metricClassesSent = 0;
     /** Heartbeat frames sent (message-plane mode only). */
@@ -212,18 +217,31 @@ class RackWorker
 };
 
 /**
- * The room-level worker: runs the shifting controllers above the edge
- * (rack) level for every tree, consuming edge metric messages and
- * producing edge budget messages. The room addresses edges by their
- * topology node id and is oblivious to which rack worker owns them —
- * ownership (and failover) is the control plane's concern.
+ * An upper-tier worker: runs the shifting controllers of one connected
+ * tree fragment per tree, consuming metric messages from the stations
+ * directly below the fragment and producing budget messages for them.
+ * The classic room worker is the fragment from the tree root down to
+ * the edge (leaf-parent) nodes; a deep plan's aggregator worker is the
+ * same machinery cut at interior stations (core::TreePlan), gathering
+ * its children's summaries into one summary for its own top station
+ * and splitting its received budget back down. Because gatherMetrics /
+ * budgetChildren are associative, chaining fragments over a lossless
+ * exchange reproduces the monolithic recursion bit-exactly at any
+ * depth. The worker addresses boundary stations by their topology node
+ * id and is oblivious to which worker owns them — ownership (and
+ * failover) is the control plane's concern.
  */
 class RoomWorker
 {
   public:
     /**
+     * The root fragment (the classic room worker): from every tree's
+     * root down to the given boundary.
+     *
      * @param system      power system (not owned)
-     * @param edge_nodes  per tree: the set of edge (leaf-parent) nodes
+     * @param edge_nodes  per tree: the boundary node set (classically
+     *                    the edge nodes; under a deep plan, the root
+     *                    worker's child stations)
      * @param policy      priority flags
      */
     RoomWorker(const topo::PowerSystem &system,
@@ -231,11 +249,37 @@ class RoomWorker
                ctrl::TreePolicy policy);
 
     /**
-     * Run the upper half of one iteration for @p tree: aggregate the
-     * edge metrics upward, then split @p root_budget back down to the
-     * edge nodes. Edges absent from @p edge_metrics contribute empty
-     * metrics. Returns the budget per edge node.
+     * An aggregator fragment: per tree, from the top station @p tops
+     * (kNoNode = no fragment in that tree) down to the boundary.
      */
+    RoomWorker(const topo::PowerSystem &system,
+               std::vector<topo::NodeId> tops,
+               std::vector<std::set<topo::NodeId>> boundaries,
+               ctrl::TreePolicy policy);
+
+    /**
+     * Gather half of one iteration for @p tree: merge the boundary
+     * metrics up to the fragment top and return the top's summary (the
+     * message an aggregator forwards to its parent). Stations absent
+     * from @p boundary_metrics contribute empty metrics. Interior
+     * summaries are cached for budgetDown().
+     */
+    ctrl::NodeMetrics
+    gatherTop(std::size_t tree,
+              const std::map<topo::NodeId, ctrl::NodeMetrics>
+                  &boundary_metrics);
+
+    /**
+     * Budget half: split @p top_budget (the parent's grant for the
+     * fragment top, clamped to the top's own limit) back down to the
+     * boundary stations, using the summaries cached by the last
+     * gatherTop() for this tree. Returns the budget per boundary
+     * station.
+     */
+    std::map<topo::NodeId, Watts> budgetDown(std::size_t tree,
+                                             Watts top_budget);
+
+    /** Both halves back to back (the classic room iteration). */
     std::map<topo::NodeId, Watts>
     iterate(std::size_t tree,
             const std::map<topo::NodeId, ctrl::NodeMetrics> &edge_metrics,
@@ -245,6 +289,12 @@ class RoomWorker
     const topo::PowerSystem &system_;
     std::vector<std::set<topo::NodeId>> edgeNodes_;
     ctrl::TreePolicy policy_;
+    /** Fragment tops per tree; empty = every tree's root. */
+    std::vector<topo::NodeId> tops_;
+    /** Interior summaries cached per tree by gatherTop(). */
+    std::vector<std::map<topo::NodeId, ctrl::NodeMetrics>> lastCache_;
+
+    topo::NodeId topOf(std::size_t tree) const;
 
     ctrl::NodeMetrics
     gatherAbove(std::size_t tree, topo::NodeId node,
@@ -265,24 +315,40 @@ class RoomWorker
 class DistributedControlPlane
 {
   public:
-    /** Direct (in-process) message exchange. */
+    /**
+     * Direct (in-process) message exchange. A non-empty @p agg_levels
+     * makes the plane deep (core::TreePlan): aggregator workers sit
+     * between the rack tier and the root, each merging its children's
+     * summaries and splitting its budget — still bit-identical to the
+     * monolithic ControlTree, the reduction being associative.
+     */
     DistributedControlPlane(const topo::PowerSystem &system,
-                            ctrl::TreePolicy policy);
+                            ctrl::TreePolicy policy,
+                            std::vector<std::uint32_t> agg_levels = {});
 
     /**
      * Message-plane mode: frames travel over @p transport (not owned;
      * must outlive the plane) under the §4.5 protocol @p protocol. Any
      * Transport backend works — SimTransport for deterministic
      * simulation, UdpTransport for real sockets (where advanceTo()
-     * paces the protocol's deadline schedule in wall time).
+     * paces the protocol's deadline schedule in wall time). A
+     * non-empty @p agg_levels makes the plane deep: every worker-to-
+     * worker hop runs the same deadline/retransmission discipline,
+     * with per-hop stale-metric fallback upstream and conservative
+     * defaults downstream. Worker failover (failWorker) and the §4.4
+     * SPO round remain 2-level-only.
      */
     DistributedControlPlane(const topo::PowerSystem &system,
                             ctrl::TreePolicy policy,
                             net::Transport &transport,
-                            net::ProtocolConfig protocol = {});
+                            net::ProtocolConfig protocol = {},
+                            std::vector<std::uint32_t> agg_levels = {});
 
     /** Number of rack workers discovered by the partitioning rule. */
     std::size_t rackWorkerCount() const { return racks_.size(); }
+
+    /** The worker layout (2-level when built without agg levels). */
+    const TreePlan &plan() const { return plan_; }
 
     /**
      * The partitioning rule, exposed for out-of-process runtimes
@@ -371,8 +437,14 @@ class DistributedControlPlane
 
     const topo::PowerSystem &system_;
     ctrl::TreePolicy policy_;
+    /** Worker layout; 2-level unless agg levels were given. Declared
+     *  before room_ so the root boundary can be derived from it. */
+    TreePlan plan_;
     std::vector<RackWorker> racks_;
     RoomWorker room_;
+    /** Aggregator fragments (deep plans), indexed ep - leafWorkers. */
+    std::vector<RoomWorker> aggs_;
+    std::vector<std::uint32_t> aggSeq_;
     /** (server, supply) -> owning rack worker. */
     std::map<std::pair<std::int32_t, std::int32_t>, std::size_t>
         leafToRack_;
@@ -445,6 +517,11 @@ class DistributedControlPlane
     net::Transport::Endpoint roomEndpoint() const;
     MessageStats iterateDirect(const std::vector<Watts> &root_budgets);
     MessageStats iterateTransport(const std::vector<Watts> &root_budgets);
+    // Deep-plan iteration bodies (src/core/distributed_deep.cc).
+    MessageStats
+    iterateDirectDeep(const std::vector<Watts> &root_budgets);
+    MessageStats
+    iterateTransportDeep(const std::vector<Watts> &root_budgets);
     std::set<std::size_t>
     iterateSpoDirect(const std::vector<Watts> &root_budgets,
                      const std::vector<ctrl::SpoPin> &pins,

@@ -1,0 +1,244 @@
+#include "core/tree_plan.hh"
+
+#include <algorithm>
+
+#include "core/distributed.hh"
+#include "util/logging.hh"
+
+namespace capmaestro::core {
+
+namespace {
+
+/**
+ * Height of @p node above the edge level: 0 at an edge (leaf-parent)
+ * node, 1 + the max child height above, -1 inside supply subtrees
+ * (nothing to aggregate down there).
+ */
+int
+stationHeight(const topo::PowerTree &tree, topo::NodeId node,
+              std::map<topo::NodeId, int> &heights)
+{
+    const auto it = heights.find(node);
+    if (it != heights.end())
+        return it->second;
+    const auto &tn = tree.node(node);
+    int h = -1;
+    if (tn.kind != topo::NodeKind::SupplyPort) {
+        bool leaf_parent = false;
+        for (const topo::NodeId c : tn.children) {
+            if (tree.node(c).kind == topo::NodeKind::SupplyPort)
+                leaf_parent = true;
+        }
+        if (leaf_parent) {
+            h = 0;
+        } else {
+            for (const topo::NodeId c : tn.children)
+                h = std::max(h, stationHeight(tree, c, heights));
+            if (h >= 0)
+                ++h;
+        }
+    }
+    heights[node] = h;
+    return h;
+}
+
+/** Pre-order list of the nodes at height @p level. No two stations of
+ *  one level can nest (heights strictly decrease downward), so the
+ *  recursion stops at a match. */
+void
+collectStations(const topo::PowerTree &tree, topo::NodeId node,
+                const std::map<topo::NodeId, int> &heights, int level,
+                std::vector<topo::NodeId> &out)
+{
+    const auto it = heights.find(node);
+    if (it == heights.end() || it->second < level)
+        return;
+    if (it->second == level) {
+        out.push_back(node);
+        return;
+    }
+    for (const topo::NodeId c : tree.node(node).children)
+        collectStations(tree, c, heights, level, out);
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+TreePlan::tierEndpoints(std::uint32_t tier) const
+{
+    std::vector<std::uint32_t> out;
+    for (const Worker &w : workers) {
+        if (w.tier == tier)
+            out.push_back(w.endpoint);
+    }
+    return out;
+}
+
+std::vector<topo::NodeId>
+TreePlan::topsOf(std::uint32_t endpoint) const
+{
+    const Worker &w = workers.at(endpoint);
+    std::vector<topo::NodeId> tops(trees, topo::kNoNode);
+    for (const auto &[t, node] : w.stations)
+        tops[t] = node;
+    return tops;
+}
+
+std::vector<std::set<topo::NodeId>>
+TreePlan::boundariesOf(std::uint32_t endpoint) const
+{
+    const Worker &w = workers.at(endpoint);
+    std::vector<std::set<topo::NodeId>> out(trees);
+    for (const std::uint32_t c : w.children) {
+        for (const auto &[t, node] : workers.at(c).stations)
+            out[t].insert(node);
+    }
+    return out;
+}
+
+TreePlan
+TreePlan::build(const topo::PowerSystem &system,
+                const std::vector<std::uint32_t> &agg_levels)
+{
+    for (std::size_t i = 0; i < agg_levels.size(); ++i) {
+        if (agg_levels[i] == 0) {
+            util::fatal("tree plan: aggregation level 0 is the edge "
+                        "level itself; levels start at 1");
+        }
+        if (i > 0 && agg_levels[i] <= agg_levels[i - 1]) {
+            util::fatal("tree plan: aggregation levels must be strictly "
+                        "ascending");
+        }
+    }
+
+    TreePlan plan;
+    plan.trees = system.trees().size();
+    plan.aggLevels = agg_levels;
+
+    // Leaf workers: exactly the 2-level partitioning rule, so leaf
+    // endpoints (and their edge ownership) never depend on the levels.
+    const auto edges = DistributedControlPlane::partitionEdges(system);
+    plan.leafWorkers = edges.size();
+
+    const std::size_t tiers = agg_levels.size() + 2;
+    // stations[t][k]: pre-order station list of tree t at worker tier
+    // k (aggregator tiers 1..tiers-2).
+    std::vector<std::vector<std::vector<topo::NodeId>>> stations(
+        plan.trees);
+    std::vector<std::map<topo::NodeId, int>> heights(plan.trees);
+    for (std::size_t t = 0; t < plan.trees; ++t) {
+        const auto &tree = system.tree(t);
+        const int root_h =
+            stationHeight(tree, tree.root(), heights[t]);
+        stations[t].assign(tiers, {});
+        for (std::size_t k = 1; k + 1 < tiers; ++k) {
+            const int level = static_cast<int>(agg_levels[k - 1]);
+            if (level >= root_h) {
+                util::fatal(
+                    "tree plan: aggregation level %d is not strictly "
+                    "below tree %zu's root (root height %d)",
+                    level, t, root_h);
+            }
+            collectStations(tree, tree.root(), heights[t], level,
+                            stations[t][k]);
+        }
+    }
+
+    std::vector<std::size_t> tierCount(tiers, 0);
+    tierCount[0] = plan.leafWorkers;
+    tierCount[tiers - 1] = 1;
+    for (std::size_t k = 1; k + 1 < tiers; ++k) {
+        for (std::size_t t = 0; t < plan.trees; ++t)
+            tierCount[k] = std::max(tierCount[k], stations[t][k].size());
+    }
+
+    std::vector<std::uint32_t> tierBase(tiers, 0);
+    for (std::size_t k = 0; k < tiers; ++k) {
+        if (k > 0) {
+            tierBase[k] = tierBase[k - 1]
+                          + static_cast<std::uint32_t>(tierCount[k - 1]);
+        }
+        for (std::size_t j = 0; j < tierCount[k]; ++j) {
+            Worker w;
+            w.endpoint =
+                static_cast<std::uint32_t>(plan.workers.size());
+            w.tier = static_cast<std::uint32_t>(k);
+            plan.workers.push_back(std::move(w));
+        }
+    }
+    // Sender ids are u16 on the wire, with 0xFFFF reserved for the
+    // root worker's kRoomSender alias.
+    if (plan.workers.size() >= 0xFFFF) {
+        util::fatal("tree plan: %zu workers exceed the wire format's "
+                    "sender-id space",
+                    plan.workers.size());
+    }
+
+    // Station ownership: leaves from the partition rule, aggregator
+    // tiers by pre-order index (the j-th tier-k station of every tree
+    // lands on worker tierBase[k] + j), the root owns the tree roots.
+    std::vector<std::map<topo::NodeId, std::uint32_t>> owner(plan.trees);
+    for (std::size_t w = 0; w < edges.size(); ++w) {
+        for (const auto &[t, node] : edges[w]) {
+            plan.workers[w].stations[t] = node;
+            owner[t][node] = static_cast<std::uint32_t>(w);
+        }
+    }
+    for (std::size_t k = 1; k + 1 < tiers; ++k) {
+        for (std::size_t t = 0; t < plan.trees; ++t) {
+            for (std::size_t j = 0; j < stations[t][k].size(); ++j) {
+                const std::uint32_t ep = tierBase[k]
+                                         + static_cast<std::uint32_t>(j);
+                plan.workers[ep].stations[t] = stations[t][k][j];
+                owner[t][stations[t][k][j]] = ep;
+            }
+        }
+    }
+    const std::uint32_t root_ep = plan.rootEndpoint();
+    for (std::size_t t = 0; t < plan.trees; ++t) {
+        const topo::NodeId root = system.tree(t).root();
+        plan.workers[root_ep].stations[t] = root;
+        owner[t][root] = root_ep;
+    }
+
+    // Parents: the owner of the nearest station strictly above each of
+    // the worker's own — which must be the same worker in every tree,
+    // or the fragments do not form one tree of workers.
+    for (Worker &w : plan.workers) {
+        if (w.endpoint == root_ep)
+            continue;
+        std::uint32_t parent = kNoWorker;
+        for (const auto &[t, node] : w.stations) {
+            const auto &tree = system.tree(t);
+            topo::NodeId up = tree.node(node).parent;
+            while (up != topo::kNoNode && owner[t].count(up) == 0)
+                up = tree.node(up).parent;
+            // Climbing always reaches the tree root (owned by the
+            // root worker), so running out of ancestors means this
+            // station IS the root of a degenerate single-level tree:
+            // its enclosing fragment is the root worker's trivial one.
+            const std::uint32_t cand =
+                up == topo::kNoNode ? root_ep : owner[t].at(up);
+            if (parent == kNoWorker) {
+                parent = cand;
+            } else if (parent != cand) {
+                util::fatal(
+                    "tree plan: worker %u's fragments are not "
+                    "structurally parallel across trees (parent "
+                    "worker %u in one tree, %u in another); choose "
+                    "aggregation levels that cut every tree alike",
+                    w.endpoint, parent, cand);
+            }
+        }
+        // A worker with no fragment in any tree (ragged station counts
+        // across trees) parks under the root: it gathers and budgets
+        // nothing but keeps the worker tree connected.
+        if (parent == kNoWorker)
+            parent = root_ep;
+        w.parent = parent;
+        plan.workers[parent].children.push_back(w.endpoint);
+    }
+    return plan;
+}
+
+} // namespace capmaestro::core

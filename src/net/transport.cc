@@ -4,6 +4,17 @@
 
 namespace capmaestro::net {
 
+std::vector<Transport::Delivery>
+Transport::drain(const std::vector<Endpoint> &locals)
+{
+    std::vector<Delivery> out;
+    for (const Endpoint ep : locals) {
+        for (auto &frame : poll(ep))
+            out.push_back({ep, std::move(frame)});
+    }
+    return out;
+}
+
 SimTransport::SimTransport(TransportConfig config)
     : config_(config), rng_(config.seed)
 {

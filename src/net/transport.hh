@@ -95,6 +95,25 @@ class Transport
     /** Drain every frame currently available to destination @p to. */
     virtual std::vector<std::vector<std::uint8_t>> poll(Endpoint to) = 0;
 
+    /** One frame delivered by drain(): destination plus payload. */
+    struct Delivery
+    {
+        Endpoint to = 0;
+        std::vector<std::uint8_t> frame;
+    };
+
+    /**
+     * Drain every frame currently available to any of @p locals in one
+     * pass — the event-loop primitive a host process with many
+     * endpoints uses instead of polling each one. The default walks
+     * poll() per endpoint; backends with kernel queues override it
+     * with a single readiness pass (UdpTransport uses one epoll sweep
+     * on Linux), so the cost per period scales with ready sockets, not
+     * hosted endpoints.
+     */
+    virtual std::vector<Delivery>
+    drain(const std::vector<Endpoint> &locals);
+
     /** Advance the clock to @p ms (no-op when already past). */
     virtual void advanceTo(double ms) = 0;
 

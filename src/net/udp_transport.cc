@@ -6,6 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -69,6 +75,16 @@ UdpTransport::UdpTransport(UdpConfig config)
             util::fatal("udp: cannot make endpoint %u non-blocking: %s", ep,
                         std::strerror(errno));
         }
+        if (config_.bufferBytes > 0) {
+            // Best effort; the kernel clamps to net.core.{r,w}mem_max
+            // and the protocol treats any overflow as datagram loss.
+            (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF,
+                               &config_.bufferBytes,
+                               sizeof(config_.bufferBytes));
+            (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF,
+                               &config_.bufferBytes,
+                               sizeof(config_.bufferBytes));
+        }
 
         sockaddr_in addr = toSockaddr(peer->second);
         if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
@@ -91,12 +107,32 @@ UdpTransport::UdpTransport(UdpConfig config)
 
         sockets_[ep] = fd;
     }
+
+#ifdef __linux__
+    // Readiness instance for drain(): registered once, so the per-call
+    // cost is one epoll_wait plus work on ready sockets only.
+    epollFd_ = ::epoll_create1(0);
+    if (epollFd_ >= 0) {
+        for (const auto &[ep, fd] : sockets_) {
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.u32 = ep;
+            if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+                ::close(epollFd_);
+                epollFd_ = -1;
+                break;
+            }
+        }
+    }
+#endif
 }
 
 UdpTransport::~UdpTransport()
 {
     for (const auto &[ep, fd] : sockets_)
         ::close(fd);
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
 }
 
 void
@@ -185,8 +221,51 @@ UdpTransport::send(Endpoint from, Endpoint to,
 std::vector<std::vector<std::uint8_t>>
 UdpTransport::poll(Endpoint to)
 {
+    return drainFd(to, fdFor(to));
+}
+
+std::vector<Transport::Delivery>
+UdpTransport::drain(const std::vector<Endpoint> &locals)
+{
+#ifdef __linux__
+    if (epollFd_ >= 0) {
+        std::vector<Endpoint> wanted(locals);
+        std::sort(wanted.begin(), wanted.end());
+        std::vector<Delivery> out;
+        epoll_event events[64];
+        // Level-triggered and each ready socket is drained completely,
+        // so one sweep over at most 64 ready fds at a time suffices.
+        for (;;) {
+            const int n = ::epoll_wait(epollFd_, events, 64, 0);
+            if (n <= 0)
+                break;
+            std::size_t drained = 0;
+            for (int i = 0; i < n; ++i) {
+                const Endpoint ep = events[i].data.u32;
+                if (!std::binary_search(wanted.begin(), wanted.end(),
+                                        ep)) {
+                    continue;
+                }
+                ++drained;
+                for (auto &frame : drainFd(ep, fdFor(ep)))
+                    out.push_back({ep, std::move(frame)});
+            }
+            // A full batch may hide more ready sockets; sweep again —
+            // but only if progress was made (sockets outside @p locals
+            // stay ready and must not spin the loop).
+            if (n < 64 || drained == 0)
+                break;
+        }
+        return out;
+    }
+#endif
+    return Transport::drain(locals);
+}
+
+std::vector<std::vector<std::uint8_t>>
+UdpTransport::drainFd(Endpoint to, int fd)
+{
     std::vector<std::vector<std::uint8_t>> out;
-    const int fd = fdFor(to);
 
     // One spare byte past the cap distinguishes an exactly-cap-sized
     // datagram from a truncated oversized one.

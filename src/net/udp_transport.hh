@@ -57,6 +57,14 @@ struct UdpConfig
     std::vector<Transport::Endpoint> local;
 
     /**
+     * SO_RCVBUF/SO_SNDBUF request per socket, bytes (0 = kernel
+     * default). Deep-tree hosts widen this so a wide fan-in socket
+     * survives a whole period burst while its process is descheduled;
+     * the kernel clamps the request to net.core.{r,w}mem_max.
+     */
+    int bufferBytes = 0;
+
+    /**
      * All-endpoints-in-this-process layout for endpoints 0..n-1 on
      * 127.0.0.1 with ephemeral ports: the single-process loopback mode
      * of capmaestro_run --transport=udp.
@@ -95,6 +103,15 @@ class UdpTransport : public Transport
      */
     std::vector<std::vector<std::uint8_t>> poll(Endpoint to) override;
 
+    /**
+     * Event-loop drain: one epoll sweep over the local sockets (Linux;
+     * the generic per-endpoint walk elsewhere), so a host process with
+     * thousands of endpoints pays per *ready* socket, not per socket.
+     * Endpoints in @p locals must all be local to this transport.
+     */
+    std::vector<Delivery>
+    drain(const std::vector<Endpoint> &locals) override;
+
     /** Sleep until the monotonic clock reaches @p ms (no-op if past). */
     void advanceTo(double ms) override;
 
@@ -122,10 +139,14 @@ class UdpTransport : public Transport
 
   private:
     int fdFor(Endpoint ep) const;
+    /** Drain one readable socket completely (the poll() body). */
+    std::vector<std::vector<std::uint8_t>> drainFd(Endpoint to, int fd);
 
     UdpConfig config_;
     /** Local endpoint -> bound socket fd. */
     std::map<Endpoint, int> sockets_;
+    /** Readiness instance over the local sockets (-1 off Linux). */
+    int epollFd_ = -1;
     TransportStats stats_;
     /** CLOCK_MONOTONIC at construction; nowMs() is measured from it. */
     double originMs_ = 0.0;

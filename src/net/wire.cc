@@ -369,6 +369,12 @@ encodePinnedSummary(const FrameMeta &meta, const MetricsMsg &msg)
 }
 
 std::vector<std::uint8_t>
+encodeSummary(const FrameMeta &meta, const MetricsMsg &msg)
+{
+    return sealMetricsPayload(MsgType::Summary, meta, msg);
+}
+
+std::vector<std::uint8_t>
 encodeBudget(const FrameMeta &meta, const BudgetMsg &msg)
 {
     return sealBudgetPayload(MsgType::Budget, meta, msg);
@@ -378,6 +384,12 @@ std::vector<std::uint8_t>
 encodeSpoBudget(const FrameMeta &meta, const BudgetMsg &msg)
 {
     return sealBudgetPayload(MsgType::SpoBudget, meta, msg);
+}
+
+std::vector<std::uint8_t>
+encodeSubBudget(const FrameMeta &meta, const BudgetMsg &msg)
+{
+    return sealBudgetPayload(MsgType::SubBudget, meta, msg);
 }
 
 std::vector<std::uint8_t>
@@ -434,12 +446,14 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
     switch (raw_type) {
       case static_cast<std::uint8_t>(MsgType::Metrics):
       case static_cast<std::uint8_t>(MsgType::PinnedSummary):
+      case static_cast<std::uint8_t>(MsgType::Summary):
         frame.type = static_cast<MsgType>(raw_type);
         if (!readMetricsPayload(p, frame.metrics))
             return std::nullopt;
         break;
       case static_cast<std::uint8_t>(MsgType::Budget):
       case static_cast<std::uint8_t>(MsgType::SpoBudget):
+      case static_cast<std::uint8_t>(MsgType::SubBudget):
         frame.type = static_cast<MsgType>(raw_type);
         frame.budget.tree = p.u16();
         frame.budget.edgeNode = p.u32();

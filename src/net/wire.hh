@@ -3,17 +3,21 @@
  * Binary wire codec for the distributed control protocol (paper §5,
  * §4.5).
  *
- * The rack and room workers exchange seven message types: per-priority
- * metric summaries flowing upstream, budgets flowing downstream,
- * heartbeats for worker-failure detection, a second round-trip of
- * pinned-consumption summaries (upstream) and SPO budgets (downstream)
- * when the stranded-power optimization (§4.4) fires, and the failover
- * pair — plant-state Checkpoints streamed upstream alongside the
- * heartbeat every period, and a Rehome frame (the room's stored
- * checkpoint) sent downstream to replay state into a restarted rack
- * worker. The SPO and failover pairs reuse payload layouts under
- * distinct type codes so a retransmitted first-phase frame can never
- * masquerade as a second-phase one.
+ * The workers of the control tree exchange nine message types:
+ * per-priority metric summaries flowing upstream, budgets flowing
+ * downstream, heartbeats for worker-failure detection, a second
+ * round-trip of pinned-consumption summaries (upstream) and SPO
+ * budgets (downstream) when the stranded-power optimization (§4.4)
+ * fires, the failover pair — plant-state Checkpoints streamed upstream
+ * alongside the heartbeat every period, and a Rehome frame (the
+ * parent's stored checkpoint) sent downstream to replay state into a
+ * restarted rack worker — and the aggregator pair: a Summary (the
+ * merged per-class metrics of an aggregator's whole subtree, Metrics
+ * layout) flowing from a mid-tier aggregator to its parent, answered
+ * by a SubBudget (Budget layout) splitting the parent's grant back
+ * down. The SPO, failover, and aggregator pairs reuse payload layouts
+ * under distinct type codes so a retransmitted leaf-hop frame can
+ * never masquerade as an aggregator-hop one (or vice versa).
  * Every message travels in one self-contained frame:
  *
  *   offset  size  field
@@ -69,8 +73,12 @@ namespace capmaestro::net {
 constexpr std::uint16_t kWireMagic = 0xCA9E;
 
 /** Current wire-format version (2 added the §4.4 SPO message pair;
- *  3 added the Checkpoint/Rehome failover pair). */
-constexpr std::uint8_t kWireVersion = 3;
+ *  3 added the Checkpoint/Rehome failover pair; 4 added the
+ *  Summary/SubBudget aggregator pair for deep control trees).
+ *  decodeFrame() accepts the current version only: a mixed-version
+ *  deployment degrades to the §4.5 conservative floors rather than
+ *  misinterpreting frames. */
+constexpr std::uint8_t kWireVersion = 4;
 
 /** Sender id the room worker uses (racks use their rack index). */
 constexpr std::uint16_t kRoomSender = 0xFFFF;
@@ -109,6 +117,12 @@ enum class MsgType : std::uint8_t {
     Checkpoint = 6,
     /** Checkpoint replay into a restarted rack (room -> rack). */
     Rehome = 7,
+    /** Merged subtree metrics (aggregator -> parent, Metrics layout).
+     *  tree/edgeNode name the aggregator's top station. */
+    Summary = 8,
+    /** Budget for an aggregator's top station (parent -> aggregator,
+     *  Budget layout). */
+    SubBudget = 9,
 };
 
 /** Per-priority metric summary for one edge controller (upstream). */
@@ -186,9 +200,9 @@ struct Frame
     std::uint16_t sender = 0;
     std::uint32_t epoch = 0;
     std::uint32_t seq = 0;
-    /** Valid iff type == Metrics or PinnedSummary. */
+    /** Valid iff type == Metrics, PinnedSummary, or Summary. */
     MetricsMsg metrics;
-    /** Valid iff type == Budget or SpoBudget. */
+    /** Valid iff type == Budget, SpoBudget, or SubBudget. */
     BudgetMsg budget;
     /** Valid iff type == Checkpoint or Rehome. */
     CheckpointMsg checkpoint;
@@ -232,6 +246,16 @@ std::vector<std::uint8_t> encodeCheckpoint(const FrameMeta &meta,
 /** Encode a checkpoint replay (room -> rack, Checkpoint layout). */
 std::vector<std::uint8_t> encodeRehome(const FrameMeta &meta,
                                        const CheckpointMsg &msg);
+
+/** Encode a merged subtree summary (aggregator -> parent, Metrics
+ *  payload layout; tree/edgeNode name the aggregator's top station). */
+std::vector<std::uint8_t> encodeSummary(const FrameMeta &meta,
+                                        const MetricsMsg &msg);
+
+/** Encode an aggregator-station budget (parent -> aggregator, Budget
+ *  payload layout). */
+std::vector<std::uint8_t> encodeSubBudget(const FrameMeta &meta,
+                                          const BudgetMsg &msg);
 
 /**
  * Decode one frame. Returns nullopt on any malformation (short buffer,

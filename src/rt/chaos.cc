@@ -91,19 +91,23 @@ ChaosScheduler::eventsAt(std::uint32_t epoch) const
     return out;
 }
 
-LockstepDeployment::LockstepDeployment(std::string scenario_json,
-                                       ChaosBackend backend,
-                                       net::TransportConfig sim_faults,
-                                       std::uint64_t seed)
+LockstepDeployment::LockstepDeployment(
+    std::string scenario_json, ChaosBackend backend,
+    net::TransportConfig sim_faults, std::uint64_t seed,
+    std::vector<std::uint32_t> agg_levels)
     : scenarioJson_(std::move(scenario_json)), backend_(backend),
-      seed_(seed), scenario_(makeScenario()), chaos_(seed)
+      seed_(seed), scenario_(makeScenario()),
+      aggLevels_(std::move(agg_levels)), chaos_(seed)
 {
-    rackCount_ = core::DistributedControlPlane::rackWorkerCountFor(
-        *scenario_.system);
+    plan_ = core::TreePlan::build(*scenario_.system, aggLevels_);
+    rackCount_ = plan_.leafWorkers;
+    const auto workers =
+        static_cast<std::uint32_t>(plan_.workers.size());
 
     peers_.periodMs = 1000.0;
     peers_.originMs = 1; // unused in lockstep, but kept well-formed
-    for (std::uint32_t e = 0; e <= rackCount_; ++e)
+    peers_.aggLevels = aggLevels_;
+    for (std::uint32_t e = 0; e < workers; ++e)
         peers_.peers[e] = net::UdpPeer{"127.0.0.1", 0};
 
     if (backend_ == ChaosBackend::Sim) {
@@ -114,15 +118,18 @@ LockstepDeployment::LockstepDeployment(std::string scenario_json,
         // peer table resolves them — a restarted runtime reuses the
         // role's socket, so no re-advertising dance is needed.
         inner_ = std::make_unique<net::UdpTransport>(
-            net::UdpConfig::loopback(
-                static_cast<std::uint32_t>(rackCount_) + 1));
+            net::UdpConfig::loopback(workers));
     }
     chaosNet_ = std::make_unique<net::ChaosTransport>(
-        *inner_, static_cast<net::Transport::Endpoint>(rackCount_));
+        *inner_,
+        static_cast<net::Transport::Endpoint>(plan_.rootEndpoint()));
 
     for (std::uint32_t r = 0; r < rackCount_; ++r)
         racks_.push_back(makeRuntime(r));
-    room_ = makeRuntime(static_cast<std::uint32_t>(rackCount_));
+    for (std::uint32_t e = static_cast<std::uint32_t>(rackCount_);
+         e < plan_.rootEndpoint(); ++e)
+        aggs_.push_back(makeRuntime(e));
+    room_ = makeRuntime(plan_.rootEndpoint());
 }
 
 LockstepDeployment::~LockstepDeployment() = default;
@@ -150,11 +157,19 @@ LockstepDeployment::apply(const ChaosEvent &event, std::uint32_t epoch)
     case ChaosEvent::Kind::Kill:
         if (event.a < rackCount_)
             racks_[event.a].reset();
+        else if (event.a < plan_.rootEndpoint())
+            aggs_[event.a - rackCount_].reset();
         break;
     case ChaosEvent::Kind::Restart:
         if (event.a < rackCount_ && !racks_[event.a]) {
             racks_[event.a] = makeRuntime(event.a);
-            pendingRecovery_[event.a] = epoch;
+            // Deep plans run no re-homing handshake: recovery-latency
+            // accounting is a 2-level (room liveness) property.
+            if (plan_.tiers() == 2)
+                pendingRecovery_[event.a] = epoch;
+        } else if (event.a < plan_.rootEndpoint()
+                   && !aggs_[event.a - rackCount_]) {
+            aggs_[event.a - rackCount_] = makeRuntime(event.a);
         }
         break;
     case ChaosEvent::Kind::Partition:
@@ -208,6 +223,11 @@ LockstepDeployment::logLine(std::uint32_t epoch) const
             line += 'K';
             continue;
         }
+        if (plan_.tiers() > 2) {
+            // Deep plans keep no room-side liveness; alive is alive.
+            line += 'L';
+            continue;
+        }
         switch (room_->rackState(r)) {
         case RackState::Live:
             line += 'L';
@@ -219,6 +239,11 @@ LockstepDeployment::logLine(std::uint32_t epoch) const
             line += 'R';
             break;
         }
+    }
+    if (!aggs_.empty()) {
+        line += " ag=";
+        for (const auto &agg : aggs_)
+            line += agg ? 'L' : 'K';
     }
     const auto &rs = room_->stats();
     line += " fo=" + std::to_string(rs.failovers)
@@ -250,11 +275,24 @@ LockstepDeployment::run(std::uint32_t epochs)
         for (const ChaosEvent &event : chaos_.eventsAt(epoch))
             apply(event, epoch);
 
+        // One lockstep period in tier order: metrics climb leaf ->
+        // aggregators (bottom-up, endpoint order == tier order) ->
+        // room, budgets descend the same path mirrored. A killed
+        // runtime simply stays silent; its parents ride the stale ->
+        // reserve ladder.
         for (auto &rack : racks_) {
             if (rack)
                 rack->stepUpstream(epoch);
         }
+        for (auto &agg : aggs_) {
+            if (agg)
+                agg->stepAggregatorUp(epoch);
+        }
         room_->stepRoom(epoch);
+        for (auto it = aggs_.rbegin(); it != aggs_.rend(); ++it) {
+            if (*it)
+                (*it)->stepAggregatorDown(epoch);
+        }
         for (auto &rack : racks_) {
             if (rack)
                 rack->stepDownstream(epoch);

@@ -148,10 +148,16 @@ class LockstepDeployment
      *                       for Udp); keep the seed fixed for
      *                       reproducible runs
      * @param seed           sensor-noise seed shared by every worker
+     * @param agg_levels     aggregation levels of the worker plan
+     *                       (empty = the classic 2-level deployment);
+     *                       deep plans add interior aggregator
+     *                       runtimes, driven tier by tier, and Kill/
+     *                       Restart events may target their endpoints
      */
     LockstepDeployment(std::string scenario_json, ChaosBackend backend,
                        net::TransportConfig sim_faults,
-                       std::uint64_t seed);
+                       std::uint64_t seed,
+                       std::vector<std::uint32_t> agg_levels = {});
 
     ~LockstepDeployment();
 
@@ -174,6 +180,16 @@ class LockstepDeployment
     /** Rack runtime @p r, or nullptr while killed. */
     WorkerRuntime *rack(std::size_t r) { return racks_[r].get(); }
 
+    /** Interior aggregator runtime at @p endpoint (deep plans only),
+     *  or nullptr while killed. */
+    WorkerRuntime *aggregator(std::uint32_t endpoint)
+    {
+        return aggs_.at(endpoint - rackCount_).get();
+    }
+
+    /** The worker layout the deployment runs. */
+    const core::TreePlan &plan() const { return plan_; }
+
     /** The partition-capable wrapper every frame passes through. */
     net::ChaosTransport &net() { return *chaosNet_; }
 
@@ -193,6 +209,8 @@ class LockstepDeployment
     std::uint64_t seed_;
     /** Harness's own copy of the topology (limits, root budgets). */
     config::LoadedScenario scenario_;
+    std::vector<std::uint32_t> aggLevels_;
+    core::TreePlan plan_;
     std::size_t rackCount_ = 0;
     config::WorkerPeers peers_;
 
@@ -201,6 +219,8 @@ class LockstepDeployment
     telemetry::Registry registry_;
 
     std::vector<std::unique_ptr<WorkerRuntime>> racks_;
+    /** Interior aggregators, indexed by endpoint - rackCount_. */
+    std::vector<std::unique_ptr<WorkerRuntime>> aggs_;
     std::unique_ptr<WorkerRuntime> room_;
 
     ChaosScheduler chaos_;

@@ -1,0 +1,414 @@
+#include "rt/host.hh"
+
+#include <algorithm>
+
+#include "policy/policy.hh"
+#include "util/logging.hh"
+
+namespace capmaestro::rt {
+
+namespace {
+
+/** Receive-poll granularity inside a period, milliseconds. */
+constexpr double kPollSliceMs = 2.0;
+
+/** Next-epoch frames held back before the host drops the excess. */
+constexpr std::size_t kHoldbackCap = 65536;
+
+} // namespace
+
+WorkerHost::WorkerHost(config::LoadedScenario scenario,
+                       config::WorkerPeers peers, std::uint32_t process,
+                       std::uint64_t seed)
+    : scenario_(std::move(scenario)), peers_(std::move(peers)),
+      process_(process)
+{
+    init(seed);
+
+    net::UdpConfig udp;
+    udp.peers = peers_.peers;
+    udp.local = locals_;
+    // An aggregator's fan-in arrives as one burst per period; size the
+    // sockets so a full burst (plus one held-back epoch) fits while
+    // this process is descheduled on a loaded box.
+    udp.bufferBytes = 4 << 20;
+    ownedTransport_ = std::make_unique<net::UdpTransport>(std::move(udp));
+    transport_ = ownedTransport_.get();
+}
+
+WorkerHost::WorkerHost(config::LoadedScenario scenario,
+                       config::WorkerPeers peers, std::uint32_t process,
+                       std::uint64_t seed, net::Transport &transport)
+    : scenario_(std::move(scenario)), peers_(std::move(peers)),
+      process_(process), transport_(&transport)
+{
+    init(seed);
+}
+
+WorkerHost::~WorkerHost() = default;
+
+void
+WorkerHost::init(std::uint64_t seed)
+{
+    if (!scenario_.system)
+        util::fatal("rt: scenario has no power system");
+    const auto &system = *scenario_.system;
+    plan_ = core::TreePlan::build(system, peers_.aggLevels);
+    if (peers_.peers.size() != plan_.workers.size()) {
+        util::fatal("rt: peer table has %zu endpoints; the worker plan "
+                    "needs %zu",
+                    peers_.peers.size(), plan_.workers.size());
+    }
+    if (process_ >= peers_.processCount()) {
+        util::fatal("rt: host process %u out of range (peer table "
+                    "implies %u processes)",
+                    process_, peers_.processCount());
+    }
+    locals_ = peers_.endpointsOf(process_);
+    if (locals_.empty())
+        util::fatal("rt: process %u hosts no endpoints", process_);
+
+    nominalFloor_ = nominalEdgeFloors(system, scenario_);
+    const auto partition =
+        core::DistributedControlPlane::partitionEdges(system);
+    const auto policy = policy::treePolicy(scenario_.service.policy);
+
+    std::map<std::size_t, std::map<std::size_t, topo::NodeId>> want;
+    for (const net::Transport::Endpoint ep : locals_) {
+        const core::TreePlan::Worker &w = plan_.workers[ep];
+        if (w.isLeaf()) {
+            LeafRole leaf;
+            leaf.ep = ep;
+            leaf.parent = w.parent;
+            leaf.edges = partition[ep];
+            leaf.rack =
+                std::make_unique<core::RackWorker>(system, policy);
+            for (const auto &[tree, node] : leaf.edges)
+                leaf.rack->addEdge(tree, node);
+            leafIndex_[ep] = leaves_.size();
+            leaves_.push_back(std::move(leaf));
+            want[ep] = partition[ep];
+        } else {
+            AggRole role;
+            role.ep = ep;
+            role.tier = w.tier;
+            // The root has no parent; point it at itself so the field
+            // is never an out-of-range endpoint.
+            role.parent = w.isRoot() ? ep : w.parent;
+            role.agg = std::make_unique<AggregatorRole>(
+                system, plan_, ep, policy, nominalFloor_,
+                scenario_.service.protocol,
+                w.isRoot() ? scenario_.rootBudgets
+                           : std::vector<Watts>{});
+            aggs_.push_back(std::move(role));
+        }
+    }
+    auto plants = buildPlants(scenario_, system, want, seed);
+    for (LeafRole &leaf : leaves_)
+        leaf.plants = std::move(plants[leaf.ep]);
+
+    // Ascending tier order: within one drain pass a hosted child
+    // closes (and sends) before its hosted parent checks completeness.
+    std::stable_sort(aggs_.begin(), aggs_.end(),
+                     [](const AggRole &a, const AggRole &b) {
+                         return a.tier < b.tier;
+                     });
+    for (std::size_t i = 0; i < aggs_.size(); ++i)
+        aggIndex_[aggs_[i].ep] = i;
+}
+
+void
+WorkerHost::leafApplyBudget(LeafRole &leaf, const net::Frame &frame)
+{
+    const std::size_t tree = frame.budget.tree;
+    const auto node = static_cast<topo::NodeId>(frame.budget.edgeNode);
+    const auto mine = leaf.edges.find(tree);
+    if (mine == leaf.edges.end() || mine->second != node) {
+        ++stats_.orphanFrames;
+        return;
+    }
+    if (leaf.applied.count({tree, node}))
+        return; // duplicate delivery
+    leaf.rack->applyBudget(tree, node, frame.budget.budget);
+    lastEdgeBudgets_[{tree, node}] = frame.budget.budget;
+    leaf.applied.insert({tree, node});
+    ++stats_.budgetsApplied;
+}
+
+void
+WorkerHost::dispatch(net::Transport::Endpoint to,
+                     const net::Frame &frame, std::uint32_t epoch)
+{
+    if (frame.epoch > maxSeenEpoch_)
+        maxSeenEpoch_ = frame.epoch;
+    // Heartbeats are pure epoch beacons: a parent pings the children
+    // it closed a gather without, so a worker whose parent has moved
+    // on — one lost frame, or a whole process behind the fleet —
+    // can close out early instead of riding deadlines. The header has
+    // been consumed; there is nothing to route or hold.
+    if (frame.type == net::MsgType::Heartbeat) {
+        const auto leaf_beacon = leafIndex_.find(to);
+        if (leaf_beacon != leafIndex_.end()) {
+            auto &ep = leaves_[leaf_beacon->second].beaconEpoch;
+            ep = std::max(ep, frame.epoch);
+        }
+        const auto agg_beacon = aggIndex_.find(to);
+        if (agg_beacon != aggIndex_.end()) {
+            auto &ep = aggs_[agg_beacon->second].beaconEpoch;
+            ep = std::max(ep, frame.epoch);
+        }
+        return;
+    }
+    // A finished neighbor can already be one epoch ahead; its frames
+    // are re-dispatched when this host enters that epoch.
+    if (frame.epoch > epoch) {
+        if (holdback_.size() < kHoldbackCap)
+            holdback_.push_back({to, frame});
+        else
+            ++stats_.orphanFrames;
+        return;
+    }
+    const auto leaf_it = leafIndex_.find(to);
+    if (leaf_it != leafIndex_.end()) {
+        if (frame.epoch != epoch
+            || frame.type != net::MsgType::Budget) {
+            ++stats_.orphanFrames;
+            return;
+        }
+        leafApplyBudget(leaves_[leaf_it->second], frame);
+        return;
+    }
+    const auto agg_it = aggIndex_.find(to);
+    if (agg_it != aggIndex_.end()) {
+        AggRole &role = aggs_[agg_it->second];
+        const std::uint16_t parent_sender =
+            role.parent == plan_.rootEndpoint()
+                ? net::kRoomSender
+                : static_cast<std::uint16_t>(role.parent);
+        if (frame.type == net::MsgType::SubBudget)
+            role.agg->noteDownFrame(frame, parent_sender, stats_);
+        else
+            role.agg->noteUpFrame(frame, stats_);
+        return;
+    }
+    ++stats_.orphanFrames;
+}
+
+void
+WorkerHost::closeLeaf(LeafRole &leaf, std::uint32_t epoch)
+{
+    const auto &system = *scenario_.system;
+    for (const auto &[tree, node] : leaf.edges) {
+        if (leaf.applied.count({tree, node}))
+            continue;
+        const Watts fallback =
+            std::min(leaf.rack->defaultBudget(tree, node),
+                     nominalFloor_.at({tree, node}));
+        leaf.rack->applyBudget(tree, node, fallback);
+        lastEdgeBudgets_[{tree, node}] = fallback;
+        ++stats_.defaultBudgets;
+        events_.record(static_cast<Seconds>(epoch),
+                       core::EventKind::DefaultBudgetApplied,
+                       system.tree(tree).name() + "."
+                           + system.tree(tree).node(node).name,
+                       fallback);
+    }
+    applyPlantBudgets(leaf.plants, *leaf.rack);
+    leaf.done = true;
+}
+
+void
+WorkerHost::aggSendUp(AggRole &role, std::uint32_t epoch)
+{
+    role.upDone = true;
+    // Epoch beacon: ping every child that stayed silent through this
+    // gather so a process lagging behind the fleet epoch can detect
+    // the gap and fast-forward. Free of charge on a lossless run —
+    // a complete gather has no silent children.
+    for (const std::uint32_t child : role.agg->silentChildren()) {
+        transport_->send(
+            role.ep, static_cast<net::Transport::Endpoint>(child),
+            net::encodeHeartbeat({static_cast<std::uint16_t>(role.ep),
+                                  epoch, seq_++}));
+    }
+    const auto summaries = role.agg->closeGather(stats_, events_);
+    if (role.agg->isRoot()) {
+        // The root's down half follows immediately: its inputs are the
+        // boundary it just closed.
+        aggSendDown(role, epoch);
+        return;
+    }
+    for (const auto &msg : summaries) {
+        transport_->send(
+            role.ep, role.parent,
+            net::encodeSummary({static_cast<std::uint16_t>(role.ep),
+                                epoch, seq_++},
+                               msg));
+        ++stats_.summariesSent;
+    }
+}
+
+void
+WorkerHost::aggSendDown(AggRole &role, std::uint32_t epoch)
+{
+    role.downDone = true;
+    const std::uint16_t sender =
+        role.agg->isRoot() ? net::kRoomSender
+                           : static_cast<std::uint16_t>(role.ep);
+    for (const AggregatorRole::DownMsg &down :
+         role.agg->computeDown(stats_)) {
+        auto bytes =
+            down.leafChild
+                ? net::encodeBudget({sender, epoch, seq_++}, down.msg)
+                : net::encodeSubBudget({sender, epoch, seq_++},
+                                       down.msg);
+        transport_->send(
+            role.ep, static_cast<net::Transport::Endpoint>(down.child),
+            std::move(bytes));
+    }
+}
+
+void
+WorkerHost::runPeriod(std::uint32_t epoch)
+{
+    const auto &proto = scenario_.service.protocol;
+    net::Transport &tp = *transport_;
+    const double start = tp.nowMs();
+    const double tiers = static_cast<double>(plan_.tiers());
+    const double gather_all_end =
+        start + (tiers - 1.0) * proto.gatherDeadlineMs;
+    const double leaf_close =
+        gather_all_end + (tiers - 1.0) * proto.budgetDeadlineMs;
+    const auto gather_close = [&](std::uint32_t tier) {
+        return start
+               + static_cast<double>(tier) * proto.gatherDeadlineMs;
+    };
+    const auto down_close = [&](std::uint32_t tier) {
+        return gather_all_end
+               + (tiers - 1.0 - static_cast<double>(tier))
+                     * proto.budgetDeadlineMs;
+    };
+
+    // ---- reset the per-epoch role state before any frame (including
+    // a held-back one) can land.
+    for (AggRole &role : aggs_) {
+        role.agg->beginEpoch(epoch);
+        role.upDone = false;
+        role.downDone = false;
+    }
+    for (LeafRole &leaf : leaves_) {
+        leaf.applied.clear();
+        leaf.done = false;
+    }
+
+    // ---- plants + upstream metrics for every hosted leaf. Host mode
+    // streams no checkpoints: deep plans have no re-homing consumer.
+    Seconds advanced = simNow_;
+    for (LeafRole &leaf : leaves_) {
+        Seconds now = simNow_;
+        advancePlants(leaf.plants, scenario_.service.controlPeriod,
+                      now);
+        advanced = now;
+        net::CheckpointMsg unused;
+        closePlantPeriods(leaf.plants, *scenario_.system, *leaf.rack,
+                          unused);
+        for (const auto &[tree, node] : leaf.edges) {
+            net::MetricsMsg msg;
+            msg.tree = static_cast<std::uint16_t>(tree);
+            msg.edgeNode = static_cast<std::uint32_t>(node);
+            msg.metrics = leaf.rack->computeMetrics(tree, node);
+            tp.send(leaf.ep, leaf.parent,
+                    net::encodeMetrics(
+                        {static_cast<std::uint16_t>(leaf.ep), epoch,
+                         seq_++},
+                        msg));
+        }
+    }
+    simNow_ = advanced;
+
+    // ---- replay frames held back for this epoch.
+    std::vector<HeldFrame> keep;
+    for (HeldFrame &held : holdback_) {
+        if (held.frame.epoch == epoch)
+            dispatch(held.to, held.frame, epoch);
+        else if (held.frame.epoch > epoch)
+            keep.push_back(std::move(held));
+        else
+            ++stats_.orphanFrames;
+    }
+    holdback_ = std::move(keep);
+
+    // ---- the event loop: one drain pass services every hosted role;
+    // each role advances on completeness, with the tier-staggered §4.5
+    // deadline cascade as the degraded-mode timeout.
+    for (;;) {
+        for (const auto &delivery : tp.drain(locals_)) {
+            const auto frame = net::decodeFrame(delivery.frame);
+            if (!frame) {
+                ++stats_.corruptFrames;
+                continue;
+            }
+            dispatch(delivery.to, *frame, epoch);
+        }
+        const double now = tp.nowMs();
+        // Lagging detection: lossless pipelining runs at most one
+        // epoch ahead, so any frame from epoch+2 proves the fleet
+        // already degraded past this whole host — close the period
+        // immediately with the usual fallbacks and burn forward
+        // instead of riding deadlines ever further behind. A parent
+        // beacon at or past the current epoch does the same for the
+        // one role it targets: the beacon and the budget are mutually
+        // exclusive per epoch (the parent sends one or the other at
+        // gather close), so this role's phases are already closed
+        // upstream and waiting longer buys nothing — closing now puts
+        // its next-epoch frames ahead of the parent, where holdback
+        // replays them fresh and the chase converges.
+        const bool lagging = maxSeenEpoch_ > epoch + 1;
+        bool all_done = true;
+        for (AggRole &role : aggs_) {
+            const bool expired = lagging || role.beaconEpoch >= epoch;
+            if (!role.upDone
+                && (role.agg->upComplete() || expired
+                    || now >= gather_close(role.tier)))
+                aggSendUp(role, epoch);
+            if (role.upDone && !role.downDone
+                && (role.agg->downComplete() || expired
+                    || now >= down_close(role.tier)))
+                aggSendDown(role, epoch);
+            all_done = all_done && role.upDone && role.downDone;
+        }
+        for (LeafRole &leaf : leaves_) {
+            if (!leaf.done
+                && (leaf.applied.size() == leaf.edges.size() || lagging
+                    || leaf.beaconEpoch >= epoch || now >= leaf_close))
+                closeLeaf(leaf, epoch);
+            all_done = all_done && leaf.done;
+        }
+        if (all_done) {
+            if (lagging)
+                ++stats_.catchUpPeriods;
+            break;
+        }
+        const double remaining = leaf_close - tp.nowMs();
+        tp.advanceBy(remaining > 0.0
+                         ? std::min(remaining, kPollSliceMs)
+                         : kPollSliceMs);
+    }
+
+    lastEpoch_ = epoch;
+    ++stats_.periodsRun;
+}
+
+std::size_t
+WorkerHost::runPeriods(std::size_t max_periods)
+{
+    std::size_t done = 0;
+    while (done < max_periods
+           && !stop_.load(std::memory_order_relaxed)) {
+        runPeriod(lastEpoch_ + 1);
+        ++done;
+    }
+    return done;
+}
+
+} // namespace capmaestro::rt

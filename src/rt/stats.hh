@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared runtime-layer accounting and mode types: the cumulative
+ * protocol counters every rt worker keeps (one-role WorkerRuntime
+ * daemons, AggregatorRole fragments, and the multi-role WorkerHost all
+ * report into the same struct), the room-side rack liveness states,
+ * and the pacing modes.
+ */
+
+#ifndef CAPMAESTRO_RT_STATS_HH
+#define CAPMAESTRO_RT_STATS_HH
+
+#include <cstddef>
+
+namespace capmaestro::rt {
+
+/** Cumulative protocol accounting for one worker process. */
+struct RuntimeStats
+{
+    std::size_t periodsRun = 0;
+    /** Rack: edges budgeted by a received Budget frame. */
+    std::size_t budgetsApplied = 0;
+    /** Rack: edges that fell back to the Pcap_min default. */
+    std::size_t defaultBudgets = 0;
+    /** Room/aggregator: stations served from the stale-metrics cache. */
+    std::size_t staleReuses = 0;
+    /** Room/aggregator: stations with no usable metrics at the
+     *  deadline (their nominal floor is reserved instead). */
+    std::size_t metricsLost = 0;
+    /** Room: workers declared dead by heartbeat silence. */
+    std::size_t failovers = 0;
+    /** Frames from another epoch, discarded. */
+    std::size_t orphanFrames = 0;
+    /** Frames that failed to decode. */
+    std::size_t corruptFrames = 0;
+    /** Retransmissions sent (both phases). */
+    std::size_t retries = 0;
+    /** Rack: checkpoints sent upstream. */
+    std::size_t checkpointsSent = 0;
+    /** Room: checkpoints received and stored. */
+    std::size_t checkpointsStored = 0;
+    /** Room: Rehome frames sent to re-homing racks. */
+    std::size_t rehomesSent = 0;
+    /** Rack: Rehome checkpoints replayed into the local plant. */
+    std::size_t rehomesApplied = 0;
+    /** Rack: Rehome frames declined (local state already intact). */
+    std::size_t rehomesDeclined = 0;
+    /** Rack: periods ridden on the Pcap_min clamp after a replay. */
+    std::size_t clampedPeriods = 0;
+    /** Room: dead or reincarnated rack instances detected. */
+    std::size_t restartsDetected = 0;
+    /** Room: racks promoted back to Live after a checkpoint ack. */
+    std::size_t rehomed = 0;
+    /** Aggregator: subtree summaries forwarded to the parent. */
+    std::size_t summariesSent = 0;
+    /** Aggregator: SubBudget frames accepted from the parent. */
+    std::size_t subBudgetsApplied = 0;
+    /** Aggregator: trees whose SubBudget never arrived (nothing was
+     *  sent down; the subtree rides its Pcap_min defaults). */
+    std::size_t subBudgetsMissed = 0;
+    /** Host: periods closed immediately (degraded) because frames from
+     *  a future epoch proved the fleet had already moved past this
+     *  process — the laggard fast-forwards back into sync instead of
+     *  riding deadlines ever further behind. */
+    std::size_t catchUpPeriods = 0;
+};
+
+/** Room-side liveness state of one rack worker. */
+enum class RackState { Live, Dead, Rehoming };
+
+/** How the period schedule is driven. */
+enum class Pacing {
+    /** Sleep to wall-clock windows; runPeriods() drives (daemons). */
+    Wall,
+    /** The caller drives phases explicitly via step*() (harnesses). */
+    Lockstep,
+};
+
+} // namespace capmaestro::rt
+
+#endif // CAPMAESTRO_RT_STATS_HH

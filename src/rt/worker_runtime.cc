@@ -62,17 +62,21 @@ WorkerRuntime::init(std::uint64_t seed)
 {
     if (!scenario_.system)
         util::fatal("rt: scenario has no power system");
-    rackCount_ =
-        core::DistributedControlPlane::rackWorkerCountFor(*scenario_.system);
-    if (role_ > rackCount_) {
-        util::fatal("rt: role %u out of range (racks 0..%zu, room %zu)",
-                    role_, rackCount_ - 1, rackCount_);
+    plan_ = core::TreePlan::build(*scenario_.system, peers_.aggLevels);
+    rackCount_ = plan_.leafWorkers;
+    if (role_ >= plan_.workers.size()) {
+        util::fatal("rt: role %u out of range (plan has %zu workers)",
+                    role_, plan_.workers.size());
     }
-    if (peers_.peers.size() != rackCount_ + 1) {
-        util::fatal("rt: peer table has %zu endpoints; topology needs "
-                    "%zu (racks) + 1 (room)",
-                    peers_.peers.size(), rackCount_);
+    if (peers_.peers.size() != plan_.workers.size()) {
+        util::fatal("rt: peer table has %zu endpoints; the worker plan "
+                    "needs %zu (%zu leaves + %zu aggregators + root)",
+                    peers_.peers.size(), plan_.workers.size(),
+                    plan_.leafWorkers,
+                    plan_.workers.size() - plan_.leafWorkers - 1);
     }
+    if (!isRoom())
+        parentEp_ = plan_.workers[role_].parent;
     if (pacing_ == Pacing::Wall) {
         // Lockstep runtimes have no wall-clock schedule: the harness
         // owns the epochs, so the origin/deadline checks do not apply.
@@ -81,12 +85,17 @@ WorkerRuntime::init(std::uint64_t seed)
                 "rt: peers.originMs must be set (shared epoch origin)");
         }
         const auto &proto = scenario_.service.protocol;
+        // One gather + one budget window per tier hop: the tier-k
+        // receiver's gather closes at start + k x gather, and the leaf
+        // budget deadline sits a symmetric cascade later.
+        const auto hops = static_cast<double>(plan_.tiers() - 1);
         if (peers_.periodMs
-            <= proto.gatherDeadlineMs + proto.budgetDeadlineMs) {
-            util::fatal("rt: periodMs %.0f must exceed gather+budget "
-                        "deadlines (%.0f ms)",
-                        peers_.periodMs,
-                        proto.gatherDeadlineMs + proto.budgetDeadlineMs);
+            <= hops * (proto.gatherDeadlineMs + proto.budgetDeadlineMs)) {
+            util::fatal("rt: periodMs %.0f must exceed the %u-tier "
+                        "gather+budget cascade (%.0f ms)",
+                        peers_.periodMs, plan_.tiers(),
+                        hops * (proto.gatherDeadlineMs
+                                + proto.budgetDeadlineMs));
         }
         if (epochAt(unixNowMs()) > 1000000) {
             util::fatal("rt: peers.originMs is too far in the past; "
@@ -95,42 +104,22 @@ WorkerRuntime::init(std::uint64_t seed)
     }
 
     // Before buildRack moves the server specs into the plants: the
-    // floors are read straight from the config so rack and room agree
+    // floors are read straight from the config so every process agrees
     // bit for bit.
     computeNominalFloors();
 
-    if (isRoom())
+    if (role_ < rackCount_)
+        buildRack(seed);
+    else if (isRoom() && plan_.tiers() == 2)
         buildRoom();
     else
-        buildRack(seed);
+        buildAggregator();
 }
 
 void
 WorkerRuntime::computeNominalFloors()
 {
-    const auto &system = *scenario_.system;
-    const auto partition =
-        core::DistributedControlPlane::partitionEdges(system);
-    for (const auto &edges : partition) {
-        for (const auto &[tree, node] : edges) {
-            Watts floor = 0.0;
-            for (const topo::NodeId c :
-                 system.tree(tree).node(node).children) {
-                const auto &ref = *system.tree(tree).node(c).supplyRef;
-                const auto sid = static_cast<std::size_t>(ref.server);
-                const auto sup = static_cast<std::size_t>(ref.supply);
-                const dev::ServerSpec &spec =
-                    scenario_.servers[sid].spec;
-                const Fraction share =
-                    sup < spec.supplies.size()
-                        ? spec.supplies[sup].loadShare
-                        : 0.0;
-                floor += spec.capMin * share;
-            }
-            nominalFloor_[{tree, node}] = std::min(
-                floor, system.tree(tree).node(node).limit());
-        }
-    }
+    nominalFloor_ = nominalEdgeFloors(*scenario_.system, scenario_);
 }
 
 WorkerRuntime::~WorkerRuntime() = default;
@@ -138,7 +127,11 @@ WorkerRuntime::~WorkerRuntime() = default;
 std::string
 WorkerRuntime::roleName() const
 {
-    return isRoom() ? "room" : "rack" + std::to_string(role_);
+    if (isRoom())
+        return "room";
+    if (isAggregator())
+        return "agg" + std::to_string(role_);
+    return "rack" + std::to_string(role_);
 }
 
 void
@@ -154,62 +147,20 @@ WorkerRuntime::buildRack(std::uint64_t seed)
     for (const auto &[tree, node] : myEdges_)
         rack_->addEdge(tree, node);
 
-    // Which rack each server's leaves land on; a server split across
-    // racks cannot have its plant homed in one process.
-    std::map<std::size_t, std::set<std::size_t>> server_racks;
-    for (std::size_t r = 0; r < partition.size(); ++r) {
-        for (const auto &[tree, node] : partition[r]) {
-            for (const topo::NodeId c :
-                 system.tree(tree).node(node).children) {
-                const auto &ref = *system.tree(tree).node(c).supplyRef;
-                server_racks[static_cast<std::size_t>(ref.server)]
-                    .insert(r);
-            }
-        }
-    }
+    std::map<std::size_t, std::map<std::size_t, topo::NodeId>> want;
+    want[role_] = myEdges_;
+    auto built = buildPlants(scenario_, system, want, seed);
+    plants_ = std::move(built[role_]);
+}
 
-    // Fork the per-server sensor-noise streams in server-id order so a
-    // server's stream is the same no matter which process hosts it.
-    util::Rng rng(seed);
-    for (std::size_t sid = 0; sid < scenario_.servers.size(); ++sid) {
-        util::Rng server_rng = rng.fork();
-        const auto racks = server_racks.find(sid);
-        if (racks == server_racks.end()
-            || !racks->second.count(role_)) {
-            continue;
-        }
-        if (racks->second.size() > 1) {
-            util::fatal("rt: server %zu has supplies on %zu rack "
-                        "workers; its plant cannot be homed in one "
-                        "process",
-                        sid, racks->second.size());
-        }
-
-        Plant plant;
-        plant.serverId = sid;
-        plant.server = std::make_unique<dev::ServerModel>(
-            std::move(scenario_.servers[sid].spec));
-        plant.nm = std::make_unique<dev::NodeManager>(*plant.server);
-        plant.sensors = std::make_unique<dev::SensorEmulator>(
-            *plant.server, *plant.nm, std::move(server_rng),
-            dev::SensorConfig{});
-        plant.workload = std::move(scenario_.servers[sid].workload);
-        if (!plant.workload)
-            util::fatal("rt: server %zu has no workload", sid);
-        plant.controller = std::make_unique<ctrl::CappingController>(
-            *plant.server, *plant.nm, *plant.sensors,
-            scenario_.service.capping);
-        for (const auto &[tree, node] : myEdges_) {
-            for (const topo::NodeId c :
-                 system.tree(tree).node(node).children) {
-                const auto &ref = *system.tree(tree).node(c).supplyRef;
-                if (static_cast<std::size_t>(ref.server) == sid)
-                    plant.leaves.emplace_back(tree, ref);
-            }
-        }
-        plant.server->setUtilization(plant.workload->utilizationAt(0));
-        plants_.push_back(std::move(plant));
-    }
+void
+WorkerRuntime::buildAggregator()
+{
+    agg_ = std::make_unique<AggregatorRole>(
+        *scenario_.system, plan_, role_,
+        policy::treePolicy(scenario_.service.policy), nominalFloor_,
+        scenario_.service.protocol,
+        isRoom() ? scenario_.rootBudgets : std::vector<Watts>{});
 }
 
 void
@@ -286,10 +237,12 @@ WorkerRuntime::runPeriods(std::size_t max_periods)
                   static_cast<double>(epoch - 1) * peers_.periodMs);
         if (!sleepUntil(start))
             break;
-        if (isRoom())
+        if (role_ < rackCount_)
+            runRackPeriod(epoch);
+        else if (room_)
             runRoomPeriod(epoch);
         else
-            runRackPeriod(epoch);
+            runAggregatorPeriod(epoch);
         finishPeriod(epoch);
         ++done;
     }
@@ -311,95 +264,17 @@ WorkerRuntime::finishPeriod(std::uint32_t epoch)
 void
 WorkerRuntime::rackAdvancePlant(std::uint32_t)
 {
-    const auto &system = *scenario_.system;
     replayedThisPeriod_ = false;
 
-    // ---- plant: one control period of 1 Hz sensing and actuation.
-    // Wall pacing is per period, not per tick: the protocol deadlines
-    // are what consume the period's wall budget.
-    for (Seconds tick = 0; tick < scenario_.service.controlPeriod;
-         ++tick) {
-        for (Plant &plant : plants_) {
-            plant.server->setUtilization(
-                plant.workload->utilizationAt(simNow_));
-        }
-        for (Plant &plant : plants_)
-            plant.controller->senseTick();
-        for (Plant &plant : plants_)
-            plant.nm->step(1.0);
-        ++simNow_;
-    }
-
-    // ---- close controller periods, refresh the edge leaf inputs, and
-    // snapshot the recoverable plant state into this period's
-    // checkpoint message.
+    // One control period of 1 Hz sensing and actuation, then close the
+    // controller periods, refresh the edge leaf inputs, and snapshot
+    // the recoverable plant state into this period's checkpoint.
+    advancePlants(plants_, scenario_.service.controlPeriod, simNow_);
     lastCheckpoint_ = net::CheckpointMsg{};
     lastCheckpoint_.simNow = static_cast<double>(simNow_);
     lastCheckpoint_.rehomeAckEpoch = rehomeAckEpoch_;
-    for (Plant &plant : plants_) {
-        const auto report = plant.controller->closePeriod();
-        ctrl::ServerAllocInput in;
-        const auto &spec = plant.server->spec();
-        in.priority = spec.priority;
-        in.capMin = spec.capMin;
-        in.capMax = spec.capMax;
-        in.demand = report.demandEstimate;
-        in.supplies.resize(report.shares.size());
-        for (std::size_t i = 0; i < report.shares.size(); ++i) {
-            in.supplies[i].share = std::max(report.shares[i], 1e-9);
-            in.supplies[i].live = report.shares[i] > 0.0;
-        }
-        const auto shares = ctrl::effectiveSupplyShares(
-            system, in, static_cast<std::int32_t>(plant.serverId));
-        for (const auto &[tree, ref] : plant.leaves) {
-            const auto sup = static_cast<std::size_t>(ref.supply);
-            const Fraction r =
-                sup < shares.size() ? shares[sup] : 0.0;
-            auto leaf = ctrl::scaledLeafInput(in, r);
-            // Pin the leaf floor to the config-nominal share while the
-            // supply is live. Demand and constraint stay measured, but
-            // the floor must not wobble with sensor noise: the §4.5
-            // fallback and the room's degraded-mode reserve are both
-            // defined on the nominal floor, and an allocation granted
-            // from a noise-lowered measured floor could otherwise end
-            // up a watt below the fallback the rack applies when the
-            // budget frame is lost — breaking the supply-budget
-            // invariant in a fully contended tree.
-            if (leaf.live) {
-                const Fraction nominal =
-                    sup < spec.supplies.size()
-                        ? spec.supplies[sup].loadShare
-                        : 0.0;
-                leaf.capMin = spec.capMin * nominal;
-                leaf.demand = std::max(leaf.demand, leaf.capMin);
-                leaf.constraint =
-                    std::max(leaf.constraint, leaf.capMin);
-            }
-            rack_->setLeafInput(tree, ref, leaf);
-        }
-
-        const auto state = plant.controller->exportState();
-        net::CheckpointServer rec;
-        rec.serverId = static_cast<std::uint32_t>(plant.serverId);
-        rec.integratorPrimed = state.integratorPrimed;
-        rec.spoPinned = false; // §4.4 SPO rounds are not run by rt yet
-        rec.integratorDc = state.integratorDc;
-        rec.demandEstimate = report.demandEstimate;
-        rec.avgThrottle = report.avgThrottle;
-        const std::size_t supplies = plant.server->supplyCount();
-        rec.supplies.resize(supplies);
-        for (std::size_t s = 0; s < supplies; ++s) {
-            rec.supplies[s].lastBudget =
-                s < plant.lastBudgets.size() ? plant.lastBudgets[s]
-                                             : 0.0;
-            rec.supplies[s].share =
-                s < report.shares.size() ? report.shares[s] : 0.0;
-            rec.supplies[s].avgAc = s < report.supplyAvgAc.size()
-                                        ? report.supplyAvgAc[s]
-                                        : 0.0;
-        }
-        lastCheckpoint_.servers.push_back(std::move(rec));
-    }
+    closePlantPeriods(plants_, *scenario_.system, *rack_,
+                      lastCheckpoint_);
 }
 
 std::vector<std::vector<std::uint8_t>>
@@ -586,16 +461,7 @@ WorkerRuntime::finishRackPeriod(
     }
 
     // ---- per-server caps through the PI loops.
-    for (Plant &plant : plants_) {
-        std::vector<Watts> budgets(plant.server->supplyCount(), 0.0);
-        for (const auto &[tree, ref] : plant.leaves) {
-            const auto sup = static_cast<std::size_t>(ref.supply);
-            if (sup < budgets.size())
-                budgets[sup] = rack_->leafBudget(tree, ref);
-        }
-        plant.controller->applyBudgets(budgets);
-        plant.lastBudgets = std::move(budgets);
-    }
+    applyPlantBudgets(plants_, *rack_);
 }
 
 void
@@ -608,24 +474,31 @@ WorkerRuntime::runRackPeriod(std::uint32_t epoch)
 
     // ---- upstream: heartbeat + one metrics frame per edge + the
     // plant-state checkpoint, with blind bounded retransmission (no
-    // ACK channel exists; the room dedups by map overwrite).
+    // ACK channel exists; the receiver dedups by map overwrite). In a
+    // deep plan the retransmit window runs to the parent tier's gather
+    // close, and the budget deadline sits at the end of the full
+    // down-cascade; with 2 tiers both degenerate to the flat schedule.
     const double start = tp.nowMs();
-    const double gather_deadline = start + proto.gatherDeadlineMs;
+    const auto tiers = static_cast<double>(plan_.tiers());
+    const double gather_deadline =
+        start
+        + static_cast<double>(plan_.workers[parentEp_].tier)
+              * proto.gatherDeadlineMs;
     const double budget_deadline =
-        gather_deadline + proto.budgetDeadlineMs;
-    const auto room_ep =
-        static_cast<net::Transport::Endpoint>(rackCount_);
+        start
+        + (tiers - 1.0)
+              * (proto.gatherDeadlineMs + proto.budgetDeadlineMs);
 
     const auto up = buildUpstreamFrames(epoch);
     for (const auto &frame : up)
-        tp.send(role_, room_ep, frame);
+        tp.send(role_, parentEp_, frame);
     for (int attempt = 1; attempt < proto.maxAttempts; ++attempt) {
         const double next = start + attempt * proto.retryTimeoutMs;
         if (next >= gather_deadline)
             break;
         tp.advanceTo(next);
         for (const auto &frame : up) {
-            tp.send(role_, room_ep, frame);
+            tp.send(role_, parentEp_, frame);
             ++stats_.retries;
         }
     }
@@ -657,22 +530,20 @@ WorkerRuntime::runRackPeriod(std::uint32_t epoch)
 void
 WorkerRuntime::stepUpstream(std::uint32_t epoch)
 {
-    if (pacing_ != Pacing::Lockstep || isRoom())
+    if (pacing_ != Pacing::Lockstep || role_ >= rackCount_)
         util::fatal("rt: stepUpstream() needs a lockstep rack runtime");
     rackAdvancePlant(epoch);
-    const auto room_ep =
-        static_cast<net::Transport::Endpoint>(rackCount_);
     // Single-shot sends: lockstep has no deadline schedule to pace
     // retransmissions against, and a chaos harness wants injected loss
     // to actually cost a frame.
     for (const auto &frame : buildUpstreamFrames(epoch))
-        transport_->send(role_, room_ep, frame);
+        transport_->send(role_, parentEp_, frame);
 }
 
 void
 WorkerRuntime::stepDownstream(std::uint32_t epoch)
 {
-    if (pacing_ != Pacing::Lockstep || isRoom())
+    if (pacing_ != Pacing::Lockstep || role_ >= rackCount_)
         util::fatal("rt: stepDownstream() needs a lockstep rack runtime");
     net::Transport &tp = *transport_;
     std::set<std::pair<std::size_t, topo::NodeId>> applied;
@@ -1047,6 +918,35 @@ WorkerRuntime::stepRoom(std::uint32_t epoch)
 {
     if (pacing_ != Pacing::Lockstep || !isRoom())
         util::fatal("rt: stepRoom() needs the lockstep room runtime");
+    if (agg_) {
+        // Deep root: one step covers both halves — by the lockstep
+        // driving order every aggregator below has already stepped up,
+        // and will step down after.
+        net::Transport &tp = *transport_;
+        const auto span = tracer_ ? tracer_->begin("rt.room")
+                                  : telemetry::PeriodTracer::kNoSpan;
+        agg_->beginEpoch(epoch);
+        const double start = tp.nowMs();
+        for (;;) {
+            aggDrainOnce(/*down_phase=*/false);
+            if (agg_->upComplete())
+                break;
+            if (tp.nowMs() - start >= kLockstepWaitMs)
+                break;
+            tp.advanceBy(kPollSliceMs);
+        }
+        agg_->closeGather(stats_, events_);
+        for (const auto &[child, frame] :
+             encodeDownFrames(epoch, agg_->computeDown(stats_))) {
+            tp.send(role_, child, frame);
+        }
+        if (tracer_) {
+            tracer_->num(span, "epoch", static_cast<double>(epoch));
+            tracer_->end(span);
+        }
+        finishPeriod(epoch);
+        return;
+    }
     const auto span = tracer_ ? tracer_->begin("rt.room")
                               : telemetry::PeriodTracer::kNoSpan;
     roomGather(epoch, /*paced=*/false);
@@ -1067,6 +967,208 @@ WorkerRuntime::stepRoom(std::uint32_t epoch)
         tracer_->str(span, "rackStates", std::move(states));
         tracer_->end(span);
     }
+    finishPeriod(epoch);
+}
+
+// ===================================================================
+// Aggregator phases (deep plans)
+// ===================================================================
+
+void
+WorkerRuntime::aggDrainOnce(bool down_phase)
+{
+    const std::uint16_t parent_sender =
+        parentEp_ == plan_.rootEndpoint()
+            ? net::kRoomSender
+            : static_cast<std::uint16_t>(parentEp_);
+    for (const auto &bytes : transport_->poll(role_)) {
+        const auto frame = net::decodeFrame(bytes);
+        if (!frame) {
+            ++stats_.corruptFrames;
+            continue;
+        }
+        // Late child retransmissions during the down phase are still
+        // absorbed (and deduped) by the gather side rather than counted
+        // as orphans; the boundary for this epoch is already closed.
+        if (down_phase && frame->type == net::MsgType::SubBudget)
+            agg_->noteDownFrame(*frame, parent_sender, stats_);
+        else
+            agg_->noteUpFrame(*frame, stats_);
+    }
+}
+
+std::vector<std::vector<std::uint8_t>>
+WorkerRuntime::encodeUpFrames(
+    std::uint32_t epoch, const std::vector<net::MetricsMsg> &summaries)
+{
+    std::vector<std::vector<std::uint8_t>> up;
+    up.push_back(net::encodeHeartbeat(
+        {static_cast<std::uint16_t>(role_), epoch, seq_++}));
+    for (const auto &msg : summaries) {
+        up.push_back(net::encodeSummary(
+            {static_cast<std::uint16_t>(role_), epoch, seq_++}, msg));
+        ++stats_.summariesSent;
+    }
+    return up;
+}
+
+std::vector<std::pair<net::Transport::Endpoint, std::vector<std::uint8_t>>>
+WorkerRuntime::encodeDownFrames(
+    std::uint32_t epoch,
+    const std::vector<AggregatorRole::DownMsg> &downs)
+{
+    const std::uint16_t sender =
+        isRoom() ? net::kRoomSender
+                 : static_cast<std::uint16_t>(role_);
+    std::vector<
+        std::pair<net::Transport::Endpoint, std::vector<std::uint8_t>>>
+        out;
+    for (const AggregatorRole::DownMsg &down : downs) {
+        auto bytes =
+            down.leafChild
+                ? net::encodeBudget({sender, epoch, seq_++}, down.msg)
+                : net::encodeSubBudget({sender, epoch, seq_++},
+                                       down.msg);
+        out.emplace_back(
+            static_cast<net::Transport::Endpoint>(down.child),
+            std::move(bytes));
+    }
+    return out;
+}
+
+void
+WorkerRuntime::runAggregatorPeriod(std::uint32_t epoch)
+{
+    const auto &proto = scenario_.service.protocol;
+    net::Transport &tp = *transport_;
+    const double start = tp.nowMs();
+    const auto tiers = static_cast<double>(plan_.tiers());
+    const auto my_tier =
+        static_cast<double>(plan_.workers[role_].tier);
+    // Tier-staggered §4.5 schedule: the tier-k receiver's gather
+    // closes at start + k x gather; SubBudgets cascade back down one
+    // budget window per hop after every gather has closed. With two
+    // tiers this is exactly the flat room schedule.
+    const double gather_close =
+        start + my_tier * proto.gatherDeadlineMs;
+    const double gather_all_end =
+        start + (tiers - 1.0) * proto.gatherDeadlineMs;
+
+    agg_->beginEpoch(epoch);
+    for (;;) {
+        aggDrainOnce(/*down_phase=*/false);
+        if (agg_->upComplete())
+            break;
+        const double remaining = gather_close - tp.nowMs();
+        if (remaining <= 0.0)
+            break;
+        tp.advanceBy(std::min(remaining, kPollSliceMs));
+    }
+    const auto summaries = agg_->closeGather(stats_, events_);
+
+    if (!isRoom()) {
+        // ---- forward this subtree's summaries, blind bounded
+        // retransmission until the parent's gather closes.
+        const double parent_close =
+            start
+            + static_cast<double>(plan_.workers[parentEp_].tier)
+                  * proto.gatherDeadlineMs;
+        const auto up = encodeUpFrames(epoch, summaries);
+        const double sent_at = tp.nowMs();
+        for (const auto &frame : up)
+            tp.send(role_, parentEp_, frame);
+        for (int attempt = 1; attempt < proto.maxAttempts; ++attempt) {
+            const double next = sent_at + attempt * proto.retryTimeoutMs;
+            if (next >= parent_close)
+                break;
+            tp.advanceTo(next);
+            for (const auto &frame : up) {
+                tp.send(role_, parentEp_, frame);
+                ++stats_.retries;
+            }
+        }
+
+        // ---- collect SubBudgets until this tier's down deadline.
+        const double down_close =
+            gather_all_end
+            + (tiers - 1.0 - my_tier) * proto.budgetDeadlineMs;
+        for (;;) {
+            aggDrainOnce(/*down_phase=*/true);
+            if (agg_->downComplete())
+                break;
+            const double remaining = down_close - tp.nowMs();
+            if (remaining <= 0.0)
+                break;
+            tp.advanceBy(std::min(remaining, kPollSliceMs));
+        }
+    }
+
+    // ---- split down, blind bounded retransmission until the direct
+    // children's own down deadline (their tier is ours minus one).
+    const auto downs =
+        encodeDownFrames(epoch, agg_->computeDown(stats_));
+    const double child_close =
+        gather_all_end + (tiers - my_tier) * proto.budgetDeadlineMs;
+    const double down_start = tp.nowMs();
+    for (const auto &[child, frame] : downs)
+        tp.send(role_, child, frame);
+    for (int attempt = 1; attempt < proto.maxAttempts; ++attempt) {
+        const double next = down_start + attempt * proto.retryTimeoutMs;
+        if (next >= child_close)
+            break;
+        tp.advanceTo(next);
+        for (const auto &[child, frame] : downs) {
+            tp.send(role_, child, frame);
+            ++stats_.retries;
+        }
+    }
+}
+
+void
+WorkerRuntime::stepAggregatorUp(std::uint32_t epoch)
+{
+    if (pacing_ != Pacing::Lockstep || !isAggregator()) {
+        util::fatal(
+            "rt: stepAggregatorUp() needs a lockstep aggregator");
+    }
+    net::Transport &tp = *transport_;
+    agg_->beginEpoch(epoch);
+    const double start = tp.nowMs();
+    for (;;) {
+        aggDrainOnce(/*down_phase=*/false);
+        if (agg_->upComplete())
+            break;
+        if (tp.nowMs() - start >= kLockstepWaitMs)
+            break;
+        tp.advanceBy(kPollSliceMs);
+    }
+    // Single-shot sends, mirroring stepUpstream(): injected loss in a
+    // chaos script must actually cost the frame.
+    for (const auto &frame :
+         encodeUpFrames(epoch, agg_->closeGather(stats_, events_)))
+        tp.send(role_, parentEp_, frame);
+}
+
+void
+WorkerRuntime::stepAggregatorDown(std::uint32_t epoch)
+{
+    if (pacing_ != Pacing::Lockstep || !isAggregator()) {
+        util::fatal(
+            "rt: stepAggregatorDown() needs a lockstep aggregator");
+    }
+    net::Transport &tp = *transport_;
+    const double start = tp.nowMs();
+    for (;;) {
+        aggDrainOnce(/*down_phase=*/true);
+        if (agg_->downComplete())
+            break;
+        if (tp.nowMs() - start >= kLockstepWaitMs)
+            break;
+        tp.advanceBy(kPollSliceMs);
+    }
+    for (const auto &[child, frame] :
+         encodeDownFrames(epoch, agg_->computeDown(stats_)))
+        tp.send(role_, child, frame);
     finishPeriod(epoch);
 }
 

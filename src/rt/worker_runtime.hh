@@ -71,6 +71,19 @@
  * one explicit epoch at a time over any injected Transport — this is
  * what makes kill/restart/partition scripts deterministic.
  *
+ * Deep trees: when the peer table carries aggLevels, the deployment is
+ * a core::TreePlan — leaf workers 0..N-1, interior aggregator workers,
+ * and the root at the last endpoint. Leaves speak the same protocol
+ * but to their plan parent; aggregators (AggregatorRole) merge child
+ * summaries up and split SubBudgets down; the root runs the top
+ * fragment. Wall pacing staggers the deadlines by tier so a tier-k
+ * receiver's gather closes at window start + k x gatherDeadlineMs and
+ * budgets cascade back down symmetrically — with no aggLevels this
+ * degenerates to exactly the 2-level schedule above. Deep mode keeps
+ * the stale -> reserve degradation at every hop but not the
+ * checkpoint/re-homing machinery (aggregators are stateless; see
+ * rt/aggregator.hh for the recovery contract).
+ *
  * Every degraded decision lands in the runtime's EventLog with the
  * epoch as its timestamp, mirroring ClosedLoopSim's audit trail.
  */
@@ -90,65 +103,20 @@
 #include "control/capping_controller.hh"
 #include "core/distributed.hh"
 #include "core/events.hh"
+#include "core/tree_plan.hh"
 #include "device/node_manager.hh"
 #include "device/sensor.hh"
 #include "device/server.hh"
 #include "device/workload.hh"
 #include "net/udp_transport.hh"
 #include "net/wire.hh"
+#include "rt/aggregator.hh"
+#include "rt/plant.hh"
+#include "rt/stats.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/trace.hh"
 
 namespace capmaestro::rt {
-
-/** Cumulative protocol accounting for one worker process. */
-struct RuntimeStats
-{
-    std::size_t periodsRun = 0;
-    /** Rack: edges budgeted by a received Budget frame. */
-    std::size_t budgetsApplied = 0;
-    /** Rack: edges that fell back to the Pcap_min default. */
-    std::size_t defaultBudgets = 0;
-    /** Room: edges served from the stale-metrics cache. */
-    std::size_t staleReuses = 0;
-    /** Room: edges with no usable metrics at the deadline. */
-    std::size_t metricsLost = 0;
-    /** Room: workers declared dead by heartbeat silence. */
-    std::size_t failovers = 0;
-    /** Frames from another epoch, discarded. */
-    std::size_t orphanFrames = 0;
-    /** Frames that failed to decode. */
-    std::size_t corruptFrames = 0;
-    /** Retransmissions sent (both phases). */
-    std::size_t retries = 0;
-    /** Rack: checkpoints sent upstream. */
-    std::size_t checkpointsSent = 0;
-    /** Room: checkpoints received and stored. */
-    std::size_t checkpointsStored = 0;
-    /** Room: Rehome frames sent to re-homing racks. */
-    std::size_t rehomesSent = 0;
-    /** Rack: Rehome checkpoints replayed into the local plant. */
-    std::size_t rehomesApplied = 0;
-    /** Rack: Rehome frames declined (local state already intact). */
-    std::size_t rehomesDeclined = 0;
-    /** Rack: periods ridden on the Pcap_min clamp after a replay. */
-    std::size_t clampedPeriods = 0;
-    /** Room: dead or reincarnated rack instances detected. */
-    std::size_t restartsDetected = 0;
-    /** Room: racks promoted back to Live after a checkpoint ack. */
-    std::size_t rehomed = 0;
-};
-
-/** Room-side liveness state of one rack worker. */
-enum class RackState { Live, Dead, Rehoming };
-
-/** How the period schedule is driven. */
-enum class Pacing {
-    /** Sleep to wall-clock windows; runPeriods() drives (daemons). */
-    Wall,
-    /** The caller drives phases explicitly via step*() (harnesses). */
-    Lockstep,
-};
 
 /**
  * One worker process's runtime: plant + protocol state machine.
@@ -190,11 +158,24 @@ class WorkerRuntime
     WorkerRuntime(const WorkerRuntime &) = delete;
     WorkerRuntime &operator=(const WorkerRuntime &) = delete;
 
-    /** True when this runtime drives the room worker. */
-    bool isRoom() const { return role_ == rackCount_; }
+    /** True when this runtime drives the room (tree-root) worker. */
+    bool isRoom() const { return role_ == plan_.rootEndpoint(); }
 
-    /** Rack workers in the deployment (the room is endpoint rackCount). */
+    /** True when this runtime drives an interior aggregator worker. */
+    bool isAggregator() const
+    {
+        return role_ >= rackCount_ && !isRoom();
+    }
+
+    /** Leaf (rack) workers in the deployment; aggregators and the root
+     *  occupy the endpoints above them (see core::TreePlan). */
     std::size_t rackCount() const { return rackCount_; }
+
+    /** "room", "aggN", or "rackN" — log labels. */
+    std::string roleName() const;
+
+    /** The worker layout this deployment runs. */
+    const core::TreePlan &plan() const { return plan_; }
 
     /**
      * Wall pacing only: run up to @p max_periods control periods, each
@@ -218,6 +199,19 @@ class WorkerRuntime
     /** Rack, lockstep: collect budgets/Rehome, apply defaults and
      *  per-server caps. */
     void stepDownstream(std::uint32_t epoch);
+
+    // ---- Lockstep pacing, deep plans: one epoch is stepUpstream() on
+    // every leaf, stepAggregatorUp() tier by tier ascending, stepRoom(),
+    // stepAggregatorDown() tier by tier descending, stepDownstream() on
+    // every leaf.
+
+    /** Aggregator, lockstep: gather child summaries, merge, and send
+     *  this worker's Summary frames (+ heartbeat) to its parent. */
+    void stepAggregatorUp(std::uint32_t epoch);
+
+    /** Aggregator, lockstep: collect SubBudgets from the parent, split,
+     *  and send Budget/SubBudget frames to the children. */
+    void stepAggregatorDown(std::uint32_t epoch);
 
     /**
      * Ask the period loop to exit at the next check (async-signal-safe:
@@ -278,20 +272,6 @@ class WorkerRuntime
     void setStateDir(const std::string &dir);
 
   private:
-    /** One server whose plant lives in this rack process. */
-    struct Plant
-    {
-        std::size_t serverId = 0;
-        std::unique_ptr<dev::ServerModel> server;
-        std::unique_ptr<dev::NodeManager> nm;
-        std::unique_ptr<dev::SensorEmulator> sensors;
-        std::unique_ptr<dev::Workload> workload;
-        std::unique_ptr<ctrl::CappingController> controller;
-        /** (tree, supply ref) leaves of this server, all on this rack. */
-        std::vector<std::pair<std::size_t, topo::ServerSupplyRef>> leaves;
-        std::vector<Watts> lastBudgets;
-    };
-
     /** Room's cache of the last received metrics per edge. */
     struct CachedMetrics
     {
@@ -337,9 +317,13 @@ class WorkerRuntime
 
     void runRackPeriod(std::uint32_t epoch);
     void runRoomPeriod(std::uint32_t epoch);
+    /** Wall pacing, deep plans: one aggregator/root period (gather up,
+     *  forward, collect SubBudgets, split down) on the tier-staggered
+     *  deadline schedule. */
+    void runAggregatorPeriod(std::uint32_t epoch);
     void buildRack(std::uint64_t seed);
     void buildRoom();
-    std::string roleName() const;
+    void buildAggregator();
 
     // ---- rack phase helpers (shared by Wall and Lockstep pacing)
     void rackAdvancePlant(std::uint32_t epoch);
@@ -354,6 +338,20 @@ class WorkerRuntime
     void finishRackPeriod(
         std::uint32_t epoch,
         const std::set<std::pair<std::size_t, topo::NodeId>> &applied);
+
+    // ---- aggregator phase helpers (deep plans)
+    /** Drain one poll pass into agg_: SubBudgets feed the down phase
+     *  when @p down_phase, everything else the gather. */
+    void aggDrainOnce(bool down_phase);
+    /** Heartbeat + this worker's Summary frames for the parent. */
+    std::vector<std::vector<std::uint8_t>>
+    encodeUpFrames(std::uint32_t epoch,
+                   const std::vector<net::MetricsMsg> &summaries);
+    /** (child endpoint, encoded Budget/SubBudget) per computed split. */
+    std::vector<std::pair<net::Transport::Endpoint,
+                          std::vector<std::uint8_t>>>
+    encodeDownFrames(std::uint32_t epoch,
+                     const std::vector<AggregatorRole::DownMsg> &downs);
 
     // ---- room phase helpers
     void roomGather(std::uint32_t epoch, bool paced);
@@ -379,8 +377,14 @@ class WorkerRuntime
      *  computeNominalFloors()); identical in every process. */
     std::map<std::pair<std::size_t, topo::NodeId>, Watts>
         nominalFloor_;
+    /** Worker layout: flat 2-level by default, deeper when the peer
+     *  table carries aggLevels. */
+    core::TreePlan plan_;
     std::uint32_t role_ = 0;
     std::size_t rackCount_ = 0;
+    /** Endpoint this worker sends upstream to (leaf and aggregator
+     *  roles; the root has none). */
+    std::uint32_t parentEp_ = 0;
     Pacing pacing_ = Pacing::Wall;
     std::unique_ptr<net::UdpTransport> ownedTransport_;
     net::Transport *transport_ = nullptr;
@@ -406,7 +410,10 @@ class WorkerRuntime
     std::map<std::pair<std::size_t, topo::NodeId>, Watts>
         lastEdgeBudgets_;
 
-    // -------- room state
+    // -------- aggregator / deep-root state
+    std::unique_ptr<AggregatorRole> agg_;
+
+    // -------- room state (2-level deployments)
     std::unique_ptr<core::RoomWorker> room_;
     /** (tree, edge node) -> owning rack, full partition view. */
     std::map<std::pair<std::size_t, topo::NodeId>, std::size_t>

@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 #include "core/events.hh"
 #include "net/transport.hh"
@@ -284,4 +285,174 @@ TEST(Failover, SimLossyTransportStillRehomes)
     EXPECT_EQ(report.unrecovered, 0u);
     EXPECT_LE(report.maxRecoveryPeriods, 10u);
     EXPECT_GE(dep.room().stats().rehomed, 3u);
+}
+
+// --------------------------------------------- deep trees (TreePlan)
+
+namespace {
+
+/**
+ * Depth-3 dual-feed scenario for agg_levels = {1}: per tree,
+ * root -> 2 row breakers -> 2 rack breakers each -> 2 supplies each
+ * (8 servers, structurally parallel across both feeds). The worker
+ * plan is 4 leaf workers (endpoints 0-3), 2 row aggregators (4-5),
+ * and the root (6).
+ */
+std::string
+deepScenario()
+{
+    std::string trees;
+    for (int feed = 0; feed < 2; ++feed) {
+        std::string rows;
+        for (int row = 0; row < 2; ++row) {
+            std::string racks;
+            for (int rack = 0; rack < 2; ++rack) {
+                const int base = row * 4 + rack * 2;
+                racks += std::string(rack ? "," : "")
+                         + R"({ "kind": "breaker", "name": "rack)"
+                         + std::to_string(row) + std::to_string(rack)
+                         + R"(", "rating": 900, "children": [)"
+                         + R"({ "kind": "supply", "server": )"
+                         + std::to_string(base) + R"(, "supply": )"
+                         + std::to_string(feed) + "},"
+                         + R"({ "kind": "supply", "server": )"
+                         + std::to_string(base + 1) + R"(, "supply": )"
+                         + std::to_string(feed) + "}]}";
+            }
+            rows += std::string(row ? "," : "")
+                    + R"({ "kind": "breaker", "name": "row)"
+                    + std::to_string(row) + R"(", "rating": 1700, )"
+                    + R"("children": [)" + racks + "]}";
+        }
+        trees += std::string(feed ? "," : "") + R"({ "feed": )"
+                 + std::to_string(feed) + R"(, "phase": 0, "name": ")"
+                 + (feed == 0 ? "X" : "Y") + R"(", "root": { "kind": )"
+                 + R"("breaker", "name": "top", "rating": 3200, )"
+                 + R"("children": [)" + rows + "]}}";
+    }
+    std::string servers;
+    for (int s = 0; s < 8; ++s) {
+        servers += std::string(s ? "," : "") + R"({ "name": "S)"
+                   + std::to_string(s) + R"(", "priority": )"
+                   + std::to_string(s % 2) + R"(, "supplies": [)"
+                   + R"({ "share": 0.5 }, { "share": 0.5 }], )"
+                   + R"("workload": { "type": "constant", )"
+                   + R"("utilization": 0.7)" + std::to_string(s)
+                   + "1 }}";
+    }
+    return R"({ "feeds": 2, "trees": [)" + trees + R"(], "servers": [)"
+           + servers + R"(], "service": { "policy": "global", )"
+           + R"("spo": false }, "budgets": { "totalPerPhase": 3200 }})";
+}
+
+} // namespace
+
+TEST(DeepChaos, MidTierAggregatorKillStaysSafeOnSim)
+{
+    // Kill a row aggregator (endpoint 4) mid-run: its parent rides the
+    // stale summary then reserves the subtree's floors; the orphaned
+    // leaves fall back to Pcap_min defaults. Every degraded period
+    // must stay inside all device limits and root budgets, and none
+    // of the 2-level failover machinery may fire.
+    rt::LockstepDeployment dep(deepScenario(), rt::ChaosBackend::Sim,
+                               net::TransportConfig{}, /*seed=*/311,
+                               /*agg_levels=*/{1});
+    ASSERT_EQ(dep.rackCount(), 4u);
+    ASSERT_EQ(dep.plan().tiers(), 3u);
+    ASSERT_EQ(dep.plan().workers.size(), 7u);
+
+    dep.chaos().at(6, rt::ChaosEvent::Kind::Kill, 4);
+    dep.chaos().at(12, rt::ChaosEvent::Kind::Restart, 4);
+    const auto report = dep.run(20);
+
+    EXPECT_EQ(report.epochsRun, 20u);
+    // The headline claim: zero budget violations across the outage.
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+
+    // The root rode the stale cache before excluding the station.
+    EXPECT_GE(dep.room().stats().staleReuses, 1u);
+    // Orphaned leaves applied conservative defaults while their
+    // aggregator was down.
+    std::size_t defaults = 0;
+    for (std::size_t r = 0; r < dep.rackCount(); ++r)
+        defaults += dep.rack(r)->stats().defaultBudgets;
+    EXPECT_GT(defaults, 0u);
+    // Budgets resumed for everyone after the restart.
+    for (std::size_t r = 0; r < dep.rackCount(); ++r)
+        EXPECT_GT(dep.rack(r)->stats().budgetsApplied, 0u) << r;
+    ASSERT_NE(dep.aggregator(4), nullptr);
+    EXPECT_GT(dep.aggregator(4)->stats().summariesSent, 0u);
+
+    // Deep plans run no re-homing: aggregators are stateless.
+    EXPECT_EQ(dep.room().stats().failovers, 0u);
+    EXPECT_EQ(dep.room().stats().rehomed, 0u);
+    EXPECT_EQ(report.recoveries, 0u);
+}
+
+TEST(DeepChaos, SimSameSeedDeepRunsAreBitReproducible)
+{
+    // Depth-3 chaos must replay bit-for-bit on the Sim backend, same
+    // as the 2-level harness: per-epoch applied-budget bit patterns
+    // identical across same-seed runs.
+    auto run_once = [] {
+        rt::LockstepDeployment dep(deepScenario(),
+                                   rt::ChaosBackend::Sim,
+                                   net::TransportConfig{},
+                                   /*seed=*/271, /*agg_levels=*/{1});
+        dep.chaos().at(4, rt::ChaosEvent::Kind::Kill, 5);
+        dep.chaos().at(8, rt::ChaosEvent::Kind::Restart, 5);
+        dep.chaos().at(11, rt::ChaosEvent::Kind::Kill, 1);
+        dep.chaos().at(14, rt::ChaosEvent::Kind::Restart, 1);
+        return dep.run(24);
+    };
+    const auto first = run_once();
+    const auto second = run_once();
+
+    EXPECT_EQ(first.violations, 0u) << first.firstViolation;
+    ASSERT_EQ(first.log.size(), second.log.size());
+    for (std::size_t i = 0; i < first.log.size(); ++i)
+        ASSERT_EQ(first.log[i], second.log[i]) << "epoch line " << i;
+}
+
+TEST(DeepChaos, MidTierAggregatorKillStaysSafeOnUdp)
+{
+    SKIP_WITHOUT_NET();
+    // The same aggregator outage over real loopback sockets:
+    // behavior-level assertions only.
+    rt::LockstepDeployment dep(deepScenario(), rt::ChaosBackend::Udp,
+                               net::TransportConfig{}, /*seed=*/311,
+                               /*agg_levels=*/{1});
+    dep.chaos().at(5, rt::ChaosEvent::Kind::Kill, 4);
+    dep.chaos().at(11, rt::ChaosEvent::Kind::Restart, 4);
+    const auto report = dep.run(18);
+
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    std::size_t defaults = 0;
+    for (std::size_t r = 0; r < dep.rackCount(); ++r)
+        defaults += dep.rack(r)->stats().defaultBudgets;
+    EXPECT_GT(defaults, 0u);
+    for (std::size_t r = 0; r < dep.rackCount(); ++r)
+        EXPECT_GT(dep.rack(r)->stats().budgetsApplied, 0u) << r;
+    EXPECT_EQ(dep.room().stats().failovers, 0u);
+}
+
+TEST(DeepChaos, LossyDeepTransportStaysSafe)
+{
+    // Frame loss on every hop of a depth-3 tree plus an aggregator
+    // outage: per-hop stale fallback upstream, conservative defaults
+    // downstream, and the safety audit must still never fire.
+    net::TransportConfig faults;
+    faults.dropRate = 0.12;
+    faults.dupRate = 0.04;
+    faults.reorderRate = 0.08;
+    faults.seed = 777;
+    rt::LockstepDeployment dep(deepScenario(), rt::ChaosBackend::Sim,
+                               faults, /*seed=*/47,
+                               /*agg_levels=*/{1});
+    dep.chaos().at(7, rt::ChaosEvent::Kind::Kill, 5);
+    dep.chaos().at(13, rt::ChaosEvent::Kind::Restart, 5);
+    const auto report = dep.run(30);
+
+    EXPECT_EQ(report.epochsRun, 30u);
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
 }

@@ -11,6 +11,7 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <set>
 
 #include "net/wire.hh"
 #include "util/random.hh"
@@ -736,6 +737,213 @@ TEST(Wire, FuzzedDeclaredLengthsNeverCrash)
         net::encodeRehome(FrameMeta{1, 2, 9}, sampleCheckpoint()),
     };
     for (int trial = 0; trial < 4000; ++trial) {
+        auto bytes = bases[static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(bases.size()) - 1))];
+        const auto declared =
+            static_cast<std::uint16_t>(rng.uniformInt(0, 65535));
+        const std::size_t real_length =
+            bytes.size() - net::kHeaderSize - net::kCrcSize;
+        declarePayloadLength(bytes, declared);
+        refreshCrc(bytes);
+        const auto frame = net::decodeFrame(bytes);
+        if (declared != real_length) {
+            EXPECT_FALSE(frame.has_value())
+                << "declared " << declared << " real " << real_length;
+        } else {
+            EXPECT_TRUE(frame.has_value());
+        }
+    }
+}
+
+// ------------------------------------- deep-tree aggregator frames
+
+TEST(Wire, SummaryRoundTripIsBitExact)
+{
+    // An aggregator's upstream Summary reuses the Metrics payload
+    // layout (edgeNode = the aggregator's top station) but must come
+    // back under its own type code.
+    const auto msg = sampleMetrics();
+    const FrameMeta meta{23, 4000, 55};
+    const auto bytes = net::encodeSummary(meta, msg);
+
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Summary);
+    EXPECT_EQ(frame->sender, 23);
+    EXPECT_EQ(frame->epoch, 4000u);
+    EXPECT_EQ(frame->metrics.tree, 3);
+    EXPECT_EQ(frame->metrics.edgeNode, 17u);
+    expectBitExact(frame->metrics.metrics, msg.metrics);
+}
+
+TEST(Wire, SubBudgetRoundTripIsBitExact)
+{
+    // The downstream SubBudget reuses the Budget payload layout
+    // (edgeNode = the receiving aggregator's top station).
+    BudgetMsg msg;
+    msg.tree = 2;
+    msg.edgeNode = 31;
+    msg.budget = 123456.789000001;
+    const auto bytes =
+        net::encodeSubBudget(FrameMeta{net::kRoomSender, 8, 21}, msg);
+
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::SubBudget);
+    EXPECT_EQ(frame->sender, net::kRoomSender);
+    EXPECT_EQ(frame->budget.tree, 2);
+    EXPECT_EQ(frame->budget.edgeNode, 31u);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frame->budget.budget),
+              std::bit_cast<std::uint64_t>(msg.budget));
+}
+
+TEST(Wire, AggregatorTypesAreDistinctFromEveryOtherType)
+{
+    // A Summary must never decode as Metrics/PinnedSummary (identical
+    // payload layouts) nor a SubBudget as Budget/SpoBudget: the period
+    // state machines dispatch on the type byte alone.
+    const auto metrics = sampleMetrics();
+    BudgetMsg budget;
+    budget.tree = 1;
+    budget.edgeNode = 5;
+    budget.budget = 640.5;
+    const FrameMeta meta{3, 9, 1};
+    const auto summary = net::decodeFrame(net::encodeSummary(meta, metrics));
+    const auto sub = net::decodeFrame(net::encodeSubBudget(meta, budget));
+    ASSERT_TRUE(summary.has_value());
+    ASSERT_TRUE(sub.has_value());
+    const std::set<MsgType> others = {
+        MsgType::Metrics,    MsgType::Budget,
+        MsgType::Heartbeat,  MsgType::PinnedSummary,
+        MsgType::SpoBudget,  MsgType::Checkpoint,
+        MsgType::Rehome,
+    };
+    EXPECT_EQ(others.count(summary->type), 0u);
+    EXPECT_EQ(others.count(sub->type), 0u);
+    EXPECT_NE(summary->type, sub->type);
+}
+
+TEST(Wire, SummaryEveryTruncationRejected)
+{
+    const auto bytes = net::encodeSummary(FrameMeta{1, 2, 3},
+                                          sampleMetrics());
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + len);
+        EXPECT_FALSE(net::decodeFrame(prefix).has_value())
+            << "prefix of " << len << " bytes decoded";
+    }
+}
+
+TEST(Wire, SummaryEverySingleBitFlipRejected)
+{
+    const auto bytes = net::encodeSummary(FrameMeta{1, 2, 3},
+                                          sampleMetrics());
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        auto corrupted = bytes;
+        corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(net::decodeFrame(corrupted).has_value())
+            << "bit " << bit << " flip decoded";
+    }
+}
+
+TEST(Wire, SubBudgetTruncationAndBitFlipsRejected)
+{
+    BudgetMsg msg;
+    msg.tree = 4;
+    msg.edgeNode = 12;
+    msg.budget = 8201.125;
+    const auto bytes =
+        net::encodeSubBudget(FrameMeta{9, 40, 2}, msg);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + len);
+        EXPECT_FALSE(net::decodeFrame(prefix).has_value());
+    }
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        auto corrupted = bytes;
+        corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(net::decodeFrame(corrupted).has_value());
+    }
+}
+
+TEST(Wire, AggregatorFramesRejectOldWireVersions)
+{
+    // Deep-tree frame types were introduced at wire v4: a peer still
+    // speaking v2/v3 (or a v5 future) must be rejected on the version
+    // byte alone. The CRC is kept honest so nothing else can reject.
+    BudgetMsg budget;
+    budget.tree = 0;
+    budget.edgeNode = 1;
+    budget.budget = 100.0;
+    for (auto bytes : {net::encodeSummary(FrameMeta{1, 2, 3},
+                                          sampleMetrics()),
+                       net::encodeSubBudget(FrameMeta{1, 2, 4},
+                                            budget)}) {
+        for (const std::uint8_t version :
+             {std::uint8_t{2}, std::uint8_t{3},
+              static_cast<std::uint8_t>(net::kWireVersion + 1)}) {
+            auto skewed = bytes;
+            skewed[2] = version;
+            refreshCrc(skewed);
+            EXPECT_FALSE(net::decodeFrame(skewed).has_value())
+                << "version " << static_cast<int>(version);
+        }
+    }
+}
+
+TEST(Wire, SummaryHostileClassCountRejectedBeforeAllocation)
+{
+    // Patch the Summary's class-count field to a hostile value with a
+    // refreshed CRC: the decoder must reject on the length/count
+    // cross-check, never trust the count to size an allocation.
+    auto bytes = net::encodeSummary(FrameMeta{1, 2, 3},
+                                    sampleMetrics());
+    // Count sits after tree (2) + edge node (4) + constraint (8) in
+    // the Metrics payload layout.
+    bytes[net::kHeaderSize + 14] = 0xFF;
+    bytes[net::kHeaderSize + 15] = 0xFF;
+    refreshCrc(bytes);
+    EXPECT_FALSE(net::decodeFrame(bytes).has_value());
+}
+
+TEST(Wire, SummaryRandomMultiBitCorruptionNeverCrashes)
+{
+    util::Rng rng(60309);
+    const auto base = net::encodeSummary(FrameMeta{1, 2, 3},
+                                         sampleMetrics());
+    for (int trial = 0; trial < 2000; ++trial) {
+        auto corrupted = base;
+        const int flips = rng.uniformInt(2, 64);
+        for (int f = 0; f < flips; ++f) {
+            const auto bit = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(corrupted.size() * 8) - 1));
+            corrupted[bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        const auto frame = net::decodeFrame(corrupted);
+        if (frame.has_value() && frame->type == MsgType::Summary) {
+            const auto &classes = frame->metrics.metrics.classes();
+            for (std::size_t i = 1; i < classes.size(); ++i)
+                EXPECT_LT(classes[i].priority, classes[i - 1].priority);
+        }
+    }
+}
+
+TEST(Wire, AggregatorFramesFuzzedDeclaredLengthsNeverCrash)
+{
+    // The declared-length hostility sweep over the v4 aggregator
+    // frames specifically (the generic sweep above covers the rest).
+    util::Rng rng(48811);
+    BudgetMsg budget;
+    budget.tree = 3;
+    budget.edgeNode = 2;
+    budget.budget = 99.75;
+    const std::vector<std::vector<std::uint8_t>> bases = {
+        net::encodeSummary(FrameMeta{1, 2, 6}, sampleMetrics()),
+        net::encodeSubBudget(FrameMeta{1, 2, 7}, budget),
+    };
+    for (int trial = 0; trial < 2000; ++trial) {
         auto bytes = bases[static_cast<std::size_t>(
             rng.uniformInt(0, static_cast<int>(bases.size()) - 1))];
         const auto declared =

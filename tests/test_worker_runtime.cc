@@ -25,6 +25,7 @@
 #include "config/loader.hh"
 #include "core/events.hh"
 #include "rt/chaos.hh"
+#include "rt/host.hh"
 #include "rt/worker_runtime.hh"
 #include "util/json.hh"
 
@@ -414,4 +415,216 @@ TEST(WorkerRuntime, RejectsMalformedDeployments)
                 short_peers, /*role=*/0);
         },
         "peer table");
+}
+
+// ------------------------------------------- deep-tree lockstep soak
+
+namespace {
+
+/**
+ * Depth-4 dual-feed scenario for agg_levels = {1, 2}: per tree,
+ * root -> 2 pods -> 2 rows each -> 2 rack breakers each -> 2 supplies
+ * each (16 servers, structurally parallel across both feeds). Worker
+ * plan: 8 leaf workers (0-7), 4 row aggregators (8-11), 2 pod
+ * aggregators (12-13), root (14).
+ */
+std::string
+depth4Scenario()
+{
+    std::string trees;
+    for (int feed = 0; feed < 2; ++feed) {
+        std::string pods;
+        for (int pod = 0; pod < 2; ++pod) {
+            std::string rows;
+            for (int row = 0; row < 2; ++row) {
+                std::string racks;
+                for (int rack = 0; rack < 2; ++rack) {
+                    const int base =
+                        pod * 8 + row * 4 + rack * 2;
+                    racks += std::string(rack ? "," : "")
+                             + R"({ "kind": "breaker", "name": "rk)"
+                             + std::to_string(pod)
+                             + std::to_string(row)
+                             + std::to_string(rack)
+                             + R"(", "rating": 900, "children": [)"
+                             + R"({ "kind": "supply", "server": )"
+                             + std::to_string(base)
+                             + R"(, "supply": )"
+                             + std::to_string(feed) + "},"
+                             + R"({ "kind": "supply", "server": )"
+                             + std::to_string(base + 1)
+                             + R"(, "supply": )"
+                             + std::to_string(feed) + "}]}";
+                }
+                rows += std::string(row ? "," : "")
+                        + R"({ "kind": "breaker", "name": "row)"
+                        + std::to_string(pod) + std::to_string(row)
+                        + R"(", "rating": 1700, "children": [)"
+                        + racks + "]}";
+            }
+            pods += std::string(pod ? "," : "")
+                    + R"({ "kind": "breaker", "name": "pod)"
+                    + std::to_string(pod)
+                    + R"(", "rating": 3300, "children": [)" + rows
+                    + "]}";
+        }
+        trees += std::string(feed ? "," : "") + R"({ "feed": )"
+                 + std::to_string(feed) + R"(, "phase": 0, "name": ")"
+                 + (feed == 0 ? "X" : "Y") + R"(", "root": { "kind": )"
+                 + R"("breaker", "name": "top", "rating": 6400, )"
+                 + R"("children": [)" + pods + "]}}";
+    }
+    std::string servers;
+    for (int s = 0; s < 16; ++s) {
+        servers += std::string(s ? "," : "") + R"({ "name": "S)"
+                   + std::to_string(s) + R"(", "priority": )"
+                   + std::to_string(s % 3 == 0 ? 1 : 0)
+                   + R"(, "supplies": [{ "share": 0.5 }, )"
+                   + R"({ "share": 0.5 }], "workload": { "type": )"
+                   + R"("constant", "utilization": 0.6)"
+                   + std::to_string(50 + s) + " }}";
+    }
+    return R"({ "feeds": 2, "trees": [)" + trees + R"(], "servers": [)"
+           + servers + R"(], "service": { "policy": "global", )"
+           + R"("spo": false }, "budgets": { "totalPerPhase": 6400 }})";
+}
+
+} // namespace
+
+TEST(WorkerRuntime, Depth4LossySoakNeverOvershootsAndBoundsStaleReuse)
+{
+    // 200 control periods of a depth-4 lockstep deployment (15
+    // workers, agg_levels = {1, 2}) under 10% seeded frame loss on
+    // every hop. The §4.5 claim under sustained degradation:
+    //   - no applied edge budget ever exceeds a device limit, and no
+    //     tree's applied total ever exceeds its root budget (the
+    //     harness audits every epoch);
+    //   - stale-metric reuse stays bounded: each (hop, station, tree)
+    //     may ride its cache at most staleAgeCapPeriods consecutive
+    //     periods before the station is excluded and floors reserved,
+    //     so total reuse cannot drift toward one-per-station-period.
+    constexpr std::uint64_t kSoakSeed = 4242;
+    constexpr std::uint64_t kFaultSeed = 999;
+    const std::string repro =
+        "reproduce: LockstepDeployment(depth4Scenario(), Sim, "
+        "{dropRate=0.1, seed=" + std::to_string(kFaultSeed)
+        + "}, seed=" + std::to_string(kSoakSeed)
+        + ", agg_levels={1,2}); run(200)";
+
+    net::TransportConfig faults;
+    faults.dropRate = 0.10;
+    faults.seed = kFaultSeed;
+    rt::LockstepDeployment dep(depth4Scenario(), rt::ChaosBackend::Sim,
+                               faults, kSoakSeed,
+                               /*agg_levels=*/{1, 2});
+    ASSERT_EQ(dep.plan().tiers(), 4u);
+    ASSERT_EQ(dep.rackCount(), 8u);
+    ASSERT_EQ(dep.plan().workers.size(), 15u);
+
+    const auto report = dep.run(200);
+    EXPECT_EQ(report.epochsRun, 200u);
+    EXPECT_EQ(report.violations, 0u)
+        << report.firstViolation << "\n" << repro;
+
+    // Loss was actually exercised on the upstream path...
+    std::size_t stale = dep.room().stats().staleReuses;
+    for (std::uint32_t ep = 8; ep <= 13; ++ep) {
+        ASSERT_NE(dep.aggregator(ep), nullptr);
+        stale += dep.aggregator(ep)->stats().staleReuses;
+    }
+    EXPECT_GT(stale, 0u) << repro;
+    // ...and stayed bounded: the receiving hops track 28 (tree,
+    // station) links; 10% loss per frame makes one-in-ten periods
+    // stale per link the drift-free expectation. 3x that expectation
+    // over 200 periods flags any cache that stops expiring.
+    EXPECT_LT(stale, 3u * 200u * 28u / 10u) << repro;
+
+    // Downstream silence produced defaults, but budgets still flowed
+    // most of the time on every leaf.
+    for (std::size_t r = 0; r < dep.rackCount(); ++r) {
+        const auto &stats = dep.rack(r)->stats();
+        EXPECT_GT(stats.budgetsApplied, 200u) << "rack " << r << "\n"
+                                              << repro;
+    }
+}
+
+// ------------------------------------------------ host epoch resync
+
+// Free-running WorkerHost epochs need a resync story: a process that
+// starts after the fleet has already burned through its first deadline
+// windows would otherwise stay behind forever — its frames orphaned by
+// everyone, everyone's frames held or orphaned by it, zero budgets
+// applied for the life of the deployment. The regression below drives
+// exactly that: the fleet (every worker but one leaf) runs 8 epochs
+// alone, then the late process starts. It must fast-forward through
+// the missed epochs via the catch-up path (parent beacons + future
+// frames), rejoin the live fleet, and receive real budgets again.
+TEST(WorkerHost, LateStarterFastForwardsAndRejoinsTheFleet)
+{
+    SKIP_WITHOUT_NET();
+    // Depth-3 cut of the depth-4 scenario (agg_levels = {1}): 8 leaf
+    // workers (0-7), 4 row aggregators (8-11), root (12). Process 1
+    // hosts only leaf 7; process 0 hosts everything else.
+    const std::string scenario_json = depth4Scenario();
+    auto load = [&scenario_json] {
+        auto s = config::loadScenario(util::parseJson(scenario_json));
+        config::applyTransportJson(
+            s.service,
+            util::parseJson(R"({"backend":"udp","gatherDeadlineMs":30,
+                "budgetDeadlineMs":30,"retryTimeoutMs":10})"));
+        return s;
+    };
+    config::WorkerPeers peers;
+    peers.periodMs = kPeriodMs;
+    peers.originMs = unixNowMs();
+    peers.aggLevels = {1};
+    for (std::uint32_t e = 0; e < 13; ++e)
+        peers.peers[e] = net::UdpPeer{"127.0.0.1", 0};
+    peers.processOf[7] = 1;
+
+    rt::WorkerHost fleet(load(), peers, /*process=*/0, /*seed=*/1);
+    rt::WorkerHost late(load(), peers, /*process=*/1, /*seed=*/1);
+    // Both hosts bound ephemeral ports at construction (so frames
+    // queue for the late starter from epoch 1); cross-wire them.
+    auto wire = [](rt::WorkerHost &dst, rt::WorkerHost &src) {
+        for (const auto ep : src.endpoints()) {
+            dst.udp()->setPeer(
+                ep,
+                net::UdpPeer{"127.0.0.1", src.udp()->boundPort(ep)});
+        }
+    };
+    wire(fleet, late);
+    wire(late, fleet);
+
+    // Phase 1: the fleet runs 8 epochs without leaf 7. Its row
+    // aggregator deadline-closes every gather and beacons the silent
+    // child each epoch.
+    std::thread ahead([&fleet] { fleet.runPeriods(8); });
+    ahead.join();
+    EXPECT_EQ(fleet.lastEpoch(), 8u);
+    EXPECT_GT(fleet.stats().staleReuses + fleet.stats().metricsLost,
+              0u);
+
+    // Phase 2: the late process starts 8 epochs behind and must burn
+    // through the gap at CPU speed — every missed epoch closes as a
+    // catch-up period (degraded, Pcap_min defaults), none waits out
+    // the deadline cascade.
+    const std::size_t caught = late.runPeriods(6);
+    EXPECT_EQ(caught, 6u);
+    EXPECT_EQ(late.lastEpoch(), 6u);
+    EXPECT_EQ(late.stats().catchUpPeriods, 6u);
+    EXPECT_EQ(late.stats().budgetsApplied, 0u);
+    EXPECT_GT(late.stats().defaultBudgets, 0u);
+
+    // Phase 3: both run live. The late host closes its last two
+    // missed epochs, converges to within one epoch of the fleet, and
+    // from then on the deployment is complete again — real budgets
+    // must flow to leaf 7, and both hosts must finish every period.
+    std::thread rest([&fleet] { fleet.runPeriods(12); });
+    const std::size_t rejoined = late.runPeriods(14);
+    rest.join();
+    EXPECT_EQ(rejoined, 14u);
+    EXPECT_EQ(fleet.lastEpoch(), 20u);
+    EXPECT_EQ(late.lastEpoch(), 20u);
+    EXPECT_GT(late.stats().budgetsApplied, 0u);
 }

@@ -3,19 +3,30 @@
  * capmaestro_worker — one process of the multi-process control plane
  * (docs/distributed.md quickstart). Every worker loads the same
  * scenario and peer table; the role selects which endpoint this
- * process drives: rack index 0..N-1, or N for the room (N = the
- * partitioning rule's rack worker count).
+ * process drives: rack index 0..N-1, then any aggregator tiers
+ * bottom-up, the root (room) last (see core::TreePlan). Alternatively
+ * --process=K hosts *every* endpoint the peer table's "processes" map
+ * assigns to process K inside one rt::WorkerHost event loop — the
+ * deployment shape for deep trees, where one box serves hundreds of
+ * subtrees off a single epoll sweep.
  *
  * Usage:
  *   capmaestro_worker <config.json> --peers=peers.json --role=N
  *                     [options]
+ *   capmaestro_worker <config.json> --peers=peers.json --process=K
+ *                     [options]
  *   capmaestro_worker <config.json> --print-peers-template
  *                     [--port-base=P] [--period-ms=MS]
+ *                     [--agg-levels=H1,H2,..] [--processes=K]
  *
  * Options:
  *   --peers=FILE          shared peer table (see config::WorkerPeers)
- *   --role=N              endpoint to drive (rack index, or rack
- *                         count for the room worker)
+ *   --role=N              endpoint to drive (rack index, aggregator
+ *                         endpoint, or the root endpoint for the room)
+ *   --process=K           host every endpoint the peer table assigns
+ *                         to process K (mutually exclusive with
+ *                         --role; requires a peers file whose
+ *                         "processes" map covers the plan)
  *   --periods=N           stop after N control periods (default: run
  *                         until SIGTERM/SIGINT)
  *   --seed=N              sensor-noise seed (default 1; give every
@@ -37,6 +48,16 @@
  *                         the collision-proof choice for test scripts
  *   --period-ms=MS        wall-clock control period for the template
  *                         (default 1000)
+ *   --agg-levels=H1,H2    aggregation levels for the template: cut
+ *                         heights above the edge level, ascending
+ *                         (e.g. --agg-levels=1 for a depth-3 tree);
+ *                         the template then covers every plan worker
+ *                         and records the levels in "aggLevels"
+ *   --processes=K         spread the template's workers over K host
+ *                         processes: leaves in contiguous chunks,
+ *                         each aggregator co-located with its first
+ *                         child (subtree locality), written to the
+ *                         "processes" map for --process=K hosting
  *
  * On SIGTERM/SIGINT the worker finishes nothing: it exits its period
  * loop at the next stop check (≤ ~25 ms) and reports. Exit status 0
@@ -59,6 +80,8 @@
 #include <vector>
 
 #include "config/loader.hh"
+#include "core/tree_plan.hh"
+#include "rt/host.hh"
 #include "rt/worker_runtime.hh"
 #include "telemetry/registry.hh"
 #include "util/logging.hh"
@@ -68,12 +91,16 @@ using namespace capmaestro;
 namespace {
 
 rt::WorkerRuntime *g_runtime = nullptr;
+rt::WorkerHost *g_host = nullptr;
 
 extern "C" void
 onSignal(int)
 {
+    // async-signal-safe: one atomic store either way
     if (g_runtime != nullptr)
-        g_runtime->requestStop(); // async-signal-safe: one atomic store
+        g_runtime->requestStop();
+    if (g_host != nullptr)
+        g_host->requestStop();
 }
 
 const char *
@@ -106,8 +133,13 @@ usage()
         "usage: capmaestro_worker <config.json> --peers=FILE --role=N\n"
         "                         [--periods=N] [--seed=N]\n"
         "                         [--telemetry-out=DIR] [--state-dir=DIR]\n"
+        "       capmaestro_worker <config.json> --peers=FILE --process=K\n"
+        "                         [--periods=N] [--seed=N]\n"
+        "                         [--telemetry-out=DIR]\n"
         "       capmaestro_worker <config.json> --print-peers-template\n"
-        "                         [--port-base=P] [--period-ms=MS]\n");
+        "                         [--port-base=P] [--period-ms=MS]\n"
+        "                         [--agg-levels=H1,H2,..] "
+        "[--processes=K]\n");
     std::exit(2);
 }
 
@@ -163,6 +195,29 @@ probeFreePorts(std::size_t count)
     return ports;
 }
 
+/** Parse "1,2,3" into ascending aggregation levels. */
+std::vector<std::uint32_t>
+parseAggLevels(const char *arg)
+{
+    std::vector<std::uint32_t> levels;
+    if (arg == nullptr)
+        return levels;
+    const std::string text(arg);
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string part = text.substr(pos, comma - pos);
+        if (part.empty())
+            util::fatal("--agg-levels: empty entry in '%s'", arg);
+        levels.push_back(static_cast<std::uint32_t>(
+            std::strtoul(part.c_str(), nullptr, 10)));
+        pos = comma + 1;
+    }
+    return levels;
+}
+
 int
 printPeersTemplate(const config::LoadedScenario &scenario, int argc,
                    char **argv)
@@ -172,17 +227,24 @@ printPeersTemplate(const config::LoadedScenario &scenario, int argc,
     const char *period_arg = flagValue(argc, argv, "period-ms");
     const double period_ms =
         period_arg ? std::atof(period_arg) : 1000.0;
+    const auto agg_levels =
+        parseAggLevels(flagValue(argc, argv, "agg-levels"));
+    const char *procs_arg = flagValue(argc, argv, "processes");
+    const auto processes = static_cast<std::uint32_t>(
+        procs_arg ? std::strtoul(procs_arg, nullptr, 10) : 0);
 
-    const std::size_t racks =
-        core::DistributedControlPlane::rackWorkerCountFor(
-            *scenario.system);
-    const auto probed =
-        port_base == 0 ? probeFreePorts(racks + 1)
-                       : std::vector<std::uint16_t>{};
+    const auto plan =
+        core::TreePlan::build(*scenario.system, agg_levels);
+    const std::size_t workers = plan.workers.size();
+    const std::size_t racks = plan.leafWorkers;
+    const auto probed = port_base == 0
+                            ? probeFreePorts(workers)
+                            : std::vector<std::uint16_t>{};
     config::WorkerPeers peers;
     peers.periodMs = period_ms;
     peers.originMs = unixNowMs();
-    for (std::size_t e = 0; e <= racks; ++e) {
+    peers.aggLevels = agg_levels;
+    for (std::size_t e = 0; e < workers; ++e) {
         net::UdpPeer peer;
         peer.host = "127.0.0.1";
         peer.port = port_base == 0
@@ -191,21 +253,100 @@ printPeersTemplate(const config::LoadedScenario &scenario, int argc,
                               port_base + static_cast<int>(e));
         peers.peers[static_cast<net::Transport::Endpoint>(e)] = peer;
     }
+    if (processes > 1) {
+        // Leaves in contiguous chunks; every internal worker lands in
+        // its first child's process (children have lower endpoints, so
+        // a single ascending pass resolves), keeping each aggregator
+        // co-located with part of its own subtree.
+        for (std::size_t e = 0; e < workers; ++e) {
+            const auto ep =
+                static_cast<net::Transport::Endpoint>(e);
+            if (e < racks) {
+                peers.processOf[ep] = static_cast<std::uint32_t>(
+                    e * processes / racks);
+            } else {
+                const auto first_child =
+                    static_cast<net::Transport::Endpoint>(
+                        plan.workers[e].children.front());
+                peers.processOf[ep] = peers.processOf.count(first_child)
+                                          ? peers.processOf[first_child]
+                                          : 0;
+            }
+        }
+    }
     std::printf("%s\n",
                 util::serializeJson(config::workerPeersToJson(peers),
                                     2)
                     .c_str());
-    if (port_base == 0) {
-        std::fprintf(stderr,
-                     "peers template: %zu rack workers (roles 0..%zu) "
-                     "+ room (role %zu), probed ephemeral ports\n",
-                     racks, racks - 1, racks);
-    } else {
-        std::fprintf(stderr,
-                     "peers template: %zu rack workers (roles 0..%zu) "
-                     "+ room (role %zu), ports %d..%d\n",
-                     racks, racks - 1, racks, port_base,
-                     port_base + static_cast<int>(racks));
+    std::fprintf(stderr,
+                 "peers template: %zu leaf workers (roles 0..%zu), %zu "
+                 "aggregators, room (role %zu), %u tiers",
+                 racks, racks - 1, workers - racks - 1,
+                 workers - 1, plan.tiers());
+    if (port_base == 0)
+        std::fprintf(stderr, ", probed ephemeral ports");
+    else
+        std::fprintf(stderr, ", ports %d..%d", port_base,
+                     port_base + static_cast<int>(workers) - 1);
+    if (processes > 1)
+        std::fprintf(stderr, ", %u host processes", processes);
+    std::fprintf(stderr, "\n");
+    return 0;
+}
+
+/** The --process=K path: host every endpoint assigned to process K. */
+int
+runHost(config::LoadedScenario scenario,
+        const config::WorkerPeers &peers, std::uint32_t process,
+        std::uint64_t seed, std::size_t max_periods, int argc,
+        char **argv)
+{
+    rt::WorkerHost host(std::move(scenario), peers, process, seed);
+    g_host = &host;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::string eps;
+    for (const auto ep : host.endpoints())
+        eps += (eps.empty() ? "" : ",") + std::to_string(ep);
+    std::fprintf(stderr,
+                 "host process %u up: %zu endpoints [%s] of %zu "
+                 "workers (%u tiers), period %.0f ms\n",
+                 process, host.endpoints().size(), eps.c_str(),
+                 host.plan().workers.size(), host.plan().tiers(),
+                 peers.periodMs);
+
+    const std::size_t ran = host.runPeriods(max_periods);
+
+    const auto &stats = host.stats();
+    const auto &net = host.transport().stats();
+    std::fprintf(stderr,
+                 "host process %u done: %zu periods, %zu budgets "
+                 "applied, %zu defaults, %zu stale, %zu lost, %zu "
+                 "summaries, %zu sub-budgets applied, %zu missed, "
+                 "%zu catch-ups, %zu orphan + %zu corrupt frames, "
+                 "%zu frames / %zu bytes sent\n",
+                 process, ran, stats.budgetsApplied,
+                 stats.defaultBudgets, stats.staleReuses,
+                 stats.metricsLost, stats.summariesSent,
+                 stats.subBudgetsApplied, stats.subBudgetsMissed,
+                 stats.catchUpPeriods, stats.orphanFrames,
+                 stats.corruptFrames, net.framesSent, net.bytesSent);
+    host.eventLog().printJsonl(std::cout);
+
+    const char *telemetry_dir = flagValue(argc, argv, "telemetry-out");
+    if (telemetry_dir != nullptr) {
+        const std::filesystem::path dir(telemetry_dir);
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            util::fatal("cannot create %s: %s", telemetry_dir,
+                        ec.message().c_str());
+        }
+        std::ofstream events(dir / "events.jsonl");
+        host.eventLog().printJsonl(events);
+        std::fprintf(stderr, "telemetry: wrote events.jsonl to %s\n",
+                     telemetry_dir);
     }
     return 0;
 }
@@ -225,7 +366,9 @@ main(int argc, char **argv)
 
     const char *peers_path = flagValue(argc, argv, "peers");
     const char *role_arg = flagValue(argc, argv, "role");
-    if (peers_path == nullptr || role_arg == nullptr)
+    const char *process_arg = flagValue(argc, argv, "process");
+    if (peers_path == nullptr
+        || (role_arg == nullptr) == (process_arg == nullptr))
         usage();
 
     std::ifstream peers_in(peers_path);
@@ -237,8 +380,6 @@ main(int argc, char **argv)
     const auto peers =
         config::loadWorkerPeers(util::parseJson(peers_text));
 
-    const auto role =
-        static_cast<std::uint32_t>(std::strtoul(role_arg, nullptr, 10));
     const char *seed_arg = flagValue(argc, argv, "seed");
     const std::uint64_t seed =
         seed_arg ? std::strtoull(seed_arg, nullptr, 10) : 1;
@@ -249,6 +390,15 @@ main(int argc, char **argv)
                   std::strtoull(periods_arg, nullptr, 10))
             : static_cast<std::size_t>(-1);
 
+    if (process_arg != nullptr) {
+        return runHost(std::move(scenario), peers,
+                       static_cast<std::uint32_t>(
+                           std::strtoul(process_arg, nullptr, 10)),
+                       seed, max_periods, argc, argv);
+    }
+
+    const auto role =
+        static_cast<std::uint32_t>(std::strtoul(role_arg, nullptr, 10));
     rt::WorkerRuntime runtime(std::move(scenario), peers, role, seed);
     g_runtime = &runtime;
     std::signal(SIGTERM, onSignal);
@@ -273,11 +423,11 @@ main(int argc, char **argv)
         runtime.setTelemetry(&registry);
 
     std::fprintf(stderr,
-                 "worker role %u (%s) up: %zu rack workers, period "
-                 "%.0f ms, udp port %u\n",
-                 role, runtime.isRoom() ? "room" : "rack",
-                 runtime.rackCount(), peers.periodMs,
-                 runtime.udp()->boundPort(role));
+                 "worker role %u (%s) up: %zu rack workers, %u tiers, "
+                 "period %.0f ms, udp port %u\n",
+                 role, runtime.roleName().c_str(),
+                 runtime.rackCount(), runtime.plan().tiers(),
+                 peers.periodMs, runtime.udp()->boundPort(role));
 
     const std::size_t ran = runtime.runPeriods(max_periods);
 
