@@ -62,6 +62,21 @@ elif [ "$tree_rc" -ne 0 ]; then
 fi
 
 echo
+echo "== observability tier: scrape endpoints + capmaestro_top smoke =="
+# Three depth-3 host processes with the HTTP scrape plane on: every
+# /metrics must pass the Prometheus exposition grammar check, every
+# /healthz must be ok, the hop-latency histograms and fleet gauges
+# must be present, and capmaestro_top must render a clean snapshot.
+# Skips itself (exit 77) when CAPMAESTRO_NO_NET=1.
+obs_rc=0
+sh scripts/obs_smoke.sh build || obs_rc=$?
+if [ "$obs_rc" -eq 77 ]; then
+    echo "obs smoke: skipped"
+elif [ "$obs_rc" -ne 0 ]; then
+    exit "$obs_rc"
+fi
+
+echo
 echo "== sanitizers: ASan+UBSan run of the net + udp + tree tiers =="
 # The message-plane tier is labeled "net" in tests/CMakeLists.txt: wire
 # codec fuzzers, transport fault model, distributed protocol, closed

@@ -607,6 +607,18 @@ loadWorkerPeers(const util::Json &doc)
         if (out.supervisor.maxRestarts < 0)
             util::fatal("peers: supervisor.maxRestarts must be >= 0");
     }
+    if (const util::Json *obs = doc.find("observability")) {
+        const double base = obs->numberOr("httpPortBase", 0.0);
+        if (base < 0.0 || base > 65535.0)
+            util::fatal("peers: observability.httpPortBase %.0f out "
+                        "of range", base);
+        out.observability.httpPortBase =
+            static_cast<std::uint16_t>(base);
+        const double keep = obs->numberOr("tracezKeep", 32.0);
+        if (keep < 1.0)
+            util::fatal("peers: observability.tracezKeep must be >= 1");
+        out.observability.tracezKeep = static_cast<std::size_t>(keep);
+    }
     return out;
 }
 
@@ -646,6 +658,14 @@ workerPeersToJson(const WorkerPeers &peers)
     if (!peers.supervisor.stateDir.empty())
         sup["stateDir"] = util::Json(peers.supervisor.stateDir);
     doc["supervisor"] = util::Json(std::move(sup));
+    if (peers.observability.httpPortBase != 0) {
+        util::Json::Object obs;
+        obs["httpPortBase"] = util::Json(
+            static_cast<double>(peers.observability.httpPortBase));
+        obs["tracezKeep"] = util::Json(
+            static_cast<double>(peers.observability.tracezKeep));
+        doc["observability"] = util::Json(std::move(obs));
+    }
     return util::Json(std::move(doc));
 }
 

@@ -167,6 +167,15 @@ util::Json workloadParamsToJson(const workload::Params &params);
  *     "maxRestarts": 0,           // per child; 0 = unlimited
  *     "stateDir": ""              // room checkpoint directory
  *   }
+ *
+ * An optional "observability" object turns on the live scrape plane
+ * (all fields optional; see docs/observability.md):
+ *
+ *   "observability": {
+ *     "httpPortBase": 19970,   // 0 = no endpoints; role/process i
+ *                              // serves 127.0.0.1:base+i
+ *     "tracezKeep": 32         // period traces kept for /tracez
+ *   }
  */
 struct SupervisorConfig
 {
@@ -180,6 +189,19 @@ struct SupervisorConfig
     int maxRestarts = 0;
     /** Where the room worker persists checkpoints ("" = disabled). */
     std::string stateDir;
+};
+
+/** Live scrape-plane tunables (see docs/observability.md). */
+struct ObservabilityConfig
+{
+    /**
+     * First HTTP scrape port: worker role N (or host process K)
+     * serves /metrics, /healthz, and /tracez on 127.0.0.1:base+N
+     * (base+K). 0 disables the endpoints entirely.
+     */
+    std::uint16_t httpPortBase = 0;
+    /** Completed period traces retained for /tracez. */
+    std::size_t tracezKeep = 32;
 };
 
 struct WorkerPeers
@@ -203,6 +225,8 @@ struct WorkerPeers
     std::map<net::Transport::Endpoint, std::uint32_t> processOf;
     /** capmaestro_supervisor tunables (defaults when absent). */
     SupervisorConfig supervisor;
+    /** Scrape-plane tunables (endpoints off when absent). */
+    ObservabilityConfig observability;
 
     /** Host processes implied by processOf (>= 1). */
     std::uint32_t processCount() const;

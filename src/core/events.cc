@@ -29,6 +29,7 @@ eventKindName(EventKind kind)
       case EventKind::CheckpointReplayed:    return "checkpoint-replayed";
       case EventKind::WorkerRehomed:         return "worker-rehomed";
       case EventKind::RehomeDeclined:        return "rehome-declined";
+      case EventKind::SafetyViolation:       return "safety-violation";
     }
     return "unknown";
 }
@@ -48,7 +49,7 @@ eventKindFromName(const std::string &name)
         EventKind::DefaultBudgetApplied, EventKind::WorkerFailover,
         EventKind::SpoFallback,          EventKind::WorkerRestartDetected,
         EventKind::CheckpointReplayed,   EventKind::WorkerRehomed,
-        EventKind::RehomeDeclined,
+        EventKind::RehomeDeclined,       EventKind::SafetyViolation,
     };
     for (const EventKind kind : kAll) {
         if (name == eventKindName(kind))

@@ -49,6 +49,9 @@ enum class EventKind {
     WorkerRehomed,
     /** Rack: a Rehome frame was ignored (local state already intact). */
     RehomeDeclined,
+    /** Online safety audit: committed budgets plus reserved floors
+     *  exceeded the fragment's grant (value = overdraw in watts). */
+    SafetyViolation,
 };
 
 /** Name of an EventKind. */

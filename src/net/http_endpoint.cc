@@ -1,0 +1,226 @@
+#include "net/http_endpoint.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace capmaestro::net {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr std::size_t kMaxConnections = 32;
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+    case 200:
+        return "OK";
+    case 400:
+        return "Bad Request";
+    case 404:
+        return "Not Found";
+    default:
+        return "Error";
+    }
+}
+
+} // namespace
+
+HttpEndpoint::~HttpEndpoint() { close(); }
+
+bool
+HttpEndpoint::listen(std::uint16_t port)
+{
+    close();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr))
+            != 0
+        || ::listen(fd, 16) != 0 || !setNonBlocking(fd)) {
+        ::close(fd);
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len)
+        != 0) {
+        ::close(fd);
+        return false;
+    }
+    listenFd_ = fd;
+    port_ = ntohs(bound.sin_port);
+    return true;
+}
+
+void
+HttpEndpoint::handle(std::string path, Handler handler)
+{
+    for (auto &[p, h] : handlers_) {
+        if (p == path) {
+            h = std::move(handler);
+            return;
+        }
+    }
+    handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+void
+HttpEndpoint::close()
+{
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    for (Connection &conn : conns_) {
+        if (conn.fd >= 0)
+            ::close(conn.fd);
+    }
+    conns_.clear();
+    port_ = 0;
+}
+
+std::string
+HttpEndpoint::renderResponse(const HttpResponse &resp)
+{
+    std::string out;
+    out.reserve(resp.body.size() + 128);
+    out += "HTTP/1.0 ";
+    out += std::to_string(resp.status);
+    out += ' ';
+    out += statusText(resp.status);
+    out += "\r\nContent-Type: ";
+    out += resp.contentType;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(resp.body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += resp.body;
+    return out;
+}
+
+HttpResponse
+HttpEndpoint::dispatch(const std::string &request_line)
+{
+    // "GET <path> HTTP/1.x" — anything else is a 400.
+    if (request_line.rfind("GET ", 0) != 0)
+        return {400, "text/plain; charset=utf-8", "bad request\n"};
+    const std::size_t path_end = request_line.find(' ', 4);
+    if (path_end == std::string::npos)
+        return {400, "text/plain; charset=utf-8", "bad request\n"};
+    std::string path = request_line.substr(4, path_end - 4);
+    // Scrapers sometimes append a query string; dispatch on the path.
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos)
+        path.resize(query);
+    for (const auto &[p, h] : handlers_) {
+        if (p == path)
+            return h();
+    }
+    return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+void
+HttpEndpoint::serviceConnection(Connection &conn)
+{
+    if (!conn.responding) {
+        char buf[2048];
+        while (true) {
+            const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+            if (n > 0) {
+                conn.in.append(buf, static_cast<std::size_t>(n));
+                if (conn.in.size() > kMaxRequestBytes) {
+                    ::close(conn.fd);
+                    conn.fd = -1;
+                    return;
+                }
+                continue;
+            }
+            const bool would_block =
+                n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+            if (!would_block
+                && conn.in.find('\n') == std::string::npos) {
+                // Peer closed (or errored) before a full request.
+                ::close(conn.fd);
+                conn.fd = -1;
+                return;
+            }
+            break;
+        }
+        const std::size_t eol = conn.in.find("\r\n");
+        const std::size_t eol_lf =
+            eol == std::string::npos ? conn.in.find('\n') : eol;
+        if (eol_lf == std::string::npos)
+            return; // request line still incomplete
+        std::string line = conn.in.substr(0, eol_lf);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        conn.out = renderResponse(dispatch(line));
+        conn.responding = true;
+        ++served_;
+    }
+    while (conn.sent < conn.out.size()) {
+        const ssize_t n =
+            ::send(conn.fd, conn.out.data() + conn.sent,
+                   conn.out.size() - conn.sent, MSG_NOSIGNAL);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return; // flush resumes on the next poll
+        if (n <= 0)
+            break; // peer went away; fall through to close
+        conn.sent += static_cast<std::size_t>(n);
+    }
+    ::close(conn.fd);
+    conn.fd = -1;
+}
+
+std::size_t
+HttpEndpoint::poll()
+{
+    if (listenFd_ < 0)
+        return 0;
+    const std::uint64_t before = served_;
+    while (conns_.size() < kMaxConnections) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            break;
+        if (!setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        Connection conn;
+        conn.fd = fd;
+        conns_.push_back(std::move(conn));
+    }
+    for (Connection &conn : conns_)
+        serviceConnection(conn);
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Connection &c) {
+                                    return c.fd < 0;
+                                }),
+                 conns_.end());
+    return static_cast<std::size_t>(served_ - before);
+}
+
+} // namespace capmaestro::net

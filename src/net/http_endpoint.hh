@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal non-blocking HTTP scrape endpoint for worker processes.
+ *
+ * An HttpEndpoint is a single listening TCP socket plus a handful of
+ * per-connection buffers, serviced entirely by poll() calls made from
+ * an existing event loop — the WorkerHost drains it once per poll
+ * slice, the wall-paced WorkerRuntime once per sleep slice. There are
+ * no threads, no blocking calls, and no work at all when the endpoint
+ * was never opened, so the control-plane hot path pays nothing for the
+ * observability plane being compiled in.
+ *
+ * The protocol support is deliberately tiny: GET requests,
+ * HTTP/1.0-style one-response-per-connection ("Connection: close"),
+ * exact-path handler dispatch, 404 for unknown paths and 400 for
+ * anything that is not a well-formed GET. That is all a Prometheus
+ * scraper or capmaestro_top needs. Requests are capped at 8 KiB and
+ * concurrent connections at 32; beyond either bound the connection is
+ * dropped — a scrape endpoint's failure mode is a missed sample, never
+ * back-pressure on the control plane.
+ */
+
+#ifndef CAPMAESTRO_NET_HTTP_ENDPOINT_HH
+#define CAPMAESTRO_NET_HTTP_ENDPOINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace capmaestro::net {
+
+/** One HTTP response: status is implied 200 unless set. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/** Non-blocking scrape endpoint (see file comment for the contract). */
+class HttpEndpoint
+{
+  public:
+    /** Handler for one exact request path. */
+    using Handler = std::function<HttpResponse()>;
+
+    HttpEndpoint() = default;
+    ~HttpEndpoint();
+
+    HttpEndpoint(const HttpEndpoint &) = delete;
+    HttpEndpoint &operator=(const HttpEndpoint &) = delete;
+
+    /**
+     * Bind and listen on 127.0.0.1:@p port (0 = ephemeral). Returns
+     * false (leaving the endpoint closed) when the bind fails; the
+     * caller decides whether that is fatal.
+     */
+    bool listen(std::uint16_t port);
+
+    /** Bound port (0 when not listening). */
+    std::uint16_t port() const { return port_; }
+
+    /** True once listen() succeeded (until close()). */
+    bool listening() const { return listenFd_ >= 0; }
+
+    /** Register @p handler for exact path @p path (e.g. "/metrics"). */
+    void handle(std::string path, Handler handler);
+
+    /**
+     * Service the socket: accept pending connections, read request
+     * bytes, dispatch complete requests, flush response bytes. Every
+     * operation is non-blocking; one call does a bounded amount of
+     * work. Returns the number of requests answered. No-op (and
+     * zero-cost) when not listening.
+     */
+    std::size_t poll();
+
+    /** Close the listener and every connection. */
+    void close();
+
+    /** Requests answered since listen() (all statuses). */
+    std::uint64_t requestsServed() const { return served_; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::string in;
+        std::string out;
+        std::size_t sent = 0;
+        bool responding = false;
+    };
+
+    void serviceConnection(Connection &conn);
+    HttpResponse dispatch(const std::string &request_line);
+    static std::string renderResponse(const HttpResponse &resp);
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::uint64_t served_ = 0;
+    std::vector<std::pair<std::string, Handler>> handlers_;
+    std::vector<Connection> conns_;
+};
+
+} // namespace capmaestro::net
+
+#endif // CAPMAESTRO_NET_HTTP_ENDPOINT_HH

@@ -174,6 +174,14 @@ seal(MsgType type, const FrameMeta &meta,
     w.u32(meta.epoch);
     w.u32(meta.seq);
     w.u16(static_cast<std::uint16_t>(payload.size()));
+    if (meta.trace.has_value()) {
+        w.u8(static_cast<std::uint8_t>(kTraceContextBytes));
+        w.u16(meta.trace->traceId);
+        w.u8(meta.trace->originTier);
+        w.f64(meta.trace->sendMs);
+    } else {
+        w.u8(0);
+    }
     auto &bytes = w.bytes();
     bytes.insert(bytes.end(), payload.begin(), payload.end());
     const std::uint32_t crc = crc32(bytes.data(), bytes.size());
@@ -429,20 +437,34 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
     frame.sender = header.u16();
     frame.epoch = header.u32();
     frame.seq = header.u32();
-    // A hostile length field is rejected here, before the CRC pass and
-    // before any payload parsing allocates from it.
+    // Hostile length fields are rejected here, before the CRC pass and
+    // before any payload parsing allocates from them. The trace
+    // context is all-or-nothing: any length other than absent (0) or
+    // complete (kTraceContextBytes) is malformed.
     const std::size_t payload_size = header.u16();
+    const std::size_t ctx_size = header.u8();
     if (payload_size > kMaxPayloadBytes)
         return std::nullopt;
-    if (bytes.size() != kHeaderSize + payload_size + kCrcSize)
+    if (ctx_size != 0 && ctx_size != kTraceContextBytes)
+        return std::nullopt;
+    if (bytes.size() != kHeaderSize + ctx_size + payload_size + kCrcSize)
         return std::nullopt;
 
-    const std::size_t covered = kHeaderSize + payload_size;
+    const std::size_t covered = kHeaderSize + ctx_size + payload_size;
     Reader crc_reader(bytes.data() + covered, kCrcSize);
     if (crc32(bytes.data(), covered) != crc_reader.u32())
         return std::nullopt;
 
-    Reader p(bytes.data() + kHeaderSize, payload_size);
+    if (ctx_size == kTraceContextBytes) {
+        Reader ctx(bytes.data() + kHeaderSize, ctx_size);
+        TraceContext trace;
+        trace.traceId = ctx.u16();
+        trace.originTier = ctx.u8();
+        trace.sendMs = ctx.f64();
+        frame.trace = trace;
+    }
+
+    Reader p(bytes.data() + kHeaderSize + ctx_size, payload_size);
     switch (raw_type) {
       case static_cast<std::uint8_t>(MsgType::Metrics):
       case static_cast<std::uint8_t>(MsgType::PinnedSummary):

@@ -29,8 +29,11 @@
  *        6     4  epoch: control-period counter, detects orphans
  *       10     4  sequence number (per sender, monotonically rising)
  *       14     2  payload length in bytes
- *       16     N  payload (type-specific, see below)
- *     16+N     4  CRC-32 (IEEE) over bytes [0, 16+N)
+ *       16     1  trace-context length: 0 or kTraceContextBytes (v5)
+ *       17     C  trace context (absent, or traceId u16 | origin
+ *                 tier u8 | send timestamp f64 ms)
+ *     17+C     N  payload (type-specific, see below)
+ *   17+C+N     4  CRC-32 (IEEE) over bytes [0, 17+C+N)
  *
  * All integers are little-endian; watt values are IEEE-754 doubles
  * carried as their 64-bit patterns, so encode/decode round-trips are
@@ -74,17 +77,25 @@ constexpr std::uint16_t kWireMagic = 0xCA9E;
 
 /** Current wire-format version (2 added the §4.4 SPO message pair;
  *  3 added the Checkpoint/Rehome failover pair; 4 added the
- *  Summary/SubBudget aggregator pair for deep control trees).
+ *  Summary/SubBudget aggregator pair for deep control trees; 5 added
+ *  the optional per-hop trace context to the header).
  *  decodeFrame() accepts the current version only: a mixed-version
  *  deployment degrades to the §4.5 conservative floors rather than
  *  misinterpreting frames. */
-constexpr std::uint8_t kWireVersion = 4;
+constexpr std::uint8_t kWireVersion = 5;
 
 /** Sender id the room worker uses (racks use their rack index). */
 constexpr std::uint16_t kRoomSender = 0xFFFF;
 
-/** Fixed frame header size in bytes (before payload and CRC). */
-constexpr std::size_t kHeaderSize = 16;
+/** Fixed frame header size in bytes (before the optional trace
+ *  context, payload, and CRC). */
+constexpr std::size_t kHeaderSize = 17;
+
+/** Encoded size of a present trace context (traceId u16 + origin
+ *  tier u8 + send timestamp f64). The header's trace-context length
+ *  byte may only ever hold 0 or this value; decodeFrame() rejects
+ *  every other length. */
+constexpr std::size_t kTraceContextBytes = 2 + 1 + 8;
 
 /** Trailing checksum size in bytes. */
 constexpr std::size_t kCrcSize = 4;
@@ -193,6 +204,26 @@ struct CheckpointMsg
     std::vector<CheckpointServer> servers;
 };
 
+/**
+ * Optional per-hop trace context carried in the v5 header. Purely
+ * observational: the control protocol never reads it, so a deployment
+ * with tracing on stays bit-identical to one with it off.
+ */
+struct TraceContext
+{
+    /** Trace id shared by every hop of one control period (the low 16
+     *  bits of the epoch, so every process derives it identically). */
+    std::uint16_t traceId = 0;
+    /** Tier of the sending role (0 = leaf, rising toward the root;
+     *  0xFF = the 2-level room). */
+    std::uint8_t originTier = 0;
+    /** Sender's clock at send time, milliseconds. Wall-clock unix time
+     *  on UDP deployments, the shared virtual clock on SimTransport —
+     *  either way the receiver subtracts it from the same clock domain
+     *  for per-hop latency. */
+    double sendMs = 0.0;
+};
+
 /** A decoded frame: header fields plus exactly one payload. */
 struct Frame
 {
@@ -206,14 +237,28 @@ struct Frame
     BudgetMsg budget;
     /** Valid iff type == Checkpoint or Rehome. */
     CheckpointMsg checkpoint;
+    /** Trace context, when the sender stamped one. */
+    std::optional<TraceContext> trace;
 };
 
 /** Header fields common to every encode call. */
 struct FrameMeta
 {
+    FrameMeta() = default;
+
+    FrameMeta(std::uint16_t sender_, std::uint32_t epoch_,
+              std::uint32_t seq_,
+              std::optional<TraceContext> trace_ = std::nullopt)
+        : sender(sender_), epoch(epoch_), seq(seq_),
+          trace(std::move(trace_))
+    {
+    }
+
     std::uint16_t sender = 0;
     std::uint32_t epoch = 0;
     std::uint32_t seq = 0;
+    /** Stamped into the header when present (tracing enabled). */
+    std::optional<TraceContext> trace;
 };
 
 /** Encode a metrics message into a framed byte vector. */

@@ -80,6 +80,7 @@ AggregatorRole::beginEpoch(std::uint32_t epoch)
     epoch_ = epoch;
     fresh_.clear();
     received_.clear();
+    stationHealth_.clear();
     boundary_.assign(system_.trees().size(), {});
     reserved_.assign(system_.trees().size(), 0.0);
 }
@@ -159,6 +160,7 @@ AggregatorRole::closeGather(RuntimeStats &stats, core::EventLog &events)
         if (got != fresh_.end()) {
             boundary_[tree][node] = got->second;
             cache_[key] = {got->second, epoch_, true};
+            stationHealth_[key] = StationHealth::Fresh;
             continue;
         }
         const auto cached = cache_.find(key);
@@ -170,6 +172,7 @@ AggregatorRole::closeGather(RuntimeStats &stats, core::EventLog &events)
             cached != cache_.end() && cached->second.valid
             && age <= static_cast<std::uint32_t>(staleAgeCapPeriods_);
         if (stale_ok) {
+            stationHealth_[key] = StationHealth::Stale;
             boundary_[tree][node] = cached->second.metrics;
             ++stats.staleReuses;
             events.record(static_cast<Seconds>(epoch_),
@@ -180,6 +183,7 @@ AggregatorRole::closeGather(RuntimeStats &stats, core::EventLog &events)
             // The station's subtree is on its own this period: exclude
             // it from the boundary and reserve its floor out of the
             // budget before the split (see the class comment).
+            stationHealth_[key] = StationHealth::Lost;
             ++stats.metricsLost;
             events.record(static_cast<Seconds>(epoch_),
                           core::EventKind::MetricsLost,

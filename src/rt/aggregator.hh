@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -139,6 +140,65 @@ class AggregatorRole
      */
     std::vector<DownMsg> computeDown(RuntimeStats &stats);
 
+    // -------- observability read-outs (valid after closeGather())
+
+    /** §4.5 outcome of one child station's gather this epoch. */
+    enum class StationHealth : std::uint8_t
+    {
+        Fresh,
+        Stale,
+        Lost,
+    };
+
+    /** (tree, child station) -> gather outcome, set by closeGather(). */
+    const std::map<std::pair<std::size_t, topo::NodeId>, StationHealth> &
+    stationHealth() const
+    {
+        return stationHealth_;
+    }
+
+    /** Floor reserved out of this epoch's grant, per tree. */
+    const std::vector<Watts> &reservedFloors() const
+    {
+        return reserved_;
+    }
+
+    /** SubBudget received this epoch for @p tree (nullopt: none yet,
+     *  or this is the root). */
+    std::optional<Watts> receivedBudget(std::size_t tree) const
+    {
+        const auto got = received_.find(tree);
+        if (got == received_.end())
+            return std::nullopt;
+        return got->second;
+    }
+
+    /** Per-tree root budgets (root role; empty elsewhere). */
+    const std::vector<Watts> &rootBudgets() const
+    {
+        return rootBudgets_;
+    }
+
+    /** tree -> this worker's top station. */
+    const std::map<std::size_t, topo::NodeId> &stations() const
+    {
+        return stations_;
+    }
+
+    /** Owning child endpoint per (tree, child station). */
+    const std::map<std::pair<std::size_t, topo::NodeId>, std::uint32_t> &
+    childStations() const
+    {
+        return childOfStation_;
+    }
+
+    /** Human-readable station subject ("tree.node"), as used by the
+     *  event log — shared with the fleet health rollup. */
+    std::string subjectOf(std::size_t tree, topo::NodeId node) const
+    {
+        return stationSubject(tree, node);
+    }
+
   private:
     const topo::PowerSystem &system_;
     bool root_ = false;
@@ -178,6 +238,9 @@ class AggregatorRole
     std::vector<Watts> reserved_;
     /** tree -> SubBudget received this epoch (first copy wins). */
     std::map<std::size_t, Watts> received_;
+    /** Gather outcome per child station, rebuilt by closeGather(). */
+    std::map<std::pair<std::size_t, topo::NodeId>, StationHealth>
+        stationHealth_;
 
     std::string stationSubject(std::size_t tree,
                                topo::NodeId node) const;

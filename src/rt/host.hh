@@ -54,17 +54,23 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "config/loader.hh"
 #include "core/distributed.hh"
 #include "core/events.hh"
 #include "core/tree_plan.hh"
+#include "net/http_endpoint.hh"
 #include "net/udp_transport.hh"
 #include "net/wire.hh"
 #include "rt/aggregator.hh"
 #include "rt/plant.hh"
 #include "rt/stats.hh"
+#include "telemetry/health.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
 
 namespace capmaestro::rt {
 
@@ -134,6 +140,45 @@ class WorkerHost
         return lastEdgeBudgets_;
     }
 
+    /**
+     * Attach telemetry sinks (either may be null). Registers host
+     * counters labeled {process}, per-hop latency histograms labeled
+     * {kind, from_tier, to_tier}, fleet health gauges, and the safety
+     * auditor's counters on @p registry, and records one span trace
+     * per period on @p tracer. Attaching telemetry also turns on wire
+     * trace-context stamping (wire v5) for every frame this host
+     * sends — purely observational: payloads, send counts, and every
+     * allocation decision are bit-identical with tracing off.
+     */
+    void setTelemetry(telemetry::Registry *registry,
+                      telemetry::PeriodTracer *tracer);
+
+    /**
+     * Serve the observability endpoints (/metrics, /healthz, /tracez)
+     * on 127.0.0.1:@p port (0 = ephemeral), polled from the period
+     * loop — no extra thread. Returns the bound port, or 0 when the
+     * bind failed.
+     */
+    std::uint16_t serveHttp(std::uint16_t port);
+
+    /** Bound HTTP port (0 when not serving). */
+    std::uint16_t httpPort() const { return http_.port(); }
+
+    /** /healthz document (process, epoch, stats, fleet, safety). */
+    util::Json healthJson() const;
+
+    /** Health rollup over the child workers this host observes. */
+    const telemetry::FleetHealthRegistry &fleetHealth() const
+    {
+        return fleetHealth_;
+    }
+
+    /** Online budget-conservation auditor over the hosted fragments. */
+    const telemetry::SafetyAuditor &safetyAuditor() const
+    {
+        return auditor_;
+    }
+
   private:
     /** One hosted leaf worker and its per-epoch progress. */
     struct LeafRole
@@ -163,10 +208,31 @@ class WorkerHost
         bool downDone = false;
         /** Highest epoch a parent beacon reported (see LeafRole). */
         std::uint32_t beaconEpoch = 0;
+        /** Open trace spans for this epoch's two phases. */
+        telemetry::PeriodTracer::SpanId gatherSpan =
+            telemetry::PeriodTracer::kNoSpan;
+        telemetry::PeriodTracer::SpanId downSpan =
+            telemetry::PeriodTracer::kNoSpan;
     };
 
     void init(std::uint64_t seed);
     void runPeriod(std::uint32_t epoch);
+    /** Sender-side clock for trace contexts: unix realtime ms on UDP
+     *  (cross-process comparable on one box), the shared virtual
+     *  transport clock otherwise. */
+    double hopClockMs() const;
+    /** Frame meta for a send, trace-stamped when telemetry is on. */
+    net::FrameMeta stampMeta(std::uint16_t sender, std::uint32_t epoch,
+                             std::uint32_t tier);
+    /** Record the receive side of a traced hop (histogram + span). */
+    void recordHop(const net::Frame &frame, std::uint32_t to_tier);
+    /** Audit one fragment's committed budgets against its grant. */
+    void auditDown(AggRole &role, std::uint32_t epoch,
+                   const std::vector<AggregatorRole::DownMsg> &downs);
+    /** Fold this epoch's gather outcomes into the health rollup. */
+    void reportChildHealth(AggRole &role, std::uint32_t epoch);
+    /** Refresh the stats gauge family from stats_. */
+    void publishStats();
     /** Route one delivered frame to its hosted role (or hold it back
      *  for the next epoch). */
     void dispatch(net::Transport::Endpoint to, const net::Frame &frame,
@@ -210,6 +276,28 @@ class WorkerHost
         net::Frame frame;
     };
     std::vector<HeldFrame> holdback_;
+
+    // -------- observability plane (all inert until configured)
+    telemetry::Registry *registry_ = nullptr;
+    telemetry::PeriodTracer *tracer_ = nullptr;
+    /** Stamp wire trace contexts on every send. */
+    bool obs_ = false;
+    telemetry::FleetHealthRegistry fleetHealth_;
+    telemetry::SafetyAuditor auditor_;
+    net::HttpEndpoint http_;
+    telemetry::Counter periodsCounter_;
+    telemetry::Counter catchUpCounter_;
+    /** stat name -> gauge mirroring RuntimeStats, labeled {process}. */
+    std::map<std::string, telemetry::Gauge> statGauges_;
+    /** (kind, from tier, to tier) -> hop latency histogram. */
+    std::map<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>,
+             telemetry::HistogramMetric>
+        hopHist_;
+    /** Hop spans recorded this period (bounded per period). */
+    std::size_t hopSpans_ = 0;
+    /** Host-level span over the leaves' budget-wait phase. */
+    telemetry::PeriodTracer::SpanId leafSpan_ =
+        telemetry::PeriodTracer::kNoSpan;
 };
 
 } // namespace capmaestro::rt

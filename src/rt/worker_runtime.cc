@@ -30,6 +30,43 @@ constexpr double kPollSliceMs = 2.0;
  */
 constexpr double kLockstepWaitMs = 150.0;
 
+/** Hop spans recorded per period before the rest only feed the
+ *  histogram — keeps retransmission storms from bloating traces. */
+constexpr std::size_t kMaxHopSpansPerPeriod = 256;
+
+/** Completed period traces the /tracez endpoint serves. */
+constexpr std::size_t kTracezPeriods = 32;
+
+/** Unix realtime in fractional milliseconds — the cross-process hop
+ *  clock (UdpTransport's nowMs() is per-process-relative). */
+double
+unixRealMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+const char *
+hopKindName(net::MsgType type)
+{
+    switch (type) {
+    case net::MsgType::Metrics:   return "metrics";
+    case net::MsgType::Budget:    return "budget";
+    case net::MsgType::Summary:   return "summary";
+    case net::MsgType::SubBudget: return "sub_budget";
+    case net::MsgType::Heartbeat: return "heartbeat";
+    default:                      return "other";
+    }
+}
+
+/** Tier label for hop metrics (0xFF is the 2-level room's marker). */
+std::string
+tierLabel(std::uint8_t tier)
+{
+    return tier == 0xFF ? "room" : std::to_string(tier);
+}
+
 } // namespace
 
 WorkerRuntime::WorkerRuntime(config::LoadedScenario scenario,
@@ -209,6 +246,10 @@ WorkerRuntime::sleepUntil(std::uint64_t unix_ms)
     for (;;) {
         if (stop_.load(std::memory_order_relaxed))
             return false;
+        // Scrapes are answered from the idle slice between period
+        // windows — the bulk of a wall-paced daemon's time.
+        if (http_.listening())
+            http_.poll();
         const std::uint64_t now = unixNowMs();
         if (now >= unix_ms)
             return true;
@@ -237,6 +278,17 @@ WorkerRuntime::runPeriods(std::size_t max_periods)
                   static_cast<double>(epoch - 1) * peers_.periodMs);
         if (!sleepUntil(start))
             break;
+        if (tracer_) {
+            // Wall mode owns its period traces (lockstep harnesses
+            // drive the tracer themselves). One trace per epoch,
+            // stitchable across processes by {epoch, traceId}.
+            tracer_->noteSimTime(static_cast<double>(simNow_));
+            tracer_->beginPeriod(epoch);
+            tracer_->periodStr("role", roleName());
+            tracer_->periodNum("epoch", static_cast<double>(epoch));
+            tracer_->periodNum("traceId",
+                               static_cast<double>(epoch & 0xFFFF));
+        }
         if (role_ < rackCount_)
             runRackPeriod(epoch);
         else if (room_)
@@ -244,6 +296,10 @@ WorkerRuntime::runPeriods(std::size_t max_periods)
         else
             runAggregatorPeriod(epoch);
         finishPeriod(epoch);
+        if (tracer_)
+            tracer_->endPeriod();
+        if (http_.listening())
+            http_.poll();
         ++done;
     }
     return done;
@@ -255,6 +311,218 @@ WorkerRuntime::finishPeriod(std::uint32_t epoch)
     lastEpoch_ = epoch;
     ++stats_.periodsRun;
     mPeriods_.inc();
+    hopSpans_ = 0;
+}
+
+// ===================================================================
+// Observability plane
+// ===================================================================
+
+double
+WorkerRuntime::hopClockMs() const
+{
+    return ownedTransport_ ? unixRealMs() : transport_->nowMs();
+}
+
+net::FrameMeta
+WorkerRuntime::stampMeta(std::uint16_t sender, std::uint32_t epoch)
+{
+    net::FrameMeta meta(sender, epoch, seq_++);
+    if (obs_) {
+        net::TraceContext ctx;
+        ctx.traceId = static_cast<std::uint16_t>(epoch & 0xFFFF);
+        ctx.originTier =
+            room_ ? std::uint8_t{0xFF}
+                  : static_cast<std::uint8_t>(plan_.workers[role_].tier);
+        ctx.sendMs = hopClockMs();
+        meta.trace = ctx;
+    }
+    return meta;
+}
+
+void
+WorkerRuntime::recordHop(const net::Frame &frame)
+{
+    if (!obs_ || !frame.trace)
+        return;
+    const net::TraceContext &ctx = *frame.trace;
+    const double latency = std::max(0.0, hopClockMs() - ctx.sendMs);
+    const std::pair<std::uint8_t, std::uint8_t> key{
+        static_cast<std::uint8_t>(frame.type), ctx.originTier};
+    auto hist = hopHist_.find(key);
+    if (hist == hopHist_.end() && registry_) {
+        hist =
+            hopHist_
+                .emplace(
+                    key,
+                    registry_->histogram(
+                        "capmaestro_hop_latency_ms", 0.0, 100.0, 64,
+                        {{"role", roleName()},
+                         {"kind", hopKindName(frame.type)},
+                         {"from_tier", tierLabel(ctx.originTier)},
+                         {"to_tier",
+                          tierLabel(room_
+                                        ? std::uint8_t{0xFF}
+                                        : static_cast<std::uint8_t>(
+                                              plan_.workers[role_]
+                                                  .tier))},
+                         {"process", "rt"}},
+                        "Per-hop frame latency from the sender's "
+                        "trace stamp to receipt"))
+                .first;
+    }
+    if (hist != hopHist_.end())
+        hist->second.observe(latency);
+    if (tracer_ && tracer_->inPeriod()
+        && hopSpans_ < kMaxHopSpansPerPeriod) {
+        ++hopSpans_;
+        const auto span = tracer_->begin("hop");
+        tracer_->str(span, "kind", hopKindName(frame.type));
+        tracer_->str(span, "from_tier", tierLabel(ctx.originTier));
+        tracer_->num(span, "latencyMs", latency);
+        tracer_->num(span, "traceId",
+                     static_cast<double>(ctx.traceId));
+        tracer_->end(span);
+    }
+}
+
+void
+WorkerRuntime::auditDowns(
+    std::uint32_t epoch,
+    const std::vector<AggregatorRole::DownMsg> &downs)
+{
+    if (!obs_ || !agg_)
+        return;
+    std::map<std::size_t, Watts> committed;
+    for (const AggregatorRole::DownMsg &down : downs)
+        committed[down.msg.tree] += down.msg.budget;
+    const auto &reserved = agg_->reservedFloors();
+    for (const auto &[tree, top] : agg_->stations()) {
+        (void)top;
+        Watts granted = 0.0;
+        if (agg_->isRoot()) {
+            granted = agg_->rootBudgets()[tree];
+        } else {
+            const auto sub = agg_->receivedBudget(tree);
+            if (!sub)
+                continue; // no grant arrived: nothing was split
+            granted = *sub;
+        }
+        const Watts floor =
+            tree < reserved.size() ? reserved[tree] : 0.0;
+        const std::string subject =
+            scenario_.system->tree(tree).name() + "@" + roleName();
+        if (!auditor_.audit(epoch, subject, granted, committed[tree],
+                            floor)) {
+            events_.record(static_cast<Seconds>(epoch),
+                           core::EventKind::SafetyViolation, subject,
+                           committed[tree] + floor - granted);
+        }
+    }
+}
+
+void
+WorkerRuntime::reportStationHealth(std::uint32_t epoch)
+{
+    if (!obs_ || !agg_)
+        return;
+    // Worst station state per child worker: a child is only as healthy
+    // as its most degraded station.
+    std::map<std::uint32_t, telemetry::UnitHealth> worst;
+    for (const auto &[key, health] : agg_->stationHealth()) {
+        const auto owner = agg_->childStations().find(key);
+        if (owner == agg_->childStations().end())
+            continue;
+        telemetry::UnitHealth uh = telemetry::UnitHealth::Live;
+        if (health == AggregatorRole::StationHealth::Stale)
+            uh = telemetry::UnitHealth::Stale;
+        else if (health == AggregatorRole::StationHealth::Lost)
+            uh = telemetry::UnitHealth::Lost;
+        auto [it, inserted] = worst.emplace(owner->second, uh);
+        if (!inserted && static_cast<std::uint8_t>(uh)
+                             > static_cast<std::uint8_t>(it->second))
+            it->second = uh;
+    }
+    for (const auto &[child, uh] : worst)
+        fleetHealth_.report("w" + std::to_string(child), uh, epoch);
+}
+
+std::uint16_t
+WorkerRuntime::serveHttp(std::uint16_t port)
+{
+    http_.handle("/metrics", [this] {
+        net::HttpResponse resp;
+        resp.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = registry_ ? registry_->renderPrometheus() : "";
+        return resp;
+    });
+    http_.handle("/healthz", [this] {
+        net::HttpResponse resp;
+        resp.contentType = "application/json";
+        resp.body = util::serializeJson(healthJson(), 0) + "\n";
+        return resp;
+    });
+    http_.handle("/tracez", [this] {
+        net::HttpResponse resp;
+        resp.contentType = "application/json";
+        resp.body =
+            (tracer_
+                 ? util::serializeJson(
+                       tracer_->lastJson(kTracezPeriods), 0)
+                 : std::string("[]"))
+            + "\n";
+        return resp;
+    });
+    if (!http_.listen(port))
+        return 0;
+    return http_.port();
+}
+
+util::Json
+WorkerRuntime::healthJson() const
+{
+    util::Json::Object obj;
+    obj.emplace("ok", util::Json(auditor_.violations() == 0));
+    obj.emplace("role", util::Json(roleName()));
+    obj.emplace("tier",
+                util::Json(room_ ? -1.0
+                                 : static_cast<double>(
+                                       plan_.workers[role_].tier)));
+    obj.emplace("lastEpoch",
+                util::Json(static_cast<double>(lastEpoch_)));
+    obj.emplace("periods",
+                util::Json(static_cast<double>(stats_.periodsRun)));
+    util::Json::Object st;
+    st.emplace("budgetsApplied",
+               util::Json(static_cast<double>(stats_.budgetsApplied)));
+    st.emplace("defaultBudgets",
+               util::Json(static_cast<double>(stats_.defaultBudgets)));
+    st.emplace("staleReuses",
+               util::Json(static_cast<double>(stats_.staleReuses)));
+    st.emplace("metricsLost",
+               util::Json(static_cast<double>(stats_.metricsLost)));
+    st.emplace("failovers",
+               util::Json(static_cast<double>(stats_.failovers)));
+    st.emplace("rehomed",
+               util::Json(static_cast<double>(stats_.rehomed)));
+    st.emplace("orphanFrames",
+               util::Json(static_cast<double>(stats_.orphanFrames)));
+    st.emplace("corruptFrames",
+               util::Json(static_cast<double>(stats_.corruptFrames)));
+    st.emplace("retries",
+               util::Json(static_cast<double>(stats_.retries)));
+    st.emplace(
+        "summariesSent",
+        util::Json(static_cast<double>(stats_.summariesSent)));
+    st.emplace(
+        "subBudgetsApplied",
+        util::Json(static_cast<double>(stats_.subBudgetsApplied)));
+    obj.emplace("stats", util::Json(std::move(st)));
+    if (room_ || agg_) {
+        obj.emplace("fleet", fleetHealth_.toJson());
+        obj.emplace("safety", auditor_.toJson());
+    }
+    return util::Json(std::move(obj));
 }
 
 // ===================================================================
@@ -281,20 +549,18 @@ std::vector<std::vector<std::uint8_t>>
 WorkerRuntime::buildUpstreamFrames(std::uint32_t epoch)
 {
     std::vector<std::vector<std::uint8_t>> up;
-    up.push_back(net::encodeHeartbeat(
-        {static_cast<std::uint16_t>(role_), epoch, seq_++}));
+    const auto me = static_cast<std::uint16_t>(role_);
+    up.push_back(net::encodeHeartbeat(stampMeta(me, epoch)));
     for (const auto &[tree, node] : myEdges_) {
         net::MetricsMsg msg;
         msg.tree = static_cast<std::uint16_t>(tree);
         msg.edgeNode = static_cast<std::uint32_t>(node);
         msg.metrics = rack_->computeMetrics(tree, node);
-        up.push_back(net::encodeMetrics(
-            {static_cast<std::uint16_t>(role_), epoch, seq_++}, msg));
+        up.push_back(net::encodeMetrics(stampMeta(me, epoch), msg));
     }
     lastCheckpoint_.rehomeAckEpoch = rehomeAckEpoch_;
-    up.push_back(net::encodeCheckpoint(
-        {static_cast<std::uint16_t>(role_), epoch, seq_++},
-        lastCheckpoint_));
+    up.push_back(
+        net::encodeCheckpoint(stampMeta(me, epoch), lastCheckpoint_));
     ++stats_.checkpointsSent;
     mCheckpoints_.inc();
     return up;
@@ -514,6 +780,7 @@ WorkerRuntime::runRackPeriod(std::uint32_t epoch)
                 ++stats_.corruptFrames;
                 continue;
             }
+            recordHop(*frame);
             processDownFrame(*frame, epoch, applied);
         }
         if (applied.size() == myEdges_.size())
@@ -556,6 +823,7 @@ WorkerRuntime::stepDownstream(std::uint32_t epoch)
                 ++stats_.corruptFrames;
                 continue;
             }
+            recordHop(*frame);
             rehomed |= processDownFrame(*frame, epoch, applied);
         }
         // A Rehome ends the period: the room withholds budgets from a
@@ -674,6 +942,7 @@ WorkerRuntime::roomGather(std::uint32_t epoch, bool paced)
                 ++stats_.orphanFrames;
                 continue;
             }
+            recordHop(*frame);
             if (frame->sender < rackCount_)
                 noteRackFrame(frame->sender, frame->seq, epoch);
             if (frame->type == net::MsgType::Metrics) {
@@ -759,6 +1028,28 @@ WorkerRuntime::roomLiveness(std::uint32_t epoch)
         }
     }
     mDeadRacks_.set(static_cast<double>(deadOrRehomingCount()));
+
+    // ---- fleet rollup: the liveness ladder as operational health.
+    // A Live rack that went unheard this period is riding the stale
+    // cache — visibly degraded even before the failover threshold.
+    if (obs_) {
+        for (std::size_t r = 0; r < rackCount_; ++r) {
+            telemetry::UnitHealth uh = telemetry::UnitHealth::Live;
+            switch (rackHealth_[r].state) {
+            case RackState::Live:
+                uh = heard_.count(r) ? telemetry::UnitHealth::Live
+                                     : telemetry::UnitHealth::Stale;
+                break;
+            case RackState::Dead:
+                uh = telemetry::UnitHealth::Lost;
+                break;
+            case RackState::Rehoming:
+                uh = telemetry::UnitHealth::Rehoming;
+                break;
+            }
+            fleetHealth_.report("rack" + std::to_string(r), uh, epoch);
+        }
+    }
 }
 
 void
@@ -835,6 +1126,7 @@ WorkerRuntime::roomComputeAndSend(std::uint32_t epoch, bool paced)
         std::vector<std::uint8_t> frame;
     };
     std::vector<PendingDown> pending;
+    std::vector<Watts> committed(system.trees().size(), 0.0);
     for (std::size_t t = 0; t < system.trees().size(); ++t) {
         // Reserve the nominal Pcap_min floor of every edge the room is
         // not budgeting this period: that rack may be riding exactly
@@ -854,9 +1146,30 @@ WorkerRuntime::roomComputeAndSend(std::uint32_t epoch, bool paced)
             msg.tree = static_cast<std::uint16_t>(t);
             msg.edgeNode = static_cast<std::uint32_t>(node);
             msg.budget = budget;
+            committed[t] += budget;
             pending.push_back(
                 {rack, net::encodeBudget(
-                           {net::kRoomSender, epoch, seq_++}, msg)});
+                           stampMeta(net::kRoomSender, epoch), msg)});
+        }
+    }
+
+    // ---- online §4.5 audit: what flowed down plus the reserved
+    // floors must never exceed the tree's supply budget. The allocator
+    // enforces this by construction; the auditor re-checks the
+    // committed numbers so a bookkeeping regression surfaces as a
+    // counter, not a breaker overdraw.
+    if (obs_) {
+        for (std::size_t t = 0; t < system.trees().size(); ++t) {
+            const std::string subject = system.tree(t).name() + "@room";
+            if (!auditor_.audit(epoch, subject,
+                                scenario_.rootBudgets[t], committed[t],
+                                reserved[t])) {
+                events_.record(static_cast<Seconds>(epoch),
+                               core::EventKind::SafetyViolation,
+                               subject,
+                               committed[t] + reserved[t]
+                                   - scenario_.rootBudgets[t]);
+            }
         }
     }
 
@@ -873,7 +1186,7 @@ WorkerRuntime::roomComputeAndSend(std::uint32_t epoch, bool paced)
                                            ? stored->second
                                            : net::CheckpointMsg{};
         pending.push_back(
-            {r, net::encodeRehome({net::kRoomSender, epoch, seq_++},
+            {r, net::encodeRehome(stampMeta(net::kRoomSender, epoch),
                                   msg)});
         if (h.rehomeEpoch == 0)
             h.rehomeEpoch = epoch;
@@ -936,6 +1249,7 @@ WorkerRuntime::stepRoom(std::uint32_t epoch)
             tp.advanceBy(kPollSliceMs);
         }
         agg_->closeGather(stats_, events_);
+        reportStationHealth(epoch);
         for (const auto &[child, frame] :
              encodeDownFrames(epoch, agg_->computeDown(stats_))) {
             tp.send(role_, child, frame);
@@ -987,6 +1301,7 @@ WorkerRuntime::aggDrainOnce(bool down_phase)
             ++stats_.corruptFrames;
             continue;
         }
+        recordHop(*frame);
         // Late child retransmissions during the down phase are still
         // absorbed (and deduped) by the gather side rather than counted
         // as orphans; the boundary for this epoch is already closed.
@@ -1002,11 +1317,10 @@ WorkerRuntime::encodeUpFrames(
     std::uint32_t epoch, const std::vector<net::MetricsMsg> &summaries)
 {
     std::vector<std::vector<std::uint8_t>> up;
-    up.push_back(net::encodeHeartbeat(
-        {static_cast<std::uint16_t>(role_), epoch, seq_++}));
+    const auto me = static_cast<std::uint16_t>(role_);
+    up.push_back(net::encodeHeartbeat(stampMeta(me, epoch)));
     for (const auto &msg : summaries) {
-        up.push_back(net::encodeSummary(
-            {static_cast<std::uint16_t>(role_), epoch, seq_++}, msg));
+        up.push_back(net::encodeSummary(stampMeta(me, epoch), msg));
         ++stats_.summariesSent;
     }
     return up;
@@ -1020,14 +1334,15 @@ WorkerRuntime::encodeDownFrames(
     const std::uint16_t sender =
         isRoom() ? net::kRoomSender
                  : static_cast<std::uint16_t>(role_);
+    auditDowns(epoch, downs);
     std::vector<
         std::pair<net::Transport::Endpoint, std::vector<std::uint8_t>>>
         out;
     for (const AggregatorRole::DownMsg &down : downs) {
         auto bytes =
             down.leafChild
-                ? net::encodeBudget({sender, epoch, seq_++}, down.msg)
-                : net::encodeSubBudget({sender, epoch, seq_++},
+                ? net::encodeBudget(stampMeta(sender, epoch), down.msg)
+                : net::encodeSubBudget(stampMeta(sender, epoch),
                                        down.msg);
         out.emplace_back(
             static_cast<net::Transport::Endpoint>(down.child),
@@ -1065,6 +1380,7 @@ WorkerRuntime::runAggregatorPeriod(std::uint32_t epoch)
         tp.advanceBy(std::min(remaining, kPollSliceMs));
     }
     const auto summaries = agg_->closeGather(stats_, events_);
+    reportStationHealth(epoch);
 
     if (!isRoom()) {
         // ---- forward this subtree's summaries, blind bounded
@@ -1147,6 +1463,7 @@ WorkerRuntime::stepAggregatorUp(std::uint32_t epoch)
     for (const auto &frame :
          encodeUpFrames(epoch, agg_->closeGather(stats_, events_)))
         tp.send(role_, parentEp_, frame);
+    reportStationHealth(epoch);
 }
 
 void
@@ -1200,8 +1517,10 @@ WorkerRuntime::setTelemetry(telemetry::Registry *registry,
 {
     registry_ = registry;
     tracer_ = tracer;
+    obs_ = registry_ != nullptr || tracer_ != nullptr;
     transport_->setTelemetry(registry);
     if (!registry_) {
+        hopHist_.clear();
         mPeriods_ = {};
         mCheckpoints_ = {};
         mRehomesSent_ = {};
@@ -1215,7 +1534,13 @@ WorkerRuntime::setTelemetry(telemetry::Registry *registry,
         mDeadRacks_ = {};
         return;
     }
-    const telemetry::Labels ls{{"role", roleName()}};
+    const telemetry::Labels ls{
+        {"role", roleName()},
+        {"tier", std::to_string(plan_.workers[role_].tier)}};
+    if (room_ || agg_) {
+        fleetHealth_.setTelemetry(registry_, ls);
+        auditor_.setTelemetry(registry_, ls);
+    }
     mPeriods_ = registry_->counter(
         "capmaestro_rt_periods_total", ls,
         "Control periods completed by this worker");

@@ -108,13 +108,16 @@
 #include "device/sensor.hh"
 #include "device/server.hh"
 #include "device/workload.hh"
+#include "net/http_endpoint.hh"
 #include "net/udp_transport.hh"
 #include "net/wire.hh"
 #include "rt/aggregator.hh"
 #include "rt/plant.hh"
 #include "rt/stats.hh"
+#include "telemetry/health.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/trace.hh"
+#include "util/json.hh"
 
 namespace capmaestro::rt {
 
@@ -256,11 +259,41 @@ class WorkerRuntime
 
     /**
      * Attach a metrics registry and (optionally) a period tracer.
-     * Counters are labeled {role=rackN|room}; the transport is
-     * instrumented too. nullptr detaches.
+     * Counters are labeled {role=rackN|aggN|room, tier=K}; the
+     * transport is instrumented too. nullptr detaches. With telemetry
+     * attached, outgoing frames carry the v5 trace context and
+     * incoming stamped frames feed per-hop latency histograms — both
+     * purely observational (see net/wire.hh: allocations stay
+     * bit-identical either way).
      */
     void setTelemetry(telemetry::Registry *registry,
                       telemetry::PeriodTracer *tracer = nullptr);
+
+    /**
+     * Open the scrape endpoint on 127.0.0.1:@p port (0 = ephemeral):
+     * /metrics (Prometheus text), /healthz (JSON), /tracez (last
+     * period traces). Serviced from the runtime's own pacing loop — no
+     * threads. Returns the bound port, or 0 when the bind failed.
+     */
+    std::uint16_t serveHttp(std::uint16_t port);
+
+    /** Bound scrape port (0 when serveHttp() was never called). */
+    std::uint16_t httpPort() const { return http_.port(); }
+
+    /** The /healthz document (valid any time). */
+    util::Json healthJson() const;
+
+    /** Room view: per-rack health rollup (empty on non-room roles). */
+    const telemetry::FleetHealthRegistry &fleetHealth() const
+    {
+        return fleetHealth_;
+    }
+
+    /** Online budget-conservation auditor (room and aggregators). */
+    const telemetry::SafetyAuditor &safetyAuditor() const
+    {
+        return auditor_;
+    }
 
     /**
      * Room only: persist the latest checkpoint per rack under
@@ -314,6 +347,25 @@ class WorkerRuntime
     std::uint64_t unixNowMs() const;
     /** Sleep until @p unix_ms, checking stop_; false when stopped. */
     bool sleepUntil(std::uint64_t unix_ms);
+
+    // ---- observability plane (all no-ops until setTelemetry())
+    /** Clock the trace context's send timestamp uses: unix realtime
+     *  over UDP (cross-process), the shared transport clock otherwise
+     *  — either way, sender and receiver of a hop agree. */
+    double hopClockMs() const;
+    /** Frame header for one send; stamps the trace context when
+     *  telemetry is attached. Consumes seq_ identically either way. */
+    net::FrameMeta stampMeta(std::uint16_t sender, std::uint32_t epoch);
+    /** Feed one received frame's trace context (when stamped) into the
+     *  per-hop latency histogram and, inside an open period, a span. */
+    void recordHop(const net::Frame &frame);
+    /** Online §4.5 audit of a deep fragment's split (room/aggregator):
+     *  committed + reserved floors must not exceed the grant. */
+    void auditDowns(std::uint32_t epoch,
+                    const std::vector<AggregatorRole::DownMsg> &downs);
+    /** Roll this period's gather outcomes into the health registry
+     *  (deep roles: worst station state per child worker). */
+    void reportStationHealth(std::uint32_t epoch);
 
     void runRackPeriod(std::uint32_t epoch);
     void runRoomPeriod(std::uint32_t epoch);
@@ -432,6 +484,18 @@ class WorkerRuntime
     // -------- telemetry (null-safe no-op handles when detached)
     telemetry::Registry *registry_ = nullptr;
     telemetry::PeriodTracer *tracer_ = nullptr;
+    /** Telemetry attached: stamp trace contexts, record hops, audit. */
+    bool obs_ = false;
+    net::HttpEndpoint http_;
+    telemetry::FleetHealthRegistry fleetHealth_;
+    telemetry::SafetyAuditor auditor_;
+    /** (msg type, origin tier) -> hop latency histogram, registered
+     *  lazily on the first stamped frame of that shape. */
+    std::map<std::pair<std::uint8_t, std::uint8_t>,
+             telemetry::HistogramMetric>
+        hopHist_;
+    /** Hop spans recorded in the current period (bounded). */
+    std::size_t hopSpans_ = 0;
     telemetry::Counter mPeriods_;
     telemetry::Counter mCheckpoints_;
     telemetry::Counter mRehomesSent_;

@@ -94,8 +94,39 @@ PeriodTracer::endPeriod()
             span.endUs = end_us;
     }
     periods_.push_back(std::move(current_));
+    if (keep_ > 0 && periods_.size() > keep_) {
+        periods_.erase(periods_.begin(),
+                       periods_.begin()
+                           + static_cast<std::ptrdiff_t>(periods_.size()
+                                                         - keep_));
+    }
     current_ = PeriodTrace{};
     open_ = false;
+}
+
+void
+PeriodTracer::setKeep(std::size_t keep)
+{
+    keep_ = keep;
+    if (keep_ > 0 && periods_.size() > keep_) {
+        periods_.erase(periods_.begin(),
+                       periods_.begin()
+                           + static_cast<std::ptrdiff_t>(periods_.size()
+                                                         - keep_));
+    }
+}
+
+util::Json
+PeriodTracer::lastJson(std::size_t n) const
+{
+    const std::size_t count =
+        n == 0 ? periods_.size() : std::min(n, periods_.size());
+    util::Json::Array out;
+    out.reserve(count);
+    for (std::size_t i = periods_.size() - count; i < periods_.size();
+         ++i)
+        out.push_back(toJson(periods_[i]));
+    return util::Json(std::move(out));
 }
 
 PeriodTracer::SpanId

@@ -138,6 +138,25 @@ class PeriodTracer
     /** Drop all completed traces (the open period survives). */
     void clear() { periods_.clear(); }
 
+    /**
+     * Bound the number of completed traces retained (0 = unlimited,
+     * the default). When bounded, endPeriod() drops the oldest
+     * completed trace past the cap — the memory contract that lets an
+     * endless daemon run keep a live /tracez window without growing
+     * without bound.
+     */
+    void setKeep(std::size_t keep);
+
+    /** Retention cap (0 = unlimited). */
+    std::size_t keep() const { return keep_; }
+
+    /**
+     * JSON array of the most recent @p n completed period traces
+     * (all retained traces when @p n is 0), oldest first — the
+     * /tracez endpoint payload.
+     */
+    util::Json lastJson(std::size_t n = 0) const;
+
     /** One compact JSON object per completed period. */
     void writeJsonl(std::ostream &os) const;
 
@@ -149,6 +168,7 @@ class PeriodTracer
 
     std::vector<PeriodTrace> periods_;
     PeriodTrace current_;
+    std::size_t keep_ = 0;
     bool open_ = false;
     double pendingSimTime_ = -1.0;
     std::chrono::steady_clock::time_point start_{};

@@ -431,7 +431,9 @@ TEST(Wire, HostileMetricsCountRejectedBeforeAllocation)
         0x02, 0x00, 0x00, 0x00,      // epoch
         0x03, 0x00, 0x00, 0x00,      // seq
         0x10, 0x00,                  // payload length: 16 bytes
+        0x00,                        // no trace context
     };
+    bytes.reserve(64);
     bytes.assign(header, header + sizeof(header));
     const std::uint8_t payload[] = {
         0x00, 0x00,                  // tree
@@ -611,7 +613,9 @@ namespace {
 std::vector<std::uint8_t>
 rawCheckpointFrame(const std::vector<std::uint8_t> &payload)
 {
-    std::vector<std::uint8_t> bytes = {
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(net::kHeaderSize + payload.size() + net::kCrcSize);
+    bytes = {
         0x9E, 0xCA,                  // magic, little-endian
         net::kWireVersion,
         static_cast<std::uint8_t>(MsgType::Checkpoint),
@@ -620,6 +624,7 @@ rawCheckpointFrame(const std::vector<std::uint8_t> &payload)
         0x03, 0x00, 0x00, 0x00,      // seq
         static_cast<std::uint8_t>(payload.size() & 0xFF),
         static_cast<std::uint8_t>(payload.size() >> 8),
+        0x00,                        // no trace context
     };
     bytes.insert(bytes.end(), payload.begin(), payload.end());
     bytes.resize(bytes.size() + net::kCrcSize, 0);
@@ -956,6 +961,191 @@ TEST(Wire, AggregatorFramesFuzzedDeclaredLengthsNeverCrash)
         if (declared != real_length) {
             EXPECT_FALSE(frame.has_value())
                 << "declared " << declared << " real " << real_length;
+        } else {
+            EXPECT_TRUE(frame.has_value());
+        }
+    }
+}
+
+// ------------------------------------ wire v5 trace context
+
+namespace {
+
+/** A context exercising every field, with a precision-hostile clock. */
+net::TraceContext
+sampleContext()
+{
+    net::TraceContext ctx;
+    ctx.traceId = 0xBEEF;
+    ctx.originTier = 2;
+    ctx.sendMs = 1723111845123.000244140625; // sub-ms unix epoch
+    return ctx;
+}
+
+FrameMeta
+metaWithContext(std::uint16_t sender, std::uint32_t epoch,
+                std::uint32_t seq)
+{
+    FrameMeta meta{sender, epoch, seq};
+    meta.trace = sampleContext();
+    return meta;
+}
+
+} // namespace
+
+TEST(Wire, TraceContextRoundTripIsBitExact)
+{
+    const auto bytes = net::encodeMetrics(metaWithContext(42, 1000, 77),
+                                          sampleMetrics());
+    const auto frame = net::decodeFrame(bytes);
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_TRUE(frame->trace.has_value());
+    EXPECT_EQ(frame->trace->traceId, 0xBEEF);
+    EXPECT_EQ(frame->trace->originTier, 2);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frame->trace->sendMs),
+              std::bit_cast<std::uint64_t>(sampleContext().sendMs));
+    // The payload decodes identically with the context in front of it.
+    expectBitExact(frame->metrics.metrics, sampleMetrics().metrics);
+}
+
+TEST(Wire, TraceContextAbsentByDefault)
+{
+    const auto frame = net::decodeFrame(
+        net::encodeHeartbeat(FrameMeta{7, 3, 1}));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_FALSE(frame->trace.has_value());
+}
+
+TEST(Wire, TraceContextOnEveryMessageType)
+{
+    // Stamping a context must not disturb any payload parser: every
+    // type round-trips with the context present.
+    BudgetMsg budget;
+    budget.tree = 1;
+    budget.edgeNode = 9;
+    budget.budget = 512.25;
+    const std::vector<std::vector<std::uint8_t>> bases = {
+        net::encodeMetrics(metaWithContext(1, 2, 3), sampleMetrics()),
+        net::encodeBudget(metaWithContext(1, 2, 4), budget),
+        net::encodeHeartbeat(metaWithContext(1, 2, 5)),
+        net::encodePinnedSummary(metaWithContext(1, 2, 6),
+                                 sampleMetrics()),
+        net::encodeSpoBudget(metaWithContext(1, 2, 7), budget),
+        net::encodeCheckpoint(metaWithContext(1, 2, 8),
+                              sampleCheckpoint()),
+        net::encodeRehome(metaWithContext(1, 2, 9), sampleCheckpoint()),
+        net::encodeSummary(metaWithContext(1, 2, 10), sampleMetrics()),
+        net::encodeSubBudget(metaWithContext(1, 2, 11), budget),
+    };
+    for (const auto &bytes : bases) {
+        const auto frame = net::decodeFrame(bytes);
+        ASSERT_TRUE(frame.has_value());
+        ASSERT_TRUE(frame->trace.has_value());
+        EXPECT_EQ(frame->trace->traceId, 0xBEEF);
+        EXPECT_EQ(frame->trace->originTier, 2);
+    }
+}
+
+TEST(Wire, HostileTraceContextLengthRejected)
+{
+    // The context-length byte (header offset 16) may only hold 0 or
+    // kTraceContextBytes. Every other value — shorter, longer, or
+    // sentinel-looking — must be rejected on the declared value alone;
+    // the CRC is kept honest so nothing else can be the reason.
+    for (const std::uint8_t hostile :
+         {std::uint8_t{1}, std::uint8_t{5}, std::uint8_t{10},
+          std::uint8_t{12}, std::uint8_t{64}, std::uint8_t{255}}) {
+        auto bytes = net::encodeHeartbeat(metaWithContext(1, 2, 3));
+        bytes[16] = hostile;
+        refreshCrc(bytes);
+        EXPECT_FALSE(net::decodeFrame(bytes).has_value())
+            << "context length " << static_cast<int>(hostile);
+    }
+}
+
+TEST(Wire, TraceContextDeclaredButMissingRejected)
+{
+    // A header promising a context over a frame that carries none is a
+    // length mismatch, not an out-of-bounds read.
+    auto bytes = net::encodeHeartbeat(FrameMeta{1, 2, 3});
+    bytes[16] = static_cast<std::uint8_t>(net::kTraceContextBytes);
+    refreshCrc(bytes);
+    EXPECT_FALSE(net::decodeFrame(bytes).has_value());
+}
+
+TEST(Wire, TraceContextPresentButUndeclaredRejected)
+{
+    // The mirror image: a stamped frame whose length byte is zeroed
+    // makes the context bytes trailing garbage.
+    auto bytes = net::encodeHeartbeat(metaWithContext(1, 2, 3));
+    bytes[16] = 0;
+    refreshCrc(bytes);
+    EXPECT_FALSE(net::decodeFrame(bytes).has_value());
+}
+
+TEST(Wire, V4FramesRejectedByV5Decoder)
+{
+    // A v4 peer's frame has no context-length byte at all: its payload
+    // (or CRC) begins at offset 16. Reconstruct that exact layout and
+    // confirm the v5 decoder rejects it on the version byte — and
+    // still rejects it if the version byte alone is forged to 5, since
+    // the missing byte then shifts every remaining field.
+    BudgetMsg msg;
+    msg.tree = 1;
+    msg.edgeNode = 4;
+    msg.budget = 640.5;
+    auto v5 = net::encodeBudget(FrameMeta{2, 9, 31}, msg);
+    std::vector<std::uint8_t> v4(v5.begin(), v5.end());
+    v4.erase(v4.begin() + 16); // drop the context-length byte
+    v4[2] = 4;                 // claim wire v4
+    refreshCrc(v4);
+    EXPECT_FALSE(net::decodeFrame(v4).has_value());
+
+    auto forged = v4;
+    forged[2] = net::kWireVersion;
+    refreshCrc(forged);
+    EXPECT_FALSE(net::decodeFrame(forged).has_value());
+
+    // And skew in the other direction: a well-formed v5 frame stamped
+    // with the v4 version byte must be rejected by a v5 decoder.
+    auto skewed = v5;
+    skewed[2] = 4;
+    refreshCrc(skewed);
+    EXPECT_FALSE(net::decodeFrame(skewed).has_value());
+}
+
+TEST(Wire, FuzzedTraceContextLengthsNeverCrash)
+{
+    // Randomized context-length hostility over stamped and unstamped
+    // frames of several types: patch the length byte to an arbitrary
+    // value, refresh the CRC, and decode. Only the true length may
+    // decode; nothing may crash or over-read.
+    util::Rng rng(50915);
+    BudgetMsg budget;
+    budget.tree = 3;
+    budget.edgeNode = 2;
+    budget.budget = 99.75;
+    const std::vector<std::vector<std::uint8_t>> bases = {
+        net::encodeMetrics(metaWithContext(1, 2, 3), sampleMetrics()),
+        net::encodeMetrics(FrameMeta{1, 2, 3}, sampleMetrics()),
+        net::encodeSummary(metaWithContext(4, 5, 6), sampleMetrics()),
+        net::encodeSubBudget(FrameMeta{7, 8, 9}, budget),
+        net::encodeHeartbeat(metaWithContext(1, 2, 10)),
+        net::encodeCheckpoint(FrameMeta{1, 2, 11}, sampleCheckpoint()),
+    };
+    for (int trial = 0; trial < 3000; ++trial) {
+        auto bytes = bases[static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(bases.size()) - 1))];
+        const auto real = bytes[16];
+        const auto declared =
+            static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        bytes[16] = declared;
+        refreshCrc(bytes);
+        const auto frame = net::decodeFrame(bytes);
+        if (declared != real) {
+            EXPECT_FALSE(frame.has_value())
+                << "declared " << static_cast<int>(declared) << " real "
+                << static_cast<int>(real);
         } else {
             EXPECT_TRUE(frame.has_value());
         }

@@ -360,7 +360,8 @@ TEST(WorkerRuntime, SoakFiftyKillsUnderLossStaysSafe)
     // The telemetry counters are the external interface the ops story
     // rides on; they must match the in-process stats exactly.
     auto &reg = dep.registry();
-    const telemetry::Labels room_labels{{"role", "room"}};
+    const telemetry::Labels room_labels{{"role", "room"},
+                                        {"tier", "1"}};
     EXPECT_EQ(reg.counter("capmaestro_rt_rehomed_total", room_labels)
                   .value(),
               static_cast<double>(room.rehomed));
@@ -382,7 +383,8 @@ TEST(WorkerRuntime, SoakFiftyKillsUnderLossStaysSafe)
     for (std::size_t r = 0; r < dep.rackCount(); ++r) {
         replayed += reg.counter("capmaestro_rt_rehomes_applied_total",
                                 {{"role",
-                                  "rack" + std::to_string(r)}})
+                                  "rack" + std::to_string(r)},
+                                 {"tier", "0"}})
                         .value();
     }
     EXPECT_GE(replayed, static_cast<double>(room.rehomed));

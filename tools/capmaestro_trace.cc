@@ -1,24 +1,39 @@
 /**
  * @file
  * capmaestro_trace — inspect control-period traces written by
- * `capmaestro_run --telemetry-out` (trace.jsonl).
+ * `capmaestro_run --telemetry-out` or `capmaestro_worker
+ * --telemetry-out` (trace.jsonl).
  *
  * Usage:
  *   capmaestro_trace <trace.jsonl> [options]
+ *   capmaestro_trace --stitch <a/trace.jsonl> <b/trace.jsonl>.. [opts]
  *
  * Options:
- *   --period=N     only the trace of control period N
+ *   --period=N     only the trace of control period N (stitch: epoch N)
  *   --name=SUBSTR  only spans whose name contains SUBSTR
  *   --min-us=X     only spans that lasted at least X microseconds
  *   --summary      one line per period (no spans)
  *
- * Output is one block per period: the period header (index, simulated
- * time, wall-clock milliseconds, period attributes), then the span tree
- * indented by parentage, each span with its duration and attributes.
- * Filters drop spans but keep period headers, so `--name=spo` shows at
- * a glance which periods ran an SPO round.
+ * Single-file output is one block per period: the period header (index,
+ * simulated time, wall-clock milliseconds, period attributes), then the
+ * span tree indented by parentage, each span with its duration and
+ * attributes — including the PR 7/8 distributed spans (gather, down,
+ * leaf_budget_wait, hop) and the catchUp period attribute stamped by
+ * fast-forwarding hosts. Filters drop spans but keep period headers, so
+ * `--name=spo` shows at a glance which periods ran an SPO round.
+ *
+ * --stitch joins the trace files of a multi-process deployment into
+ * one cross-process view per control period: period records from every
+ * file are matched on their epoch/traceId period attributes (stamped
+ * when the deployment runs with telemetry attached; the same 16-bit
+ * traceId travels in the wire-v5 frame headers), processes are listed
+ * bottom-up (racks/leaves, aggregator tiers, root), and each process's
+ * received hops — Metrics, Summary, Budget, SubBudget, heartbeats —
+ * are shown with their measured wire latency so a period's end-to-end
+ * path can be read top to bottom. With --summary, one line per epoch.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,7 +53,7 @@ const char *
 flagValue(int argc, char **argv, const char *name)
 {
     const std::string prefix = std::string("--") + name + "=";
-    for (int i = 2; i < argc; ++i) {
+    for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
             return argv[i] + prefix.size();
     }
@@ -49,7 +64,7 @@ bool
 hasFlag(int argc, char **argv, const char *name)
 {
     const std::string flag = std::string("--") + name;
-    for (int i = 2; i < argc; ++i) {
+    for (int i = 1; i < argc; ++i) {
         if (flag == argv[i])
             return true;
     }
@@ -62,7 +77,9 @@ usage()
     std::fprintf(stderr,
                  "usage: capmaestro_trace <trace.jsonl> [--period=N] "
                  "[--name=SUBSTR]\n"
-                 "                        [--min-us=X] [--summary]\n");
+                 "                        [--min-us=X] [--summary]\n"
+                 "       capmaestro_trace --stitch <trace.jsonl>... "
+                 "[--period=N] [--summary]\n");
     std::exit(2);
 }
 
@@ -123,17 +140,195 @@ printSpanTree(const std::vector<Span> &spans, std::int64_t parent,
     }
 }
 
+/** One received hop group inside a process's period: same wire kind
+ *  and sending tier, latencies aggregated. */
+struct HopGroup
+{
+    std::size_t count = 0;
+    double minMs = 0.0;
+    double maxMs = 0.0;
+    double sumMs = 0.0;
+};
+
+/** One process's view of one control period, as read for --stitch. */
+struct StitchPeriod
+{
+    std::string role;
+    std::string file;
+    long long traceId = -1;
+    double wallMs = 0.0;
+    std::size_t spanCount = 0;
+    bool catchUp = false;
+    /** (hop kind, from_tier) -> latency aggregate. */
+    std::map<std::pair<std::string, std::string>, HopGroup> hops;
+};
+
+/**
+ * Bottom-up ordering for the stitched view: leaves first, aggregator
+ * tiers in ascending height, the root/room last — so a block reads in
+ * the direction the control period flows upward.
+ */
+int
+roleRank(const std::string &role)
+{
+    if (role.rfind("rack", 0) == 0)
+        return 0;
+    if (role.rfind("agg", 0) == 0)
+        return 1 + std::atoi(role.c_str() + 3);
+    return 1000000; // room / root / host rollups
+}
+
+int
+runStitch(const std::vector<std::string> &files, long long only_epoch,
+          bool summary)
+{
+    // epoch -> every process's record of that period, in file order.
+    std::map<long long, std::vector<StitchPeriod>> epochs;
+    for (const std::string &file : files) {
+        std::ifstream in(file);
+        if (!in)
+            util::fatal("cannot read %s", file.c_str());
+        std::string line;
+        for (std::size_t lineno = 1; std::getline(in, line);
+             ++lineno) {
+            if (line.empty())
+                continue;
+            const util::Json trace = util::parseJson(
+                line, file + ":" + std::to_string(lineno));
+            const util::Json *attrs = trace.find("attrs");
+            // The epoch attribute is what lines processes up; without
+            // it (single-process sim traces) fall back to the period
+            // index so stitch still works on one file.
+            const long long epoch = static_cast<long long>(
+                attrs ? attrs->numberOr(
+                            "epoch", trace.numberOr("period", -1))
+                      : trace.numberOr("period", -1));
+            if (only_epoch >= 0 && epoch != only_epoch)
+                continue;
+            StitchPeriod period;
+            period.file = file;
+            period.role = attrs ? attrs->stringOr("role", "?") : "?";
+            period.traceId = static_cast<long long>(
+                attrs ? attrs->numberOr("traceId", -1) : -1);
+            period.catchUp =
+                attrs && attrs->numberOr("catchUp", 0.0) != 0.0;
+            period.wallMs = trace.numberOr("wallMs", 0.0);
+            const util::Json *spans = trace.find("spans");
+            if (spans != nullptr && spans->isArray()) {
+                period.spanCount = spans->asArray().size();
+                for (const util::Json &js : spans->asArray()) {
+                    if (js.stringOr("name", "") != "hop")
+                        continue;
+                    const util::Json *sa = js.find("attrs");
+                    if (sa == nullptr)
+                        continue;
+                    const double ms = sa->numberOr("latencyMs", 0.0);
+                    auto &group =
+                        period.hops[{sa->stringOr("kind", "?"),
+                                     sa->stringOr("from_tier", "?")}];
+                    if (group.count == 0) {
+                        group.minMs = ms;
+                        group.maxMs = ms;
+                    }
+                    ++group.count;
+                    group.minMs = std::min(group.minMs, ms);
+                    group.maxMs = std::max(group.maxMs, ms);
+                    group.sumMs += ms;
+                }
+            }
+            epochs[epoch].push_back(std::move(period));
+        }
+    }
+    if (epochs.empty()) {
+        if (only_epoch >= 0)
+            util::fatal("no trace for epoch %lld in any input",
+                        only_epoch);
+        std::fprintf(stderr, "capmaestro_trace: no periods found\n");
+        return 1;
+    }
+
+    for (auto &[epoch, records] : epochs) {
+        std::stable_sort(records.begin(), records.end(),
+                         [](const StitchPeriod &a,
+                            const StitchPeriod &b) {
+                             return roleRank(a.role)
+                                    < roleRank(b.role);
+                         });
+        long long trace_id = -1;
+        std::size_t hop_count = 0;
+        double worst_hop = 0.0;
+        bool catch_up = false;
+        for (const StitchPeriod &record : records) {
+            if (record.traceId >= 0)
+                trace_id = record.traceId;
+            catch_up = catch_up || record.catchUp;
+            for (const auto &[key, group] : record.hops) {
+                hop_count += group.count;
+                worst_hop = std::max(worst_hop, group.maxMs);
+            }
+        }
+        if (summary) {
+            std::printf("epoch %lld  trace=0x%04llx  processes=%zu  "
+                        "hops=%zu  worst-hop=%.3fms%s\n",
+                        epoch,
+                        static_cast<unsigned long long>(
+                            trace_id >= 0 ? trace_id : 0),
+                        records.size(), hop_count, worst_hop,
+                        catch_up ? "  [catch-up]" : "");
+            continue;
+        }
+        std::printf("epoch %lld  trace=0x%04llx  processes=%zu%s\n",
+                    epoch,
+                    static_cast<unsigned long long>(
+                        trace_id >= 0 ? trace_id : 0),
+                    records.size(),
+                    catch_up ? "  [catch-up]" : "");
+        for (const StitchPeriod &record : records) {
+            std::printf("  %-8s wall=%.3fms  spans=%zu%s\n",
+                        record.role.c_str(), record.wallMs,
+                        record.spanCount,
+                        record.catchUp ? "  [catch-up]" : "");
+            for (const auto &[key, group] : record.hops) {
+                const auto &[kind, from_tier] = key;
+                std::printf("    recv %-10s from tier %-4s x%-3zu  "
+                            "%.3f/%.3f/%.3f ms (min/mean/max)\n",
+                            kind.c_str(), from_tier.c_str(),
+                            group.count, group.minMs,
+                            group.sumMs
+                                / static_cast<double>(group.count),
+                            group.maxMs);
+            }
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2 || argv[1][0] == '-')
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            files.emplace_back(argv[i]);
+    }
+    if (files.empty())
         usage();
 
-    std::ifstream in(argv[1]);
+    const char *period_arg_early = flagValue(argc, argv, "period");
+    if (hasFlag(argc, argv, "stitch")) {
+        return runStitch(
+            files,
+            period_arg_early ? std::atoll(period_arg_early) : -1,
+            hasFlag(argc, argv, "summary"));
+    }
+    if (files.size() != 1)
+        usage();
+
+    std::ifstream in(files[0]);
     if (!in)
-        util::fatal("cannot read %s", argv[1]);
+        util::fatal("cannot read %s", files[0].c_str());
 
     const char *period_arg = flagValue(argc, argv, "period");
     const long long only_period =
@@ -150,7 +345,7 @@ main(int argc, char **argv)
         if (line.empty())
             continue;
         const util::Json trace = util::parseJson(
-            line, std::string(argv[1]) + ":" + std::to_string(lineno));
+            line, files[0] + ":" + std::to_string(lineno));
         const auto period =
             static_cast<long long>(trace.numberOr("period", -1));
         if (only_period >= 0 && period != only_period)
@@ -196,6 +391,6 @@ main(int argc, char **argv)
 
     if (shown == 0 && only_period >= 0)
         util::fatal("no trace for period %lld in %s", only_period,
-                    argv[1]);
+                    files[0].c_str());
     return 0;
 }

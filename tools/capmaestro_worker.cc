@@ -31,10 +31,17 @@
  *                         until SIGTERM/SIGINT)
  *   --seed=N              sensor-noise seed (default 1; give every
  *                         worker the same seed)
- *   --telemetry-out=DIR   write DIR/metrics.prom + DIR/metrics.jsonl
- *                         (transport counters) and DIR/events.jsonl
- *                         (degraded-mode decisions, timestamps are
- *                         epochs) on exit
+ *   --telemetry-out=DIR   write DIR/metrics.prom + DIR/metrics.jsonl,
+ *                         DIR/trace.jsonl (per-period span traces,
+ *                         stitchable across processes with
+ *                         capmaestro_trace --stitch), and
+ *                         DIR/events.jsonl (degraded-mode decisions,
+ *                         timestamps are epochs) on exit
+ *   --http-port=P         serve live /metrics, /healthz, and /tracez
+ *                         on 127.0.0.1:P (0 = ephemeral; the bound
+ *                         port is printed on stderr). Defaults to the
+ *                         peers file's observability.httpPortBase +
+ *                         role (or + process) when that is set
  *   --state-dir=DIR       room only: persist the latest checkpoint
  *                         per rack under DIR (and reload any left by
  *                         a previous room instance), so a
@@ -58,6 +65,9 @@
  *                         each aggregator co-located with its first
  *                         child (subtree locality), written to the
  *                         "processes" map for --process=K hosting
+ *   --http-port-base=B    record observability.httpPortBase=B in the
+ *                         template, turning on the per-process scrape
+ *                         endpoints for every worker started from it
  *
  * On SIGTERM/SIGINT the worker finishes nothing: it exits its period
  * loop at the next stop check (≤ ~25 ms) and reports. Exit status 0
@@ -84,6 +94,7 @@
 #include "rt/host.hh"
 #include "rt/worker_runtime.hh"
 #include "telemetry/registry.hh"
+#include "telemetry/trace.hh"
 #include "util/logging.hh"
 
 using namespace capmaestro;
@@ -133,13 +144,15 @@ usage()
         "usage: capmaestro_worker <config.json> --peers=FILE --role=N\n"
         "                         [--periods=N] [--seed=N]\n"
         "                         [--telemetry-out=DIR] [--state-dir=DIR]\n"
+        "                         [--http-port=P]\n"
         "       capmaestro_worker <config.json> --peers=FILE --process=K\n"
         "                         [--periods=N] [--seed=N]\n"
-        "                         [--telemetry-out=DIR]\n"
+        "                         [--telemetry-out=DIR] [--http-port=P]\n"
         "       capmaestro_worker <config.json> --print-peers-template\n"
         "                         [--port-base=P] [--period-ms=MS]\n"
         "                         [--agg-levels=H1,H2,..] "
-        "[--processes=K]\n");
+        "[--processes=K]\n"
+        "                         [--http-port-base=B]\n");
     std::exit(2);
 }
 
@@ -232,6 +245,8 @@ printPeersTemplate(const config::LoadedScenario &scenario, int argc,
     const char *procs_arg = flagValue(argc, argv, "processes");
     const auto processes = static_cast<std::uint32_t>(
         procs_arg ? std::strtoul(procs_arg, nullptr, 10) : 0);
+    const char *http_arg = flagValue(argc, argv, "http-port-base");
+    const int http_base = http_arg ? std::atoi(http_arg) : 0;
 
     const auto plan =
         core::TreePlan::build(*scenario.system, agg_levels);
@@ -244,6 +259,10 @@ printPeersTemplate(const config::LoadedScenario &scenario, int argc,
     peers.periodMs = period_ms;
     peers.originMs = unixNowMs();
     peers.aggLevels = agg_levels;
+    if (http_base > 0) {
+        peers.observability.httpPortBase =
+            static_cast<std::uint16_t>(http_base);
+    }
     for (std::size_t e = 0; e < workers; ++e) {
         net::UdpPeer peer;
         peer.host = "127.0.0.1";
@@ -294,6 +313,51 @@ printPeersTemplate(const config::LoadedScenario &scenario, int argc,
     return 0;
 }
 
+/**
+ * Resolve the scrape port for one role/process slot: the explicit
+ * --http-port flag wins; otherwise the peer table's
+ * observability.httpPortBase + slot (when the base is set). Returns
+ * -1 when the endpoint stays off.
+ */
+int
+resolveHttpPort(int argc, char **argv,
+                const config::WorkerPeers &peers, std::uint32_t slot)
+{
+    const char *arg = flagValue(argc, argv, "http-port");
+    if (arg != nullptr)
+        return std::atoi(arg);
+    if (peers.observability.httpPortBase != 0)
+        return peers.observability.httpPortBase + static_cast<int>(slot);
+    return -1;
+}
+
+/** Write the on-exit telemetry bundle (--telemetry-out=DIR). */
+void
+writeTelemetryDir(const char *dir_arg,
+                  const telemetry::Registry &registry,
+                  const telemetry::PeriodTracer &tracer,
+                  const core::EventLog &events_log)
+{
+    const std::filesystem::path dir(dir_arg);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        util::fatal("cannot create %s: %s", dir_arg,
+                    ec.message().c_str());
+    std::ofstream prom(dir / "metrics.prom");
+    prom << registry.renderPrometheus();
+    std::ofstream jsonl(dir / "metrics.jsonl");
+    registry.writeJsonl(jsonl);
+    std::ofstream trace(dir / "trace.jsonl");
+    tracer.writeJsonl(trace);
+    std::ofstream events(dir / "events.jsonl");
+    events_log.printJsonl(events);
+    std::fprintf(stderr,
+                 "telemetry: wrote metrics.prom, metrics.jsonl, "
+                 "trace.jsonl, events.jsonl to %s\n",
+                 dir_arg);
+}
+
 /** The --process=K path: host every endpoint assigned to process K. */
 int
 runHost(config::LoadedScenario scenario,
@@ -305,6 +369,30 @@ runHost(config::LoadedScenario scenario,
     g_host = &host;
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
+
+    const char *telemetry_dir = flagValue(argc, argv, "telemetry-out");
+    const int http_port = resolveHttpPort(argc, argv, peers, process);
+    telemetry::Registry registry;
+    telemetry::PeriodTracer tracer;
+    if (telemetry_dir != nullptr || http_port >= 0) {
+        // Endless daemon scrapes ride a bounded trace window; an
+        // on-exit export keeps every period.
+        if (telemetry_dir == nullptr)
+            tracer.setKeep(peers.observability.tracezKeep);
+        host.setTelemetry(&registry, &tracer);
+    }
+    if (http_port >= 0) {
+        const std::uint16_t bound = host.serveHttp(
+            static_cast<std::uint16_t>(http_port));
+        if (bound == 0) {
+            util::fatal("cannot bind http port %d for process %u",
+                        http_port, process);
+        }
+        std::fprintf(stderr,
+                     "host process %u http: 127.0.0.1:%u "
+                     "(/metrics /healthz /tracez)\n",
+                     process, bound);
+    }
 
     std::string eps;
     for (const auto ep : host.endpoints())
@@ -334,20 +422,9 @@ runHost(config::LoadedScenario scenario,
                  stats.corruptFrames, net.framesSent, net.bytesSent);
     host.eventLog().printJsonl(std::cout);
 
-    const char *telemetry_dir = flagValue(argc, argv, "telemetry-out");
-    if (telemetry_dir != nullptr) {
-        const std::filesystem::path dir(telemetry_dir);
-        std::error_code ec;
-        std::filesystem::create_directories(dir, ec);
-        if (ec) {
-            util::fatal("cannot create %s: %s", telemetry_dir,
-                        ec.message().c_str());
-        }
-        std::ofstream events(dir / "events.jsonl");
-        host.eventLog().printJsonl(events);
-        std::fprintf(stderr, "telemetry: wrote events.jsonl to %s\n",
-                     telemetry_dir);
-    }
+    if (telemetry_dir != nullptr)
+        writeTelemetryDir(telemetry_dir, registry, tracer,
+                          host.eventLog());
     return 0;
 }
 
@@ -418,9 +495,26 @@ main(int argc, char **argv)
     }
 
     telemetry::Registry registry;
+    telemetry::PeriodTracer tracer;
     const char *telemetry_dir = flagValue(argc, argv, "telemetry-out");
-    if (telemetry_dir != nullptr)
-        runtime.setTelemetry(&registry);
+    const int http_port = resolveHttpPort(argc, argv, peers, role);
+    if (telemetry_dir != nullptr || http_port >= 0) {
+        if (telemetry_dir == nullptr)
+            tracer.setKeep(peers.observability.tracezKeep);
+        runtime.setTelemetry(&registry, &tracer);
+    }
+    if (http_port >= 0) {
+        const std::uint16_t bound = runtime.serveHttp(
+            static_cast<std::uint16_t>(http_port));
+        if (bound == 0) {
+            util::fatal("cannot bind http port %d for role %u",
+                        http_port, role);
+        }
+        std::fprintf(stderr,
+                     "worker role %u http: 127.0.0.1:%u "
+                     "(/metrics /healthz /tracez)\n",
+                     role, bound);
+    }
 
     std::fprintf(stderr,
                  "worker role %u (%s) up: %zu rack workers, %u tiers, "
@@ -448,24 +542,8 @@ main(int argc, char **argv)
                  stats.rehomed);
     runtime.eventLog().printJsonl(std::cout);
 
-    if (telemetry_dir != nullptr) {
-        const std::filesystem::path dir(telemetry_dir);
-        std::error_code ec;
-        std::filesystem::create_directories(dir, ec);
-        if (ec) {
-            util::fatal("cannot create %s: %s", telemetry_dir,
-                        ec.message().c_str());
-        }
-        std::ofstream prom(dir / "metrics.prom");
-        prom << registry.renderPrometheus();
-        std::ofstream jsonl(dir / "metrics.jsonl");
-        registry.writeJsonl(jsonl);
-        std::ofstream events(dir / "events.jsonl");
-        runtime.eventLog().printJsonl(events);
-        std::fprintf(stderr,
-                     "telemetry: wrote metrics.prom, metrics.jsonl, "
-                     "events.jsonl to %s\n",
-                     telemetry_dir);
-    }
+    if (telemetry_dir != nullptr)
+        writeTelemetryDir(telemetry_dir, registry, tracer,
+                          runtime.eventLog());
     return 0;
 }
