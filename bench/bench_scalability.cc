@@ -36,6 +36,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -594,6 +595,49 @@ utcDate()
 }
 
 /**
+ * One-line drift summary against the trajectory's baseline (first)
+ * entry: the geometric mean of per-op time ratios over the micro
+ * benchmarks both entries share. Printed on every append so a PR's
+ * bench run shows its regression (or win) at a glance without diffing
+ * the JSON by hand.
+ */
+void
+printBaselineDelta(const util::Json::Array &entries,
+                   const std::vector<MicroRun> &micro)
+{
+    if (entries.empty() || micro.empty())
+        return;
+    const auto &base = entries.front();
+    if (!base.isObject() || base.find("micro") == nullptr)
+        return;
+    std::map<std::string, double> baseline;
+    for (const auto &run : base.at("micro").asArray()) {
+        if (run.isObject() && run.find("name") != nullptr
+            && run.find("real_time") != nullptr)
+            baseline[run.at("name").asString()] =
+                run.at("real_time").asNumber();
+    }
+    double log_sum = 0.0;
+    std::size_t shared = 0;
+    for (const auto &run : micro) {
+        const auto it = baseline.find(run.name);
+        if (it == baseline.end() || it->second <= 0.0
+            || run.realTime <= 0.0)
+            continue;
+        log_sum += std::log(run.realTime / it->second);
+        ++shared;
+    }
+    if (shared == 0)
+        return;
+    const double pct =
+        (std::exp(log_sum / static_cast<double>(shared)) - 1.0) * 100.0;
+    std::fprintf(stderr,
+                 "trajectory: %+.1f%% geomean micro per-op time vs "
+                 "baseline %s (%zu shared benchmarks)\n",
+                 pct, base.at("date").asString().c_str(), shared);
+}
+
+/**
  * Append one entry to the trajectory document at @p path. The file is
  * { "benchmark": "scalability", "entries": [ ... ] }; a missing file
  * (or one in the old raw google-benchmark format, which has no
@@ -669,6 +713,7 @@ appendTrajectory(const std::string &path,
     }
     entry["micro"] = util::Json(std::move(micro_arr));
 
+    printBaselineDelta(entries, micro);
     entries.push_back(util::Json(std::move(entry)));
     const std::size_t count = entries.size();
     util::Json::Object doc;

@@ -77,22 +77,43 @@ elif [ "$obs_rc" -ne 0 ]; then
 fi
 
 echo
+echo "== membership tier: live join/drain/rolling-restart smoke =="
+# capmaestro_supervisor boots the deployment with one slot scripted
+# absent, then the script joins it (peers.json edit + SIGHUP, two-
+# phase shadow adopt watched through /healthz generations), drains it
+# (clean self-exit, supervisor retires the slot), and rolls the
+# survivors. capmaestro_top must show the absent slot as a DOWN row
+# before the join and none after. Skips itself (exit 77) when
+# CAPMAESTRO_NO_NET=1.
+membership_rc=0
+sh scripts/membership_smoke.sh build || membership_rc=$?
+if [ "$membership_rc" -eq 77 ]; then
+    echo "membership smoke: skipped"
+elif [ "$membership_rc" -ne 0 ]; then
+    exit "$membership_rc"
+fi
+
+echo
 echo "== sanitizers: ASan+UBSan run of the net + udp + tree tiers =="
 # The message-plane tier is labeled "net" in tests/CMakeLists.txt: wire
 # codec fuzzers, transport fault model, distributed protocol, closed
 # loop, and the SPO equivalence suite. The "udp" tier adds the
 # real-socket backend and the worker runtime, the "failover" tier the
-# checkpoint/re-homing chaos suite plus the supervisor smoke, and the
-# "tree" tier the deep-control-tree equivalence property test (the
-# socket-bound members skip via CAPMAESTRO_NO_NET=1). All are fast
-# enough to run under sanitizers on every check.
+# checkpoint/re-homing chaos suite plus the supervisor smoke, the
+# "tree" tier the deep-control-tree equivalence property test, and the
+# "membership" tier the elasticity table unit suite plus the live
+# join/drain smoke (the socket-bound members skip via
+# CAPMAESTRO_NO_NET=1). All are fast enough to run under sanitizers on
+# every check.
 cmake -B build-asan -S . -DCAPMAESTRO_SANITIZE=ON > /dev/null
 cmake --build build-asan -j --target \
     test_wire test_transport test_distributed test_net_closed_loop \
     test_spo_equivalence test_udp_transport test_udp_closed_loop \
-    test_worker_runtime test_failover test_tree_depth capmaestro_run \
-    capmaestro_worker capmaestro_supervisor
-(cd build-asan && ctest -L 'net|udp|failover|tree' --output-on-failure -j)
+    test_worker_runtime test_failover test_tree_depth test_membership \
+    capmaestro_run capmaestro_worker capmaestro_supervisor \
+    capmaestro_top
+(cd build-asan && \
+    ctest -L 'net|udp|failover|tree|membership' --output-on-failure -j)
 
 echo
 echo "== sanitizers: ASan+UBSan run of the telemetry tier =="

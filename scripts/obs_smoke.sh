@@ -144,8 +144,8 @@ cat "$DIR"/metrics?.prom | grep -q '^capmaestro_fleet_units' \
     || fail "capmaestro_top exited nonzero"
 grep -q 'safety: clean' "$DIR/top.out" \
     || fail "capmaestro_top did not report the auditor clean"
-grep -q 'down (no /healthz)' "$DIR/top.out" \
-    && fail "capmaestro_top saw a down endpoint"
+grep -q 'DOWN' "$DIR/top.out" \
+    && fail "capmaestro_top saw a DOWN endpoint"
 
 stop_all
 

@@ -619,6 +619,31 @@ loadWorkerPeers(const util::Json &doc)
             util::fatal("peers: observability.tracezKeep must be >= 1");
         out.observability.tracezKeep = static_cast<std::size_t>(keep);
     }
+    if (const util::Json *member = doc.find("membership")) {
+        const auto endpoint_list =
+            [&](const char *key) -> std::vector<std::uint32_t> {
+            std::vector<std::uint32_t> list;
+            const util::Json *arr = member->find(key);
+            if (arr == nullptr)
+                return list;
+            if (!arr->isArray())
+                util::fatal("peers: membership.%s must be an array",
+                            key);
+            for (const util::Json &entry : arr->asArray()) {
+                const double v = entry.asNumber();
+                if (v < 0.0
+                    || v >= static_cast<double>(out.peers.size())) {
+                    util::fatal("peers: membership.%s endpoint %.0f "
+                                "outside the peer table", key, v);
+                }
+                list.push_back(static_cast<std::uint32_t>(v));
+            }
+            return list;
+        };
+        out.membership.absent = endpoint_list("absent");
+        out.membership.join = endpoint_list("join");
+        out.membership.drain = endpoint_list("drain");
+    }
     return out;
 }
 
@@ -665,6 +690,29 @@ workerPeersToJson(const WorkerPeers &peers)
         obs["tracezKeep"] = util::Json(
             static_cast<double>(peers.observability.tracezKeep));
         doc["observability"] = util::Json(std::move(obs));
+    }
+    if (!peers.membership.empty()) {
+        const auto endpoint_array =
+            [](const std::vector<std::uint32_t> &list) {
+            util::Json::Array arr;
+            for (const std::uint32_t ep : list)
+                arr.emplace_back(util::Json(static_cast<double>(ep)));
+            return arr;
+        };
+        util::Json::Object member;
+        if (!peers.membership.absent.empty()) {
+            member["absent"] = util::Json(
+                endpoint_array(peers.membership.absent));
+        }
+        if (!peers.membership.join.empty()) {
+            member["join"] = util::Json(
+                endpoint_array(peers.membership.join));
+        }
+        if (!peers.membership.drain.empty()) {
+            member["drain"] = util::Json(
+                endpoint_array(peers.membership.drain));
+        }
+        doc["membership"] = util::Json(std::move(member));
     }
     return util::Json(std::move(doc));
 }

@@ -176,6 +176,23 @@ util::Json workloadParamsToJson(const workload::Params &params);
  *                              // serves 127.0.0.1:base+i
  *     "tracezKeep": 32         // period traces kept for /tracez
  *   }
+ *
+ * An optional "membership" object scripts the elasticity plane (see
+ * docs/distributed.md, "Online elasticity"). The peer table always
+ * lists every slot the deployment may ever hold; membership says which
+ * slots are in play right now:
+ *
+ *   "membership": {
+ *     "absent": [3],           // not yet deployed: root reserves no
+ *                              // floor, supervisor spawns no process
+ *     "join": [2],             // announce Joining (two-phase adopt)
+ *     "drain": [1]             // announce Draining
+ *   }
+ *
+ * The root worker applies join/drain on boot and again on every
+ * SIGHUP-triggered reload of the file; capmaestro_supervisor reloads
+ * the same file on SIGHUP, spawns workers for newly joining slots,
+ * stops reaping retired ones, and forwards the SIGHUP to the root.
  */
 struct SupervisorConfig
 {
@@ -189,6 +206,25 @@ struct SupervisorConfig
     int maxRestarts = 0;
     /** Where the room worker persists checkpoints ("" = disabled). */
     std::string stateDir;
+};
+
+/** Elasticity directives for the root worker and the supervisor. */
+struct MembershipConfig
+{
+    /** Endpoints not yet deployed: the root marks them absent pre-run
+     *  (no floor reservation, no broadcast) and the supervisor spawns
+     *  no process for them. */
+    std::vector<std::uint32_t> absent;
+    /** Endpoints the root announces Joining when (re)loading. */
+    std::vector<std::uint32_t> join;
+    /** Endpoints the root announces Draining when (re)loading. */
+    std::vector<std::uint32_t> drain;
+
+    /** True when every list is empty (static deployment). */
+    bool empty() const
+    {
+        return absent.empty() && join.empty() && drain.empty();
+    }
 };
 
 /** Live scrape-plane tunables (see docs/observability.md). */
@@ -227,6 +263,8 @@ struct WorkerPeers
     SupervisorConfig supervisor;
     /** Scrape-plane tunables (endpoints off when absent). */
     ObservabilityConfig observability;
+    /** Elasticity directives (static deployment when empty). */
+    MembershipConfig membership;
 
     /** Host processes implied by processOf (>= 1). */
     std::uint32_t processCount() const;

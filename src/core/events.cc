@@ -30,6 +30,10 @@ eventKindName(EventKind kind)
       case EventKind::WorkerRehomed:         return "worker-rehomed";
       case EventKind::RehomeDeclined:        return "rehome-declined";
       case EventKind::SafetyViolation:       return "safety-violation";
+      case EventKind::MembershipJoinBegan:   return "membership-join";
+      case EventKind::MembershipDrainBegan:  return "membership-drain";
+      case EventKind::MembershipCommitted:   return "membership-committed";
+      case EventKind::MembershipAdopted:     return "membership-adopted";
     }
     return "unknown";
 }
@@ -50,6 +54,8 @@ eventKindFromName(const std::string &name)
         EventKind::SpoFallback,          EventKind::WorkerRestartDetected,
         EventKind::CheckpointReplayed,   EventKind::WorkerRehomed,
         EventKind::RehomeDeclined,       EventKind::SafetyViolation,
+        EventKind::MembershipJoinBegan,  EventKind::MembershipDrainBegan,
+        EventKind::MembershipCommitted,  EventKind::MembershipAdopted,
     };
     for (const EventKind kind : kAll) {
         if (name == eventKindName(kind))

@@ -52,6 +52,16 @@ enum class EventKind {
     /** Online safety audit: committed budgets plus reserved floors
      *  exceeded the fragment's grant (value = overdraw in watts). */
     SafetyViolation,
+    /** Root: a unit was announced Joining (value = new generation). */
+    MembershipJoinBegan,
+    /** Root: a unit was announced Draining (value = new generation). */
+    MembershipDrainBegan,
+    /** Root: a two-phase transition was committed — Joining became
+     *  Live or Draining became Left (value = new generation). */
+    MembershipCommitted,
+    /** Non-root: a membership snapshot was adopted (value = its
+     *  generation). */
+    MembershipAdopted,
 };
 
 /** Name of an EventKind. */

@@ -1,0 +1,118 @@
+#include "membership/table.hh"
+
+namespace capmaestro::membership {
+
+const char *unitStateName(UnitState state)
+{
+    switch (state) {
+    case UnitState::Joining: return "joining";
+    case UnitState::Live: return "live";
+    case UnitState::Draining: return "draining";
+    case UnitState::Left: return "left";
+    }
+    return "?";
+}
+
+MembershipTable MembershipTable::allLive(std::size_t count)
+{
+    MembershipTable table;
+    for (std::size_t ep = 0; ep < count; ++ep)
+        table.entries_[static_cast<std::uint16_t>(ep)] = UnitEntry{};
+    return table;
+}
+
+UnitState MembershipTable::state(std::uint16_t endpoint) const
+{
+    const auto it = entries_.find(endpoint);
+    return it == entries_.end() ? UnitState::Left : it->second.state;
+}
+
+std::uint32_t MembershipTable::sinceGeneration(std::uint16_t endpoint) const
+{
+    const auto it = entries_.find(endpoint);
+    return it == entries_.end() ? 0 : it->second.sinceGeneration;
+}
+
+std::size_t MembershipTable::countOf(UnitState state) const
+{
+    std::size_t n = 0;
+    for (const auto &[ep, entry] : entries_)
+        if (entry.state == state)
+            ++n;
+    return n;
+}
+
+bool MembershipTable::transitionsPending() const
+{
+    for (const auto &[ep, entry] : entries_)
+        if (entry.state == UnitState::Joining ||
+            entry.state == UnitState::Draining)
+            return true;
+    return false;
+}
+
+bool MembershipTable::beginJoin(std::uint16_t endpoint)
+{
+    const UnitState current = state(endpoint);
+    if (current != UnitState::Left)
+        return false; // already a member (possibly mid-transition)
+    ++generation_;
+    entries_[endpoint] = UnitEntry{UnitState::Joining, generation_};
+    return true;
+}
+
+bool MembershipTable::beginDrain(std::uint16_t endpoint)
+{
+    if (state(endpoint) != UnitState::Live)
+        return false;
+    ++generation_;
+    entries_[endpoint] = UnitEntry{UnitState::Draining, generation_};
+    return true;
+}
+
+bool MembershipTable::commit(std::uint16_t endpoint)
+{
+    const auto it = entries_.find(endpoint);
+    if (it == entries_.end())
+        return false;
+    UnitState next;
+    switch (it->second.state) {
+    case UnitState::Joining: next = UnitState::Live; break;
+    case UnitState::Draining: next = UnitState::Left; break;
+    default: return false;
+    }
+    ++generation_;
+    it->second = UnitEntry{next, generation_};
+    return true;
+}
+
+void MembershipTable::markAbsent(std::uint16_t endpoint)
+{
+    entries_[endpoint] = UnitEntry{UnitState::Left, 0};
+}
+
+bool MembershipTable::applyDelta(const net::MembershipDeltaMsg &msg)
+{
+    if (msg.generation < generation_)
+        return false;
+    generation_ = msg.generation;
+    entries_.clear();
+    for (const auto &row : msg.entries)
+        entries_[row.endpoint] =
+            UnitEntry{static_cast<UnitState>(row.state), row.sinceGeneration};
+    return true;
+}
+
+net::MembershipDeltaMsg MembershipTable::toDelta() const
+{
+    net::MembershipDeltaMsg msg;
+    msg.generation = generation_;
+    msg.entries.reserve(entries_.size());
+    for (const auto &[ep, entry] : entries_) // std::map: ascending endpoints
+        msg.entries.push_back(net::MembershipEntry{
+            ep, static_cast<net::WireUnitState>(entry.state),
+            entry.sinceGeneration});
+    return msg;
+}
+
+} // namespace capmaestro::membership

@@ -26,6 +26,15 @@ constexpr std::size_t kCheckpointServerBytes = 4 + 1 + 3 * 8 + 2;
 /** Bytes of one checkpoint supply slice (3 x f64). */
 constexpr std::size_t kCheckpointSupplyBytes = 3 * 8;
 
+/** Bytes of one membership-table row (endpoint u16 + state u8 +
+ *  sinceGeneration u32). */
+constexpr std::size_t kMembershipEntryBytes = 2 + 1 + 4;
+
+static_assert(kMaxMembershipEntries * kMembershipEntryBytes + 6
+                  <= kMaxPayloadBytes,
+              "the largest legitimate MembershipDelta payload must fit "
+              "under the frame-size cap");
+
 // ------------------------------------------------------------- writing
 
 class Writer
@@ -166,9 +175,22 @@ std::vector<std::uint8_t>
 seal(MsgType type, const FrameMeta &meta,
      const std::vector<std::uint8_t> &payload)
 {
+    if (meta.wireVersion != kWireVersion
+        && meta.wireVersion != kWireCompatVersion) {
+        util::fatal("wire: cannot encode under version %u (current %u, "
+                    "compat %u)",
+                    meta.wireVersion, kWireVersion, kWireCompatVersion);
+    }
+    if (meta.wireVersion < kWireVersion
+        && (type == MsgType::MembershipDelta
+            || type == MsgType::MembershipAck)) {
+        util::fatal("wire: membership types do not exist before "
+                    "version %u",
+                    kWireVersion);
+    }
     Writer w;
     w.u16(kWireMagic);
-    w.u8(kWireVersion);
+    w.u8(meta.wireVersion);
     w.u8(static_cast<std::uint8_t>(type));
     w.u16(meta.sender);
     w.u32(meta.epoch);
@@ -278,6 +300,74 @@ sealCheckpointPayload(MsgType type, const FrameMeta &meta,
                     p.bytes().size(), kMaxPayloadBytes);
     }
     return seal(type, meta, p.bytes());
+}
+
+std::vector<std::uint8_t>
+sealMembershipDeltaPayload(const FrameMeta &meta,
+                           const MembershipDeltaMsg &msg)
+{
+    if (msg.entries.size() > kMaxMembershipEntries) {
+        util::fatal("wire: membership delta with %zu entries exceeds "
+                    "the %zu-entry bound",
+                    msg.entries.size(), kMaxMembershipEntries);
+    }
+    Writer p;
+    p.u32(msg.generation);
+    p.u16(static_cast<std::uint16_t>(msg.entries.size()));
+    for (const MembershipEntry &entry : msg.entries) {
+        p.u16(entry.endpoint);
+        p.u8(static_cast<std::uint8_t>(entry.state));
+        p.u32(entry.sinceGeneration);
+    }
+    return seal(MsgType::MembershipDelta, meta, p.bytes());
+}
+
+/** Parse a MembershipDelta payload; false on malformation. The count
+ *  is validated against the remaining payload before the reserve, so
+ *  hostile lengths cannot drive allocation. */
+bool
+readMembershipDeltaPayload(Reader &p, MembershipDeltaMsg &out)
+{
+    out.generation = p.u32();
+    const std::size_t count = p.u16();
+    if (!p.ok() || count > kMaxMembershipEntries)
+        return false;
+    if (count * kMembershipEntryBytes > p.remaining())
+        return false;
+    out.entries.reserve(count);
+    bool first = true;
+    std::uint16_t prev = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        MembershipEntry entry;
+        entry.endpoint = p.u16();
+        const std::uint8_t state = p.u8();
+        entry.sinceGeneration = p.u32();
+        if (!p.ok() || state > static_cast<std::uint8_t>(
+                           WireUnitState::Left))
+            return false;
+        // Table invariant: strictly ascending endpoints — one row per
+        // unit, and a hostile duplicate cannot shadow an earlier row.
+        if (!first && entry.endpoint <= prev)
+            return false;
+        first = false;
+        prev = entry.endpoint;
+        entry.state = static_cast<WireUnitState>(state);
+        out.entries.push_back(entry);
+    }
+    return true;
+}
+
+bool
+readMembershipAckPayload(Reader &p, MembershipAckMsg &out)
+{
+    out.generation = p.u32();
+    out.endpoint = p.u16();
+    const std::uint8_t state = p.u8();
+    if (!p.ok()
+        || state > static_cast<std::uint8_t>(WireUnitState::Left))
+        return false;
+    out.state = static_cast<WireUnitState>(state);
+    return true;
 }
 
 /** Parse a Metrics-layout payload into @p out; false on malformation. */
@@ -418,6 +508,23 @@ encodeHeartbeat(const FrameMeta &meta)
     return seal(MsgType::Heartbeat, meta, {});
 }
 
+std::vector<std::uint8_t>
+encodeMembershipDelta(const FrameMeta &meta,
+                      const MembershipDeltaMsg &msg)
+{
+    return sealMembershipDeltaPayload(meta, msg);
+}
+
+std::vector<std::uint8_t>
+encodeMembershipAck(const FrameMeta &meta, const MembershipAckMsg &msg)
+{
+    Writer p;
+    p.u32(msg.generation);
+    p.u16(msg.endpoint);
+    p.u8(static_cast<std::uint8_t>(msg.state));
+    return seal(MsgType::MembershipAck, meta, p.bytes());
+}
+
 std::optional<Frame>
 decodeFrame(const std::vector<std::uint8_t> &bytes)
 {
@@ -429,11 +536,13 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
     Reader header(bytes.data(), kHeaderSize);
     if (header.u16() != kWireMagic)
         return std::nullopt;
-    if (header.u8() != kWireVersion)
+    const std::uint8_t version = header.u8();
+    if (version != kWireVersion && version != kWireCompatVersion)
         return std::nullopt;
     const std::uint8_t raw_type = header.u8();
 
     Frame frame;
+    frame.wireVersion = version;
     frame.sender = header.u16();
     frame.epoch = header.u32();
     frame.seq = header.u32();
@@ -489,6 +598,22 @@ decodeFrame(const std::vector<std::uint8_t> &bytes)
         break;
       case static_cast<std::uint8_t>(MsgType::Heartbeat):
         frame.type = MsgType::Heartbeat;
+        break;
+      case static_cast<std::uint8_t>(MsgType::MembershipDelta):
+        // Membership types were introduced with v6: a v5 header
+        // carrying one is a forgery or corruption, not legitimate skew.
+        if (version < kWireVersion)
+            return std::nullopt;
+        frame.type = MsgType::MembershipDelta;
+        if (!readMembershipDeltaPayload(p, frame.membershipDelta))
+            return std::nullopt;
+        break;
+      case static_cast<std::uint8_t>(MsgType::MembershipAck):
+        if (version < kWireVersion)
+            return std::nullopt;
+        frame.type = MsgType::MembershipAck;
+        if (!readMembershipAckPayload(p, frame.membershipAck))
+            return std::nullopt;
         break;
       default:
         return std::nullopt;

@@ -3,7 +3,7 @@
  * Binary wire codec for the distributed control protocol (paper §5,
  * §4.5).
  *
- * The workers of the control tree exchange nine message types:
+ * The workers of the control tree exchange eleven message types:
  * per-priority metric summaries flowing upstream, budgets flowing
  * downstream, heartbeats for worker-failure detection, a second
  * round-trip of pinned-consumption summaries (upstream) and SPO
@@ -58,6 +58,12 @@
  *              supplyCount x (lastBudget f64, share f64, avgAc f64))
  *   Rehome   : same layout as Checkpoint (the room replays its stored
  *              copy into a restarted rack)
+ *   MembershipDelta: generation u32 | count u16 | count x (endpoint
+ *              u16, state u8 [0 joining, 1 live, 2 draining, 3 left],
+ *              sinceGeneration u32) — the root's full membership-table
+ *              snapshot (v6; rejected under a v5 header)
+ *   MembershipAck: generation u32 | endpoint u16 | state u8 — a unit's
+ *              adoption receipt (v6; rejected under a v5 header)
  */
 
 #ifndef CAPMAESTRO_NET_WIRE_HH
@@ -78,11 +84,19 @@ constexpr std::uint16_t kWireMagic = 0xCA9E;
 /** Current wire-format version (2 added the §4.4 SPO message pair;
  *  3 added the Checkpoint/Rehome failover pair; 4 added the
  *  Summary/SubBudget aggregator pair for deep control trees; 5 added
- *  the optional per-hop trace context to the header).
- *  decodeFrame() accepts the current version only: a mixed-version
- *  deployment degrades to the §4.5 conservative floors rather than
+ *  the optional per-hop trace context to the header; 6 added the
+ *  MembershipDelta/MembershipAck elasticity pair).
+ *  decodeFrame() accepts the current version and the one before it
+ *  (kWireCompatVersion), so a rolling upgrade with v5/v6 frame skew is
+ *  a supported steady state — v5 frames carry no membership types, and
+ *  a membership type under a v5 header is rejected as malformed. Any
+ *  other version degrades to the §4.5 conservative floors rather than
  *  misinterpreting frames. */
-constexpr std::uint8_t kWireVersion = 5;
+constexpr std::uint8_t kWireVersion = 6;
+
+/** Oldest wire version decodeFrame() still accepts (rolling-upgrade
+ *  skew window: exactly one version back). */
+constexpr std::uint8_t kWireCompatVersion = kWireVersion - 1;
 
 /** Sender id the room worker uses (racks use their rack index). */
 constexpr std::uint16_t kRoomSender = 0xFFFF;
@@ -134,6 +148,15 @@ enum class MsgType : std::uint8_t {
     /** Budget for an aggregator's top station (parent -> aggregator,
      *  Budget layout). */
     SubBudget = 9,
+    /** Versioned membership-table snapshot (root -> every unit, v6).
+     *  Full-table semantics: applying any delta with a generation at
+     *  or ahead of the receiver's yields a consistent view, so a unit
+     *  that missed one broadcast converges on the next. */
+    MembershipDelta = 10,
+    /** Membership acknowledgement (unit -> root, v6): the highest
+     *  generation the unit has adopted plus its own view of its
+     *  state — the root's commit gate for the two-phase adopt. */
+    MembershipAck = 11,
 };
 
 /** Per-priority metric summary for one edge controller (upstream). */
@@ -204,6 +227,53 @@ struct CheckpointMsg
     std::vector<CheckpointServer> servers;
 };
 
+/** Most units one MembershipDelta may carry (endpoints are u16; the
+ *  bound keeps the largest table under the frame cap). */
+constexpr std::size_t kMaxMembershipEntries = 4096;
+
+/** Per-unit membership state on the wire (see membership/table.hh for
+ *  the state machine; the codec only validates the range). */
+enum class WireUnitState : std::uint8_t {
+    Joining = 0,
+    Live = 1,
+    Draining = 2,
+    Left = 3,
+};
+
+/** One unit's row in a membership-table snapshot. */
+struct MembershipEntry
+{
+    /** The unit's endpoint in the shared peer table. */
+    std::uint16_t endpoint = 0;
+    WireUnitState state = WireUnitState::Live;
+    /** Generation at which the unit entered this state. */
+    std::uint32_t sinceGeneration = 0;
+};
+
+/**
+ * Versioned membership-table snapshot (root -> every unit). Despite
+ * the name, the payload is the full table — full-snapshot semantics
+ * make loss-tolerance trivial (any later delta supersedes a missed
+ * one) and keep the decode path free of ordering state.
+ */
+struct MembershipDeltaMsg
+{
+    /** The table's generation (starts at 1, bumped per commit). */
+    std::uint32_t generation = 0;
+    std::vector<MembershipEntry> entries;
+};
+
+/** Membership acknowledgement (unit -> root). */
+struct MembershipAckMsg
+{
+    /** Highest generation the unit has adopted. */
+    std::uint32_t generation = 0;
+    /** The acking unit's endpoint. */
+    std::uint16_t endpoint = 0;
+    /** The unit's own view of its state at that generation. */
+    WireUnitState state = WireUnitState::Live;
+};
+
 /**
  * Optional per-hop trace context carried in the v5 header. Purely
  * observational: the control protocol never reads it, so a deployment
@@ -237,8 +307,15 @@ struct Frame
     BudgetMsg budget;
     /** Valid iff type == Checkpoint or Rehome. */
     CheckpointMsg checkpoint;
+    /** Valid iff type == MembershipDelta. */
+    MembershipDeltaMsg membershipDelta;
+    /** Valid iff type == MembershipAck. */
+    MembershipAckMsg membershipAck;
     /** Trace context, when the sender stamped one. */
     std::optional<TraceContext> trace;
+    /** Wire version the frame was encoded under (kWireVersion or
+     *  kWireCompatVersion — anything else never decodes). */
+    std::uint8_t wireVersion = kWireVersion;
 };
 
 /** Header fields common to every encode call. */
@@ -259,6 +336,13 @@ struct FrameMeta
     std::uint32_t seq = 0;
     /** Stamped into the header when present (tracing enabled). */
     std::optional<TraceContext> trace;
+    /**
+     * Version byte stamped into the header. Defaults to the current
+     * version; a not-yet-upgraded worker in a rolling upgrade stamps
+     * kWireCompatVersion instead (see WorkerRuntime::setWireVersion).
+     * Membership types cannot be encoded under the compat version.
+     */
+    std::uint8_t wireVersion = kWireVersion;
 };
 
 /** Encode a metrics message into a framed byte vector. */
@@ -301,6 +385,20 @@ std::vector<std::uint8_t> encodeSummary(const FrameMeta &meta,
  *  payload layout). */
 std::vector<std::uint8_t> encodeSubBudget(const FrameMeta &meta,
                                           const BudgetMsg &msg);
+
+/**
+ * Encode a membership-table snapshot (root -> every unit). fatal()s
+ * when the table exceeds the kMaxMembershipEntries sanity bound or
+ * when meta stamps a pre-v6 wire version — membership types do not
+ * exist before v6.
+ */
+std::vector<std::uint8_t>
+encodeMembershipDelta(const FrameMeta &meta,
+                      const MembershipDeltaMsg &msg);
+
+/** Encode a membership acknowledgement (unit -> root, v6 only). */
+std::vector<std::uint8_t>
+encodeMembershipAck(const FrameMeta &meta, const MembershipAckMsg &msg);
 
 /**
  * Decode one frame. Returns nullopt on any malformation (short buffer,

@@ -40,6 +40,12 @@ chaosKindName(ChaosEvent::Kind kind)
         return "partition";
     case ChaosEvent::Kind::Heal:
         return "heal";
+    case ChaosEvent::Kind::Join:
+        return "join";
+    case ChaosEvent::Kind::Drain:
+        return "drain";
+    case ChaosEvent::Kind::Upgrade:
+        return "upgrade";
     }
     return "?";
 }
@@ -147,7 +153,37 @@ LockstepDeployment::makeRuntime(std::uint32_t role)
         makeScenario(), peers_, role, seed_, *chaosNet_,
         Pacing::Lockstep);
     runtime->setTelemetry(&registry_);
+    const auto v = wireVersionOf_.find(role);
+    if (v != wireVersionOf_.end())
+        runtime->setWireVersion(v->second);
     return runtime;
+}
+
+void
+LockstepDeployment::scriptJoiner(std::uint32_t rack)
+{
+    if (nextEpoch_ != 1)
+        util::fatal("chaos: scriptJoiner() must precede run()");
+    if (rack >= rackCount_)
+        util::fatal("chaos: joiner %u is not a rack role", rack);
+    racks_[rack].reset();
+    room_->membershipMarkAbsent(rack);
+}
+
+void
+LockstepDeployment::setWorkerWireVersion(std::uint32_t role,
+                                         std::uint8_t version)
+{
+    wireVersionOf_[role] = version;
+    WorkerRuntime *runtime = nullptr;
+    if (role < rackCount_)
+        runtime = racks_[role].get();
+    else if (role < plan_.rootEndpoint())
+        runtime = aggs_[role - rackCount_].get();
+    else
+        runtime = room_.get();
+    if (runtime != nullptr)
+        runtime->setWireVersion(version);
 }
 
 void
@@ -177,6 +213,22 @@ LockstepDeployment::apply(const ChaosEvent &event, std::uint32_t epoch)
         break;
     case ChaosEvent::Kind::Heal:
         chaosNet_->heal();
+        break;
+    case ChaosEvent::Kind::Join:
+        if (event.a < rackCount_ && !racks_[event.a]) {
+            // The process boots shadowed (empty replica, clamped to
+            // its floor) and the root announces it Joining; the
+            // protocol's own broadcast/ack/commit takes it Live.
+            racks_[event.a] = makeRuntime(event.a);
+            racks_[event.a]->beginShadow();
+            room_->membershipBeginJoin(event.a);
+        }
+        break;
+    case ChaosEvent::Kind::Drain:
+        room_->membershipBeginDrain(event.a);
+        break;
+    case ChaosEvent::Kind::Upgrade:
+        setWorkerWireVersion(event.a, net::kWireVersion);
         break;
     }
 }
@@ -223,6 +275,22 @@ LockstepDeployment::logLine(std::uint32_t epoch) const
             line += 'K';
             continue;
         }
+        // Membership overrides liveness in the state column. On a
+        // static table every rack is Live and none of these fire, so
+        // the line stays bit-identical to a pre-elasticity run.
+        switch (room_->membership().state(static_cast<std::uint16_t>(r))) {
+        case membership::UnitState::Joining:
+            line += 'J';
+            continue;
+        case membership::UnitState::Draining:
+            line += 'G';
+            continue;
+        case membership::UnitState::Left:
+            line += 'X';
+            continue;
+        case membership::UnitState::Live:
+            break;
+        }
         if (plan_.tiers() > 2) {
             // Deep plans keep no room-side liveness; alive is alive.
             line += 'L';
@@ -244,6 +312,11 @@ LockstepDeployment::logLine(std::uint32_t epoch) const
         line += " ag=";
         for (const auto &agg : aggs_)
             line += agg ? 'L' : 'K';
+    }
+    // Generation suffix only when the table ever moved, so static
+    // runs keep their exact pre-elasticity log format.
+    if (room_->membershipGeneration() > 1) {
+        line += " g=" + std::to_string(room_->membershipGeneration());
     }
     const auto &rs = room_->stats();
     line += " fo=" + std::to_string(rs.failovers)
@@ -296,6 +369,18 @@ LockstepDeployment::run(std::uint32_t epochs)
         for (auto &rack : racks_) {
             if (rack)
                 rack->stepDownstream(epoch);
+        }
+
+        // Reap drained racks: a runtime whose replica shows itself
+        // committed Left has already sent the Left-generation ack (the
+        // adopt path acks before this step returns) and applies zero
+        // watts — the process exits. Matches a Wall-paced worker's
+        // requestStop() on the same condition.
+        for (std::size_t r = 0; r < rackCount_; ++r) {
+            if (racks_[r] && racks_[r]->membershipLeft()) {
+                racks_[r].reset();
+                ++report.drained;
+            }
         }
 
         for (auto it = pendingRecovery_.begin();

@@ -55,14 +55,32 @@
 
 namespace capmaestro::rt {
 
-/** One scripted fault, applied at the start of its epoch. */
+/**
+ * One scripted fault or elasticity action, applied at the start of its
+ * epoch. Beyond the fault kinds, the scheduler scripts the membership
+ * plane:
+ *
+ *   Join      — start the rack runtime for a slot scripted absent via
+ *               scriptJoiner() and announce it Joining at the root;
+ *               the two-phase adopt (shadow periods, ack, commit) then
+ *               runs inside the protocol itself
+ *   Drain     — announce a Live rack Draining at the root; once the
+ *               rack acks its committed Left state the harness reaps
+ *               the runtime (the process exits)
+ *   Upgrade   — flip the worker's stamped wire version to the current
+ *               one (a rolling upgrade step at a period boundary; the
+ *               restart-with-new-binary path is Kill + Restart, which
+ *               preserves the slot's scripted version)
+ */
 struct ChaosEvent
 {
-    enum class Kind { Kill, Restart, Partition, Heal };
+    enum class Kind { Kill, Restart, Partition, Heal, Join, Drain,
+                      Upgrade };
 
     std::uint32_t epoch = 0;
     Kind kind = Kind::Kill;
-    /** Rack role (Kill/Restart) or first endpoint (Partition). */
+    /** Rack role (Kill/Restart/Join/Drain), worker endpoint (Upgrade),
+     *  or first endpoint (Partition). */
     std::uint32_t a = 0;
     /** Second endpoint (Partition only). */
     std::uint32_t b = 0;
@@ -127,6 +145,8 @@ struct ChaosRunReport
     std::uint32_t maxRecoveryPeriods = 0;
     /** Restarts whose promotion had not completed by the end. */
     std::size_t unrecovered = 0;
+    /** Drained racks reaped after acking their committed Left state. */
+    std::size_t drained = 0;
     /**
      * One deterministic line per epoch: states, applied edge budgets
      * as raw IEEE-754 bit patterns, cumulative failover counters.
@@ -163,6 +183,23 @@ class LockstepDeployment
 
     /** The fault script (seeded from the deployment seed). */
     ChaosScheduler &chaos() { return chaos_; }
+
+    /**
+     * Script rack @p rack as a late joiner: its runtime is not
+     * constructed and the root marks the slot absent (no floor
+     * reservation, no broadcast). A Join event later brings it in
+     * through the two-phase adopt. Pre-run configuration only.
+     */
+    void scriptJoiner(std::uint32_t rack);
+
+    /**
+     * Stamp worker @p role's frames with wire version @p version
+     * (kWireVersion or kWireCompatVersion) — the not-yet-upgraded
+     * worker of a rolling upgrade. Applies to the live runtime and
+     * sticks across Kill/Restart; an Upgrade event flips the slot
+     * back to the current version.
+     */
+    void setWorkerWireVersion(std::uint32_t role, std::uint8_t version);
 
     /**
      * Run @p epochs control periods from where the previous run()
@@ -227,6 +264,8 @@ class LockstepDeployment
     std::uint32_t nextEpoch_ = 1;
     /** Rack -> epoch of its pending Restart (recovery tracking). */
     std::map<std::size_t, std::uint32_t> pendingRecovery_;
+    /** Role -> stamped wire version (absent = current). */
+    std::map<std::uint32_t, std::uint8_t> wireVersionOf_;
 };
 
 } // namespace capmaestro::rt

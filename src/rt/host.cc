@@ -99,6 +99,7 @@ WorkerHost::stampMeta(std::uint16_t sender, std::uint32_t epoch,
                       std::uint32_t tier)
 {
     net::FrameMeta meta(sender, epoch, seq_++);
+    meta.wireVersion = wireVersion_;
     if (obs_) {
         net::TraceContext trace;
         trace.traceId = static_cast<std::uint16_t>(epoch & 0xFFFF);
@@ -334,6 +335,23 @@ WorkerHost::healthJson() const
     stats.emplace("catchUpPeriods", util::Json(static_cast<double>(
                                         stats_.catchUpPeriods)));
 
+    util::Json::Object member;
+    member.emplace("generation",
+                   util::Json(static_cast<double>(
+                       membership_.generation())));
+    member.emplace("joining",
+                   util::Json(static_cast<double>(membership_.countOf(
+                       membership::UnitState::Joining))));
+    member.emplace("draining",
+                   util::Json(static_cast<double>(membership_.countOf(
+                       membership::UnitState::Draining))));
+    member.emplace("left",
+                   util::Json(static_cast<double>(membership_.countOf(
+                       membership::UnitState::Left))));
+    member.emplace("shadowPeriods",
+                   util::Json(static_cast<double>(
+                       stats_.shadowPeriods)));
+
     util::Json::Object out;
     out.emplace("ok", util::Json(auditor_.violations() == 0));
     out.emplace("process",
@@ -348,7 +366,11 @@ WorkerHost::healthJson() const
                 util::Json(static_cast<double>(leaves_.size())));
     out.emplace("aggregators",
                 util::Json(static_cast<double>(aggs_.size())));
+    out.emplace("generation",
+                util::Json(static_cast<double>(
+                    membership_.generation())));
     out.emplace("stats", util::Json(std::move(stats)));
+    out.emplace("membership", util::Json(std::move(member)));
     out.emplace("fleet", fleetHealth_.toJson());
     out.emplace("safety", auditor_.toJson());
     return util::Json(std::move(out));
@@ -374,6 +396,11 @@ WorkerHost::init(std::uint64_t seed)
     locals_ = peers_.endpointsOf(process_);
     if (locals_.empty())
         util::fatal("rt: process %u hosts no endpoints", process_);
+
+    // Every deployment boots with the static table (all Live at
+    // generation 1); a broadcast from an elastic root supersedes it.
+    membership_ = membership::MembershipTable::allLive(
+        plan_.workers.size());
 
     nominalFloor_ = nominalEdgeFloors(system, scenario_);
     const auto partition =
@@ -436,8 +463,10 @@ WorkerHost::leafApplyBudget(LeafRole &leaf, const net::Frame &frame)
     }
     if (leaf.applied.count({tree, node}))
         return; // duplicate delivery
-    leaf.rack->applyBudget(tree, node, frame.budget.budget);
-    lastEdgeBudgets_[{tree, node}] = frame.budget.budget;
+    const Watts granted =
+        membershipClamp(leaf.ep, tree, node, frame.budget.budget);
+    leaf.rack->applyBudget(tree, node, granted);
+    lastEdgeBudgets_[{tree, node}] = granted;
     leaf.applied.insert({tree, node});
     ++stats_.budgetsApplied;
 }
@@ -450,6 +479,19 @@ WorkerHost::dispatch(net::Transport::Endpoint to,
         maxSeenEpoch_ = frame.epoch;
     if (obs_)
         recordHop(frame, plan_.workers[to].tier);
+    // The membership plane is epoch-free (the table generation is its
+    // clock), so its frames bypass holdback and every epoch check.
+    // Host mode is replica-only: deltas are adopted and acked; acks
+    // have no consumer here (elasticity is driven by a WorkerRuntime
+    // deep-root, never a hosted root — see host.hh).
+    if (frame.type == net::MsgType::MembershipDelta) {
+        adoptMembership(to, frame, epoch);
+        return;
+    }
+    if (frame.type == net::MsgType::MembershipAck) {
+        ++stats_.orphanFrames;
+        return;
+    }
     // Heartbeats are pure epoch beacons: a parent pings the children
     // it closed a gather without, so a worker whose parent has moved
     // on — one lost frame, or a whole process behind the fleet —
@@ -504,15 +546,79 @@ WorkerHost::dispatch(net::Transport::Endpoint to,
 }
 
 void
+WorkerHost::setWireVersion(std::uint8_t v)
+{
+    if (v != net::kWireVersion && v != net::kWireCompatVersion) {
+        util::fatal("host: wire version %u is neither current (%u) nor "
+                    "compat (%u)",
+                    v, net::kWireVersion, net::kWireCompatVersion);
+    }
+    wireVersion_ = v;
+}
+
+void
+WorkerHost::adoptMembership(net::Transport::Endpoint to,
+                            const net::Frame &frame, std::uint32_t epoch)
+{
+    if (frame.sender != net::kRoomSender) {
+        ++stats_.orphanFrames;
+        return;
+    }
+    if (membership_.applyDelta(frame.membershipDelta)) {
+        ++stats_.membershipDeltasApplied;
+        events_.record(static_cast<Seconds>(epoch),
+                       core::EventKind::MembershipAdopted,
+                       "process." + std::to_string(process_),
+                       static_cast<double>(membership_.generation()));
+    }
+    // Ack even a stale or idempotent re-broadcast: the ack is what
+    // stops the root's per-period re-send. A compat-stamped host
+    // cannot encode membership frames; the root keeps broadcasting to
+    // it until the rolling upgrade flips the version.
+    if (wireVersion_ != net::kWireVersion)
+        return;
+    const auto me = static_cast<std::uint16_t>(to);
+    net::MembershipAckMsg ack;
+    ack.generation = membership_.generation();
+    ack.endpoint = me;
+    ack.state = static_cast<net::WireUnitState>(membership_.state(me));
+    transport_->send(to, plan_.rootEndpoint(),
+                     net::encodeMembershipAck(
+                         stampMeta(me, epoch, plan_.workers[to].tier),
+                         ack));
+    ++stats_.membershipAcksSent;
+}
+
+Watts
+WorkerHost::membershipClamp(net::Transport::Endpoint ep,
+                            std::size_t tree, topo::NodeId node,
+                            Watts watts) const
+{
+    switch (membership_.state(static_cast<std::uint16_t>(ep))) {
+    case membership::UnitState::Live:
+        return watts;
+    case membership::UnitState::Left:
+        // The root released (or will release) this unit's floor on the
+        // strength of its Left ack; drawing anything would overdraw.
+        return 0.0;
+    default:
+        // Joining/Draining shadow: the unit's nominal floor is
+        // reserved root-side, so the floor is all it may draw.
+        return std::min(watts, nominalFloor_.at({tree, node}));
+    }
+}
+
+void
 WorkerHost::closeLeaf(LeafRole &leaf, std::uint32_t epoch)
 {
     const auto &system = *scenario_.system;
     for (const auto &[tree, node] : leaf.edges) {
         if (leaf.applied.count({tree, node}))
             continue;
-        const Watts fallback =
+        const Watts fallback = membershipClamp(
+            leaf.ep, tree, node,
             std::min(leaf.rack->defaultBudget(tree, node),
-                     nominalFloor_.at({tree, node}));
+                     nominalFloor_.at({tree, node})));
         leaf.rack->applyBudget(tree, node, fallback);
         lastEdgeBudgets_[{tree, node}] = fallback;
         ++stats_.defaultBudgets;
@@ -522,6 +628,8 @@ WorkerHost::closeLeaf(LeafRole &leaf, std::uint32_t epoch)
                            + system.tree(tree).node(node).name,
                        fallback);
     }
+    if (!membership_.isLive(static_cast<std::uint16_t>(leaf.ep)))
+        ++stats_.shadowPeriods;
     applyPlantBudgets(leaf.plants, *leaf.rack);
     leaf.done = true;
 }

@@ -62,6 +62,7 @@
 #include "core/distributed.hh"
 #include "core/events.hh"
 #include "core/tree_plan.hh"
+#include "membership/table.hh"
 #include "net/http_endpoint.hh"
 #include "net/udp_transport.hh"
 #include "net/wire.hh"
@@ -179,6 +180,38 @@ class WorkerHost
         return auditor_;
     }
 
+    /**
+     * The host's shared membership replica. Host mode is replica-only:
+     * it adopts MembershipDelta broadcasts (acking from each addressed
+     * hosted endpoint) and honors them — a Joining or Draining hosted
+     * leaf clamps to its nominal floor, a Left one applies zero — but
+     * never originates transitions. Elasticity in a deep deployment is
+     * driven by the root, which runs as a WorkerRuntime deep-root role
+     * (see worker_runtime.hh, "Membership / elasticity plane").
+     */
+    const membership::MembershipTable &membership() const
+    {
+        return membership_;
+    }
+
+    /** The replica's membership generation (1 = static deployment). */
+    std::uint32_t membershipGeneration() const
+    {
+        return membership_.generation();
+    }
+
+    /**
+     * Stamp every outgoing frame with wire version @p v (kWireVersion
+     * or kWireCompatVersion) — the not-yet-upgraded half of a rolling
+     * upgrade. A compat-stamped host cannot send MembershipAck, so the
+     * root keeps re-broadcasting to it until the upgrade lands;
+     * upgrade-then-join is the supported order.
+     */
+    void setWireVersion(std::uint8_t v);
+
+    /** Wire version this host stamps on sends. */
+    std::uint8_t wireVersion() const { return wireVersion_; }
+
   private:
     /** One hosted leaf worker and its per-epoch progress. */
     struct LeafRole
@@ -237,6 +270,15 @@ class WorkerHost
      *  for the next epoch). */
     void dispatch(net::Transport::Endpoint to, const net::Frame &frame,
                   std::uint32_t epoch);
+    /** Adopt a membership broadcast into the shared replica and ack it
+     *  from the addressed hosted endpoint (epoch-free plane). */
+    void adoptMembership(net::Transport::Endpoint to,
+                         const net::Frame &frame, std::uint32_t epoch);
+    /** Clamp @p watts per @p ep's membership state: untouched when
+     *  Live, floored to Pcap_min while Joining/Draining (shadow), zero
+     *  once Left. */
+    Watts membershipClamp(net::Transport::Endpoint ep, std::size_t tree,
+                          topo::NodeId node, Watts watts) const;
     void leafApplyBudget(LeafRole &leaf, const net::Frame &frame);
     void closeLeaf(LeafRole &leaf, std::uint32_t epoch);
     void aggSendUp(AggRole &role, std::uint32_t epoch);
@@ -258,6 +300,10 @@ class WorkerHost
     std::uint32_t maxSeenEpoch_ = 0;
     std::uint32_t seq_ = 0;
     Seconds simNow_ = 0;
+    /** Version byte stamped on every send (rolling-upgrade knob). */
+    std::uint8_t wireVersion_ = net::kWireVersion;
+    /** Shared membership replica over every hosted endpoint. */
+    membership::MembershipTable membership_;
 
     std::vector<net::Transport::Endpoint> locals_;
     std::vector<LeafRole> leaves_;

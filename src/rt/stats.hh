@@ -58,6 +58,17 @@ struct RuntimeStats
     /** Aggregator: trees whose SubBudget never arrived (nothing was
      *  sent down; the subtree rides its Pcap_min defaults). */
     std::size_t subBudgetsMissed = 0;
+    /** Root: MembershipDelta broadcasts sent. */
+    std::size_t membershipDeltasSent = 0;
+    /** Non-root: MembershipAck frames sent back to the root. */
+    std::size_t membershipAcksSent = 0;
+    /** Non-root: MembershipDelta snapshots adopted into the replica. */
+    std::size_t membershipDeltasApplied = 0;
+    /** Root: two-phase transitions committed (join or drain). */
+    std::size_t membershipCommits = 0;
+    /** Rack: periods ridden on the Pcap_min clamp while Joining or
+     *  Draining (the shadow window of the adopt protocol). */
+    std::size_t shadowPeriods = 0;
     /** Host: periods closed immediately (degraded) because frames from
      *  a future epoch proved the fleet had already moved past this
      *  process — the laggard fast-forwards back into sync instead of

@@ -37,6 +37,11 @@ constexpr std::size_t kMaxHopSpansPerPeriod = 256;
 /** Completed period traces the /tracez endpoint serves. */
 constexpr std::size_t kTracezPeriods = 32;
 
+/** Minimum shadow periods between a join announcement and its commit:
+ *  one full broadcast/ack round trip plus one settled period, so the
+ *  unit demonstrably holds the clamp before its first real grant. */
+constexpr std::uint32_t kShadowPeriodsMin = 2;
+
 /** Unix realtime in fractional milliseconds — the cross-process hop
  *  clock (UdpTransport's nowMs() is per-process-relative). */
 double
@@ -144,6 +149,9 @@ WorkerRuntime::init(std::uint64_t seed)
     // floors are read straight from the config so every process agrees
     // bit for bit.
     computeNominalFloors();
+
+    membership_ = membership::MembershipTable::allLive(
+        plan_.workers.size());
 
     if (role_ < rackCount_)
         buildRack(seed);
@@ -269,6 +277,10 @@ WorkerRuntime::runPeriods(std::size_t max_periods)
     std::size_t done = 0;
     while (done < max_periods
            && !stop_.load(std::memory_order_relaxed)) {
+        if (reload_.exchange(false, std::memory_order_relaxed)
+            && reloadHandler_) {
+            reloadHandler_();
+        }
         // The next epoch that has not yet begun; its window start is
         // the shared wall-clock boundary every process sleeps to.
         const std::uint32_t epoch = epochAt(unixNowMs()) + 1;
@@ -328,6 +340,7 @@ net::FrameMeta
 WorkerRuntime::stampMeta(std::uint16_t sender, std::uint32_t epoch)
 {
     net::FrameMeta meta(sender, epoch, seq_++);
+    meta.wireVersion = wireVersion_;
     if (obs_) {
         net::TraceContext ctx;
         ctx.traceId = static_cast<std::uint16_t>(epoch & 0xFFFF);
@@ -518,6 +531,29 @@ WorkerRuntime::healthJson() const
         "subBudgetsApplied",
         util::Json(static_cast<double>(stats_.subBudgetsApplied)));
     obj.emplace("stats", util::Json(std::move(st)));
+    obj.emplace("generation",
+                util::Json(static_cast<double>(
+                    membership_.generation())));
+    util::Json::Object mem;
+    mem.emplace("generation",
+                util::Json(static_cast<double>(
+                    membership_.generation())));
+    mem.emplace("self",
+                util::Json(std::string(membership::unitStateName(
+                    membership_.state(
+                        static_cast<std::uint16_t>(role_))))));
+    mem.emplace("joining",
+                util::Json(static_cast<double>(membership_.countOf(
+                    membership::UnitState::Joining))));
+    mem.emplace("draining",
+                util::Json(static_cast<double>(membership_.countOf(
+                    membership::UnitState::Draining))));
+    mem.emplace("left",
+                util::Json(static_cast<double>(membership_.countOf(
+                    membership::UnitState::Left))));
+    mem.emplace("shadowPeriods",
+                util::Json(static_cast<double>(stats_.shadowPeriods)));
+    obj.emplace("membership", util::Json(std::move(mem)));
     if (room_ || agg_) {
         obj.emplace("fleet", fleetHealth_.toJson());
         obj.emplace("safety", auditor_.toJson());
@@ -571,6 +607,16 @@ WorkerRuntime::processDownFrame(
     const net::Frame &frame, std::uint32_t epoch,
     std::set<std::pair<std::size_t, topo::NodeId>> &applied)
 {
+    // The membership plane is epoch-free — the generation is its clock
+    // — so snapshots straddling a period boundary still land.
+    if (frame.type == net::MsgType::MembershipDelta) {
+        adoptMembershipDelta(frame);
+        return false;
+    }
+    if (frame.type == net::MsgType::MembershipAck) {
+        ++stats_.orphanFrames; // acks flow to the root, not to racks
+        return false;
+    }
     if (frame.epoch != epoch) {
         ++stats_.orphanFrames;
         return false;
@@ -706,14 +752,24 @@ WorkerRuntime::finishRackPeriod(
                        fallback);
     }
 
-    // ---- post-replay clamp: until the room trusts fresh metrics from
-    // this instance again, ride the conservative Pcap_min floor even
-    // if a stray budget frame slipped through.
-    if (replayedThisPeriod_) {
+    // ---- post-replay / shadow clamp: until the room trusts fresh
+    // metrics from this instance again (replay), or while this worker
+    // is not a committed member (Joining/Draining shadow periods),
+    // ride the conservative Pcap_min floor even if a stray budget
+    // frame slipped through. A worker the root committed *out*
+    // (Left) applies zero: the ack it sends for that snapshot is its
+    // promise that no watts flow from this period on, which is what
+    // lets the root release the reserved floor.
+    const auto selfState =
+        membership_.state(static_cast<std::uint16_t>(role_));
+    const bool shadow = selfState != membership::UnitState::Live;
+    if (replayedThisPeriod_ || shadow) {
+        const bool left = selfState == membership::UnitState::Left;
         for (const auto &[tree, node] : myEdges_) {
             const Watts floor =
-                std::min(rack_->defaultBudget(tree, node),
-                         nominalFloor_.at({tree, node}));
+                left ? 0.0
+                     : std::min(rack_->defaultBudget(tree, node),
+                                nominalFloor_.at({tree, node}));
             const auto cur = lastEdgeBudgets_.find({tree, node});
             const Watts clamped =
                 cur != lastEdgeBudgets_.end()
@@ -722,8 +778,13 @@ WorkerRuntime::finishRackPeriod(
             rack_->applyBudget(tree, node, clamped);
             lastEdgeBudgets_[{tree, node}] = clamped;
         }
-        ++stats_.clampedPeriods;
-        mClampedPeriods_.inc();
+        if (shadow) {
+            ++stats_.shadowPeriods;
+            mShadowPeriods_.inc();
+        } else {
+            ++stats_.clampedPeriods;
+            mClampedPeriods_.inc();
+        }
     }
 
     // ---- per-server caps through the PI loops.
@@ -848,6 +909,16 @@ WorkerRuntime::noteRackFrame(std::size_t rack, std::uint32_t seq,
 {
     heard_.insert(rack);
     RackHealth &h = rackHealth_[rack];
+    const auto ms = membership_.state(static_cast<std::uint16_t>(rack));
+    if (ms == membership::UnitState::Joining
+        || ms == membership::UnitState::Left) {
+        // Shadow traffic: seen, but outside the liveness contract.
+        // Drop the sequence baseline so the commit starts a fresh
+        // instance view instead of mis-reading the joiner's early
+        // frames as a restart.
+        h.seqSeen = false;
+        return;
+    }
     if (!h.seqSeen) {
         h.seqSeen = true;
         h.maxSeq = seq;
@@ -921,12 +992,18 @@ WorkerRuntime::roomGather(std::uint32_t epoch, bool paced)
     heard_.clear();
     fresh_.clear();
 
-    // Dead racks send nothing; everyone else (including re-homing
-    // racks, whose plants run on default budgets) is expected.
+    // Dead racks send nothing; neither do racks committed out of the
+    // membership (Left). Everyone else (including re-homing racks,
+    // whose plants run on default budgets, and Joining/Draining racks
+    // in their shadow periods) is expected.
     std::size_t expected = 0;
     for (const auto &[key, rack] : edgeOwner_) {
-        if (rackHealth_[rack].state != RackState::Dead)
-            ++expected;
+        if (rackHealth_[rack].state == RackState::Dead)
+            continue;
+        if (membership_.state(static_cast<std::uint16_t>(rack))
+            == membership::UnitState::Left)
+            continue;
+        ++expected;
     }
 
     const double start = tp.nowMs();
@@ -936,6 +1013,16 @@ WorkerRuntime::roomGather(std::uint32_t epoch, bool paced)
             const auto frame = net::decodeFrame(bytes);
             if (!frame) {
                 ++stats_.corruptFrames;
+                continue;
+            }
+            // Membership frames ride ahead of the epoch check: the
+            // generation, not the epoch, orders that plane.
+            if (frame->type == net::MsgType::MembershipAck) {
+                noteMembershipAck(*frame);
+                continue;
+            }
+            if (frame->type == net::MsgType::MembershipDelta) {
+                ++stats_.orphanFrames; // the root owns the table
                 continue;
             }
             if (frame->epoch != epoch) {
@@ -981,6 +1068,16 @@ WorkerRuntime::roomLiveness(std::uint32_t epoch)
     const auto &proto = scenario_.service.protocol;
     for (std::size_t r = 0; r < rackCount_; ++r) {
         RackHealth &h = rackHealth_[r];
+        const auto ms =
+            membership_.state(static_cast<std::uint16_t>(r));
+        if (ms == membership::UnitState::Joining
+            || ms == membership::UnitState::Left) {
+            // Held in reset: a joiner is not yet a liveness subject
+            // (its silence must not burn failover credit before the
+            // commit) and a Left unit never will be again.
+            h.missed = 0;
+            continue;
+        }
         const bool heard = heard_.count(r) != 0;
         switch (h.state) {
         case RackState::Live:
@@ -1034,6 +1131,11 @@ WorkerRuntime::roomLiveness(std::uint32_t epoch)
     // cache — visibly degraded even before the failover threshold.
     if (obs_) {
         for (std::size_t r = 0; r < rackCount_; ++r) {
+            const auto ms =
+                membership_.state(static_cast<std::uint16_t>(r));
+            if (ms == membership::UnitState::Joining
+                || ms == membership::UnitState::Left)
+                continue; // not a liveness subject; see above
             telemetry::UnitHealth uh = telemetry::UnitHealth::Live;
             switch (rackHealth_[r].state) {
             case RackState::Live:
@@ -1074,6 +1176,18 @@ WorkerRuntime::roomComputeAndSend(std::uint32_t epoch, bool paced)
     std::vector<Watts> reserved(system.trees().size(), 0.0);
     for (const auto &[key, rack] : edgeOwner_) {
         const auto [tree, node] = key;
+        // A rack outside the committed membership (Joining, Draining,
+        // or Left) is excluded from allocation *by design*, not by
+        // degradation: no stale/lost events, just the conservative
+        // floor reservation that covers its unilateral clamp — unless
+        // the unit acked its Left commit (or was never deployed), in
+        // which case no watts flow there and nothing is reserved.
+        if (!membership_.isLive(static_cast<std::uint16_t>(rack))) {
+            if (!membershipFloorReleased(
+                    static_cast<std::uint16_t>(rack)))
+                reserved[tree] += nominalFloor_.at(key);
+            continue;
+        }
         const bool trusted =
             rackHealth_[rack].state == RackState::Live;
         const auto got = fresh_.find(key);
@@ -1140,7 +1254,9 @@ WorkerRuntime::roomComputeAndSend(std::uint32_t epoch, bool paced)
             room_->iterate(t, tree_metrics[t], usable);
         for (const auto &[node, budget] : edge_budgets) {
             const std::size_t rack = edgeOwner_.at({t, node});
-            if (rackHealth_[rack].state != RackState::Live)
+            if (rackHealth_[rack].state != RackState::Live
+                || !membership_.isLive(
+                       static_cast<std::uint16_t>(rack)))
                 continue;
             net::BudgetMsg msg;
             msg.tree = static_cast<std::uint16_t>(t);
@@ -1181,6 +1297,8 @@ WorkerRuntime::roomComputeAndSend(std::uint32_t epoch, bool paced)
         RackHealth &h = rackHealth_[r];
         if (h.state != RackState::Rehoming || !heard_.count(r))
             continue;
+        if (!membership_.isLive(static_cast<std::uint16_t>(r)))
+            continue; // shadow units get no replay until committed
         const auto stored = checkpoints_.find(r);
         const net::CheckpointMsg msg = stored != checkpoints_.end()
                                            ? stored->second
@@ -1193,6 +1311,10 @@ WorkerRuntime::roomComputeAndSend(std::uint32_t epoch, bool paced)
         ++stats_.rehomesSent;
         mRehomesSent_.inc();
     }
+
+    // ---- membership snapshots ride the same down window, single-shot
+    // per period (ack-gated: a lost broadcast is repaired next period).
+    broadcastMembership(epoch);
 
     const double budget_start = tp.nowMs();
     const double budget_deadline =
@@ -1223,6 +1345,7 @@ WorkerRuntime::runRoomPeriod(std::uint32_t epoch)
 {
     roomGather(epoch, /*paced=*/true);
     roomLiveness(epoch);
+    membershipTick(epoch);
     roomComputeAndSend(epoch, /*paced=*/true);
 }
 
@@ -1250,10 +1373,12 @@ WorkerRuntime::stepRoom(std::uint32_t epoch)
         }
         agg_->closeGather(stats_, events_);
         reportStationHealth(epoch);
+        membershipTick(epoch);
         for (const auto &[child, frame] :
              encodeDownFrames(epoch, agg_->computeDown(stats_))) {
             tp.send(role_, child, frame);
         }
+        broadcastMembership(epoch);
         if (tracer_) {
             tracer_->num(span, "epoch", static_cast<double>(epoch));
             tracer_->end(span);
@@ -1265,6 +1390,7 @@ WorkerRuntime::stepRoom(std::uint32_t epoch)
                               : telemetry::PeriodTracer::kNoSpan;
     roomGather(epoch, /*paced=*/false);
     roomLiveness(epoch);
+    membershipTick(epoch);
     roomComputeAndSend(epoch, /*paced=*/false);
     if (tracer_) {
         tracer_->num(span, "epoch", static_cast<double>(epoch));
@@ -1302,6 +1428,16 @@ WorkerRuntime::aggDrainOnce(bool down_phase)
             continue;
         }
         recordHop(*frame);
+        // Membership frames never reach the aggregator state machine:
+        // the replica plane is epoch-free and root-addressed.
+        if (frame->type == net::MsgType::MembershipDelta) {
+            adoptMembershipDelta(*frame);
+            continue;
+        }
+        if (frame->type == net::MsgType::MembershipAck) {
+            noteMembershipAck(*frame);
+            continue;
+        }
         // Late child retransmissions during the down phase are still
         // absorbed (and deduped) by the gather side rather than counted
         // as orphans; the boundary for this epoch is already closed.
@@ -1381,6 +1517,8 @@ WorkerRuntime::runAggregatorPeriod(std::uint32_t epoch)
     }
     const auto summaries = agg_->closeGather(stats_, events_);
     reportStationHealth(epoch);
+    if (isRoom())
+        membershipTick(epoch);
 
     if (!isRoom()) {
         // ---- forward this subtree's summaries, blind bounded
@@ -1426,6 +1564,8 @@ WorkerRuntime::runAggregatorPeriod(std::uint32_t epoch)
     const double child_close =
         gather_all_end + (tiers - my_tier) * proto.budgetDeadlineMs;
     const double down_start = tp.nowMs();
+    if (isRoom())
+        broadcastMembership(epoch);
     for (const auto &[child, frame] : downs)
         tp.send(role_, child, frame);
     for (int attempt = 1; attempt < proto.maxAttempts; ++attempt) {
@@ -1490,6 +1630,272 @@ WorkerRuntime::stepAggregatorDown(std::uint32_t epoch)
 }
 
 // ===================================================================
+// Membership / elasticity plane
+// ===================================================================
+
+void
+WorkerRuntime::setWireVersion(std::uint8_t version)
+{
+    if (version != net::kWireVersion
+        && version != net::kWireCompatVersion) {
+        util::fatal("rt: unsupported wire version %u",
+                    static_cast<unsigned>(version));
+    }
+    wireVersion_ = version;
+}
+
+bool
+WorkerRuntime::membershipBeginJoin(std::uint32_t endpoint)
+{
+    if (!isRoom())
+        util::fatal("rt: membershipBeginJoin() needs the root runtime");
+    if (endpoint >= plan_.workers.size() || endpoint == role_)
+        return false;
+    const auto ep = static_cast<std::uint16_t>(endpoint);
+    if (!membership_.beginJoin(ep))
+        return false;
+    // Acks recorded so far belong to a previous incarnation of the
+    // slot; the joiner must ack its own announcement.
+    memberAckGen_.erase(ep);
+    joinAnnounceEpoch_[ep] = lastEpoch_;
+    if (endpoint < rackHealth_.size())
+        rackHealth_[endpoint] = RackHealth{};
+    events_.record(static_cast<Seconds>(lastEpoch_),
+                   core::EventKind::MembershipJoinBegan,
+                   "worker" + std::to_string(endpoint),
+                   static_cast<double>(membership_.generation()));
+    return true;
+}
+
+bool
+WorkerRuntime::membershipBeginDrain(std::uint32_t endpoint)
+{
+    if (!isRoom())
+        util::fatal("rt: membershipBeginDrain() needs the root runtime");
+    if (endpoint >= plan_.workers.size() || endpoint == role_)
+        return false;
+    if (!membership_.beginDrain(static_cast<std::uint16_t>(endpoint)))
+        return false;
+    events_.record(static_cast<Seconds>(lastEpoch_),
+                   core::EventKind::MembershipDrainBegan,
+                   "worker" + std::to_string(endpoint),
+                   static_cast<double>(membership_.generation()));
+    return true;
+}
+
+void
+WorkerRuntime::membershipMarkAbsent(std::uint32_t endpoint)
+{
+    if (!isRoom())
+        util::fatal("rt: membershipMarkAbsent() needs the root runtime");
+    if (stats_.periodsRun > 0)
+        util::fatal("rt: membershipMarkAbsent() is pre-run "
+                    "configuration; use membershipBeginDrain() online");
+    if (endpoint >= plan_.workers.size() || endpoint == role_)
+        util::fatal("rt: cannot mark endpoint %u absent", endpoint);
+    membership_.markAbsent(static_cast<std::uint16_t>(endpoint));
+}
+
+void
+WorkerRuntime::beginShadow()
+{
+    if (isRoom())
+        util::fatal("rt: beginShadow() is for non-root workers");
+    if (stats_.periodsRun > 0)
+        util::fatal("rt: beginShadow() must precede the first period");
+    // Empty replica: this worker treats itself as a non-member (the
+    // Pcap_min clamp every period) until a root broadcast shows it
+    // Live. Any snapshot at or ahead of generation 1 is adopted.
+    membership_ = membership::MembershipTable();
+}
+
+bool
+WorkerRuntime::membershipLeft() const
+{
+    const auto me = static_cast<std::uint16_t>(role_);
+    return !isRoom()
+           && membership_.state(me) == membership::UnitState::Left
+           && membership_.sinceGeneration(me) > 0;
+}
+
+bool
+WorkerRuntime::membershipFloorReleased(std::uint16_t endpoint) const
+{
+    if (membership_.state(endpoint) != membership::UnitState::Left)
+        return false;
+    const std::uint32_t since = membership_.sinceGeneration(endpoint);
+    if (since == 0)
+        return true; // never deployed: nothing ever drew this floor
+    const auto it = memberAckGen_.find(endpoint);
+    return it != memberAckGen_.end() && it->second >= since;
+}
+
+bool
+WorkerRuntime::membershipBroadcastTarget(std::uint16_t endpoint) const
+{
+    if (endpoint == role_)
+        return false;
+    if (membership_.state(endpoint) == membership::UnitState::Left) {
+        const std::uint32_t since =
+            membership_.sinceGeneration(endpoint);
+        if (since == 0)
+            return false; // never deployed: nobody is listening
+        const auto acked = memberAckGen_.find(endpoint);
+        if (acked != memberAckGen_.end() && acked->second >= since)
+            return false; // leave acked: the unit is gone
+    }
+    const auto it = memberAckGen_.find(endpoint);
+    return it == memberAckGen_.end()
+           || it->second < membership_.generation();
+}
+
+void
+WorkerRuntime::broadcastMembership(std::uint32_t epoch)
+{
+    // Generation 1 is the static deployment: the machinery stays idle
+    // — no frames, no sequence numbers — so a run that never touches
+    // membership is bit-identical to a pre-elasticity build.
+    if (membership_.generation() <= 1)
+        return;
+    if (wireVersion_ != net::kWireVersion)
+        return; // a compat-stamped root cannot announce; upgrade first
+    const net::MembershipDeltaMsg delta = membership_.toDelta();
+    for (std::size_t ep = 0; ep < plan_.workers.size(); ++ep) {
+        if (!membershipBroadcastTarget(static_cast<std::uint16_t>(ep)))
+            continue;
+        transport_->send(
+            role_, static_cast<net::Transport::Endpoint>(ep),
+            net::encodeMembershipDelta(
+                stampMeta(net::kRoomSender, epoch), delta));
+        ++stats_.membershipDeltasSent;
+        mMembershipDeltas_.inc();
+    }
+}
+
+void
+WorkerRuntime::membershipTick(std::uint32_t epoch)
+{
+    // Phase two of the adopt protocol: commit every transition whose
+    // gate is satisfied. Joins additionally hold the minimum shadow
+    // window so the unit demonstrably rides the clamp before its first
+    // real grant; drains commit on the ack alone (the floor stays
+    // reserved until the *Left* generation is acked, checked by
+    // membershipFloorReleased()).
+    std::vector<std::uint16_t> ready;
+    for (const auto &[ep, entry] : membership_.entries()) {
+        const auto acked = memberAckGen_.find(ep);
+        const bool ackCurrent = acked != memberAckGen_.end()
+                                && acked->second >= entry.sinceGeneration;
+        if (!ackCurrent)
+            continue;
+        if (entry.state == membership::UnitState::Joining) {
+            const auto announce = joinAnnounceEpoch_.find(ep);
+            if (announce == joinAnnounceEpoch_.end()
+                || epoch >= announce->second + kShadowPeriodsMin)
+                ready.push_back(ep);
+        } else if (entry.state == membership::UnitState::Draining) {
+            ready.push_back(ep);
+        }
+    }
+    for (const std::uint16_t ep : ready) {
+        if (!membership_.commit(ep))
+            continue;
+        ++stats_.membershipCommits;
+        mMembershipCommits_.inc();
+        events_.record(static_cast<Seconds>(epoch),
+                       core::EventKind::MembershipCommitted,
+                       "worker" + std::to_string(ep),
+                       static_cast<double>(membership_.generation()));
+        if (membership_.isLive(ep)) {
+            joinAnnounceEpoch_.erase(ep);
+            // Fresh liveness ledger: the adopted unit starts Live with
+            // a clean sequence baseline and zero failover credit.
+            if (ep < rackHealth_.size())
+                rackHealth_[ep] = RackHealth{};
+        }
+    }
+    mMembershipGen_.set(static_cast<double>(membership_.generation()));
+    mMembershipPending_.set(static_cast<double>(
+        membership_.countOf(membership::UnitState::Joining)
+        + membership_.countOf(membership::UnitState::Draining)));
+
+    // Context for the safety auditor: how many units the reserved
+    // floors cover for elasticity (shadow) reasons this period.
+    std::uint64_t shadowed = 0;
+    for (const auto &[ep, entry] : membership_.entries()) {
+        if (entry.state == membership::UnitState::Joining
+            || entry.state == membership::UnitState::Draining
+            || (entry.state == membership::UnitState::Left
+                && !membershipFloorReleased(ep)))
+            ++shadowed;
+    }
+    auditor_.noteShadowUnits(shadowed);
+}
+
+void
+WorkerRuntime::adoptMembershipDelta(const net::Frame &frame)
+{
+    if (isRoom()) {
+        ++stats_.orphanFrames; // the root owns the table
+        return;
+    }
+    if (frame.sender != net::kRoomSender) {
+        ++stats_.orphanFrames; // only the root announces membership
+        return;
+    }
+    if (membership_.applyDelta(frame.membershipDelta)) {
+        ++stats_.membershipDeltasApplied;
+        events_.record(static_cast<Seconds>(frame.epoch),
+                       core::EventKind::MembershipAdopted, roleName(),
+                       static_cast<double>(membership_.generation()));
+        // Committed out: this period applies zero watts (see
+        // finishRackPeriod), the ack below is the promise, and a
+        // wall-paced daemon exits so the supervisor can retire it.
+        if (membershipLeft() && pacing_ == Pacing::Wall)
+            requestStop();
+    }
+    // Ack even the idempotent re-broadcast: a lost ack is what keeps
+    // the root re-sending in the first place.
+    sendMembershipAck(frame.epoch);
+}
+
+void
+WorkerRuntime::sendMembershipAck(std::uint32_t epoch)
+{
+    if (wireVersion_ != net::kWireVersion)
+        return; // compat-stamped workers cannot speak membership; the
+                // root keeps broadcasting until this unit is upgraded
+    const auto me = static_cast<std::uint16_t>(role_);
+    net::MembershipAckMsg ack;
+    ack.generation = membership_.generation();
+    ack.endpoint = me;
+    ack.state =
+        static_cast<net::WireUnitState>(membership_.state(me));
+    transport_->send(
+        role_,
+        static_cast<net::Transport::Endpoint>(plan_.rootEndpoint()),
+        net::encodeMembershipAck(stampMeta(me, epoch), ack));
+    ++stats_.membershipAcksSent;
+    mMembershipAcks_.inc();
+}
+
+void
+WorkerRuntime::noteMembershipAck(const net::Frame &frame)
+{
+    if (!isRoom()) {
+        ++stats_.orphanFrames; // acks are addressed to the root
+        return;
+    }
+    const net::MembershipAckMsg &ack = frame.membershipAck;
+    if (ack.endpoint != frame.sender) {
+        ++stats_.orphanFrames;
+        return;
+    }
+    std::uint32_t &gen = memberAckGen_[ack.endpoint];
+    gen = std::max(gen, ack.generation);
+}
+
+// ===================================================================
 // Accessors, telemetry, persistence
 // ===================================================================
 
@@ -1532,6 +1938,12 @@ WorkerRuntime::setTelemetry(telemetry::Registry *registry,
         mRehomed_ = {};
         mDefaultBudgets_ = {};
         mDeadRacks_ = {};
+        mMembershipDeltas_ = {};
+        mMembershipAcks_ = {};
+        mMembershipCommits_ = {};
+        mShadowPeriods_ = {};
+        mMembershipGen_ = {};
+        mMembershipPending_ = {};
         return;
     }
     const telemetry::Labels ls{
@@ -1574,6 +1986,24 @@ WorkerRuntime::setTelemetry(telemetry::Registry *registry,
     mDeadRacks_ = registry_->gauge(
         "capmaestro_rt_degraded_racks", ls,
         "Racks currently Dead or Rehoming (room view)");
+    mMembershipDeltas_ = registry_->counter(
+        "capmaestro_membership_deltas_sent_total", ls,
+        "Membership snapshots broadcast by the root");
+    mMembershipAcks_ = registry_->counter(
+        "capmaestro_membership_acks_sent_total", ls,
+        "Membership generations acked back to the root");
+    mMembershipCommits_ = registry_->counter(
+        "capmaestro_membership_commits_total", ls,
+        "Two-phase membership transitions committed (root view)");
+    mShadowPeriods_ = registry_->counter(
+        "capmaestro_membership_shadow_periods_total", ls,
+        "Periods ridden on the Pcap_min clamp while Joining/Draining");
+    mMembershipGen_ = registry_->gauge(
+        "capmaestro_membership_generation", ls,
+        "Current membership table generation");
+    mMembershipPending_ = registry_->gauge(
+        "capmaestro_membership_pending_units", ls,
+        "Units with an uncommitted transition (Joining or Draining)");
 }
 
 std::string

@@ -93,6 +93,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -108,6 +109,7 @@
 #include "device/sensor.hh"
 #include "device/server.hh"
 #include "device/workload.hh"
+#include "membership/table.hh"
 #include "net/http_endpoint.hh"
 #include "net/udp_transport.hh"
 #include "net/wire.hh"
@@ -256,6 +258,88 @@ class WorkerRuntime
 
     /** Room only: liveness state of rack @p r. */
     RackState rackState(std::size_t r) const;
+
+    // ---- membership / elasticity plane (see membership/table.hh).
+    // The root owns the table: begin*/markAbsent mutate it, the commit
+    // gate runs inside the period loop, and deltas are broadcast until
+    // every affected unit acked the current generation. Non-root
+    // workers hold a replica updated by MembershipDelta frames. A
+    // static all-Live table keeps the whole plane idle — no frames, no
+    // sequence numbers, no behavioral difference from pre-elasticity
+    // builds.
+
+    /** This worker's membership replica (the root's is the truth). */
+    const membership::MembershipTable &membership() const
+    {
+        return membership_;
+    }
+
+    /** Local membership generation. */
+    std::uint32_t membershipGeneration() const
+    {
+        return membership_.generation();
+    }
+
+    /**
+     * Root only: announce @p endpoint as Joining (phase one of the
+     * two-phase adopt). The unit runs shadow periods — metrics up,
+     * grants clamped to the Pcap_min floor, floor reserved — until the
+     * commit gate (current-generation ack + the minimum shadow window)
+     * promotes it to Live. Returns true when the table changed.
+     */
+    bool membershipBeginJoin(std::uint32_t endpoint);
+
+    /** Root only: announce @p endpoint as Draining (reverse handshake;
+     *  floor stays reserved until the unit acks the Left commit). */
+    bool membershipBeginDrain(std::uint32_t endpoint);
+
+    /**
+     * Root only, before the first period: mark @p endpoint as not yet
+     * deployed (Left, since generation 0 — no floor is reserved and no
+     * broadcast targets it). The endpoint keeps its slot in the peer
+     * table; membershipBeginJoin() brings it in later.
+     */
+    void membershipMarkAbsent(std::uint32_t endpoint);
+
+    /**
+     * Non-root, before the first period: boot in shadow mode. The
+     * local replica starts empty, so this worker treats itself as not
+     * yet a member — every period rides the Pcap_min clamp — until a
+     * root broadcast shows it Live. This is how a freshly provisioned
+     * worker joins without ever applying an uncommitted budget.
+     */
+    void beginShadow();
+
+    /** Non-root: the root committed this worker out of the deployment
+     *  (replica shows self Left). The supervisor can retire it. */
+    bool membershipLeft() const;
+
+    /**
+     * Frame-header version this worker stamps on outgoing frames —
+     * kWireVersion by default; kWireCompatVersion simulates the older
+     * half of a rolling upgrade (decode always accepts both). A
+     * compat-stamped worker cannot speak the membership plane (those
+     * types are v6-only): the root just keeps broadcasting until the
+     * unit is upgraded, so upgrade-then-join is the supported order.
+     */
+    void setWireVersion(std::uint8_t version);
+
+    /** Current outgoing frame-header version. */
+    std::uint8_t wireVersion() const { return wireVersion_; }
+
+    /**
+     * Ask the period loop to re-run the reload handler before the next
+     * period (async-signal-safe: only stores a flag — wire it to
+     * SIGHUP in a daemon). No-op without a handler.
+     */
+    void requestReload() { reload_.store(true, std::memory_order_relaxed); }
+
+    /** Handler invoked from the period loop after requestReload() —
+     *  e.g. re-read peers.json and apply membership join/drain. */
+    void setReloadHandler(std::function<void()> handler)
+    {
+        reloadHandler_ = std::move(handler);
+    }
 
     /**
      * Attach a metrics registry and (optionally) a period tracer.
@@ -421,6 +505,25 @@ class WorkerRuntime
     std::string checkpointPath(std::size_t rack) const;
     std::size_t deadOrRehomingCount() const;
 
+    // ---- membership plane helpers (epoch-free: the generation is the
+    // membership clock; frames are accepted regardless of their epoch)
+    /** Root: the unit is Left and either acked that state or was never
+     *  deployed — its nominal floor is no longer reserved. */
+    bool membershipFloorReleased(std::uint16_t endpoint) const;
+    /** Root: @p endpoint still needs the current snapshot. */
+    bool membershipBroadcastTarget(std::uint16_t endpoint) const;
+    /** Root: send the snapshot to every un-acked unit (single-shot per
+     *  period; loss is repaired by the next period's broadcast). */
+    void broadcastMembership(std::uint32_t epoch);
+    /** Root: run the two-phase commit gate and refresh the gauges. */
+    void membershipTick(std::uint32_t epoch);
+    /** Non-root: adopt a broadcast snapshot and ack it. */
+    void adoptMembershipDelta(const net::Frame &frame);
+    /** Root: fold one MembershipAck into the ack book. */
+    void noteMembershipAck(const net::Frame &frame);
+    /** Non-root: ack the current replica generation to the root. */
+    void sendMembershipAck(std::uint32_t epoch);
+
     void finishPeriod(std::uint32_t epoch);
 
     config::LoadedScenario scenario_;
@@ -441,6 +544,19 @@ class WorkerRuntime
     std::unique_ptr<net::UdpTransport> ownedTransport_;
     net::Transport *transport_ = nullptr;
     std::atomic<bool> stop_{false};
+    std::atomic<bool> reload_{false};
+    std::function<void()> reloadHandler_;
+    /** Version stamped on outgoing frame headers (see setWireVersion). */
+    std::uint8_t wireVersion_ = net::kWireVersion;
+
+    // -------- membership plane
+    /** Root: the table; non-root: the broadcast-fed replica. */
+    membership::MembershipTable membership_;
+    /** Root: highest generation each endpoint has acked. */
+    std::map<std::uint16_t, std::uint32_t> memberAckGen_;
+    /** Root: epoch each pending join was announced at (shadow window
+     *  start for the commit gate). */
+    std::map<std::uint16_t, std::uint32_t> joinAnnounceEpoch_;
     RuntimeStats stats_;
     core::EventLog events_;
     std::uint32_t lastEpoch_ = 0;
@@ -507,6 +623,12 @@ class WorkerRuntime
     telemetry::Counter mRehomed_;
     telemetry::Counter mDefaultBudgets_;
     telemetry::Gauge mDeadRacks_;
+    telemetry::Counter mMembershipDeltas_;
+    telemetry::Counter mMembershipAcks_;
+    telemetry::Counter mMembershipCommits_;
+    telemetry::Counter mShadowPeriods_;
+    telemetry::Gauge mMembershipGen_;
+    telemetry::Gauge mMembershipPending_;
 };
 
 } // namespace capmaestro::rt

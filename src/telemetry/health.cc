@@ -175,6 +175,8 @@ SafetyAuditor::toJson() const
     out.emplace("violations",
                 util::Json(static_cast<double>(violationCount_)));
     out.emplace("worstOverdrawWatts", util::Json(worstOverdraw_));
+    out.emplace("shadowUnits",
+                util::Json(static_cast<double>(shadowUnits_)));
     if (!worstSubject_.empty())
         out.emplace("worstSubject", util::Json(worstSubject_));
     return util::Json(std::move(out));

@@ -143,6 +143,18 @@ class SafetyAuditor
     std::uint64_t audits() const { return auditCount_; }
     std::uint64_t violations() const { return violationCount_; }
 
+    /**
+     * Record how many units the current period's reserved floors cover
+     * because of membership shadowing (Joining/Draining, or Left but
+     * not yet acked) rather than degradation — so a reader of /healthz
+     * can tell an elasticity floor from a failure floor. Purely
+     * contextual; audit() math is unchanged.
+     */
+    void noteShadowUnits(std::uint64_t count) { shadowUnits_ = count; }
+
+    /** Units currently floor-reserved for membership reasons. */
+    std::uint64_t shadowUnits() const { return shadowUnits_; }
+
     /** Largest overdraw seen, watts (0 when clean). */
     double worstOverdrawWatts() const { return worstOverdraw_; }
 
@@ -158,6 +170,7 @@ class SafetyAuditor
     std::uint64_t violationCount_ = 0;
     double worstOverdraw_ = 0.0;
     std::string worstSubject_;
+    std::uint64_t shadowUnits_ = 0;
     Counter auditsCounter_;
     Counter violationsCounter_;
 };

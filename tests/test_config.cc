@@ -265,3 +265,52 @@ TEST(ConfigLoader, BundledSampleConfigsLoadAndRun)
         EXPECT_FALSE(simulation.anyBreakerTripped()) << path;
     }
 }
+
+TEST(ConfigLoader, PeerTableMembershipBlockRoundTrips)
+{
+    // The elasticity directives ride the shared peer table; they must
+    // parse, survive a serialize/parse round trip, and stay absent
+    // from the document when the deployment is static.
+    const char *doc = R"({
+        "periodMs": 500,
+        "originMs": 1754380000000,
+        "peers": [
+            { "endpoint": 0, "host": "127.0.0.1", "port": 9810 },
+            { "endpoint": 1, "host": "127.0.0.1", "port": 9811 },
+            { "endpoint": 2, "host": "127.0.0.1", "port": 9812 },
+            { "endpoint": 3, "host": "127.0.0.1", "port": 9813 },
+            { "endpoint": 4, "host": "127.0.0.1", "port": 9814 }
+        ],
+        "membership": { "absent": [3], "join": [2], "drain": [1] }
+    })";
+    const auto peers = config::loadWorkerPeers(parseJson(doc));
+    ASSERT_EQ(peers.membership.absent, std::vector<std::uint32_t>{3});
+    ASSERT_EQ(peers.membership.join, std::vector<std::uint32_t>{2});
+    ASSERT_EQ(peers.membership.drain, std::vector<std::uint32_t>{1});
+    EXPECT_FALSE(peers.membership.empty());
+
+    const auto again =
+        config::loadWorkerPeers(config::workerPeersToJson(peers));
+    EXPECT_EQ(again.membership.absent, peers.membership.absent);
+    EXPECT_EQ(again.membership.join, peers.membership.join);
+    EXPECT_EQ(again.membership.drain, peers.membership.drain);
+
+    // Static deployments keep their document membership-free.
+    auto static_peers = peers;
+    static_peers.membership = {};
+    EXPECT_TRUE(static_peers.membership.empty());
+    const auto serialized = config::workerPeersToJson(static_peers);
+    EXPECT_FALSE(serialized.asObject().count("membership"));
+
+    // An endpoint outside the peer table is a config error, caught at
+    // load time rather than at the root's first broadcast.
+    const char *hostile = R"({
+        "periodMs": 500, "originMs": 1,
+        "peers": [ { "endpoint": 0, "host": "h", "port": 1 },
+                   { "endpoint": 1, "host": "h", "port": 2 },
+                   { "endpoint": 2, "host": "h", "port": 3 } ],
+        "membership": { "drain": [7] }
+    })";
+    EXPECT_DEATH(config::loadWorkerPeers(parseJson(hostile)),
+                 "membership");
+}

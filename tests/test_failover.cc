@@ -456,3 +456,139 @@ TEST(DeepChaos, LossyDeepTransportStaysSafe)
     EXPECT_EQ(report.epochsRun, 30u);
     EXPECT_EQ(report.violations, 0u) << report.firstViolation;
 }
+
+// ------------------------------------------ elasticity (membership)
+
+namespace {
+
+/**
+ * The acceptance script for the membership plane, over the depth-3
+ * deployment (racks 0-3, row aggregators 4-5, root 6): every worker
+ * starts on the compat wire version (a fleet one release behind), the
+ * fleet is rolling-upgraded root-first one worker per epoch, then
+ * racks 2 and 3 — scripted absent at boot — join online, and rack 1
+ * drains. Joins are scheduled after the upgrade wave because a compat
+ * root cannot originate membership frames (upgrade-then-join is the
+ * supported order).
+ */
+void
+scriptElasticUpgrade(rt::LockstepDeployment &dep)
+{
+    for (std::uint32_t role = 0; role < 7; ++role)
+        dep.setWorkerWireVersion(role, net::kWireCompatVersion);
+    dep.scriptJoiner(2);
+    dep.scriptJoiner(3);
+    auto &chaos = dep.chaos();
+    // Root first, then aggregators, then racks (and the still-absent
+    // joiner slots, whose scripted version flips before they start).
+    const std::uint32_t order[] = {6, 4, 5, 0, 1, 2, 3};
+    std::uint32_t epoch = 3;
+    for (const std::uint32_t role : order)
+        chaos.at(epoch++, rt::ChaosEvent::Kind::Upgrade, role);
+    chaos.at(14, rt::ChaosEvent::Kind::Join, 2);
+    chaos.at(20, rt::ChaosEvent::Kind::Join, 3);
+    chaos.at(30, rt::ChaosEvent::Kind::Drain, 1);
+}
+
+} // namespace
+
+TEST(Elasticity, SimJoinDrainRollingUpgradeStaysSafeAndBitReproducible)
+{
+    // The full elasticity acceptance run on the Sim backend: version
+    // skew, two online joins, and a drain in one 50-epoch script, with
+    // the §4.5 audit on every period — and the whole thing must be
+    // bit-reproducible across same-seed runs (membership traffic is
+    // part of the deterministic trace, not outside it).
+    auto run_once = [](rt::ChaosRunReport &report,
+                       std::uint32_t &generation) {
+        rt::LockstepDeployment dep(deepScenario(),
+                                   rt::ChaosBackend::Sim,
+                                   net::TransportConfig{}, /*seed=*/88,
+                                   /*agg_levels=*/{1});
+        scriptElasticUpgrade(dep);
+        report = dep.run(50);
+        generation = dep.room().membershipGeneration();
+
+        EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+        EXPECT_EQ(report.drained, 1u);
+        const auto &table = dep.room().membership();
+        EXPECT_EQ(table.state(2), membership::UnitState::Live);
+        EXPECT_EQ(table.state(3), membership::UnitState::Live);
+        EXPECT_EQ(table.state(1), membership::UnitState::Left);
+        EXPECT_EQ(table.transitionsPending(), 0u);
+        ASSERT_NE(dep.rack(2), nullptr);
+        ASSERT_NE(dep.rack(3), nullptr);
+        EXPECT_EQ(dep.rack(1), nullptr);
+        // The joiners shadowed before committing, and the survivors
+        // were budgeted while the fleet was half-upgraded.
+        EXPECT_GT(dep.rack(2)->stats().shadowPeriods, 0u);
+        EXPECT_GT(dep.rack(0)->stats().budgetsApplied, 40u);
+    };
+
+    rt::ChaosRunReport first, second;
+    std::uint32_t gen_first = 0, gen_second = 0;
+    run_once(first, gen_first);
+    run_once(second, gen_second);
+
+    // 2 marks-absent (no bump) + (announce + commit) x 3.
+    EXPECT_EQ(gen_first, 7u);
+    EXPECT_EQ(gen_second, gen_first);
+    ASSERT_EQ(first.log.size(), second.log.size());
+    for (std::size_t i = 0; i < first.log.size(); ++i)
+        ASSERT_EQ(first.log[i], second.log[i]) << "epoch line " << i;
+}
+
+TEST(Elasticity, UdpJoinDrainRollingUpgradeStaysSafe)
+{
+    SKIP_WITHOUT_NET();
+    // The same acceptance script over real loopback sockets: the
+    // kernel owns delivery, so assertions are behavior-level — but
+    // the safety audit and the end-state membership table are the
+    // same hard bar.
+    rt::LockstepDeployment dep(deepScenario(), rt::ChaosBackend::Udp,
+                               net::TransportConfig{}, /*seed=*/88,
+                               /*agg_levels=*/{1});
+    scriptElasticUpgrade(dep);
+    const auto report = dep.run(50);
+
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    EXPECT_EQ(report.drained, 1u);
+    const auto &table = dep.room().membership();
+    EXPECT_EQ(table.state(2), membership::UnitState::Live);
+    EXPECT_EQ(table.state(3), membership::UnitState::Live);
+    EXPECT_EQ(table.state(1), membership::UnitState::Left);
+    EXPECT_EQ(table.transitionsPending(), 0u);
+    EXPECT_EQ(dep.rack(1), nullptr);
+    ASSERT_NE(dep.rack(2), nullptr);
+    EXPECT_TRUE(dep.rack(2)->membership().isLive(2));
+}
+
+TEST(Elasticity, StaticMembershipLeavesTheTraceFormatUntouched)
+{
+    // The compatibility bar for the whole membership plane: a
+    // deployment that never scripts elasticity must behave — and log —
+    // exactly as it did before the plane existed. No membership frame
+    // may be sent, the generation must stay at its boot value, and no
+    // log line may carry the elasticity markers (the 'J'/'G'/'X'
+    // states or the " g=" suffix) that would perturb bit-comparison
+    // against pre-elasticity traces.
+    rt::LockstepDeployment dep(kScenario, rt::ChaosBackend::Sim,
+                               net::TransportConfig{}, /*seed=*/77);
+    dep.chaos().randomKillRestarts(dep.rackCount(), 4, 40, 4, 4);
+    const auto report = dep.run(60);
+
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    EXPECT_EQ(dep.room().membershipGeneration(), 1u);
+    EXPECT_EQ(dep.room().stats().membershipDeltasSent, 0u);
+    EXPECT_EQ(dep.room().stats().membershipCommits, 0u);
+    for (const auto &line : report.log) {
+        EXPECT_EQ(line.find(" g="), std::string::npos) << line;
+        // The state column must only ever show the pre-elasticity
+        // liveness alphabet (L/D/R/K), never J/G/X.
+        const std::size_t st = line.find("st=") + 3;
+        for (std::size_t i = st; i < line.size() && line[i] != ' '; ++i)
+            EXPECT_EQ(std::string("JGX").find(line[i]),
+                      std::string::npos)
+                << line;
+    }
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the versioned membership table (membership/table):
+ * the state machine's legal and illegal transitions, generation
+ * accounting, the never-deployed vs drained distinction, and the
+ * full-snapshot replica semantics that make one lost broadcast
+ * harmless.
+ */
+
+#include <gtest/gtest.h>
+
+#include "membership/table.hh"
+
+using namespace capmaestro;
+using membership::MembershipTable;
+using membership::UnitState;
+
+TEST(MembershipTable, StaticTableIsAllLiveAtGenerationOne)
+{
+    const auto table = MembershipTable::allLive(3);
+    EXPECT_EQ(table.generation(), 1u);
+    for (std::uint16_t ep = 0; ep < 3; ++ep) {
+        EXPECT_TRUE(table.isLive(ep)) << ep;
+        EXPECT_EQ(table.sinceGeneration(ep), 1u) << ep;
+    }
+    EXPECT_EQ(table.countOf(UnitState::Live), 3u);
+    EXPECT_FALSE(table.transitionsPending());
+    // Endpoints outside the table were never members.
+    EXPECT_EQ(table.state(7), UnitState::Left);
+    EXPECT_EQ(table.sinceGeneration(7), 0u);
+}
+
+TEST(MembershipTable, JoinLifecycleBumpsGenerationTwice)
+{
+    auto table = MembershipTable::allLive(2);
+    table.markAbsent(2); // never deployed; no bump
+    EXPECT_EQ(table.generation(), 1u);
+    EXPECT_EQ(table.state(2), UnitState::Left);
+    EXPECT_EQ(table.sinceGeneration(2), 0u);
+
+    ASSERT_TRUE(table.beginJoin(2)); // announce
+    EXPECT_EQ(table.generation(), 2u);
+    EXPECT_EQ(table.state(2), UnitState::Joining);
+    EXPECT_EQ(table.sinceGeneration(2), 2u);
+    EXPECT_TRUE(table.transitionsPending());
+
+    ASSERT_TRUE(table.commit(2)); // adopt
+    EXPECT_EQ(table.generation(), 3u);
+    EXPECT_TRUE(table.isLive(2));
+    EXPECT_EQ(table.sinceGeneration(2), 3u);
+    EXPECT_FALSE(table.transitionsPending());
+}
+
+TEST(MembershipTable, DrainLifecycleEndsLeftWithPositiveGeneration)
+{
+    auto table = MembershipTable::allLive(2);
+    ASSERT_TRUE(table.beginDrain(1));
+    EXPECT_EQ(table.state(1), UnitState::Draining);
+    EXPECT_EQ(table.generation(), 2u);
+    ASSERT_TRUE(table.commit(1));
+    EXPECT_EQ(table.state(1), UnitState::Left);
+    EXPECT_EQ(table.generation(), 3u);
+    // A drained unit is Left *since a real generation* — the marker
+    // that distinguishes it from a never-deployed slot (floor release
+    // waits on the Left ack; an absent slot never reserved one).
+    EXPECT_EQ(table.sinceGeneration(1), 3u);
+}
+
+TEST(MembershipTable, IllegalTransitionsAreRejectedWithoutABump)
+{
+    auto table = MembershipTable::allLive(2);
+    EXPECT_FALSE(table.beginJoin(0));  // already Live
+    EXPECT_FALSE(table.commit(0));     // nothing pending
+    table.markAbsent(2);
+    EXPECT_FALSE(table.beginDrain(2)); // not Live
+    EXPECT_EQ(table.generation(), 1u);
+
+    ASSERT_TRUE(table.beginJoin(2));
+    EXPECT_FALSE(table.beginJoin(2));  // announce is not idempotent-
+    EXPECT_EQ(table.generation(), 2u); // bumping
+    EXPECT_FALSE(table.beginDrain(2)); // Joining cannot drain
+    ASSERT_TRUE(table.commit(2));
+    EXPECT_FALSE(table.commit(2));     // second commit is a no-op
+    EXPECT_EQ(table.generation(), 3u);
+}
+
+TEST(MembershipTable, ReplicaAdoptsForwardSnapshotsRejectsStale)
+{
+    auto root = MembershipTable::allLive(3);
+    auto replica = MembershipTable::allLive(3);
+
+    // Two root-side transitions without a broadcast in between: the
+    // replica jumps straight to the latest snapshot.
+    ASSERT_TRUE(root.beginDrain(2));
+    ASSERT_TRUE(root.commit(2));
+    const auto latest = root.toDelta();
+    EXPECT_EQ(latest.generation, 3u);
+    ASSERT_TRUE(replica.applyDelta(latest));
+    EXPECT_EQ(replica.generation(), 3u);
+    EXPECT_EQ(replica.state(2), UnitState::Left);
+
+    // An equal-generation re-broadcast is an idempotent accept; an
+    // older snapshot is stale and must not roll the replica back.
+    EXPECT_TRUE(replica.applyDelta(latest));
+    net::MembershipDeltaMsg stale = latest;
+    stale.generation = 2;
+    EXPECT_FALSE(replica.applyDelta(stale));
+    EXPECT_EQ(replica.generation(), 3u);
+    EXPECT_EQ(replica.state(2), UnitState::Left);
+}
+
+TEST(MembershipTable, SnapshotRoundTripPreservesEveryRow)
+{
+    auto table = MembershipTable::allLive(4);
+    table.markAbsent(4);
+    ASSERT_TRUE(table.beginJoin(4));
+    ASSERT_TRUE(table.beginDrain(1));
+
+    MembershipTable replica;
+    ASSERT_TRUE(replica.applyDelta(table.toDelta()));
+    EXPECT_EQ(replica.generation(), table.generation());
+    ASSERT_EQ(replica.entries().size(), table.entries().size());
+    for (const auto &[ep, entry] : table.entries()) {
+        EXPECT_EQ(replica.state(ep), entry.state) << ep;
+        EXPECT_EQ(replica.sinceGeneration(ep), entry.sinceGeneration)
+            << ep;
+    }
+    EXPECT_TRUE(replica.transitionsPending());
+    EXPECT_EQ(replica.countOf(UnitState::Joining), 1u);
+    EXPECT_EQ(replica.countOf(UnitState::Draining), 1u);
+}
+
+TEST(MembershipTable, StateNamesMatchTheDocs)
+{
+    EXPECT_STREQ(membership::unitStateName(UnitState::Joining),
+                 "joining");
+    EXPECT_STREQ(membership::unitStateName(UnitState::Live), "live");
+    EXPECT_STREQ(membership::unitStateName(UnitState::Draining),
+                 "draining");
+    EXPECT_STREQ(membership::unitStateName(UnitState::Left), "left");
+}

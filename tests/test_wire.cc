@@ -587,11 +587,11 @@ TEST(Wire, CheckpointEverySingleBitFlipRejected)
 
 TEST(Wire, CheckpointVersionSkewRejected)
 {
-    // A frame from a pre-failover (or future) build must be rejected on
-    // its version byte alone; keep the CRC honest so nothing else can
-    // be the reason.
+    // A frame from outside the one-version rolling-upgrade window must
+    // be rejected on its version byte alone; keep the CRC honest so
+    // nothing else can be the reason.
     for (const std::uint8_t version :
-         {static_cast<std::uint8_t>(net::kWireVersion - 1),
+         {static_cast<std::uint8_t>(net::kWireCompatVersion - 1),
           static_cast<std::uint8_t>(net::kWireVersion + 1),
           static_cast<std::uint8_t>(0), static_cast<std::uint8_t>(255)}) {
         auto bytes = net::encodeCheckpoint(FrameMeta{1, 2, 3},
@@ -601,6 +601,15 @@ TEST(Wire, CheckpointVersionSkewRejected)
         EXPECT_FALSE(net::decodeFrame(bytes).has_value())
             << "version " << static_cast<int>(version);
     }
+    // The previous version is inside the window: a v5 checkpoint from a
+    // not-yet-upgraded worker still decodes.
+    auto compat = net::encodeCheckpoint(FrameMeta{1, 2, 3},
+                                        sampleCheckpoint());
+    compat[2] = net::kWireCompatVersion;
+    refreshCrc(compat);
+    const auto frame = net::decodeFrame(compat);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->wireVersion, net::kWireCompatVersion);
 }
 
 namespace {
@@ -1150,4 +1159,280 @@ TEST(Wire, FuzzedTraceContextLengthsNeverCrash)
             EXPECT_TRUE(frame.has_value());
         }
     }
+}
+
+// ===================================================================
+// Membership plane (wire v6): MembershipDelta / MembershipAck carry
+// the elasticity protocol, so they get the same hostile-input
+// treatment as Checkpoint/Rehome — truncation, bit flips, version
+// skew, and count/state hostility must all reject cleanly.
+// ===================================================================
+
+namespace {
+
+/** A snapshot exercising every state and the generation fields. */
+net::MembershipDeltaMsg
+sampleMembershipDelta()
+{
+    net::MembershipDeltaMsg msg;
+    msg.generation = 0xDEAD0007;
+    msg.entries.push_back({0, net::WireUnitState::Live, 1});
+    msg.entries.push_back({1, net::WireUnitState::Joining, 0xDEAD0006});
+    msg.entries.push_back({2, net::WireUnitState::Draining, 42});
+    msg.entries.push_back({5, net::WireUnitState::Left, 0});
+    msg.entries.push_back({65535, net::WireUnitState::Live, 7});
+    return msg;
+}
+
+/**
+ * Hand-assemble a MembershipDelta frame whose payload bytes are given
+ * verbatim (valid magic/version/length/CRC), so only the payload
+ * parser can reject it.
+ */
+std::vector<std::uint8_t>
+rawMembershipFrame(const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(net::kHeaderSize + payload.size() + net::kCrcSize);
+    bytes = {
+        0x9E, 0xCA,                  // magic, little-endian
+        net::kWireVersion,
+        static_cast<std::uint8_t>(MsgType::MembershipDelta),
+        0xFF, 0xFF,                  // sender (the room)
+        0x02, 0x00, 0x00, 0x00,      // epoch
+        0x03, 0x00, 0x00, 0x00,      // seq
+        static_cast<std::uint8_t>(payload.size() & 0xFF),
+        static_cast<std::uint8_t>(payload.size() >> 8),
+        0x00,                        // no trace context
+    };
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    bytes.resize(bytes.size() + net::kCrcSize, 0);
+    refreshCrc(bytes);
+    return bytes;
+}
+
+} // namespace
+
+TEST(Wire, MembershipDeltaRoundTrip)
+{
+    const auto msg = sampleMembershipDelta();
+    const FrameMeta meta{net::kRoomSender, 77, 900};
+    const auto frame =
+        net::decodeFrame(net::encodeMembershipDelta(meta, msg));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::MembershipDelta);
+    EXPECT_EQ(frame->sender, net::kRoomSender);
+    EXPECT_EQ(frame->epoch, 77u);
+    EXPECT_EQ(frame->wireVersion, net::kWireVersion);
+    EXPECT_EQ(frame->membershipDelta.generation, msg.generation);
+    ASSERT_EQ(frame->membershipDelta.entries.size(),
+              msg.entries.size());
+    for (std::size_t i = 0; i < msg.entries.size(); ++i) {
+        EXPECT_EQ(frame->membershipDelta.entries[i].endpoint,
+                  msg.entries[i].endpoint);
+        EXPECT_EQ(frame->membershipDelta.entries[i].state,
+                  msg.entries[i].state);
+        EXPECT_EQ(frame->membershipDelta.entries[i].sinceGeneration,
+                  msg.entries[i].sinceGeneration);
+    }
+}
+
+TEST(Wire, MembershipAckRoundTrip)
+{
+    net::MembershipAckMsg ack;
+    ack.generation = 0xCAFE0001;
+    ack.endpoint = 513;
+    ack.state = net::WireUnitState::Draining;
+    const auto frame = net::decodeFrame(
+        net::encodeMembershipAck(FrameMeta{513, 9, 10}, ack));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::MembershipAck);
+    EXPECT_EQ(frame->membershipAck.generation, ack.generation);
+    EXPECT_EQ(frame->membershipAck.endpoint, ack.endpoint);
+    EXPECT_EQ(frame->membershipAck.state, ack.state);
+}
+
+TEST(Wire, EmptyMembershipDeltaRoundTrip)
+{
+    // A table with no rows is legal on the wire (a deployment of one
+    // root); the codec must carry it.
+    net::MembershipDeltaMsg msg;
+    msg.generation = 1;
+    const auto frame = net::decodeFrame(
+        net::encodeMembershipDelta(FrameMeta{}, msg));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->membershipDelta.generation, 1u);
+    EXPECT_TRUE(frame->membershipDelta.entries.empty());
+}
+
+TEST(Wire, MembershipDeltaEveryTruncationRejected)
+{
+    const auto bytes = net::encodeMembershipDelta(
+        FrameMeta{net::kRoomSender, 2, 3}, sampleMembershipDelta());
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + len);
+        EXPECT_FALSE(net::decodeFrame(prefix).has_value())
+            << "prefix of " << len << " bytes decoded";
+    }
+}
+
+TEST(Wire, MembershipAckEveryTruncationRejected)
+{
+    net::MembershipAckMsg ack;
+    ack.generation = 9;
+    ack.endpoint = 4;
+    ack.state = net::WireUnitState::Left;
+    const auto bytes =
+        net::encodeMembershipAck(FrameMeta{4, 2, 3}, ack);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + len);
+        EXPECT_FALSE(net::decodeFrame(prefix).has_value())
+            << "prefix of " << len << " bytes decoded";
+    }
+}
+
+TEST(Wire, MembershipDeltaEverySingleBitFlipRejected)
+{
+    const auto bytes = net::encodeMembershipDelta(
+        FrameMeta{net::kRoomSender, 2, 3}, sampleMembershipDelta());
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        auto corrupted = bytes;
+        corrupted[bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(net::decodeFrame(corrupted).has_value())
+            << "bit " << bit << " flip decoded";
+    }
+}
+
+TEST(Wire, MembershipAckEverySingleBitFlipRejected)
+{
+    net::MembershipAckMsg ack;
+    ack.generation = 0xCAFE0001;
+    ack.endpoint = 513;
+    ack.state = net::WireUnitState::Joining;
+    const auto bytes =
+        net::encodeMembershipAck(FrameMeta{513, 2, 3}, ack);
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        auto corrupted = bytes;
+        corrupted[bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(net::decodeFrame(corrupted).has_value())
+            << "bit " << bit << " flip decoded";
+    }
+}
+
+TEST(Wire, MembershipUnderCompatVersionRejected)
+{
+    // Membership is a v6-only plane: a delta or ack re-stamped with
+    // the compat (v5) version byte must be rejected even with an
+    // honest CRC — a not-yet-upgraded worker can neither originate
+    // nor be asked to parse elasticity frames. Data-plane types under
+    // v5 keep decoding (the rolling-upgrade steady state); that is
+    // covered by CheckpointVersionSkewRejected.
+    auto delta = net::encodeMembershipDelta(
+        FrameMeta{net::kRoomSender, 2, 3}, sampleMembershipDelta());
+    delta[2] = net::kWireCompatVersion;
+    refreshCrc(delta);
+    EXPECT_FALSE(net::decodeFrame(delta).has_value());
+
+    net::MembershipAckMsg ack;
+    ack.generation = 2;
+    ack.endpoint = 1;
+    auto ack_bytes = net::encodeMembershipAck(FrameMeta{1, 2, 3}, ack);
+    ack_bytes[2] = net::kWireCompatVersion;
+    refreshCrc(ack_bytes);
+    EXPECT_FALSE(net::decodeFrame(ack_bytes).has_value());
+}
+
+TEST(Wire, MembershipVersionSkewOutsideWindowRejected)
+{
+    for (const std::uint8_t version :
+         {static_cast<std::uint8_t>(net::kWireCompatVersion - 1),
+          static_cast<std::uint8_t>(net::kWireVersion + 1),
+          static_cast<std::uint8_t>(0),
+          static_cast<std::uint8_t>(255)}) {
+        auto bytes = net::encodeMembershipDelta(
+            FrameMeta{net::kRoomSender, 2, 3},
+            sampleMembershipDelta());
+        bytes[2] = version;
+        refreshCrc(bytes);
+        EXPECT_FALSE(net::decodeFrame(bytes).has_value())
+            << "version " << static_cast<int>(version);
+    }
+}
+
+TEST(Wire, HostileMembershipEntryCountRejectedBeforeAllocation)
+{
+    // Prelude: generation u32, then a count promising more rows than
+    // the payload (or the kMaxMembershipEntries bound) allows. The
+    // parser must reject on the declared count, not fault after a
+    // count-sized allocation.
+    for (const std::uint16_t hostile : {
+             static_cast<std::uint16_t>(net::kMaxMembershipEntries + 1),
+             static_cast<std::uint16_t>(4097),
+             static_cast<std::uint16_t>(65535)}) {
+        std::vector<std::uint8_t> payload(6, 0);
+        payload[4] = static_cast<std::uint8_t>(hostile & 0xFF);
+        payload[5] = static_cast<std::uint8_t>(hostile >> 8);
+        EXPECT_FALSE(
+            net::decodeFrame(rawMembershipFrame(payload)).has_value())
+            << "entry count " << hostile;
+    }
+}
+
+TEST(Wire, MembershipNonAscendingEndpointsRejected)
+{
+    // The snapshot invariant is strictly ascending endpoints: a
+    // duplicate (or out-of-order) row could shadow an earlier unit's
+    // state, so the parser rejects it outright.
+    for (const std::uint16_t second : {7, 3}) {
+        std::vector<std::uint8_t> payload(6, 0);
+        payload[0] = 2; // generation = 2
+        payload[4] = 2; // two rows
+        const std::uint8_t live =
+            static_cast<std::uint8_t>(net::WireUnitState::Live);
+        const std::uint8_t rows[] = {
+            7, 0, live, 1, 0, 0, 0,  // endpoint 7
+            static_cast<std::uint8_t>(second & 0xFF),
+            static_cast<std::uint8_t>(second >> 8),
+            live, 1, 0, 0, 0,
+        };
+        payload.insert(payload.end(), rows, rows + sizeof(rows));
+        EXPECT_FALSE(
+            net::decodeFrame(rawMembershipFrame(payload)).has_value())
+            << "second endpoint " << second;
+    }
+}
+
+TEST(Wire, MembershipHostileStateByteRejected)
+{
+    // State bytes beyond Left (3) are outside the enum; reject rather
+    // than cast-and-hope.
+    for (const std::uint8_t hostile : {4, 5, 127, 255}) {
+        std::vector<std::uint8_t> payload(6, 0);
+        payload[0] = 2; // generation
+        payload[4] = 1; // one row
+        const std::uint8_t row[] = {1, 0, hostile, 1, 0, 0, 0};
+        payload.insert(payload.end(), row, row + sizeof(row));
+        EXPECT_FALSE(
+            net::decodeFrame(rawMembershipFrame(payload)).has_value())
+            << "state " << static_cast<int>(hostile);
+    }
+}
+
+TEST(Wire, MembershipDeltaTrailingGarbageRejected)
+{
+    // Extra bytes after the last declared row mean the payload length
+    // and the structure disagree; reject.
+    auto bytes = net::encodeMembershipDelta(
+        FrameMeta{net::kRoomSender, 2, 3}, sampleMembershipDelta());
+    const std::size_t payload_len =
+        bytes.size() - net::kHeaderSize - net::kCrcSize;
+    bytes.insert(bytes.end() - net::kCrcSize, 0x00);
+    declarePayloadLength(
+        bytes, static_cast<std::uint16_t>(payload_len + 1));
+    refreshCrc(bytes);
+    EXPECT_FALSE(net::decodeFrame(bytes).has_value());
 }

@@ -630,3 +630,86 @@ TEST(WorkerHost, LateStarterFastForwardsAndRejoinsTheFleet)
     EXPECT_EQ(late.lastEpoch(), 20u);
     EXPECT_GT(late.stats().budgetsApplied, 0u);
 }
+
+// ------------------------------------------- elasticity lockstep soak
+
+TEST(WorkerRuntime, ElasticSoakJoinsDrainsAndAggKillStaySafe)
+{
+    // 200 control periods of the depth-4 deployment under 10% seeded
+    // loss, with the membership plane fully exercised: racks 6 and 7
+    // start scripted-absent and join online (two-phase adopt through
+    // shadow periods), rack 2 drains and is reaped once its committed
+    // Left state is acked, and the row aggregator over the joiners
+    // (endpoint 11) is killed two epochs into the first join — the
+    // adopt must ride out the dead hop via the root's re-broadcast.
+    // The §4.5 safety audit must never fire through any of it.
+    net::TransportConfig faults;
+    faults.dropRate = 0.10;
+    faults.seed = 1357;
+    rt::LockstepDeployment dep(depth4Scenario(), rt::ChaosBackend::Sim,
+                               faults, /*seed=*/2026,
+                               /*agg_levels=*/{1, 2});
+    ASSERT_EQ(dep.rackCount(), 8u);
+    dep.scriptJoiner(6);
+    dep.scriptJoiner(7);
+    dep.chaos().at(20, rt::ChaosEvent::Kind::Join, 6);
+    dep.chaos().at(22, rt::ChaosEvent::Kind::Kill, 11);
+    dep.chaos().at(26, rt::ChaosEvent::Kind::Restart, 11);
+    dep.chaos().at(50, rt::ChaosEvent::Kind::Join, 7);
+    dep.chaos().at(90, rt::ChaosEvent::Kind::Drain, 2);
+
+    const auto report = dep.run(200);
+    EXPECT_EQ(report.epochsRun, 200u);
+    EXPECT_EQ(report.violations, 0u) << report.firstViolation;
+    EXPECT_EQ(report.drained, 1u);
+
+    // End state at the root: the joiners committed Live, the drained
+    // rack committed Left, and every announced transition resolved.
+    const auto &table = dep.room().membership();
+    EXPECT_EQ(table.state(6), membership::UnitState::Live);
+    EXPECT_EQ(table.state(7), membership::UnitState::Live);
+    EXPECT_EQ(table.state(2), membership::UnitState::Left);
+    EXPECT_EQ(table.transitionsPending(), 0u);
+    // Two marks-absent (no bump), then join announce + commit twice
+    // and drain announce + commit once: generation 1 + 6.
+    EXPECT_EQ(dep.room().membershipGeneration(), 7u);
+
+    // The joiners are running and converged to the root's view...
+    ASSERT_NE(dep.rack(6), nullptr);
+    ASSERT_NE(dep.rack(7), nullptr);
+    EXPECT_EQ(dep.rack(6)->membershipGeneration(),
+              dep.room().membershipGeneration());
+    EXPECT_TRUE(dep.rack(6)->membership().isLive(6));
+    EXPECT_TRUE(dep.rack(7)->membership().isLive(7));
+    // ...the drained rack was reaped, and the survivors kept getting
+    // real budgets throughout.
+    EXPECT_EQ(dep.rack(2), nullptr);
+    for (const std::size_t r : {0u, 1u, 3u, 4u, 5u}) {
+        EXPECT_GT(dep.rack(r)->stats().budgetsApplied, 190u)
+            << "rack " << r;
+    }
+
+    // Protocol accounting: the root announced and committed three
+    // transitions, broadcast deltas, and collected acks; the joiners
+    // ran clamped shadow periods before their commits.
+    const auto &room = dep.room().stats();
+    EXPECT_EQ(room.membershipCommits, 3u);
+    EXPECT_GT(room.membershipDeltasSent, 0u);
+    EXPECT_GT(dep.rack(6)->stats().membershipAcksSent, 0u);
+    EXPECT_GT(dep.rack(6)->stats().membershipDeltasApplied, 0u);
+    EXPECT_GT(dep.rack(6)->stats().shadowPeriods, 0u);
+
+    // Telemetry mirrors the in-process stats (the ops interface).
+    const telemetry::Labels room_labels{{"role", "room"},
+                                        {"tier", "3"}};
+    EXPECT_EQ(dep.registry()
+                  .counter("capmaestro_membership_commits_total",
+                           room_labels)
+                  .value(),
+              static_cast<double>(room.membershipCommits));
+    EXPECT_EQ(dep.registry()
+                  .gauge("capmaestro_membership_generation",
+                         room_labels)
+                  .value(),
+              7.0);
+}

@@ -34,6 +34,17 @@
  * chaos scripts (scripts/failover_smoke.sh) parse these lines to pick
  * a victim. SIGTERM/SIGINT is forwarded to all children and the
  * supervisor exits after reaping them.
+ *
+ * The supervisor also drives the elasticity plane (docs/distributed.md,
+ * "Online elasticity"). The peers file's "membership" block decides the
+ * initial fleet: "absent" slots get no process, "join" slots spawn with
+ * --shadow (the worker boots clamped until the root commits it Live).
+ * On SIGHUP the supervisor re-reads the peers file, spawns a shadowed
+ * worker for every newly joining slot, marks every "drain" slot
+ * retiring (its child exits on its own after acking the committed Left
+ * state and is never respawned), and forwards the SIGHUP to the root
+ * worker, which re-reads the same file and announces the transitions —
+ * one file edit plus one signal is a complete join or drain.
  */
 
 #include <csignal>
@@ -58,11 +69,18 @@ using namespace capmaestro;
 namespace {
 
 volatile sig_atomic_t g_terminate = 0;
+volatile sig_atomic_t g_reload = 0;
 
 extern "C" void
 onSignal(int)
 {
     g_terminate = 1;
+}
+
+extern "C" void
+onReload(int)
+{
+    g_reload = 1;
 }
 
 const char *
@@ -120,6 +138,15 @@ struct Child
     bool finished = false;
     /** Over maxRestarts; never restarted. */
     bool abandoned = false;
+    /** Slot not deployed (membership "absent"); no process exists
+     *  until a reload moves the slot to "join". */
+    bool absent = false;
+    /** Next spawn passes --shadow (first boot of a joining slot);
+     *  cleared after the spawn so a crash-restart boots normally. */
+    bool shadow = false;
+    /** Draining: the child exits on its own once it acked Left and is
+     *  treated as finished on any exit, never respawned. */
+    bool retiring = false;
     int restarts = 0;
     double backoffMs = 0.0;
     std::uint64_t startedAtMs = 0;
@@ -169,6 +196,8 @@ spawn(Child &child, const SpawnArgs &args)
             argstrs.push_back(std::string("--seed=") + args.seed);
         if (child.role == args.roomRole && !args.stateDir.empty())
             argstrs.push_back("--state-dir=" + args.stateDir);
+        if (child.shadow)
+            argstrs.push_back("--shadow");
 
         std::vector<char *> argv;
         for (std::string &s : argstrs)
@@ -182,9 +211,15 @@ spawn(Child &child, const SpawnArgs &args)
     child.pid = pid;
     child.startedAtMs = monotonicMs();
     child.respawnAtMs = 0;
-    std::fprintf(stderr, "spawn role=%u pid=%d restarts=%d\n",
-                 child.role, static_cast<int>(pid), child.restarts);
+    std::fprintf(stderr, "spawn role=%u pid=%d restarts=%d%s\n",
+                 child.role, static_cast<int>(pid), child.restarts,
+                 child.shadow ? " shadow" : "");
     std::fflush(stderr);
+    // One shadowed boot per join: a later crash-restart boots with the
+    // static all-Live replica — already correct once the join
+    // committed, and superseded by the root's ongoing re-broadcast
+    // while the adopt is still in flight.
+    child.shadow = false;
 }
 
 } // namespace
@@ -253,16 +288,76 @@ main(int argc, char **argv)
 
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
+    std::signal(SIGHUP, onReload);
+
+    const auto in_list = [](const std::vector<std::uint32_t> &list,
+                            std::uint32_t role) {
+        for (const std::uint32_t ep : list)
+            if (ep == role)
+                return true;
+        return false;
+    };
 
     std::vector<Child> children(racks + 1);
     for (std::size_t r = 0; r <= racks; ++r) {
-        children[r].role = static_cast<std::uint32_t>(r);
-        children[r].backoffMs = cfg.backoffInitialMs;
-        spawn(children[r], args);
+        Child &child = children[r];
+        child.role = static_cast<std::uint32_t>(r);
+        child.backoffMs = cfg.backoffInitialMs;
+        if (in_list(peers.membership.absent, child.role)) {
+            child.absent = true;
+            continue; // slot not deployed yet; a reload brings it in
+        }
+        // Boot-time join: shadowed first spawn; the root announces the
+        // adopt from the same peers file.
+        child.shadow = in_list(peers.membership.join, child.role);
+        child.retiring = in_list(peers.membership.drain, child.role);
+        spawn(child, args);
     }
 
     int exit_code = 0;
     for (;;) {
+        if (g_reload) {
+            g_reload = 0;
+            // Re-read the peers file; its membership block is the
+            // desired fleet. Spawn newly joining slots (shadowed),
+            // mark draining ones retiring, and forward the SIGHUP to
+            // the root worker so it announces the transitions.
+            std::ifstream reload_in(peers_path);
+            if (!reload_in) {
+                std::fprintf(stderr, "supervisor: reload: cannot "
+                             "read %s\n", peers_path);
+            } else {
+                const std::string text(
+                    (std::istreambuf_iterator<char>(reload_in)),
+                    std::istreambuf_iterator<char>());
+                const auto reloaded =
+                    config::loadWorkerPeers(util::parseJson(text));
+                for (Child &child : children) {
+                    if (in_list(reloaded.membership.join, child.role)
+                        && child.pid < 0 && !child.retiring) {
+                        child.absent = false;
+                        child.finished = false;
+                        child.abandoned = false;
+                        child.shadow = true;
+                        child.restarts = 0;
+                        child.backoffMs = cfg.backoffInitialMs;
+                        spawn(child, args);
+                    }
+                    if (in_list(reloaded.membership.drain, child.role)
+                        && !child.retiring) {
+                        child.retiring = true;
+                        std::fprintf(stderr,
+                                     "supervisor: role %u retiring\n",
+                                     child.role);
+                    }
+                }
+                Child &room = children[racks];
+                if (room.pid > 0)
+                    ::kill(room.pid, SIGHUP);
+                std::fprintf(stderr, "supervisor: reloaded %s\n",
+                             peers_path);
+            }
+        }
         if (g_terminate) {
             for (Child &child : children) {
                 if (child.pid > 0)
@@ -290,6 +385,17 @@ main(int argc, char **argv)
                                    && WEXITSTATUS(status) == 0;
                 const std::uint64_t uptime =
                     monotonicMs() - child.startedAtMs;
+                if (child.retiring) {
+                    // A drained worker exits on its own after acking
+                    // the committed Left state; either way the slot is
+                    // done — never respawn it.
+                    child.finished = true;
+                    std::fprintf(stderr,
+                                 "supervisor: role %u drained "
+                                 "(status %d)\n",
+                                 child.role, status);
+                    break;
+                }
                 if (clean && args.periods != nullptr) {
                     child.finished = true;
                     std::fprintf(stderr,
@@ -340,10 +446,13 @@ main(int argc, char **argv)
             }
         }
 
-        // Done when nobody is left to supervise.
+        // Done when nobody is left to supervise. Absent slots do not
+        // count — they have no process until a reload brings them in.
         bool anything_left = false;
         for (const Child &child : children) {
-            if (child.pid > 0 || (!child.finished && !child.abandoned))
+            if (child.pid > 0
+                || (!child.finished && !child.abandoned
+                    && !child.absent))
                 anything_left = true;
         }
         if (!anything_left) {

@@ -21,10 +21,14 @@
  *                     with N=1 prints a single plain snapshot)
  *   --plain           never emit ANSI clear/home (scripts, logs)
  *
- * Exit status 0; unreachable endpoints are shown as "down" rather
- * than failing the whole view (a scrape plane's failure mode is a
- * missed sample). Needs nothing but the endpoints: run it next to a
- * deployment started with --http-port / observability.httpPortBase.
+ * Exit status 0; an unreachable or half-up endpoint (no /healthz, or
+ * an answer that does not parse — mid-restart, mid-upgrade) renders as
+ * an explicit DOWN row rather than failing the whole view or omitting
+ * the process: during a join, drain, or rolling restart that gap is
+ * exactly what an operator is watching for. The gen column shows each
+ * process's membership generation ("-" on a pre-elasticity build).
+ * Needs nothing but the endpoints: run it next to a deployment
+ * started with --http-port / observability.httpPortBase.
  */
 
 #include <algorithm>
@@ -239,8 +243,14 @@ struct ProcessRow
 {
     std::uint16_t port = 0;
     bool up = false;
+    /** /healthz answered but was unusable (bad JSON): the endpoint is
+     *  half-up — mid-restart or mid-upgrade — and renders as DOWN. */
+    bool halfUp = false;
     bool ok = true;
     std::string name;
+    /** Membership generation the process reports (0 = pre-elasticity
+     *  build or no /healthz field). */
+    double generation = 0.0;
     double lastEpoch = 0.0;
     double periods = 0.0;
     double periodsPerSec = 0.0;
@@ -334,6 +344,7 @@ main(int argc, char **argv)
                 }
                 row.lastEpoch = doc.numberOr("lastEpoch", 0.0);
                 row.periods = doc.numberOr("periods", 0.0);
+                row.generation = doc.numberOr("generation", 0.0);
                 if (const Json *fleet = doc.find("fleet")) {
                     row.hasFleet = true;
                     if (const Json *counts = fleet->find("counts")) {
@@ -351,6 +362,8 @@ main(int argc, char **argv)
                         safety->numberOr("violations", 0.0);
                 }
             } catch (...) {
+                // Answered but unusable: mid-restart/mid-upgrade.
+                row.halfUp = true;
                 row.ok = false;
             }
             const auto prev = last_periods.find(port);
@@ -429,17 +442,34 @@ main(int argc, char **argv)
         std::printf("capmaestro_top — %zu endpoints on %s  (sample "
                     "%ld)\n\n",
                     ports.size(), host.c_str(), iter + 1);
-        std::printf("  %-6s %-8s %-6s %-9s %-9s %-8s %-6s\n", "port",
-                    "who", "epoch", "periods", "per/s", "catchup",
-                    "ok");
+        std::printf("  %-6s %-8s %-6s %-4s %-9s %-9s %-8s %-6s\n",
+                    "port", "who", "epoch", "gen", "periods", "per/s",
+                    "catchup", "ok");
         for (const ProcessRow &row : rows) {
-            if (!row.up) {
-                std::printf("  %-6u %-8s %s\n", row.port, "-",
-                            "down (no /healthz)");
+            // An unreachable or half-up endpoint is an explicit DOWN
+            // row, never an omission: during a join, drain, or rolling
+            // restart the gap in the fleet is exactly what an operator
+            // is watching for.
+            if (!row.up || row.halfUp) {
+                std::printf("  %-6u %-8s %-6s %-4s %-9s %-9s %-8s "
+                            "DOWN%s\n",
+                            row.port,
+                            row.name.empty() ? "-" : row.name.c_str(),
+                            "-", "-", "-", "-", "-",
+                            row.up ? " (bad /healthz)"
+                                   : " (no /healthz)");
                 continue;
             }
-            std::printf("  %-6u %-8s %-6.0f %-9.0f %-9.2f %-8.0f %-6s\n",
-                        row.port, row.name.c_str(), row.lastEpoch,
+            char gen[16];
+            if (row.generation > 0.0) {
+                std::snprintf(gen, sizeof(gen), "%.0f",
+                              row.generation);
+            } else {
+                std::snprintf(gen, sizeof(gen), "-");
+            }
+            std::printf("  %-6u %-8s %-6.0f %-4s %-9.0f %-9.2f %-8.0f "
+                        "%-6s\n",
+                        row.port, row.name.c_str(), row.lastEpoch, gen,
                         row.periods, row.periodsPerSec, row.catchUps,
                         row.ok ? "yes" : "NO");
         }

@@ -42,6 +42,12 @@
  *                         port is printed on stderr). Defaults to the
  *                         peers file's observability.httpPortBase +
  *                         role (or + process) when that is set
+ *   --shadow              non-root roles: boot as a late joiner with
+ *                         an empty membership replica — every period
+ *                         rides the Pcap_min clamp until the root's
+ *                         MembershipDelta broadcast shows this worker
+ *                         Live (see docs/distributed.md, "Online
+ *                         elasticity")
  *   --state-dir=DIR       room only: persist the latest checkpoint
  *                         per rack under DIR (and reload any left by
  *                         a previous room instance), so a
@@ -72,6 +78,13 @@
  * On SIGTERM/SIGINT the worker finishes nothing: it exits its period
  * loop at the next stop check (≤ ~25 ms) and reports. Exit status 0
  * when the requested periods ran (or a signal stopped the loop).
+ *
+ * On SIGHUP the root worker re-reads the peers file at the next period
+ * boundary and applies its "membership" block (join/drain
+ * announcements); non-root --role workers ignore the signal and
+ * --process hosts explicitly discard it (host mode has no reload
+ * plane). A drained worker exits its loop on its own once it has
+ * acked the committed Left state.
  */
 
 #include <arpa/inet.h>
@@ -114,6 +127,15 @@ onSignal(int)
         g_host->requestStop();
 }
 
+extern "C" void
+onReload(int)
+{
+    // async-signal-safe: one atomic store; the period loop runs the
+    // reload handler at its next top-of-period check
+    if (g_runtime != nullptr)
+        g_runtime->requestReload();
+}
+
 const char *
 flagValue(int argc, char **argv, const char *name)
 {
@@ -142,7 +164,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: capmaestro_worker <config.json> --peers=FILE --role=N\n"
-        "                         [--periods=N] [--seed=N]\n"
+        "                         [--periods=N] [--seed=N] [--shadow]\n"
         "                         [--telemetry-out=DIR] [--state-dir=DIR]\n"
         "                         [--http-port=P]\n"
         "       capmaestro_worker <config.json> --peers=FILE --process=K\n"
@@ -369,6 +391,9 @@ runHost(config::LoadedScenario scenario,
     g_host = &host;
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
+    // Host mode is membership-replica-only (see rt/host.hh): no reload
+    // plane, but the supervisor's broadcast SIGHUP must not kill us.
+    std::signal(SIGHUP, SIG_IGN);
 
     const char *telemetry_dir = flagValue(argc, argv, "telemetry-out");
     const int http_port = resolveHttpPort(argc, argv, peers, process);
@@ -480,6 +505,59 @@ main(int argc, char **argv)
     g_runtime = &runtime;
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
+    std::signal(SIGHUP, onReload);
+
+    if (hasFlag(argc, argv, "shadow")) {
+        // Late joiner: boot with an empty membership replica so every
+        // period rides the Pcap_min clamp until the root's broadcast
+        // shows this worker Live (docs/distributed.md quickstart).
+        runtime.beginShadow();
+    }
+    if (runtime.isRoom()) {
+        // Boot-time elasticity directives, then the same application
+        // again on every SIGHUP-triggered reload of the peers file.
+        const std::string peers_file(peers_path);
+        const auto apply_membership =
+            [&runtime](const config::MembershipConfig &member,
+                       bool boot) {
+            if (boot) {
+                for (const std::uint32_t ep : member.absent)
+                    runtime.membershipMarkAbsent(ep);
+                for (const std::uint32_t ep : member.join)
+                    runtime.membershipMarkAbsent(ep);
+            }
+            std::size_t joins = 0;
+            std::size_t drains = 0;
+            for (const std::uint32_t ep : member.join)
+                joins += runtime.membershipBeginJoin(ep) ? 1 : 0;
+            for (const std::uint32_t ep : member.drain)
+                drains += runtime.membershipBeginDrain(ep) ? 1 : 0;
+            if (joins + drains > 0 || !boot) {
+                std::fprintf(stderr,
+                             "membership: %zu join, %zu drain "
+                             "announced (generation %u)\n",
+                             joins, drains,
+                             runtime.membershipGeneration());
+            }
+        };
+        apply_membership(peers.membership, true);
+        runtime.setReloadHandler([&runtime, peers_file,
+                                  apply_membership] {
+            std::ifstream in(peers_file);
+            if (!in) {
+                std::fprintf(stderr, "reload: cannot read %s\n",
+                             peers_file.c_str());
+                return;
+            }
+            const std::string text(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            const auto reloaded =
+                config::loadWorkerPeers(util::parseJson(text));
+            std::fprintf(stderr, "reload: %s\n", peers_file.c_str());
+            apply_membership(reloaded.membership, false);
+        });
+    }
 
     const char *state_dir = flagValue(argc, argv, "state-dir");
     if (state_dir != nullptr) {
